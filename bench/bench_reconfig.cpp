@@ -1,0 +1,88 @@
+// §V reconfiguration-overhead reproduction: the ~251 ms per-PE estimate
+// and its amortization over an image stream.
+//
+// Two estimates are printed:
+//   * with the paper's published PE composition (526 TLUTs + 568 TCONs),
+//     which reproduces 251 ms exactly under the HWICAP frame model;
+//   * with the composition our own TCONMAP run produces for the same PE,
+//     demonstrating the model end-to-end (PPC built from the mapped
+//     netlist, frames counted per tunable resource).
+#include <cstdio>
+
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/table.hpp"
+#include "vcgra/common/timer.hpp"
+#include "vcgra/fpga/frames.hpp"
+#include "vcgra/vcgra/backend.hpp"
+#include "vcgra/vcgra/dfg.hpp"
+#include "vcgra/vcgra/simulator.hpp"
+
+using namespace vcgra;
+
+int main() {
+  std::printf("== §V: reconfiguration overhead of the parameterized VCGRA ==\n\n");
+  const fpga::FrameModel model;
+
+  // --- paper composition -----------------------------------------------------
+  const auto paper_cost = fpga::estimate_reconfig(model, 526, 568, 526 * 16 + 568 * 4);
+  std::printf("Paper PE composition (526 TLUTs, 568 TCONs):\n  %s\n",
+              paper_cost.to_string().c_str());
+  std::printf("  -> paper's §V estimate: 251 ms per PE (HWICAP)\n\n");
+
+  // --- our mapped PE -----------------------------------------------------------
+  common::WallTimer timer;
+  overlay::OverlayArch arch;  // paper format (6,26), 4x4
+  const overlay::ParameterizedBackend backend(arch);
+  const auto mapped_stats = backend.mapped_pe().stats();
+  const auto ppc_stats = backend.ppc().stats();
+  std::printf("Our TCONMAP PE composition (built in %.1f s):\n", timer.seconds());
+  std::printf("  mapped: %s\n", mapped_stats.to_string().c_str());
+  std::printf("  PPC: %zu tunable bits, %zu static bits, %zu frames, %zu BDD nodes\n",
+              ppc_stats.tunable_bits, ppc_stats.static_bits, ppc_stats.frames,
+              ppc_stats.bdd_nodes);
+  const auto our_cost = backend.per_pe_cost();
+  std::printf("  per-PE respecialization: %s\n\n", our_cost.to_string().c_str());
+
+  common::AsciiTable table({"PE composition", "Frames", "HWICAP", "MiCAP"});
+  table.add_row({"Paper (526 TLUT + 568 TCON)",
+                 common::strprintf("%zu", paper_cost.frames),
+                 common::human_seconds(paper_cost.hwicap_seconds),
+                 common::human_seconds(paper_cost.micap_seconds)});
+  table.add_row({common::strprintf("Ours (%zu TLUT + %zu TCON)", mapped_stats.tluts,
+                                   mapped_stats.tcons),
+                 common::strprintf("%zu", our_cost.frames),
+                 common::human_seconds(our_cost.hwicap_seconds),
+                 common::human_seconds(our_cost.micap_seconds)});
+  table.print();
+
+  // --- partial reconfiguration: coefficient change only ----------------------
+  std::printf("\nDirty-frame cost of a coefficient change (ours, SCG frame diff):\n");
+  const auto a = overlay::compile(overlay::make_streaming_mac_kernel(0.125, 25), arch);
+  const auto b = overlay::compile(overlay::make_streaming_mac_kernel(-0.85, 25), arch);
+  const auto delta = backend.reconfigure_cost(a.settings, b.settings);
+  std::printf("  %s\n", delta.to_string().c_str());
+
+  // --- amortization over an image stream (paper's 1000-image example) --------
+  std::printf("\nAmortization of one 16-PE grid respecialization over N images\n");
+  std::printf("(256x256 image, full Fig. 5 pipeline: 1 denoise + 7 matched +\n");
+  std::printf(" 4 texture filters, 16 parallel MAC lanes at 100 MHz):\n");
+  const double grid_reconfig = 16.0 * paper_cost.hwicap_seconds;
+  // Passes per filter = ceil(taps/16): 5x5 -> 2; 15x15 -> 15.
+  const double passes = 2.0 + 7.0 * 15.0 + 4.0 * 15.0;
+  const double image_seconds = 256.0 * 256.0 * passes / 100e6;
+  common::AsciiTable amort({"Images/config", "Reconfig", "Compute", "Overhead"});
+  for (const int images : {1, 10, 100, 1000}) {
+    const double compute = image_seconds * images;
+    amort.add_row({common::strprintf("%d", images),
+                   common::human_seconds(grid_reconfig),
+                   common::human_seconds(compute),
+                   common::strprintf("%.1f%%", 100.0 * grid_reconfig /
+                                                   (grid_reconfig + compute))});
+  }
+  amort.print();
+  std::printf(
+      "\nAt 1000 images per coefficient set (the paper's example), the\n"
+      "reconfiguration overhead is negligible; at 1 image it dominates —\n"
+      "matching §II-C: cycle-by-cycle context switching is out of scope.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// §II-B micro-benchmarks: the specialization stage (SCG).
+//
+// The paper's DCS machinery must evaluate the PPC's Boolean functions and
+// rewrite frames on every parameter change; its feasibility rests on that
+// being cheap relative to the frame writes. This bench measures PPC
+// generation, SCG evaluation throughput, and frame diffing on the MAC PE,
+// plus the PPC-memory scaling the paper lists as an overhead.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/table.hpp"
+#include "vcgra/common/timer.hpp"
+#include "vcgra/netlist/passes.hpp"
+#include "vcgra/pconf/ppc.hpp"
+#include "vcgra/softfloat/fpcircuits.hpp"
+#include "vcgra/techmap/mapper.hpp"
+
+using namespace vcgra;
+
+namespace {
+
+struct PeSetup {
+  netlist::Netlist source;
+  techmap::MappedNetlist mapped;
+  pconf::ParameterizedConfiguration ppc;
+};
+
+PeSetup build_pe(softfloat::FpFormat format, int counter_bits) {
+  PeSetup setup;
+  softfloat::MacPe pe =
+      softfloat::build_mac_pe(format, softfloat::PeStyle::kParameterized, counter_bits);
+  setup.source = netlist::clean(pe.netlist).netlist;
+  setup.mapped = techmap::tconmap(setup.source, 4);
+  setup.ppc = pconf::ParameterizedConfiguration::generate(setup.mapped);
+  return setup;
+}
+
+std::vector<bool> random_params(const netlist::Netlist& source,
+                                common::Rng& rng) {
+  std::vector<bool> params(source.params().size());
+  for (std::size_t i = 0; i < params.size(); ++i) params[i] = rng.next_bool();
+  return params;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== §II-B: SCG / PPC micro-benchmarks ==\n\n");
+
+  std::printf("PPC scaling with PE precision:\n");
+  common::AsciiTable scaling({"Format", "TLUTs", "TCONs", "Tunable bits",
+                              "BDD nodes", "Generation"});
+  for (const auto format :
+       {softfloat::FpFormat{4, 7}, softfloat::FpFormat::half_like(),
+        softfloat::FpFormat::paper()}) {
+    common::WallTimer timer;
+    const PeSetup setup = build_pe(format, 8);
+    const auto mstats = setup.mapped.stats();
+    const auto pstats = setup.ppc.stats();
+    scaling.add_row({common::strprintf("(%d,%d)", format.we, format.wf),
+                     common::strprintf("%zu", mstats.tluts),
+                     common::strprintf("%zu", mstats.tcons),
+                     common::strprintf("%zu", pstats.tunable_bits),
+                     common::strprintf("%zu", pstats.bdd_nodes),
+                     common::human_seconds(timer.seconds())});
+  }
+  scaling.print();
+  std::printf("\n");
+
+  // Shared setup for the timed benchmarks (half format keeps them snappy).
+  static PeSetup setup = build_pe(softfloat::FpFormat::half_like(), 8);
+  static common::Rng rng(99);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RegisterBenchmark("scg_specialize_pe", [](benchmark::State& state) {
+    std::uint64_t bits_done = 0;
+    for (auto _ : state) {
+      const auto params = random_params(setup.source, rng);
+      benchmark::DoNotOptimize(setup.ppc.specialize(params));
+      bits_done += setup.ppc.stats().tunable_bits;
+    }
+    state.counters["bits/s"] = benchmark::Counter(
+        static_cast<double>(bits_done), benchmark::Counter::kIsRate);
+  });
+  benchmark::RegisterBenchmark("scg_dirty_frames", [](benchmark::State& state) {
+    const auto a = setup.ppc.specialize(random_params(setup.source, rng));
+    const auto b = setup.ppc.specialize(random_params(setup.source, rng));
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(setup.ppc.dirty_frames(a, b));
+    }
+  });
+  benchmark::RegisterBenchmark("ppc_generate_pe", [](benchmark::State& state) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          pconf::ParameterizedConfiguration::generate(setup.mapped));
+    }
+  });
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

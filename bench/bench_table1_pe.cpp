@@ -1,0 +1,139 @@
+// Table I reproduction: resource utilization and PaR results of a single
+// MAC processing element (FloPoCo format we=6, wf=26).
+//
+//   Conventional row — the same overlay structure realized without
+//   parameterization (TCONs as LUT muxes, TLUT parameter pins as signal
+//   pins), placed and routed on the 4-LUT island FPGA.
+//   Fully parameterized row — TCONMAP mapping; the PaR instance is the
+//   specialized design (TCONs dissolved into routing, TLUT configs bound)
+//   exactly as DCS would configure the fabric for one coefficient.
+//
+// Absolute numbers differ from the paper (different synthesis, bigger
+// ripple datapaths); the paper's *shape* — fewer LUTs, several hundred
+// TCONs moved into routing, no channel-width penalty, lower wirelength —
+// is the reproduction target (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/table.hpp"
+#include "vcgra/common/timer.hpp"
+#include "vcgra/netlist/passes.hpp"
+#include "vcgra/place/placer.hpp"
+#include "vcgra/route/router.hpp"
+#include "vcgra/softfloat/fpcircuits.hpp"
+#include "vcgra/techmap/conventional.hpp"
+#include "vcgra/techmap/mapper.hpp"
+
+using namespace vcgra;
+
+namespace {
+
+struct ParResult {
+  std::size_t wirelength = 0;
+  int min_channel_width = -1;
+};
+
+ParResult place_and_route(const netlist::Netlist& design, std::uint64_t seed) {
+  const auto problem = place::PlacementProblem::from_netlist(design);
+  auto arch = fpga::ArchParams::sized_for(problem.num_logic_blocks(),
+                                          problem.num_pads());
+  place::PlaceOptions popt;
+  popt.seed = seed;
+  popt.effort = 0.25;
+  const auto placement = place::place(problem, arch, popt);
+
+  route::RouteOptions ropt;
+  ropt.max_iterations = 30;
+  ropt.stall_iterations = 6;
+  const auto min_cw =
+      route::find_min_channel_width(arch, problem, placement, 5, 16, ropt);
+
+  ParResult result;
+  result.min_channel_width = min_cw.channel_width;
+  result.wirelength = min_cw.at_min.wirelength;
+  if (min_cw.channel_width < 0) {
+    // Fall back to a wide channel for the wirelength metric.
+    arch.channel_width = 20;
+    const fpga::RRGraph graph(arch);
+    const auto routed = route::route(graph, problem, placement, ropt);
+    result.wirelength = routed.wirelength;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  common::WallTimer timer;
+  std::printf("== Table I: resource utilization and PaR results of a PE ==\n");
+  std::printf("PE: floating-point MAC, FloPoCo format (we=6, wf=26), no DSPs\n\n");
+
+  const auto format = softfloat::FpFormat::paper();
+  softfloat::MacPe pe =
+      softfloat::build_mac_pe(format, softfloat::PeStyle::kParameterized, 16);
+  const netlist::Netlist source = netlist::clean(pe.netlist).netlist;
+  std::printf("[%6.1fs] synthesized PE: %s\n", timer.seconds(),
+              netlist::stats(source).to_string().c_str());
+
+  // --- fully parameterized flow (TCONMAP) -----------------------------------
+  const techmap::MappedNetlist mapped = techmap::tconmap(source, 4);
+  const auto pstats = mapped.stats();
+  std::printf("[%6.1fs] TCONMAP: %s\n", timer.seconds(), pstats.to_string().c_str());
+
+  // Specialized instance for PaR (one representative coefficient).
+  std::vector<bool> params(source.params().size(), false);
+  const auto coeff = softfloat::FpValue::from_double(format, 0.7315);
+  for (int i = 0; i < format.total_bits(); ++i) {
+    params[static_cast<std::size_t>(i)] = (coeff.bits() >> i) & 1;
+  }
+  params[static_cast<std::size_t>(format.total_bits()) + 4] = true;  // count=16
+  const netlist::Netlist specialized =
+      netlist::dead_code_eliminate(mapped.specialize(params)).netlist;
+  const ParResult par_param = place_and_route(specialized, 1);
+  std::printf("[%6.1fs] parameterized PaR done (WL=%zu CW=%d)\n", timer.seconds(),
+              par_param.wirelength, par_param.min_channel_width);
+
+  // --- conventional flow -----------------------------------------------------
+  const netlist::Netlist conventional = techmap::realize_conventional(mapped, 4);
+  const auto cstats = netlist::stats(conventional);
+  std::printf("[%6.1fs] conventional realization: %s\n", timer.seconds(),
+              cstats.to_string().c_str());
+  const ParResult par_conv = place_and_route(conventional, 1);
+  std::printf("[%6.1fs] conventional PaR done (WL=%zu CW=%d)\n\n", timer.seconds(),
+              par_conv.wirelength, par_conv.min_channel_width);
+
+  common::AsciiTable table(
+      {"VCGRA", "LUTs (TLUTs)", "TCONs", "Logic depth", "WL", "CW"});
+  table.add_row({"Conventional", common::strprintf("%zu (0)", cstats.luts), "0",
+                 common::strprintf("%d", cstats.depth),
+                 common::strprintf("%zu", par_conv.wirelength),
+                 common::strprintf("%d", par_conv.min_channel_width)});
+  table.add_row({"Fully Parameterized",
+                 common::strprintf("%zu (%zu)", pstats.total_luts(), pstats.tluts),
+                 common::strprintf("%zu", pstats.tcons),
+                 common::strprintf("%d", pstats.depth),
+                 common::strprintf("%zu", par_param.wirelength),
+                 common::strprintf("%d", par_param.min_channel_width)});
+  table.print();
+
+  const double lut_reduction =
+      100.0 * (1.0 - static_cast<double>(pstats.total_luts()) /
+                         static_cast<double>(cstats.luts));
+  const double wl_reduction =
+      100.0 * (1.0 - static_cast<double>(par_param.wirelength) /
+                         static_cast<double>(par_conv.wirelength));
+  std::printf(
+      "\nLUT reduction: %.1f%% (paper: ~30%%) | TCONs: %zu (paper: 568)\n"
+      "depth: %d -> %d (paper: 36 -> 33) | WL reduction: %.1f%% (paper: ~31%%)\n"
+      "CW: %d vs %d (paper: 10 vs 10, no penalty)\n",
+      lut_reduction, pstats.tcons, cstats.depth, pstats.depth, wl_reduction,
+      par_conv.min_channel_width, par_param.min_channel_width);
+
+  std::printf("\nPaper reference rows:\n");
+  common::AsciiTable ref({"VCGRA", "LUTs (TLUTs)", "TCONs", "Logic depth", "WL", "CW"});
+  ref.add_row({"Conventional (paper)", "2522 (0)", "0", "36", "27242", "10"});
+  ref.add_row({"Fully Param. (paper)", "1802 (526)", "568", "33", "16824", "10"});
+  ref.print();
+  std::printf("\nTotal bench time: %.1f s\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,123 @@
+// §III ablation: what the TCON mechanism buys, and how the parameter-leaf
+// budget shapes the mapping.
+//
+// (a) Routing-resource comparison (the ≥40% routing-consumption reduction
+//     claim the paper carries over from [11]): routed switch count and
+//     wirelength of the specialized parameterized PE vs the conventional
+//     realization of the same overlay.
+// (b) Mapper ablation: sweeping max parameter leaves per cut (0 = plain
+//     conventional mapping) shows how TLUT/TCON counts emerge.
+#include <cstdio>
+
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/table.hpp"
+#include "vcgra/common/timer.hpp"
+#include "vcgra/netlist/passes.hpp"
+#include "vcgra/place/placer.hpp"
+#include "vcgra/route/router.hpp"
+#include "vcgra/softfloat/fpcircuits.hpp"
+#include "vcgra/techmap/conventional.hpp"
+#include "vcgra/techmap/mapper.hpp"
+
+using namespace vcgra;
+
+namespace {
+
+struct RoutedNumbers {
+  std::size_t luts = 0;
+  std::size_t wirelength = 0;
+  std::size_t switches = 0;
+};
+
+RoutedNumbers par_numbers(const netlist::Netlist& design) {
+  RoutedNumbers numbers;
+  numbers.luts = netlist::stats(design).luts;
+  const auto problem = place::PlacementProblem::from_netlist(design);
+  auto arch = fpga::ArchParams::sized_for(problem.num_logic_blocks(),
+                                          problem.num_pads());
+  arch.channel_width = 14;
+  place::PlaceOptions popt;
+  popt.effort = 0.25;
+  const auto placement = place::place(problem, arch, popt);
+  const fpga::RRGraph graph(arch);
+  route::RouteOptions ropt;
+  ropt.max_iterations = 30;
+  const auto routed = route::route(graph, problem, placement, ropt);
+  numbers.wirelength = routed.wirelength;
+  numbers.switches = routed.switches_used;
+  return numbers;
+}
+
+}  // namespace
+
+int main() {
+  common::WallTimer timer;
+  std::printf("== §III ablation: TCONs and the parameter budget ==\n\n");
+
+  // Use the half-like format so the whole ablation finishes quickly; the
+  // Table I bench covers the full paper format.
+  const auto format = softfloat::FpFormat::half_like();
+  softfloat::MacPe pe =
+      softfloat::build_mac_pe(format, softfloat::PeStyle::kParameterized, 8);
+  const netlist::Netlist source = netlist::clean(pe.netlist).netlist;
+
+  // --- (a) routing-resource comparison ----------------------------------------
+  const techmap::MappedNetlist mapped = techmap::tconmap(source, 4);
+  std::vector<bool> params(source.params().size(), false);
+  const auto coeff = softfloat::FpValue::from_double(format, 0.437);
+  for (int i = 0; i < format.total_bits(); ++i) {
+    params[static_cast<std::size_t>(i)] = (coeff.bits() >> i) & 1;
+  }
+  params[static_cast<std::size_t>(format.total_bits()) + 3] = true;
+  const netlist::Netlist specialized =
+      netlist::dead_code_eliminate(mapped.specialize(params)).netlist;
+  const netlist::Netlist conventional = techmap::realize_conventional(mapped, 4);
+
+  const RoutedNumbers param_numbers = par_numbers(specialized);
+  const RoutedNumbers conv_numbers = par_numbers(conventional);
+
+  std::printf("Routing-resource consumption, MAC PE (we=%d, wf=%d):\n", format.we,
+              format.wf);
+  common::AsciiTable routing({"Implementation", "LUTs", "Routed WL",
+                              "Programmed switches"});
+  routing.add_row({"Conventional overlay", common::strprintf("%zu", conv_numbers.luts),
+                   common::strprintf("%zu", conv_numbers.wirelength),
+                   common::strprintf("%zu", conv_numbers.switches)});
+  routing.add_row({"Fully parameterized (specialized)",
+                   common::strprintf("%zu", param_numbers.luts),
+                   common::strprintf("%zu", param_numbers.wirelength),
+                   common::strprintf("%zu", param_numbers.switches)});
+  routing.print();
+  std::printf("Switch-demand reduction: %.1f%% | WL reduction: %.1f%%\n\n",
+              100.0 * (1.0 - static_cast<double>(param_numbers.switches) /
+                                 static_cast<double>(conv_numbers.switches)),
+              100.0 * (1.0 - static_cast<double>(param_numbers.wirelength) /
+                                 static_cast<double>(conv_numbers.wirelength)));
+
+  // --- (b) parameter-budget sweep ----------------------------------------------
+  std::printf("Mapper ablation: parameter leaves allowed per cut:\n");
+  common::AsciiTable sweep(
+      {"max_params", "LUTs", "TLUTs", "TCONs", "Depth", "Map time"});
+  for (const int budget : {0, 1, 2, 3, 5, 8}) {
+    techmap::MapOptions options;
+    options.lut_inputs = 4;
+    options.param_aware = budget > 0;
+    options.max_params = budget;
+    common::WallTimer map_timer;
+    const auto stats = techmap::map_netlist(source, options).stats();
+    sweep.add_row({common::strprintf("%d", budget),
+                   common::strprintf("%zu", stats.total_luts()),
+                   common::strprintf("%zu", stats.tluts),
+                   common::strprintf("%zu", stats.tcons),
+                   common::strprintf("%d", stats.depth),
+                   common::human_seconds(map_timer.seconds())});
+  }
+  sweep.print();
+  std::printf(
+      "\nmax_params=0 is the conventional mapping; the first 2-3 parameter\n"
+      "leaves buy most of the LUT savings (partial products become TCONs),\n"
+      "matching the paper's observation that the intra-PE network is the\n"
+      "main beneficiary of parameterization.\n");
+  std::printf("\nTotal bench time: %.1f s\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Fig. 5 reproduction: the retinal-vessel-segmentation pipeline on the
+// VCGRA overlay — per-filter workload, cycle model, segmentation quality
+// against ground truth, and the reconfiguration amortization of §V.
+#include <cstdio>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/table.hpp"
+#include "vcgra/common/timer.hpp"
+#include "vcgra/vcgra/arch.hpp"
+#include "vcgra/vision/filters.hpp"
+#include "vcgra/vision/metrics.hpp"
+#include "vcgra/vision/pipeline.hpp"
+#include "vcgra/vision/synthetic.hpp"
+
+using namespace vcgra;
+
+int main() {
+  std::printf("== Fig. 5: retinal vessel segmentation on the VCGRA ==\n\n");
+  common::WallTimer timer;
+
+  common::Rng rng(2026);
+  vision::FundusParams fparams;  // 256x256 synthetic fundus
+  const vision::FundusImage fundus = vision::generate_fundus(fparams, rng);
+
+  overlay::OverlayArch arch;  // 4x4 grid of MAC PEs, FloPoCo (6,26)
+  vision::PipelineParams params;
+
+  // --- per-filter workload table ----------------------------------------------
+  std::printf("Hardware modules (kernel sweep on %s):\n", arch.to_string().c_str());
+  common::AsciiTable filters(
+      {"Filter", "Kernel", "Taps", "MACs/pixel", "Passes", "Cycles (256x256)"});
+  struct Entry {
+    const char* name;
+    vision::Kernel kernel;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"Denoise (small)", vision::gaussian_kernel(5, 1.0)});
+  entries.push_back({"Denoise (large)", vision::gaussian_kernel(9, 2.0)});
+  entries.push_back({"Matched filter (x7)",
+                     vision::matched_filter_kernel(15, 2.0, 9.0, 0.0)});
+  entries.push_back({"Texture filter (x4)",
+                     vision::matched_filter_kernel(15, 2.5, 11.0, 90.0)});
+  vision::Image probe(256, 256, 0.5f);
+  for (const auto& entry : entries) {
+    const auto cost = vision::convolve_overlay(probe, entry.kernel, arch);
+    filters.add_row({entry.name,
+                     common::strprintf("%dx%d", entry.kernel.size, entry.kernel.size),
+                     common::strprintf("%d", entry.kernel.taps()),
+                     common::strprintf("%d", entry.kernel.taps()),
+                     common::strprintf("%d", cost.passes),
+                     common::human_count(static_cast<double>(cost.cycles))});
+  }
+  filters.print();
+
+  // --- full pipeline on the overlay engine -------------------------------------
+  std::printf("\nRunning the full pipeline (overlay engine, bit-exact FloPoCo)...\n");
+  const vision::PipelineResult result =
+      vision::run_pipeline_overlay(fundus.rgb, fundus.field_of_view, params, arch);
+  const auto metrics = vision::evaluate_segmentation(
+      result.stages.segmented, fundus.ground_truth, fundus.field_of_view);
+
+  // Baseline: Otsu global threshold on the inverted green channel.
+  const vision::Image green = fundus.rgb.channel(1);
+  vision::Image inverted(green.width(), green.height());
+  for (std::size_t i = 0; i < green.data().size(); ++i) {
+    inverted.data()[i] = 1.0f - green.data()[i];
+  }
+  const vision::Mask baseline =
+      vision::threshold(inverted, vision::otsu_level(inverted));
+  const auto baseline_metrics = vision::evaluate_segmentation(
+      baseline, fundus.ground_truth, fundus.field_of_view);
+
+  std::printf("\nSegmentation quality (synthetic fundus, ground truth known):\n");
+  common::AsciiTable quality(
+      {"Method", "Sensitivity", "Specificity", "Accuracy", "Dice"});
+  quality.add_row({"VCGRA matched-filter pipeline",
+                   common::strprintf("%.3f", metrics.sensitivity()),
+                   common::strprintf("%.3f", metrics.specificity()),
+                   common::strprintf("%.3f", metrics.accuracy()),
+                   common::strprintf("%.3f", metrics.dice())});
+  quality.add_row({"Global threshold (Otsu) baseline",
+                   common::strprintf("%.3f", baseline_metrics.sensitivity()),
+                   common::strprintf("%.3f", baseline_metrics.specificity()),
+                   common::strprintf("%.3f", baseline_metrics.accuracy()),
+                   common::strprintf("%.3f", baseline_metrics.dice())});
+  quality.print();
+
+  // --- workload + reconfiguration amortization ---------------------------------
+  std::printf("\nPipeline workload (per image): %s MACs, %s grid cycles, "
+              "%d PE reconfigurations\n",
+              common::human_count(static_cast<double>(result.cost.macs)).c_str(),
+              common::human_count(static_cast<double>(result.cost.cycles)).c_str(),
+              result.cost.reconfigurations);
+  const double cycle_seconds = 1.0 / 100e6;  // 100 MHz overlay clock
+  const double compute_seconds =
+      static_cast<double>(result.cost.cycles) * cycle_seconds;
+  const double reconfig_seconds = result.cost.reconfigurations * 0.251 /
+                                  static_cast<double>(arch.num_pes());
+  std::printf("At 100 MHz: compute %s/image; reconfig %s if coefficients "
+              "change per image\n",
+              common::human_seconds(compute_seconds).c_str(),
+              common::human_seconds(reconfig_seconds).c_str());
+  const double micap_ratio = 85.72 / 251.38;  // MiCAP vs HWICAP per frame
+  common::AsciiTable amort(
+      {"Images per coefficient set", "Overhead (HWICAP)", "Overhead (MiCAP)"});
+  for (const int images : {1, 10, 100, 1000}) {
+    const double hw =
+        reconfig_seconds / (reconfig_seconds + compute_seconds * images);
+    const double mi = reconfig_seconds * micap_ratio /
+                      (reconfig_seconds * micap_ratio + compute_seconds * images);
+    amort.add_row({common::strprintf("%d", images),
+                   common::strprintf("%.2f%%", 100.0 * hw),
+                   common::strprintf("%.2f%%", 100.0 * mi)});
+  }
+  amort.print();
+  std::printf(
+      "\nPaper §V: the denoise and texture coefficients change rarely (user\n"
+      "tunable); the matched-filter bank is static. The table charges ALL\n"
+      "coefficient loads to reconfiguration — a worst case. On a grid sized\n"
+      "to keep each kernel resident (16x16 PEs, matching the paper's 16x16\n"
+      "kernels), per-image reloads disappear and only per-set changes\n"
+      "remain, which 1000-image streams amortize away (§V).\n");
+  std::printf("\nTotal bench time: %.1f s\n", timer.seconds());
+  return 0;
+}

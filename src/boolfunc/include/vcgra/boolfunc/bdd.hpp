@@ -1,0 +1,112 @@
+// Reduced Ordered Binary Decision Diagrams.
+//
+// The Partial Parameterized Configuration (PPC) produced by the generic
+// stage of the DCS tool flow stores, for every tunable configuration bit,
+// a Boolean function of the design's *parameter* inputs.  The Specialized
+// Configuration Generator (SCG) evaluates those functions each time the
+// parameters change.  BDDs keep the functions canonical (so identical bit
+// functions share storage) and make evaluation O(number of variables).
+//
+// This is a plain ROBDD manager (no complement edges): terminals 0/1,
+// unique table for node hash-consing, memoized ITE.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vcgra/boolfunc/truth_table.hpp"
+
+namespace vcgra::boolfunc {
+
+/// Handle to a BDD node owned by a BddManager. 0 and 1 are the terminals.
+using BddRef = std::uint32_t;
+
+class BddManager {
+ public:
+  BddManager();
+
+  BddRef zero() const { return 0; }
+  BddRef one() const { return 1; }
+
+  /// Projection function of variable `var` (creates the variable on demand).
+  BddRef var(int var_index);
+  /// Negative literal !x_var.
+  BddRef nvar(int var_index);
+
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+  BddRef bdd_and(BddRef a, BddRef b) { return ite(a, b, zero()); }
+  BddRef bdd_or(BddRef a, BddRef b) { return ite(a, one(), b); }
+  BddRef bdd_xor(BddRef a, BddRef b) { return ite(a, bdd_not(b), b); }
+  BddRef bdd_not(BddRef a) { return ite(a, zero(), one()); }
+
+  /// Shannon cofactor f|_{var=value}.
+  BddRef restrict_var(BddRef f, int var_index, bool value);
+
+  /// Evaluate under a dense assignment; bit i of `assignment` is var i.
+  /// Variables beyond 64 must use the vector overload.
+  bool eval(BddRef f, std::uint64_t assignment) const;
+  bool eval(BddRef f, const std::vector<bool>& assignment) const;
+
+  /// Variables in the support of f, ascending.
+  std::vector<int> support(BddRef f) const;
+
+  /// Number of decision nodes reachable from f (excludes terminals).
+  std::size_t node_count(BddRef f) const;
+
+  /// Build a BDD from a truth table; table variable i maps to manager
+  /// variable `var_of_tt_var[i]`.
+  BddRef from_truth_table(const TruthTable& tt, const std::vector<int>& var_of_tt_var);
+
+  /// Total live nodes in the manager (diagnostics / memory accounting).
+  std::size_t total_nodes() const { return nodes_.size(); }
+
+  int num_vars() const { return num_vars_; }
+
+ private:
+  struct Node {
+    int var;     // decision variable; terminals use a sentinel
+    BddRef lo;   // cofactor var=0
+    BddRef hi;   // cofactor var=1
+  };
+
+  struct NodeKey {
+    int var;
+    BddRef lo;
+    BddRef hi;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.var) * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<std::uint64_t>(k.lo) << 32) | k.hi;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+  struct IteKey {
+    BddRef f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::uint64_t h = k.f;
+      h = h * 0x9e3779b97f4a7c15ULL + k.g;
+      h = h * 0x9e3779b97f4a7c15ULL + k.h;
+      return static_cast<std::size_t>(h ^ (h >> 31));
+    }
+  };
+
+  static constexpr int kTerminalVar = 1 << 30;
+
+  BddRef make_node(int var, BddRef lo, BddRef hi);
+  int top_var(BddRef f, BddRef g, BddRef h) const;
+  bool is_terminal(BddRef f) const { return f <= 1; }
+
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+  int num_vars_ = 0;
+};
+
+}  // namespace vcgra::boolfunc

@@ -1,0 +1,91 @@
+// Dense truth tables over up to 16 variables.
+//
+// Truth tables are the working representation in the technology mapper
+// (cut functions, LUT configurations). A K-LUT's configuration is a truth
+// table over its K physical inputs; a *Tunable* LUT additionally carries
+// parameter variables, so cut functions can have K "real" variables plus a
+// handful of parameter variables — hence the 16-variable ceiling rather
+// than the 6 of a single physical LUT.
+//
+// Variable i corresponds to bit i of a minterm index: minterm m has
+// variable i set iff (m >> i) & 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcgra::boolfunc {
+
+class TruthTable {
+ public:
+  static constexpr int kMaxVars = 16;
+
+  /// All-zero function of `num_vars` variables.
+  explicit TruthTable(int num_vars = 0);
+
+  static TruthTable zero(int num_vars);
+  static TruthTable one(int num_vars);
+  /// Projection x_index over `num_vars` variables.
+  static TruthTable var(int num_vars, int index);
+  /// Build from explicit minterm bits: bits[m] is f(m). bits.size()==2^num_vars.
+  static TruthTable from_bits(int num_vars, const std::vector<bool>& bits);
+  /// Parse a binary string, MSB = highest minterm (e.g. "1000" = AND2).
+  static TruthTable from_binary_string(int num_vars, const std::string& bits);
+
+  int num_vars() const { return num_vars_; }
+  std::uint64_t num_minterms() const { return std::uint64_t{1} << num_vars_; }
+
+  bool get(std::uint64_t minterm) const;
+  void set(std::uint64_t minterm, bool value);
+
+  /// Evaluate under assignment: bit i of `assignment` is the value of var i.
+  bool eval(std::uint64_t assignment) const { return get(assignment); }
+
+  TruthTable operator~() const;
+  TruthTable operator&(const TruthTable& other) const;
+  TruthTable operator|(const TruthTable& other) const;
+  TruthTable operator^(const TruthTable& other) const;
+  bool operator==(const TruthTable& other) const;
+  bool operator!=(const TruthTable& other) const { return !(*this == other); }
+
+  /// Shannon cofactor: substitute var `index` = `value`; arity is preserved
+  /// (the variable becomes vacuous).
+  TruthTable cofactor(int index, bool value) const;
+
+  /// True if the function's value changes with var `index`.
+  bool depends_on(int index) const;
+
+  /// Bitmask of variables the function actually depends on.
+  std::uint32_t support() const;
+
+  bool is_const(bool value) const;
+
+  /// If the function equals x_i (inverted==false) or !x_i (inverted==true)
+  /// for exactly one input i, report it. This is the TCON detection test:
+  /// a LUT that is a (possibly inverted) wire can be moved into routing.
+  bool is_wire(int* index, bool* inverted) const;
+
+  /// Remap onto a fresh variable set: new var j <- old var old_of_new[j].
+  /// Used when composing cut functions whose leaves were merged/reordered.
+  TruthTable permute(int new_num_vars, const std::vector<int>& old_of_new) const;
+
+  std::uint64_t count_ones() const;
+
+  /// Binary string, minterm (2^n - 1) first. Useful in test failures.
+  std::string to_binary_string() const;
+
+  /// 64-bit hash for structural hashing of LUT configs.
+  std::uint64_t hash() const;
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void mask_top_word();
+  static std::size_t word_count(int num_vars);
+
+  int num_vars_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace vcgra::boolfunc

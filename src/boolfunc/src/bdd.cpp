@@ -1,0 +1,164 @@
+#include "vcgra/boolfunc/bdd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace vcgra::boolfunc {
+
+BddManager::BddManager() {
+  // nodes_[0] = terminal 0, nodes_[1] = terminal 1.
+  nodes_.push_back(Node{kTerminalVar, 0, 0});
+  nodes_.push_back(Node{kTerminalVar, 1, 1});
+}
+
+BddRef BddManager::var(int var_index) {
+  if (var_index < 0) throw std::invalid_argument("BddManager::var: negative index");
+  num_vars_ = std::max(num_vars_, var_index + 1);
+  return make_node(var_index, zero(), one());
+}
+
+BddRef BddManager::nvar(int var_index) {
+  if (var_index < 0) throw std::invalid_argument("BddManager::nvar: negative index");
+  num_vars_ = std::max(num_vars_, var_index + 1);
+  return make_node(var_index, one(), zero());
+}
+
+BddRef BddManager::make_node(int var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;
+  const NodeKey key{var, lo, hi};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+int BddManager::top_var(BddRef f, BddRef g, BddRef h) const {
+  int v = kTerminalVar;
+  if (!is_terminal(f)) v = std::min(v, nodes_[f].var);
+  if (!is_terminal(g)) v = std::min(v, nodes_[g].var);
+  if (!is_terminal(h)) v = std::min(v, nodes_[h].var);
+  return v;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == one()) return g;
+  if (f == zero()) return h;
+  if (g == h) return g;
+  if (g == one() && h == zero()) return f;
+
+  const IteKey key{f, g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int v = top_var(f, g, h);
+  const auto cofactor = [&](BddRef x, bool value) -> BddRef {
+    if (is_terminal(x) || nodes_[x].var != v) return x;
+    return value ? nodes_[x].hi : nodes_[x].lo;
+  };
+
+  const BddRef hi = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const BddRef lo = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const BddRef result = make_node(v, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::restrict_var(BddRef f, int var_index, bool value) {
+  if (is_terminal(f)) return f;
+  const Node& node = nodes_[f];
+  if (node.var > var_index) return f;
+  if (node.var == var_index) {
+    return restrict_var(value ? node.hi : node.lo, var_index, value);
+  }
+  const BddRef lo = restrict_var(node.lo, var_index, value);
+  const BddRef hi = restrict_var(node.hi, var_index, value);
+  return make_node(node.var, lo, hi);
+}
+
+bool BddManager::eval(BddRef f, std::uint64_t assignment) const {
+  while (!is_terminal(f)) {
+    const Node& node = nodes_[f];
+    f = ((assignment >> node.var) & 1) ? node.hi : node.lo;
+  }
+  return f == one();
+}
+
+bool BddManager::eval(BddRef f, const std::vector<bool>& assignment) const {
+  while (!is_terminal(f)) {
+    const Node& node = nodes_[f];
+    const bool bit = node.var < static_cast<int>(assignment.size()) &&
+                     assignment[static_cast<std::size_t>(node.var)];
+    f = bit ? node.hi : node.lo;
+  }
+  return f == one();
+}
+
+std::vector<int> BddManager::support(BddRef f) const {
+  std::unordered_set<BddRef> visited;
+  std::unordered_set<int> vars;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef cur = stack.back();
+    stack.pop_back();
+    if (is_terminal(cur) || !visited.insert(cur).second) continue;
+    vars.insert(nodes_[cur].var);
+    stack.push_back(nodes_[cur].lo);
+    stack.push_back(nodes_[cur].hi);
+  }
+  std::vector<int> out(vars.begin(), vars.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t BddManager::node_count(BddRef f) const {
+  std::unordered_set<BddRef> visited;
+  std::vector<BddRef> stack{f};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const BddRef cur = stack.back();
+    stack.pop_back();
+    if (is_terminal(cur) || !visited.insert(cur).second) continue;
+    ++count;
+    stack.push_back(nodes_[cur].lo);
+    stack.push_back(nodes_[cur].hi);
+  }
+  return count;
+}
+
+BddRef BddManager::from_truth_table(const TruthTable& tt,
+                                    const std::vector<int>& var_of_tt_var) {
+  if (static_cast<int>(var_of_tt_var.size()) != tt.num_vars()) {
+    throw std::invalid_argument("BddManager::from_truth_table: var map mismatch");
+  }
+  // Shannon-expand over truth-table variables, highest index first so the
+  // recursion bottoms out at constants.
+  struct Builder {
+    BddManager& mgr;
+    const std::vector<int>& vmap;
+    BddRef build(const TruthTable& f, int next) {
+      if (f.is_const(false)) return mgr.zero();
+      if (f.is_const(true)) return mgr.one();
+      // Find the highest remaining variable in the support.
+      int pick = -1;
+      for (int i = next; i >= 0; --i) {
+        if (f.depends_on(i)) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick < 0) return f.get(0) ? mgr.one() : mgr.zero();
+      const BddRef lo = build(f.cofactor(pick, false), pick - 1);
+      const BddRef hi = build(f.cofactor(pick, true), pick - 1);
+      const BddRef v = mgr.var(vmap[static_cast<std::size_t>(pick)]);
+      return mgr.ite(v, hi, lo);
+    }
+  };
+  Builder builder{*this, var_of_tt_var};
+  return builder.build(tt, tt.num_vars() - 1);
+}
+
+}  // namespace vcgra::boolfunc

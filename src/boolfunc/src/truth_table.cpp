@@ -1,0 +1,251 @@
+#include "vcgra/boolfunc/truth_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace vcgra::boolfunc {
+namespace {
+
+// Precomputed within-word projection patterns for variables 0..5.
+constexpr std::uint64_t kVarMask[6] = {
+    0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+    0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
+};
+
+}  // namespace
+
+std::size_t TruthTable::word_count(int num_vars) {
+  if (num_vars <= 6) return 1;
+  return std::size_t{1} << (num_vars - 6);
+}
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
+  if (num_vars < 0 || num_vars > kMaxVars) {
+    throw std::invalid_argument("TruthTable: bad variable count");
+  }
+  words_.assign(word_count(num_vars), 0);
+}
+
+TruthTable TruthTable::zero(int num_vars) { return TruthTable(num_vars); }
+
+TruthTable TruthTable::one(int num_vars) {
+  TruthTable tt(num_vars);
+  for (auto& w : tt.words_) w = ~std::uint64_t{0};
+  tt.mask_top_word();
+  return tt;
+}
+
+TruthTable TruthTable::var(int num_vars, int index) {
+  if (index < 0 || index >= num_vars) {
+    throw std::invalid_argument("TruthTable::var: index out of range");
+  }
+  TruthTable tt(num_vars);
+  if (index < 6) {
+    for (auto& w : tt.words_) w = kVarMask[index];
+  } else {
+    // Whole words alternate in blocks of 2^(index-6).
+    const std::size_t block = std::size_t{1} << (index - 6);
+    for (std::size_t w = 0; w < tt.words_.size(); ++w) {
+      if ((w / block) & 1) tt.words_[w] = ~std::uint64_t{0};
+    }
+  }
+  tt.mask_top_word();
+  return tt;
+}
+
+TruthTable TruthTable::from_bits(int num_vars, const std::vector<bool>& bits) {
+  TruthTable tt(num_vars);
+  if (bits.size() != tt.num_minterms()) {
+    throw std::invalid_argument("TruthTable::from_bits: size mismatch");
+  }
+  for (std::uint64_t m = 0; m < bits.size(); ++m) tt.set(m, bits[m]);
+  return tt;
+}
+
+TruthTable TruthTable::from_binary_string(int num_vars, const std::string& bits) {
+  TruthTable tt(num_vars);
+  if (bits.size() != tt.num_minterms()) {
+    throw std::invalid_argument("TruthTable::from_binary_string: size mismatch");
+  }
+  for (std::uint64_t m = 0; m < bits.size(); ++m) {
+    const char c = bits[bits.size() - 1 - m];
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("TruthTable::from_binary_string: non-binary digit");
+    }
+    tt.set(m, c == '1');
+  }
+  return tt;
+}
+
+bool TruthTable::get(std::uint64_t minterm) const {
+  return (words_[minterm >> 6] >> (minterm & 63)) & 1;
+}
+
+void TruthTable::set(std::uint64_t minterm, bool value) {
+  const std::uint64_t bit = std::uint64_t{1} << (minterm & 63);
+  if (value) {
+    words_[minterm >> 6] |= bit;
+  } else {
+    words_[minterm >> 6] &= ~bit;
+  }
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable out(*this);
+  for (auto& w : out.words_) w = ~w;
+  out.mask_top_word();
+  return out;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& other) const {
+  if (num_vars_ != other.num_vars_) throw std::invalid_argument("TT arity mismatch");
+  TruthTable out(*this);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] &= other.words_[i];
+  return out;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& other) const {
+  if (num_vars_ != other.num_vars_) throw std::invalid_argument("TT arity mismatch");
+  TruthTable out(*this);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] |= other.words_[i];
+  return out;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& other) const {
+  if (num_vars_ != other.num_vars_) throw std::invalid_argument("TT arity mismatch");
+  TruthTable out(*this);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] ^= other.words_[i];
+  return out;
+}
+
+bool TruthTable::operator==(const TruthTable& other) const {
+  return num_vars_ == other.num_vars_ && words_ == other.words_;
+}
+
+TruthTable TruthTable::cofactor(int index, bool value) const {
+  TruthTable out(*this);
+  if (index < 6) {
+    const std::uint64_t mask = kVarMask[index];
+    const int shift = 1 << index;
+    for (auto& w : out.words_) {
+      if (value) {
+        const std::uint64_t hi = w & mask;
+        w = hi | (hi >> shift);
+      } else {
+        const std::uint64_t lo = w & ~mask;
+        w = lo | (lo << shift);
+      }
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (index - 6);
+    for (std::size_t w = 0; w < out.words_.size(); ++w) {
+      const bool in_hi = (w / block) & 1;
+      const std::size_t partner = in_hi ? w - block : w + block;
+      // Copy the selected half over both halves.
+      if (value) {
+        out.words_[w] = words_[in_hi ? w : partner];
+      } else {
+        out.words_[w] = words_[in_hi ? partner : w];
+      }
+    }
+  }
+  return out;
+}
+
+bool TruthTable::depends_on(int index) const {
+  return cofactor(index, false) != cofactor(index, true);
+}
+
+std::uint32_t TruthTable::support() const {
+  std::uint32_t mask = 0;
+  for (int i = 0; i < num_vars_; ++i) {
+    if (depends_on(i)) mask |= (1u << i);
+  }
+  return mask;
+}
+
+bool TruthTable::is_const(bool value) const {
+  const std::uint64_t expect = value ? ~std::uint64_t{0} : 0;
+  if (num_vars_ <= 6) {
+    const std::uint64_t mask =
+        num_vars_ == 6 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1);
+    return (words_[0] & mask) == (expect & mask);
+  }
+  for (const auto& w : words_) {
+    if (w != expect) return false;
+  }
+  return true;
+}
+
+bool TruthTable::is_wire(int* index, bool* inverted) const {
+  for (int i = 0; i < num_vars_; ++i) {
+    const TruthTable proj = var(num_vars_, i);
+    if (*this == proj) {
+      if (index) *index = i;
+      if (inverted) *inverted = false;
+      return true;
+    }
+    if (*this == ~proj) {
+      if (index) *index = i;
+      if (inverted) *inverted = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+TruthTable TruthTable::permute(int new_num_vars, const std::vector<int>& old_of_new) const {
+  if (static_cast<int>(old_of_new.size()) != new_num_vars) {
+    throw std::invalid_argument("TruthTable::permute: map size mismatch");
+  }
+  TruthTable out(new_num_vars);
+  for (std::uint64_t m = 0; m < out.num_minterms(); ++m) {
+    std::uint64_t old_m = 0;
+    for (int j = 0; j < new_num_vars; ++j) {
+      if ((m >> j) & 1) {
+        const int oi = old_of_new[j];
+        if (oi >= 0) old_m |= (std::uint64_t{1} << oi);
+      }
+    }
+    out.set(m, get(old_m));
+  }
+  return out;
+}
+
+std::uint64_t TruthTable::count_ones() const {
+  std::uint64_t total = 0;
+  if (num_vars_ <= 6) {
+    const std::uint64_t mask =
+        num_vars_ == 6 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1);
+    return static_cast<std::uint64_t>(std::popcount(words_[0] & mask));
+  }
+  for (const auto& w : words_) total += static_cast<std::uint64_t>(std::popcount(w));
+  return total;
+}
+
+std::string TruthTable::to_binary_string() const {
+  std::string out;
+  out.reserve(num_minterms());
+  for (std::uint64_t m = num_minterms(); m-- > 0;) {
+    out += get(m) ? '1' : '0';
+  }
+  return out;
+}
+
+std::uint64_t TruthTable::hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(num_vars_);
+  for (const auto& w : words_) {
+    h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+void TruthTable::mask_top_word() {
+  if (num_vars_ < 6) {
+    words_[0] &= (std::uint64_t{1} << (std::uint64_t{1} << num_vars_)) - 1;
+  }
+}
+
+}  // namespace vcgra::boolfunc

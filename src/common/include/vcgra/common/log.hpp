@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// CAD flows produce a lot of diagnostic output (annealing schedules, router
+// iterations); benches and tests want it quiet.  A single process-wide level
+// keeps the dependency surface tiny.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vcgra::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Emit one log line (appends '\n'). Thread-safe at the line level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { log_line(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace vcgra::common
+
+#define VCGRA_LOG_DEBUG() ::vcgra::common::detail::LineBuilder(::vcgra::common::LogLevel::kDebug)
+#define VCGRA_LOG_INFO() ::vcgra::common::detail::LineBuilder(::vcgra::common::LogLevel::kInfo)
+#define VCGRA_LOG_WARN() ::vcgra::common::detail::LineBuilder(::vcgra::common::LogLevel::kWarn)
+#define VCGRA_LOG_ERROR() ::vcgra::common::detail::LineBuilder(::vcgra::common::LogLevel::kError)

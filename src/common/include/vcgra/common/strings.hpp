@@ -1,0 +1,29 @@
+// Small string utilities used by the kernel-language parser and report
+// printers. Nothing here is performance critical.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcgra::common {
+
+/// Split `text` on `sep`, dropping empty pieces.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable engineering formatting, e.g. 12345 -> "12.3k".
+std::string human_count(double value);
+
+/// Seconds with a sensible unit, e.g. 0.000251 -> "251 us".
+std::string human_seconds(double seconds);
+
+}  // namespace vcgra::common

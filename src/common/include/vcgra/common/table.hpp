@@ -1,0 +1,36 @@
+// ASCII table renderer used by every bench binary to print the paper's
+// tables in a uniform, diffable format.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace vcgra::common {
+
+/// Column-aligned ASCII table with a header row, e.g.
+///
+///   | VCGRA        | LUTs (TLUTs) | TCONs | Depth |
+///   |--------------|--------------|-------|-------|
+///   | Conventional | 2522 (0)     | 0     | 36    |
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render the table (markdown-pipe style) as a single string.
+  std::string render() const;
+
+  /// Convenience: render and write to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vcgra::common

@@ -1,0 +1,28 @@
+// Wall-clock timing helper for tool-flow runtime comparisons (experiment C1).
+#pragma once
+
+#include <chrono>
+
+namespace vcgra::common {
+
+/// Monotonic stopwatch. Construction starts it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vcgra::common

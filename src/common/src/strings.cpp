@@ -1,0 +1,92 @@
+#include "vcgra/common/strings.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "vcgra/common/rng.hpp"
+
+namespace vcgra::common {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(sep, begin);
+    const std::string_view piece =
+        text.substr(begin, end == std::string_view::npos ? std::string_view::npos
+                                                         : end - begin);
+    if (!piece.empty()) pieces.emplace_back(piece);
+    if (end == std::string_view::npos) break;
+    begin = end + 1;
+  }
+  return pieces;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string human_count(double value) {
+  const char* suffix = "";
+  double scaled = value;
+  if (std::fabs(value) >= 1e9) {
+    scaled = value / 1e9;
+    suffix = "G";
+  } else if (std::fabs(value) >= 1e6) {
+    scaled = value / 1e6;
+    suffix = "M";
+  } else if (std::fabs(value) >= 1e3) {
+    scaled = value / 1e3;
+    suffix = "k";
+  }
+  if (*suffix == '\0') return strprintf("%.0f", scaled);
+  return strprintf("%.1f%s", scaled, suffix);
+}
+
+std::string human_seconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return strprintf("%.2f s", seconds);
+  if (abs >= 1e-3) return strprintf("%.2f ms", seconds * 1e3);
+  if (abs >= 1e-6) return strprintf("%.2f us", seconds * 1e6);
+  return strprintf("%.2f ns", seconds * 1e9);
+}
+
+double Rng::next_gaussian() noexcept {
+  // Marsaglia polar method; consumes a variable number of uniforms.
+  for (;;) {
+    const double u = 2.0 * next_double() - 1.0;
+    const double v = 2.0 * next_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace vcgra::common

@@ -1,0 +1,57 @@
+#include "vcgra/common/table.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vcgra::common {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("AsciiTable: empty header");
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("AsciiTable: row arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += ' ';
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  out += '|';
+  for (const std::size_t w : widths) {
+    out.append(w + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void AsciiTable::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace vcgra::common

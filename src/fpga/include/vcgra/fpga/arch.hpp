@@ -1,0 +1,44 @@
+// Island-style FPGA architecture model (VPR "4LUT sanitized" flavour).
+//
+// The paper places and routes on the 4-LUT architecture that ships with
+// VPR [Betz/Rose/Marquardt]: a W x H grid of logic tiles, each containing
+// one K-LUT + DFF basic logic element, surrounded by an IO ring, with
+// unit-length bidirectional wire segments, disjoint switch blocks, and
+// connection boxes of configurable flexibility (Fc).
+//
+// Coordinates: logic tiles occupy (1..width, 1..height); the IO ring sits
+// at x==0, x==width+1, y==0, y==height+1 (corners unused).  chanx(x, y) is
+// the horizontal channel segment above tile (x, y) for y in 0..height;
+// chany(x, y) is the vertical segment right of tile (x, y) for
+// x in 0..width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vcgra::fpga {
+
+struct ArchParams {
+  int width = 10;          // logic columns
+  int height = 10;         // logic rows
+  int lut_inputs = 4;      // K
+  int io_per_tile = 2;     // pads per perimeter tile
+  int channel_width = 12;  // tracks per channel
+  double fc_in = 0.6;      // fraction of tracks an IPIN can tap
+  double fc_out = 0.5;     // fraction of tracks an OPIN can drive
+
+  /// Smallest square grid (with the given IO capacity) that fits a design
+  /// of `num_blocks` logic blocks and `num_ios` pads, with ~20% slack.
+  static ArchParams sized_for(std::size_t num_blocks, std::size_t num_ios,
+                              int channel_width = 12);
+
+  int io_columns() const { return width + 2; }
+  std::string to_string() const;
+};
+
+/// Tile classification for a coordinate.
+enum class TileKind : std::uint8_t { kEmpty, kLogic, kIo };
+
+TileKind tile_at(const ArchParams& arch, int x, int y);
+
+}  // namespace vcgra::fpga

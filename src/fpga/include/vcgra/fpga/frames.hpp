@@ -1,0 +1,40 @@
+// Configuration-frame model for micro-reconfiguration cost estimation.
+//
+// DCS updates TLUT/TCON configuration bits by reading, modifying and
+// writing back whole configuration frames through HWICAP or the custom
+// MiCAP controller [Kulkarni FPGAworld'14, ReConFig'15].  The paper's §V
+// estimate — ≈251 ms to respecialize one MAC PE — follows directly from
+// the frame counts of its 526 TLUTs + 568 TCONs at ~94 us per frame
+// read-modify-write, which is the throughput those papers measured on a
+// Virtex-5 HWICAP.  The constants here are calibrated to reproduce that.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace vcgra::fpga {
+
+struct FrameModel {
+  int bits_per_frame = 1312;      // Virtex-5: 41 words x 32 bits
+  int frames_per_tlut = 4;        // a LUT's INIT bits span 4 frames
+  int frames_per_tcon = 1;        // one routing-switch config per frame
+  double hwicap_frame_rmw_seconds = 94e-6;  // HWICAP frame read-modify-write
+  double micap_frame_rmw_seconds = 32e-6;   // MiCAP (custom controller)
+  double boolean_eval_per_bit_seconds = 20e-9;  // SCG evaluation on the CPU
+};
+
+struct ReconfigCost {
+  std::size_t frames = 0;        // frames touched
+  std::size_t tunable_bits = 0;  // Boolean functions evaluated
+  double eval_seconds = 0;       // SCG Boolean-function evaluation time
+  double hwicap_seconds = 0;     // total with HWICAP transport (incl. eval)
+  double micap_seconds = 0;      // total with MiCAP transport (incl. eval)
+
+  std::string to_string() const;
+};
+
+/// Cost of respecializing a design with the given tunable-resource counts.
+ReconfigCost estimate_reconfig(const FrameModel& model, std::size_t tluts,
+                               std::size_t tcons, std::size_t tunable_bits);
+
+}  // namespace vcgra::fpga

@@ -1,0 +1,80 @@
+// Routing-resource graph (RRG) for the island-style device.
+//
+// Node kinds: OPIN (block/pad output), IPIN (block/pad input), CHANX and
+// CHANY wire segments (unit length, bidirectional — modelled as one node
+// with directed edges both ways).  The router negotiates over these nodes;
+// every node has unit capacity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcgra/fpga/arch.hpp"
+
+namespace vcgra::fpga {
+
+using RRNodeId = std::uint32_t;
+inline constexpr RRNodeId kNoRRNode = ~RRNodeId{0};
+
+enum class RRKind : std::uint8_t { kOpin, kIpin, kChanX, kChanY };
+
+struct RRNode {
+  RRKind kind = RRKind::kChanX;
+  std::int16_t x = 0;     // tile coordinate
+  std::int16_t y = 0;
+  std::int16_t index = 0; // track number or pin number
+};
+
+class RRGraph {
+ public:
+  explicit RRGraph(const ArchParams& arch);
+
+  const ArchParams& arch() const { return arch_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const RRNode& node(RRNodeId id) const { return nodes_[id]; }
+
+  /// Outgoing edges of `id` (CSR).
+  const RRNodeId* edges_begin(RRNodeId id) const {
+    return edge_targets_.data() + edge_offsets_[id];
+  }
+  const RRNodeId* edges_end(RRNodeId id) const {
+    return edge_targets_.data() + edge_offsets_[id + 1];
+  }
+  std::size_t num_edges() const { return edge_targets_.size(); }
+
+  // Node lookups (kNoRRNode when the coordinate/pin does not exist).
+  RRNodeId opin(int x, int y, int pin) const;
+  RRNodeId ipin(int x, int y, int pin) const;
+  RRNodeId chanx(int x, int y, int track) const;
+  RRNodeId chany(int x, int y, int track) const;
+
+  std::string describe(RRNodeId id) const;
+
+  /// Count of wire (CHANX+CHANY) nodes — the denominator for utilization.
+  std::size_t num_wire_nodes() const { return num_wire_nodes_; }
+
+ private:
+  void build();
+  void add_edge(RRNodeId from, RRNodeId to);
+
+  ArchParams arch_;
+  std::vector<RRNode> nodes_;
+  std::vector<std::vector<RRNodeId>> adjacency_;  // build-time only
+  std::vector<std::uint32_t> edge_offsets_;
+  std::vector<RRNodeId> edge_targets_;
+  std::size_t num_wire_nodes_ = 0;
+
+  // Dense index tables.
+  int opins_per_logic_ = 1;
+  std::vector<RRNodeId> opin_table_;
+  std::vector<RRNodeId> ipin_table_;
+  std::vector<RRNodeId> chanx_table_;
+  std::vector<RRNodeId> chany_table_;
+  int max_pins_ = 0;
+
+  std::size_t tile_index(int x, int y) const;
+};
+
+}  // namespace vcgra::fpga

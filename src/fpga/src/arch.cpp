@@ -1,0 +1,45 @@
+#include "vcgra/fpga/arch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::fpga {
+
+ArchParams ArchParams::sized_for(std::size_t num_blocks, std::size_t num_ios,
+                                 int channel_width) {
+  ArchParams arch;
+  arch.channel_width = channel_width;
+  // Square grid with 20% slack for placement freedom.
+  const double target = static_cast<double>(num_blocks) * 1.2;
+  int side = std::max(2, static_cast<int>(std::ceil(std::sqrt(target))));
+  // Ensure the IO ring can host every pad.
+  for (;; ++side) {
+    const std::size_t io_capacity =
+        static_cast<std::size_t>(4 * side) * static_cast<std::size_t>(arch.io_per_tile);
+    if (io_capacity >= num_ios) break;
+  }
+  arch.width = side;
+  arch.height = side;
+  return arch;
+}
+
+std::string ArchParams::to_string() const {
+  return common::strprintf("%dx%d K=%d W=%d io/tile=%d fc_in=%.2f fc_out=%.2f",
+                           width, height, lut_inputs, channel_width, io_per_tile,
+                           fc_in, fc_out);
+}
+
+TileKind tile_at(const ArchParams& arch, int x, int y) {
+  const bool x_edge = x == 0 || x == arch.width + 1;
+  const bool y_edge = y == 0 || y == arch.height + 1;
+  if (x < 0 || y < 0 || x > arch.width + 1 || y > arch.height + 1) {
+    return TileKind::kEmpty;
+  }
+  if (x_edge && y_edge) return TileKind::kEmpty;  // corners
+  if (x_edge || y_edge) return TileKind::kIo;
+  return TileKind::kLogic;
+}
+
+}  // namespace vcgra::fpga

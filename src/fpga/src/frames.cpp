@@ -1,0 +1,32 @@
+#include "vcgra/fpga/frames.hpp"
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::fpga {
+
+std::string ReconfigCost::to_string() const {
+  return common::strprintf(
+      "frames=%zu bits=%zu eval=%s hwicap=%s micap=%s", frames, tunable_bits,
+      common::human_seconds(eval_seconds).c_str(),
+      common::human_seconds(hwicap_seconds).c_str(),
+      common::human_seconds(micap_seconds).c_str());
+}
+
+ReconfigCost estimate_reconfig(const FrameModel& model, std::size_t tluts,
+                               std::size_t tcons, std::size_t tunable_bits) {
+  ReconfigCost cost;
+  cost.frames = tluts * static_cast<std::size_t>(model.frames_per_tlut) +
+                tcons * static_cast<std::size_t>(model.frames_per_tcon);
+  cost.tunable_bits = tunable_bits;
+  cost.eval_seconds =
+      static_cast<double>(tunable_bits) * model.boolean_eval_per_bit_seconds;
+  cost.hwicap_seconds =
+      cost.eval_seconds +
+      static_cast<double>(cost.frames) * model.hwicap_frame_rmw_seconds;
+  cost.micap_seconds =
+      cost.eval_seconds +
+      static_cast<double>(cost.frames) * model.micap_frame_rmw_seconds;
+  return cost;
+}
+
+}  // namespace vcgra::fpga

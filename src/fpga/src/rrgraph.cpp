@@ -1,0 +1,265 @@
+#include "vcgra/fpga/rrgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::fpga {
+
+RRGraph::RRGraph(const ArchParams& arch) : arch_(arch) { build(); }
+
+std::size_t RRGraph::tile_index(int x, int y) const {
+  return static_cast<std::size_t>(y) * static_cast<std::size_t>(arch_.width + 2) +
+         static_cast<std::size_t>(x);
+}
+
+RRNodeId RRGraph::opin(int x, int y, int pin) const {
+  if (tile_at(arch_, x, y) == TileKind::kEmpty || pin < 0 || pin >= max_pins_) {
+    return kNoRRNode;
+  }
+  return opin_table_[tile_index(x, y) * static_cast<std::size_t>(max_pins_) +
+                     static_cast<std::size_t>(pin)];
+}
+
+RRNodeId RRGraph::ipin(int x, int y, int pin) const {
+  if (tile_at(arch_, x, y) == TileKind::kEmpty || pin < 0 || pin >= max_pins_) {
+    return kNoRRNode;
+  }
+  return ipin_table_[tile_index(x, y) * static_cast<std::size_t>(max_pins_) +
+                     static_cast<std::size_t>(pin)];
+}
+
+RRNodeId RRGraph::chanx(int x, int y, int track) const {
+  if (x < 1 || x > arch_.width || y < 0 || y > arch_.height || track < 0 ||
+      track >= arch_.channel_width) {
+    return kNoRRNode;
+  }
+  const std::size_t idx =
+      (static_cast<std::size_t>(y) * static_cast<std::size_t>(arch_.width) +
+       static_cast<std::size_t>(x - 1)) *
+          static_cast<std::size_t>(arch_.channel_width) +
+      static_cast<std::size_t>(track);
+  return chanx_table_[idx];
+}
+
+RRNodeId RRGraph::chany(int x, int y, int track) const {
+  if (x < 0 || x > arch_.width || y < 1 || y > arch_.height || track < 0 ||
+      track >= arch_.channel_width) {
+    return kNoRRNode;
+  }
+  const std::size_t idx =
+      (static_cast<std::size_t>(x) * static_cast<std::size_t>(arch_.height) +
+       static_cast<std::size_t>(y - 1)) *
+          static_cast<std::size_t>(arch_.channel_width) +
+      static_cast<std::size_t>(track);
+  return chany_table_[idx];
+}
+
+void RRGraph::add_edge(RRNodeId from, RRNodeId to) {
+  if (from == kNoRRNode || to == kNoRRNode) return;
+  adjacency_[from].push_back(to);
+}
+
+void RRGraph::build() {
+  const int width = arch_.width;
+  const int height = arch_.height;
+  const int tracks = arch_.channel_width;
+  max_pins_ = std::max(arch_.lut_inputs, arch_.io_per_tile);
+
+  const std::size_t tiles = static_cast<std::size_t>(width + 2) *
+                            static_cast<std::size_t>(height + 2);
+  opin_table_.assign(tiles * static_cast<std::size_t>(max_pins_), kNoRRNode);
+  ipin_table_.assign(tiles * static_cast<std::size_t>(max_pins_), kNoRRNode);
+  chanx_table_.assign(static_cast<std::size_t>(width) *
+                          static_cast<std::size_t>(height + 1) *
+                          static_cast<std::size_t>(tracks),
+                      kNoRRNode);
+  chany_table_.assign(static_cast<std::size_t>(width + 1) *
+                          static_cast<std::size_t>(height) *
+                          static_cast<std::size_t>(tracks),
+                      kNoRRNode);
+
+  const auto new_node = [&](RRKind kind, int x, int y, int index) {
+    const RRNodeId id = static_cast<RRNodeId>(nodes_.size());
+    nodes_.push_back(RRNode{kind, static_cast<std::int16_t>(x),
+                            static_cast<std::int16_t>(y),
+                            static_cast<std::int16_t>(index)});
+    return id;
+  };
+
+  // --- pins ------------------------------------------------------------------
+  for (int y = 0; y <= height + 1; ++y) {
+    for (int x = 0; x <= width + 1; ++x) {
+      const TileKind kind = tile_at(arch_, x, y);
+      if (kind == TileKind::kEmpty) continue;
+      const int n_in = kind == TileKind::kLogic ? arch_.lut_inputs : arch_.io_per_tile;
+      const int n_out = kind == TileKind::kLogic ? 1 : arch_.io_per_tile;
+      for (int p = 0; p < n_in; ++p) {
+        ipin_table_[tile_index(x, y) * static_cast<std::size_t>(max_pins_) +
+                    static_cast<std::size_t>(p)] = new_node(RRKind::kIpin, x, y, p);
+      }
+      for (int p = 0; p < n_out; ++p) {
+        opin_table_[tile_index(x, y) * static_cast<std::size_t>(max_pins_) +
+                    static_cast<std::size_t>(p)] = new_node(RRKind::kOpin, x, y, p);
+      }
+    }
+  }
+
+  // --- wires -------------------------------------------------------------------
+  for (int y = 0; y <= height; ++y) {
+    for (int x = 1; x <= width; ++x) {
+      for (int t = 0; t < tracks; ++t) {
+        const std::size_t idx =
+            (static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+             static_cast<std::size_t>(x - 1)) *
+                static_cast<std::size_t>(tracks) +
+            static_cast<std::size_t>(t);
+        chanx_table_[idx] = new_node(RRKind::kChanX, x, y, t);
+      }
+    }
+  }
+  for (int x = 0; x <= width; ++x) {
+    for (int y = 1; y <= height; ++y) {
+      for (int t = 0; t < tracks; ++t) {
+        const std::size_t idx =
+            (static_cast<std::size_t>(x) * static_cast<std::size_t>(height) +
+             static_cast<std::size_t>(y - 1)) *
+                static_cast<std::size_t>(tracks) +
+            static_cast<std::size_t>(t);
+        chany_table_[idx] = new_node(RRKind::kChanY, x, y, t);
+      }
+    }
+  }
+  num_wire_nodes_ = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind == RRKind::kChanX || node.kind == RRKind::kChanY) {
+      ++num_wire_nodes_;
+    }
+  }
+
+  adjacency_.assign(nodes_.size(), {});
+
+  // --- switch blocks -----------------------------------------------------------
+  // At junction (x, y) — the corner above-right of tile (x, y) — the four
+  // incident segments are chanx(x,y), chanx(x+1,y), chany(x,y), chany(x,y+1).
+  // Straight-through connections are disjoint (track t to track t); turning
+  // connections additionally twist to track (t+1) mod W, Wilton-style, so
+  // nets are not locked to a single track index across the whole die.
+  for (int y = 0; y <= height; ++y) {
+    for (int x = 0; x <= width; ++x) {
+      for (int t = 0; t < tracks; ++t) {
+        const int twist = (t + 1) % tracks;
+        const RRNodeId west = chanx(x, y, t);
+        const RRNodeId east = chanx(x + 1, y, t);
+        const RRNodeId south = chany(x, y, t);
+        const RRNodeId north = chany(x, y + 1, t);
+        // Straight through, same track.
+        add_edge(west, east);
+        add_edge(east, west);
+        add_edge(south, north);
+        add_edge(north, south);
+        // Turns: same track and +1 twist.
+        const RRNodeId south_tw = chany(x, y, twist);
+        const RRNodeId north_tw = chany(x, y + 1, twist);
+        const RRNodeId west_tw = chanx(x, y, twist);
+        const RRNodeId east_tw = chanx(x + 1, y, twist);
+        for (const RRNodeId h : {west, east}) {
+          for (const RRNodeId v : {south, north, south_tw, north_tw}) {
+            add_edge(h, v);
+            add_edge(v, h);
+          }
+        }
+        for (const RRNodeId v : {south, north}) {
+          for (const RRNodeId h : {west_tw, east_tw}) {
+            add_edge(v, h);
+            add_edge(h, v);
+          }
+        }
+      }
+    }
+  }
+
+  // --- connection boxes --------------------------------------------------------
+  const int fc_in_tracks =
+      std::max(1, static_cast<int>(arch_.fc_in * tracks + 0.5));
+  const int fc_out_tracks =
+      std::max(1, static_cast<int>(arch_.fc_out * tracks + 0.5));
+
+  const auto adjacent_channels = [&](int x, int y, std::vector<RRNodeId>& out,
+                                     int track) {
+    out.clear();
+    const RRNodeId above = chanx(x, y, track);
+    const RRNodeId below = chanx(x, y - 1, track);
+    const RRNodeId right = chany(x, y, track);
+    const RRNodeId left = chany(x - 1, y, track);
+    for (const RRNodeId n : {above, below, right, left}) {
+      if (n != kNoRRNode) out.push_back(n);
+    }
+  };
+
+  std::vector<RRNodeId> channels;
+  for (int y = 0; y <= height + 1; ++y) {
+    for (int x = 0; x <= width + 1; ++x) {
+      const TileKind kind = tile_at(arch_, x, y);
+      if (kind == TileKind::kEmpty) continue;
+      const int n_in = kind == TileKind::kLogic ? arch_.lut_inputs : arch_.io_per_tile;
+      const int n_out = kind == TileKind::kLogic ? 1 : arch_.io_per_tile;
+      for (int p = 0; p < n_in; ++p) {
+        const RRNodeId pin = ipin(x, y, p);
+        for (int j = 0; j < fc_in_tracks; ++j) {
+          const int track = (p * 7 + j * (tracks / fc_in_tracks == 0
+                                              ? 1
+                                              : tracks / fc_in_tracks)) %
+                            tracks;
+          adjacent_channels(x, y, channels, track);
+          for (const RRNodeId wire : channels) add_edge(wire, pin);
+        }
+      }
+      for (int p = 0; p < n_out; ++p) {
+        const RRNodeId pin = opin(x, y, p);
+        for (int j = 0; j < fc_out_tracks; ++j) {
+          const int track = (p * 5 + j * (tracks / fc_out_tracks == 0
+                                              ? 1
+                                              : tracks / fc_out_tracks)) %
+                            tracks;
+          adjacent_channels(x, y, channels, track);
+          for (const RRNodeId wire : channels) add_edge(pin, wire);
+        }
+      }
+    }
+  }
+
+  // --- CSR compaction ------------------------------------------------------------
+  edge_offsets_.assign(nodes_.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    auto& adj = adjacency_[n];
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    edge_offsets_[n] = static_cast<std::uint32_t>(total);
+    total += adj.size();
+  }
+  edge_offsets_[nodes_.size()] = static_cast<std::uint32_t>(total);
+  edge_targets_.reserve(total);
+  for (auto& adj : adjacency_) {
+    edge_targets_.insert(edge_targets_.end(), adj.begin(), adj.end());
+    adj.clear();
+    adj.shrink_to_fit();
+  }
+  adjacency_.clear();
+}
+
+std::string RRGraph::describe(RRNodeId id) const {
+  const RRNode& n = nodes_[id];
+  const char* kind = "?";
+  switch (n.kind) {
+    case RRKind::kOpin: kind = "OPIN"; break;
+    case RRKind::kIpin: kind = "IPIN"; break;
+    case RRKind::kChanX: kind = "CHANX"; break;
+    case RRKind::kChanY: kind = "CHANY"; break;
+  }
+  return common::strprintf("%s(%d,%d).%d", kind, n.x, n.y, n.index);
+}
+
+}  // namespace vcgra::fpga

@@ -1,0 +1,109 @@
+// Structural synthesis front end.
+//
+// NetlistBuilder offers word-level construction helpers (buses, adders,
+// shifters, multipliers) on top of the gate-level Netlist, applying local
+// constant folding and structural hashing *as gates are created*.  That
+// combination is what a light RTL synthesis pass (the paper uses
+// Quartus II + ABC) would produce, and it is what makes the downstream
+// specialization experiments meaningful: when a parameter input is bound
+// to a constant, whole slices of the multiplier melt away.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vcgra/netlist/netlist.hpp"
+
+namespace vcgra::netlist {
+
+/// Little-endian bit vector: bus[0] is the LSB.
+using Bus = std::vector<NetId>;
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(Netlist& netlist) : nl_(netlist) {}
+
+  Netlist& netlist() { return nl_; }
+
+  // --- bit-level primitives (folded + hashed) -----------------------------
+  NetId const_bit(bool value);
+  NetId not_(NetId a);
+  NetId and_(NetId a, NetId b);
+  NetId or_(NetId a, NetId b);
+  NetId xor_(NetId a, NetId b);
+  NetId nand_(NetId a, NetId b);
+  NetId nor_(NetId a, NetId b);
+  NetId xnor_(NetId a, NetId b);
+  /// sel ? d1 : d0
+  NetId mux_(NetId sel, NetId d0, NetId d1);
+
+  // --- bus-level helpers ---------------------------------------------------
+  Bus input_bus(const std::string& prefix, int width);
+  Bus param_bus(const std::string& prefix, int width);
+  Bus const_bus(std::uint64_t value, int width);
+  void mark_output_bus(const Bus& bus);
+
+  Bus not_bus(const Bus& a);
+  Bus and_bus(const Bus& a, const Bus& b);
+  Bus xor_bus(const Bus& a, const Bus& b);
+  Bus mux_bus(NetId sel, const Bus& d0, const Bus& d1);
+
+  /// a + b + cin; returns sum (same width) and writes carry-out if requested.
+  Bus ripple_add(const Bus& a, const Bus& b, NetId cin, NetId* cout = nullptr);
+  /// a - b as a + ~b + 1; `borrow_out` (if given) is 1 when a < b (unsigned).
+  Bus ripple_sub(const Bus& a, const Bus& b, NetId* borrow_out = nullptr);
+  /// a + 1 (used by rounding).
+  Bus increment(const Bus& a, NetId* cout = nullptr);
+
+  /// Reduction OR / AND over a bus.
+  NetId reduce_or(const Bus& a);
+  NetId reduce_and(const Bus& a);
+  /// a == b
+  NetId equal(const Bus& a, const Bus& b);
+  /// a < b, unsigned
+  NetId less_than(const Bus& a, const Bus& b);
+
+  /// Unsigned array multiplier (AND partial products + ripple-carry
+  /// reduction rows); result width = |a| + |b|.
+  Bus array_multiply(const Bus& a, const Bus& b);
+
+  /// Logical shift of `value` by bus `amount` (barrel shifter, LSB first).
+  Bus shift_left(const Bus& value, const Bus& amount);
+  Bus shift_right(const Bus& value, const Bus& amount);
+
+  /// Leading-zero count of `value` (MSB-first scan); result is
+  /// ceil(log2(width+1)) bits wide.
+  Bus leading_zero_count(const Bus& value);
+
+  /// Register a whole bus through DFFs.
+  Bus dff_bus(const Bus& d, std::uint64_t init = 0);
+
+ private:
+  struct GateKey {
+    CellKind kind;
+    NetId a;
+    NetId b;
+    NetId c;
+    bool operator==(const GateKey&) const = default;
+  };
+  struct GateKeyHash {
+    std::size_t operator()(const GateKey& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.kind);
+      h = h * 0x9e3779b97f4a7c15ULL + k.a;
+      h = h * 0x9e3779b97f4a7c15ULL + k.b;
+      h = h * 0x9e3779b97f4a7c15ULL + k.c;
+      return static_cast<std::size_t>(h ^ (h >> 31));
+    }
+  };
+
+  NetId hashed_gate(CellKind kind, NetId a, NetId b = kNullNet, NetId c = kNullNet);
+  bool known_const(NetId net, bool* value) const;
+
+  Netlist& nl_;
+  std::unordered_map<GateKey, NetId, GateKeyHash> strash_;
+  NetId const0_ = kNullNet;
+  NetId const1_ = kNullNet;
+};
+
+}  // namespace vcgra::netlist

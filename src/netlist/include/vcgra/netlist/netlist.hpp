@@ -1,0 +1,134 @@
+// Gate-level netlist intermediate representation.
+//
+// This IR plays the role of the synthesized circuit handed to the
+// technology mapper in the paper's tool flow (Quartus + ABC in the paper,
+// our own structural synthesis here).  It deliberately distinguishes two
+// classes of primary inputs:
+//
+//   * regular inputs  — change every cycle (image samples, accumulators);
+//   * parameter inputs — the "--PARAM"-annotated signals of Dynamic
+//     Circuit Specialization: values that change *infrequently* (filter
+//     coefficients, iteration counts) and are treated as constants by the
+//     specialization machinery.
+//
+// Cells are single-output. Sequential state is modelled with DFF cells
+// whose outputs act as combinational sources and whose D pins act as
+// combinational sinks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcgra/boolfunc/truth_table.hpp"
+
+namespace vcgra::netlist {
+
+using NetId = std::uint32_t;
+using CellId = std::uint32_t;
+inline constexpr NetId kNullNet = ~NetId{0};
+inline constexpr CellId kNoCell = ~CellId{0};
+
+enum class CellKind : std::uint8_t {
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+  kMux,  // ins = {sel, d0, d1}; out = sel ? d1 : d0
+  kLut,  // ins = cut leaves; function in `tt` (leaf i = tt variable i)
+  kDff,  // ins = {d}; out = q
+};
+
+/// Number of input pins a kind expects; -1 for variable (kLut).
+int expected_fanin(CellKind kind);
+const char* kind_name(CellKind kind);
+
+struct Cell {
+  CellKind kind = CellKind::kBuf;
+  std::vector<NetId> ins;
+  NetId out = kNullNet;
+  boolfunc::TruthTable tt;  // only meaningful for kLut
+  bool init = false;        // DFF power-up value
+};
+
+struct Net {
+  std::string name;
+  CellId driver = kNoCell;  // kNoCell for primary/parameter inputs
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- construction -------------------------------------------------------
+  NetId add_net(std::string name);
+  /// Declare an externally driven net as regular primary input.
+  NetId add_input(std::string name);
+  /// Declare an externally driven net as a parameter (infrequently changing).
+  NetId add_param(std::string name);
+  void mark_output(NetId net);
+  /// Add a cell driving a fresh net; returns the output net.
+  NetId add_cell(CellKind kind, std::vector<NetId> ins, std::string out_name = {});
+  NetId add_lut(std::vector<NetId> ins, boolfunc::TruthTable tt, std::string out_name = {});
+  NetId add_dff(NetId d, bool init = false, std::string out_name = {});
+
+  /// Create a DFF whose D input is wired later — required for feedback
+  /// paths such as a MAC accumulator (register output feeds the adder that
+  /// feeds the register). Returns {q net, cell id}; the cell must be
+  /// completed with connect_dff before simulation/validation.
+  std::pair<NetId, CellId> add_dff_floating(bool init = false, std::string out_name = {});
+  void connect_dff(CellId dff, NetId d);
+
+  // --- access -------------------------------------------------------------
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_cells() const { return cells_.size(); }
+  const Net& net(NetId id) const { return nets_[id]; }
+  const Cell& cell(CellId id) const { return cells_[id]; }
+  Cell& cell(CellId id) { return cells_[id]; }
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& params() const { return params_; }
+  const std::vector<NetId>& outputs() const { return outputs_; }
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  bool is_input(NetId net) const;
+  bool is_param(NetId net) const;
+
+  /// Index of `net` within params() or -1.
+  int param_index(NetId net) const;
+
+  /// Cells in a valid combinational evaluation order (DFF cells last).
+  /// Throws std::runtime_error on a combinational cycle.
+  std::vector<CellId> topo_order() const;
+
+  /// Longest combinational path measured in cells, PI/DFF-output to
+  /// PO/DFF-input. LUT and gate cells both count as one level.
+  int logic_depth() const;
+
+  /// Per-kind cell population.
+  std::vector<std::size_t> kind_histogram() const;
+
+  /// Fanout cell lists per net (computed fresh on each call).
+  std::vector<std::vector<CellId>> fanouts() const;
+
+  /// Internal consistency check (pin arities, net driver indices);
+  /// throws std::runtime_error with a description on failure.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<Cell> cells_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> params_;
+  std::vector<NetId> outputs_;
+};
+
+}  // namespace vcgra::netlist

@@ -1,0 +1,51 @@
+// Netlist transformation passes.
+//
+// `specialize` is the library's implementation of *symbolic constant
+// propagation*: it binds the parameter inputs to concrete constants and
+// lets the logic collapse — exactly what the DCS specialization stage does
+// to a TLUT circuit when a parameter value arrives.  `clean` applies the
+// same folding/strashing/DCE without binding anything and is run after
+// structural synthesis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcgra/netlist/netlist.hpp"
+
+namespace vcgra::netlist {
+
+struct NetlistStats {
+  std::size_t total_cells = 0;
+  std::size_t gates = 0;   // logic gates incl. mux, excl. buf/const
+  std::size_t luts = 0;
+  std::size_t dffs = 0;
+  int depth = 0;
+
+  std::string to_string() const;
+};
+
+NetlistStats stats(const Netlist& netlist);
+
+/// Remap table from a rebuild pass: new net id per old net (kNullNet if dropped).
+struct RebuildResult {
+  Netlist netlist;
+  std::vector<NetId> net_map;
+};
+
+/// Constant-fold + structurally hash + dead-code eliminate.
+/// The interface (inputs, params, outputs) is preserved positionally.
+RebuildResult clean(const Netlist& input);
+
+/// Bind every parameter input to a constant (param_values[i] is bit i of
+/// params(), in declaration order), then clean. The result has the same
+/// regular inputs/outputs but its params are retained as dangling nets so
+/// positional interfaces stay aligned.
+RebuildResult specialize(const Netlist& input, const std::vector<bool>& param_values);
+
+/// Keep only logic reachable from the outputs (plus the transitive D-cones
+/// of reachable DFFs).
+RebuildResult dead_code_eliminate(const Netlist& input);
+
+}  // namespace vcgra::netlist

@@ -1,0 +1,44 @@
+// Event-free levelized netlist simulation.
+//
+// Used throughout the test suite as the ground truth for equivalence:
+// every transformation (constant propagation, technology mapping, TCON
+// specialization) must leave the simulated input/output behaviour intact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vcgra/netlist/builder.hpp"
+#include "vcgra/netlist/netlist.hpp"
+
+namespace vcgra::netlist {
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  /// Drive an externally driven net (primary input or parameter).
+  void set_net(NetId net, bool value);
+  /// Drive a whole bus from an integer (bus[0] = LSB).
+  void set_bus(const Bus& bus, std::uint64_t value);
+
+  /// Settle all combinational logic from the current inputs + DFF state.
+  void eval();
+  /// eval() then clock every DFF.
+  void step();
+  /// Reset DFFs to their init values.
+  void reset();
+
+  bool value(NetId net) const { return values_[net] != 0; }
+  std::uint64_t read_bus(const Bus& bus) const;
+  /// Values of the netlist's declared outputs, in declaration order.
+  std::vector<bool> outputs() const;
+
+ private:
+  const Netlist& nl_;
+  std::vector<CellId> order_;
+  std::vector<std::uint8_t> values_;  // per net
+  std::vector<std::uint8_t> state_;   // per cell (DFFs only meaningful)
+};
+
+}  // namespace vcgra::netlist

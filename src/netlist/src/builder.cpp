@@ -1,0 +1,310 @@
+#include "vcgra/netlist/builder.hpp"
+
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::netlist {
+
+NetId NetlistBuilder::const_bit(bool value) {
+  NetId& cached = value ? const1_ : const0_;
+  if (cached == kNullNet) {
+    cached = nl_.add_cell(value ? CellKind::kConst1 : CellKind::kConst0, {});
+  }
+  return cached;
+}
+
+bool NetlistBuilder::known_const(NetId net, bool* value) const {
+  const CellId driver = nl_.net(net).driver;
+  if (driver == kNoCell) return false;
+  const CellKind kind = nl_.cell(driver).kind;
+  if (kind == CellKind::kConst0) {
+    *value = false;
+    return true;
+  }
+  if (kind == CellKind::kConst1) {
+    *value = true;
+    return true;
+  }
+  return false;
+}
+
+NetId NetlistBuilder::hashed_gate(CellKind kind, NetId a, NetId b, NetId c) {
+  // Commutative normalization for 2-input symmetric gates.
+  switch (kind) {
+    case CellKind::kAnd:
+    case CellKind::kOr:
+    case CellKind::kXor:
+    case CellKind::kNand:
+    case CellKind::kNor:
+    case CellKind::kXnor:
+      if (b < a) std::swap(a, b);
+      break;
+    default:
+      break;
+  }
+  const GateKey key{kind, a, b, c};
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return it->second;
+
+  std::vector<NetId> ins;
+  ins.push_back(a);
+  if (b != kNullNet) ins.push_back(b);
+  if (c != kNullNet) ins.push_back(c);
+  const NetId out = nl_.add_cell(kind, std::move(ins));
+  strash_.emplace(key, out);
+  return out;
+}
+
+NetId NetlistBuilder::not_(NetId a) {
+  bool v = false;
+  if (known_const(a, &v)) return const_bit(!v);
+  // Double negation: if a is itself a NOT, return its input.
+  const CellId drv = nl_.net(a).driver;
+  if (drv != kNoCell && nl_.cell(drv).kind == CellKind::kNot) {
+    return nl_.cell(drv).ins[0];
+  }
+  return hashed_gate(CellKind::kNot, a);
+}
+
+NetId NetlistBuilder::and_(NetId a, NetId b) {
+  bool va = false, vb = false;
+  const bool ka = known_const(a, &va);
+  const bool kb = known_const(b, &vb);
+  if (ka && kb) return const_bit(va && vb);
+  if (ka) return va ? b : const_bit(false);
+  if (kb) return vb ? a : const_bit(false);
+  if (a == b) return a;
+  return hashed_gate(CellKind::kAnd, a, b);
+}
+
+NetId NetlistBuilder::or_(NetId a, NetId b) {
+  bool va = false, vb = false;
+  const bool ka = known_const(a, &va);
+  const bool kb = known_const(b, &vb);
+  if (ka && kb) return const_bit(va || vb);
+  if (ka) return va ? const_bit(true) : b;
+  if (kb) return vb ? const_bit(true) : a;
+  if (a == b) return a;
+  return hashed_gate(CellKind::kOr, a, b);
+}
+
+NetId NetlistBuilder::xor_(NetId a, NetId b) {
+  bool va = false, vb = false;
+  const bool ka = known_const(a, &va);
+  const bool kb = known_const(b, &vb);
+  if (ka && kb) return const_bit(va != vb);
+  if (ka) return va ? not_(b) : b;
+  if (kb) return vb ? not_(a) : a;
+  if (a == b) return const_bit(false);
+  return hashed_gate(CellKind::kXor, a, b);
+}
+
+NetId NetlistBuilder::nand_(NetId a, NetId b) { return not_(and_(a, b)); }
+NetId NetlistBuilder::nor_(NetId a, NetId b) { return not_(or_(a, b)); }
+NetId NetlistBuilder::xnor_(NetId a, NetId b) { return not_(xor_(a, b)); }
+
+NetId NetlistBuilder::mux_(NetId sel, NetId d0, NetId d1) {
+  bool v = false;
+  if (known_const(sel, &v)) return v ? d1 : d0;
+  if (d0 == d1) return d0;
+  bool v0 = false, v1 = false;
+  const bool k0 = known_const(d0, &v0);
+  const bool k1 = known_const(d1, &v1);
+  if (k0 && k1) {
+    if (!v0 && v1) return sel;       // mux(s,0,1) = s
+    if (v0 && !v1) return not_(sel); // mux(s,1,0) = !s
+  }
+  if (k0 && !v0) return and_(sel, d1);   // mux(s,0,b) = s & b
+  if (k0 && v0) return or_(not_(sel), d1);
+  if (k1 && v1) return or_(sel, d0);     // mux(s,a,1) = s | a
+  if (k1 && !v1) return and_(not_(sel), d0);
+  return hashed_gate(CellKind::kMux, sel, d0, d1);
+}
+
+Bus NetlistBuilder::input_bus(const std::string& prefix, int width) {
+  Bus bus(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus[static_cast<std::size_t>(i)] =
+        nl_.add_input(common::strprintf("%s[%d]", prefix.c_str(), i));
+  }
+  return bus;
+}
+
+Bus NetlistBuilder::param_bus(const std::string& prefix, int width) {
+  Bus bus(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus[static_cast<std::size_t>(i)] =
+        nl_.add_param(common::strprintf("%s[%d]", prefix.c_str(), i));
+  }
+  return bus;
+}
+
+Bus NetlistBuilder::const_bus(std::uint64_t value, int width) {
+  Bus bus(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus[static_cast<std::size_t>(i)] = const_bit((value >> i) & 1);
+  }
+  return bus;
+}
+
+void NetlistBuilder::mark_output_bus(const Bus& bus) {
+  for (const NetId net : bus) nl_.mark_output(net);
+}
+
+Bus NetlistBuilder::not_bus(const Bus& a) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = not_(a[i]);
+  return out;
+}
+
+Bus NetlistBuilder::and_bus(const Bus& a, const Bus& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("and_bus: width mismatch");
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = and_(a[i], b[i]);
+  return out;
+}
+
+Bus NetlistBuilder::xor_bus(const Bus& a, const Bus& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("xor_bus: width mismatch");
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = xor_(a[i], b[i]);
+  return out;
+}
+
+Bus NetlistBuilder::mux_bus(NetId sel, const Bus& d0, const Bus& d1) {
+  if (d0.size() != d1.size()) throw std::invalid_argument("mux_bus: width mismatch");
+  Bus out(d0.size());
+  for (std::size_t i = 0; i < d0.size(); ++i) out[i] = mux_(sel, d0[i], d1[i]);
+  return out;
+}
+
+Bus NetlistBuilder::ripple_add(const Bus& a, const Bus& b, NetId cin, NetId* cout) {
+  if (a.size() != b.size()) throw std::invalid_argument("ripple_add: width mismatch");
+  Bus sum(a.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId axb = xor_(a[i], b[i]);
+    sum[i] = xor_(axb, carry);
+    carry = or_(and_(a[i], b[i]), and_(axb, carry));
+  }
+  if (cout) *cout = carry;
+  return sum;
+}
+
+Bus NetlistBuilder::ripple_sub(const Bus& a, const Bus& b, NetId* borrow_out) {
+  NetId carry = kNullNet;
+  const Bus diff = ripple_add(a, not_bus(b), const_bit(true), &carry);
+  if (borrow_out) *borrow_out = not_(carry);
+  return diff;
+}
+
+Bus NetlistBuilder::increment(const Bus& a, NetId* cout) {
+  Bus out(a.size());
+  NetId carry = const_bit(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = xor_(a[i], carry);
+    carry = and_(a[i], carry);
+  }
+  if (cout) *cout = carry;
+  return out;
+}
+
+NetId NetlistBuilder::reduce_or(const Bus& a) {
+  if (a.empty()) return const_bit(false);
+  NetId acc = a[0];
+  for (std::size_t i = 1; i < a.size(); ++i) acc = or_(acc, a[i]);
+  return acc;
+}
+
+NetId NetlistBuilder::reduce_and(const Bus& a) {
+  if (a.empty()) return const_bit(true);
+  NetId acc = a[0];
+  for (std::size_t i = 1; i < a.size(); ++i) acc = and_(acc, a[i]);
+  return acc;
+}
+
+NetId NetlistBuilder::equal(const Bus& a, const Bus& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("equal: width mismatch");
+  NetId acc = const_bit(true);
+  for (std::size_t i = 0; i < a.size(); ++i) acc = and_(acc, xnor_(a[i], b[i]));
+  return acc;
+}
+
+NetId NetlistBuilder::less_than(const Bus& a, const Bus& b) {
+  NetId borrow = kNullNet;
+  (void)ripple_sub(a, b, &borrow);
+  return borrow;
+}
+
+Bus NetlistBuilder::array_multiply(const Bus& a, const Bus& b) {
+  const std::size_t wa = a.size();
+  const std::size_t wb = b.size();
+  Bus result(wa + wb, const_bit(false));
+  // Row-by-row carry-save style accumulation with ripple rows: classic
+  // array multiplier structure whose depth grows linearly in width — the
+  // same structure FloPoCo emits when asked for a LUT-only multiplier.
+  Bus acc(wa + wb, const_bit(false));
+  for (std::size_t j = 0; j < wb; ++j) {
+    Bus partial(wa + wb, const_bit(false));
+    for (std::size_t i = 0; i < wa; ++i) {
+      partial[i + j] = and_(a[i], b[j]);
+    }
+    acc = ripple_add(acc, partial, const_bit(false), nullptr);
+  }
+  return acc;
+}
+
+Bus NetlistBuilder::shift_left(const Bus& value, const Bus& amount) {
+  Bus current = value;
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const std::size_t dist = std::size_t{1} << s;
+    Bus shifted(current.size(), const_bit(false));
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (i >= dist) shifted[i] = current[i - dist];
+    }
+    current = mux_bus(amount[s], current, shifted);
+  }
+  return current;
+}
+
+Bus NetlistBuilder::shift_right(const Bus& value, const Bus& amount) {
+  Bus current = value;
+  for (std::size_t s = 0; s < amount.size(); ++s) {
+    const std::size_t dist = std::size_t{1} << s;
+    Bus shifted(current.size(), const_bit(false));
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (i + dist < current.size()) shifted[i] = current[i + dist];
+    }
+    current = mux_bus(amount[s], current, shifted);
+  }
+  return current;
+}
+
+Bus NetlistBuilder::leading_zero_count(const Bus& value) {
+  // Priority scan from the MSB: count = index of first 1 from the top.
+  int lzc_width = 1;
+  while ((1 << lzc_width) <= static_cast<int>(value.size())) ++lzc_width;
+
+  Bus count = const_bus(value.size(), lzc_width);  // all-zero input => width
+  NetId found = const_bit(false);
+  for (std::size_t k = 0; k < value.size(); ++k) {
+    const std::size_t msb_index = value.size() - 1 - k;
+    const NetId bit = value[msb_index];
+    const NetId take = and_(not_(found), bit);
+    const Bus k_bus = const_bus(k, lzc_width);
+    count = mux_bus(take, count, k_bus);
+    found = or_(found, bit);
+  }
+  return count;
+}
+
+Bus NetlistBuilder::dff_bus(const Bus& d, std::uint64_t init) {
+  Bus q(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    q[i] = nl_.add_dff(d[i], (init >> i) & 1);
+  }
+  return q;
+}
+
+}  // namespace vcgra::netlist

@@ -1,0 +1,252 @@
+#include "vcgra/netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::netlist {
+
+int expected_fanin(CellKind kind) {
+  switch (kind) {
+    case CellKind::kConst0:
+    case CellKind::kConst1: return 0;
+    case CellKind::kBuf:
+    case CellKind::kNot:
+    case CellKind::kDff: return 1;
+    case CellKind::kAnd:
+    case CellKind::kOr:
+    case CellKind::kXor:
+    case CellKind::kNand:
+    case CellKind::kNor:
+    case CellKind::kXnor: return 2;
+    case CellKind::kMux: return 3;
+    case CellKind::kLut: return -1;
+  }
+  return -1;
+}
+
+const char* kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kConst0: return "const0";
+    case CellKind::kConst1: return "const1";
+    case CellKind::kBuf: return "buf";
+    case CellKind::kNot: return "not";
+    case CellKind::kAnd: return "and";
+    case CellKind::kOr: return "or";
+    case CellKind::kXor: return "xor";
+    case CellKind::kNand: return "nand";
+    case CellKind::kNor: return "nor";
+    case CellKind::kXnor: return "xnor";
+    case CellKind::kMux: return "mux";
+    case CellKind::kLut: return "lut";
+    case CellKind::kDff: return "dff";
+  }
+  return "?";
+}
+
+NetId Netlist::add_net(std::string name) {
+  const NetId id = static_cast<NetId>(nets_.size());
+  if (name.empty()) name = common::strprintf("n%u", id);
+  nets_.push_back(Net{std::move(name), kNoCell});
+  return id;
+}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId id = add_net(std::move(name));
+  inputs_.push_back(id);
+  return id;
+}
+
+NetId Netlist::add_param(std::string name) {
+  const NetId id = add_net(std::move(name));
+  params_.push_back(id);
+  return id;
+}
+
+void Netlist::mark_output(NetId net) { outputs_.push_back(net); }
+
+NetId Netlist::add_cell(CellKind kind, std::vector<NetId> ins, std::string out_name) {
+  const int arity = expected_fanin(kind);
+  if (arity >= 0 && static_cast<int>(ins.size()) != arity) {
+    throw std::invalid_argument(common::strprintf(
+        "add_cell(%s): expected %d pins, got %zu", kind_name(kind), arity, ins.size()));
+  }
+  const NetId out = add_net(std::move(out_name));
+  const CellId cid = static_cast<CellId>(cells_.size());
+  Cell cell;
+  cell.kind = kind;
+  cell.ins = std::move(ins);
+  cell.out = out;
+  cells_.push_back(std::move(cell));
+  nets_[out].driver = cid;
+  return out;
+}
+
+NetId Netlist::add_lut(std::vector<NetId> ins, boolfunc::TruthTable tt,
+                       std::string out_name) {
+  if (static_cast<int>(ins.size()) != tt.num_vars()) {
+    throw std::invalid_argument("add_lut: pin count != truth-table arity");
+  }
+  const NetId out = add_net(std::move(out_name));
+  const CellId cid = static_cast<CellId>(cells_.size());
+  Cell cell;
+  cell.kind = CellKind::kLut;
+  cell.ins = std::move(ins);
+  cell.out = out;
+  cell.tt = std::move(tt);
+  cells_.push_back(std::move(cell));
+  nets_[out].driver = cid;
+  return out;
+}
+
+NetId Netlist::add_dff(NetId d, bool init, std::string out_name) {
+  const NetId out = add_cell(CellKind::kDff, {d}, std::move(out_name));
+  cells_.back().init = init;
+  return out;
+}
+
+std::pair<NetId, CellId> Netlist::add_dff_floating(bool init, std::string out_name) {
+  const NetId out = add_cell(CellKind::kDff, {kNullNet}, std::move(out_name));
+  cells_.back().init = init;
+  return {out, static_cast<CellId>(cells_.size() - 1)};
+}
+
+void Netlist::connect_dff(CellId dff, NetId d) {
+  if (dff >= cells_.size() || cells_[dff].kind != CellKind::kDff) {
+    throw std::invalid_argument("connect_dff: not a DFF cell");
+  }
+  if (d >= nets_.size()) throw std::invalid_argument("connect_dff: bad net");
+  cells_[dff].ins[0] = d;
+}
+
+bool Netlist::is_input(NetId net) const {
+  return std::find(inputs_.begin(), inputs_.end(), net) != inputs_.end();
+}
+
+bool Netlist::is_param(NetId net) const {
+  return std::find(params_.begin(), params_.end(), net) != params_.end();
+}
+
+int Netlist::param_index(NetId net) const {
+  const auto it = std::find(params_.begin(), params_.end(), net);
+  if (it == params_.end()) return -1;
+  return static_cast<int>(it - params_.begin());
+}
+
+std::vector<CellId> Netlist::topo_order() const {
+  // Kahn's algorithm over the combinational graph: DFF outputs are
+  // sources (their D input does not create a combinational dependency).
+  std::vector<int> pending(cells_.size(), 0);
+  std::vector<std::vector<CellId>> users(nets_.size());
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (cells_[c].kind == CellKind::kDff) continue;  // handled separately
+    for (const NetId in : cells_[c].ins) {
+      const CellId drv = nets_[in].driver;
+      if (drv != kNoCell && cells_[drv].kind != CellKind::kDff) {
+        ++pending[c];
+        users[in].push_back(c);
+      }
+    }
+  }
+
+  std::vector<CellId> order;
+  order.reserve(cells_.size());
+  std::vector<CellId> ready;
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (cells_[c].kind != CellKind::kDff && pending[c] == 0) ready.push_back(c);
+  }
+  while (!ready.empty()) {
+    const CellId c = ready.back();
+    ready.pop_back();
+    order.push_back(c);
+    for (const CellId user : users[cells_[c].out]) {
+      if (--pending[user] == 0) ready.push_back(user);
+    }
+  }
+  std::size_t combinational = 0;
+  for (const auto& cell : cells_) {
+    if (cell.kind != CellKind::kDff) ++combinational;
+  }
+  if (order.size() != combinational) {
+    throw std::runtime_error("Netlist::topo_order: combinational cycle detected");
+  }
+  // DFFs last; they consume settled combinational values.
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (cells_[c].kind == CellKind::kDff) order.push_back(c);
+  }
+  return order;
+}
+
+int Netlist::logic_depth() const {
+  const std::vector<CellId> order = topo_order();
+  std::vector<int> net_depth(nets_.size(), 0);
+  int max_depth = 0;
+  for (const CellId c : order) {
+    const Cell& cell = cells_[c];
+    if (cell.kind == CellKind::kDff) continue;
+    int depth = 0;
+    for (const NetId in : cell.ins) {
+      const CellId drv = nets_[in].driver;
+      if (drv != kNoCell && cells_[drv].kind != CellKind::kDff) {
+        depth = std::max(depth, net_depth[in]);
+      }
+    }
+    // Buffers and constants are free; everything else is one level.
+    const bool counts = cell.kind != CellKind::kBuf && cell.kind != CellKind::kConst0 &&
+                        cell.kind != CellKind::kConst1;
+    net_depth[cell.out] = depth + (counts ? 1 : 0);
+    max_depth = std::max(max_depth, net_depth[cell.out]);
+  }
+  return max_depth;
+}
+
+std::vector<std::size_t> Netlist::kind_histogram() const {
+  std::vector<std::size_t> histogram(static_cast<std::size_t>(CellKind::kDff) + 1, 0);
+  for (const auto& cell : cells_) ++histogram[static_cast<std::size_t>(cell.kind)];
+  return histogram;
+}
+
+std::vector<std::vector<CellId>> Netlist::fanouts() const {
+  std::vector<std::vector<CellId>> result(nets_.size());
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    for (const NetId in : cells_[c].ins) {
+      if (in != kNullNet) result[in].push_back(c);
+    }
+  }
+  return result;
+}
+
+void Netlist::validate() const {
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    const Cell& cell = cells_[c];
+    if (cell.out >= nets_.size()) {
+      throw std::runtime_error(common::strprintf("cell %u: bad output net", c));
+    }
+    if (nets_[cell.out].driver != c) {
+      throw std::runtime_error(common::strprintf("cell %u: driver link broken", c));
+    }
+    for (const NetId in : cell.ins) {
+      if (in == kNullNet) {
+        throw std::runtime_error(
+            common::strprintf("cell %u: unconnected pin (missing connect_dff?)", c));
+      }
+      if (in >= nets_.size()) {
+        throw std::runtime_error(common::strprintf("cell %u: bad input net", c));
+      }
+    }
+    const int arity = expected_fanin(cell.kind);
+    if (arity >= 0 && static_cast<int>(cell.ins.size()) != arity) {
+      throw std::runtime_error(common::strprintf("cell %u: arity mismatch", c));
+    }
+    if (cell.kind == CellKind::kLut &&
+        static_cast<int>(cell.ins.size()) != cell.tt.num_vars()) {
+      throw std::runtime_error(common::strprintf("cell %u: LUT arity mismatch", c));
+    }
+  }
+  for (const NetId out : outputs_) {
+    if (out >= nets_.size()) throw std::runtime_error("bad output net id");
+  }
+}
+
+}  // namespace vcgra::netlist

@@ -1,0 +1,249 @@
+#include "vcgra/netlist/passes.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "vcgra/common/strings.hpp"
+#include "vcgra/netlist/builder.hpp"
+
+namespace vcgra::netlist {
+
+std::string NetlistStats::to_string() const {
+  return common::strprintf(
+      "cells=%zu gates=%zu luts=%zu dffs=%zu depth=%d", total_cells, gates, luts,
+      dffs, depth);
+}
+
+NetlistStats stats(const Netlist& netlist) {
+  NetlistStats s;
+  s.total_cells = netlist.num_cells();
+  for (const auto& cell : netlist.cells()) {
+    switch (cell.kind) {
+      case CellKind::kDff: ++s.dffs; break;
+      case CellKind::kLut: ++s.luts; break;
+      case CellKind::kBuf:
+      case CellKind::kConst0:
+      case CellKind::kConst1: break;
+      default: ++s.gates; break;
+    }
+  }
+  s.depth = netlist.logic_depth();
+  return s;
+}
+
+namespace {
+
+/// Rebuild `input` through a folding/hashing builder. `bound` maps nets to
+/// forced constant values (0/1); nets absent from `bound` pass through.
+/// Unbound externally driven nets keep their role (input/param).
+RebuildResult rebuild_folding(const Netlist& input, const std::vector<int>& bound) {
+  RebuildResult result{Netlist(input.name()), std::vector<NetId>(input.num_nets(), kNullNet)};
+  Netlist& out = result.netlist;
+  NetlistBuilder builder(out);
+  std::vector<NetId>& net_map = result.net_map;
+
+  for (const NetId in : input.inputs()) {
+    net_map[in] = out.add_input(input.net(in).name);
+  }
+  for (const NetId p : input.params()) {
+    const NetId fresh = out.add_param(input.net(p).name);
+    if (bound[p] < 0) {
+      net_map[p] = fresh;
+    } else {
+      // Parameter bound to a constant: keep the param net in the interface
+      // (dangling) but route all users to the constant.
+      net_map[p] = builder.const_bit(bound[p] != 0);
+    }
+  }
+
+  // DFF outputs are combinational sources (possibly in feedback loops), so
+  // create every DFF up front and wire its D pin after the main pass.
+  std::vector<std::pair<CellId, CellId>> dff_pairs;  // {old cell, new cell}
+  for (CellId c = 0; c < input.num_cells(); ++c) {
+    const Cell& cell = input.cell(c);
+    if (cell.kind != CellKind::kDff) continue;
+    const auto [q, new_cell] =
+        out.add_dff_floating(cell.init, input.net(cell.out).name);
+    net_map[cell.out] = q;
+    dff_pairs.emplace_back(c, new_cell);
+  }
+
+  for (const CellId c : input.topo_order()) {
+    const Cell& cell = input.cell(c);
+    if (cell.kind == CellKind::kDff) continue;
+    std::vector<NetId> ins(cell.ins.size());
+    for (std::size_t i = 0; i < cell.ins.size(); ++i) {
+      const NetId mapped = net_map[cell.ins[i]];
+      if (mapped == kNullNet) {
+        throw std::runtime_error("rebuild_folding: input evaluated before driver");
+      }
+      ins[i] = mapped;
+    }
+    NetId mapped_out = kNullNet;
+    switch (cell.kind) {
+      case CellKind::kConst0: mapped_out = builder.const_bit(false); break;
+      case CellKind::kConst1: mapped_out = builder.const_bit(true); break;
+      case CellKind::kBuf: mapped_out = ins[0]; break;
+      case CellKind::kNot: mapped_out = builder.not_(ins[0]); break;
+      case CellKind::kAnd: mapped_out = builder.and_(ins[0], ins[1]); break;
+      case CellKind::kOr: mapped_out = builder.or_(ins[0], ins[1]); break;
+      case CellKind::kXor: mapped_out = builder.xor_(ins[0], ins[1]); break;
+      case CellKind::kNand: mapped_out = builder.nand_(ins[0], ins[1]); break;
+      case CellKind::kNor: mapped_out = builder.nor_(ins[0], ins[1]); break;
+      case CellKind::kXnor: mapped_out = builder.xnor_(ins[0], ins[1]); break;
+      case CellKind::kMux: mapped_out = builder.mux_(ins[0], ins[1], ins[2]); break;
+      case CellKind::kLut: {
+        // Fold constant leaves into the truth table, then re-emit.
+        boolfunc::TruthTable tt = cell.tt;
+        std::vector<NetId> live;
+        std::vector<int> old_of_new;
+        for (std::size_t i = 0; i < ins.size(); ++i) {
+          const CellId driver = out.net(ins[i]).driver;
+          bool is_const = false, value = false;
+          if (driver != kNoCell) {
+            const CellKind dk = out.cell(driver).kind;
+            if (dk == CellKind::kConst0) {
+              is_const = true;
+              value = false;
+            } else if (dk == CellKind::kConst1) {
+              is_const = true;
+              value = true;
+            }
+          }
+          if (is_const) {
+            tt = tt.cofactor(static_cast<int>(i), value);
+          } else {
+            live.push_back(ins[i]);
+            old_of_new.push_back(static_cast<int>(i));
+          }
+        }
+        if (tt.is_const(false)) {
+          mapped_out = builder.const_bit(false);
+        } else if (tt.is_const(true)) {
+          mapped_out = builder.const_bit(true);
+        } else {
+          const boolfunc::TruthTable compact =
+              tt.permute(static_cast<int>(live.size()), old_of_new);
+          int wire_index = -1;
+          bool inverted = false;
+          if (compact.is_wire(&wire_index, &inverted)) {
+            mapped_out = inverted ? builder.not_(live[static_cast<std::size_t>(wire_index)])
+                                  : live[static_cast<std::size_t>(wire_index)];
+          } else {
+            mapped_out = out.add_lut(live, compact);
+          }
+        }
+        break;
+      }
+      case CellKind::kDff: break;  // handled in the pre-pass
+    }
+    net_map[cell.out] = mapped_out;
+  }
+
+  for (const auto& [old_cell, new_cell] : dff_pairs) {
+    out.connect_dff(new_cell, net_map[input.cell(old_cell).ins[0]]);
+  }
+
+  for (const NetId po : input.outputs()) {
+    out.mark_output(net_map[po]);
+  }
+  return result;
+}
+
+}  // namespace
+
+RebuildResult dead_code_eliminate(const Netlist& input) {
+  // Mark reachable cells: reverse traversal from outputs; DFFs pull in their
+  // D-cones.
+  std::vector<char> net_live(input.num_nets(), 0);
+  std::vector<NetId> stack;
+  for (const NetId po : input.outputs()) {
+    if (!net_live[po]) {
+      net_live[po] = 1;
+      stack.push_back(po);
+    }
+  }
+  while (!stack.empty()) {
+    const NetId net = stack.back();
+    stack.pop_back();
+    const CellId driver = input.net(net).driver;
+    if (driver == kNoCell) continue;
+    for (const NetId in : input.cell(driver).ins) {
+      if (!net_live[in]) {
+        net_live[in] = 1;
+        stack.push_back(in);
+      }
+    }
+  }
+
+  RebuildResult result{Netlist(input.name()),
+                       std::vector<NetId>(input.num_nets(), kNullNet)};
+  Netlist& out = result.netlist;
+  std::vector<NetId>& net_map = result.net_map;
+  for (const NetId in : input.inputs()) net_map[in] = out.add_input(input.net(in).name);
+  for (const NetId p : input.params()) net_map[p] = out.add_param(input.net(p).name);
+
+  std::vector<std::pair<CellId, CellId>> dff_pairs;
+  for (CellId c = 0; c < input.num_cells(); ++c) {
+    const Cell& cell = input.cell(c);
+    if (cell.kind != CellKind::kDff || !net_live[cell.out]) continue;
+    const auto [q, new_cell] =
+        out.add_dff_floating(cell.init, input.net(cell.out).name);
+    net_map[cell.out] = q;
+    dff_pairs.emplace_back(c, new_cell);
+  }
+
+  for (const CellId c : input.topo_order()) {
+    const Cell& cell = input.cell(c);
+    if (cell.kind == CellKind::kDff || !net_live[cell.out]) continue;
+    std::vector<NetId> ins(cell.ins.size());
+    for (std::size_t i = 0; i < cell.ins.size(); ++i) ins[i] = net_map[cell.ins[i]];
+    NetId mapped = kNullNet;
+    if (cell.kind == CellKind::kLut) {
+      mapped = out.add_lut(std::move(ins), cell.tt, input.net(cell.out).name);
+    } else {
+      mapped = out.add_cell(cell.kind, std::move(ins), input.net(cell.out).name);
+    }
+    net_map[cell.out] = mapped;
+  }
+  for (const auto& [old_cell, new_cell] : dff_pairs) {
+    out.connect_dff(new_cell, net_map[input.cell(old_cell).ins[0]]);
+  }
+  for (const NetId po : input.outputs()) out.mark_output(net_map[po]);
+  return result;
+}
+
+RebuildResult clean(const Netlist& input) {
+  const std::vector<int> unbound(input.num_nets(), -1);
+  RebuildResult folded = rebuild_folding(input, unbound);
+  RebuildResult pruned = dead_code_eliminate(folded.netlist);
+  // Compose the net maps so callers can still trace original nets.
+  RebuildResult result{std::move(pruned.netlist),
+                       std::vector<NetId>(input.num_nets(), kNullNet)};
+  for (NetId n = 0; n < input.num_nets(); ++n) {
+    const NetId mid = folded.net_map[n];
+    if (mid != kNullNet) result.net_map[n] = pruned.net_map[mid];
+  }
+  return result;
+}
+
+RebuildResult specialize(const Netlist& input, const std::vector<bool>& param_values) {
+  if (param_values.size() != input.params().size()) {
+    throw std::invalid_argument("specialize: parameter value count mismatch");
+  }
+  std::vector<int> bound(input.num_nets(), -1);
+  for (std::size_t i = 0; i < param_values.size(); ++i) {
+    bound[input.params()[i]] = param_values[i] ? 1 : 0;
+  }
+  RebuildResult folded = rebuild_folding(input, bound);
+  RebuildResult pruned = dead_code_eliminate(folded.netlist);
+  RebuildResult result{std::move(pruned.netlist),
+                       std::vector<NetId>(input.num_nets(), kNullNet)};
+  for (NetId n = 0; n < input.num_nets(); ++n) {
+    const NetId mid = folded.net_map[n];
+    if (mid != kNullNet) result.net_map[n] = pruned.net_map[mid];
+  }
+  return result;
+}
+
+}  // namespace vcgra::netlist

@@ -1,0 +1,95 @@
+#include "vcgra/netlist/simulate.hpp"
+
+#include <stdexcept>
+
+namespace vcgra::netlist {
+
+Simulator::Simulator(const Netlist& netlist)
+    : nl_(netlist),
+      order_(netlist.topo_order()),
+      values_(netlist.num_nets(), 0),
+      state_(netlist.num_cells(), 0) {
+  nl_.validate();
+  reset();
+}
+
+void Simulator::set_net(NetId net, bool value) {
+  if (nl_.net(net).driver != kNoCell) {
+    throw std::invalid_argument("Simulator::set_net: net has a driver");
+  }
+  values_[net] = value ? 1 : 0;
+}
+
+void Simulator::set_bus(const Bus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    set_net(bus[i], (value >> i) & 1);
+  }
+}
+
+void Simulator::reset() {
+  for (CellId c = 0; c < nl_.num_cells(); ++c) {
+    if (nl_.cell(c).kind == CellKind::kDff) state_[c] = nl_.cell(c).init ? 1 : 0;
+  }
+}
+
+void Simulator::eval() {
+  // DFF outputs first (they are combinational sources).
+  for (CellId c = 0; c < nl_.num_cells(); ++c) {
+    const Cell& cell = nl_.cell(c);
+    if (cell.kind == CellKind::kDff) values_[cell.out] = state_[c];
+  }
+  for (const CellId c : order_) {
+    const Cell& cell = nl_.cell(c);
+    if (cell.kind == CellKind::kDff) continue;
+    const auto in = [&](std::size_t i) { return values_[cell.ins[i]] != 0; };
+    bool out = false;
+    switch (cell.kind) {
+      case CellKind::kConst0: out = false; break;
+      case CellKind::kConst1: out = true; break;
+      case CellKind::kBuf: out = in(0); break;
+      case CellKind::kNot: out = !in(0); break;
+      case CellKind::kAnd: out = in(0) && in(1); break;
+      case CellKind::kOr: out = in(0) || in(1); break;
+      case CellKind::kXor: out = in(0) != in(1); break;
+      case CellKind::kNand: out = !(in(0) && in(1)); break;
+      case CellKind::kNor: out = !(in(0) || in(1)); break;
+      case CellKind::kXnor: out = in(0) == in(1); break;
+      case CellKind::kMux: out = in(0) ? in(2) : in(1); break;
+      case CellKind::kLut: {
+        std::uint64_t minterm = 0;
+        for (std::size_t i = 0; i < cell.ins.size(); ++i) {
+          if (in(i)) minterm |= (std::uint64_t{1} << i);
+        }
+        out = cell.tt.get(minterm);
+        break;
+      }
+      case CellKind::kDff: break;  // unreachable
+    }
+    values_[cell.out] = out ? 1 : 0;
+  }
+}
+
+void Simulator::step() {
+  eval();
+  for (CellId c = 0; c < nl_.num_cells(); ++c) {
+    const Cell& cell = nl_.cell(c);
+    if (cell.kind == CellKind::kDff) state_[c] = values_[cell.ins[0]];
+  }
+}
+
+std::uint64_t Simulator::read_bus(const Bus& bus) const {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    if (value(bus[i])) out |= (std::uint64_t{1} << i);
+  }
+  return out;
+}
+
+std::vector<bool> Simulator::outputs() const {
+  std::vector<bool> out;
+  out.reserve(nl_.outputs().size());
+  for (const NetId net : nl_.outputs()) out.push_back(value(net));
+  return out;
+}
+
+}  // namespace vcgra::netlist

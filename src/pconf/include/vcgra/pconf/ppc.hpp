@@ -1,0 +1,88 @@
+// Parameterized configuration: Template Configuration (TC), Partial
+// Parameterized Configuration (PPC) and the Specialized Configuration
+// Generator (SCG).
+//
+// The generic stage of the DCS tool flow (Fig. 3 of the paper) ends with
+// two artefacts:
+//   * the TC — all configuration bits that do NOT depend on parameters
+//     (plain-LUT configs, static routing);
+//   * the PPC — for every *tunable* bit (TLUT configuration bits and TCON
+//     switch selectors), a multi-output Boolean function of the parameter
+//     inputs.
+//
+// The specialization stage (the SCG, running on an embedded CPU in the
+// paper) evaluates the PPC for concrete parameter values, producing the
+// specialized bits, and writes the frames that changed through
+// HWICAP/MiCAP micro-reconfiguration.
+//
+// PPC bit functions are stored as BDDs over the parameter inputs, which
+// both canonicalizes them (identical functions share nodes — the "PPC
+// memory" cost the paper mentions) and makes SCG evaluation a single
+// root-to-terminal walk per bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vcgra/boolfunc/bdd.hpp"
+#include "vcgra/fpga/frames.hpp"
+#include "vcgra/techmap/mapped_netlist.hpp"
+
+namespace vcgra::pconf {
+
+enum class TunableBitKind : std::uint8_t {
+  kTlutConfig,   // one truth-table bit of a TLUT
+  kTconSelect,   // "TCON routes its i-th input" selector
+  kTconConst,    // "TCON drives a constant" selector (bit_index 0 -> 0, 1 -> 1)
+};
+
+struct TunableBit {
+  TunableBitKind kind = TunableBitKind::kTlutConfig;
+  std::uint32_t node = 0;    // index into MappedNetlist::nodes()
+  std::uint32_t bit = 0;     // minterm index (TLUT) or input index (TCON)
+  std::uint32_t frame = 0;   // configuration frame holding this bit
+  boolfunc::BddRef function = 0;
+};
+
+struct PpcStats {
+  std::size_t tunable_bits = 0;
+  std::size_t static_bits = 0;   // TC size (plain-LUT configuration bits)
+  std::size_t frames = 0;        // distinct frames containing tunable bits
+  std::size_t bdd_nodes = 0;     // shared-BDD size: the PPC memory proxy
+};
+
+class ParameterizedConfiguration {
+ public:
+  /// Run the generic stage on a mapped netlist: collect the TC size and
+  /// build the PPC bit functions. BDD variable i == parameter index i of
+  /// the source netlist.
+  static ParameterizedConfiguration generate(const techmap::MappedNetlist& mapped,
+                                             const fpga::FrameModel& frames = {});
+
+  const std::vector<TunableBit>& bits() const { return bits_; }
+  const boolfunc::BddManager& manager() const { return manager_; }
+  PpcStats stats() const;
+
+  /// SCG: evaluate every tunable bit for the given parameter values
+  /// (indexed by source-netlist parameter position).
+  std::vector<bool> specialize(const std::vector<bool>& param_values) const;
+
+  /// Frames whose content differs between two specializations — the dirty
+  /// set that micro-reconfiguration must read-modify-write.
+  std::vector<std::uint32_t> dirty_frames(const std::vector<bool>& before,
+                                          const std::vector<bool>& after) const;
+
+  /// Reconfiguration cost for writing `dirty` frames + evaluating the PPC.
+  fpga::ReconfigCost reconfig_cost(std::size_t num_dirty_frames) const;
+
+  const fpga::FrameModel& frame_model() const { return frame_model_; }
+
+ private:
+  boolfunc::BddManager manager_;
+  std::vector<TunableBit> bits_;
+  std::size_t static_bits_ = 0;
+  std::size_t num_frames_ = 0;
+  fpga::FrameModel frame_model_;
+};
+
+}  // namespace vcgra::pconf

@@ -1,0 +1,162 @@
+#include "vcgra/pconf/ppc.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace vcgra::pconf {
+
+using boolfunc::BddRef;
+using boolfunc::TruthTable;
+using techmap::MappedKind;
+using techmap::MappedNode;
+
+ParameterizedConfiguration ParameterizedConfiguration::generate(
+    const techmap::MappedNetlist& mapped, const fpga::FrameModel& frames) {
+  ParameterizedConfiguration ppc;
+  ppc.frame_model_ = frames;
+  const auto& source = mapped.source();
+
+  std::uint32_t next_frame = 0;
+  for (std::uint32_t node_index = 0; node_index < mapped.nodes().size();
+       ++node_index) {
+    const MappedNode& node = mapped.nodes()[node_index];
+    const int num_real = static_cast<int>(node.real_ins.size());
+    const int num_param = static_cast<int>(node.param_ins.size());
+
+    if (node.kind == MappedKind::kLut) {
+      // Static configuration -> Template Configuration.
+      ppc.static_bits_ += std::size_t{1} << num_real;
+      continue;
+    }
+
+    // Parameter variable indices for this node's param pins.
+    std::vector<int> param_vars(static_cast<std::size_t>(num_param));
+    for (int p = 0; p < num_param; ++p) {
+      const int idx = source.param_index(node.param_ins[static_cast<std::size_t>(p)]);
+      if (idx < 0) throw std::logic_error("PPC: param pin is not a parameter");
+      param_vars[static_cast<std::size_t>(p)] = idx;
+    }
+
+    if (node.kind == MappedKind::kTlut) {
+      // One tunable bit per truth-table entry over the real inputs; its
+      // function of the parameters is the cofactor at that minterm.
+      const std::uint32_t frames_here =
+          static_cast<std::uint32_t>(frames.frames_per_tlut);
+      for (std::uint64_t m = 0; m < (std::uint64_t{1} << num_real); ++m) {
+        TruthTable cof = node.tt;
+        for (int v = 0; v < num_real; ++v) {
+          cof = cof.cofactor(v, (m >> v) & 1);
+        }
+        // Compact to param vars only (vars num_real.. stay in place; the
+        // reals are vacuous now).
+        std::vector<int> old_of_new(static_cast<std::size_t>(num_param));
+        for (int p = 0; p < num_param; ++p) {
+          old_of_new[static_cast<std::size_t>(p)] = num_real + p;
+        }
+        const TruthTable param_fn = cof.permute(num_param, old_of_new);
+        TunableBit bit;
+        bit.kind = TunableBitKind::kTlutConfig;
+        bit.node = node_index;
+        bit.bit = static_cast<std::uint32_t>(m);
+        bit.frame = next_frame + static_cast<std::uint32_t>(
+                                     m % std::max<std::uint64_t>(1, frames_here));
+        bit.function = ppc.manager_.from_truth_table(param_fn, param_vars);
+        ppc.bits_.push_back(bit);
+      }
+      next_frame += frames_here;
+      continue;
+    }
+
+    // TCON: one selector bit per real input ("route input i through") and
+    // two constant selectors. sel_i(params) is true when the cofactor at
+    // that parameter assignment is exactly the wire from input i.
+    std::vector<TruthTable> selector(static_cast<std::size_t>(num_real) + 2,
+                                     TruthTable::zero(num_param));
+    for (std::uint64_t pi = 0; pi < (std::uint64_t{1} << num_param); ++pi) {
+      TruthTable cof = node.tt;
+      for (int p = 0; p < num_param; ++p) {
+        cof = cof.cofactor(num_real + p, (pi >> p) & 1);
+      }
+      std::vector<int> identity(static_cast<std::size_t>(num_real));
+      for (int v = 0; v < num_real; ++v) identity[static_cast<std::size_t>(v)] = v;
+      cof = cof.permute(num_real, identity);
+      int which = -1;
+      if (cof.is_const(false)) {
+        which = num_real;  // constant-0 selector
+      } else if (cof.is_const(true)) {
+        which = num_real + 1;
+      } else {
+        int wire = -1;
+        bool inverted = false;
+        if (!cof.is_wire(&wire, &inverted) || inverted) {
+          throw std::logic_error("PPC: TCON node is not wire-per-cofactor");
+        }
+        which = wire;
+      }
+      selector[static_cast<std::size_t>(which)].set(pi, true);
+    }
+    for (std::size_t i = 0; i < selector.size(); ++i) {
+      TunableBit bit;
+      bit.kind = i < static_cast<std::size_t>(num_real) ? TunableBitKind::kTconSelect
+                                                        : TunableBitKind::kTconConst;
+      bit.node = node_index;
+      bit.bit = static_cast<std::uint32_t>(
+          i < static_cast<std::size_t>(num_real) ? i
+                                                 : i - static_cast<std::size_t>(num_real));
+      bit.frame = next_frame;
+      bit.function = ppc.manager_.from_truth_table(selector[i], param_vars);
+      ppc.bits_.push_back(bit);
+    }
+    next_frame += static_cast<std::uint32_t>(frames.frames_per_tcon);
+  }
+  ppc.num_frames_ = next_frame;
+  return ppc;
+}
+
+PpcStats ParameterizedConfiguration::stats() const {
+  PpcStats stats;
+  stats.tunable_bits = bits_.size();
+  stats.static_bits = static_bits_;
+  stats.frames = num_frames_;
+  stats.bdd_nodes = manager_.total_nodes();
+  return stats;
+}
+
+std::vector<bool> ParameterizedConfiguration::specialize(
+    const std::vector<bool>& param_values) const {
+  std::vector<bool> out(bits_.size());
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    out[i] = manager_.eval(bits_[i].function, param_values);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> ParameterizedConfiguration::dirty_frames(
+    const std::vector<bool>& before, const std::vector<bool>& after) const {
+  if (before.size() != bits_.size() || after.size() != bits_.size()) {
+    throw std::invalid_argument("dirty_frames: specialization size mismatch");
+  }
+  std::unordered_set<std::uint32_t> dirty;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (before[i] != after[i]) dirty.insert(bits_[i].frame);
+  }
+  return std::vector<std::uint32_t>(dirty.begin(), dirty.end());
+}
+
+fpga::ReconfigCost ParameterizedConfiguration::reconfig_cost(
+    std::size_t num_dirty_frames) const {
+  fpga::ReconfigCost cost;
+  cost.frames = num_dirty_frames;
+  cost.tunable_bits = bits_.size();
+  cost.eval_seconds = static_cast<double>(bits_.size()) *
+                      frame_model_.boolean_eval_per_bit_seconds;
+  cost.hwicap_seconds = cost.eval_seconds +
+                        static_cast<double>(num_dirty_frames) *
+                            frame_model_.hwicap_frame_rmw_seconds;
+  cost.micap_seconds = cost.eval_seconds +
+                       static_cast<double>(num_dirty_frames) *
+                           frame_model_.micap_frame_rmw_seconds;
+  return cost;
+}
+
+}  // namespace vcgra::pconf

@@ -1,0 +1,76 @@
+// TPLACE: simulated-annealing placement (VPR-style adaptive schedule).
+//
+// Places the blocks of a mapped LUT netlist onto the island FPGA's logic
+// grid and IO ring, minimizing the classic bounding-box wirelength
+// estimate (HPWL scaled by the VPR q-factor for high-fanout nets).  This
+// is the placement half of the TPaR tool suite the paper uses [11]; the
+// same placer serves both the conventional and the fully parameterized
+// flows so the Table I wirelength comparison is apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcgra/fpga/arch.hpp"
+#include "vcgra/netlist/netlist.hpp"
+
+namespace vcgra::place {
+
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNoBlock = ~BlockId{0};
+
+enum class BlockKind : std::uint8_t { kLogic, kInputPad, kOutputPad };
+
+struct Block {
+  BlockKind kind = BlockKind::kLogic;
+  std::string name;
+  // Back-references into the source netlist.
+  netlist::CellId cell = netlist::kNoCell;  // for logic blocks
+  netlist::NetId net = netlist::kNullNet;   // for pads: the PI/PO net
+};
+
+/// Multi-terminal net: pins[0] is the driver block, the rest are sinks.
+/// `sink_pins[i]` is the input-pin index at the sink block (LUT pin), used
+/// later by the router to pick the physical IPIN.
+struct PlacementNet {
+  netlist::NetId net = netlist::kNullNet;
+  std::vector<BlockId> pins;
+  std::vector<int> sink_pins;
+};
+
+struct PlacementProblem {
+  std::vector<Block> blocks;
+  std::vector<PlacementNet> nets;
+
+  std::size_t num_logic_blocks() const;
+  std::size_t num_pads() const;
+
+  /// Build from a LUT/DFF netlist (constants folded away; see
+  /// netlist::clean). Each LUT or DFF cell becomes a logic block; each
+  /// used primary input and every primary output becomes a pad.
+  static PlacementProblem from_netlist(const netlist::Netlist& netlist);
+};
+
+struct Placement {
+  // Per block: tile coordinate and sub-slot (pads share IO tiles).
+  struct Loc {
+    int x = 0;
+    int y = 0;
+    int slot = 0;
+  };
+  std::vector<Loc> locations;
+
+  double hpwl(const PlacementProblem& problem) const;
+};
+
+struct PlaceOptions {
+  std::uint64_t seed = 1;
+  double effort = 1.0;  // scales moves per temperature
+};
+
+/// Simulated-annealing placement. Throws if the device is too small.
+Placement place(const PlacementProblem& problem, const fpga::ArchParams& arch,
+                const PlaceOptions& options = {});
+
+}  // namespace vcgra::place

@@ -1,0 +1,377 @@
+#include "vcgra/place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "vcgra/common/log.hpp"
+#include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::place {
+
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::NetId;
+
+std::size_t PlacementProblem::num_logic_blocks() const {
+  std::size_t count = 0;
+  for (const auto& block : blocks) {
+    if (block.kind == BlockKind::kLogic) ++count;
+  }
+  return count;
+}
+
+std::size_t PlacementProblem::num_pads() const {
+  return blocks.size() - num_logic_blocks();
+}
+
+PlacementProblem PlacementProblem::from_netlist(const netlist::Netlist& nl) {
+  PlacementProblem problem;
+  std::unordered_map<NetId, BlockId> driver_block;  // net -> driving block
+  std::unordered_map<CellId, BlockId> cell_block;
+
+  const auto is_const_cell = [&](CellId c) {
+    const CellKind kind = nl.cell(c).kind;
+    return kind == CellKind::kConst0 || kind == CellKind::kConst1;
+  };
+
+  // Logic blocks.
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (is_const_cell(c)) continue;
+    const auto& cell = nl.cell(c);
+    if (cell.kind != CellKind::kLut && cell.kind != CellKind::kDff) {
+      throw std::invalid_argument(
+          "PlacementProblem: netlist must contain only LUT/DFF/const cells");
+    }
+    const BlockId id = static_cast<BlockId>(problem.blocks.size());
+    problem.blocks.push_back(
+        Block{BlockKind::kLogic, nl.net(cell.out).name, c, cell.out});
+    cell_block[c] = id;
+    driver_block[cell.out] = id;
+  }
+
+  // Input pads for used primary inputs and parameter nets with fanout.
+  const auto fanouts = nl.fanouts();
+  const auto add_input_pad = [&](NetId net) {
+    if (fanouts[net].empty()) return;
+    const BlockId id = static_cast<BlockId>(problem.blocks.size());
+    problem.blocks.push_back(
+        Block{BlockKind::kInputPad, nl.net(net).name, netlist::kNoCell, net});
+    driver_block[net] = id;
+  };
+  for (const NetId in : nl.inputs()) add_input_pad(in);
+  for (const NetId p : nl.params()) add_input_pad(p);
+
+  // Output pads.
+  std::vector<BlockId> output_pads;
+  for (const NetId po : nl.outputs()) {
+    const BlockId id = static_cast<BlockId>(problem.blocks.size());
+    problem.blocks.push_back(
+        Block{BlockKind::kOutputPad, nl.net(po).name + "_po", netlist::kNoCell, po});
+    output_pads.push_back(id);
+  }
+
+  // Nets.
+  std::unordered_map<NetId, std::size_t> net_index;
+  const auto net_for = [&](NetId net) -> PlacementNet* {
+    const auto drv = driver_block.find(net);
+    if (drv == driver_block.end()) return nullptr;  // const or dangling
+    const auto it = net_index.find(net);
+    if (it != net_index.end()) return &problem.nets[it->second];
+    net_index[net] = problem.nets.size();
+    PlacementNet pnet;
+    pnet.net = net;
+    pnet.pins.push_back(drv->second);
+    problem.nets.push_back(std::move(pnet));
+    return &problem.nets.back();
+  };
+
+  for (CellId c = 0; c < nl.num_cells(); ++c) {
+    if (is_const_cell(c)) continue;
+    const auto& cell = nl.cell(c);
+    for (std::size_t pin = 0; pin < cell.ins.size(); ++pin) {
+      PlacementNet* pnet = net_for(cell.ins[pin]);
+      if (!pnet) continue;
+      pnet->pins.push_back(cell_block.at(c));
+      pnet->sink_pins.push_back(static_cast<int>(pin));
+    }
+  }
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    PlacementNet* pnet = net_for(nl.outputs()[i]);
+    if (!pnet) continue;
+    pnet->pins.push_back(output_pads[i]);
+    pnet->sink_pins.push_back(0);
+  }
+
+  // Drop single-pin nets (no sinks).
+  std::vector<PlacementNet> kept;
+  kept.reserve(problem.nets.size());
+  for (auto& pnet : problem.nets) {
+    if (pnet.pins.size() >= 2) kept.push_back(std::move(pnet));
+  }
+  problem.nets = std::move(kept);
+  return problem;
+}
+
+namespace {
+
+/// VPR's q-correction for the bounding-box wirelength of high-fanout nets.
+double q_factor(std::size_t pins) {
+  static constexpr double kTable[] = {
+      1.0,    1.0,    1.0,    1.0828, 1.1536, 1.2206, 1.2823, 1.3385,
+      1.3991, 1.4493, 1.4974, 1.5455, 1.5937, 1.6418, 1.6899, 1.7304,
+      1.7709, 1.8114, 1.8519, 1.8924, 1.9288, 1.9652, 2.0015, 2.0379,
+      2.0743, 2.1061, 2.1379, 2.1698, 2.2016, 2.2334, 2.2646, 2.2958,
+      2.3271, 2.3583, 2.3895, 2.4187, 2.4479, 2.4772, 2.5064, 2.5356,
+      2.5610, 2.5864, 2.6117, 2.6371, 2.6625, 2.6887, 2.7148, 2.7410,
+      2.7671, 2.7933};
+  if (pins < std::size(kTable)) return kTable[pins];
+  return 2.7933 + 0.02616 * (static_cast<double>(pins) - 49.0);
+}
+
+struct Slot {
+  int x = 0;
+  int y = 0;
+  int slot = 0;
+};
+
+struct Annealer {
+  const PlacementProblem& problem;
+  const fpga::ArchParams& arch;
+  common::Rng rng;
+
+  std::vector<Placement::Loc> loc;              // per block
+  std::vector<std::vector<std::size_t>> nets_of;  // block -> net indices
+  std::vector<double> net_cost;
+  std::unordered_map<std::uint64_t, BlockId> occupancy;  // slot key -> block
+  std::vector<Slot> logic_slots;
+  std::vector<Slot> io_slots;
+
+  static std::uint64_t slot_key(int x, int y, int slot) {
+    return (static_cast<std::uint64_t>(x) << 32) |
+           (static_cast<std::uint64_t>(y) << 8) | static_cast<std::uint64_t>(slot);
+  }
+
+  double net_hpwl(const PlacementNet& pnet) const {
+    int min_x = 1 << 30, max_x = -(1 << 30);
+    int min_y = 1 << 30, max_y = -(1 << 30);
+    for (const BlockId b : pnet.pins) {
+      min_x = std::min(min_x, loc[b].x);
+      max_x = std::max(max_x, loc[b].x);
+      min_y = std::min(min_y, loc[b].y);
+      max_y = std::max(max_y, loc[b].y);
+    }
+    return q_factor(pnet.pins.size()) *
+           static_cast<double>((max_x - min_x) + (max_y - min_y));
+  }
+
+  double total_cost() const {
+    double cost = 0;
+    for (const double c : net_cost) cost += c;
+    return cost;
+  }
+
+  void init() {
+    for (int y = 1; y <= arch.height; ++y) {
+      for (int x = 1; x <= arch.width; ++x) logic_slots.push_back({x, y, 0});
+    }
+    for (int y = 0; y <= arch.height + 1; ++y) {
+      for (int x = 0; x <= arch.width + 1; ++x) {
+        if (tile_at(arch, x, y) != fpga::TileKind::kIo) continue;
+        for (int s = 0; s < arch.io_per_tile; ++s) io_slots.push_back({x, y, s});
+      }
+    }
+    std::size_t logic_needed = problem.num_logic_blocks();
+    if (logic_needed > logic_slots.size() || problem.num_pads() > io_slots.size()) {
+      throw std::invalid_argument(common::strprintf(
+          "place: device too small (%zu logic in %zu slots, %zu pads in %zu)",
+          logic_needed, logic_slots.size(), problem.num_pads(), io_slots.size()));
+    }
+
+    // Random initial placement: shuffle slot lists.
+    for (std::size_t i = logic_slots.size(); i > 1; --i) {
+      std::swap(logic_slots[i - 1], logic_slots[rng.next_below(i)]);
+    }
+    for (std::size_t i = io_slots.size(); i > 1; --i) {
+      std::swap(io_slots[i - 1], io_slots[rng.next_below(i)]);
+    }
+    loc.resize(problem.blocks.size());
+    std::size_t next_logic = 0, next_io = 0;
+    for (BlockId b = 0; b < problem.blocks.size(); ++b) {
+      const Slot s = problem.blocks[b].kind == BlockKind::kLogic
+                         ? logic_slots[next_logic++]
+                         : io_slots[next_io++];
+      loc[b] = {s.x, s.y, s.slot};
+      occupancy[slot_key(s.x, s.y, s.slot)] = b;
+    }
+
+    nets_of.resize(problem.blocks.size());
+    net_cost.resize(problem.nets.size());
+    for (std::size_t n = 0; n < problem.nets.size(); ++n) {
+      net_cost[n] = net_hpwl(problem.nets[n]);
+      for (const BlockId b : problem.nets[n].pins) nets_of[b].push_back(n);
+    }
+    for (auto& list : nets_of) {
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+  }
+
+  /// Delta cost of moving/swapping; applies the move, returns delta.
+  /// Caller reverts by calling again with the same arguments.
+  double apply_move(BlockId a, int nx, int ny, int nslot, BlockId displaced) {
+    const auto move_block = [&](BlockId b, int x, int y, int s) {
+      occupancy.erase(slot_key(loc[b].x, loc[b].y, loc[b].slot));
+      loc[b] = {x, y, s};
+      occupancy[slot_key(x, y, s)] = b;
+    };
+    const Placement::Loc old_a = loc[a];
+    double delta = 0;
+    std::vector<std::size_t> touched = nets_of[a];
+    if (displaced != kNoBlock) {
+      touched.insert(touched.end(), nets_of[displaced].begin(),
+                     nets_of[displaced].end());
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    }
+    // Move.
+    occupancy.erase(slot_key(old_a.x, old_a.y, old_a.slot));
+    if (displaced != kNoBlock) move_block(displaced, old_a.x, old_a.y, old_a.slot);
+    loc[a] = {nx, ny, nslot};
+    occupancy[slot_key(nx, ny, nslot)] = a;
+
+    for (const std::size_t n : touched) {
+      const double fresh = net_hpwl(problem.nets[n]);
+      delta += fresh - net_cost[n];
+      net_cost[n] = fresh;
+    }
+    return delta;
+  }
+
+  Placement run(double effort) {
+    init();
+    if (problem.blocks.empty()) return finish();
+
+    double cost = total_cost();
+    const std::size_t moves_per_t = std::max<std::size_t>(
+        64, static_cast<std::size_t>(
+                effort * 8.0 *
+                std::pow(static_cast<double>(problem.blocks.size()), 4.0 / 3.0)));
+    double rlim = static_cast<double>(std::max(arch.width, arch.height));
+
+    // Initial temperature: 20x the std-dev of random-move deltas.
+    {
+      double sum = 0, sum_sq = 0;
+      const int probes = 64;
+      for (int i = 0; i < probes; ++i) {
+        const double delta = random_move(rlim, 1e30, &cost);
+        sum += delta;
+        sum_sq += delta * delta;
+      }
+      const double variance = std::max(0.0, sum_sq / probes - (sum / probes) * (sum / probes));
+      temperature_ = 20.0 * std::sqrt(variance) + 1e-6;
+    }
+
+    while (true) {
+      std::size_t accepted = 0;
+      for (std::size_t m = 0; m < moves_per_t; ++m) {
+        if (random_move(rlim, temperature_, &cost) != kRejected) ++accepted;
+      }
+      const double rate =
+          static_cast<double>(accepted) / static_cast<double>(moves_per_t);
+      // VPR schedule.
+      double alpha = 0.8;
+      if (rate > 0.96) {
+        alpha = 0.5;
+      } else if (rate > 0.8) {
+        alpha = 0.9;
+      } else if (rate > 0.15) {
+        alpha = 0.95;
+      }
+      temperature_ *= alpha;
+      rlim = std::clamp(rlim * (1.0 - 0.44 + rate), 1.0,
+                        static_cast<double>(std::max(arch.width, arch.height)));
+      const double exit_t =
+          0.005 * cost / std::max<std::size_t>(1, problem.nets.size());
+      if (temperature_ < exit_t || cost < 1e-9) break;
+    }
+    return finish();
+  }
+
+  static constexpr double kRejected = 1e31;
+
+  /// One Metropolis move; returns delta if accepted, kRejected otherwise.
+  double random_move(double rlim, double temperature, double* cost) {
+    if (problem.blocks.empty()) return kRejected;
+    const BlockId a = static_cast<BlockId>(rng.next_below(problem.blocks.size()));
+    const bool is_logic = problem.blocks[a].kind == BlockKind::kLogic;
+    Slot target;
+    if (is_logic) {
+      const int r = std::max(1, static_cast<int>(rlim));
+      target.x = std::clamp(loc[a].x + static_cast<int>(rng.next_in(-r, r)), 1,
+                            arch.width);
+      target.y = std::clamp(loc[a].y + static_cast<int>(rng.next_in(-r, r)), 1,
+                            arch.height);
+      target.slot = 0;
+    } else {
+      target = io_slots[rng.next_below(io_slots.size())];
+    }
+    if (target.x == loc[a].x && target.y == loc[a].y && target.slot == loc[a].slot) {
+      return kRejected;
+    }
+    BlockId displaced = kNoBlock;
+    const auto occ = occupancy.find(slot_key(target.x, target.y, target.slot));
+    if (occ != occupancy.end()) {
+      displaced = occ->second;
+      // Pads and logic blocks live in disjoint slot pools, so kinds match.
+      if (problem.blocks[displaced].kind != problem.blocks[a].kind) return kRejected;
+    }
+    const Placement::Loc old_a = loc[a];
+    const double delta = apply_move(a, target.x, target.y, target.slot, displaced);
+    if (delta <= 0 || rng.next_double() < std::exp(-delta / temperature)) {
+      *cost += delta;
+      return delta;
+    }
+    // Revert: `a` returns to its old slot; `displaced` (currently there)
+    // moves back to the target slot via the same swap primitive.
+    apply_move(a, old_a.x, old_a.y, old_a.slot, displaced);
+    return kRejected;
+  }
+
+  Placement finish() {
+    Placement placement;
+    placement.locations = loc;
+    return placement;
+  }
+
+  double temperature_ = 1.0;
+};
+
+}  // namespace
+
+double Placement::hpwl(const PlacementProblem& problem) const {
+  double total = 0;
+  for (const auto& pnet : problem.nets) {
+    int min_x = 1 << 30, max_x = -(1 << 30);
+    int min_y = 1 << 30, max_y = -(1 << 30);
+    for (const BlockId b : pnet.pins) {
+      min_x = std::min(min_x, locations[b].x);
+      max_x = std::max(max_x, locations[b].x);
+      min_y = std::min(min_y, locations[b].y);
+      max_y = std::max(max_y, locations[b].y);
+    }
+    total += q_factor(pnet.pins.size()) *
+             static_cast<double>((max_x - min_x) + (max_y - min_y));
+  }
+  return total;
+}
+
+Placement place(const PlacementProblem& problem, const fpga::ArchParams& arch,
+                const PlaceOptions& options) {
+  Annealer annealer{problem, arch, common::Rng(options.seed), {}, {}, {}, {}, {}, {}};
+  return annealer.run(options.effort);
+}
+
+}  // namespace vcgra::place

@@ -1,0 +1,57 @@
+// TROUTE: PathFinder negotiated-congestion routing.
+//
+// Routes every placed net over the routing-resource graph, letting nets
+// temporarily overuse wires and negotiating via growing present/history
+// congestion costs until the solution is legal (McMurchie/Ebeling, as in
+// VPR and the TPaR tools of [11]).  LUT input pins are treated as
+// logically equivalent, so a sink may claim any free IPIN of its block.
+//
+// Also provides the minimum-channel-width binary search used by Table I's
+// CW column.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vcgra/fpga/rrgraph.hpp"
+#include "vcgra/place/placer.hpp"
+
+namespace vcgra::route {
+
+struct RouteOptions {
+  int max_iterations = 50;
+  double pres_fac_init = 0.6;   // present-congestion factor, first iteration
+  double pres_fac_mult = 1.6;   // growth per iteration
+  double hist_fac = 0.4;        // history cost weight
+  double astar_fac = 1.15;      // heuristic weight (>1 trades quality for speed)
+  int stall_iterations = 8;     // give up if overuse stops improving this long
+};
+
+struct RouteResult {
+  bool success = false;
+  int iterations = 0;
+  std::size_t wirelength = 0;     // CHANX+CHANY nodes used (paper's WL)
+  std::size_t switches_used = 0;  // programmed routing switches (edges)
+  std::size_t overused_nodes = 0; // diagnostics when success == false
+  /// Per placement-net: RR nodes of its final route tree.
+  std::vector<std::vector<fpga::RRNodeId>> net_routes;
+};
+
+RouteResult route(const fpga::RRGraph& graph, const place::PlacementProblem& problem,
+                  const place::Placement& placement, const RouteOptions& options = {});
+
+struct MinChannelWidthResult {
+  int channel_width = -1;       // smallest routable W (-1: none in range)
+  RouteResult at_min;           // routing result at that W
+};
+
+/// Binary-search the smallest channel width that routes, in [lo, hi].
+/// The placement is reused across widths (standard VPR methodology for
+/// min-W experiments).
+MinChannelWidthResult find_min_channel_width(const fpga::ArchParams& base,
+                                             const place::PlacementProblem& problem,
+                                             const place::Placement& placement,
+                                             int lo = 4, int hi = 32,
+                                             const RouteOptions& options = {});
+
+}  // namespace vcgra::route

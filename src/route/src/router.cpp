@@ -1,0 +1,337 @@
+#include "vcgra/route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "vcgra/common/log.hpp"
+
+namespace vcgra::route {
+
+using fpga::RRGraph;
+using fpga::RRKind;
+using fpga::RRNodeId;
+using place::BlockId;
+
+namespace {
+
+struct NetEndpoints {
+  RRNodeId source = fpga::kNoRRNode;
+  // Per sink: candidate IPINs (LUT pins are equivalent).
+  std::vector<std::vector<RRNodeId>> sinks;
+  // Search bounding box (VPR route-box): endpoints bbox + margin.
+  int min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+};
+
+/// Resolve placed blocks to RR pin nodes.
+std::vector<NetEndpoints> resolve_endpoints(const RRGraph& graph,
+                                            const place::PlacementProblem& problem,
+                                            const place::Placement& placement) {
+  const auto& arch = graph.arch();
+  std::vector<NetEndpoints> endpoints(problem.nets.size());
+  for (std::size_t n = 0; n < problem.nets.size(); ++n) {
+    const auto& pnet = problem.nets[n];
+    NetEndpoints& ep = endpoints[n];
+    const BlockId driver = pnet.pins[0];
+    const auto& dloc = placement.locations[driver];
+    const int opin_index =
+        problem.blocks[driver].kind == place::BlockKind::kLogic ? 0 : dloc.slot;
+    ep.source = graph.opin(dloc.x, dloc.y, opin_index);
+    if (ep.source == fpga::kNoRRNode) {
+      throw std::runtime_error("route: driver has no OPIN (bad placement?)");
+    }
+    for (std::size_t s = 1; s < pnet.pins.size(); ++s) {
+      const BlockId sink = pnet.pins[s];
+      const auto& sloc = placement.locations[sink];
+      std::vector<RRNodeId> candidates;
+      if (problem.blocks[sink].kind == place::BlockKind::kLogic) {
+        for (int p = 0; p < arch.lut_inputs; ++p) {
+          const RRNodeId pin = graph.ipin(sloc.x, sloc.y, p);
+          if (pin != fpga::kNoRRNode) candidates.push_back(pin);
+        }
+      } else {
+        const RRNodeId pin = graph.ipin(sloc.x, sloc.y, sloc.slot);
+        if (pin != fpga::kNoRRNode) candidates.push_back(pin);
+      }
+      if (candidates.empty()) {
+        throw std::runtime_error("route: sink has no IPIN");
+      }
+      ep.sinks.push_back(std::move(candidates));
+    }
+    // Route box: endpoint extent plus margin.
+    constexpr int kMargin = 4;
+    int min_x = dloc.x, max_x = dloc.x, min_y = dloc.y, max_y = dloc.y;
+    for (std::size_t s = 1; s < pnet.pins.size(); ++s) {
+      const auto& sloc = placement.locations[pnet.pins[s]];
+      min_x = std::min(min_x, sloc.x);
+      max_x = std::max(max_x, sloc.x);
+      min_y = std::min(min_y, sloc.y);
+      max_y = std::max(max_y, sloc.y);
+    }
+    ep.min_x = min_x - kMargin;
+    ep.max_x = max_x + kMargin;
+    ep.min_y = min_y - kMargin;
+    ep.max_y = max_y + kMargin;
+  }
+  return endpoints;
+}
+
+struct HeapEntry {
+  double f = 0;  // g + heuristic
+  double g = 0;
+  RRNodeId node = fpga::kNoRRNode;
+  bool operator>(const HeapEntry& other) const { return f > other.f; }
+};
+
+class PathFinder {
+ public:
+  PathFinder(const RRGraph& graph, const RouteOptions& options)
+      : graph_(graph),
+        opts_(options),
+        occupancy_(graph.num_nodes(), 0),
+        history_(graph.num_nodes(), 0.0),
+        g_cost_(graph.num_nodes(), 0.0),
+        prev_(graph.num_nodes(), fpga::kNoRRNode),
+        stamp_(graph.num_nodes(), 0) {}
+
+  double node_cost(RRNodeId n) const {
+    const int over = occupancy_[n] + 1 - 1;  // capacity 1
+    const double pres = over > 0 ? 1.0 + pres_fac_ * over : 1.0;
+    return (1.0 + opts_.hist_fac * history_[n]) * pres;
+  }
+
+  /// A* from the current tree to the nearest candidate sink pin.
+  /// Returns the reached pin or kNoRRNode.
+  RRNodeId expand(const std::vector<RRNodeId>& tree,
+                  const std::vector<RRNodeId>& targets, const NetEndpoints& ep,
+                  bool respect_bbox) {
+    ++epoch_;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+
+    // Heuristic target: centroid tile of candidates (all share a tile).
+    const auto& tnode = graph_.node(targets[0]);
+    const double tx = tnode.x, ty = tnode.y;
+    target_set_.clear();
+    for (const RRNodeId t : targets) target_set_.insert(t);
+
+    const auto heuristic = [&](RRNodeId n) {
+      const auto& node = graph_.node(n);
+      return opts_.astar_fac *
+             (std::abs(node.x - tx) + std::abs(node.y - ty));
+    };
+
+    for (const RRNodeId n : tree) {
+      g_cost_[n] = 0;
+      stamp_[n] = epoch_;
+      prev_[n] = fpga::kNoRRNode;
+      heap.push(HeapEntry{heuristic(n), 0, n});
+    }
+
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      if (stamp_[top.node] == epoch_ && top.g > g_cost_[top.node] + 1e-12) continue;
+      if (target_set_.count(top.node)) return top.node;
+      for (const RRNodeId* e = graph_.edges_begin(top.node);
+           e != graph_.edges_end(top.node); ++e) {
+        const RRNodeId next = *e;
+        const auto& nnode = graph_.node(next);
+        const auto kind = nnode.kind;
+        // IPINs are only enterable if they are a target (no through-routing).
+        if (kind == RRKind::kIpin && !target_set_.count(next)) continue;
+        if (kind == RRKind::kOpin) continue;  // never route through outputs
+        if (respect_bbox && (nnode.x < ep.min_x || nnode.x > ep.max_x ||
+                             nnode.y < ep.min_y || nnode.y > ep.max_y)) {
+          continue;
+        }
+        const double g = top.g + node_cost(next);
+        if (stamp_[next] != epoch_ || g < g_cost_[next] - 1e-12) {
+          stamp_[next] = epoch_;
+          g_cost_[next] = g;
+          prev_[next] = top.node;
+          heap.push(HeapEntry{g + heuristic(next), g, next});
+        }
+      }
+    }
+    return fpga::kNoRRNode;
+  }
+
+  RouteResult run(const std::vector<NetEndpoints>& endpoints) {
+    RouteResult result;
+    result.net_routes.assign(endpoints.size(), {});
+    pres_fac_ = opts_.pres_fac_init;
+
+    // Net order: big fanout first (they need the most freedom).
+    std::vector<std::size_t> order(endpoints.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return endpoints[a].sinks.size() > endpoints[b].sinks.size();
+    });
+
+    for (int iter = 1; iter <= opts_.max_iterations; ++iter) {
+      for (const std::size_t n : order) {
+        // Rip up.
+        for (const RRNodeId node : result.net_routes[n]) --occupancy_[node];
+        result.net_routes[n].clear();
+
+        const NetEndpoints& ep = endpoints[n];
+        std::vector<RRNodeId> tree{ep.source};
+        std::unordered_set<RRNodeId> tree_set{ep.source};
+        ++occupancy_[ep.source];
+        result.net_routes[n].push_back(ep.source);
+        bool net_ok = true;
+        // Nearest-first sink order.
+        std::vector<std::size_t> sink_order(ep.sinks.size());
+        for (std::size_t i = 0; i < sink_order.size(); ++i) sink_order[i] = i;
+        const auto& src_node = graph_.node(ep.source);
+        std::stable_sort(sink_order.begin(), sink_order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           const auto& na = graph_.node(ep.sinks[a][0]);
+                           const auto& nb = graph_.node(ep.sinks[b][0]);
+                           const int da = std::abs(na.x - src_node.x) +
+                                          std::abs(na.y - src_node.y);
+                           const int db = std::abs(nb.x - src_node.x) +
+                                          std::abs(nb.y - src_node.y);
+                           return da < db;
+                         });
+        for (const std::size_t s : sink_order) {
+          // Skip candidates already claimed by this net (distinct sinks of
+          // one net at the same block cannot share one pin).
+          std::vector<RRNodeId> targets;
+          for (const RRNodeId t : ep.sinks[s]) {
+            if (!tree_set.count(t)) targets.push_back(t);
+          }
+          if (targets.empty()) {
+            net_ok = false;
+            break;
+          }
+          RRNodeId reached = expand(tree, targets, ep, /*respect_bbox=*/true);
+          if (reached == fpga::kNoRRNode) {
+            // Retry without the route box before declaring failure.
+            reached = expand(tree, targets, ep, /*respect_bbox=*/false);
+          }
+          if (reached == fpga::kNoRRNode) {
+            net_ok = false;
+            break;
+          }
+          // Backtrace; add new nodes to the tree.
+          for (RRNodeId walk = reached; walk != fpga::kNoRRNode; walk = prev_[walk]) {
+            if (tree_set.insert(walk).second) {
+              tree.push_back(walk);
+              ++occupancy_[walk];
+              result.net_routes[n].push_back(walk);
+            }
+          }
+        }
+        if (!net_ok) {
+          // Leave the partial route in place; congestion pressure will be
+          // re-negotiated next iteration. Total failure surfaces at exit.
+          unroutable_ = true;
+        }
+      }
+
+      // Legality check.
+      std::size_t overused = 0;
+      for (std::size_t node = 0; node < occupancy_.size(); ++node) {
+        if (occupancy_[node] > 1) {
+          ++overused;
+          history_[node] += static_cast<double>(occupancy_[node] - 1);
+        }
+      }
+      result.iterations = iter;
+      if (overused == 0 && !unroutable_) {
+        result.success = true;
+        break;
+      }
+      if (unroutable_ && iter >= 3) {
+        // Structurally unreachable pins do not improve with negotiation.
+        result.success = false;
+        result.overused_nodes = overused;
+        break;
+      }
+      // Stall detection: overuse not improving means the width is too small.
+      if (overused < best_overuse_) {
+        best_overuse_ = overused;
+        stall_count_ = 0;
+      } else if (++stall_count_ >= opts_.stall_iterations) {
+        result.success = false;
+        result.overused_nodes = overused;
+        break;
+      }
+      result.overused_nodes = overused;
+      unroutable_ = false;
+      pres_fac_ *= opts_.pres_fac_mult;
+    }
+
+    if (result.success) {
+      std::unordered_set<RRNodeId> used_wires;
+      for (const auto& nodes : result.net_routes) {
+        for (const RRNodeId n : nodes) {
+          const auto kind = graph_.node(n).kind;
+          if (kind == RRKind::kChanX || kind == RRKind::kChanY) {
+            used_wires.insert(n);
+          }
+        }
+        // Each non-source node of a net's tree is reached through one
+        // programmed switch.
+        result.switches_used += nodes.size();
+      }
+      result.wirelength = used_wires.size();
+    }
+    return result;
+  }
+
+ private:
+  const RRGraph& graph_;
+  RouteOptions opts_;
+  std::vector<int> occupancy_;
+  std::vector<double> history_;
+  std::vector<double> g_cost_;
+  std::vector<RRNodeId> prev_;
+  std::vector<std::uint32_t> stamp_;
+  std::unordered_set<RRNodeId> target_set_;
+  std::uint32_t epoch_ = 0;
+  double pres_fac_ = 0.5;
+  bool unroutable_ = false;
+  std::size_t best_overuse_ = ~std::size_t{0};
+  int stall_count_ = 0;
+};
+
+}  // namespace
+
+RouteResult route(const RRGraph& graph, const place::PlacementProblem& problem,
+                  const place::Placement& placement, const RouteOptions& options) {
+  const auto endpoints = resolve_endpoints(graph, problem, placement);
+  PathFinder finder(graph, options);
+  return finder.run(endpoints);
+}
+
+MinChannelWidthResult find_min_channel_width(const fpga::ArchParams& base,
+                                             const place::PlacementProblem& problem,
+                                             const place::Placement& placement,
+                                             int lo, int hi,
+                                             const RouteOptions& options) {
+  MinChannelWidthResult best;
+  int low = lo, high = hi;
+  while (low <= high) {
+    const int mid = (low + high) / 2;
+    fpga::ArchParams arch = base;
+    arch.channel_width = mid;
+    const RRGraph graph(arch);
+    const RouteResult result = route(graph, problem, placement, options);
+    VCGRA_LOG_INFO() << "min-CW search: W=" << mid
+                     << (result.success ? " routable" : " unroutable");
+    if (result.success) {
+      best.channel_width = mid;
+      best.at_min = result;
+      high = mid - 1;
+    } else {
+      low = mid + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace vcgra::route

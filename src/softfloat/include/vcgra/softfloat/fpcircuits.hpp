@@ -1,0 +1,80 @@
+// Gate-level generators for FloPoCo-format floating-point operators.
+//
+// These reproduce what the paper obtained from the FloPoCo generator: pure
+// LUT-logic (no DSP) multiply / add datapaths, plus the complete MAC
+// processing element of §IV with its coefficient input and iteration
+// counter driven by the settings register.
+//
+// The generators implement *exactly* the algorithm of the software ops in
+// fpformat.hpp (same guard/round/sticky rounding, same flush-to-zero), so
+// circuit simulation and FpValue arithmetic are bit-exact mirrors; the
+// test suite sweeps random operands to enforce this.
+//
+// Whether the coefficient/count are *parameters* (fully parameterized
+// VCGRA: they become TLUT/TCON configuration) or plain inputs
+// (conventional VCGRA: they arrive from settings-register flip-flops) is
+// chosen by PeStyle — the datapath is identical, which is what makes the
+// Table I comparison apples-to-apples.
+#pragma once
+
+#include <string>
+
+#include "vcgra/netlist/builder.hpp"
+#include "vcgra/softfloat/fpformat.hpp"
+
+namespace vcgra::softfloat {
+
+/// Decoded field view of an FP bus (layout [exc1 exc0 | sign | exp | frac]).
+struct FpSlices {
+  netlist::Bus frac;
+  netlist::Bus exp;
+  netlist::NetId sign;
+  netlist::NetId exc0;
+  netlist::NetId exc1;
+  netlist::NetId is_zero;
+  netlist::NetId is_normal;
+  netlist::NetId is_inf;
+  netlist::NetId is_nan;
+};
+
+FpSlices fp_slice(netlist::NetlistBuilder& builder, FpFormat format,
+                  const netlist::Bus& bus);
+
+netlist::Bus fp_assemble(netlist::NetlistBuilder& builder, FpFormat format,
+                         netlist::NetId exc1, netlist::NetId exc0,
+                         netlist::NetId sign, const netlist::Bus& exp,
+                         const netlist::Bus& frac);
+
+/// Encoded constant (e.g. +0, NaN) as a bus of constant bits.
+netlist::Bus fp_const(netlist::NetlistBuilder& builder, const FpValue& value);
+
+/// result = a * b. Both operands are existing buses in the builder's netlist.
+netlist::Bus build_fp_multiplier(netlist::NetlistBuilder& builder, FpFormat format,
+                                 const netlist::Bus& a, const netlist::Bus& b);
+
+/// result = a + b.
+netlist::Bus build_fp_adder(netlist::NetlistBuilder& builder, FpFormat format,
+                            const netlist::Bus& a, const netlist::Bus& b);
+
+enum class PeStyle {
+  kConventional,   // coefficient & count are regular inputs (settings FFs)
+  kParameterized,  // coefficient & count are --PARAM inputs (DCS constants)
+};
+
+/// The paper's §IV processing element: floating-point multiply-accumulate
+/// with a coefficient and an iteration counter held in the settings
+/// register. Each enabled cycle: acc' = acc + coeff*x; when the counter
+/// reaches `count`, `done` pulses and the accumulator restarts from zero.
+struct MacPe {
+  netlist::Netlist netlist;
+  netlist::Bus x;       // sample input (fp bus)
+  netlist::Bus coeff;   // coefficient (fp bus; param or input per style)
+  netlist::Bus count;   // iteration count (integer; param or input per style)
+  netlist::NetId enable = netlist::kNullNet;
+  netlist::Bus acc;     // accumulator output (fp bus)
+  netlist::NetId done = netlist::kNullNet;
+};
+
+MacPe build_mac_pe(FpFormat format, PeStyle style, int counter_bits = 16);
+
+}  // namespace vcgra::softfloat

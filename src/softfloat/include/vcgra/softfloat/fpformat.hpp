@@ -1,0 +1,92 @@
+// FloPoCo-style parameterized floating point.
+//
+// The paper's MAC processing element uses the FloPoCo floating-point
+// format with a 6-bit exponent and 26-bit mantissa and no hard DSP blocks
+// (§IV).  FloPoCo's format differs from IEEE-754 in two ways that matter
+// here:
+//
+//   * a 2-bit *exception* field replaces the reserved exponent encodings
+//     (00 = zero, 01 = normal, 10 = infinity, 11 = NaN), so the full
+//     exponent range encodes normal numbers and there are no subnormals
+//     (results below the normal range flush to zero);
+//   * the width is fully parameterized: total = 2 + 1 + we + wf bits,
+//     laid out [exception | sign | exponent | fraction].
+//
+// `FpValue` software arithmetic implements round-to-nearest-even with the
+// exact guard/round/sticky algorithm the gate-level generators in
+// fpcircuits.hpp implement, so software and circuit results are bit-exact
+// replicas of each other — the test suite relies on that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vcgra::softfloat {
+
+enum class FpClass : std::uint8_t { kZero = 0, kNormal = 1, kInf = 2, kNaN = 3 };
+
+struct FpFormat {
+  int we = 6;   // exponent width
+  int wf = 26;  // fraction width
+
+  /// The paper's evaluation format: FloPoCo (we=6, wf=26).
+  static constexpr FpFormat paper() { return FpFormat{6, 26}; }
+  /// IEEE-single-like layout (without subnormals/reserved encodings).
+  static constexpr FpFormat single_like() { return FpFormat{8, 23}; }
+  static constexpr FpFormat half_like() { return FpFormat{5, 10}; }
+
+  int total_bits() const { return 3 + we + wf; }
+  std::int64_t bias() const { return (std::int64_t{1} << (we - 1)) - 1; }
+  std::uint64_t exp_mask() const { return (std::uint64_t{1} << we) - 1; }
+  std::uint64_t frac_mask() const { return (std::uint64_t{1} << wf) - 1; }
+
+  bool operator==(const FpFormat&) const = default;
+};
+
+/// One encoded number; `bits` uses the layout above, LSB-aligned.
+class FpValue {
+ public:
+  FpValue() = default;
+  FpValue(FpFormat format, std::uint64_t bits) : format_(format), bits_(bits) {}
+
+  static FpValue zero(FpFormat format, bool negative = false);
+  static FpValue infinity(FpFormat format, bool negative = false);
+  static FpValue nan(FpFormat format);
+  /// Round a double into the format (RNE; overflow -> inf, underflow -> 0).
+  static FpValue from_double(FpFormat format, double value);
+  /// Assemble from fields (exception forced to "normal").
+  static FpValue from_fields(FpFormat format, bool sign, std::uint64_t exponent,
+                             std::uint64_t fraction);
+
+  FpFormat format() const { return format_; }
+  std::uint64_t bits() const { return bits_; }
+
+  FpClass fp_class() const;
+  bool sign() const;
+  std::uint64_t exponent() const;  // biased
+  std::uint64_t fraction() const;
+
+  bool is_zero() const { return fp_class() == FpClass::kZero; }
+  bool is_nan() const { return fp_class() == FpClass::kNaN; }
+  bool is_inf() const { return fp_class() == FpClass::kInf; }
+
+  double to_double() const;
+  std::string to_string() const;
+
+  /// Bit-exact equality (same format, same bits).
+  bool operator==(const FpValue&) const = default;
+
+ private:
+  FpFormat format_{};
+  std::uint64_t bits_ = 0;
+};
+
+/// value = a * b, FloPoCo semantics (RNE, flush-to-zero, exceptions).
+FpValue fp_mul(const FpValue& a, const FpValue& b);
+/// value = a + b.
+FpValue fp_add(const FpValue& a, const FpValue& b);
+/// Non-fused multiply-accumulate: acc + (a * b), each step rounded —
+/// exactly what the paper's PE computes (multiply, then accumulate).
+FpValue fp_mac(const FpValue& acc, const FpValue& a, const FpValue& b);
+
+}  // namespace vcgra::softfloat

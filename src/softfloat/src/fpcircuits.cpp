@@ -1,0 +1,354 @@
+#include "vcgra/softfloat/fpcircuits.hpp"
+
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::softfloat {
+
+using netlist::Bus;
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+namespace {
+
+Bus slice_bus(const Bus& bus, int lo, int width) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) out.push_back(bus[static_cast<std::size_t>(lo + i)]);
+  return out;
+}
+
+Bus concat(const Bus& low, const Bus& high) {
+  Bus out = low;
+  out.insert(out.end(), high.begin(), high.end());
+  return out;
+}
+
+Bus zero_extend(NetlistBuilder& b, const Bus& bus, int width) {
+  Bus out = bus;
+  while (static_cast<int>(out.size()) < width) out.push_back(b.const_bit(false));
+  return out;
+}
+
+/// Two's-complement a - b over `width` bits (operands zero-extended).
+Bus sub_wide(NetlistBuilder& b, const Bus& a, const Bus& bb, int width) {
+  return b.ripple_sub(zero_extend(b, a, width), zero_extend(b, bb, width));
+}
+
+Bus add_wide(NetlistBuilder& b, const Bus& a, const Bus& bb, int width) {
+  return b.ripple_add(zero_extend(b, a, width), zero_extend(b, bb, width),
+                      b.const_bit(false));
+}
+
+}  // namespace
+
+FpSlices fp_slice(NetlistBuilder& builder, FpFormat format, const Bus& bus) {
+  if (static_cast<int>(bus.size()) != format.total_bits()) {
+    throw std::invalid_argument("fp_slice: bus width mismatch");
+  }
+  FpSlices s;
+  s.frac = slice_bus(bus, 0, format.wf);
+  s.exp = slice_bus(bus, format.wf, format.we);
+  s.sign = bus[static_cast<std::size_t>(format.wf + format.we)];
+  s.exc0 = bus[static_cast<std::size_t>(format.wf + format.we + 1)];
+  s.exc1 = bus[static_cast<std::size_t>(format.wf + format.we + 2)];
+  s.is_zero = builder.nor_(s.exc1, s.exc0);
+  s.is_normal = builder.and_(builder.not_(s.exc1), s.exc0);
+  s.is_inf = builder.and_(s.exc1, builder.not_(s.exc0));
+  s.is_nan = builder.and_(s.exc1, s.exc0);
+  return s;
+}
+
+Bus fp_assemble(NetlistBuilder& builder, FpFormat format, NetId exc1, NetId exc0,
+                NetId sign, const Bus& exp, const Bus& frac) {
+  (void)builder;
+  if (static_cast<int>(exp.size()) != format.we ||
+      static_cast<int>(frac.size()) != format.wf) {
+    throw std::invalid_argument("fp_assemble: field width mismatch");
+  }
+  Bus out = frac;
+  out.insert(out.end(), exp.begin(), exp.end());
+  out.push_back(sign);
+  out.push_back(exc0);
+  out.push_back(exc1);
+  return out;
+}
+
+Bus fp_const(NetlistBuilder& builder, const FpValue& value) {
+  return builder.const_bus(value.bits(), value.format().total_bits());
+}
+
+Bus build_fp_multiplier(NetlistBuilder& b, FpFormat f, const Bus& a, const Bus& bb) {
+  const FpSlices sa = fp_slice(b, f, a);
+  const FpSlices sb = fp_slice(b, f, bb);
+  const NetId sign = b.xor_(sa.sign, sb.sign);
+
+  // Significands 1.frac (wf+1 bits).
+  Bus ma = sa.frac;
+  ma.push_back(b.const_bit(true));
+  Bus mb = sb.frac;
+  mb.push_back(b.const_bit(true));
+  const Bus product = b.array_multiply(ma, mb);  // 2wf+2 bits
+
+  const NetId top = product[static_cast<std::size_t>(2 * f.wf + 1)];
+  const Bus frac_top = slice_bus(product, f.wf + 1, f.wf);
+  const Bus frac_bot = slice_bus(product, f.wf, f.wf);
+  const NetId guard_top = product[static_cast<std::size_t>(f.wf)];
+  const NetId guard_bot = product[static_cast<std::size_t>(f.wf - 1)];
+  const NetId sticky_top = b.reduce_or(slice_bus(product, 0, f.wf));
+  const NetId sticky_bot = b.reduce_or(slice_bus(product, 0, f.wf - 1));
+
+  const Bus frac_pre = b.mux_bus(top, frac_bot, frac_top);
+  const NetId guard = b.mux_(top, guard_bot, guard_top);
+  const NetId sticky = b.mux_(top, sticky_bot, sticky_top);
+  const NetId lsb = frac_pre[0];
+  const NetId round_up = b.and_(guard, b.or_(sticky, lsb));
+
+  // frac_pre + round_up; a carry-out means the significand rolled over to
+  // 10.00..0, i.e. fraction zero and exponent +1.
+  NetId round_carry = netlist::kNullNet;
+  const Bus frac_rounded =
+      b.ripple_add(frac_pre, b.const_bus(0, f.wf), round_up, &round_carry);
+
+  // Exponent: ea + eb - bias + top + round_carry over we+2 bits (signed).
+  const int ew = f.we + 2;
+  Bus e = add_wide(b, sa.exp, sb.exp, ew);
+  e = b.ripple_sub(e, b.const_bus(static_cast<std::uint64_t>(f.bias()), ew));
+  Bus inc(1);
+  inc[0] = top;
+  e = add_wide(b, e, inc, ew);
+  inc[0] = round_carry;
+  e = add_wide(b, e, inc, ew);
+  const NetId underflow = e[static_cast<std::size_t>(ew - 1)];  // negative
+  const NetId overflow = b.and_(b.not_(underflow), e[static_cast<std::size_t>(f.we)]);
+
+  // Exception resolution.
+  const NetId both_normal = b.and_(sa.is_normal, sb.is_normal);
+  const NetId nan_res = b.or_(
+      b.or_(sa.is_nan, sb.is_nan),
+      b.or_(b.and_(sa.is_inf, sb.is_zero), b.and_(sa.is_zero, sb.is_inf)));
+  const NetId inf_in = b.or_(sa.is_inf, sb.is_inf);
+  const NetId inf_res =
+      b.and_(b.not_(nan_res), b.or_(inf_in, b.and_(both_normal, overflow)));
+  const NetId zero_in = b.or_(sa.is_zero, sb.is_zero);
+  const NetId zero_res =
+      b.and_(b.not_(nan_res),
+             b.and_(b.not_(inf_res),
+                    b.or_(zero_in, b.and_(both_normal, underflow))));
+  const NetId normal_res =
+      b.and_(b.not_(nan_res), b.and_(b.not_(inf_res), b.not_(zero_res)));
+
+  const NetId exc1 = b.or_(nan_res, inf_res);
+  const NetId exc0 = b.or_(nan_res, normal_res);
+  const NetId out_sign = b.and_(b.not_(nan_res), sign);
+  Bus out_exp(static_cast<std::size_t>(f.we));
+  Bus out_frac(static_cast<std::size_t>(f.wf));
+  for (int i = 0; i < f.we; ++i) {
+    out_exp[static_cast<std::size_t>(i)] =
+        b.and_(normal_res, e[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < f.wf; ++i) {
+    out_frac[static_cast<std::size_t>(i)] =
+        b.and_(normal_res, frac_rounded[static_cast<std::size_t>(i)]);
+  }
+  return fp_assemble(b, f, exc1, exc0, out_sign, out_exp, out_frac);
+}
+
+Bus build_fp_adder(NetlistBuilder& b, FpFormat f, const Bus& a, const Bus& bb) {
+  const FpSlices sa = fp_slice(b, f, a);
+  const FpSlices sb = fp_slice(b, f, bb);
+
+  // --- operand ordering by magnitude (exp,frac) ---------------------------
+  const Bus mag_a = concat(sa.frac, sa.exp);
+  const Bus mag_b = concat(sb.frac, sb.exp);
+  const NetId a_lt_b = b.less_than(mag_a, mag_b);
+  const NetId a_ge_b = b.not_(a_lt_b);
+  const Bus exp_x = b.mux_bus(a_ge_b, sb.exp, sa.exp);
+  const Bus exp_y = b.mux_bus(a_ge_b, sa.exp, sb.exp);
+  const Bus frac_x = b.mux_bus(a_ge_b, sb.frac, sa.frac);
+  const Bus frac_y = b.mux_bus(a_ge_b, sa.frac, sb.frac);
+  const NetId sign_x = b.mux_(a_ge_b, sb.sign, sa.sign);
+  const NetId sign_y = b.mux_(a_ge_b, sa.sign, sb.sign);
+
+  // --- alignment -----------------------------------------------------------
+  const Bus d = b.ripple_sub(exp_x, exp_y);  // >= 0 by construction
+  const int width = f.wf + 4;                // |1.frac| + 3 guard bits
+  // Shift amount bus: enough bits to express `width`, saturated.
+  int amt_bits = 1;
+  while ((1 << amt_bits) < width + 1) ++amt_bits;
+  const NetId big_shift =
+      b.not_(b.less_than(d, b.const_bus(static_cast<std::uint64_t>(width), f.we)));
+  Bus d_clamped(static_cast<std::size_t>(amt_bits));
+  for (int i = 0; i < amt_bits; ++i) {
+    const NetId bit = i < f.we ? d[static_cast<std::size_t>(i)] : b.const_bit(false);
+    d_clamped[static_cast<std::size_t>(i)] = b.mux_(
+        big_shift, bit,
+        b.const_bit((static_cast<unsigned>(width) >> i) & 1));
+  }
+
+  Bus mx(static_cast<std::size_t>(width), b.const_bit(false));
+  Bus my_full(static_cast<std::size_t>(width), b.const_bit(false));
+  for (int i = 0; i < f.wf; ++i) {
+    mx[static_cast<std::size_t>(i + 3)] = frac_x[static_cast<std::size_t>(i)];
+    my_full[static_cast<std::size_t>(i + 3)] = frac_y[static_cast<std::size_t>(i)];
+  }
+  mx[static_cast<std::size_t>(f.wf + 3)] = b.const_bit(true);
+  my_full[static_cast<std::size_t>(f.wf + 3)] = b.const_bit(true);
+
+  const Bus my_shifted = b.shift_right(my_full, d_clamped);
+  // Sticky for shifted-out bits: shift back and compare.
+  const Bus shifted_back = b.shift_left(my_shifted, d_clamped);
+  const NetId sticky_lost = b.not_(b.equal(shifted_back, my_full));
+  Bus my = my_shifted;
+  my[0] = b.or_(my[0], sticky_lost);
+
+  // --- add / subtract ------------------------------------------------------
+  const NetId eff_sub = b.xor_(sign_x, sign_y);
+  const int sw = width + 1;  // wf+5 bits
+  const Bus sum = add_wide(b, mx, my, sw);
+  const Bus diff = sub_wide(b, mx, my, sw);
+  const Bus s = b.mux_bus(eff_sub, sum, diff);
+  const NetId s_zero = b.not_(b.reduce_or(s));
+
+  // --- normalization -------------------------------------------------------
+  const Bus lzc = b.leading_zero_count(s);
+  // lzc == 0 -> carry out: shift right 1, preserve sticky.
+  const NetId carry_case = b.not_(b.reduce_or(lzc));
+  Bus s_right(static_cast<std::size_t>(sw), b.const_bit(false));
+  for (int i = 0; i + 1 < sw; ++i) {
+    s_right[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i + 1)];
+  }
+  s_right[0] = b.or_(s_right[0], s[0]);
+  // Otherwise shift left by lzc-1.
+  const Bus lzc_minus1 = b.ripple_sub(lzc, b.const_bus(1, static_cast<int>(lzc.size())));
+  const Bus s_left = b.shift_left(s, lzc_minus1);
+  const Bus s_norm = b.mux_bus(carry_case, s_left, s_right);
+
+  // Exponent: exp_x + 1 - lzc over we+2 signed bits.
+  const int ew = f.we + 2;
+  Bus e = add_wide(b, exp_x, Bus{b.const_bit(true)}, ew);
+  e = b.ripple_sub(e, zero_extend(b, lzc, ew));
+
+  // --- rounding ------------------------------------------------------------
+  const Bus frac_pre = slice_bus(s_norm, 3, f.wf);
+  const NetId guard = s_norm[2];
+  const NetId sticky = b.or_(s_norm[1], s_norm[0]);
+  const NetId lsb = frac_pre[0];
+  const NetId round_up = b.and_(guard, b.or_(sticky, lsb));
+  NetId round_carry = netlist::kNullNet;
+  const Bus frac_rounded =
+      b.ripple_add(frac_pre, b.const_bus(0, f.wf), round_up, &round_carry);
+  Bus inc(1);
+  inc[0] = round_carry;
+  e = add_wide(b, e, inc, ew);
+
+  const NetId underflow = e[static_cast<std::size_t>(ew - 1)];
+  const NetId overflow = b.and_(b.not_(underflow), e[static_cast<std::size_t>(f.we)]);
+
+  // --- normal-path result --------------------------------------------------
+  const NetId norm_zero = b.or_(s_zero, b.and_(b.not_(s_zero), underflow));
+  const NetId norm_inf = b.and_(b.not_(norm_zero), overflow);
+  const NetId norm_ok = b.nor_(norm_zero, norm_inf);
+  const NetId norm_sign = b.and_(b.not_(s_zero), sign_x);  // exact cancel -> +0
+  const NetId n_exc1 = norm_inf;
+  const NetId n_exc0 = norm_ok;
+  Bus n_exp(static_cast<std::size_t>(f.we));
+  Bus n_frac(static_cast<std::size_t>(f.wf));
+  for (int i = 0; i < f.we; ++i) {
+    n_exp[static_cast<std::size_t>(i)] = b.and_(norm_ok, e[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < f.wf; ++i) {
+    n_frac[static_cast<std::size_t>(i)] =
+        b.and_(norm_ok, frac_rounded[static_cast<std::size_t>(i)]);
+  }
+  const Bus normal_bus = fp_assemble(b, f, n_exc1, n_exc0, norm_sign, n_exp, n_frac);
+
+  // --- special-path result (at least one operand exceptional) --------------
+  const FpFormat fmt = f;
+  const Bus nan_bus = fp_const(b, FpValue::nan(fmt));
+  const Bus pzero_bus = fp_const(b, FpValue::zero(fmt));
+  const Bus nzero_bus = fp_const(b, FpValue::zero(fmt, true));
+  const NetId opposite_infs =
+      b.and_(b.and_(sa.is_inf, sb.is_inf), b.xor_(sa.sign, sb.sign));
+  const NetId special_nan = b.or_(b.or_(sa.is_nan, sb.is_nan), opposite_infs);
+  const NetId both_zero = b.and_(sa.is_zero, sb.is_zero);
+  const NetId zz_sign = b.and_(sa.sign, sb.sign);
+  const Bus zz_bus = b.mux_bus(zz_sign, pzero_bus, nzero_bus);
+  // Priority: nan > a.inf(a) > b.inf(b) > both_zero > a.zero(b) > (b.zero) a.
+  Bus special = a;                                 // covers b.zero -> a
+  special = b.mux_bus(sa.is_zero, special, bb);    // a.zero -> b
+  special = b.mux_bus(both_zero, special, zz_bus);
+  special = b.mux_bus(sb.is_inf, special, bb);
+  special = b.mux_bus(sa.is_inf, special, a);
+  special = b.mux_bus(special_nan, special, nan_bus);
+
+  const NetId both_normal = b.and_(sa.is_normal, sb.is_normal);
+  return b.mux_bus(both_normal, special, normal_bus);
+}
+
+MacPe build_mac_pe(FpFormat format, PeStyle style, int counter_bits) {
+  MacPe pe;
+  pe.netlist = netlist::Netlist(style == PeStyle::kParameterized
+                                    ? "mac_pe_parameterized"
+                                    : "mac_pe_conventional");
+  NetlistBuilder b(pe.netlist);
+
+  pe.x = b.input_bus("x", format.total_bits());
+  pe.enable = pe.netlist.add_input("enable");
+  if (style == PeStyle::kParameterized) {
+    pe.coeff = b.param_bus("coeff", format.total_bits());
+    pe.count = b.param_bus("count", counter_bits);
+  } else {
+    pe.coeff = b.input_bus("coeff", format.total_bits());
+    pe.count = b.input_bus("count", counter_bits);
+  }
+
+  // Accumulator register; +0 encodes as all-zero bits, so init=0 works.
+  std::vector<std::pair<netlist::NetId, netlist::CellId>> acc_ffs;
+  Bus acc_q(static_cast<std::size_t>(format.total_bits()));
+  for (int i = 0; i < format.total_bits(); ++i) {
+    const auto [q, cell] = pe.netlist.add_dff_floating(
+        false, common::strprintf("acc[%d]", i));
+    acc_q[static_cast<std::size_t>(i)] = q;
+    acc_ffs.emplace_back(q, cell);
+  }
+  std::vector<std::pair<netlist::NetId, netlist::CellId>> ctr_ffs;
+  Bus ctr_q(static_cast<std::size_t>(counter_bits));
+  for (int i = 0; i < counter_bits; ++i) {
+    const auto [q, cell] = pe.netlist.add_dff_floating(
+        false, common::strprintf("ctr[%d]", i));
+    ctr_q[static_cast<std::size_t>(i)] = q;
+    ctr_ffs.emplace_back(q, cell);
+  }
+
+  const Bus product = build_fp_multiplier(b, format, pe.x, pe.coeff);
+  const Bus sum = build_fp_adder(b, format, acc_q, product);
+
+  const Bus ctr_next_inc = b.increment(ctr_q);
+  pe.done = b.and_(pe.enable, b.equal(ctr_next_inc, pe.count));
+
+  // next_acc: restart from zero after `done`, hold when disabled.
+  const Bus acc_hold = b.mux_bus(pe.enable, acc_q, sum);
+  const Bus acc_next =
+      b.mux_bus(pe.done, acc_hold, b.const_bus(0, format.total_bits()));
+  const Bus ctr_hold = b.mux_bus(pe.enable, ctr_q, ctr_next_inc);
+  const Bus ctr_next = b.mux_bus(pe.done, ctr_hold, b.const_bus(0, counter_bits));
+
+  for (int i = 0; i < format.total_bits(); ++i) {
+    pe.netlist.connect_dff(acc_ffs[static_cast<std::size_t>(i)].second,
+                           acc_next[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < counter_bits; ++i) {
+    pe.netlist.connect_dff(ctr_ffs[static_cast<std::size_t>(i)].second,
+                           ctr_next[static_cast<std::size_t>(i)]);
+  }
+
+  pe.acc = acc_q;
+  b.mark_output_bus(pe.acc);
+  pe.netlist.mark_output(pe.done);
+  pe.netlist.validate();
+  return pe;
+}
+
+}  // namespace vcgra::softfloat

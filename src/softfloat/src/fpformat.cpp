@@ -1,0 +1,224 @@
+#include "vcgra/softfloat/fpformat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::softfloat {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+u64 make_bits(const FpFormat& f, FpClass cls, bool sign, u64 exponent, u64 fraction) {
+  u64 bits = static_cast<u64>(cls);
+  bits = (bits << 1) | (sign ? 1 : 0);
+  bits = (bits << f.we) | (exponent & f.exp_mask());
+  bits = (bits << f.wf) | (fraction & f.frac_mask());
+  return bits;
+}
+
+}  // namespace
+
+FpValue FpValue::zero(FpFormat format, bool negative) {
+  return FpValue(format, make_bits(format, FpClass::kZero, negative, 0, 0));
+}
+
+FpValue FpValue::infinity(FpFormat format, bool negative) {
+  return FpValue(format, make_bits(format, FpClass::kInf, negative, 0, 0));
+}
+
+FpValue FpValue::nan(FpFormat format) {
+  return FpValue(format, make_bits(format, FpClass::kNaN, false, 0, 0));
+}
+
+FpValue FpValue::from_fields(FpFormat format, bool sign, u64 exponent, u64 fraction) {
+  return FpValue(format, make_bits(format, FpClass::kNormal, sign, exponent, fraction));
+}
+
+FpValue FpValue::from_double(FpFormat format, double value) {
+  if (std::isnan(value)) return nan(format);
+  if (std::isinf(value)) return infinity(format, value < 0);
+  if (value == 0.0) return zero(format, std::signbit(value));
+
+  const bool sign = value < 0;
+  int e2 = 0;
+  double m = std::frexp(std::fabs(value), &e2);  // m in [0.5, 1)
+  // Significand 1.f = 2m in [1, 2); fraction = RNE((2m - 1) * 2^wf).
+  const double scaled = std::ldexp(2.0 * m - 1.0, format.wf);
+  u64 frac = static_cast<u64>(std::nearbyint(scaled));  // default mode = RNE
+  std::int64_t exponent = (e2 - 1) + format.bias();
+  if (frac == (u64{1} << format.wf)) {  // rounding carried into the hidden bit
+    frac = 0;
+    ++exponent;
+  }
+  if (exponent < 0) return zero(format, sign);
+  if (exponent > static_cast<std::int64_t>(format.exp_mask())) {
+    return infinity(format, sign);
+  }
+  return from_fields(format, sign, static_cast<u64>(exponent), frac);
+}
+
+FpClass FpValue::fp_class() const {
+  return static_cast<FpClass>((bits_ >> (format_.we + format_.wf + 1)) & 3);
+}
+
+bool FpValue::sign() const { return (bits_ >> (format_.we + format_.wf)) & 1; }
+
+std::uint64_t FpValue::exponent() const {
+  return (bits_ >> format_.wf) & format_.exp_mask();
+}
+
+std::uint64_t FpValue::fraction() const { return bits_ & format_.frac_mask(); }
+
+double FpValue::to_double() const {
+  switch (fp_class()) {
+    case FpClass::kZero: return sign() ? -0.0 : 0.0;
+    case FpClass::kInf:
+      return sign() ? -std::numeric_limits<double>::infinity()
+                    : std::numeric_limits<double>::infinity();
+    case FpClass::kNaN: return std::numeric_limits<double>::quiet_NaN();
+    case FpClass::kNormal: break;
+  }
+  const double significand =
+      1.0 + std::ldexp(static_cast<double>(fraction()), -format_.wf);
+  const double magnitude = std::ldexp(
+      significand, static_cast<int>(static_cast<std::int64_t>(exponent()) -
+                                    format_.bias()));
+  return sign() ? -magnitude : magnitude;
+}
+
+std::string FpValue::to_string() const {
+  switch (fp_class()) {
+    case FpClass::kZero: return sign() ? "-0" : "+0";
+    case FpClass::kInf: return sign() ? "-inf" : "+inf";
+    case FpClass::kNaN: return "nan";
+    case FpClass::kNormal: break;
+  }
+  return common::strprintf("%.9g", to_double());
+}
+
+FpValue fp_mul(const FpValue& a, const FpValue& b) {
+  const FpFormat f = a.format();
+  if (!(f == b.format())) throw std::invalid_argument("fp_mul: format mismatch");
+  const bool sign = a.sign() != b.sign();
+  const FpClass ca = a.fp_class();
+  const FpClass cb = b.fp_class();
+
+  if (ca == FpClass::kNaN || cb == FpClass::kNaN) return FpValue::nan(f);
+  if ((ca == FpClass::kInf && cb == FpClass::kZero) ||
+      (ca == FpClass::kZero && cb == FpClass::kInf)) {
+    return FpValue::nan(f);
+  }
+  if (ca == FpClass::kInf || cb == FpClass::kInf) return FpValue::infinity(f, sign);
+  if (ca == FpClass::kZero || cb == FpClass::kZero) return FpValue::zero(f, sign);
+
+  const u64 ma = (u64{1} << f.wf) | a.fraction();  // wf+1 bits
+  const u64 mb = (u64{1} << f.wf) | b.fraction();
+  const u128 product = static_cast<u128>(ma) * static_cast<u128>(mb);  // 2wf+2 bits
+
+  const bool top = (product >> (2 * f.wf + 1)) & 1;  // product in [2,4)
+  u64 frac_pre, guard;
+  bool sticky;
+  if (top) {
+    frac_pre = static_cast<u64>(product >> (f.wf + 1)) & f.frac_mask();
+    guard = static_cast<u64>(product >> f.wf) & 1;
+    sticky = (product & ((u128{1} << f.wf) - 1)) != 0;
+  } else {
+    frac_pre = static_cast<u64>(product >> f.wf) & f.frac_mask();
+    guard = static_cast<u64>(product >> (f.wf - 1)) & 1;
+    sticky = (product & ((u128{1} << (f.wf - 1)) - 1)) != 0;
+  }
+  const bool lsb = frac_pre & 1;
+  const bool round_up = guard && (sticky || lsb);
+  u64 mant = ((u64{1} << f.wf) | frac_pre) + (round_up ? 1 : 0);
+  int exp_round = 0;
+  if (mant >> (f.wf + 1)) {  // 1.111..1 rounded up to 10.000..0
+    mant >>= 1;
+    exp_round = 1;
+  }
+  const std::int64_t exponent = static_cast<std::int64_t>(a.exponent()) +
+                                static_cast<std::int64_t>(b.exponent()) - f.bias() +
+                                (top ? 1 : 0) + exp_round;
+  if (exponent < 0) return FpValue::zero(f, sign);
+  if (exponent > static_cast<std::int64_t>(f.exp_mask())) {
+    return FpValue::infinity(f, sign);
+  }
+  return FpValue::from_fields(f, sign, static_cast<u64>(exponent), mant & f.frac_mask());
+}
+
+FpValue fp_add(const FpValue& a, const FpValue& b) {
+  const FpFormat f = a.format();
+  if (!(f == b.format())) throw std::invalid_argument("fp_add: format mismatch");
+  const FpClass ca = a.fp_class();
+  const FpClass cb = b.fp_class();
+
+  if (ca == FpClass::kNaN || cb == FpClass::kNaN) return FpValue::nan(f);
+  if (ca == FpClass::kInf && cb == FpClass::kInf) {
+    return a.sign() == b.sign() ? a : FpValue::nan(f);
+  }
+  if (ca == FpClass::kInf) return a;
+  if (cb == FpClass::kInf) return b;
+  if (ca == FpClass::kZero) return cb == FpClass::kZero && a.sign() && b.sign()
+                                        ? FpValue::zero(f, true)
+                                        : (cb == FpClass::kZero ? FpValue::zero(f) : b);
+  if (cb == FpClass::kZero) return a;
+
+  // Order by magnitude: X is the larger (exp,frac) pair; ties keep a.
+  const u64 mag_a = (a.exponent() << f.wf) | a.fraction();
+  const u64 mag_b = (b.exponent() << f.wf) | b.fraction();
+  const FpValue& x = mag_a >= mag_b ? a : b;
+  const FpValue& y = mag_a >= mag_b ? b : a;
+
+  const u64 d = x.exponent() - y.exponent();
+  // Significands with 3 guard bits appended.
+  const u64 mx = (((u64{1} << f.wf) | x.fraction()) << 3);
+  const u64 my_full = (((u64{1} << f.wf) | y.fraction()) << 3);
+  u64 my;
+  const u64 width = static_cast<u64>(f.wf) + 4;  // bits in mx/my_full
+  if (d >= width) {
+    my = 1;  // pure sticky
+  } else {
+    my = my_full >> d;
+    if ((my << d) != my_full) my |= 1;  // sticky for the shifted-out bits
+  }
+
+  const bool eff_sub = x.sign() != y.sign();
+  const u64 s = eff_sub ? mx - my : mx + my;  // fits in wf+5 bits
+  if (s == 0) return FpValue::zero(f);
+
+  // Normalize so the leading 1 sits at bit wf+3.
+  int k = 63;
+  while (!((s >> k) & 1)) --k;
+  std::int64_t exponent = static_cast<std::int64_t>(x.exponent()) + (k - (f.wf + 3));
+  u64 s_norm;
+  if (k > f.wf + 3) {  // carry out: shift right one, preserve sticky
+    s_norm = (s >> 1) | (s & 1);
+  } else {
+    s_norm = s << ((f.wf + 3) - k);
+  }
+
+  const u64 frac_pre = (s_norm >> 3) & f.frac_mask();
+  const bool guard = (s_norm >> 2) & 1;
+  const bool sticky = (s_norm & 3) != 0;
+  const bool lsb = frac_pre & 1;
+  const bool round_up = guard && (sticky || lsb);
+  u64 mant = ((u64{1} << f.wf) | frac_pre) + (round_up ? 1 : 0);
+  if (mant >> (f.wf + 1)) {
+    mant >>= 1;
+    ++exponent;
+  }
+  if (exponent < 0) return FpValue::zero(f, x.sign());
+  if (exponent > static_cast<std::int64_t>(f.exp_mask())) {
+    return FpValue::infinity(f, x.sign());
+  }
+  return FpValue::from_fields(f, x.sign(), static_cast<u64>(exponent),
+                              mant & f.frac_mask());
+}
+
+FpValue fp_mac(const FpValue& acc, const FpValue& a, const FpValue& b) {
+  return fp_add(acc, fp_mul(a, b));
+}
+
+}  // namespace vcgra::softfloat

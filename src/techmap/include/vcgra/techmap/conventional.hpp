@@ -1,0 +1,30 @@
+// Conventional (non-parameterized) realization of a mapped overlay.
+//
+// The paper's Table I compares the *fully parameterized* VCGRA against the
+// *conventional* one.  The conventional overlay is the same virtual
+// structure — the same BLEs and the same tunable connections — but
+// implemented in ordinary FPGA logic: every TCON becomes a LUT-based
+// routing multiplexer and every TLUT becomes a LUT network whose
+// parameter pins are ordinary signal pins (fed from settings-register
+// flip-flops).  Crucially, the overlay is compiled *once* as a generic
+// fabric, so no cross-component optimization can exploit the parameter
+// values; that is exactly why it costs more LUTs (the paper's 2522 vs
+// 1802 + 568 routed TCONs).
+//
+// `realize_conventional` performs that realization: each mapped node is
+// synthesized stand-alone into K-LUTs (Shannon-decomposing on parameter
+// pins when the pin count exceeds K) and spliced into one flat netlist
+// that can be placed and routed for the wirelength comparison.
+#pragma once
+
+#include "vcgra/netlist/netlist.hpp"
+#include "vcgra/techmap/mapped_netlist.hpp"
+
+namespace vcgra::techmap {
+
+/// Flat LUT netlist implementing `mapped` without parameterization.
+/// Parameter inputs of the source become regular inputs of the result
+/// (they would be driven by settings-register flip-flops on the device).
+netlist::Netlist realize_conventional(const MappedNetlist& mapped, int lut_inputs = 4);
+
+}  // namespace vcgra::techmap

@@ -1,0 +1,34 @@
+// Priority-cut enumeration primitives shared by the mappers.
+#pragma once
+
+#include <vector>
+
+#include "vcgra/boolfunc/truth_table.hpp"
+#include "vcgra/netlist/netlist.hpp"
+
+namespace vcgra::techmap {
+
+/// One cut: a set of leaves and the node function over them.
+/// Variable order of `tt` is [real_leaves..., param_leaves...], each list
+/// sorted ascending by NetId.
+struct Cut {
+  std::vector<netlist::NetId> real_leaves;
+  std::vector<netlist::NetId> param_leaves;
+  boolfunc::TruthTable tt;
+  int depth = 0;    // LUT levels at this node if this cut is chosen
+  bool tcon = false;  // qualifies as a tunable connection
+
+  std::size_t leaf_signature() const;
+};
+
+/// Sorted union of two leaf lists.
+std::vector<netlist::NetId> merge_leaves(const std::vector<netlist::NetId>& a,
+                                         const std::vector<netlist::NetId>& b);
+
+/// Re-express `cut.tt` over the merged leaf sets (supersets of the cut's
+/// own); missing variables become vacuous.
+boolfunc::TruthTable expand_cut_function(const Cut& cut,
+                                         const std::vector<netlist::NetId>& merged_real,
+                                         const std::vector<netlist::NetId>& merged_param);
+
+}  // namespace vcgra::techmap

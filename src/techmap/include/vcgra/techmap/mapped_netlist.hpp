@@ -1,0 +1,101 @@
+// Mapped-netlist representation: the output of technology mapping.
+//
+// Three node flavours, following TCONMAP's taxonomy:
+//   * LUT  — ordinary K-LUT; configuration is static.
+//   * TLUT — Tunable LUT: physical inputs are the *real* leaves, but the
+//            configuration bits are Boolean functions of parameter inputs
+//            (the parameters were folded out of the cut function).
+//   * TCON — Tunable Connection: for every parameter valuation the node's
+//            function collapses to a wire from one of its real inputs (or
+//            a constant), so it needs no LUT at all — it maps onto a
+//            physical routing switch whose selection is reconfigured by
+//            the specialization stage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcgra/boolfunc/truth_table.hpp"
+#include "vcgra/netlist/netlist.hpp"
+
+namespace vcgra::techmap {
+
+enum class MappedKind : std::uint8_t { kLut, kTlut, kTcon };
+
+const char* mapped_kind_name(MappedKind kind);
+
+struct MappedNode {
+  MappedKind kind = MappedKind::kLut;
+  netlist::NetId out = netlist::kNullNet;
+  std::vector<netlist::NetId> real_ins;   // source-netlist nets (LUT pins)
+  std::vector<netlist::NetId> param_ins;  // source-netlist parameter nets
+  // Function over [real_ins..., param_ins...] in that variable order.
+  boolfunc::TruthTable tt;
+};
+
+struct MappedRegister {
+  netlist::NetId d = netlist::kNullNet;
+  netlist::NetId q = netlist::kNullNet;
+  bool init = false;
+};
+
+struct MappedStats {
+  std::size_t luts = 0;        // plain LUTs
+  std::size_t tluts = 0;       // tunable LUTs
+  std::size_t tcons = 0;       // tunable connections (not LUTs!)
+  std::size_t registers = 0;
+  int depth = 0;               // LUT levels; TCONs contribute no level
+
+  /// "LUT-equivalent" count as the paper tabulates it: LUTs + TLUTs.
+  std::size_t total_luts() const { return luts + tluts; }
+  std::string to_string() const;
+};
+
+class MappedNetlist {
+ public:
+  MappedNetlist() = default;
+  explicit MappedNetlist(const netlist::Netlist* source) : source_(source) {}
+
+  const netlist::Netlist& source() const { return *source_; }
+  std::vector<MappedNode>& nodes() { return nodes_; }
+  const std::vector<MappedNode>& nodes() const { return nodes_; }
+  std::vector<MappedRegister>& registers() { return registers_; }
+  const std::vector<MappedRegister>& registers() const { return registers_; }
+
+  MappedStats stats() const;
+
+  /// Nodes in combinational evaluation order (register outputs are sources).
+  std::vector<std::size_t> topo_order() const;
+
+  /// LUT levels on the longest combinational path (TCON = 0 levels).
+  int depth() const;
+
+  /// Structural sanity: every real input is a source PI/param/register
+  /// output or another node's output. Throws on violation.
+  void validate() const;
+
+  /// Simulate the mapped design combinationally for one input/parameter
+  /// assignment (values indexed by source-netlist NetId for PIs/params and
+  /// register outputs). Returns values for every source net that a mapped
+  /// node or register output drives.
+  std::vector<std::uint8_t> evaluate(const std::vector<std::uint8_t>& ext_values) const;
+
+  /// Bind parameters to constants and emit a plain-LUT netlist: TLUTs get
+  /// their specialized configuration, TCONs dissolve into wires/constants —
+  /// this is the instance that is placed and routed in the fully
+  /// parameterized flow.
+  netlist::Netlist specialize(const std::vector<bool>& param_values) const;
+
+ private:
+  const netlist::Netlist* source_ = nullptr;
+  std::vector<MappedNode> nodes_;
+  std::vector<MappedRegister> registers_;
+};
+
+/// True if `tt` over (num_real + num_param) vars collapses, for every
+/// parameter assignment, to a constant or to a non-inverted wire from one
+/// real input — i.e. the node qualifies as a TCON.
+bool is_tcon_function(const boolfunc::TruthTable& tt, int num_real, int num_param);
+
+}  // namespace vcgra::techmap

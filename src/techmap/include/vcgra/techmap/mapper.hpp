@@ -1,0 +1,39 @@
+// K-LUT technology mapping: conventional and parameter-aware (TCONMAP).
+//
+// Both flows share one priority-cut mapper:
+//
+//   * Conventional — parameter inputs are ordinary signals; every cut leaf
+//     counts against the K-input budget; every mapped node is a plain LUT.
+//     This models the baseline VCGRA of the paper, where the coefficient
+//     arrives from settings-register flip-flops and the whole multiplier
+//     must exist in LUT logic.
+//
+//   * Param-aware (TCONMAP [Heyse et al., TODAES 2015]) — parameter leaves
+//     ride along in the cut function but do not occupy physical LUT pins;
+//     the mapper can therefore pack bigger cones per LUT (TLUTs) and
+//     recognize nodes that degenerate, for every parameter valuation, to a
+//     wire — those become TCONs and leave the logic fabric entirely.
+//     TCON-eligible cuts cost zero logic levels, which is where the
+//     paper's depth improvement (36 -> 33) comes from.
+#pragma once
+
+#include "vcgra/netlist/netlist.hpp"
+#include "vcgra/techmap/mapped_netlist.hpp"
+
+namespace vcgra::techmap {
+
+struct MapOptions {
+  int lut_inputs = 4;    // K of the target FPGA (paper uses the VPR 4-LUT arch)
+  int max_params = 5;    // parameter leaves allowed per cut (param-aware only)
+  int cut_limit = 8;     // priority cuts kept per net
+  bool param_aware = false;
+};
+
+/// Map a (cleaned) gate netlist to K-LUTs. Registers pass through.
+MappedNetlist map_netlist(const netlist::Netlist& input, const MapOptions& options);
+
+/// The two flows of the paper.
+MappedNetlist map_conventional(const netlist::Netlist& input, int lut_inputs = 4);
+MappedNetlist tconmap(const netlist::Netlist& input, int lut_inputs = 4);
+
+}  // namespace vcgra::techmap

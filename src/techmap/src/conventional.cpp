@@ -1,0 +1,153 @@
+#include "vcgra/techmap/conventional.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vcgra/boolfunc/truth_table.hpp"
+
+namespace vcgra::techmap {
+
+using boolfunc::TruthTable;
+using netlist::NetId;
+
+namespace {
+
+/// Synthesize `tt` over `pins` (nets in `out`) into K-LUTs; returns the
+/// cone's output net. Shares identical sub-cofactors within one call via
+/// the memo (component-internal sharing only — components stay separate,
+/// as in a structurally compiled overlay).
+class ConeSynthesizer {
+ public:
+  ConeSynthesizer(netlist::Netlist& out, int lut_inputs)
+      : out_(out), k_(lut_inputs) {}
+
+  NetId build(const TruthTable& tt, const std::vector<NetId>& pins) {
+    // Compact away vacuous variables first.
+    std::vector<int> live;
+    for (int v = 0; v < tt.num_vars(); ++v) {
+      if (tt.depends_on(v)) live.push_back(v);
+    }
+    TruthTable compact = tt.permute(static_cast<int>(live.size()), live);
+    std::vector<NetId> live_pins;
+    live_pins.reserve(live.size());
+    for (const int v : live) live_pins.push_back(pins[static_cast<std::size_t>(v)]);
+
+    if (compact.is_const(false)) return const_net(false);
+    if (compact.is_const(true)) return const_net(true);
+
+    const std::string key = memo_key(compact, live_pins);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    NetId result = netlist::kNullNet;
+    if (compact.num_vars() <= k_) {
+      int wire = -1;
+      bool inverted = false;
+      if (compact.is_wire(&wire, &inverted) && !inverted) {
+        result = live_pins[static_cast<std::size_t>(wire)];
+      } else {
+        result = out_.add_lut(live_pins, compact);
+      }
+    } else {
+      // Shannon-decompose on the highest variable (parameter pins sit at
+      // the top of the order, so they are peeled first — the mux network a
+      // conventional overlay spends LUTs on).
+      const int split = compact.num_vars() - 1;
+      const NetId sel = live_pins[static_cast<std::size_t>(split)];
+      const NetId f0 = build(compact.cofactor(split, false), live_pins);
+      const NetId f1 = build(compact.cofactor(split, true), live_pins);
+      // 2:1 mux LUT: out = sel ? f1 : f0 over vars {f0, f1, sel}.
+      TruthTable mux_tt(3);
+      for (std::uint64_t m = 0; m < 8; ++m) {
+        const bool v0 = m & 1, v1 = (m >> 1) & 1, vs = (m >> 2) & 1;
+        mux_tt.set(m, vs ? v1 : v0);
+      }
+      result = out_.add_lut({f0, f1, sel}, mux_tt);
+    }
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  NetId const_net(bool value) {
+    NetId& cached = value ? const1_ : const0_;
+    if (cached == netlist::kNullNet) {
+      cached = out_.add_cell(
+          value ? netlist::CellKind::kConst1 : netlist::CellKind::kConst0, {});
+    }
+    return cached;
+  }
+
+  static std::string memo_key(const TruthTable& tt, const std::vector<NetId>& pins) {
+    std::string key = tt.to_binary_string();
+    for (const NetId pin : pins) {
+      key += ':';
+      key += std::to_string(pin);
+    }
+    return key;
+  }
+
+  netlist::Netlist& out_;
+  int k_;
+  std::map<std::string, NetId> memo_;
+  NetId const0_ = netlist::kNullNet;
+  NetId const1_ = netlist::kNullNet;
+};
+
+}  // namespace
+
+netlist::Netlist realize_conventional(const MappedNetlist& mapped, int lut_inputs) {
+  const netlist::Netlist& src = mapped.source();
+  netlist::Netlist out(src.name() + "_conventional");
+  std::vector<NetId> net_map(src.num_nets(), netlist::kNullNet);
+
+  for (const NetId in : src.inputs()) net_map[in] = out.add_input(src.net(in).name);
+  // Parameters become ordinary inputs (driven from settings registers).
+  for (const NetId p : src.params()) net_map[p] = out.add_input(src.net(p).name);
+
+  // Source constants referenced as leaves.
+  NetId const0 = netlist::kNullNet, const1 = netlist::kNullNet;
+  for (netlist::CellId c = 0; c < src.num_cells(); ++c) {
+    const auto& cell = src.cell(c);
+    if (cell.kind == netlist::CellKind::kConst0) {
+      if (const0 == netlist::kNullNet) {
+        const0 = out.add_cell(netlist::CellKind::kConst0, {});
+      }
+      net_map[cell.out] = const0;
+    } else if (cell.kind == netlist::CellKind::kConst1) {
+      if (const1 == netlist::kNullNet) {
+        const1 = out.add_cell(netlist::CellKind::kConst1, {});
+      }
+      net_map[cell.out] = const1;
+    }
+  }
+
+  std::vector<netlist::CellId> reg_cells;
+  for (const auto& reg : mapped.registers()) {
+    const auto [q, cell] = out.add_dff_floating(reg.init, src.net(reg.q).name);
+    net_map[reg.q] = q;
+    reg_cells.push_back(cell);
+  }
+
+  for (const std::size_t i : mapped.topo_order()) {
+    const MappedNode& node = mapped.nodes()[i];
+    std::vector<NetId> pins;
+    pins.reserve(node.real_ins.size() + node.param_ins.size());
+    for (const NetId in : node.real_ins) pins.push_back(net_map[in]);
+    for (const NetId in : node.param_ins) pins.push_back(net_map[in]);
+    // Fresh synthesizer per node: sharing stops at component boundaries.
+    ConeSynthesizer synth(out, lut_inputs);
+    net_map[node.out] = synth.build(node.tt, pins);
+  }
+
+  for (std::size_t r = 0; r < mapped.registers().size(); ++r) {
+    out.connect_dff(reg_cells[r], net_map[mapped.registers()[r].d]);
+  }
+  for (const NetId po : src.outputs()) out.mark_output(net_map[po]);
+  out.validate();
+  return out;
+}
+
+}  // namespace vcgra::techmap

@@ -1,0 +1,59 @@
+#include "vcgra/techmap/cuts.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vcgra::techmap {
+
+std::size_t Cut::leaf_signature() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const netlist::NetId leaf : real_leaves) {
+    h = (h ^ leaf) * 0xbf58476d1ce4e5b9ULL;
+  }
+  h = (h ^ 0xdeadbeefULL) * 0xbf58476d1ce4e5b9ULL;
+  for (const netlist::NetId leaf : param_leaves) {
+    h = (h ^ leaf) * 0xbf58476d1ce4e5b9ULL;
+  }
+  return static_cast<std::size_t>(h ^ (h >> 29));
+}
+
+std::vector<netlist::NetId> merge_leaves(const std::vector<netlist::NetId>& a,
+                                         const std::vector<netlist::NetId>& b) {
+  std::vector<netlist::NetId> merged;
+  merged.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(merged));
+  return merged;
+}
+
+boolfunc::TruthTable expand_cut_function(
+    const Cut& cut, const std::vector<netlist::NetId>& merged_real,
+    const std::vector<netlist::NetId>& merged_param) {
+  const int new_vars = static_cast<int>(merged_real.size() + merged_param.size());
+  std::vector<int> old_of_new(static_cast<std::size_t>(new_vars), -1);
+
+  const auto old_index = [&](netlist::NetId leaf) -> int {
+    const auto rit =
+        std::lower_bound(cut.real_leaves.begin(), cut.real_leaves.end(), leaf);
+    if (rit != cut.real_leaves.end() && *rit == leaf) {
+      return static_cast<int>(rit - cut.real_leaves.begin());
+    }
+    const auto pit =
+        std::lower_bound(cut.param_leaves.begin(), cut.param_leaves.end(), leaf);
+    if (pit != cut.param_leaves.end() && *pit == leaf) {
+      return static_cast<int>(cut.real_leaves.size() +
+                              static_cast<std::size_t>(pit - cut.param_leaves.begin()));
+    }
+    return -1;
+  };
+
+  int v = 0;
+  for (const netlist::NetId leaf : merged_real) {
+    old_of_new[static_cast<std::size_t>(v++)] = old_index(leaf);
+  }
+  for (const netlist::NetId leaf : merged_param) {
+    old_of_new[static_cast<std::size_t>(v++)] = old_index(leaf);
+  }
+  return cut.tt.permute(new_vars, old_of_new);
+}
+
+}  // namespace vcgra::techmap

@@ -1,0 +1,267 @@
+#include "vcgra/techmap/mapped_netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::techmap {
+
+using netlist::NetId;
+
+const char* mapped_kind_name(MappedKind kind) {
+  switch (kind) {
+    case MappedKind::kLut: return "LUT";
+    case MappedKind::kTlut: return "TLUT";
+    case MappedKind::kTcon: return "TCON";
+  }
+  return "?";
+}
+
+std::string MappedStats::to_string() const {
+  return common::strprintf("luts=%zu tluts=%zu tcons=%zu regs=%zu depth=%d",
+                           luts, tluts, tcons, registers, depth);
+}
+
+MappedStats MappedNetlist::stats() const {
+  MappedStats s;
+  for (const auto& node : nodes_) {
+    switch (node.kind) {
+      case MappedKind::kLut: ++s.luts; break;
+      case MappedKind::kTlut: ++s.tluts; break;
+      case MappedKind::kTcon: ++s.tcons; break;
+    }
+  }
+  s.registers = registers_.size();
+  s.depth = depth();
+  return s;
+}
+
+std::vector<std::size_t> MappedNetlist::topo_order() const {
+  std::unordered_map<NetId, std::size_t> producer;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) producer[nodes_[i].out] = i;
+
+  std::vector<int> state(nodes_.size(), 0);  // 0 new, 1 visiting, 2 done
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+
+  // Iterative DFS to tolerate deep combinational chains.
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // node, next input
+  for (std::size_t root = 0; root < nodes_.size(); ++root) {
+    if (state[root] == 2) continue;
+    stack.emplace_back(root, 0);
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next < nodes_[node].real_ins.size()) {
+        const NetId in = nodes_[node].real_ins[next++];
+        const auto it = producer.find(in);
+        if (it != producer.end()) {
+          if (state[it->second] == 1) {
+            throw std::runtime_error("MappedNetlist: combinational cycle");
+          }
+          if (state[it->second] == 0) {
+            state[it->second] = 1;
+            stack.emplace_back(it->second, 0);
+          }
+        }
+      } else {
+        state[node] = 2;
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+int MappedNetlist::depth() const {
+  std::unordered_map<NetId, int> level;
+  int max_level = 0;
+  for (const std::size_t i : topo_order()) {
+    const MappedNode& node = nodes_[i];
+    int in_level = 0;
+    for (const NetId in : node.real_ins) {
+      const auto it = level.find(in);
+      if (it != level.end()) in_level = std::max(in_level, it->second);
+    }
+    const int cost = node.kind == MappedKind::kTcon ? 0 : 1;
+    level[node.out] = in_level + cost;
+    max_level = std::max(max_level, level[node.out]);
+  }
+  return max_level;
+}
+
+void MappedNetlist::validate() const {
+  std::unordered_map<NetId, int> drivers;
+  for (const auto& node : nodes_) {
+    ++drivers[node.out];
+    if (static_cast<int>(node.real_ins.size() + node.param_ins.size()) !=
+        node.tt.num_vars()) {
+      throw std::runtime_error("MappedNetlist: node arity/table mismatch");
+    }
+    for (const NetId p : node.param_ins) {
+      if (source_->param_index(p) < 0) {
+        throw std::runtime_error("MappedNetlist: param pin is not a parameter net");
+      }
+    }
+  }
+  for (const auto& reg : registers_) ++drivers[reg.q];
+  for (const auto& [net, count] : drivers) {
+    if (count > 1) {
+      throw std::runtime_error(
+          common::strprintf("MappedNetlist: net %u multiply driven", net));
+    }
+  }
+  // Every real input must be driven by a node, a register, a PI or a param.
+  for (const auto& node : nodes_) {
+    for (const NetId in : node.real_ins) {
+      if (drivers.count(in) || source_->is_input(in) || source_->is_param(in)) {
+        continue;
+      }
+      // Constant-driver nets from the source netlist are also acceptable.
+      const netlist::CellId driver = source_->net(in).driver;
+      if (driver != netlist::kNoCell) {
+        const netlist::CellKind kind = source_->cell(driver).kind;
+        if (kind == netlist::CellKind::kConst0 || kind == netlist::CellKind::kConst1) {
+          continue;
+        }
+      }
+      throw std::runtime_error(
+          common::strprintf("MappedNetlist: net %u undriven", in));
+    }
+  }
+  (void)topo_order();  // throws on cycles
+}
+
+std::vector<std::uint8_t> MappedNetlist::evaluate(
+    const std::vector<std::uint8_t>& ext_values) const {
+  std::vector<std::uint8_t> values = ext_values;
+  values.resize(source_->num_nets(), 0);
+  // Constants from the source netlist.
+  for (netlist::CellId c = 0; c < source_->num_cells(); ++c) {
+    const auto& cell = source_->cell(c);
+    if (cell.kind == netlist::CellKind::kConst1) values[cell.out] = 1;
+    if (cell.kind == netlist::CellKind::kConst0) values[cell.out] = 0;
+  }
+  for (const std::size_t i : topo_order()) {
+    const MappedNode& node = nodes_[i];
+    std::uint64_t minterm = 0;
+    int var = 0;
+    for (const NetId in : node.real_ins) {
+      if (values[in]) minterm |= (std::uint64_t{1} << var);
+      ++var;
+    }
+    for (const NetId in : node.param_ins) {
+      if (values[in]) minterm |= (std::uint64_t{1} << var);
+      ++var;
+    }
+    values[node.out] = node.tt.get(minterm) ? 1 : 0;
+  }
+  return values;
+}
+
+netlist::Netlist MappedNetlist::specialize(const std::vector<bool>& param_values) const {
+  if (param_values.size() != source_->params().size()) {
+    throw std::invalid_argument("MappedNetlist::specialize: param count mismatch");
+  }
+  netlist::Netlist out(source_->name() + "_specialized");
+  std::vector<NetId> net_map(source_->num_nets(), netlist::kNullNet);
+
+  for (const NetId in : source_->inputs()) {
+    net_map[in] = out.add_input(source_->net(in).name);
+  }
+  const NetId const0 = out.add_cell(netlist::CellKind::kConst0, {});
+  const NetId const1 = out.add_cell(netlist::CellKind::kConst1, {});
+  // Params are compiled away: keep interface placeholders for positional
+  // alignment but route any residual user to the bound constant.
+  for (std::size_t i = 0; i < source_->params().size(); ++i) {
+    (void)out.add_param(source_->net(source_->params()[i]).name);
+    net_map[source_->params()[i]] = param_values[i] ? const1 : const0;
+  }
+
+  // Registers first (outputs are sources; D wired at the end).
+  std::vector<netlist::CellId> reg_cells;
+  reg_cells.reserve(registers_.size());
+  for (const auto& reg : registers_) {
+    const auto [q, cell] = out.add_dff_floating(reg.init, source_->net(reg.q).name);
+    net_map[reg.q] = q;
+    reg_cells.push_back(cell);
+  }
+  // Source-netlist constants referenced directly by nodes.
+  for (netlist::CellId c = 0; c < source_->num_cells(); ++c) {
+    const auto& cell = source_->cell(c);
+    if (cell.kind == netlist::CellKind::kConst0) net_map[cell.out] = const0;
+    if (cell.kind == netlist::CellKind::kConst1) net_map[cell.out] = const1;
+  }
+
+  for (const std::size_t i : topo_order()) {
+    const MappedNode& node = nodes_[i];
+    // Cofactor the node function at the bound parameter values.
+    boolfunc::TruthTable tt = node.tt;
+    const int num_real = static_cast<int>(node.real_ins.size());
+    for (std::size_t p = 0; p < node.param_ins.size(); ++p) {
+      const int pidx = source_->param_index(node.param_ins[p]);
+      tt = tt.cofactor(num_real + static_cast<int>(p),
+                       param_values[static_cast<std::size_t>(pidx)]);
+    }
+    // Compact to the real variables only.
+    std::vector<int> old_of_new(static_cast<std::size_t>(num_real));
+    for (int v = 0; v < num_real; ++v) old_of_new[static_cast<std::size_t>(v)] = v;
+    tt = tt.permute(num_real, old_of_new);
+
+    if (tt.is_const(false)) {
+      net_map[node.out] = const0;
+      continue;
+    }
+    if (tt.is_const(true)) {
+      net_map[node.out] = const1;
+      continue;
+    }
+    int wire = -1;
+    bool inverted = false;
+    if (tt.is_wire(&wire, &inverted) && !inverted) {
+      // TCON (or degenerate LUT): pure routing, no logic cell.
+      net_map[node.out] = net_map[node.real_ins[static_cast<std::size_t>(wire)]];
+      continue;
+    }
+    std::vector<NetId> ins(node.real_ins.size());
+    for (std::size_t v = 0; v < node.real_ins.size(); ++v) {
+      ins[v] = net_map[node.real_ins[v]];
+    }
+    net_map[node.out] = out.add_lut(std::move(ins), tt, source_->net(node.out).name);
+  }
+
+  for (std::size_t r = 0; r < registers_.size(); ++r) {
+    out.connect_dff(reg_cells[r], net_map[registers_[r].d]);
+  }
+  for (const NetId po : source_->outputs()) {
+    out.mark_output(net_map[po]);
+  }
+  return out;
+}
+
+bool is_tcon_function(const boolfunc::TruthTable& tt, int num_real, int num_param) {
+  if (num_param <= 0) return false;  // nothing tunable about it
+  if (num_real + num_param != tt.num_vars()) {
+    throw std::invalid_argument("is_tcon_function: arity mismatch");
+  }
+  for (std::uint64_t pi = 0; pi < (std::uint64_t{1} << num_param); ++pi) {
+    boolfunc::TruthTable cof = tt;
+    for (int p = 0; p < num_param; ++p) {
+      cof = cof.cofactor(num_real + p, (pi >> p) & 1);
+    }
+    std::vector<int> old_of_new(static_cast<std::size_t>(num_real));
+    for (int v = 0; v < num_real; ++v) old_of_new[static_cast<std::size_t>(v)] = v;
+    cof = cof.permute(num_real, old_of_new);
+    if (cof.is_const(false) || cof.is_const(true)) continue;
+    int wire = -1;
+    bool inverted = false;
+    if (cof.is_wire(&wire, &inverted) && !inverted) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vcgra::techmap

@@ -1,0 +1,411 @@
+#include "vcgra/techmap/mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "vcgra/techmap/cuts.hpp"
+
+namespace vcgra::techmap {
+
+using boolfunc::TruthTable;
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+/// Apply the cell's gate function to expanded fanin functions.
+TruthTable apply_cell(const netlist::Cell& cell, const std::vector<TruthTable>& fanins) {
+  switch (cell.kind) {
+    case CellKind::kBuf: return fanins[0];
+    case CellKind::kNot: return ~fanins[0];
+    case CellKind::kAnd: return fanins[0] & fanins[1];
+    case CellKind::kOr: return fanins[0] | fanins[1];
+    case CellKind::kXor: return fanins[0] ^ fanins[1];
+    case CellKind::kNand: return ~(fanins[0] & fanins[1]);
+    case CellKind::kNor: return ~(fanins[0] | fanins[1]);
+    case CellKind::kXnor: return ~(fanins[0] ^ fanins[1]);
+    case CellKind::kMux:
+      return (fanins[0] & fanins[2]) | (~fanins[0] & fanins[1]);
+    case CellKind::kLut: {
+      // Compose: OR over on-set minterms of the LUT of the AND of literals.
+      const int arity = static_cast<int>(fanins.size());
+      TruthTable result(fanins[0].num_vars());
+      for (std::uint64_t m = 0; m < cell.tt.num_minterms(); ++m) {
+        if (!cell.tt.get(m)) continue;
+        TruthTable term = TruthTable::one(fanins[0].num_vars());
+        for (int i = 0; i < arity; ++i) {
+          term = term & (((m >> i) & 1) ? fanins[static_cast<std::size_t>(i)]
+                                        : ~fanins[static_cast<std::size_t>(i)]);
+        }
+        result = result | term;
+      }
+      return result;
+    }
+    default:
+      throw std::logic_error("apply_cell: unexpected cell kind");
+  }
+}
+
+struct MapperState {
+  const Netlist& nl;
+  const MapOptions& opts;
+  std::vector<std::vector<Cut>> cuts;  // per net: impl cuts then trivial cut
+  std::vector<int> impl_count;         // per net: # of implementation cuts
+  std::vector<int> arrival;            // per net, LUT levels
+  std::vector<int> best;               // per net, index of chosen cut (-1 leaf)
+
+  explicit MapperState(const Netlist& netlist, const MapOptions& options)
+      : nl(netlist),
+        opts(options),
+        cuts(netlist.num_nets()),
+        impl_count(netlist.num_nets(), 0),
+        arrival(netlist.num_nets(), 0),
+        best(netlist.num_nets(), -1) {}
+};
+
+/// Leaf cut for an externally driven or register-driven net.
+Cut leaf_cut(const Netlist& nl, NetId net, bool param_aware) {
+  Cut cut;
+  cut.tt = TruthTable::var(1, 0);
+  cut.depth = 0;
+  if (param_aware && nl.is_param(net)) {
+    cut.param_leaves = {net};
+  } else {
+    cut.real_leaves = {net};
+  }
+  return cut;
+}
+
+bool cut_less(const Cut& a, const Cut& b) {
+  if (a.depth != b.depth) return a.depth < b.depth;
+  if (a.real_leaves.size() != b.real_leaves.size()) {
+    return a.real_leaves.size() < b.real_leaves.size();
+  }
+  return a.param_leaves.size() < b.param_leaves.size();
+}
+
+void enumerate_cell_cuts(MapperState& st, const netlist::Cell& cell) {
+  const std::size_t arity = cell.ins.size();
+  // Fanin cut menus: full menus for small arity; for wide cells keep just
+  // the best implementation cut and the trivial (stop-here) cut, which is
+  // always the last entry, to bound the cartesian product.
+  std::vector<std::vector<const Cut*>> menus(arity);
+  const bool full = arity <= 3;
+  for (std::size_t i = 0; i < arity; ++i) {
+    const auto& fanin_cuts = st.cuts[cell.ins[i]];
+    if (full || fanin_cuts.size() <= 2) {
+      for (const Cut& c : fanin_cuts) menus[i].push_back(&c);
+    } else {
+      menus[i].push_back(&fanin_cuts.front());
+      menus[i].push_back(&fanin_cuts.back());
+    }
+  }
+
+  std::vector<Cut> out;
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> pick(arity, 0);
+
+  for (;;) {
+    // --- merge one combination ---------------------------------------------
+    std::vector<NetId> merged_real, merged_param;
+    for (std::size_t i = 0; i < arity; ++i) {
+      const Cut& c = *menus[i][pick[i]];
+      merged_real = merge_leaves(merged_real, c.real_leaves);
+      merged_param = merge_leaves(merged_param, c.param_leaves);
+    }
+    const int num_real = static_cast<int>(merged_real.size());
+    const int num_param = static_cast<int>(merged_param.size());
+    const bool within_limits =
+        num_real <= st.opts.lut_inputs && num_param <= st.opts.max_params &&
+        num_real + num_param <= TruthTable::kMaxVars;
+    if (within_limits) {
+      std::vector<TruthTable> expanded;
+      expanded.reserve(arity);
+      for (std::size_t i = 0; i < arity; ++i) {
+        expanded.push_back(
+            expand_cut_function(*menus[i][pick[i]], merged_real, merged_param));
+      }
+      Cut cut;
+      cut.real_leaves = std::move(merged_real);
+      cut.param_leaves = std::move(merged_param);
+      cut.tt = apply_cell(cell, expanded);
+      // Drop vacuous leaves so the signature and pin count are tight.
+      {
+        std::vector<NetId> live_real, live_param;
+        std::vector<int> old_of_new;
+        for (int v = 0; v < cut.tt.num_vars(); ++v) {
+          const bool is_real = v < static_cast<int>(cut.real_leaves.size());
+          if (!cut.tt.depends_on(v)) continue;
+          if (is_real) {
+            live_real.push_back(cut.real_leaves[static_cast<std::size_t>(v)]);
+          } else {
+            live_param.push_back(cut.param_leaves[static_cast<std::size_t>(
+                v - static_cast<int>(cut.real_leaves.size()))]);
+          }
+          old_of_new.push_back(v);
+        }
+        cut.tt = cut.tt.permute(static_cast<int>(old_of_new.size()), old_of_new);
+        cut.real_leaves = std::move(live_real);
+        cut.param_leaves = std::move(live_param);
+      }
+      cut.tcon = st.opts.param_aware && !cut.param_leaves.empty() &&
+                 is_tcon_function(cut.tt, static_cast<int>(cut.real_leaves.size()),
+                                  static_cast<int>(cut.param_leaves.size()));
+      int in_depth = 0;
+      for (const NetId leaf : cut.real_leaves) {
+        in_depth = std::max(in_depth, st.arrival[leaf]);
+      }
+      cut.depth = in_depth + (cut.tcon ? 0 : 1);
+      if (seen.insert(cut.leaf_signature()).second) {
+        out.push_back(std::move(cut));
+      }
+    }
+    // --- advance the odometer ------------------------------------------------
+    std::size_t i = 0;
+    for (; i < arity; ++i) {
+      if (++pick[i] < menus[i].size()) break;
+      pick[i] = 0;
+    }
+    if (i == arity) break;
+  }
+
+  std::sort(out.begin(), out.end(), cut_less);
+  if (out.size() > static_cast<std::size_t>(st.opts.cut_limit)) {
+    out.resize(static_cast<std::size_t>(st.opts.cut_limit));
+  }
+  if (out.empty()) {
+    // Fallback for tight parameter budgets: take the cell's direct cut
+    // with *every* fanin as a physical pin (parameters included — a
+    // parameter net can always feed a LUT pin untuned).
+    std::vector<NetId> leaves(cell.ins.begin(), cell.ins.end());
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+    if (static_cast<int>(leaves.size()) <= st.opts.lut_inputs) {
+      Cut cut;
+      cut.real_leaves = leaves;
+      std::vector<TruthTable> projections;
+      projections.reserve(cell.ins.size());
+      for (const NetId in : cell.ins) {
+        const auto it = std::lower_bound(leaves.begin(), leaves.end(), in);
+        projections.push_back(TruthTable::var(
+            static_cast<int>(leaves.size()),
+            static_cast<int>(it - leaves.begin())));
+      }
+      cut.tt = apply_cell(cell, projections);
+      int in_depth = 0;
+      for (const NetId leaf : cut.real_leaves) {
+        in_depth = std::max(in_depth, st.arrival[leaf]);
+      }
+      cut.depth = in_depth + 1;
+      out.push_back(std::move(cut));
+    }
+  }
+  if (out.empty()) {
+    throw std::runtime_error("mapper: no feasible cut (gate fan-in exceeds limits?)");
+  }
+  st.arrival[cell.out] = out[0].depth;
+  st.best[cell.out] = 0;
+  st.impl_count[cell.out] = static_cast<int>(out.size());
+  st.cuts[cell.out] = std::move(out);
+  // Trivial (stop-here) cut, usable by fanout merges.
+  Cut trivial;
+  trivial.real_leaves = {cell.out};
+  trivial.tt = TruthTable::var(1, 0);
+  trivial.depth = st.arrival[cell.out];
+  st.cuts[cell.out].push_back(std::move(trivial));
+}
+
+/// LUT-area cost of choosing a cut: TCONs dissolve into routing.
+double cut_area_cost(const Cut& cut) { return cut.tcon ? 0.0 : 1.0; }
+
+}  // namespace
+
+MappedNetlist map_netlist(const Netlist& input, const MapOptions& options) {
+  MapperState st(input, options);
+
+  // Leaves: PIs, params, register outputs.
+  for (const NetId in : input.inputs()) st.cuts[in] = {leaf_cut(input, in, false)};
+  for (const NetId p : input.params()) {
+    st.cuts[p] = {leaf_cut(input, p, options.param_aware)};
+  }
+  for (CellId c = 0; c < input.num_cells(); ++c) {
+    const auto& cell = input.cell(c);
+    if (cell.kind == CellKind::kDff) {
+      st.cuts[cell.out] = {leaf_cut(input, cell.out, false)};
+    }
+  }
+
+  // Forward pass.
+  for (const CellId c : input.topo_order()) {
+    const auto& cell = input.cell(c);
+    switch (cell.kind) {
+      case CellKind::kDff:
+        break;
+      case CellKind::kConst0:
+      case CellKind::kConst1: {
+        Cut cut;
+        cut.tt = cell.kind == CellKind::kConst1 ? TruthTable::one(0)
+                                                : TruthTable::zero(0);
+        cut.depth = 0;
+        st.cuts[cell.out] = {cut};
+        st.best[cell.out] = -1;  // constants need no LUT
+        break;
+      }
+      case CellKind::kBuf:
+        throw std::invalid_argument(
+            "map_netlist: buffers not supported — run netlist::clean() first");
+      default:
+        enumerate_cell_cuts(st, cell);
+        break;
+    }
+  }
+
+  // --- cover roots: primary outputs and register D pins --------------------
+  std::vector<NetId> roots;
+  std::unordered_set<NetId> root_set;
+  const auto add_root = [&](NetId net) {
+    if (root_set.insert(net).second) roots.push_back(net);
+  };
+  for (const NetId po : input.outputs()) add_root(po);
+  for (CellId c = 0; c < input.num_cells(); ++c) {
+    const auto& cell = input.cell(c);
+    if (cell.kind == CellKind::kDff) add_root(cell.ins[0]);
+  }
+
+  const auto is_leaf_net = [&](NetId net) {
+    if (input.is_input(net) || input.is_param(net)) return true;
+    const CellId driver = input.net(net).driver;
+    if (driver == netlist::kNoCell) return true;
+    const CellKind dk = input.cell(driver).kind;
+    return dk == CellKind::kDff || dk == CellKind::kConst0 ||
+           dk == CellKind::kConst1;
+  };
+  const auto chosen_cut = [&](NetId net) -> const Cut& {
+    return st.cuts[net][static_cast<std::size_t>(st.best[net])];
+  };
+
+  const auto extract_cover = [&]() {
+    std::vector<NetId> cover;
+    std::unordered_set<NetId> seen;
+    std::vector<NetId> stack(roots);
+    while (!stack.empty()) {
+      const NetId net = stack.back();
+      stack.pop_back();
+      if (is_leaf_net(net) || !seen.insert(net).second) continue;
+      cover.push_back(net);
+      for (const NetId leaf : chosen_cut(net).real_leaves) stack.push_back(leaf);
+    }
+    return cover;
+  };
+
+  std::vector<NetId> cover = extract_cover();
+
+  // --- area recovery: depth-constrained area-flow re-selection -------------
+  // Classic two-pass flow recovery (ABC-style): compute required times over
+  // the current cover, then re-pick, per net, the cheapest cut that meets
+  // its required time, using area-flow labels that account for sharing.
+  const std::vector<CellId> topo = input.topo_order();
+  constexpr int kNoRequirement = std::numeric_limits<int>::max();
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<double> refs(input.num_nets(), 0.0);
+    for (const NetId net : cover) {
+      for (const NetId leaf : chosen_cut(net).real_leaves) refs[leaf] += 1.0;
+    }
+    for (const NetId root : roots) refs[root] += 1.0;
+
+    int depth_target = 0;
+    for (const NetId root : roots) {
+      depth_target = std::max(depth_target, st.arrival[root]);
+    }
+    std::vector<int> required_time(input.num_nets(), kNoRequirement);
+    for (const NetId root : roots) required_time[root] = depth_target;
+    const std::unordered_set<NetId> cover_set(cover.begin(), cover.end());
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const auto& cell = input.cell(*it);
+      const NetId net = cell.out;
+      if (cell.kind == CellKind::kDff || !cover_set.count(net)) continue;
+      if (required_time[net] == kNoRequirement) continue;
+      const Cut& cut = chosen_cut(net);
+      const int cost = cut.tcon ? 0 : 1;
+      for (const NetId leaf : cut.real_leaves) {
+        required_time[leaf] =
+            std::min(required_time[leaf], required_time[net] - cost);
+      }
+    }
+
+    std::vector<double> area_flow(input.num_nets(), 0.0);
+    for (const CellId c : topo) {
+      const auto& cell = input.cell(c);
+      const NetId net = cell.out;
+      if (cell.kind == CellKind::kDff || st.impl_count[net] == 0) continue;
+      const int limit = required_time[net];
+      int best_idx = -1;
+      double best_flow = std::numeric_limits<double>::infinity();
+      int best_depth = std::numeric_limits<int>::max();
+      for (int i = 0; i < st.impl_count[net]; ++i) {
+        const Cut& cut = st.cuts[net][static_cast<std::size_t>(i)];
+        if (cut.depth > limit) continue;
+        double flow = cut_area_cost(cut);
+        for (const NetId leaf : cut.real_leaves) flow += area_flow[leaf];
+        if (flow + 1e-9 < best_flow ||
+            (flow < best_flow + 1e-9 && cut.depth < best_depth)) {
+          best_flow = flow;
+          best_idx = i;
+          best_depth = cut.depth;
+        }
+      }
+      if (best_idx < 0) best_idx = st.best[net];  // nothing meets the limit
+      st.best[net] = best_idx;
+      const Cut& cut = chosen_cut(net);
+      double flow = cut_area_cost(cut);
+      for (const NetId leaf : cut.real_leaves) flow += area_flow[leaf];
+      area_flow[net] = flow / std::max(1.0, refs[net]);
+    }
+    cover = extract_cover();
+  }
+
+  // --- emit the mapped netlist ---------------------------------------------
+  MappedNetlist mapped(&input);
+  for (CellId c = 0; c < input.num_cells(); ++c) {
+    const auto& cell = input.cell(c);
+    if (cell.kind == CellKind::kDff) {
+      mapped.registers().push_back(MappedRegister{cell.ins[0], cell.out, cell.init});
+    }
+  }
+  for (const NetId net : cover) {
+    const Cut& cut = chosen_cut(net);
+    MappedNode node;
+    node.out = net;
+    node.real_ins = cut.real_leaves;
+    node.param_ins = cut.param_leaves;
+    node.tt = cut.tt;
+    node.kind = cut.param_leaves.empty()
+                    ? MappedKind::kLut
+                    : (cut.tcon ? MappedKind::kTcon : MappedKind::kTlut);
+    mapped.nodes().push_back(std::move(node));
+  }
+
+  mapped.validate();
+  return mapped;
+}
+
+MappedNetlist map_conventional(const Netlist& input, int lut_inputs) {
+  MapOptions opts;
+  opts.lut_inputs = lut_inputs;
+  opts.param_aware = false;
+  return map_netlist(input, opts);
+}
+
+MappedNetlist tconmap(const Netlist& input, int lut_inputs) {
+  MapOptions opts;
+  opts.lut_inputs = lut_inputs;
+  opts.param_aware = true;
+  return map_netlist(input, opts);
+}
+
+}  // namespace vcgra::techmap

@@ -1,0 +1,72 @@
+// Configuration backends: how VCGRA settings reach the fabric.
+//
+//   * Conventional overlay — settings registers are flip-flops written
+//     over a dedicated configuration bus, one word per cycle (§I/§II-C).
+//     Fast per word, but the overlay itself costs LUTs and flip-flops
+//     (Table II) and the PE datapaths stay generic (Table I).
+//
+//   * Fully parameterized overlay — the settings *are* parameter values:
+//     the SCG evaluates the PE's Partial Parameterized Configuration and
+//     micro-reconfigures the touched frames through HWICAP/MiCAP.  Slow
+//     per change (~hundreds of ms per PE, §V), but the overlay machinery
+//     vanishes into configuration memory.
+//
+// ParameterizedBackend builds the paper's MAC PE once, runs TCONMAP over
+// it and generates the PPC, so reconfiguration estimates reflect the
+// *actual* TLUT/TCON population of the PE rather than hard-coded counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "vcgra/fpga/frames.hpp"
+#include "vcgra/netlist/netlist.hpp"
+#include "vcgra/pconf/ppc.hpp"
+#include "vcgra/techmap/mapped_netlist.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+
+namespace vcgra::overlay {
+
+struct BusModel {
+  double write_seconds = 100e-9;  // one 32-bit register write on the bus
+};
+
+/// Time to (re)configure the conventional overlay: one bus write per
+/// settings word.
+double conventional_config_seconds(const VcgraSettings& settings,
+                                   const OverlayArch& arch,
+                                   const BusModel& bus = {});
+
+class ParameterizedBackend {
+ public:
+  explicit ParameterizedBackend(const OverlayArch& arch,
+                                const fpga::FrameModel& frames = {});
+
+  ParameterizedBackend(const ParameterizedBackend&) = delete;
+  ParameterizedBackend& operator=(const ParameterizedBackend&) = delete;
+
+  const techmap::MappedNetlist& mapped_pe() const { return mapped_; }
+  const pconf::ParameterizedConfiguration& ppc() const { return ppc_; }
+
+  /// Reconfiguration cost to go from settings `from` to settings `to`:
+  /// every PE whose coefficient or count changed is respecialized (PPC
+  /// evaluation + dirty-frame micro-reconfiguration).
+  fpga::ReconfigCost reconfigure_cost(const VcgraSettings& from,
+                                      const VcgraSettings& to) const;
+
+  /// Cost of configuring every used PE from scratch (all frames dirty).
+  fpga::ReconfigCost full_config_cost(const VcgraSettings& settings) const;
+
+  /// Per-PE full respecialization cost — the paper's "251 ms per PE".
+  fpga::ReconfigCost per_pe_cost() const;
+
+ private:
+  std::vector<bool> pe_param_values(const PeSettings& pe) const;
+
+  OverlayArch arch_;
+  std::unique_ptr<netlist::Netlist> pe_netlist_;  // stable address for mapped_
+  techmap::MappedNetlist mapped_;
+  pconf::ParameterizedConfiguration ppc_;
+};
+
+}  // namespace vcgra::overlay

@@ -1,0 +1,83 @@
+// The VCGRA tool flow (right half of Fig. 2): synthesis at PE granularity,
+// technology mapping (mul+add fusion into MAC PEs), placement of DFG
+// nodes onto the PE grid, routing over the virtual network, and settings
+// generation.
+//
+// Because the basic programmable element is a whole PE instead of a LUT,
+// this flow runs in milliseconds where the LUT-level flow takes seconds —
+// the compile-time claim of §II-A, reproduced by bench_toolflow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vcgra/vcgra/arch.hpp"
+#include "vcgra/vcgra/dfg.hpp"
+
+namespace vcgra::overlay {
+
+/// Configuration of one PE, as held by its settings register.
+struct PeSettings {
+  bool used = false;
+  OpKind op = OpKind::kPass;
+  std::uint64_t coeff_bits = 0;  // FP-encoded coefficient (kMul/kMac)
+  std::uint32_t count = 1;       // MAC iteration count
+  int dfg_node = -1;             // provenance
+};
+
+/// One routed virtual connection: a list of grid hops (r, c) from the
+/// producer PE (or boundary port) to the consumer.
+struct RoutedNet {
+  int from_node = -1;  // DFG node producing the value
+  int to_node = -1;    // DFG node consuming it
+  int to_operand = 0;
+  std::vector<std::pair<int, int>> hops;  // PE-grid coordinates traversed
+};
+
+struct VcgraSettings {
+  std::vector<PeSettings> pes;  // rows*cols, row-major
+  std::vector<RoutedNet> routes;
+
+  /// Serialize every settings register into `settings_bits`-wide words in
+  /// register order (PEs row-major, then VSBs) — what the dedicated bus
+  /// writes in the conventional overlay and what becomes parameter values
+  /// in the fully parameterized one.
+  std::vector<std::uint32_t> register_words(const OverlayArch& arch) const;
+};
+
+struct CompileReport {
+  double synth_seconds = 0;
+  double map_seconds = 0;
+  double place_seconds = 0;
+  double route_seconds = 0;
+  int pes_used = 0;
+  int total_hops = 0;
+  double total_seconds() const {
+    return synth_seconds + map_seconds + place_seconds + route_seconds;
+  }
+};
+
+struct Compiled {
+  OverlayArch arch;
+  VcgraSettings settings;
+  std::vector<int> pe_of_node;  // DFG node -> PE index (-1 if not on a PE)
+  CompileReport report;
+
+  // Interface directory for the simulator (survives without the Dfg).
+  std::map<std::string, int> input_node_by_name;
+  std::map<std::string, int> output_node_by_name;
+  std::map<int, int> output_source;  // output node -> producing node
+};
+
+/// Compile a DFG onto the overlay. Throws std::invalid_argument when the
+/// design does not fit (more compute nodes than PEs) or uses an op the PE
+/// repertoire lacks.
+Compiled compile(const Dfg& dfg, const OverlayArch& arch, std::uint64_t seed = 1);
+
+/// Convenience: parse + compile.
+Compiled compile_kernel(const std::string& kernel_text, const OverlayArch& arch,
+                        std::uint64_t seed = 1);
+
+}  // namespace vcgra::overlay

@@ -1,0 +1,87 @@
+// Application dataflow graph and the kernel front end.
+//
+// The VCGRA tool flow (right half of Fig. 2) starts from a textual
+// description of the application at *PE granularity*.  The kernel
+// language is deliberately tiny:
+//
+//   input x0; input x1;
+//   param c0 = 0.5; param c1 = -1.25;
+//   t0 = mul(x0, c0);
+//   t1 = mul(x1, c1);
+//   y  = add(t0, t1);
+//   output y;
+//
+// `param` values are the infrequently changing inputs (filter
+// coefficients); `mac(x, c, n)` accumulates n products before emitting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcgra::overlay {
+
+enum class OpKind : std::uint8_t {
+  kInput,
+  kParam,   // coefficient constant (changes rarely)
+  kMul,
+  kAdd,
+  kSub,
+  kMac,     // mac(x, coeff, count): accumulate count products of x*coeff
+  kPass,    // route-through
+  kOutput,
+};
+
+const char* op_name(OpKind kind);
+
+struct DfgNode {
+  OpKind kind = OpKind::kPass;
+  std::string name;
+  std::vector<int> args;  // indices of operand nodes
+  double value = 0.0;     // kParam: coefficient; kMac: unused
+  int count = 0;          // kMac: accumulation length
+};
+
+class Dfg {
+ public:
+  int add_input(std::string name);
+  int add_param(std::string name, double value);
+  int add_op(OpKind kind, std::string name, std::vector<int> args, int count = 0);
+  int add_output(std::string name, int arg);
+
+  const std::vector<DfgNode>& nodes() const { return nodes_; }
+  std::vector<DfgNode>& nodes() { return nodes_; }
+  const std::vector<int>& inputs() const { return inputs_; }
+  const std::vector<int>& outputs() const { return outputs_; }
+
+  /// Number of nodes that occupy a PE (everything but inputs/params/outputs).
+  std::size_t num_compute_nodes() const;
+
+  /// Topological order of all nodes; throws on cycles.
+  std::vector<int> topo_order() const;
+
+  /// Find a node index by name (-1 if absent).
+  int find(const std::string& name) const;
+
+  void validate() const;
+
+ private:
+  std::vector<DfgNode> nodes_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+};
+
+/// Parse the kernel language; throws std::invalid_argument with a line
+/// diagnostic on syntax errors.
+Dfg parse_kernel(const std::string& text);
+
+/// Convenience builder: an N-tap FIR / dot-product kernel
+/// y = sum_i coeff[i] * x_i, the canonical filter kernel of §IV.
+Dfg make_dot_product_kernel(const std::vector<double>& coefficients);
+
+/// Convenience builder: a streaming MAC filter where one PE accumulates
+/// `taps` products per output sample (how the vessel-segmentation filters
+/// map when kernels exceed the grid).
+Dfg make_streaming_mac_kernel(double coefficient, int taps);
+
+}  // namespace vcgra::overlay

@@ -1,0 +1,52 @@
+// Cycle-level simulator of a configured VCGRA.
+//
+// Executes the compiled dataflow graph with bit-exact FloPoCo arithmetic
+// (the same FpValue ops the gate-level PE implements) and accounts cycles
+// with a pipelined schedule model: each PE has a fixed operation latency,
+// each virtual-network hop costs one cycle, and the grid accepts one new
+// sample per cycle (initiation interval 1). MAC PEs decimate: they emit
+// one output per `count` consumed samples, exactly like the hardware PE's
+// iteration counter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vcgra/softfloat/fpformat.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+
+namespace vcgra::overlay {
+
+struct SimOptions {
+  int mul_latency = 3;   // FloPoCo multiplier pipeline depth
+  int add_latency = 4;   // FloPoCo adder pipeline depth
+  int hop_latency = 1;   // one VSB hop per cycle
+};
+
+struct RunResult {
+  std::map<std::string, std::vector<softfloat::FpValue>> outputs;
+  std::uint64_t cycles = 0;      // pipelined schedule length
+  std::uint64_t fp_ops = 0;      // multiplies + adds executed
+  std::uint64_t mac_ops = 0;     // multiply-accumulate steps
+  int pipeline_depth = 0;        // fill latency (cycles to first output)
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Compiled& compiled, const SimOptions& options = {});
+
+  /// Run the configured overlay on input streams (keyed by DFG input
+  /// name; all streams must share one length).
+  RunResult run(const std::map<std::string, std::vector<softfloat::FpValue>>& inputs) const;
+
+  /// Convenience for double-typed streams.
+  RunResult run_doubles(const std::map<std::string, std::vector<double>>& inputs) const;
+
+ private:
+  const Compiled& compiled_;
+  SimOptions options_;
+};
+
+}  // namespace vcgra::overlay

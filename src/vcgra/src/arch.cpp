@@ -1,0 +1,56 @@
+#include "vcgra/vcgra/arch.hpp"
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::overlay {
+
+std::string OverlayArch::to_string() const {
+  return common::strprintf("%dx%d VCGRA (tracks=%d, fp %d/%d, %d-bit settings)",
+                           rows, cols, tracks, format.we, format.wf, settings_bits);
+}
+
+std::string OverlayCost::to_string() const {
+  return common::strprintf(
+      "switch-groups=%zu regs=%zu ff-bits=%zu mux-luts=%zu cfg-bits=%zu",
+      routing_switch_groups, settings_registers, settings_ff_bits, mux_luts,
+      config_mem_bits);
+}
+
+OverlayCost conventional_overlay_cost(const OverlayArch& arch) {
+  OverlayCost cost;
+  cost.routing_switch_groups =
+      static_cast<std::size_t>(arch.num_vsbs() + arch.num_vcbs());
+  cost.settings_registers = static_cast<std::size_t>(arch.num_settings_registers());
+  cost.settings_ff_bits =
+      cost.settings_registers * static_cast<std::size_t>(arch.settings_bits);
+
+  // LUT cost of the network multiplexers, realized as 2:1-mux trees
+  // (R-to-1 mux = R-1 4-LUTs):
+  //  * a VSB joins 4 sides x `tracks` wires; each of the 4*tracks outputs
+  //    selects among the 3 other sides' tracks (3*tracks inputs);
+  //  * a VCB attaches one PE port to `tracks` wires (tracks-to-1 each way).
+  const std::size_t vsb_mux_inputs = static_cast<std::size_t>(3 * arch.tracks);
+  const std::size_t vsb_outputs = static_cast<std::size_t>(4 * arch.tracks);
+  const std::size_t luts_per_vsb = vsb_outputs * (vsb_mux_inputs - 1);
+  const std::size_t luts_per_vcb =
+      static_cast<std::size_t>(arch.tracks > 1 ? arch.tracks - 1 : 1);
+  cost.mux_luts = static_cast<std::size_t>(arch.num_vsbs()) * luts_per_vsb +
+                  static_cast<std::size_t>(arch.num_vcbs()) * luts_per_vcb;
+  cost.config_mem_bits = 0;
+  return cost;
+}
+
+OverlayCost parameterized_overlay_cost(const OverlayArch& arch) {
+  OverlayCost cost;
+  // Table II, second row: the settings registers move into configuration
+  // memory and the inter-network moves onto physical routing switches.
+  cost.routing_switch_groups = 0;
+  cost.settings_registers = 0;
+  cost.settings_ff_bits = 0;
+  cost.mux_luts = 0;
+  cost.config_mem_bits = static_cast<std::size_t>(arch.num_settings_registers()) *
+                         static_cast<std::size_t>(arch.settings_bits);
+  return cost;
+}
+
+}  // namespace vcgra::overlay

@@ -1,0 +1,74 @@
+#include "vcgra/vcgra/backend.hpp"
+
+#include <stdexcept>
+
+#include "vcgra/netlist/passes.hpp"
+#include "vcgra/softfloat/fpcircuits.hpp"
+#include "vcgra/techmap/mapper.hpp"
+
+namespace vcgra::overlay {
+
+double conventional_config_seconds(const VcgraSettings& settings,
+                                   const OverlayArch& arch, const BusModel& bus) {
+  return static_cast<double>(settings.register_words(arch).size()) *
+         bus.write_seconds;
+}
+
+ParameterizedBackend::ParameterizedBackend(const OverlayArch& arch,
+                                           const fpga::FrameModel& frames)
+    : arch_(arch) {
+  softfloat::MacPe pe = softfloat::build_mac_pe(
+      arch.format, softfloat::PeStyle::kParameterized, arch.counter_bits);
+  pe_netlist_ = std::make_unique<netlist::Netlist>(
+      netlist::clean(pe.netlist).netlist);
+  mapped_ = techmap::tconmap(*pe_netlist_, 4);
+  ppc_ = pconf::ParameterizedConfiguration::generate(mapped_, frames);
+}
+
+std::vector<bool> ParameterizedBackend::pe_param_values(const PeSettings& pe) const {
+  // Parameter order in build_mac_pe: coefficient bus then counter bus.
+  const int coeff_bits = arch_.format.total_bits();
+  std::vector<bool> values(pe_netlist_->params().size(), false);
+  for (int i = 0; i < coeff_bits && i < static_cast<int>(values.size()); ++i) {
+    values[static_cast<std::size_t>(i)] = (pe.coeff_bits >> i) & 1;
+  }
+  for (int i = 0; i < arch_.counter_bits; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(coeff_bits + i);
+    if (pos < values.size()) values[pos] = (pe.count >> i) & 1;
+  }
+  return values;
+}
+
+fpga::ReconfigCost ParameterizedBackend::reconfigure_cost(
+    const VcgraSettings& from, const VcgraSettings& to) const {
+  if (from.pes.size() != to.pes.size()) {
+    throw std::invalid_argument("reconfigure_cost: settings shape mismatch");
+  }
+  std::size_t dirty = 0;
+  for (std::size_t i = 0; i < to.pes.size(); ++i) {
+    const PeSettings& a = from.pes[i];
+    const PeSettings& b = to.pes[i];
+    const bool changed =
+        a.used != b.used || a.coeff_bits != b.coeff_bits || a.count != b.count;
+    if (!changed || !b.used) continue;
+    const std::vector<bool> before = ppc_.specialize(pe_param_values(a));
+    const std::vector<bool> after = ppc_.specialize(pe_param_values(b));
+    dirty += ppc_.dirty_frames(before, after).size();
+  }
+  return ppc_.reconfig_cost(dirty);
+}
+
+fpga::ReconfigCost ParameterizedBackend::full_config_cost(
+    const VcgraSettings& settings) const {
+  std::size_t used = 0;
+  for (const auto& pe : settings.pes) {
+    if (pe.used) ++used;
+  }
+  return ppc_.reconfig_cost(used * ppc_.stats().frames);
+}
+
+fpga::ReconfigCost ParameterizedBackend::per_pe_cost() const {
+  return ppc_.reconfig_cost(ppc_.stats().frames);
+}
+
+}  // namespace vcgra::overlay

@@ -1,0 +1,273 @@
+#include "vcgra/vcgra/dfg.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::overlay {
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kParam: return "param";
+    case OpKind::kMul: return "mul";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMac: return "mac";
+    case OpKind::kPass: return "pass";
+    case OpKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+int Dfg::add_input(std::string name) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(DfgNode{OpKind::kInput, std::move(name), {}, 0.0, 0});
+  inputs_.push_back(id);
+  return id;
+}
+
+int Dfg::add_param(std::string name, double value) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(DfgNode{OpKind::kParam, std::move(name), {}, value, 0});
+  return id;
+}
+
+int Dfg::add_op(OpKind kind, std::string name, std::vector<int> args, int count) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(DfgNode{kind, std::move(name), std::move(args), 0.0, count});
+  return id;
+}
+
+int Dfg::add_output(std::string name, int arg) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(DfgNode{OpKind::kOutput, std::move(name), {arg}, 0.0, 0});
+  outputs_.push_back(id);
+  return id;
+}
+
+std::size_t Dfg::num_compute_nodes() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind != OpKind::kInput && node.kind != OpKind::kParam &&
+        node.kind != OpKind::kOutput) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<int> Dfg::topo_order() const {
+  std::vector<int> state(nodes_.size(), 0);
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int root = 0; root < static_cast<int>(nodes_.size()); ++root) {
+    if (state[static_cast<std::size_t>(root)] == 2) continue;
+    stack.emplace_back(root, 0);
+    state[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto& args = nodes_[static_cast<std::size_t>(node)].args;
+      if (next < args.size()) {
+        const int child = args[next++];
+        if (state[static_cast<std::size_t>(child)] == 1) {
+          throw std::runtime_error("Dfg: cycle detected");
+        }
+        if (state[static_cast<std::size_t>(child)] == 0) {
+          state[static_cast<std::size_t>(child)] = 1;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        state[static_cast<std::size_t>(node)] = 2;
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+int Dfg::find(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Dfg::validate() const {
+  for (const auto& node : nodes_) {
+    for (const int arg : node.args) {
+      if (arg < 0 || arg >= static_cast<int>(nodes_.size())) {
+        throw std::runtime_error("Dfg: dangling operand");
+      }
+    }
+    switch (node.kind) {
+      case OpKind::kMul:
+      case OpKind::kAdd:
+      case OpKind::kSub:
+        if (node.args.size() != 2) throw std::runtime_error("Dfg: binary op arity");
+        break;
+      case OpKind::kMac:
+        if (node.args.size() != 2 || node.count <= 0) {
+          throw std::runtime_error("Dfg: mac needs (x, coeff) and count > 0");
+        }
+        break;
+      case OpKind::kPass:
+      case OpKind::kOutput:
+        if (node.args.size() != 1) throw std::runtime_error("Dfg: unary op arity");
+        break;
+      case OpKind::kInput:
+      case OpKind::kParam:
+        if (!node.args.empty()) throw std::runtime_error("Dfg: source with operands");
+        break;
+    }
+  }
+  (void)topo_order();
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& message) {
+  throw std::invalid_argument(
+      common::strprintf("kernel parse error (line %d): %s", line, message.c_str()));
+}
+
+}  // namespace
+
+Dfg parse_kernel(const std::string& text) {
+  Dfg dfg;
+  int line_number = 0;
+  for (const std::string& raw_line : common::split(text, '\n')) {
+    ++line_number;
+    for (const std::string& raw_stmt : common::split(raw_line, ';')) {
+      std::string stmt(common::trim(raw_stmt));
+      if (stmt.empty() || common::starts_with(stmt, "#")) continue;
+
+      if (common::starts_with(stmt, "input ")) {
+        dfg.add_input(std::string(common::trim(stmt.substr(6))));
+        continue;
+      }
+      if (common::starts_with(stmt, "output ")) {
+        const std::string name(common::trim(stmt.substr(7)));
+        const int src = dfg.find(name);
+        if (src < 0) parse_fail(line_number, "output of unknown signal '" + name + "'");
+        dfg.add_output(name, src);
+        continue;
+      }
+      if (common::starts_with(stmt, "param ")) {
+        // param NAME = VALUE
+        const auto eq = stmt.find('=');
+        if (eq == std::string::npos) parse_fail(line_number, "param needs '= value'");
+        const std::string name(common::trim(stmt.substr(6, eq - 6)));
+        const std::string value_text(common::trim(stmt.substr(eq + 1)));
+        char* end = nullptr;
+        const double value = std::strtod(value_text.c_str(), &end);
+        if (end == value_text.c_str()) parse_fail(line_number, "bad param value");
+        dfg.add_param(name, value);
+        continue;
+      }
+
+      // NAME = op(arg, arg[, count])
+      const auto eq = stmt.find('=');
+      if (eq == std::string::npos) parse_fail(line_number, "expected assignment");
+      const std::string name(common::trim(stmt.substr(0, eq)));
+      std::string rhs(common::trim(stmt.substr(eq + 1)));
+      const auto open = rhs.find('(');
+      const auto close = rhs.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close < open) {
+        parse_fail(line_number, "expected op(args)");
+      }
+      const std::string op(common::trim(rhs.substr(0, open)));
+      const std::string arg_text = rhs.substr(open + 1, close - open - 1);
+      std::vector<std::string> arg_names;
+      for (const auto& piece : common::split(arg_text, ',')) {
+        arg_names.emplace_back(common::trim(piece));
+      }
+
+      OpKind kind = OpKind::kPass;
+      std::size_t arity = 1;
+      if (op == "mul") {
+        kind = OpKind::kMul;
+        arity = 2;
+      } else if (op == "add") {
+        kind = OpKind::kAdd;
+        arity = 2;
+      } else if (op == "sub") {
+        kind = OpKind::kSub;
+        arity = 2;
+      } else if (op == "mac") {
+        kind = OpKind::kMac;
+        arity = 3;  // (x, coeff, count)
+      } else if (op == "pass") {
+        kind = OpKind::kPass;
+        arity = 1;
+      } else {
+        parse_fail(line_number, "unknown op '" + op + "'");
+      }
+      if (arg_names.size() != arity) {
+        parse_fail(line_number, "op '" + op + "' arity mismatch");
+      }
+
+      std::vector<int> args;
+      int count = 0;
+      const std::size_t value_args = kind == OpKind::kMac ? 2 : arity;
+      for (std::size_t i = 0; i < value_args; ++i) {
+        const int src = dfg.find(arg_names[i]);
+        if (src < 0) parse_fail(line_number, "unknown signal '" + arg_names[i] + "'");
+        args.push_back(src);
+      }
+      if (kind == OpKind::kMac) {
+        char* end = nullptr;
+        count = static_cast<int>(std::strtol(arg_names[2].c_str(), &end, 10));
+        if (end == arg_names[2].c_str() || count <= 0) {
+          parse_fail(line_number, "mac count must be a positive integer");
+        }
+      }
+      dfg.add_op(kind, name, std::move(args), count);
+    }
+  }
+  dfg.validate();
+  return dfg;
+}
+
+Dfg make_dot_product_kernel(const std::vector<double>& coefficients) {
+  Dfg dfg;
+  std::vector<int> products;
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    const int x = dfg.add_input(common::strprintf("x%zu", i));
+    const int c = dfg.add_param(common::strprintf("c%zu", i), coefficients[i]);
+    products.push_back(
+        dfg.add_op(OpKind::kMul, common::strprintf("p%zu", i), {x, c}));
+  }
+  // Balanced adder tree.
+  int level = 0;
+  while (products.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < products.size(); i += 2) {
+      next.push_back(dfg.add_op(OpKind::kAdd,
+                                common::strprintf("s%d_%zu", level, i / 2),
+                                {products[i], products[i + 1]}));
+    }
+    if (products.size() % 2) next.push_back(products.back());
+    products = std::move(next);
+    ++level;
+  }
+  if (!products.empty()) dfg.add_output("y", products[0]);
+  dfg.validate();
+  return dfg;
+}
+
+Dfg make_streaming_mac_kernel(double coefficient, int taps) {
+  Dfg dfg;
+  const int x = dfg.add_input("x");
+  const int c = dfg.add_param("c", coefficient);
+  const int mac = dfg.add_op(OpKind::kMac, "acc", {x, c}, taps);
+  dfg.add_output("y", mac);
+  dfg.validate();
+  return dfg;
+}
+
+}  // namespace vcgra::overlay

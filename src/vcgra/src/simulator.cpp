@@ -1,0 +1,195 @@
+#include "vcgra/vcgra/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::overlay {
+
+using softfloat::FpValue;
+
+Simulator::Simulator(const Compiled& compiled, const SimOptions& options)
+    : compiled_(compiled), options_(options) {}
+
+RunResult Simulator::run(
+    const std::map<std::string, std::vector<FpValue>>& inputs) const {
+  // Compiled carries everything needed: per-PE settings, routed operand
+  // edges, and the input/output name directory.
+  const softfloat::FpFormat format = compiled_.arch.format;
+  RunResult result;
+
+  // Stream length.
+  std::size_t length = 0;
+  for (const auto& [name, stream] : inputs) {
+    if (length == 0) length = stream.size();
+    if (stream.size() != length) {
+      throw std::invalid_argument("Simulator: input stream lengths differ");
+    }
+  }
+
+  // Values per DFG node id.
+  std::map<int, std::vector<FpValue>> streams;
+  std::map<int, FpValue> constants;
+  std::map<int, int> ready_at;  // schedule: cycle the node's output is valid
+
+  // Reconstruct per-node execution from Compiled: nodes occupying PEs are
+  // in settings; inputs/outputs were recorded in routes.
+  // Build node->(op settings) map.
+  std::map<int, const PeSettings*> pe_settings_of_node;
+  for (const auto& pe : compiled_.settings.pes) {
+    if (pe.used) pe_settings_of_node[pe.dfg_node] = &pe;
+  }
+  // Hop latency per (from,to,operand).
+  std::map<std::pair<int, int>, int> hops_between;
+  for (const auto& net : compiled_.settings.routes) {
+    const int hops = std::max<int>(0, static_cast<int>(net.hops.size()) - 1);
+    hops_between[{net.from_node, net.to_node}] = hops;
+  }
+
+  // Operand lists are not stored in Compiled directly; recover them from
+  // routes (from_node -> to_node with operand index).
+  std::map<int, std::vector<std::pair<int, int>>> operands_of;  // node -> (idx, src)
+  for (const auto& net : compiled_.settings.routes) {
+    if (net.to_node >= 0 && pe_settings_of_node.count(net.to_node)) {
+      operands_of[net.to_node].emplace_back(net.to_operand, net.from_node);
+    }
+  }
+  for (auto& [node, list] : operands_of) {
+    std::sort(list.begin(), list.end());
+  }
+
+  // Seed input streams: match by name using route from-nodes that have no
+  // PE settings (i.e. DFG inputs). We need names; Compiled keeps
+  // pe_of_node sized to the DFG, and inputs are the stream keys — the
+  // contract is that input DFG node names equal the map keys. The
+  // compiler stores provenance in routes only by node id, so the caller's
+  // Dfg must be the one compiled; we recover input ids through
+  // compiled_.input_names.
+  for (const auto& [name, stream] : inputs) {
+    const auto it = compiled_.input_node_by_name.find(name);
+    if (it == compiled_.input_node_by_name.end()) {
+      throw std::invalid_argument("Simulator: unknown input stream '" + name + "'");
+    }
+    streams[it->second] = stream;
+    ready_at[it->second] = 0;
+  }
+
+  // Evaluate PEs in dependency order (routes form a DAG over PE nodes).
+  std::vector<int> order;
+  for (const auto& [node, settings] : pe_settings_of_node) order.push_back(node);
+  std::sort(order.begin(), order.end());  // DFG ids are topological by construction
+
+  int deepest = 0;
+  for (const int node : order) {
+    const PeSettings& pe = *pe_settings_of_node.at(node);
+    const FpValue coeff(format, pe.coeff_bits);
+    std::vector<const std::vector<FpValue>*> args;
+    int start = 0;
+    for (const auto& [idx, src] : operands_of[node]) {
+      const auto sit = streams.find(src);
+      if (sit == streams.end()) {
+        throw std::runtime_error(common::strprintf(
+            "Simulator: operand stream for node %d missing (src %d)", node, src));
+      }
+      args.push_back(&sit->second);
+      const int hop = hops_between.count({src, node}) ? hops_between[{src, node}] : 0;
+      start = std::max(start, ready_at[src] + hop * options_.hop_latency);
+    }
+
+    std::vector<FpValue> out;
+    int latency = 0;
+    switch (pe.op) {
+      case OpKind::kMul: {
+        latency = options_.mul_latency;
+        if (args.size() == 1) {  // x * coeff
+          out.reserve(args[0]->size());
+          for (const FpValue& x : *args[0]) {
+            out.push_back(softfloat::fp_mul(x, coeff));
+            ++result.fp_ops;
+          }
+        } else {
+          for (std::size_t i = 0; i < args[0]->size(); ++i) {
+            out.push_back(softfloat::fp_mul((*args[0])[i], (*args[1])[i]));
+            ++result.fp_ops;
+          }
+        }
+        break;
+      }
+      case OpKind::kAdd:
+      case OpKind::kSub: {
+        latency = options_.add_latency;
+        if (args.size() != 2 || args[0]->size() != args[1]->size()) {
+          throw std::runtime_error("Simulator: add/sub needs two equal streams");
+        }
+        for (std::size_t i = 0; i < args[0]->size(); ++i) {
+          FpValue rhs = (*args[1])[i];
+          if (pe.op == OpKind::kSub) {
+            rhs = FpValue(format, rhs.bits() ^ (std::uint64_t{1}
+                                                << (format.we + format.wf)));
+          }
+          out.push_back(softfloat::fp_add((*args[0])[i], rhs));
+          ++result.fp_ops;
+        }
+        break;
+      }
+      case OpKind::kMac: {
+        latency = options_.mul_latency + options_.add_latency;
+        FpValue acc = FpValue::zero(format);
+        int filled = 0;
+        for (const FpValue& x : *args[0]) {
+          acc = softfloat::fp_mac(acc, x, coeff);
+          result.fp_ops += 2;
+          ++result.mac_ops;
+          if (++filled == static_cast<int>(pe.count)) {
+            out.push_back(acc);
+            acc = FpValue::zero(format);
+            filled = 0;
+          }
+        }
+        break;
+      }
+      case OpKind::kPass: {
+        latency = 1;
+        out = *args[0];
+        break;
+      }
+      default:
+        throw std::runtime_error("Simulator: unexpected PE op");
+    }
+    streams[node] = std::move(out);
+    ready_at[node] = start + latency;
+    deepest = std::max(deepest, ready_at[node]);
+  }
+
+  // Outputs.
+  for (const auto& [name, node] : compiled_.output_node_by_name) {
+    const int src = compiled_.output_source.at(node);
+    const auto sit = streams.find(src);
+    if (sit == streams.end()) {
+      throw std::runtime_error("Simulator: output stream missing");
+    }
+    result.outputs[name] = sit->second;
+    const int hop = hops_between.count({src, node}) ? hops_between[{src, node}] : 0;
+    deepest = std::max(deepest, ready_at[src] + hop * options_.hop_latency);
+  }
+
+  result.pipeline_depth = deepest;
+  result.cycles =
+      static_cast<std::uint64_t>(deepest) + (length > 0 ? length - 1 : 0);
+  return result;
+}
+
+RunResult Simulator::run_doubles(
+    const std::map<std::string, std::vector<double>>& inputs) const {
+  std::map<std::string, std::vector<FpValue>> converted;
+  const softfloat::FpFormat format = compiled_.arch.format;
+  for (const auto& [name, stream] : inputs) {
+    std::vector<FpValue>& out = converted[name];
+    out.reserve(stream.size());
+    for (const double v : stream) out.push_back(FpValue::from_double(format, v));
+  }
+  return run(converted);
+}
+
+}  // namespace vcgra::overlay

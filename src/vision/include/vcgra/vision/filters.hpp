@@ -1,0 +1,77 @@
+// Filter kernels and convolution engines for the Fig. 5 pipeline.
+//
+// Two convolution engines are provided:
+//   * convolve        — double-precision software reference;
+//   * convolve_overlay — FloPoCo-format arithmetic in exactly the order a
+//     streaming MAC PE performs it (sequential multiply-accumulate over
+//     the taps), plus a cycle/reconfiguration cost model for running the
+//     kernel on a PE grid (taps are loaded `pes` coefficients at a time;
+//     each load is one parameterized reconfiguration of the grid).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vcgra/softfloat/fpformat.hpp"
+#include "vcgra/vcgra/arch.hpp"
+#include "vcgra/vision/image.hpp"
+
+namespace vcgra::vision {
+
+/// Dense square kernel, row-major, odd size.
+struct Kernel {
+  int size = 0;
+  std::vector<double> weights;
+
+  double at(int x, int y) const {
+    return weights[static_cast<std::size_t>(y) * static_cast<std::size_t>(size) +
+                   static_cast<std::size_t>(x)];
+  }
+  double& at(int x, int y) {
+    return weights[static_cast<std::size_t>(y) * static_cast<std::size_t>(size) +
+                   static_cast<std::size_t>(x)];
+  }
+  int taps() const { return size * size; }
+};
+
+/// Normalized 2D Gaussian (the paper's denoise kernels: 5x5 and 9x9).
+Kernel gaussian_kernel(int size, double sigma);
+
+/// Chaudhuri-style matched filter: Gaussian valley profile -exp(-u^2/2s^2)
+/// along length L, rotated by `angle_degrees`, mean-subtracted so flat
+/// regions respond zero. `size` is the (odd) support used by the paper's
+/// steerable 16x16 bank (we use the nearest odd size, 15).
+Kernel matched_filter_kernel(int size, double sigma, double length,
+                             double angle_degrees);
+
+/// The §IV bank: `orientations` rotations over 180°.
+std::vector<Kernel> matched_filter_bank(int size, double sigma, double length,
+                                        int orientations);
+
+/// Replicate-border 2D convolution (correlation orientation), double math.
+Image convolve(const Image& input, const Kernel& kernel);
+
+/// Pixelwise maximum across images (matched-filter response fusion).
+Image pixelwise_max(const std::vector<Image>& images);
+
+/// Cost/result of running one kernel on the overlay.
+struct OverlayConvResult {
+  Image output;
+  std::uint64_t macs = 0;          // multiply-accumulate steps executed
+  std::uint64_t cycles = 0;        // modelled grid cycles
+  int passes = 0;                  // coefficient loads (taps / PEs)
+  int reconfigured_pes = 0;        // PE respecializations for this kernel
+};
+
+/// FloPoCo-exact convolution in streaming-MAC order with the grid cost
+/// model described above.
+OverlayConvResult convolve_overlay(const Image& input, const Kernel& kernel,
+                                   const overlay::OverlayArch& arch);
+
+/// Global threshold: mask = input > level.
+Mask threshold(const Image& input, float level);
+
+/// Otsu's method on a 256-bin histogram; returns the level in [0,1].
+float otsu_level(const Image& input);
+
+}  // namespace vcgra::vision

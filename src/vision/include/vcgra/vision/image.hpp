@@ -1,0 +1,73 @@
+// Minimal image types + PGM/PPM IO for the vessel-segmentation pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcgra::vision {
+
+/// Single-channel float image, row-major, values nominally in [0, 1].
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int x, int y) { return data_[index(x, y)]; }
+  float at(int x, int y) const { return data_[index(x, y)]; }
+  /// Clamped (replicate-border) read.
+  float sample(int x, int y) const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  float min_value() const;
+  float max_value() const;
+  /// Linearly rescale to [0, 1] (no-op on constant images).
+  Image normalized() const;
+
+  /// Write as binary 8-bit PGM.
+  void write_pgm(const std::string& path) const;
+
+ private:
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+/// 8-bit RGB image (interleaved), used only at the pipeline boundary.
+class RgbImage {
+ public:
+  RgbImage() = default;
+  RgbImage(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  std::uint8_t& at(int x, int y, int channel);
+  std::uint8_t at(int x, int y, int channel) const;
+
+  /// Extract one channel as float in [0,1]; channel 1 is the green channel
+  /// the paper's pipeline keeps.
+  Image channel(int channel) const;
+
+  void write_ppm(const std::string& path) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Binary mask stored as an Image of 0/1 values.
+using Mask = Image;
+
+}  // namespace vcgra::vision

@@ -1,0 +1,30 @@
+// Segmentation quality metrics against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vcgra/vision/image.hpp"
+
+namespace vcgra::vision {
+
+struct SegmentationMetrics {
+  std::uint64_t true_positive = 0;
+  std::uint64_t true_negative = 0;
+  std::uint64_t false_positive = 0;
+  std::uint64_t false_negative = 0;
+
+  double sensitivity() const;  // TP / (TP + FN)
+  double specificity() const;  // TN / (TN + FP)
+  double accuracy() const;
+  double dice() const;         // 2TP / (2TP + FP + FN)
+
+  std::string to_string() const;
+};
+
+/// Compare a predicted mask against ground truth inside `region`.
+SegmentationMetrics evaluate_segmentation(const Mask& predicted,
+                                          const Mask& ground_truth,
+                                          const Mask& region);
+
+}  // namespace vcgra::vision

@@ -1,0 +1,76 @@
+// The Fig. 5 retinal-vessel-segmentation pipeline.
+//
+// Software tasks (preprocessing): green-channel extraction, histogram
+// equalization, optic-disc and outer-region removal.
+// Hardware modules (the filters the VCGRA accelerates): Gaussian denoise
+// (5x5 / 9x9), steerable matched-filter bank (7 orientations), texture
+// filtering, thresholding.
+//
+// The hardware modules can run through either convolution engine; the
+// overlay engine additionally returns the grid cost model (cycles, MACs,
+// reconfigurations) used by bench_vessel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vcgra/vcgra/arch.hpp"
+#include "vcgra/vision/filters.hpp"
+#include "vcgra/vision/image.hpp"
+
+namespace vcgra::vision {
+
+struct PipelineParams {
+  int denoise_size = 5;          // 5 or 9 in the paper
+  double denoise_sigma = 1.0;
+  int matched_size = 15;         // paper uses 16x16; odd support centres it
+  double matched_sigma = 2.0;    // vessel cross-section sigma
+  double matched_length = 9.0;   // matched segment length
+  int orientations = 7;          // steerable directions
+  int texture_size = 15;         // final texture filter support
+  double texture_sigma = 2.5;
+  double texture_length = 11.0;
+  double threshold_quantile = 0.88;  // response quantile kept as vessel
+};
+
+struct StageImages {
+  Image green;
+  Image equalized;
+  Image masked;       // optic disc + outer region removed
+  Image denoised;
+  Image matched;      // max over orientations
+  Image textured;
+  Mask segmented;
+};
+
+struct PipelineCost {
+  std::uint64_t macs = 0;
+  std::uint64_t cycles = 0;
+  int reconfigurations = 0;  // PE respecializations over the whole pipeline
+  int filters_applied = 0;
+};
+
+struct PipelineResult {
+  StageImages stages;
+  PipelineCost cost;
+};
+
+/// Histogram equalization over the field of view (preprocessing step).
+Image equalize_histogram(const Image& input, const Mask& field_of_view);
+
+/// Remove optic disc (brightest blob) and the outer region: returns the
+/// masked image and the valid-region mask actually used downstream.
+Image remove_optic_disc_and_border(const Image& input, const Mask& field_of_view,
+                                   Mask* valid_region);
+
+/// Full pipeline with the double-precision software engine.
+PipelineResult run_pipeline(const RgbImage& input, const Mask& field_of_view,
+                            const PipelineParams& params);
+
+/// Full pipeline with the overlay (FloPoCo MAC) engine + cost model.
+PipelineResult run_pipeline_overlay(const RgbImage& input, const Mask& field_of_view,
+                                    const PipelineParams& params,
+                                    const overlay::OverlayArch& arch);
+
+}  // namespace vcgra::vision

@@ -1,0 +1,211 @@
+#include "vcgra/vision/filters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vcgra::vision {
+
+using softfloat::FpValue;
+
+Kernel gaussian_kernel(int size, double sigma) {
+  if (size <= 0 || size % 2 == 0) {
+    throw std::invalid_argument("gaussian_kernel: size must be odd and positive");
+  }
+  Kernel kernel;
+  kernel.size = size;
+  kernel.weights.assign(static_cast<std::size_t>(size) * static_cast<std::size_t>(size),
+                        0.0);
+  const int half = size / 2;
+  double sum = 0.0;
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const double dx = x - half, dy = y - half;
+      const double v = std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+      kernel.at(x, y) = v;
+      sum += v;
+    }
+  }
+  for (double& w : kernel.weights) w /= sum;
+  return kernel;
+}
+
+Kernel matched_filter_kernel(int size, double sigma, double length,
+                             double angle_degrees) {
+  if (size <= 0 || size % 2 == 0) {
+    throw std::invalid_argument("matched_filter_kernel: size must be odd");
+  }
+  Kernel kernel;
+  kernel.size = size;
+  kernel.weights.assign(static_cast<std::size_t>(size) * static_cast<std::size_t>(size),
+                        0.0);
+  const int half = size / 2;
+  const double angle = angle_degrees * M_PI / 180.0;
+  const double cos_a = std::cos(angle);
+  const double sin_a = std::sin(angle);
+
+  // Vessel cross-section is a Gaussian valley (dark vessel on brighter
+  // background): K(u,v) = -exp(-u^2 / 2sigma^2) for |u| <= 3sigma,
+  // |v| <= L/2, where u is across the vessel and v along it. The vessel
+  // direction vector at `angle` is (cos a, sin a); across is (-sin, cos).
+  int support = 0;
+  double sum = 0.0;
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const double dx = x - half, dy = y - half;
+      const double u = -dx * sin_a + dy * cos_a;  // across
+      const double v = dx * cos_a + dy * sin_a;   // along
+      if (std::fabs(u) <= 3.0 * sigma && std::fabs(v) <= length / 2.0) {
+        const double w = -std::exp(-(u * u) / (2.0 * sigma * sigma));
+        kernel.at(x, y) = w;
+        sum += w;
+        ++support;
+      }
+    }
+  }
+  // Mean subtraction over the support so flat background responds zero.
+  if (support > 0) {
+    const double mean = sum / support;
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        if (kernel.at(x, y) != 0.0) kernel.at(x, y) -= mean;
+      }
+    }
+  }
+  return kernel;
+}
+
+std::vector<Kernel> matched_filter_bank(int size, double sigma, double length,
+                                        int orientations) {
+  std::vector<Kernel> bank;
+  bank.reserve(static_cast<std::size_t>(orientations));
+  for (int i = 0; i < orientations; ++i) {
+    const double angle = 180.0 * i / orientations;
+    bank.push_back(matched_filter_kernel(size, sigma, length, angle));
+  }
+  return bank;
+}
+
+Image convolve(const Image& input, const Kernel& kernel) {
+  Image out(input.width(), input.height());
+  const int half = kernel.size / 2;
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      double acc = 0.0;
+      for (int ky = 0; ky < kernel.size; ++ky) {
+        for (int kx = 0; kx < kernel.size; ++kx) {
+          acc += kernel.at(kx, ky) *
+                 static_cast<double>(input.sample(x + kx - half, y + ky - half));
+        }
+      }
+      out.at(x, y) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Image pixelwise_max(const std::vector<Image>& images) {
+  if (images.empty()) return {};
+  Image out = images[0];
+  for (std::size_t i = 1; i < images.size(); ++i) {
+    for (std::size_t p = 0; p < out.data().size(); ++p) {
+      out.data()[p] = std::max(out.data()[p], images[i].data()[p]);
+    }
+  }
+  return out;
+}
+
+OverlayConvResult convolve_overlay(const Image& input, const Kernel& kernel,
+                                   const overlay::OverlayArch& arch) {
+  OverlayConvResult result;
+  result.output = Image(input.width(), input.height());
+  const softfloat::FpFormat format = arch.format;
+  const int half = kernel.size / 2;
+  const int taps = kernel.taps();
+  const int pes = arch.num_pes();
+  result.passes = (taps + pes - 1) / pes;
+
+  // Pre-encode coefficients once per kernel.
+  std::vector<FpValue> coeffs;
+  coeffs.reserve(static_cast<std::size_t>(taps));
+  for (int ky = 0; ky < kernel.size; ++ky) {
+    for (int kx = 0; kx < kernel.size; ++kx) {
+      coeffs.push_back(FpValue::from_double(format, kernel.at(kx, ky)));
+    }
+  }
+
+  // Streaming-MAC order: accumulate taps sequentially, exactly like the
+  // hardware PE (acc' = acc + coeff*x each enabled cycle).
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      FpValue acc = FpValue::zero(format);
+      int tap = 0;
+      for (int ky = 0; ky < kernel.size; ++ky) {
+        for (int kx = 0; kx < kernel.size; ++kx) {
+          const FpValue sample = FpValue::from_double(
+              format,
+              static_cast<double>(input.sample(x + kx - half, y + ky - half)));
+          acc = softfloat::fp_mac(acc, sample, coeffs[static_cast<std::size_t>(tap++)]);
+        }
+      }
+      result.output.at(x, y) = static_cast<float>(acc.to_double());
+    }
+  }
+
+  const std::uint64_t pixels = static_cast<std::uint64_t>(input.width()) *
+                               static_cast<std::uint64_t>(input.height());
+  result.macs = pixels * static_cast<std::uint64_t>(taps);
+  // Grid model: each pass streams the full image with `pes` parallel MAC
+  // lanes (II=1), so a pass costs ~pixels*ceil(taps_in_pass/pes)=pixels
+  // cycles + pipeline fill; coefficients reload between passes.
+  const std::uint64_t fill = 16;
+  result.cycles = static_cast<std::uint64_t>(result.passes) * (pixels + fill);
+  result.reconfigured_pes = result.passes * std::min(taps, pes);
+  return result;
+}
+
+Mask threshold(const Image& input, float level) {
+  Mask out(input.width(), input.height());
+  for (std::size_t i = 0; i < input.data().size(); ++i) {
+    out.data()[i] = input.data()[i] > level ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+float otsu_level(const Image& input) {
+  constexpr int kBins = 256;
+  std::vector<std::uint64_t> histogram(kBins, 0);
+  const Image normalized = input.normalized();
+  for (const float v : normalized.data()) {
+    const int bin = std::min(kBins - 1, static_cast<int>(v * (kBins - 1) + 0.5f));
+    ++histogram[static_cast<std::size_t>(bin)];
+  }
+  const double total = static_cast<double>(normalized.data().size());
+  double sum_all = 0.0;
+  for (int b = 0; b < kBins; ++b) sum_all += b * static_cast<double>(histogram[static_cast<std::size_t>(b)]);
+
+  double best_level = 0.5;
+  double best_between = -1.0;
+  double weight_bg = 0.0, sum_bg = 0.0;
+  for (int b = 0; b < kBins; ++b) {
+    weight_bg += static_cast<double>(histogram[static_cast<std::size_t>(b)]);
+    if (weight_bg == 0) continue;
+    const double weight_fg = total - weight_bg;
+    if (weight_fg == 0) break;
+    sum_bg += b * static_cast<double>(histogram[static_cast<std::size_t>(b)]);
+    const double mean_bg = sum_bg / weight_bg;
+    const double mean_fg = (sum_all - sum_bg) / weight_fg;
+    const double between = weight_bg * weight_fg * (mean_bg - mean_fg) * (mean_bg - mean_fg);
+    if (between > best_between) {
+      best_between = between;
+      // Midpoint between bin b and b+1 so thresholding with '>' separates
+      // the classes even for two-level images.
+      best_level = (static_cast<double>(b) + 0.5) / (kBins - 1);
+    }
+  }
+  // Map back to the input's value range.
+  const float lo = input.min_value();
+  const float hi = input.max_value();
+  return lo + static_cast<float>(best_level) * (hi - lo);
+}
+
+}  // namespace vcgra::vision

@@ -1,0 +1,97 @@
+#include "vcgra/vision/image.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::vision {
+
+Image::Image(int width, int height, float fill)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+            fill) {
+  if (width < 0 || height < 0) throw std::invalid_argument("Image: bad size");
+}
+
+float Image::sample(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+float Image::min_value() const {
+  return data_.empty() ? 0.0f : *std::min_element(data_.begin(), data_.end());
+}
+
+float Image::max_value() const {
+  return data_.empty() ? 0.0f : *std::max_element(data_.begin(), data_.end());
+}
+
+Image Image::normalized() const {
+  const float lo = min_value();
+  const float hi = max_value();
+  Image out(width_, height_);
+  const float range = hi - lo;
+  if (range <= 0.0f) return out;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = (data_[i] - lo) / range;
+  }
+  return out;
+}
+
+void Image::write_pgm(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (!file) throw std::runtime_error("write_pgm: cannot open " + path);
+  std::fprintf(file, "P5\n%d %d\n255\n", width_, height_);
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(width_));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const float v = std::clamp(at(x, y), 0.0f, 1.0f);
+      row[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(v * 255.0f + 0.5f);
+    }
+    std::fwrite(row.data(), 1, row.size(), file);
+  }
+  std::fclose(file);
+}
+
+RgbImage::RgbImage(int width, int height)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * 3, 0) {}
+
+std::uint8_t& RgbImage::at(int x, int y, int channel) {
+  return data_[(static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                static_cast<std::size_t>(x)) *
+                   3 +
+               static_cast<std::size_t>(channel)];
+}
+
+std::uint8_t RgbImage::at(int x, int y, int channel) const {
+  return data_[(static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                static_cast<std::size_t>(x)) *
+                   3 +
+               static_cast<std::size_t>(channel)];
+}
+
+Image RgbImage::channel(int channel) const {
+  Image out(width_, height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      out.at(x, y) = static_cast<float>(at(x, y, channel)) / 255.0f;
+    }
+  }
+  return out;
+}
+
+void RgbImage::write_ppm(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (!file) throw std::runtime_error("write_ppm: cannot open " + path);
+  std::fprintf(file, "P6\n%d %d\n255\n", width_, height_);
+  std::fwrite(data_.data(), 1, data_.size(), file);
+  std::fclose(file);
+}
+
+}  // namespace vcgra::vision

@@ -1,0 +1,66 @@
+#include "vcgra/vision/metrics.hpp"
+
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::vision {
+
+double SegmentationMetrics::sensitivity() const {
+  const double denom = static_cast<double>(true_positive + false_negative);
+  return denom > 0 ? static_cast<double>(true_positive) / denom : 0.0;
+}
+
+double SegmentationMetrics::specificity() const {
+  const double denom = static_cast<double>(true_negative + false_positive);
+  return denom > 0 ? static_cast<double>(true_negative) / denom : 0.0;
+}
+
+double SegmentationMetrics::accuracy() const {
+  const double total = static_cast<double>(true_positive + true_negative +
+                                           false_positive + false_negative);
+  return total > 0
+             ? static_cast<double>(true_positive + true_negative) / total
+             : 0.0;
+}
+
+double SegmentationMetrics::dice() const {
+  const double denom =
+      static_cast<double>(2 * true_positive + false_positive + false_negative);
+  return denom > 0 ? 2.0 * static_cast<double>(true_positive) / denom : 0.0;
+}
+
+std::string SegmentationMetrics::to_string() const {
+  return common::strprintf(
+      "sens=%.3f spec=%.3f acc=%.3f dice=%.3f", sensitivity(), specificity(),
+      accuracy(), dice());
+}
+
+SegmentationMetrics evaluate_segmentation(const Mask& predicted,
+                                          const Mask& ground_truth,
+                                          const Mask& region) {
+  if (predicted.width() != ground_truth.width() ||
+      predicted.height() != ground_truth.height()) {
+    throw std::invalid_argument("evaluate_segmentation: size mismatch");
+  }
+  SegmentationMetrics metrics;
+  for (int y = 0; y < predicted.height(); ++y) {
+    for (int x = 0; x < predicted.width(); ++x) {
+      if (region.at(x, y) < 0.5f) continue;
+      const bool pred = predicted.at(x, y) >= 0.5f;
+      const bool truth = ground_truth.at(x, y) >= 0.5f;
+      if (pred && truth) {
+        ++metrics.true_positive;
+      } else if (pred && !truth) {
+        ++metrics.false_positive;
+      } else if (!pred && truth) {
+        ++metrics.false_negative;
+      } else {
+        ++metrics.true_negative;
+      }
+    }
+  }
+  return metrics;
+}
+
+}  // namespace vcgra::vision

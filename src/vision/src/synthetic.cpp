@@ -1,0 +1,150 @@
+#include "vcgra/vision/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcgra::vision {
+
+namespace {
+
+/// Paint a vessel segment with Gaussian cross-section into `depth`
+/// (accumulated darkening) and mark `truth` where the valley is deep.
+void paint_segment(Image& depth, Mask& truth, double x0, double y0, double x1,
+                   double y1, double sigma, double contrast) {
+  const double dx = x1 - x0, dy = y1 - y0;
+  const double len = std::hypot(dx, dy);
+  if (len < 1e-6) return;
+  const int reach = static_cast<int>(3.0 * sigma + 2.0);
+  const int min_x = std::max(0, static_cast<int>(std::min(x0, x1)) - reach);
+  const int max_x =
+      std::min(depth.width() - 1, static_cast<int>(std::max(x0, x1)) + reach);
+  const int min_y = std::max(0, static_cast<int>(std::min(y0, y1)) - reach);
+  const int max_y =
+      std::min(depth.height() - 1, static_cast<int>(std::max(y0, y1)) + reach);
+  for (int y = min_y; y <= max_y; ++y) {
+    for (int x = min_x; x <= max_x; ++x) {
+      // Distance from pixel to the segment.
+      const double t =
+          std::clamp(((x - x0) * dx + (y - y0) * dy) / (len * len), 0.0, 1.0);
+      const double px = x0 + t * dx, py = y0 + t * dy;
+      const double dist = std::hypot(x - px, y - py);
+      const double valley =
+          contrast * std::exp(-(dist * dist) / (2.0 * sigma * sigma));
+      depth.at(x, y) = std::max(depth.at(x, y), static_cast<float>(valley));
+      if (dist <= sigma) truth.at(x, y) = 1.0f;
+    }
+  }
+}
+
+struct Walker {
+  double x, y, heading, sigma;
+  int depth;
+};
+
+}  // namespace
+
+FundusImage generate_fundus(const FundusParams& params, common::Rng& rng) {
+  FundusImage fundus;
+  const int w = params.width, h = params.height;
+  fundus.rgb = RgbImage(w, h);
+  fundus.ground_truth = Mask(w, h, 0.0f);
+  fundus.field_of_view = Mask(w, h, 0.0f);
+
+  const double cx = w / 2.0, cy = h / 2.0;
+  const double fov_radius = 0.48 * std::min(w, h);
+  // Optic disc sits off-centre, as in real fundus photographs.
+  const double od_x = cx + 0.55 * fov_radius;
+  const double od_y = cy + 0.1 * fov_radius * (rng.next_bool() ? 1 : -1);
+  const double od_radius = 0.12 * fov_radius;
+
+  Image vessel_depth(w, h, 0.0f);
+
+  // Low-frequency background mottling: the intensity variation that makes
+  // a single global threshold fail on real fundus images.
+  struct Bump {
+    double x, y, radius, amplitude;
+  };
+  std::vector<Bump> bumps;
+  for (int b = 0; b < params.mottle_bumps; ++b) {
+    bumps.push_back(Bump{cx + (rng.next_double() - 0.5) * 2.0 * fov_radius,
+                         cy + (rng.next_double() - 0.5) * 2.0 * fov_radius,
+                         fov_radius * (0.15 + 0.35 * rng.next_double()),
+                         params.mottle_amplitude * (rng.next_double() - 0.5) * 2.0});
+  }
+
+  // Vessel tree: random walkers leaving the optic disc.
+  std::vector<Walker> walkers;
+  for (int v = 0; v < params.num_main_vessels; ++v) {
+    const double heading =
+        (2.0 * M_PI * v) / params.num_main_vessels + rng.next_gaussian() * 0.25;
+    walkers.push_back(Walker{od_x, od_y, heading, params.vessel_width, 0});
+  }
+  const int max_steps =
+      std::clamp(static_cast<int>(fov_radius / 5.5), 12, 40);
+  while (!walkers.empty()) {
+    Walker walker = walkers.back();
+    walkers.pop_back();
+    double x = walker.x, y = walker.y, heading = walker.heading;
+    double sigma = walker.sigma;
+    for (int step = 0; step < max_steps; ++step) {
+      const double step_len = 6.0 + rng.next_double() * 4.0;
+      const double nx = x + std::cos(heading) * step_len;
+      const double ny = y + std::sin(heading) * step_len;
+      paint_segment(vessel_depth, fundus.ground_truth, x, y, nx, ny, sigma,
+                    params.vessel_contrast);
+      x = nx;
+      y = ny;
+      if (std::hypot(x - cx, y - cy) > fov_radius * 0.96) break;
+      heading += rng.next_gaussian() * 0.18;  // tortuosity
+      sigma = std::max(0.8, sigma * 0.985);   // taper
+      if (walker.depth < 3 && rng.next_bool(params.branch_probability)) {
+        const double split = rng.next_bool() ? 0.6 : -0.6;
+        walkers.push_back(Walker{x, y, heading + split, sigma * 0.75,
+                                 walker.depth + 1});
+        sigma *= 0.9;
+      }
+    }
+  }
+
+  // Compose the green channel: background gradient - vessels + optic disc.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double r = std::hypot(x - cx, y - cy);
+      if (r > fov_radius) {
+        // Outside the field of view: dark.
+        fundus.rgb.at(x, y, 0) = 5;
+        fundus.rgb.at(x, y, 1) = 5;
+        fundus.rgb.at(x, y, 2) = 5;
+        continue;
+      }
+      fundus.field_of_view.at(x, y) = 1.0f;
+      double green = params.background;
+      green -= 0.12 * (r / fov_radius) * (r / fov_radius);  // vignetting
+      for (const Bump& bump : bumps) {
+        const double d2 = (x - bump.x) * (x - bump.x) + (y - bump.y) * (y - bump.y);
+        green += bump.amplitude * std::exp(-d2 / (2.0 * bump.radius * bump.radius));
+      }
+      const double od = std::hypot(x - od_x, y - od_y);
+      if (od < od_radius) {
+        green += 0.30 * (1.0 - od / od_radius);  // bright optic disc
+      }
+      green -= vessel_depth.at(x, y);
+      green += rng.next_gaussian() * params.noise_sigma;
+      green = std::clamp(green, 0.0, 1.0);
+      const double red = std::clamp(green * 1.5 + 0.15, 0.0, 1.0);
+      const double blue = std::clamp(green * 0.45, 0.0, 1.0);
+      fundus.rgb.at(x, y, 0) = static_cast<std::uint8_t>(red * 255.0 + 0.5);
+      fundus.rgb.at(x, y, 1) = static_cast<std::uint8_t>(green * 255.0 + 0.5);
+      fundus.rgb.at(x, y, 2) = static_cast<std::uint8_t>(blue * 255.0 + 0.5);
+    }
+  }
+  // Ground truth only counts inside the field of view.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (fundus.field_of_view.at(x, y) < 0.5f) fundus.ground_truth.at(x, y) = 0.0f;
+    }
+  }
+  return fundus;
+}
+
+}  // namespace vcgra::vision

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "vcgra/boolfunc/bdd.hpp"
+#include "vcgra/boolfunc/truth_table.hpp"
+#include "vcgra/common/rng.hpp"
+
+namespace bf = vcgra::boolfunc;
+using bf::TruthTable;
+
+namespace {
+
+TruthTable random_tt(int num_vars, vcgra::common::Rng& rng) {
+  TruthTable tt(num_vars);
+  for (std::uint64_t m = 0; m < tt.num_minterms(); ++m) tt.set(m, rng.next_bool());
+  return tt;
+}
+
+}  // namespace
+
+TEST(TruthTable, ConstantsAndVars) {
+  EXPECT_TRUE(TruthTable::zero(3).is_const(false));
+  EXPECT_TRUE(TruthTable::one(3).is_const(true));
+  EXPECT_FALSE(TruthTable::one(3).is_const(false));
+  const TruthTable x0 = TruthTable::var(2, 0);
+  EXPECT_FALSE(x0.get(0b00));
+  EXPECT_TRUE(x0.get(0b01));
+  EXPECT_FALSE(x0.get(0b10));
+  EXPECT_TRUE(x0.get(0b11));
+}
+
+TEST(TruthTable, And2MatchesSemantics) {
+  const TruthTable f = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+  EXPECT_EQ(f.to_binary_string(), "1000");
+  EXPECT_EQ(f.count_ones(), 1u);
+}
+
+TEST(TruthTable, FromBinaryStringRoundTrip) {
+  const TruthTable f = TruthTable::from_binary_string(3, "11101000");  // majority
+  EXPECT_EQ(f.to_binary_string(), "11101000");
+  EXPECT_TRUE(f.get(0b011));
+  EXPECT_FALSE(f.get(0b001));
+}
+
+TEST(TruthTable, FromBinaryStringRejectsBadInput) {
+  EXPECT_THROW(TruthTable::from_binary_string(2, "10"), std::invalid_argument);
+  EXPECT_THROW(TruthTable::from_binary_string(2, "10x0"), std::invalid_argument);
+}
+
+TEST(TruthTable, RejectsTooManyVars) {
+  EXPECT_THROW(TruthTable(17), std::invalid_argument);
+  EXPECT_THROW(TruthTable(-1), std::invalid_argument);
+}
+
+TEST(TruthTable, CofactorSelectsHalf) {
+  const TruthTable f = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+  const TruthTable f0 = f.cofactor(0, false);
+  const TruthTable f1 = f.cofactor(0, true);
+  EXPECT_EQ(f0, TruthTable::var(2, 1));
+  EXPECT_EQ(f1, ~TruthTable::var(2, 1));
+}
+
+TEST(TruthTable, SupportDetection) {
+  const TruthTable f = TruthTable::var(4, 0) & TruthTable::var(4, 2);
+  EXPECT_EQ(f.support(), 0b0101u);
+  EXPECT_TRUE(f.depends_on(0));
+  EXPECT_FALSE(f.depends_on(1));
+  EXPECT_TRUE(f.depends_on(2));
+  EXPECT_FALSE(f.depends_on(3));
+}
+
+TEST(TruthTable, IsWireDetectsProjectionAndInversion) {
+  int index = -1;
+  bool inverted = false;
+  EXPECT_TRUE(TruthTable::var(3, 1).is_wire(&index, &inverted));
+  EXPECT_EQ(index, 1);
+  EXPECT_FALSE(inverted);
+  EXPECT_TRUE((~TruthTable::var(3, 2)).is_wire(&index, &inverted));
+  EXPECT_EQ(index, 2);
+  EXPECT_TRUE(inverted);
+  const TruthTable f = TruthTable::var(3, 0) & TruthTable::var(3, 1);
+  EXPECT_FALSE(f.is_wire(&index, &inverted));
+  EXPECT_FALSE(TruthTable::zero(2).is_wire(&index, &inverted));
+}
+
+TEST(TruthTable, PermuteReordersVariables) {
+  // f(x0,x1) = x0 & !x1; swap to g(y0,y1) = f(y1,y0) = y1 & !y0.
+  const TruthTable f = TruthTable::var(2, 0) & ~TruthTable::var(2, 1);
+  const TruthTable g = f.permute(2, {1, 0});
+  EXPECT_EQ(g, TruthTable::var(2, 1) & ~TruthTable::var(2, 0));
+}
+
+TEST(TruthTable, PermuteCanDropVacuousVars) {
+  // f over 3 vars but only depends on var 2 -> compact to 1 var.
+  const TruthTable f = TruthTable::var(3, 2);
+  const TruthTable g = f.permute(1, {2});
+  EXPECT_EQ(g, TruthTable::var(1, 0));
+}
+
+class TruthTableProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruthTableProperty, DeMorganHolds) {
+  const int n = GetParam();
+  vcgra::common::Rng rng(100 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable a = random_tt(n, rng);
+    const TruthTable b = random_tt(n, rng);
+    EXPECT_EQ(~(a & b), (~a | ~b));
+    EXPECT_EQ(~(a | b), (~a & ~b));
+  }
+}
+
+TEST_P(TruthTableProperty, XorIdentities) {
+  const int n = GetParam();
+  vcgra::common::Rng rng(200 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable a = random_tt(n, rng);
+    const TruthTable b = random_tt(n, rng);
+    EXPECT_EQ(a ^ a, TruthTable::zero(n));
+    EXPECT_EQ(a ^ TruthTable::zero(n), a);
+    EXPECT_EQ(a ^ b, b ^ a);
+    EXPECT_EQ(~a, a ^ TruthTable::one(n));
+  }
+}
+
+TEST_P(TruthTableProperty, ShannonExpansionReconstructs) {
+  const int n = GetParam();
+  vcgra::common::Rng rng(300 + static_cast<std::uint64_t>(n));
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable f = random_tt(n, rng);
+    for (int v = 0; v < n; ++v) {
+      const TruthTable x = TruthTable::var(n, v);
+      const TruthTable rebuilt =
+          (x & f.cofactor(v, true)) | (~x & f.cofactor(v, false));
+      EXPECT_EQ(rebuilt, f) << "var " << v;
+    }
+  }
+}
+
+TEST_P(TruthTableProperty, CountOnesMatchesEnumeration) {
+  const int n = GetParam();
+  vcgra::common::Rng rng(400 + static_cast<std::uint64_t>(n));
+  const TruthTable f = random_tt(n, rng);
+  std::uint64_t expected = 0;
+  for (std::uint64_t m = 0; m < f.num_minterms(); ++m) {
+    if (f.get(m)) ++expected;
+  }
+  EXPECT_EQ(f.count_ones(), expected);
+}
+
+// Cover the word boundary: <=6 vars is one word, 7+ spills to multiple.
+INSTANTIATE_TEST_SUITE_P(Arities, TruthTableProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Bdd, TerminalRules) {
+  bf::BddManager mgr;
+  EXPECT_EQ(mgr.ite(mgr.one(), mgr.zero(), mgr.one()), mgr.zero());
+  EXPECT_EQ(mgr.ite(mgr.zero(), mgr.zero(), mgr.one()), mgr.one());
+  const bf::BddRef x = mgr.var(0);
+  EXPECT_EQ(mgr.ite(x, mgr.one(), mgr.zero()), x);
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_not(x)), x);
+}
+
+TEST(Bdd, HashConsingSharesNodes) {
+  bf::BddManager mgr;
+  const bf::BddRef a = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  const bf::BddRef b = mgr.bdd_and(mgr.var(0), mgr.var(1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bdd, EvalMatchesSemantics) {
+  bf::BddManager mgr;
+  const bf::BddRef f =
+      mgr.bdd_or(mgr.bdd_and(mgr.var(0), mgr.var(1)), mgr.var(2));
+  EXPECT_FALSE(mgr.eval(f, 0b000));
+  EXPECT_FALSE(mgr.eval(f, 0b001));
+  EXPECT_TRUE(mgr.eval(f, 0b011));
+  EXPECT_TRUE(mgr.eval(f, 0b100));
+  EXPECT_TRUE(mgr.eval(f, 0b111));
+}
+
+TEST(Bdd, VectorEvalHandlesShortAssignments) {
+  bf::BddManager mgr;
+  const bf::BddRef f = mgr.var(5);
+  // Variable beyond the assignment length reads as false.
+  EXPECT_FALSE(mgr.eval(f, std::vector<bool>{true, true}));
+  std::vector<bool> assignment(6, false);
+  assignment[5] = true;
+  EXPECT_TRUE(mgr.eval(f, assignment));
+}
+
+TEST(Bdd, RestrictIsCofactor) {
+  bf::BddManager mgr;
+  const bf::BddRef f = mgr.bdd_xor(mgr.var(0), mgr.var(1));
+  EXPECT_EQ(mgr.restrict_var(f, 0, false), mgr.var(1));
+  EXPECT_EQ(mgr.restrict_var(f, 0, true), mgr.bdd_not(mgr.var(1)));
+}
+
+TEST(Bdd, SupportListsVariables) {
+  bf::BddManager mgr;
+  const bf::BddRef f = mgr.bdd_and(mgr.var(1), mgr.bdd_or(mgr.var(3), mgr.var(5)));
+  const std::vector<int> support = mgr.support(f);
+  EXPECT_EQ(support, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(Bdd, NodeCountCanonical) {
+  bf::BddManager mgr;
+  // x0 XOR x1 XOR x2 has exactly 2^k - 1? For XOR chains ROBDD size is linear:
+  // 2 nodes per variable except the last.
+  bf::BddRef f = mgr.var(0);
+  f = mgr.bdd_xor(f, mgr.var(1));
+  f = mgr.bdd_xor(f, mgr.var(2));
+  EXPECT_EQ(mgr.node_count(f), 5u);  // 1 + 2 + 2
+}
+
+class BddVsTruthTable : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddVsTruthTable, FromTruthTableAgreesOnAllMinterms) {
+  const int n = GetParam();
+  vcgra::common::Rng rng(500 + static_cast<std::uint64_t>(n));
+  bf::BddManager mgr;
+  for (int trial = 0; trial < 10; ++trial) {
+    TruthTable tt(n);
+    for (std::uint64_t m = 0; m < tt.num_minterms(); ++m) tt.set(m, rng.next_bool());
+    std::vector<int> identity(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
+    const bf::BddRef f = mgr.from_truth_table(tt, identity);
+    for (std::uint64_t m = 0; m < tt.num_minterms(); ++m) {
+      ASSERT_EQ(mgr.eval(f, m), tt.get(m)) << "minterm " << m;
+    }
+  }
+}
+
+TEST_P(BddVsTruthTable, OperatorsCommuteWithTruthTables) {
+  const int n = GetParam();
+  vcgra::common::Rng rng(600 + static_cast<std::uint64_t>(n));
+  bf::BddManager mgr;
+  std::vector<int> identity(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
+  for (int trial = 0; trial < 5; ++trial) {
+    TruthTable ta(n), tb(n);
+    for (std::uint64_t m = 0; m < ta.num_minterms(); ++m) {
+      ta.set(m, rng.next_bool());
+      tb.set(m, rng.next_bool());
+    }
+    const bf::BddRef fa = mgr.from_truth_table(ta, identity);
+    const bf::BddRef fb = mgr.from_truth_table(tb, identity);
+    const bf::BddRef fand = mgr.bdd_and(fa, fb);
+    const bf::BddRef fxor = mgr.bdd_xor(fa, fb);
+    const TruthTable tand = ta & tb;
+    const TruthTable txor = ta ^ tb;
+    for (std::uint64_t m = 0; m < ta.num_minterms(); ++m) {
+      ASSERT_EQ(mgr.eval(fand, m), tand.get(m));
+      ASSERT_EQ(mgr.eval(fxor, m), txor.get(m));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, BddVsTruthTable, ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+TEST(Bdd, RemappedTruthTableVariables) {
+  bf::BddManager mgr;
+  // tt(x0) = x0, but mapped onto manager variable 7.
+  const TruthTable tt = TruthTable::var(1, 0);
+  const bf::BddRef f = mgr.from_truth_table(tt, {7});
+  EXPECT_EQ(f, mgr.var(7));
+}

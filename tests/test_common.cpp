@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/table.hpp"
+#include "vcgra/common/timer.hpp"
+
+namespace vc = vcgra::common;
+
+TEST(Rng, DeterministicForSameSeed) {
+  vc::Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  vc::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  vc::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  vc::Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit with overwhelming probability
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  vc::Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  vc::Rng rng(13);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Strings, SplitDropsEmptyPieces) {
+  const auto pieces = vc::split("a,,b,c,", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const auto pieces = vc::split("hello", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "hello");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(vc::trim("  x y \t\n"), "x y");
+  EXPECT_EQ(vc::trim(""), "");
+  EXPECT_EQ(vc::trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(vc::starts_with("input x", "input"));
+  EXPECT_FALSE(vc::starts_with("in", "input"));
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(vc::strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(vc::strprintf("%s", ""), "");
+}
+
+TEST(Strings, HumanCount) {
+  EXPECT_EQ(vc::human_count(950), "950");
+  EXPECT_EQ(vc::human_count(12345), "12.3k");
+  EXPECT_EQ(vc::human_count(2.5e6), "2.5M");
+  EXPECT_EQ(vc::human_count(3.1e9), "3.1G");
+}
+
+TEST(Strings, HumanSeconds) {
+  EXPECT_EQ(vc::human_seconds(2.5), "2.50 s");
+  EXPECT_EQ(vc::human_seconds(0.251), "251.00 ms");
+  EXPECT_EQ(vc::human_seconds(42e-6), "42.00 us");
+  EXPECT_EQ(vc::human_seconds(5e-9), "5.00 ns");
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  vc::AsciiTable table({"VCGRA", "LUTs"});
+  table.add_row({"Conventional", "2522"});
+  table.add_row({"Fully Parameterized", "1802"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("| VCGRA"), std::string::npos);
+  EXPECT_NE(text.find("| 2522"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("|---"), std::string::npos);
+  // Every line same length.
+  const auto lines = vc::split(text, '\n');
+  for (const auto& line : lines) EXPECT_EQ(line.size(), lines[0].size());
+}
+
+TEST(AsciiTable, RejectsArityMismatch) {
+  vc::AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, RejectsEmptyHeader) {
+  EXPECT_THROW(vc::AsciiTable({}), std::invalid_argument);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  vc::WallTimer timer;
+  // Busy-wait a tiny amount; just check monotonicity and non-negativity.
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(sink, 0.0);
+  const double t1 = timer.seconds();
+  EXPECT_GE(t1, 0.0);
+  const double t2 = timer.seconds();
+  EXPECT_GE(t2, t1);
+  timer.restart();
+  EXPECT_LE(timer.seconds(), t2);
+}

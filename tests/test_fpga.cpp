@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "vcgra/fpga/arch.hpp"
+#include "vcgra/fpga/frames.hpp"
+#include "vcgra/fpga/rrgraph.hpp"
+
+namespace fp = vcgra::fpga;
+
+TEST(Arch, TileClassification) {
+  fp::ArchParams arch;
+  arch.width = 4;
+  arch.height = 3;
+  EXPECT_EQ(fp::tile_at(arch, 0, 0), fp::TileKind::kEmpty);   // corner
+  EXPECT_EQ(fp::tile_at(arch, 5, 4), fp::TileKind::kEmpty);   // corner
+  EXPECT_EQ(fp::tile_at(arch, 0, 2), fp::TileKind::kIo);      // west edge
+  EXPECT_EQ(fp::tile_at(arch, 5, 1), fp::TileKind::kIo);      // east edge
+  EXPECT_EQ(fp::tile_at(arch, 2, 0), fp::TileKind::kIo);      // south edge
+  EXPECT_EQ(fp::tile_at(arch, 2, 4), fp::TileKind::kIo);      // north edge
+  EXPECT_EQ(fp::tile_at(arch, 1, 1), fp::TileKind::kLogic);
+  EXPECT_EQ(fp::tile_at(arch, 4, 3), fp::TileKind::kLogic);
+  EXPECT_EQ(fp::tile_at(arch, -1, 1), fp::TileKind::kEmpty);
+  EXPECT_EQ(fp::tile_at(arch, 6, 1), fp::TileKind::kEmpty);
+}
+
+TEST(Arch, SizedForFitsBlocksAndIos) {
+  const auto arch = fp::ArchParams::sized_for(100, 30);
+  EXPECT_GE(arch.width * arch.height, 100);
+  EXPECT_GE(4 * arch.width * arch.io_per_tile, 30);
+  // ~20% slack, not wildly oversized.
+  EXPECT_LE(arch.width * arch.height, 200);
+}
+
+TEST(Arch, SizedForManyIos) {
+  const auto arch = fp::ArchParams::sized_for(4, 200);
+  EXPECT_GE(4 * arch.width * arch.io_per_tile, 200);
+}
+
+class RRGraphTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RRGraphTest, NodeLookupsConsistent) {
+  fp::ArchParams arch;
+  arch.width = 4;
+  arch.height = 4;
+  arch.channel_width = GetParam();
+  const fp::RRGraph graph(arch);
+
+  // Every valid coordinate resolves and round-trips.
+  for (int y = 0; y <= arch.height; ++y) {
+    for (int x = 1; x <= arch.width; ++x) {
+      for (int t = 0; t < arch.channel_width; ++t) {
+        const auto id = graph.chanx(x, y, t);
+        ASSERT_NE(id, fp::kNoRRNode);
+        EXPECT_EQ(graph.node(id).kind, fp::RRKind::kChanX);
+        EXPECT_EQ(graph.node(id).x, x);
+        EXPECT_EQ(graph.node(id).y, y);
+        EXPECT_EQ(graph.node(id).index, t);
+      }
+    }
+  }
+  // Out-of-range lookups return kNoRRNode.
+  EXPECT_EQ(graph.chanx(0, 0, 0), fp::kNoRRNode);
+  EXPECT_EQ(graph.chanx(1, 0, arch.channel_width), fp::kNoRRNode);
+  EXPECT_EQ(graph.chany(0, 0, 0), fp::kNoRRNode);
+  EXPECT_EQ(graph.opin(1, 1, 5), fp::kNoRRNode);
+}
+
+TEST_P(RRGraphTest, WireNodeCountMatchesFormula) {
+  fp::ArchParams arch;
+  arch.width = 5;
+  arch.height = 3;
+  arch.channel_width = GetParam();
+  const fp::RRGraph graph(arch);
+  const std::size_t expected_chanx = static_cast<std::size_t>(arch.width) *
+                                     static_cast<std::size_t>(arch.height + 1) *
+                                     static_cast<std::size_t>(arch.channel_width);
+  const std::size_t expected_chany = static_cast<std::size_t>(arch.width + 1) *
+                                     static_cast<std::size_t>(arch.height) *
+                                     static_cast<std::size_t>(arch.channel_width);
+  EXPECT_EQ(graph.num_wire_nodes(), expected_chanx + expected_chany);
+}
+
+TEST_P(RRGraphTest, SwitchBlockTrackDiscipline) {
+  fp::ArchParams arch;
+  arch.width = 3;
+  arch.height = 3;
+  arch.channel_width = GetParam();
+  const fp::RRGraph graph(arch);
+  const int w = arch.channel_width;
+  // Straight-through keeps the track; turns reach track t or (t+1) mod W.
+  for (int t = 0; t < w; ++t) {
+    const auto from = graph.chanx(2, 1, t);
+    ASSERT_NE(from, fp::kNoRRNode);
+    for (const auto* e = graph.edges_begin(from); e != graph.edges_end(from); ++e) {
+      const auto& node = graph.node(*e);
+      if (node.kind == fp::RRKind::kChanX) {
+        EXPECT_EQ(node.index, t) << "straight-through must stay on track";
+      } else if (node.kind == fp::RRKind::kChanY) {
+        EXPECT_TRUE(node.index == t || node.index == (t + 1) % w ||
+                    (node.index + 1) % w == t)
+            << "turn from track " << t << " reached " << node.index;
+      }
+    }
+  }
+}
+
+TEST_P(RRGraphTest, PinsHaveConnectivity) {
+  fp::ArchParams arch;
+  arch.width = 3;
+  arch.height = 3;
+  arch.channel_width = GetParam();
+  const fp::RRGraph graph(arch);
+  // Logic OPIN drives at least one wire.
+  const auto opin = graph.opin(2, 2, 0);
+  ASSERT_NE(opin, fp::kNoRRNode);
+  EXPECT_GT(graph.edges_end(opin) - graph.edges_begin(opin), 0);
+  // Every logic IPIN is reachable from at least one wire (check reverse by
+  // scanning all wires' edges).
+  const auto ipin = graph.ipin(2, 2, 1);
+  ASSERT_NE(ipin, fp::kNoRRNode);
+  bool found = false;
+  for (fp::RRNodeId n = 0; n < graph.num_nodes() && !found; ++n) {
+    const auto kind = graph.node(n).kind;
+    if (kind != fp::RRKind::kChanX && kind != fp::RRKind::kChanY) continue;
+    for (const auto* e = graph.edges_begin(n); e != graph.edges_end(n); ++e) {
+      if (*e == ipin) {
+        found = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RRGraphTest, ::testing::Values(4, 8, 12, 16));
+
+TEST(RRGraph, DescribeFormats) {
+  fp::ArchParams arch;
+  arch.width = 2;
+  arch.height = 2;
+  const fp::RRGraph graph(arch);
+  const auto id = graph.chanx(1, 0, 3);
+  EXPECT_EQ(graph.describe(id), "CHANX(1,0).3");
+}
+
+TEST(Frames, ReproducesPaperReconfigEstimate) {
+  // The paper's PE: 526 TLUTs + 568 TCONs -> ~251 ms via HWICAP (§V).
+  const fp::FrameModel model;
+  const auto cost = fp::estimate_reconfig(model, 526, 568, 526 * 16 + 568 * 4);
+  EXPECT_EQ(cost.frames, 526u * 4 + 568u);
+  EXPECT_NEAR(cost.hwicap_seconds, 0.251, 0.01);
+  EXPECT_LT(cost.micap_seconds, cost.hwicap_seconds);
+  EXPECT_GT(cost.eval_seconds, 0.0);
+}
+
+TEST(Frames, ScalesLinearly) {
+  const fp::FrameModel model;
+  const auto one = fp::estimate_reconfig(model, 100, 100, 1000);
+  const auto two = fp::estimate_reconfig(model, 200, 200, 2000);
+  EXPECT_NEAR(two.hwicap_seconds, 2.0 * one.hwicap_seconds, 1e-9);
+  EXPECT_EQ(two.frames, 2 * one.frames);
+}
+
+TEST(Frames, ZeroTunablesCostNothing) {
+  const fp::FrameModel model;
+  const auto cost = fp::estimate_reconfig(model, 0, 0, 0);
+  EXPECT_EQ(cost.frames, 0u);
+  EXPECT_EQ(cost.hwicap_seconds, 0.0);
+}

@@ -1,0 +1,355 @@
+// Cross-module integration properties: the full paper flow, end to end.
+//
+//   gate netlist --TCONMAP--> mapped --PPC/SCG--> specialized bits
+//        |                        |                     |
+//        +--- simulate == --------+---- specialize == --+--> place+route legal
+//
+// plus compiler->simulator consistency against the softfloat reference,
+// and failure-injection checks at every module boundary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/netlist/passes.hpp"
+#include "vcgra/netlist/simulate.hpp"
+#include "vcgra/pconf/ppc.hpp"
+#include "vcgra/place/placer.hpp"
+#include "vcgra/route/router.hpp"
+#include "vcgra/softfloat/fpcircuits.hpp"
+#include "vcgra/techmap/conventional.hpp"
+#include "vcgra/techmap/mapper.hpp"
+#include "vcgra/vcgra/backend.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/simulator.hpp"
+#include "vcgra/vision/filters.hpp"
+
+namespace nl = vcgra::netlist;
+namespace sf = vcgra::softfloat;
+namespace tmap = vcgra::techmap;
+namespace pc = vcgra::pconf;
+namespace pl = vcgra::place;
+namespace rt = vcgra::route;
+namespace ov = vcgra::overlay;
+namespace vi = vcgra::vision;
+
+namespace {
+
+/// Small parameterized datapath: x * c + y with a 6-bit integer multiplier.
+nl::Netlist small_param_datapath(int width) {
+  nl::Netlist netlist("dp");
+  nl::NetlistBuilder builder(netlist);
+  const nl::Bus x = builder.input_bus("x", width);
+  const nl::Bus y = builder.input_bus("y", width);
+  const nl::Bus c = builder.param_bus("c", width);
+  const nl::Bus product = builder.array_multiply(x, c);
+  nl::Bus sum_in(product.begin(), product.begin() + width);
+  const nl::Bus sum = builder.ripple_add(sum_in, y, builder.const_bit(false));
+  builder.mark_output_bus(sum);
+  return vcgra::netlist::clean(netlist).netlist;
+}
+
+}  // namespace
+
+class FullFlow : public ::testing::TestWithParam<int> {};
+
+TEST_P(FullFlow, GenericPlusSpecializationStagesAgree) {
+  const int width = GetParam();
+  const nl::Netlist source = small_param_datapath(width);
+  const tmap::MappedNetlist mapped = tmap::tconmap(source, 4);
+  const auto ppc = pc::ParameterizedConfiguration::generate(mapped);
+
+  vcgra::common::Rng rng(1000 + static_cast<std::uint64_t>(width));
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<bool> params(source.params().size());
+    for (std::size_t i = 0; i < params.size(); ++i) params[i] = rng.next_bool();
+
+    // (a) SCG bits agree with the mapped node functions.
+    const std::vector<bool> bits = ppc.specialize(params);
+    for (std::size_t i = 0; i < ppc.bits().size(); ++i) {
+      const auto& bit = ppc.bits()[i];
+      if (bit.kind != pc::TunableBitKind::kTlutConfig) continue;
+      const auto& node = mapped.nodes()[bit.node];
+      std::uint64_t minterm = bit.bit;
+      for (std::size_t p = 0; p < node.param_ins.size(); ++p) {
+        const int pidx = source.param_index(node.param_ins[p]);
+        if (params[static_cast<std::size_t>(pidx)]) {
+          minterm |= std::uint64_t{1} << (node.real_ins.size() + p);
+        }
+      }
+      ASSERT_EQ(bits[i], node.tt.get(minterm));
+    }
+
+    // (b) the specialized instance computes the bound function.
+    const nl::Netlist spec =
+        vcgra::netlist::dead_code_eliminate(mapped.specialize(params)).netlist;
+    nl::Simulator sim_src(source);
+    nl::Simulator sim_spec(spec);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      sim_src.set_net(source.params()[i], params[i]);
+    }
+    for (int vec = 0; vec < 16; ++vec) {
+      const std::uint64_t v = rng();
+      for (std::size_t i = 0; i < source.inputs().size(); ++i) {
+        sim_src.set_net(source.inputs()[i], (v >> i) & 1);
+        sim_spec.set_net(spec.inputs()[i], (v >> i) & 1);
+      }
+      sim_src.eval();
+      sim_spec.eval();
+      ASSERT_EQ(sim_src.outputs(), sim_spec.outputs());
+    }
+  }
+}
+
+TEST_P(FullFlow, SpecializedInstancePlacesAndRoutes) {
+  const int width = GetParam();
+  const nl::Netlist source = small_param_datapath(width);
+  const tmap::MappedNetlist mapped = tmap::tconmap(source, 4);
+  std::vector<bool> params(source.params().size(), false);
+  params[0] = true;
+  if (params.size() > 2) params[2] = true;
+  const nl::Netlist spec =
+      vcgra::netlist::dead_code_eliminate(mapped.specialize(params)).netlist;
+
+  const auto problem = pl::PlacementProblem::from_netlist(spec);
+  auto arch = vcgra::fpga::ArchParams::sized_for(problem.num_logic_blocks(),
+                                                 problem.num_pads());
+  arch.channel_width = 10;
+  const auto placement = pl::place(problem, arch, {.seed = 9, .effort = 0.5});
+  const vcgra::fpga::RRGraph graph(arch);
+  const auto routed = rt::route(graph, problem, placement);
+  EXPECT_TRUE(routed.success) << "width " << width;
+  EXPECT_GT(routed.wirelength, 0u);
+}
+
+TEST_P(FullFlow, ConventionalRealizationAlsoPlacesAndRoutes) {
+  const int width = GetParam();
+  if (width > 5) GTEST_SKIP() << "kept small for runtime";
+  const nl::Netlist source = small_param_datapath(width);
+  const tmap::MappedNetlist mapped = tmap::tconmap(source, 4);
+  const nl::Netlist conventional = tmap::realize_conventional(mapped, 4);
+  const auto problem = pl::PlacementProblem::from_netlist(conventional);
+  auto arch = vcgra::fpga::ArchParams::sized_for(problem.num_logic_blocks(),
+                                                 problem.num_pads());
+  arch.channel_width = 10;
+  const auto placement = pl::place(problem, arch, {.seed = 10, .effort = 0.5});
+  const vcgra::fpga::RRGraph graph(arch);
+  const auto routed = rt::route(graph, problem, placement);
+  EXPECT_TRUE(routed.success);
+  // The parameterized instance must not need more LUT blocks.
+  std::vector<bool> params(source.params().size(), true);
+  const nl::Netlist spec =
+      vcgra::netlist::dead_code_eliminate(mapped.specialize(params)).netlist;
+  EXPECT_LE(vcgra::netlist::stats(spec).luts,
+            vcgra::netlist::stats(conventional).luts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FullFlow, ::testing::Values(3, 4, 5, 6));
+
+// ---------------------------------------------------------------------------
+// Compiler + simulator vs softfloat reference across random kernels.
+// ---------------------------------------------------------------------------
+
+class KernelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelSweep, DotProductOfAnySizeMatchesReference) {
+  const int taps = GetParam();
+  vcgra::common::Rng rng(7000 + static_cast<std::uint64_t>(taps));
+  std::vector<double> coeffs;
+  for (int i = 0; i < taps; ++i) {
+    coeffs.push_back((rng.next_double() - 0.5) * 4.0);
+  }
+  ov::OverlayArch arch;
+  arch.rows = 6;
+  arch.cols = 6;
+  const ov::Compiled compiled = ov::compile(ov::make_dot_product_kernel(coeffs), arch);
+  const ov::Simulator simulator(compiled);
+
+  const int samples = 12;
+  std::map<std::string, std::vector<double>> inputs;
+  for (int i = 0; i < taps; ++i) {
+    std::vector<double> stream;
+    for (int s = 0; s < samples; ++s) {
+      stream.push_back((rng.next_double() - 0.5) * 2.0);
+    }
+    inputs["x" + std::to_string(i)] = stream;
+  }
+  const ov::RunResult run = simulator.run_doubles(inputs);
+  const auto& y = run.outputs.at("y");
+  ASSERT_EQ(y.size(), static_cast<std::size_t>(samples));
+
+  const sf::FpFormat format = arch.format;
+  for (int s = 0; s < samples; ++s) {
+    // Balanced-tree reference in the same rounded arithmetic.
+    std::vector<sf::FpValue> terms;
+    for (int i = 0; i < taps; ++i) {
+      terms.push_back(
+          sf::fp_mul(sf::FpValue::from_double(
+                         format, inputs["x" + std::to_string(i)][static_cast<std::size_t>(s)]),
+                     sf::FpValue::from_double(format, coeffs[static_cast<std::size_t>(i)])));
+    }
+    while (terms.size() > 1) {
+      std::vector<sf::FpValue> next;
+      for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+        next.push_back(sf::fp_add(terms[i], terms[i + 1]));
+      }
+      if (terms.size() % 2) next.push_back(terms.back());
+      terms = std::move(next);
+    }
+    ASSERT_EQ(y[static_cast<std::size_t>(s)].bits(), terms[0].bits())
+        << "taps " << taps << " sample " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taps, KernelSweep, ::testing::Values(2, 3, 5, 8, 13, 16));
+
+TEST(EngineConsistency, OverlayConvolutionEqualsStreamingMacSimulation) {
+  // One image row through convolve_overlay's 1D slice must equal the
+  // cycle simulator's streaming MAC: both are sequential fp_mac chains.
+  const sf::FpFormat format = sf::FpFormat::paper();
+  const int taps = 9;
+  vcgra::common::Rng rng(31);
+
+  vi::Kernel kernel;
+  kernel.size = 3;
+  kernel.weights.resize(9);
+  for (auto& w : kernel.weights) w = (rng.next_double() - 0.5);
+
+  // Constant-coefficient check: set all taps equal so the streaming MAC
+  // kernel (one coefficient) matches the 2D accumulation exactly.
+  const double c = 0.3125;
+  for (auto& w : kernel.weights) w = c;
+
+  vi::Image image(8, 8);
+  for (auto& v : image.data()) v = static_cast<float>(rng.next_double());
+
+  ov::OverlayArch arch;
+  const auto conv = vi::convolve_overlay(image, kernel, arch);
+
+  // Reference via the overlay simulator: stream the 9 window samples of
+  // one pixel through a 9-count MAC PE.
+  const ov::Compiled compiled =
+      ov::compile(ov::make_streaming_mac_kernel(c, taps), arch);
+  const ov::Simulator simulator(compiled);
+  for (const auto [px, py] : {std::pair<int, int>{4, 4}, {0, 0}, {7, 3}}) {
+    std::vector<double> window;
+    for (int ky = 0; ky < 3; ++ky) {
+      for (int kx = 0; kx < 3; ++kx) {
+        window.push_back(image.sample(px + kx - 1, py + ky - 1));
+      }
+    }
+    const auto run = simulator.run_doubles({{"x", window}});
+    ASSERT_EQ(run.outputs.at("y").size(), 1u);
+    const double simulated = run.outputs.at("y")[0].to_double();
+    EXPECT_NEAR(simulated, conv.output.at(px, py), 1e-6) << px << "," << py;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection at module boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, SpecializeWrongParamCountThrows) {
+  const nl::Netlist source = small_param_datapath(4);
+  const tmap::MappedNetlist mapped = tmap::tconmap(source, 4);
+  EXPECT_THROW(mapped.specialize(std::vector<bool>(1, true)), std::invalid_argument);
+  EXPECT_THROW(vcgra::netlist::specialize(source, {true}), std::invalid_argument);
+}
+
+TEST(FailureInjection, DirtyFramesSizeMismatchThrows) {
+  const nl::Netlist source = small_param_datapath(3);
+  const tmap::MappedNetlist mapped = tmap::tconmap(source, 4);
+  const auto ppc = pc::ParameterizedConfiguration::generate(mapped);
+  const auto bits = ppc.specialize(std::vector<bool>(source.params().size(), false));
+  EXPECT_THROW(ppc.dirty_frames(bits, std::vector<bool>(bits.size() + 1)),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, BackendShapeMismatchThrows) {
+  ov::OverlayArch small;
+  small.rows = 2;
+  small.cols = 2;
+  small.format = sf::FpFormat{4, 7};
+  small.counter_bits = 6;
+  const ov::ParameterizedBackend backend(small);
+  ov::VcgraSettings a;
+  a.pes.resize(4);
+  ov::VcgraSettings b;
+  b.pes.resize(9);
+  EXPECT_THROW(backend.reconfigure_cost(a, b), std::invalid_argument);
+}
+
+TEST(FailureInjection, SimulatorStreamLengthMismatchThrows) {
+  ov::OverlayArch arch;
+  const auto compiled =
+      ov::compile(ov::make_dot_product_kernel({1.0, 2.0}), arch);
+  const ov::Simulator simulator(compiled);
+  std::map<std::string, std::vector<double>> inputs;
+  inputs["x0"] = {1.0, 2.0};
+  inputs["x1"] = {1.0};
+  EXPECT_THROW(simulator.run_doubles(inputs), std::invalid_argument);
+}
+
+TEST(FailureInjection, RouterSurvivesSingleIteration) {
+  const nl::Netlist source = small_param_datapath(4);
+  const tmap::MappedNetlist mapped = tmap::tconmap(source, 4);
+  std::vector<bool> params(source.params().size(), true);
+  const nl::Netlist spec =
+      vcgra::netlist::dead_code_eliminate(mapped.specialize(params)).netlist;
+  const auto problem = pl::PlacementProblem::from_netlist(spec);
+  auto arch = vcgra::fpga::ArchParams::sized_for(problem.num_logic_blocks(),
+                                                 problem.num_pads());
+  arch.channel_width = 6;
+  const auto placement = pl::place(problem, arch);
+  const vcgra::fpga::RRGraph graph(arch);
+  rt::RouteOptions options;
+  options.max_iterations = 1;
+  const auto result = rt::route(graph, problem, placement, options);
+  // One negotiation round may or may not converge; either way the result
+  // must be well-formed.
+  if (result.success) {
+    EXPECT_GT(result.wirelength, 0u);
+  } else {
+    EXPECT_GE(result.overused_nodes + 1, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mapper across LUT sizes (K sweep).
+// ---------------------------------------------------------------------------
+
+class LutSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LutSizeSweep, MappingEquivalentAndMonotone) {
+  const int k = GetParam();
+  const nl::Netlist source = small_param_datapath(5);
+  const tmap::MappedNetlist mapped = tmap::map_conventional(source, k);
+  // Equivalence at this K.
+  nl::Simulator sim(source);
+  vcgra::common::Rng rng(4000 + static_cast<std::uint64_t>(k));
+  for (int trial = 0; trial < 24; ++trial) {
+    std::vector<std::uint8_t> ext(source.num_nets(), 0);
+    for (const nl::NetId in : source.inputs()) {
+      const bool v = rng.next_bool();
+      sim.set_net(in, v);
+      ext[in] = v;
+    }
+    for (const nl::NetId p : source.params()) {
+      const bool v = rng.next_bool();
+      sim.set_net(p, v);
+      ext[p] = v;
+    }
+    sim.eval();
+    const auto values = mapped.evaluate(ext);
+    for (const nl::NetId po : source.outputs()) {
+      ASSERT_EQ(sim.value(po), values[po] != 0);
+    }
+  }
+  // Bigger K never needs more LUTs.
+  if (k > 3) {
+    const auto smaller = tmap::map_conventional(source, k - 1).stats();
+    EXPECT_LE(mapped.stats().total_luts(), smaller.total_luts());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(K, LutSizeSweep, ::testing::Values(3, 4, 5, 6));

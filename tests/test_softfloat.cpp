@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/netlist/passes.hpp"
+#include "vcgra/netlist/simulate.hpp"
+#include "vcgra/softfloat/fpcircuits.hpp"
+#include "vcgra/softfloat/fpformat.hpp"
+
+namespace sf = vcgra::softfloat;
+namespace nl = vcgra::netlist;
+using sf::FpFormat;
+using sf::FpValue;
+
+namespace {
+
+/// Random finite FpValue with exponent confined to the middle of the range
+/// so products/sums stay in range unless we deliberately push them out.
+FpValue random_normal(FpFormat f, vcgra::common::Rng& rng, int exp_spread = 6) {
+  const std::uint64_t frac = rng() & f.frac_mask();
+  const std::int64_t exp_center = f.bias();
+  const std::int64_t exponent =
+      exp_center + rng.next_in(-exp_spread, exp_spread);
+  return FpValue::from_fields(f, rng.next_bool(), static_cast<std::uint64_t>(exponent),
+                              frac);
+}
+
+FpValue random_any(FpFormat f, vcgra::common::Rng& rng) {
+  const double roll = rng.next_double();
+  if (roll < 0.05) return FpValue::zero(f, rng.next_bool());
+  if (roll < 0.08) return FpValue::infinity(f, rng.next_bool());
+  if (roll < 0.10) return FpValue::nan(f);
+  // Full exponent range (may overflow/underflow in ops).
+  const std::uint64_t frac = rng() & f.frac_mask();
+  const std::uint64_t exponent = rng() & f.exp_mask();
+  return FpValue::from_fields(f, rng.next_bool(), exponent, frac);
+}
+
+}  // namespace
+
+class FpFormatTest : public ::testing::TestWithParam<FpFormat> {};
+
+TEST_P(FpFormatTest, EncodeDecodeRoundTrip) {
+  const FpFormat f = GetParam();
+  vcgra::common::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const FpValue v = random_normal(f, rng, 8);
+    const double d = v.to_double();
+    const FpValue back = FpValue::from_double(f, d);
+    EXPECT_EQ(back.bits(), v.bits()) << v.to_string();
+  }
+}
+
+TEST_P(FpFormatTest, SpecialValueEncodings) {
+  const FpFormat f = GetParam();
+  EXPECT_TRUE(FpValue::zero(f).is_zero());
+  EXPECT_TRUE(FpValue::zero(f, true).sign());
+  EXPECT_TRUE(FpValue::infinity(f).is_inf());
+  EXPECT_TRUE(FpValue::nan(f).is_nan());
+  EXPECT_TRUE(std::isnan(FpValue::nan(f).to_double()));
+  EXPECT_TRUE(std::isinf(FpValue::infinity(f, true).to_double()));
+  EXPECT_EQ(FpValue::zero(f).bits(), 0u);  // +0 is the all-zero word
+}
+
+TEST_P(FpFormatTest, FromDoubleHandlesOverflowUnderflow) {
+  const FpFormat f = GetParam();
+  EXPECT_TRUE(FpValue::from_double(f, 1e300).is_inf());
+  EXPECT_TRUE(FpValue::from_double(f, -1e300).is_inf());
+  EXPECT_TRUE(FpValue::from_double(f, 1e-300).is_zero());
+  EXPECT_TRUE(FpValue::from_double(f, std::nan("")).is_nan());
+  EXPECT_TRUE(FpValue::from_double(f, 0.0).is_zero());
+}
+
+TEST_P(FpFormatTest, MulMatchesLongDoubleReference) {
+  const FpFormat f = GetParam();
+  vcgra::common::Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    const FpValue a = random_normal(f, rng, 4);
+    const FpValue b = random_normal(f, rng, 4);
+    const FpValue product = sf::fp_mul(a, b);
+    // Product of two wf+1-bit significands is exact in long double
+    // (64-bit significand) for wf <= 31, so RNE in from_double is the
+    // correctly rounded reference.
+    const long double exact =
+        static_cast<long double>(a.to_double()) * static_cast<long double>(b.to_double());
+    const FpValue expected = FpValue::from_double(f, static_cast<double>(exact));
+    EXPECT_EQ(product.bits(), expected.bits())
+        << a.to_string() << " * " << b.to_string();
+  }
+}
+
+TEST_P(FpFormatTest, AddMatchesDoubleReferenceNearbyExponents) {
+  const FpFormat f = GetParam();
+  vcgra::common::Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Exponent gap <= wf keeps the exact sum within double precision for
+    // the formats under test (wf <= 26 -> <= 53 significant bits).
+    const FpValue a = random_normal(f, rng, 4);
+    const FpValue b = random_normal(f, rng, 4);
+    const FpValue sum = sf::fp_add(a, b);
+    const double exact = a.to_double() + b.to_double();
+    const FpValue expected = FpValue::from_double(f, exact);
+    EXPECT_EQ(sum.bits(), expected.bits())
+        << a.to_string() << " + " << b.to_string();
+  }
+}
+
+TEST_P(FpFormatTest, MulSpecialCases) {
+  const FpFormat f = GetParam();
+  const FpValue one = FpValue::from_double(f, 1.0);
+  const FpValue x = FpValue::from_double(f, 2.75);
+  EXPECT_EQ(sf::fp_mul(x, one).bits(), x.bits());
+  EXPECT_TRUE(sf::fp_mul(x, FpValue::zero(f)).is_zero());
+  EXPECT_TRUE(sf::fp_mul(x, FpValue::infinity(f)).is_inf());
+  EXPECT_TRUE(sf::fp_mul(FpValue::zero(f), FpValue::infinity(f)).is_nan());
+  EXPECT_TRUE(sf::fp_mul(FpValue::nan(f), x).is_nan());
+  // Sign of zero result follows XOR of signs.
+  EXPECT_TRUE(sf::fp_mul(FpValue::zero(f, true), x).sign());
+}
+
+TEST_P(FpFormatTest, AddSpecialCases) {
+  const FpFormat f = GetParam();
+  const FpValue x = FpValue::from_double(f, 1.5);
+  EXPECT_EQ(sf::fp_add(x, FpValue::zero(f)).bits(), x.bits());
+  EXPECT_EQ(sf::fp_add(FpValue::zero(f), x).bits(), x.bits());
+  EXPECT_TRUE(sf::fp_add(FpValue::infinity(f), x).is_inf());
+  EXPECT_TRUE(
+      sf::fp_add(FpValue::infinity(f), FpValue::infinity(f, true)).is_nan());
+  EXPECT_TRUE(sf::fp_add(FpValue::nan(f), x).is_nan());
+  // Exact cancellation produces +0.
+  const FpValue neg_x = FpValue::from_double(f, -1.5);
+  const FpValue cancelled = sf::fp_add(x, neg_x);
+  EXPECT_TRUE(cancelled.is_zero());
+  EXPECT_FALSE(cancelled.sign());
+}
+
+TEST_P(FpFormatTest, AddCommutative) {
+  const FpFormat f = GetParam();
+  vcgra::common::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const FpValue a = random_any(f, rng);
+    const FpValue b = random_any(f, rng);
+    const FpValue ab = sf::fp_add(a, b);
+    const FpValue ba = sf::fp_add(b, a);
+    // NaN payloads are canonical here, so bit equality must hold except
+    // for the zero+zero sign asymmetry which FloPoCo resolves to +0 anyway.
+    if (a.is_zero() && b.is_zero()) continue;
+    EXPECT_EQ(ab.bits(), ba.bits()) << a.to_string() << " + " << b.to_string();
+  }
+}
+
+TEST_P(FpFormatTest, MulCommutative) {
+  const FpFormat f = GetParam();
+  vcgra::common::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const FpValue a = random_any(f, rng);
+    const FpValue b = random_any(f, rng);
+    EXPECT_EQ(sf::fp_mul(a, b).bits(), sf::fp_mul(b, a).bits());
+  }
+}
+
+TEST_P(FpFormatTest, MacMatchesMulThenAdd) {
+  const FpFormat f = GetParam();
+  vcgra::common::Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    const FpValue acc = random_normal(f, rng);
+    const FpValue a = random_normal(f, rng);
+    const FpValue b = random_normal(f, rng);
+    EXPECT_EQ(sf::fp_mac(acc, a, b).bits(),
+              sf::fp_add(acc, sf::fp_mul(a, b)).bits());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FpFormatTest,
+                         ::testing::Values(FpFormat::paper(), FpFormat::single_like(),
+                                           FpFormat::half_like(), FpFormat{4, 7}),
+                         [](const auto& info) {
+                           return "we" + std::to_string(info.param.we) + "_wf" +
+                                  std::to_string(info.param.wf);
+                         });
+
+// ---------------------------------------------------------------------------
+// Circuit <-> software bit-exactness.
+// ---------------------------------------------------------------------------
+
+class FpCircuitTest : public ::testing::TestWithParam<FpFormat> {};
+
+TEST_P(FpCircuitTest, MultiplierBitExactVsSoftware) {
+  const FpFormat f = GetParam();
+  nl::Netlist netlist("fpmul");
+  nl::NetlistBuilder builder(netlist);
+  const nl::Bus a = builder.input_bus("a", f.total_bits());
+  const nl::Bus b = builder.input_bus("b", f.total_bits());
+  const nl::Bus out = sf::build_fp_multiplier(builder, f, a, b);
+  builder.mark_output_bus(out);
+
+  nl::Simulator sim(netlist);
+  vcgra::common::Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const FpValue va = random_any(f, rng);
+    const FpValue vb = random_any(f, rng);
+    sim.set_bus(a, va.bits());
+    sim.set_bus(b, vb.bits());
+    sim.eval();
+    const FpValue expected = sf::fp_mul(va, vb);
+    EXPECT_EQ(sim.read_bus(out), expected.bits())
+        << va.to_string() << " * " << vb.to_string();
+  }
+}
+
+TEST_P(FpCircuitTest, AdderBitExactVsSoftware) {
+  const FpFormat f = GetParam();
+  nl::Netlist netlist("fpadd");
+  nl::NetlistBuilder builder(netlist);
+  const nl::Bus a = builder.input_bus("a", f.total_bits());
+  const nl::Bus b = builder.input_bus("b", f.total_bits());
+  const nl::Bus out = sf::build_fp_adder(builder, f, a, b);
+  builder.mark_output_bus(out);
+
+  nl::Simulator sim(netlist);
+  vcgra::common::Rng rng(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    const FpValue va = random_any(f, rng);
+    const FpValue vb = random_any(f, rng);
+    sim.set_bus(a, va.bits());
+    sim.set_bus(b, vb.bits());
+    sim.eval();
+    const FpValue expected = sf::fp_add(va, vb);
+    EXPECT_EQ(sim.read_bus(out), expected.bits())
+        << va.to_string() << " + " << vb.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FpCircuitTest,
+                         ::testing::Values(FpFormat::paper(), FpFormat::half_like(),
+                                           FpFormat{4, 7}),
+                         [](const auto& info) {
+                           return "we" + std::to_string(info.param.we) + "_wf" +
+                                  std::to_string(info.param.wf);
+                         });
+
+TEST(MacPe, SequentialMacMatchesSoftware) {
+  const FpFormat f = FpFormat::half_like();  // smaller circuit, faster sim
+  sf::MacPe pe = sf::build_mac_pe(f, sf::PeStyle::kConventional, 8);
+  nl::Simulator sim(pe.netlist);
+  vcgra::common::Rng rng(9);
+
+  const FpValue coeff = FpValue::from_double(f, 0.4375);
+  const int count = 5;
+  sim.set_bus(pe.coeff, coeff.bits());
+  sim.set_bus(pe.count, static_cast<std::uint64_t>(count));
+  sim.set_net(pe.enable, true);
+
+  FpValue acc = FpValue::zero(f);
+  for (int cycle = 0; cycle < count; ++cycle) {
+    const FpValue x = random_normal(f, rng, 2);
+    sim.set_bus(pe.x, x.bits());
+    sim.eval();
+    // The accumulator output is the *registered* value: pre-update.
+    EXPECT_EQ(sim.read_bus(pe.acc), acc.bits()) << "cycle " << cycle;
+    const bool expect_done = cycle == count - 1;
+    EXPECT_EQ(sim.value(pe.done), expect_done);
+    sim.step();
+    acc = sf::fp_mac(acc, x, coeff);
+  }
+  // After `done`, the accumulator restarts from zero.
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(pe.acc), FpValue::zero(f).bits());
+}
+
+TEST(MacPe, DisabledCyclesHoldState) {
+  const FpFormat f = FpFormat::half_like();
+  sf::MacPe pe = sf::build_mac_pe(f, sf::PeStyle::kConventional, 8);
+  nl::Simulator sim(pe.netlist);
+  const FpValue coeff = FpValue::from_double(f, 2.0);
+  const FpValue x = FpValue::from_double(f, 1.0);
+  sim.set_bus(pe.coeff, coeff.bits());
+  sim.set_bus(pe.count, 10);
+  sim.set_bus(pe.x, x.bits());
+
+  sim.set_net(pe.enable, true);
+  sim.step();  // acc = 2.0
+  sim.set_net(pe.enable, false);
+  sim.step();
+  sim.step();
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(pe.acc), FpValue::from_double(f, 2.0).bits());
+  sim.set_net(pe.enable, true);
+  sim.step();
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(pe.acc), FpValue::from_double(f, 4.0).bits());
+}
+
+TEST(MacPe, ParameterizedStyleExposesParams) {
+  const FpFormat f = FpFormat::half_like();
+  const sf::MacPe conv = sf::build_mac_pe(f, sf::PeStyle::kConventional, 8);
+  const sf::MacPe param = sf::build_mac_pe(f, sf::PeStyle::kParameterized, 8);
+  EXPECT_TRUE(conv.netlist.params().empty());
+  EXPECT_EQ(param.netlist.params().size(),
+            static_cast<std::size_t>(f.total_bits() + 8));
+  // Identical datapath: same cell population.
+  EXPECT_EQ(conv.netlist.num_cells(), param.netlist.num_cells());
+}
+
+TEST(MacPe, SpecializingCoefficientShrinksLogic) {
+  const FpFormat f = FpFormat::paper();
+  const sf::MacPe pe = sf::build_mac_pe(f, sf::PeStyle::kParameterized, 16);
+  const auto baseline = vcgra::netlist::clean(pe.netlist);
+
+  std::vector<bool> param_values(pe.netlist.params().size(), false);
+  const FpValue coeff = FpValue::from_double(f, 0.731);
+  for (int i = 0; i < f.total_bits(); ++i) {
+    param_values[static_cast<std::size_t>(i)] = (coeff.bits() >> i) & 1;
+  }
+  param_values[static_cast<std::size_t>(f.total_bits()) + 3] = true;  // count = 8
+  const auto specialized = vcgra::netlist::specialize(pe.netlist, param_values);
+
+  // Symbolic constant propagation must shrink the multiplier massively.
+  EXPECT_LT(specialized.netlist.num_cells(), baseline.netlist.num_cells() * 3 / 4)
+      << "specialized=" << specialized.netlist.num_cells()
+      << " baseline=" << baseline.netlist.num_cells();
+}

@@ -1,0 +1,272 @@
+// Broader parameter sweeps over thinly-covered configuration axes:
+// rectangular overlay grids, connection-box flexibility, extra FP
+// formats, kernel-language robustness, settings serialization.
+#include <gtest/gtest.h>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/netlist/passes.hpp"
+#include "vcgra/netlist/simulate.hpp"
+#include "vcgra/place/placer.hpp"
+#include "vcgra/route/router.hpp"
+#include "vcgra/softfloat/fpcircuits.hpp"
+#include "vcgra/techmap/mapper.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/simulator.hpp"
+
+namespace nl = vcgra::netlist;
+namespace sf = vcgra::softfloat;
+namespace fp = vcgra::fpga;
+namespace pl = vcgra::place;
+namespace rt = vcgra::route;
+namespace ov = vcgra::overlay;
+
+// ---------------------------------------------------------------------------
+// Rectangular (rows != cols) overlay grids.
+// ---------------------------------------------------------------------------
+
+struct GridShape {
+  int rows;
+  int cols;
+};
+
+class RectangularGrid : public ::testing::TestWithParam<GridShape> {};
+
+TEST_P(RectangularGrid, AccountingFormulasHold) {
+  ov::OverlayArch arch;
+  arch.rows = GetParam().rows;
+  arch.cols = GetParam().cols;
+  EXPECT_EQ(arch.num_pes(), arch.rows * arch.cols);
+  EXPECT_EQ(arch.num_vsbs(), (arch.rows - 1) * (arch.cols - 1));
+  EXPECT_EQ(arch.num_vcbs(), 2 * arch.rows * arch.cols);
+  EXPECT_EQ(arch.num_settings_registers(), arch.num_pes() + arch.num_vsbs());
+  const auto conventional = ov::conventional_overlay_cost(arch);
+  const auto parameterized = ov::parameterized_overlay_cost(arch);
+  EXPECT_EQ(conventional.routing_switch_groups,
+            static_cast<std::size_t>(arch.num_vsbs() + arch.num_vcbs()));
+  EXPECT_EQ(parameterized.routing_switch_groups, 0u);
+}
+
+TEST_P(RectangularGrid, CompileAndSimulateDotProduct) {
+  ov::OverlayArch arch;
+  arch.rows = GetParam().rows;
+  arch.cols = GetParam().cols;
+  const int max_taps = (arch.num_pes() + 1) / 2;
+  const int taps = std::min(4, max_taps);
+  std::vector<double> coeffs;
+  for (int i = 0; i < taps; ++i) coeffs.push_back(0.25 * (i + 1));
+  const auto compiled = ov::compile(ov::make_dot_product_kernel(coeffs), arch);
+  EXPECT_EQ(compiled.report.pes_used, 2 * taps - 1);
+
+  const ov::Simulator simulator(compiled);
+  std::map<std::string, std::vector<double>> inputs;
+  for (int i = 0; i < taps; ++i) inputs["x" + std::to_string(i)] = {1.0, 2.0};
+  const auto run = simulator.run_doubles(inputs);
+  double expected = 0;
+  for (int i = 0; i < taps; ++i) expected += coeffs[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(run.outputs.at("y")[0].to_double(), expected, 1e-6);
+  EXPECT_NEAR(run.outputs.at("y")[1].to_double(), 2 * expected, 1e-6);
+}
+
+TEST_P(RectangularGrid, SettingsWordsCoverAllRegisters) {
+  ov::OverlayArch arch;
+  arch.rows = GetParam().rows;
+  arch.cols = GetParam().cols;
+  const auto compiled =
+      ov::compile(ov::make_streaming_mac_kernel(0.5, 4), arch);
+  const auto words = compiled.settings.register_words(arch);
+  // 3 words per PE (settings + 64-bit coefficient) + one per VSB.
+  EXPECT_EQ(words.size(), static_cast<std::size_t>(3 * arch.num_pes() +
+                                                   arch.num_vsbs()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RectangularGrid,
+                         ::testing::Values(GridShape{1, 4}, GridShape{4, 1},
+                                           GridShape{2, 5}, GridShape{5, 2},
+                                           GridShape{3, 7}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.rows) + "x" +
+                                  std::to_string(info.param.cols);
+                         });
+
+// ---------------------------------------------------------------------------
+// Connection-box flexibility sweep: routing stays legal across Fc values.
+// ---------------------------------------------------------------------------
+
+struct FcConfig {
+  double fc_in;
+  double fc_out;
+};
+
+class FcSweep : public ::testing::TestWithParam<FcConfig> {};
+
+TEST_P(FcSweep, SmallDesignRoutesAcrossFlexibilities) {
+  vcgra::common::Rng rng(55);
+  nl::Netlist netlist("fc");
+  nl::NetlistBuilder builder(netlist);
+  const nl::Bus a = builder.input_bus("a", 6);
+  const nl::Bus b = builder.input_bus("b", 6);
+  builder.mark_output_bus(builder.ripple_add(a, b, builder.const_bit(false)));
+  const nl::Netlist design = vcgra::netlist::clean(netlist).netlist;
+  const auto mapped = vcgra::techmap::map_conventional(design, 4);
+  std::vector<bool> none;
+  const nl::Netlist luts =
+      vcgra::netlist::dead_code_eliminate(mapped.specialize(none)).netlist;
+
+  const auto problem = pl::PlacementProblem::from_netlist(luts);
+  auto arch = fp::ArchParams::sized_for(problem.num_logic_blocks(),
+                                        problem.num_pads());
+  arch.fc_in = GetParam().fc_in;
+  arch.fc_out = GetParam().fc_out;
+  arch.channel_width = 12;
+  const auto placement = pl::place(problem, arch, {.seed = 3, .effort = 0.5});
+  const fp::RRGraph graph(arch);
+  const auto routed = rt::route(graph, problem, placement);
+  EXPECT_TRUE(routed.success) << "fc_in=" << arch.fc_in << " fc_out=" << arch.fc_out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Flexibilities, FcSweep,
+                         ::testing::Values(FcConfig{0.3, 0.25}, FcConfig{0.6, 0.5},
+                                           FcConfig{1.0, 1.0}, FcConfig{0.4, 1.0}));
+
+// ---------------------------------------------------------------------------
+// Extra floating-point formats (beyond the four core ones).
+// ---------------------------------------------------------------------------
+
+class ExtraFormats : public ::testing::TestWithParam<sf::FpFormat> {};
+
+TEST_P(ExtraFormats, MulCircuitBitExact) {
+  const sf::FpFormat f = GetParam();
+  nl::Netlist netlist("m");
+  nl::NetlistBuilder builder(netlist);
+  const nl::Bus a = builder.input_bus("a", f.total_bits());
+  const nl::Bus b = builder.input_bus("b", f.total_bits());
+  const nl::Bus out = sf::build_fp_multiplier(builder, f, a, b);
+  builder.mark_output_bus(out);
+  nl::Simulator sim(netlist);
+  vcgra::common::Rng rng(60 + static_cast<std::uint64_t>(f.wf));
+  for (int trial = 0; trial < 120; ++trial) {
+    const sf::FpValue va(f, rng() & ((std::uint64_t{1} << f.total_bits()) - 1));
+    const sf::FpValue vb(f, rng() & ((std::uint64_t{1} << f.total_bits()) - 1));
+    sim.set_bus(a, va.bits());
+    sim.set_bus(b, vb.bits());
+    sim.eval();
+    ASSERT_EQ(sim.read_bus(out), sf::fp_mul(va, vb).bits())
+        << va.to_string() << " * " << vb.to_string();
+  }
+}
+
+TEST_P(ExtraFormats, AddCircuitBitExact) {
+  const sf::FpFormat f = GetParam();
+  nl::Netlist netlist("s");
+  nl::NetlistBuilder builder(netlist);
+  const nl::Bus a = builder.input_bus("a", f.total_bits());
+  const nl::Bus b = builder.input_bus("b", f.total_bits());
+  const nl::Bus out = sf::build_fp_adder(builder, f, a, b);
+  builder.mark_output_bus(out);
+  nl::Simulator sim(netlist);
+  vcgra::common::Rng rng(70 + static_cast<std::uint64_t>(f.wf));
+  for (int trial = 0; trial < 120; ++trial) {
+    const sf::FpValue va(f, rng() & ((std::uint64_t{1} << f.total_bits()) - 1));
+    const sf::FpValue vb(f, rng() & ((std::uint64_t{1} << f.total_bits()) - 1));
+    sim.set_bus(a, va.bits());
+    sim.set_bus(b, vb.bits());
+    sim.eval();
+    ASSERT_EQ(sim.read_bus(out), sf::fp_add(va, vb).bits())
+        << va.to_string() << " + " << vb.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, ExtraFormats,
+                         ::testing::Values(sf::FpFormat{6, 11}, sf::FpFormat{7, 16},
+                                           sf::FpFormat{5, 20}, sf::FpFormat{9, 14}),
+                         [](const auto& info) {
+                           return "we" + std::to_string(info.param.we) + "_wf" +
+                                  std::to_string(info.param.wf);
+                         });
+
+// ---------------------------------------------------------------------------
+// Kernel-language robustness.
+// ---------------------------------------------------------------------------
+
+TEST(KernelLanguage, ToleratesWhitespaceAndComments) {
+  const ov::Dfg dfg = ov::parse_kernel(
+      "  # a comment line\n"
+      "input   x ;\n"
+      "\n"
+      "param c =  -0.5 ;  # trailing comment is part of the value text? no:\n"
+      "y = mul( x ,  c )\n"
+      "; output y;");
+  EXPECT_EQ(dfg.inputs().size(), 1u);
+  EXPECT_EQ(dfg.outputs().size(), 1u);
+  EXPECT_EQ(dfg.num_compute_nodes(), 1u);
+}
+
+TEST(KernelLanguage, MultipleStatementsPerLine) {
+  const ov::Dfg dfg = ov::parse_kernel(
+      "input a; input b; param k = 2.0; t = mul(a, k); y = add(t, b); output y;");
+  EXPECT_EQ(dfg.num_compute_nodes(), 2u);
+}
+
+TEST(KernelLanguage, OutputNameIsUsableDownstream) {
+  // `output` does not consume the signal: it can still feed another op.
+  const ov::Dfg dfg = ov::parse_kernel(
+      "input x; param c = 1.0; t = mul(x, c); u = pass(t); output t; output u;");
+  EXPECT_EQ(dfg.outputs().size(), 2u);
+}
+
+TEST(KernelLanguage, DuplicateNamesResolveToFirstDefinition) {
+  // The language is define-before-use; `find` returns the first match so
+  // redefinitions shadow nothing.
+  const ov::Dfg dfg = ov::parse_kernel(
+      "input x; param c = 3.0; y = mul(x, c); output y;");
+  const int y = dfg.find("y");
+  EXPECT_EQ(dfg.nodes()[static_cast<std::size_t>(y)].kind, ov::OpKind::kMul);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator schedule model properties.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleModel, DeeperKernelsHaveDeeperPipelines) {
+  ov::OverlayArch arch;
+  arch.rows = 6;
+  arch.cols = 6;
+  const auto shallow = ov::compile(ov::make_dot_product_kernel({1.0, 1.0}), arch);
+  const auto deep = ov::compile(
+      ov::make_dot_product_kernel({1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0}), arch);
+  const ov::Simulator sim_shallow(shallow);
+  const ov::Simulator sim_deep(deep);
+  std::map<std::string, std::vector<double>> in2, in8;
+  for (int i = 0; i < 2; ++i) in2["x" + std::to_string(i)] = {1.0};
+  for (int i = 0; i < 8; ++i) in8["x" + std::to_string(i)] = {1.0};
+  EXPECT_LT(sim_shallow.run_doubles(in2).pipeline_depth,
+            sim_deep.run_doubles(in8).pipeline_depth);
+}
+
+TEST(ScheduleModel, CyclesGrowLinearlyWithSamples) {
+  ov::OverlayArch arch;
+  const auto compiled = ov::compile(ov::make_dot_product_kernel({1.0, 2.0}), arch);
+  const ov::Simulator simulator(compiled);
+  std::map<std::string, std::vector<double>> small_in, large_in;
+  for (int i = 0; i < 2; ++i) {
+    small_in["x" + std::to_string(i)] = std::vector<double>(10, 1.0);
+    large_in["x" + std::to_string(i)] = std::vector<double>(1000, 1.0);
+  }
+  const auto small_run = simulator.run_doubles(small_in);
+  const auto large_run = simulator.run_doubles(large_in);
+  EXPECT_EQ(large_run.cycles - small_run.cycles, 990u);
+}
+
+TEST(ScheduleModel, LatencyOptionsShiftDepth) {
+  ov::OverlayArch arch;
+  const auto compiled = ov::compile(ov::make_dot_product_kernel({1.0, 2.0}), arch);
+  ov::SimOptions slow;
+  slow.mul_latency = 10;
+  slow.add_latency = 10;
+  const ov::Simulator fast_sim(compiled);
+  const ov::Simulator slow_sim(compiled, slow);
+  std::map<std::string, std::vector<double>> inputs;
+  for (int i = 0; i < 2; ++i) inputs["x" + std::to_string(i)] = {1.0};
+  EXPECT_LT(fast_sim.run_doubles(inputs).pipeline_depth,
+            slow_sim.run_doubles(inputs).pipeline_depth);
+}

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/netlist/passes.hpp"
+#include "vcgra/netlist/simulate.hpp"
+#include "vcgra/softfloat/fpcircuits.hpp"
+#include "vcgra/techmap/cuts.hpp"
+#include "vcgra/techmap/conventional.hpp"
+#include "vcgra/techmap/mapper.hpp"
+
+namespace nl = vcgra::netlist;
+namespace bf = vcgra::boolfunc;
+namespace tmap = vcgra::techmap;
+namespace sf = vcgra::softfloat;
+using bf::TruthTable;
+
+namespace {
+
+nl::Netlist random_comb_circuit(int num_inputs, int num_params, int num_gates,
+                                vcgra::common::Rng& rng) {
+  nl::Netlist netlist("rand");
+  std::vector<nl::NetId> pool;
+  for (int i = 0; i < num_inputs; ++i) pool.push_back(netlist.add_input(""));
+  for (int i = 0; i < num_params; ++i) pool.push_back(netlist.add_param(""));
+  for (int g = 0; g < num_gates; ++g) {
+    const nl::NetId a = pool[rng.next_below(pool.size())];
+    const nl::NetId b = pool[rng.next_below(pool.size())];
+    const nl::NetId s = pool[rng.next_below(pool.size())];
+    nl::NetId out = nl::kNullNet;
+    switch (rng.next_below(7)) {
+      case 0: out = netlist.add_cell(nl::CellKind::kAnd, {a, b}); break;
+      case 1: out = netlist.add_cell(nl::CellKind::kOr, {a, b}); break;
+      case 2: out = netlist.add_cell(nl::CellKind::kXor, {a, b}); break;
+      case 3: out = netlist.add_cell(nl::CellKind::kNot, {a}); break;
+      case 4: out = netlist.add_cell(nl::CellKind::kMux, {s, a, b}); break;
+      case 5: out = netlist.add_cell(nl::CellKind::kNor, {a, b}); break;
+      default: out = netlist.add_cell(nl::CellKind::kXnor, {a, b}); break;
+    }
+    pool.push_back(out);
+  }
+  for (int i = 0; i < 5 && i < static_cast<int>(pool.size()); ++i) {
+    netlist.mark_output(pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+  }
+  return netlist;
+}
+
+/// Evaluate source netlist and mapped netlist on the same assignment and
+/// compare primary outputs.
+void expect_equivalent(const nl::Netlist& source, const tmap::MappedNetlist& mapped,
+                       vcgra::common::Rng& rng, int trials) {
+  nl::Simulator sim(source);
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::uint8_t> ext(source.num_nets(), 0);
+    for (const nl::NetId in : source.inputs()) {
+      const bool v = rng.next_bool();
+      sim.set_net(in, v);
+      ext[in] = v;
+    }
+    for (const nl::NetId p : source.params()) {
+      const bool v = rng.next_bool();
+      sim.set_net(p, v);
+      ext[p] = v;
+    }
+    sim.eval();
+    const auto mapped_values = mapped.evaluate(ext);
+    for (const nl::NetId po : source.outputs()) {
+      ASSERT_EQ(sim.value(po), mapped_values[po] != 0) << "output net " << po;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Cuts, MergeLeavesIsSortedUnion) {
+  const std::vector<nl::NetId> a{1, 4, 9};
+  const std::vector<nl::NetId> b{2, 4, 7};
+  EXPECT_EQ(tmap::merge_leaves(a, b), (std::vector<nl::NetId>{1, 2, 4, 7, 9}));
+  EXPECT_EQ(tmap::merge_leaves({}, b), b);
+}
+
+TEST(Cuts, ExpandKeepsSemantics) {
+  tmap::Cut cut;
+  cut.real_leaves = {3, 8};
+  cut.tt = TruthTable::var(2, 0) & TruthTable::var(2, 1);  // and(n3, n8)
+  const TruthTable expanded = tmap::expand_cut_function(cut, {3, 5, 8}, {});
+  // In the merged space, var0=net3, var1=net5 (vacuous), var2=net8.
+  EXPECT_EQ(expanded, TruthTable::var(3, 0) & TruthTable::var(3, 2));
+}
+
+TEST(IsTconFunction, AndWithParamIsTcon) {
+  // f(x; p) = x & p: p=1 -> wire(x), p=0 -> const0.
+  const TruthTable f = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+  EXPECT_TRUE(tmap::is_tcon_function(f, 1, 1));
+}
+
+TEST(IsTconFunction, ParamMuxIsTcon) {
+  // f(a,b; p) = p ? b : a — the canonical routing multiplexer.
+  const TruthTable a = TruthTable::var(3, 0);
+  const TruthTable b = TruthTable::var(3, 1);
+  const TruthTable p = TruthTable::var(3, 2);
+  const TruthTable f = (p & b) | (~p & a);
+  EXPECT_TRUE(tmap::is_tcon_function(f, 2, 1));
+}
+
+TEST(IsTconFunction, XorWithParamIsNotTcon) {
+  // f(x; p) = x ^ p: p=1 -> NOT x, which routing cannot implement.
+  const TruthTable f = TruthTable::var(2, 0) ^ TruthTable::var(2, 1);
+  EXPECT_FALSE(tmap::is_tcon_function(f, 1, 1));
+}
+
+TEST(IsTconFunction, RealLogicIsNotTcon) {
+  // f(x,y; p) = p ? (x&y) : x — one cofactor is real logic.
+  const TruthTable x = TruthTable::var(3, 0);
+  const TruthTable y = TruthTable::var(3, 1);
+  const TruthTable p = TruthTable::var(3, 2);
+  const TruthTable f = (p & (x & y)) | (~p & x);
+  EXPECT_FALSE(tmap::is_tcon_function(f, 2, 1));
+}
+
+TEST(IsTconFunction, NoParamsIsNeverTcon) {
+  EXPECT_FALSE(tmap::is_tcon_function(TruthTable::var(1, 0), 1, 0));
+}
+
+TEST(Mapper, SimpleAndChainPacksIntoOneLut) {
+  // AND of 4 inputs = 3 gates -> one 4-LUT.
+  nl::Netlist netlist;
+  const nl::NetId a = netlist.add_input("a");
+  const nl::NetId b = netlist.add_input("b");
+  const nl::NetId c = netlist.add_input("c");
+  const nl::NetId d = netlist.add_input("d");
+  nl::NetId x = netlist.add_cell(nl::CellKind::kAnd, {a, b});
+  x = netlist.add_cell(nl::CellKind::kAnd, {x, c});
+  x = netlist.add_cell(nl::CellKind::kAnd, {x, d});
+  netlist.mark_output(x);
+  const tmap::MappedNetlist mapped = tmap::map_conventional(netlist, 4);
+  const auto stats = mapped.stats();
+  EXPECT_EQ(stats.total_luts(), 1u);
+  EXPECT_EQ(stats.depth, 1);
+  EXPECT_EQ(stats.tcons, 0u);
+}
+
+TEST(Mapper, WideAndNeedsTwoLevels) {
+  // AND of 8 inputs cannot fit one 4-LUT.
+  nl::Netlist netlist;
+  std::vector<nl::NetId> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(netlist.add_input(""));
+  nl::NetId x = ins[0];
+  for (int i = 1; i < 8; ++i) x = netlist.add_cell(nl::CellKind::kAnd, {x, ins[static_cast<std::size_t>(i)]});
+  netlist.mark_output(x);
+  const tmap::MappedNetlist mapped = tmap::map_conventional(netlist, 4);
+  const auto stats = mapped.stats();
+  EXPECT_GE(stats.total_luts(), 2u);
+  EXPECT_LE(stats.depth, 3);
+  EXPECT_GE(stats.depth, 2);
+}
+
+TEST(Mapper, RejectsBuffers) {
+  nl::Netlist netlist;
+  const nl::NetId a = netlist.add_input("a");
+  const nl::NetId y = netlist.add_cell(nl::CellKind::kBuf, {a});
+  netlist.mark_output(y);
+  EXPECT_THROW(tmap::map_conventional(netlist, 4), std::invalid_argument);
+}
+
+TEST(Mapper, ParamAwareTurnsCoefficientGatingIntoTcons) {
+  // Four partial-product style gates: and(x_i, p_i).
+  nl::Netlist netlist;
+  for (int i = 0; i < 4; ++i) {
+    const nl::NetId x = netlist.add_input("");
+    const nl::NetId p = netlist.add_param("");
+    netlist.mark_output(netlist.add_cell(nl::CellKind::kAnd, {x, p}));
+  }
+  const tmap::MappedNetlist conv = tmap::map_conventional(netlist, 4);
+  const tmap::MappedNetlist param = tmap::tconmap(netlist, 4);
+  EXPECT_EQ(conv.stats().total_luts(), 4u);
+  EXPECT_EQ(conv.stats().tcons, 0u);
+  EXPECT_EQ(param.stats().total_luts(), 0u);
+  EXPECT_EQ(param.stats().tcons, 4u);
+  EXPECT_EQ(param.stats().depth, 0);  // pure routing
+}
+
+class MapperEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperEquivalence, ConventionalMappingPreservesFunction) {
+  vcgra::common::Rng rng(GetParam());
+  const nl::Netlist source =
+      vcgra::netlist::clean(random_comb_circuit(6, 3, 60, rng)).netlist;
+  const tmap::MappedNetlist mapped = tmap::map_conventional(source, 4);
+  vcgra::common::Rng vec_rng(GetParam() ^ 0x1111);
+  expect_equivalent(source, mapped, vec_rng, 40);
+}
+
+TEST_P(MapperEquivalence, ParamAwareMappingPreservesFunction) {
+  vcgra::common::Rng rng(GetParam() ^ 0x2222);
+  const nl::Netlist source =
+      vcgra::netlist::clean(random_comb_circuit(6, 4, 60, rng)).netlist;
+  const tmap::MappedNetlist mapped = tmap::tconmap(source, 4);
+  vcgra::common::Rng vec_rng(GetParam() ^ 0x3333);
+  expect_equivalent(source, mapped, vec_rng, 40);
+}
+
+TEST_P(MapperEquivalence, SpecializedMappingMatchesSpecializedNetlist) {
+  vcgra::common::Rng rng(GetParam() ^ 0x4444);
+  const nl::Netlist source =
+      vcgra::netlist::clean(random_comb_circuit(6, 4, 50, rng)).netlist;
+  const tmap::MappedNetlist mapped = tmap::tconmap(source, 4);
+
+  std::vector<bool> param_values;
+  for (std::size_t i = 0; i < source.params().size(); ++i) {
+    param_values.push_back(rng.next_bool());
+  }
+  const nl::Netlist from_mapped = mapped.specialize(param_values);
+  const nl::Netlist from_source =
+      vcgra::netlist::specialize(source, param_values).netlist;
+
+  nl::Simulator sim_a(from_mapped);
+  nl::Simulator sim_b(from_source);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t bits = rng();
+    for (std::size_t i = 0; i < source.inputs().size(); ++i) {
+      sim_a.set_net(from_mapped.inputs()[i], (bits >> i) & 1);
+      sim_b.set_net(from_source.inputs()[i], (bits >> i) & 1);
+    }
+    sim_a.eval();
+    sim_b.eval();
+    EXPECT_EQ(sim_a.outputs(), sim_b.outputs());
+  }
+}
+
+TEST_P(MapperEquivalence, ParamAwareNeverUsesMoreLuts) {
+  vcgra::common::Rng rng(GetParam() ^ 0x5555);
+  const nl::Netlist source =
+      vcgra::netlist::clean(random_comb_circuit(6, 4, 80, rng)).netlist;
+  const auto conv = tmap::map_conventional(source, 4).stats();
+  const auto param = tmap::tconmap(source, 4).stats();
+  EXPECT_LE(param.total_luts(), conv.total_luts());
+  EXPECT_LE(param.depth, conv.depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperEquivalence,
+                         ::testing::Values(11ULL, 12ULL, 13ULL, 14ULL, 15ULL, 16ULL,
+                                           17ULL, 18ULL, 19ULL, 20ULL));
+
+TEST(MapperSequential, RegistersPassThrough) {
+  nl::Netlist netlist;
+  const nl::NetId a = netlist.add_input("a");
+  const nl::NetId b = netlist.add_input("b");
+  const nl::NetId x = netlist.add_cell(nl::CellKind::kXor, {a, b});
+  const nl::NetId q = netlist.add_dff(x, true);
+  const nl::NetId y = netlist.add_cell(nl::CellKind::kAnd, {q, a});
+  netlist.mark_output(y);
+  const tmap::MappedNetlist mapped = tmap::map_conventional(netlist, 4);
+  ASSERT_EQ(mapped.registers().size(), 1u);
+  EXPECT_EQ(mapped.registers()[0].q, q);
+  EXPECT_EQ(mapped.registers()[0].d, x);
+  EXPECT_TRUE(mapped.registers()[0].init);
+  EXPECT_EQ(mapped.stats().total_luts(), 2u);  // xor LUT + and LUT
+}
+
+TEST(MapperSequential, MacPeStepEquivalence) {
+  // Step the mapped MAC PE against the gate-level simulator for several
+  // cycles; the mapped design must track the accumulator bit-exactly.
+  const sf::FpFormat f = sf::FpFormat::half_like();
+  sf::MacPe pe = sf::build_mac_pe(f, sf::PeStyle::kConventional, 6);
+  const nl::Netlist source = vcgra::netlist::clean(pe.netlist).netlist;
+  const tmap::MappedNetlist mapped = tmap::map_conventional(source, 4);
+
+  nl::Simulator sim(source);
+  // Register state for the mapped side, indexed by source net.
+  std::vector<std::uint8_t> reg_state(source.num_nets(), 0);
+  for (const auto& reg : mapped.registers()) reg_state[reg.q] = reg.init;
+
+  vcgra::common::Rng rng(77);
+  const sf::FpValue coeff = sf::FpValue::from_double(f, 1.25);
+
+  // clean() preserves interface *positions* but renumbers nets: remap each
+  // original bus onto the cleaned netlist's inputs by position.
+  const auto remap_net = [&](nl::NetId original) {
+    const auto& original_inputs = pe.netlist.inputs();
+    const auto it = std::find(original_inputs.begin(), original_inputs.end(), original);
+    if (it == original_inputs.end()) throw std::logic_error("net is not an input");
+    return source.inputs()[static_cast<std::size_t>(it - original_inputs.begin())];
+  };
+  const auto remap = [&](const nl::Bus& bus) {
+    nl::Bus out(bus.size());
+    for (std::size_t i = 0; i < bus.size(); ++i) out[i] = remap_net(bus[i]);
+    return out;
+  };
+  const nl::Bus x_bus = remap(pe.x);
+  const nl::Bus coeff_bus = remap(pe.coeff);
+  const nl::Bus count_bus = remap(pe.count);
+  const nl::NetId enable_net = remap_net(pe.enable);
+
+  const auto set_both = [&](const nl::Bus& bus, std::uint64_t value,
+                            std::vector<std::uint8_t>& ext) {
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+      sim.set_net(bus[i], (value >> i) & 1);
+      ext[bus[i]] = (value >> i) & 1;
+    }
+  };
+
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    std::vector<std::uint8_t> ext = reg_state;
+    const sf::FpValue x = sf::FpValue::from_double(
+        f, (rng.next_double() - 0.5) * 4.0);
+    set_both(x_bus, x.bits(), ext);
+    set_both(coeff_bus, coeff.bits(), ext);
+    set_both(count_bus, 100, ext);
+    sim.set_net(enable_net, true);
+    ext[enable_net] = 1;
+
+    sim.eval();
+    const auto values = mapped.evaluate(ext);
+    for (const nl::NetId po : source.outputs()) {
+      ASSERT_EQ(sim.value(po), values[po] != 0) << "cycle " << cycle;
+    }
+    // Advance registers on both sides.
+    sim.step();
+    for (const auto& reg : mapped.registers()) reg_state[reg.q] = values[reg.d];
+  }
+}
+
+TEST(MapperMacPe, TconmapBeatsConventionalOnTheMacPe) {
+  // The paper's Table I shape on a reduced-width MAC PE: the conventional
+  // realization of the same overlay (TCONs as LUT muxes, TLUT parameter
+  // pins as real pins) costs more LUTs and more depth than the fully
+  // parameterized mapping. The margin grows quadratically with mantissa
+  // width (partial-product array), so this half-width check uses a
+  // conservative 10% bound; the Table I bench runs the full paper format.
+  const sf::FpFormat f = sf::FpFormat::half_like();
+  sf::MacPe pe = sf::build_mac_pe(f, sf::PeStyle::kParameterized, 8);
+  const nl::Netlist source = vcgra::netlist::clean(pe.netlist).netlist;
+
+  const tmap::MappedNetlist param = tmap::tconmap(source, 4);
+  const nl::Netlist conventional = tmap::realize_conventional(param, 4);
+
+  const auto pstats = param.stats();
+  const auto cstats = vcgra::netlist::stats(conventional);
+
+  EXPECT_GT(pstats.tluts, 0u);
+  EXPECT_GT(pstats.tcons, 0u);
+  EXPECT_LT(pstats.total_luts(), cstats.luts);
+  EXPECT_LE(pstats.depth, cstats.depth);
+  EXPECT_LE(pstats.total_luts() * 100, cstats.luts * 90)
+      << "param=" << pstats.to_string() << " conv luts=" << cstats.luts
+      << " conv depth=" << cstats.depth;
+}
+
+TEST(MapperMacPe, ConventionalRealizationIsEquivalent) {
+  // The conventional netlist must compute the same function as the
+  // parameterized overlay for any parameter values.
+  const sf::FpFormat f = sf::FpFormat{4, 7};
+  nl::Netlist source("dot2");
+  nl::NetlistBuilder b(source);
+  const nl::Bus x0 = b.input_bus("x0", f.total_bits());
+  const nl::Bus c0 = b.param_bus("c0", f.total_bits());
+  const nl::Bus y = sf::build_fp_multiplier(b, f, x0, c0);
+  b.mark_output_bus(y);
+  const nl::Netlist cleaned = vcgra::netlist::clean(source).netlist;
+
+  const tmap::MappedNetlist param = tmap::tconmap(cleaned, 4);
+  const nl::Netlist conventional = tmap::realize_conventional(param, 4);
+
+  nl::Simulator sim_src(cleaned);
+  nl::Simulator sim_conv(conventional);
+  vcgra::common::Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (std::size_t i = 0; i < cleaned.inputs().size(); ++i) {
+      const bool v = rng.next_bool();
+      sim_src.set_net(cleaned.inputs()[i], v);
+      sim_conv.set_net(conventional.inputs()[i], v);
+    }
+    // Conventional netlist appends params after inputs.
+    for (std::size_t i = 0; i < cleaned.params().size(); ++i) {
+      const bool v = rng.next_bool();
+      sim_src.set_net(cleaned.params()[i], v);
+      sim_conv.set_net(conventional.inputs()[cleaned.inputs().size() + i], v);
+    }
+    sim_src.eval();
+    sim_conv.eval();
+    EXPECT_EQ(sim_src.outputs(), sim_conv.outputs());
+  }
+}

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/vision/filters.hpp"
+#include "vcgra/vision/image.hpp"
+#include "vcgra/vision/metrics.hpp"
+#include "vcgra/vision/pipeline.hpp"
+#include "vcgra/vision/synthetic.hpp"
+
+namespace vi = vcgra::vision;
+namespace ov = vcgra::overlay;
+
+TEST(Image, BasicAccessAndNormalize) {
+  vi::Image image(4, 3, 0.5f);
+  image.at(2, 1) = 1.5f;
+  image.at(0, 0) = -0.5f;
+  EXPECT_EQ(image.min_value(), -0.5f);
+  EXPECT_EQ(image.max_value(), 1.5f);
+  const vi::Image norm = image.normalized();
+  EXPECT_FLOAT_EQ(norm.min_value(), 0.0f);
+  EXPECT_FLOAT_EQ(norm.max_value(), 1.0f);
+  // Border clamping.
+  EXPECT_EQ(image.sample(-3, -3), image.at(0, 0));
+  EXPECT_EQ(image.sample(100, 100), image.at(3, 2));
+}
+
+TEST(Image, PgmRoundTripHeader) {
+  vi::Image image(8, 4, 0.25f);
+  const std::string path = "/tmp/vcgra_test_image.pgm";
+  image.write_pgm(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fscanf(f, "%2s", magic), 1);
+  EXPECT_STREQ(magic, "P5");
+  int w = 0, h = 0;
+  ASSERT_EQ(std::fscanf(f, "%d %d", &w, &h), 2);
+  EXPECT_EQ(w, 8);
+  EXPECT_EQ(h, 4);
+  std::fclose(f);
+}
+
+TEST(Filters, GaussianKernelNormalizedAndPeaked) {
+  const vi::Kernel kernel = vi::gaussian_kernel(5, 1.0);
+  const double sum =
+      std::accumulate(kernel.weights.begin(), kernel.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Centre is the max.
+  for (const double w : kernel.weights) EXPECT_LE(w, kernel.at(2, 2) + 1e-12);
+  EXPECT_THROW(vi::gaussian_kernel(4, 1.0), std::invalid_argument);
+}
+
+TEST(Filters, MatchedFilterIsZeroMeanOverSupport) {
+  const vi::Kernel kernel = vi::matched_filter_kernel(15, 2.0, 9.0, 30.0);
+  double sum = 0.0;
+  for (const double w : kernel.weights) sum += w;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Filters, MatchedFilterRespondsToOrientedValley) {
+  // Vertical dark line in a bright field: the 90-degree matched filter
+  // (vessel running along y) must respond stronger than the 0-degree one.
+  vi::Image image(31, 31, 1.0f);
+  for (int y = 0; y < 31; ++y) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      image.at(15 + dx, y) = 0.3f;
+    }
+  }
+  const vi::Kernel along = vi::matched_filter_kernel(15, 1.5, 9.0, 90.0);
+  const vi::Kernel across = vi::matched_filter_kernel(15, 1.5, 9.0, 0.0);
+  const vi::Image r_along = vi::convolve(image, along);
+  const vi::Image r_across = vi::convolve(image, across);
+  EXPECT_GT(r_along.at(15, 15), r_across.at(15, 15));
+  EXPECT_GT(r_along.at(15, 15), 0.0f);  // valley detected
+}
+
+TEST(Filters, ConvolveIdentityKernel) {
+  vi::Kernel identity;
+  identity.size = 3;
+  identity.weights.assign(9, 0.0);
+  identity.at(1, 1) = 1.0;
+  vcgra::common::Rng rng(1);
+  vi::Image image(9, 7);
+  for (auto& v : image.data()) v = static_cast<float>(rng.next_double());
+  const vi::Image out = vi::convolve(image, identity);
+  for (std::size_t i = 0; i < image.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], image.data()[i]);
+  }
+}
+
+TEST(Filters, OverlayConvolutionMatchesSoftwareClosely) {
+  vcgra::common::Rng rng(2);
+  vi::Image image(24, 24);
+  for (auto& v : image.data()) v = static_cast<float>(rng.next_double());
+  const vi::Kernel kernel = vi::gaussian_kernel(5, 1.2);
+  ov::OverlayArch arch;
+  const vi::Image reference = vi::convolve(image, kernel);
+  const vi::OverlayConvResult overlay = vi::convolve_overlay(image, kernel, arch);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < reference.data().size(); ++i) {
+    max_err = std::max(max_err, std::fabs(static_cast<double>(
+                                    reference.data()[i] - overlay.output.data()[i])));
+  }
+  // 26-bit mantissa: tiny rounding differences only.
+  EXPECT_LT(max_err, 1e-5);
+  EXPECT_EQ(overlay.macs, 24u * 24u * 25u);
+  EXPECT_EQ(overlay.passes, (25 + arch.num_pes() - 1) / arch.num_pes());
+  EXPECT_GT(overlay.cycles, 0u);
+}
+
+TEST(Filters, OverlayPassCountScalesWithKernel) {
+  vi::Image image(8, 8, 0.5f);
+  ov::OverlayArch arch;  // 16 PEs
+  const auto small = vi::convolve_overlay(image, vi::gaussian_kernel(3, 1.0), arch);
+  const auto large = vi::convolve_overlay(image, vi::gaussian_kernel(9, 2.0), arch);
+  EXPECT_EQ(small.passes, 1);   // 9 taps on 16 PEs
+  EXPECT_EQ(large.passes, 6);   // 81 taps -> 6 loads
+  EXPECT_GT(large.cycles, small.cycles);
+}
+
+TEST(Filters, ThresholdAndOtsu) {
+  vi::Image image(16, 16, 0.2f);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) image.at(x, y) = 0.8f;
+  }
+  const float level = vi::otsu_level(image);
+  EXPECT_GT(level, 0.2f);
+  EXPECT_LT(level, 0.8f);
+  const vi::Mask mask = vi::threshold(image, level);
+  for (int y = 0; y < 16; ++y) {
+    EXPECT_EQ(mask.at(0, y), 0.0f);
+    EXPECT_EQ(mask.at(15, y), 1.0f);
+  }
+}
+
+TEST(Metrics, ConfusionCounts) {
+  vi::Mask pred(2, 2), truth(2, 2), region(2, 2, 1.0f);
+  pred.at(0, 0) = 1;
+  truth.at(0, 0) = 1;  // TP
+  pred.at(1, 0) = 1;
+  truth.at(1, 0) = 0;  // FP
+  pred.at(0, 1) = 0;
+  truth.at(0, 1) = 1;  // FN
+  // (1,1): TN
+  const auto metrics = vi::evaluate_segmentation(pred, truth, region);
+  EXPECT_EQ(metrics.true_positive, 1u);
+  EXPECT_EQ(metrics.false_positive, 1u);
+  EXPECT_EQ(metrics.false_negative, 1u);
+  EXPECT_EQ(metrics.true_negative, 1u);
+  EXPECT_NEAR(metrics.dice(), 2.0 / 4.0, 1e-9);
+  EXPECT_NEAR(metrics.accuracy(), 0.5, 1e-9);
+}
+
+TEST(Metrics, RegionMaskExcludesPixels) {
+  vi::Mask pred(2, 1, 1.0f), truth(2, 1, 0.0f), region(2, 1, 0.0f);
+  region.at(0, 0) = 1.0f;
+  const auto metrics = vi::evaluate_segmentation(pred, truth, region);
+  EXPECT_EQ(metrics.false_positive, 1u);
+  EXPECT_EQ(metrics.true_negative + metrics.true_positive + metrics.false_negative,
+            0u);
+}
+
+TEST(Synthetic, GeneratesPlausibleFundus) {
+  vcgra::common::Rng rng(7);
+  vi::FundusParams params;
+  params.width = 128;
+  params.height = 128;
+  const vi::FundusImage fundus = vi::generate_fundus(params, rng);
+  // Field of view covers a sensible fraction.
+  double fov = 0.0, vessels = 0.0;
+  for (const float v : fundus.field_of_view.data()) fov += v;
+  for (const float v : fundus.ground_truth.data()) vessels += v;
+  const double total = 128.0 * 128.0;
+  EXPECT_GT(fov / total, 0.4);
+  EXPECT_LT(fov / total, 0.9);
+  // Vessels occupy a few percent of the image.
+  EXPECT_GT(vessels / total, 0.005);
+  EXPECT_LT(vessels / total, 0.30);
+  // Vessels are darker than their surroundings in the green channel.
+  const vi::Image green = fundus.rgb.channel(1);
+  double vessel_sum = 0, vessel_count = 0, bg_sum = 0, bg_count = 0;
+  for (int y = 0; y < 128; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      if (fundus.field_of_view.at(x, y) < 0.5f) continue;
+      if (fundus.ground_truth.at(x, y) >= 0.5f) {
+        vessel_sum += green.at(x, y);
+        ++vessel_count;
+      } else {
+        bg_sum += green.at(x, y);
+        ++bg_count;
+      }
+    }
+  }
+  ASSERT_GT(vessel_count, 0);
+  ASSERT_GT(bg_count, 0);
+  EXPECT_LT(vessel_sum / vessel_count, bg_sum / bg_count - 0.05);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  vi::FundusParams params;
+  params.width = 64;
+  params.height = 64;
+  vcgra::common::Rng rng_a(42), rng_b(42);
+  const auto a = vi::generate_fundus(params, rng_a);
+  const auto b = vi::generate_fundus(params, rng_b);
+  EXPECT_EQ(a.ground_truth.data(), b.ground_truth.data());
+}
+
+TEST(Pipeline, HistogramEqualizationSpreadsValues) {
+  vi::Image image(32, 32, 0.0f);
+  vi::Mask fov(32, 32, 1.0f);
+  vcgra::common::Rng rng(3);
+  for (auto& v : image.data()) {
+    v = 0.4f + 0.1f * static_cast<float>(rng.next_double());  // compressed range
+  }
+  const vi::Image eq = vi::equalize_histogram(image, fov);
+  EXPECT_GT(eq.max_value() - eq.min_value(), 0.8f);
+}
+
+TEST(Pipeline, EndToEndSegmentationBeatsGlobalThresholdBaseline) {
+  vcgra::common::Rng rng(11);
+  vi::FundusParams fparams;
+  fparams.width = 160;
+  fparams.height = 160;
+  const vi::FundusImage fundus = vi::generate_fundus(fparams, rng);
+
+  vi::PipelineParams params;
+  const vi::PipelineResult result =
+      vi::run_pipeline(fundus.rgb, fundus.field_of_view, params);
+  const auto metrics = vi::evaluate_segmentation(
+      result.stages.segmented, fundus.ground_truth, fundus.field_of_view);
+
+  // Baseline: Otsu global threshold on the inverted green channel.
+  const vi::Image green = fundus.rgb.channel(1);
+  vi::Image inverted(green.width(), green.height());
+  for (std::size_t i = 0; i < green.data().size(); ++i) {
+    inverted.data()[i] = 1.0f - green.data()[i];
+  }
+  const vi::Mask baseline =
+      vi::threshold(inverted, vi::otsu_level(inverted));
+  const auto baseline_metrics = vi::evaluate_segmentation(
+      baseline, fundus.ground_truth, fundus.field_of_view);
+
+  EXPECT_GT(metrics.dice(), baseline_metrics.dice())
+      << "pipeline " << metrics.to_string() << " vs baseline "
+      << baseline_metrics.to_string();
+  EXPECT_GT(metrics.dice(), 0.3) << metrics.to_string();
+  EXPECT_GT(metrics.specificity(), 0.85) << metrics.to_string();
+  EXPECT_EQ(result.cost.filters_applied, 1 + params.orientations + 4);
+}
+
+TEST(Pipeline, OverlayEngineTracksCosts) {
+  vcgra::common::Rng rng(13);
+  vi::FundusParams fparams;
+  fparams.width = 64;
+  fparams.height = 64;
+  const vi::FundusImage fundus = vi::generate_fundus(fparams, rng);
+  vi::PipelineParams params;
+  params.matched_size = 9;
+  params.texture_size = 9;
+  ov::OverlayArch arch;
+  const vi::PipelineResult result =
+      vi::run_pipeline_overlay(fundus.rgb, fundus.field_of_view, params, arch);
+  EXPECT_GT(result.cost.macs, 0u);
+  EXPECT_GT(result.cost.cycles, 0u);
+  EXPECT_GT(result.cost.reconfigurations, 0);
+  // MAC count: pixels x taps summed over all filters.
+  const std::uint64_t pixels = 64 * 64;
+  const std::uint64_t expected =
+      pixels * (static_cast<std::uint64_t>(params.denoise_size * params.denoise_size) +
+                static_cast<std::uint64_t>(params.orientations) * 9 * 9 + 4 * 9 * 9);
+  EXPECT_EQ(result.cost.macs, expected);
+}

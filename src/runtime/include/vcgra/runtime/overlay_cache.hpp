@@ -1,0 +1,87 @@
+// Compiled-overlay cache.
+//
+// The paper's tool flow compiles a kernel in milliseconds — fast enough
+// to do online, far too slow to repeat per request once the same kernels
+// arrive millions of times. The cache keys a Compiled artifact by kernel
+// text + overlay architecture + placer seed and hands out shared_ptr
+// handles, so a hit skips the synth/map/place/route flow entirely and an
+// LRU eviction can never dangle an executor that is still simulating on
+// the evicted overlay.
+//
+// Concurrent misses for the same key are coalesced: the first caller
+// compiles, later callers block on its shared_future instead of burning
+// a second compile (and instead of holding the cache lock).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "vcgra/runtime/stats.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+
+namespace vcgra::runtime {
+
+/// Canonical text form of every architecture field that changes compile
+/// results; two archs with equal signatures are interchangeable keys.
+std::string arch_signature(const overlay::OverlayArch& arch);
+
+/// Canonical cache/scheduler key of (kernel text, arch, seed): equal keys
+/// mean an identical Compiled artifact (compilation is deterministic).
+std::string overlay_key(const std::string& kernel_text,
+                        const overlay::OverlayArch& arch, std::uint64_t seed);
+
+class OverlayCache {
+ public:
+  explicit OverlayCache(std::size_t capacity);
+
+  /// Return the compiled overlay for (kernel, arch, seed), compiling on a
+  /// miss. `hit` and `compile_seconds` (time this call spent compiling;
+  /// zero on a hit or an in-flight join) are optional out-params.
+  /// Compile failures propagate as exceptions and are not cached.
+  std::shared_ptr<const overlay::Compiled> get_or_compile(
+      const std::string& kernel_text, const overlay::OverlayArch& arch,
+      std::uint64_t seed = 1, bool* hit = nullptr,
+      double* compile_seconds = nullptr);
+
+  /// Same, with the overlay_key() already computed by the caller — the
+  /// service builds it at submit time, so the hot hit path skips
+  /// re-deriving it. `key` must equal overlay_key(kernel_text, arch, seed).
+  std::shared_ptr<const overlay::Compiled> get_or_compile_keyed(
+      const std::string& key, const std::string& kernel_text,
+      const overlay::OverlayArch& arch, std::uint64_t seed, bool* hit = nullptr,
+      double* compile_seconds = nullptr);
+
+  /// Lookup without compiling; nullptr on a miss (does not count in stats).
+  std::shared_ptr<const overlay::Compiled> peek(const std::string& kernel_text,
+                                                const overlay::OverlayArch& arch,
+                                                std::uint64_t seed = 1) const;
+
+  void clear();
+  CacheStats stats() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const overlay::Compiled> compiled;
+  };
+  using LruList = std::list<Entry>;
+
+  std::shared_ptr<const overlay::Compiled> lookup_locked(const std::string& key);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const overlay::Compiled>>>
+      inflight_;
+  CacheStats stats_;
+};
+
+}  // namespace vcgra::runtime

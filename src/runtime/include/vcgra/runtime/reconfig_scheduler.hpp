@@ -1,0 +1,132 @@
+// Reconfiguration-aware scheduling over N virtual grid instances.
+//
+// The fully parameterized overlay pays for kernel swaps in SCG time:
+// every PE whose settings change costs PPC evaluation plus dirty-frame
+// micro-reconfiguration (~hundreds of ms per PE over HWICAP, §V). A
+// service running several virtual grids therefore wants kernel-affinity
+// placement: send a job to the instance whose currently-loaded
+// configuration is cheapest to turn into the job's configuration —
+// ideally one already holding it, which costs nothing.
+//
+// Two cost models are provided. RegisterDiffCostModel is a fast proxy
+// (changed settings-register words x bus-write time, the conventional
+// backend's currency). ScgCostModel is the paper's model: it builds the
+// ParameterizedBackend (TCONMAP + PPC over the real MAC PE) once per
+// architecture and prices a swap as PPC evaluation + HWICAP frame
+// rewrites of the PEs that actually changed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <condition_variable>
+
+#include "vcgra/runtime/stats.hpp"
+#include "vcgra/vcgra/backend.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+
+namespace vcgra::runtime {
+
+class ReconfigCostModel {
+ public:
+  virtual ~ReconfigCostModel() = default;
+
+  /// Modeled seconds to respecialize a grid currently holding `from`
+  /// (nullptr = blank fabric) into `to`. Must be deterministic.
+  virtual double switch_seconds(const overlay::Compiled* from,
+                                const overlay::Compiled& to) = 0;
+};
+
+/// Proxy model: count settings-register words that differ and charge one
+/// conventional bus write per changed word.
+class RegisterDiffCostModel final : public ReconfigCostModel {
+ public:
+  explicit RegisterDiffCostModel(double word_write_seconds = 100e-9)
+      : word_write_seconds_(word_write_seconds) {}
+  double switch_seconds(const overlay::Compiled* from,
+                        const overlay::Compiled& to) override;
+
+ private:
+  double word_write_seconds_;
+};
+
+/// The pconf/SCG model (micro-reconfiguration through HWICAP).
+/// ParameterizedBackend construction is expensive (TCONMAP over the MAC
+/// PE netlist), so backends are built lazily and shared per architecture.
+class ScgCostModel final : public ReconfigCostModel {
+ public:
+  explicit ScgCostModel(fpga::FrameModel frames = {}) : frames_(frames) {}
+  double switch_seconds(const overlay::Compiled* from,
+                        const overlay::Compiled& to) override;
+
+ private:
+  const overlay::ParameterizedBackend& backend_for(const overlay::OverlayArch& arch);
+
+  fpga::FrameModel frames_;
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<overlay::ParameterizedBackend>> backends_;
+};
+
+struct Assignment {
+  int instance = -1;
+  bool reconfigured = false;       // the instance had to load a new overlay
+  double reconfig_seconds = 0;     // modeled cost of that load (0 when avoided)
+};
+
+class ReconfigScheduler {
+ public:
+  /// `instances` < 1 is clamped to 1. The cost model must outlive the
+  /// scheduler and be safe to call from several threads.
+  ReconfigScheduler(int instances, std::shared_ptr<ReconfigCostModel> cost_model);
+
+  /// Block until an instance is free, then pick: an instance already
+  /// holding `compiled` (free swap), else a blank instance (populate the
+  /// grid before evicting warm configurations), else the free instance
+  /// whose loaded configuration is cheapest to respecialize into
+  /// `compiled` (index as tie-break). `config_key` is the canonical
+  /// overlay key; equal keys mean equal configurations. Pair with
+  /// release().
+  Assignment acquire(const std::string& config_key,
+                     const std::shared_ptr<const overlay::Compiled>& compiled);
+
+  void release(int instance);
+
+  /// True when some currently-free instance already holds `config_key`.
+  /// Point query for external callers/tests; the service's batch scheduler
+  /// instead snapshots free_loaded_keys() once per scan window.
+  bool free_instance_holds(const std::string& config_key) const;
+
+  /// Snapshot of the configurations loaded on currently-free instances
+  /// (one lock, one scan) — lets the batch scheduler match a whole queue
+  /// window without re-locking per queued job.
+  std::vector<std::string> free_loaded_keys() const;
+
+  int instances() const { return static_cast<int>(grid_.size()); }
+  SchedulerStats stats() const;
+
+ private:
+  struct Instance {
+    std::string loaded_key;  // empty = blank fabric
+    std::shared_ptr<const overlay::Compiled> loaded;
+    bool busy = false;
+    std::uint64_t jobs = 0;
+  };
+
+  /// Memoized cost-model call; key pair ("" = blank) -> seconds.
+  double switch_cost_locked(const Instance& instance, const std::string& to_key,
+                            const overlay::Compiled& to);
+
+  std::shared_ptr<ReconfigCostModel> cost_model_;
+  mutable std::mutex mutex_;
+  std::condition_variable free_cv_;
+  std::vector<Instance> grid_;
+  std::map<std::pair<std::string, std::string>, double> cost_memo_;
+  SchedulerStats stats_;
+};
+
+}  // namespace vcgra::runtime

@@ -1,0 +1,169 @@
+// OverlayService — the runtime facade over the VCGRA tool flow.
+//
+// Clients submit jobs (kernel text + overlay architecture + input
+// streams) and get a future. Internally a job flows through:
+//
+//   OverlayCache        hit -> reuse the Compiled artifact (no tool flow)
+//        |              miss -> synth/map/place/route once, share forever
+//   ReconfigScheduler   pick the virtual grid instance whose loaded
+//        |              configuration is cheapest to respecialize
+//   ExecutorPool        run the cycle-level Simulator on a worker thread
+//
+// Determinism: placement is seeded per job (JobRequest::seed feeds the
+// compiler's annealer) and simulation is pure, so results are bit-exact
+// regardless of thread count, instance count or cache state — asserted
+// by test_runtime and bench_runtime.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vcgra/common/timer.hpp"
+#include "vcgra/runtime/executor_pool.hpp"
+#include "vcgra/runtime/overlay_cache.hpp"
+#include "vcgra/runtime/reconfig_scheduler.hpp"
+#include "vcgra/runtime/stats.hpp"
+#include "vcgra/vcgra/simulator.hpp"
+
+namespace vcgra::runtime {
+
+struct JobRequest {
+  std::string kernel_text;
+  overlay::OverlayArch arch;
+  /// Input streams keyed by DFG input name; all streams share one length.
+  std::map<std::string, std::vector<double>> inputs;
+  /// Placer seed. Part of the cache key, so equal seeds mean one compile
+  /// and bit-identical placement whatever the execution interleaving.
+  std::uint64_t seed = 1;
+};
+
+struct JobResult {
+  overlay::RunResult run;
+  bool cache_hit = false;
+  int instance = -1;            // virtual grid instance that executed the job
+  bool reconfigured = false;    // that instance had to load a new overlay
+  double compile_seconds = 0;   // tool-flow time this job paid (0 on a hit)
+  double reconfig_seconds = 0;  // modeled fabric respecialization cost
+  double exec_seconds = 0;      // simulator time
+  double latency_seconds = 0;   // submit -> result ready
+};
+
+struct ServiceOptions {
+  int threads = 0;              // executor width; 0 = hardware concurrency
+  int virtual_instances = 0;    // modeled grids; 0 = same as threads
+  std::size_t cache_capacity = 128;
+  enum class CostModel { kRegisterDiff, kScg };
+  CostModel cost_model = CostModel::kRegisterDiff;
+  overlay::SimOptions sim;
+  /// How many queued jobs the batch scheduler scans for one whose overlay
+  /// is already loaded on a free instance before falling back to FIFO.
+  std::size_t schedule_scan_window = 32;
+};
+
+class OverlayService {
+ public:
+  explicit OverlayService(const ServiceOptions& options = {});
+
+  /// Waits for every submitted job to finish.
+  ~OverlayService();
+
+  OverlayService(const OverlayService&) = delete;
+  OverlayService& operator=(const OverlayService&) = delete;
+
+  /// Enqueue a job; the future carries the JobResult or the compile /
+  /// simulation exception.
+  std::future<JobResult> submit(JobRequest request);
+
+  /// Synchronous convenience (still goes through cache + scheduler).
+  JobResult run(JobRequest request);
+
+  /// Run an arbitrary accelerator task on the executor pool with service
+  /// latency/throughput accounting. Used by clients whose work is modeled
+  /// whole-filter (the vision pipeline) rather than per kernel text.
+  template <typename Fn>
+  auto submit_task(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    note_task_submitted();
+    common::WallTimer since_submit;
+    return pool_.submit(
+        [this, since_submit, fn = std::forward<Fn>(fn)]() mutable {
+          try {
+            if constexpr (std::is_void_v<std::invoke_result_t<std::decay_t<Fn>>>) {
+              fn();
+              note_task_completed(since_submit.seconds());
+            } else {
+              auto result = fn();
+              note_task_completed(since_submit.seconds());
+              return result;
+            }
+          } catch (...) {
+            note_task_failed();
+            throw;  // reaches the caller through the future
+          }
+        });
+  }
+
+  /// Block until every queued job has completed.
+  void wait_idle();
+
+  ServiceStats stats() const;
+
+  OverlayCache& cache() { return cache_; }
+  ReconfigScheduler& scheduler() { return scheduler_; }
+  ExecutorPool& executor() { return pool_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct PendingJob {
+    JobRequest request;
+    std::string config_key;
+    std::promise<JobResult> promise;
+    common::WallTimer since_submit;
+    int deferrals = 0;  // times batch reordering bypassed this job at the head
+  };
+
+  /// After this many bypasses the queue head runs next regardless of
+  /// overlay affinity (starvation bound for the batch scheduler).
+  static constexpr int kMaxHeadDeferrals = 64;
+
+  /// Latency samples kept for percentile estimation (most recent wins);
+  /// bounds stats memory on long-lived services.
+  static constexpr std::size_t kLatencyWindow = 16384;
+
+  static ServiceOptions normalize(ServiceOptions options);
+  void drain_one();
+  JobResult execute(PendingJob& job);
+  void record_result(const JobResult& result);
+  void note_task_submitted();
+  void note_task_completed(double latency_seconds);
+  void note_task_failed();
+  void record_latency_locked(double latency_seconds);
+
+  const ServiceOptions options_;
+  OverlayCache cache_;
+  ReconfigScheduler scheduler_;
+
+  mutable std::mutex mutex_;
+  std::deque<std::unique_ptr<PendingJob>> pending_;
+  std::vector<double> latencies_;  // ring of the last kLatencyWindow samples
+  std::size_t latency_next_ = 0;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t tasks_submitted_ = 0;
+  std::uint64_t tasks_completed_ = 0;
+  std::uint64_t tasks_failed_ = 0;
+  double exec_seconds_total_ = 0;
+  common::WallTimer lifetime_;
+
+  // Destroyed first (reverse member order): joins workers while the
+  // cache and scheduler they use are still alive.
+  ExecutorPool pool_;
+};
+
+}  // namespace vcgra::runtime

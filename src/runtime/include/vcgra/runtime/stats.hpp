@@ -1,0 +1,64 @@
+// Metrics block of the overlay runtime service.
+//
+// Everything a capacity planner needs from one number dump: how much
+// compile work the cache absorbed, how the executor pool kept up
+// (latency percentiles, jobs/sec) and how much fabric respecialization
+// the reconfiguration-aware scheduler avoided.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcgra::runtime {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inflight_joins = 0;  // misses coalesced onto a running compile
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+  double compile_seconds = 0;  // total time spent in the synth/map/place/route flow
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+  std::string to_string() const;
+};
+
+struct SchedulerStats {
+  std::uint64_t assignments = 0;
+  std::uint64_t reconfigurations = 0;          // instance had a different overlay loaded
+  std::uint64_t reconfigurations_avoided = 0;  // instance already held the overlay
+  double modeled_reconfig_seconds = 0;         // SCG + frame-write time the fabric would spend
+  double avoided_reconfig_seconds = 0;         // ... that affinity placement saved
+
+  std::string to_string() const;
+};
+
+struct ServiceStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t tasks_submitted = 0;  // submit_task() work (e.g. vision filters)
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_failed = 0;
+  CacheStats cache;
+  SchedulerStats scheduler;
+  double p50_latency_seconds = 0;  // submit -> result ready
+  double p99_latency_seconds = 0;
+  double max_latency_seconds = 0;
+  double exec_seconds = 0;   // total simulator time across workers
+  double wall_seconds = 0;   // service lifetime so far
+  double jobs_per_second = 0;  // completed jobs + tasks per wall second
+
+  std::string to_string() const;
+};
+
+/// Percentile over an unsorted sample set (nearest-rank); 0 when empty.
+double percentile(std::vector<double> samples, double fraction);
+
+}  // namespace vcgra::runtime

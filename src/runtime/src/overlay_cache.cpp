@@ -1,0 +1,137 @@
+#include "vcgra/runtime/overlay_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/timer.hpp"
+
+namespace vcgra::runtime {
+
+std::string arch_signature(const overlay::OverlayArch& arch) {
+  return common::strprintf(
+      "%dx%d t%d s%d c%d fp(%d,%d) pe[%d%d%d%d%d]", arch.rows, arch.cols,
+      arch.tracks, arch.settings_bits, arch.counter_bits, arch.format.we,
+      arch.format.wf, arch.pe.mul ? 1 : 0, arch.pe.add ? 1 : 0,
+      arch.pe.sub ? 1 : 0, arch.pe.mac ? 1 : 0, arch.pe.pass ? 1 : 0);
+}
+
+std::string overlay_key(const std::string& kernel_text,
+                        const overlay::OverlayArch& arch, std::uint64_t seed) {
+  return arch_signature(arch) +
+         common::strprintf("|seed=%llu|", static_cast<unsigned long long>(seed)) +
+         kernel_text;
+}
+
+OverlayCache::OverlayCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  stats_.capacity = capacity_;
+}
+
+std::shared_ptr<const overlay::Compiled> OverlayCache::lookup_locked(
+    const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  // Refresh LRU position.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->compiled;
+}
+
+std::shared_ptr<const overlay::Compiled> OverlayCache::peek(
+    const std::string& kernel_text, const overlay::OverlayArch& arch,
+    std::uint64_t seed) const {
+  const std::string key = overlay_key(kernel_text, arch, seed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second->compiled;
+}
+
+std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_compile(
+    const std::string& kernel_text, const overlay::OverlayArch& arch,
+    std::uint64_t seed, bool* hit, double* compile_seconds) {
+  return get_or_compile_keyed(overlay_key(kernel_text, arch, seed), kernel_text,
+                              arch, seed, hit, compile_seconds);
+}
+
+std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_compile_keyed(
+    const std::string& key, const std::string& kernel_text,
+    const overlay::OverlayArch& arch, std::uint64_t seed, bool* hit,
+    double* compile_seconds) {
+  if (hit) *hit = false;
+  if (compile_seconds) *compile_seconds = 0;
+
+  std::shared_future<std::shared_ptr<const overlay::Compiled>> join;
+  std::promise<std::shared_ptr<const overlay::Compiled>> mine;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto cached = lookup_locked(key)) {
+      ++stats_.hits;
+      if (hit) *hit = true;
+      return cached;
+    }
+    const auto inflight = inflight_.find(key);
+    if (inflight != inflight_.end()) {
+      ++stats_.misses;
+      ++stats_.inflight_joins;
+      join = inflight->second;
+    } else {
+      ++stats_.misses;
+      inflight_.emplace(key, mine.get_future().share());
+    }
+  }
+
+  if (join.valid()) {
+    // Another thread is compiling this key; wait without holding the lock.
+    return join.get();
+  }
+
+  // We own the compile for this key.
+  common::WallTimer timer;
+  std::shared_ptr<const overlay::Compiled> compiled;
+  try {
+    compiled = std::make_shared<const overlay::Compiled>(
+        overlay::compile_kernel(kernel_text, arch, seed));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    mine.set_exception(std::current_exception());
+    throw;
+  }
+  const double elapsed = timer.seconds();
+  if (compile_seconds) *compile_seconds = elapsed;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.compile_seconds += elapsed;
+    inflight_.erase(key);
+    if (index_.find(key) == index_.end()) {
+      lru_.push_front(Entry{key, compiled});
+      index_[key] = lru_.begin();
+      while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+    stats_.entries = lru_.size();
+  }
+  mine.set_value(compiled);
+  return compiled;
+}
+
+void OverlayCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+CacheStats OverlayCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  snapshot.capacity = capacity_;
+  return snapshot;
+}
+
+}  // namespace vcgra::runtime

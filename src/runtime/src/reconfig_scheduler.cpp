@@ -1,0 +1,170 @@
+#include "vcgra/runtime/reconfig_scheduler.hpp"
+
+#include <algorithm>
+
+#include "vcgra/runtime/overlay_cache.hpp"
+
+namespace vcgra::runtime {
+
+double RegisterDiffCostModel::switch_seconds(const overlay::Compiled* from,
+                                             const overlay::Compiled& to) {
+  const std::vector<std::uint32_t> to_words = to.settings.register_words(to.arch);
+  if (from == nullptr || arch_signature(from->arch) != arch_signature(to.arch)) {
+    // Blank fabric (or a different grid entirely): every word is written.
+    return static_cast<double>(to_words.size()) * word_write_seconds_;
+  }
+  const std::vector<std::uint32_t> from_words =
+      from->settings.register_words(from->arch);
+  const std::size_t common_words = std::min(from_words.size(), to_words.size());
+  std::size_t changed = std::max(from_words.size(), to_words.size()) - common_words;
+  for (std::size_t i = 0; i < common_words; ++i) {
+    if (from_words[i] != to_words[i]) ++changed;
+  }
+  return static_cast<double>(changed) * word_write_seconds_;
+}
+
+const overlay::ParameterizedBackend& ScgCostModel::backend_for(
+    const overlay::OverlayArch& arch) {
+  const std::string signature = arch_signature(arch);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = backends_[signature];
+  if (!slot) {
+    slot = std::make_unique<overlay::ParameterizedBackend>(arch, frames_);
+  }
+  return *slot;
+}
+
+double ScgCostModel::switch_seconds(const overlay::Compiled* from,
+                                    const overlay::Compiled& to) {
+  const overlay::ParameterizedBackend& backend = backend_for(to.arch);
+  if (from == nullptr || arch_signature(from->arch) != arch_signature(to.arch)) {
+    return backend.full_config_cost(to.settings).hwicap_seconds;
+  }
+  return backend.reconfigure_cost(from->settings, to.settings).hwicap_seconds;
+}
+
+ReconfigScheduler::ReconfigScheduler(int instances,
+                                     std::shared_ptr<ReconfigCostModel> cost_model)
+    : cost_model_(std::move(cost_model)),
+      grid_(static_cast<std::size_t>(std::max(1, instances))) {}
+
+double ReconfigScheduler::switch_cost_locked(const Instance& instance,
+                                             const std::string& to_key,
+                                             const overlay::Compiled& to) {
+  const auto memo_key = std::make_pair(instance.loaded_key, to_key);
+  const auto memo = cost_memo_.find(memo_key);
+  if (memo != cost_memo_.end()) return memo->second;
+  // Cost models can be slow on first use (the SCG one builds the PPC);
+  // the memo makes that a once-per-pair event. The memo is bounded: keys
+  // embed full kernel texts and pairs grow O(K^2) in distinct kernels, so
+  // a long-lived service would otherwise leak. Dropping it wholesale is
+  // safe — entries are pure recomputable values.
+  constexpr std::size_t kMemoLimit = 4096;
+  if (cost_memo_.size() >= kMemoLimit) cost_memo_.clear();
+  const double seconds = cost_model_->switch_seconds(
+      instance.loaded ? instance.loaded.get() : nullptr, to);
+  cost_memo_.emplace(memo_key, seconds);
+  return seconds;
+}
+
+Assignment ReconfigScheduler::acquire(
+    const std::string& config_key,
+    const std::shared_ptr<const overlay::Compiled>& compiled) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  free_cv_.wait(lock, [this]() {
+    return std::any_of(grid_.begin(), grid_.end(),
+                       [](const Instance& g) { return !g.busy; });
+  });
+
+  // Selection policy, in order:
+  //   1. an instance already holding this overlay — the swap is free;
+  //   2. a blank instance — populating the grid costs a full configuration
+  //      now but preserves warm configurations other jobs will return to
+  //      (a myopic min-cost rule would diff onto a warm instance, since a
+  //      diff is always cheaper than a blank load, and thrash it forever);
+  //   3. the loaded instance with the cheapest modeled respecialization.
+  int best = -1;
+  double best_cost = 0;
+  int blank = -1;
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    Instance& instance = grid_[i];
+    if (instance.busy) continue;
+    if (instance.loaded_key == config_key) {
+      best = static_cast<int>(i);
+      best_cost = 0;
+      blank = -1;
+      break;
+    }
+    if (instance.loaded_key.empty()) {
+      if (blank < 0) blank = static_cast<int>(i);
+      continue;
+    }
+    if (blank >= 0) continue;  // a blank instance already outranks diffs
+    const double cost = switch_cost_locked(instance, config_key, *compiled);
+    if (best < 0 || cost < best_cost) {
+      best = static_cast<int>(i);
+      best_cost = cost;
+    }
+  }
+  if (blank >= 0) {
+    best = blank;
+    Instance blank_state;
+    best_cost = switch_cost_locked(blank_state, config_key, *compiled);
+  }
+
+  Instance& chosen = grid_[static_cast<std::size_t>(best)];
+  Assignment assignment;
+  assignment.instance = best;
+  assignment.reconfigured = chosen.loaded_key != config_key;
+  assignment.reconfig_seconds = assignment.reconfigured ? best_cost : 0;
+
+  ++stats_.assignments;
+  if (assignment.reconfigured) {
+    ++stats_.reconfigurations;
+    stats_.modeled_reconfig_seconds += assignment.reconfig_seconds;
+  } else {
+    ++stats_.reconfigurations_avoided;
+    // Counterfactual: the respecialization a blank grid would have paid.
+    Instance blank;
+    stats_.avoided_reconfig_seconds +=
+        switch_cost_locked(blank, config_key, *compiled);
+  }
+
+  chosen.loaded_key = config_key;
+  chosen.loaded = compiled;
+  chosen.busy = true;
+  ++chosen.jobs;
+  return assignment;
+}
+
+void ReconfigScheduler::release(int instance) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (instance < 0 || instance >= static_cast<int>(grid_.size())) return;
+    grid_[static_cast<std::size_t>(instance)].busy = false;
+  }
+  free_cv_.notify_one();
+}
+
+bool ReconfigScheduler::free_instance_holds(const std::string& config_key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(grid_.begin(), grid_.end(), [&](const Instance& g) {
+    return !g.busy && g.loaded_key == config_key;
+  });
+}
+
+std::vector<std::string> ReconfigScheduler::free_loaded_keys() const {
+  std::vector<std::string> keys;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Instance& g : grid_) {
+    if (!g.busy && !g.loaded_key.empty()) keys.push_back(g.loaded_key);
+  }
+  return keys;
+}
+
+SchedulerStats ReconfigScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace vcgra::runtime

@@ -1,0 +1,211 @@
+#include "vcgra/runtime/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace vcgra::runtime {
+
+namespace {
+
+std::shared_ptr<ReconfigCostModel> make_cost_model(
+    ServiceOptions::CostModel kind) {
+  if (kind == ServiceOptions::CostModel::kScg) {
+    return std::make_shared<ScgCostModel>();
+  }
+  return std::make_shared<RegisterDiffCostModel>();
+}
+
+/// Releases a scheduler instance on every exit path of execute().
+class InstanceLease {
+ public:
+  InstanceLease(ReconfigScheduler& scheduler, int instance)
+      : scheduler_(scheduler), instance_(instance) {}
+  ~InstanceLease() { scheduler_.release(instance_); }
+  InstanceLease(const InstanceLease&) = delete;
+  InstanceLease& operator=(const InstanceLease&) = delete;
+
+ private:
+  ReconfigScheduler& scheduler_;
+  int instance_;
+};
+
+}  // namespace
+
+ServiceOptions OverlayService::normalize(ServiceOptions options) {
+  if (options.threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options.threads = hw ? static_cast<int>(hw) : 4;
+  }
+  if (options.virtual_instances <= 0) {
+    options.virtual_instances = options.threads;
+  }
+  if (options.cache_capacity == 0) options.cache_capacity = 1;
+  return options;
+}
+
+OverlayService::OverlayService(const ServiceOptions& options)
+    : options_(normalize(options)),
+      cache_(options_.cache_capacity),
+      scheduler_(options_.virtual_instances, make_cost_model(options_.cost_model)),
+      pool_(options_.threads) {}
+
+OverlayService::~OverlayService() { wait_idle(); }
+
+std::future<JobResult> OverlayService::submit(JobRequest request) {
+  auto job = std::make_unique<PendingJob>();
+  job->config_key = overlay_key(request.kernel_text, request.arch, request.seed);
+  job->request = std::move(request);
+  std::future<JobResult> future = job->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++jobs_submitted_;
+    pending_.push_back(std::move(job));
+  }
+  pool_.submit_detached([this]() { drain_one(); });
+  return future;
+}
+
+JobResult OverlayService::run(JobRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void OverlayService::wait_idle() { pool_.wait_idle(); }
+
+void OverlayService::drain_one() {
+  std::unique_ptr<PendingJob> job;
+  {
+    // Reconfiguration-aware batching: prefer a queued job whose overlay is
+    // already loaded on a free instance; fall back to FIFO order. The scan
+    // window bounds the cost of the peek on deep queues, and the deferral
+    // cap bounds starvation — a cold-overlay job at the queue head cannot
+    // be bypassed forever by a stream of warm-overlay arrivals.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) return;  // spurious (1:1 with submissions otherwise)
+    std::size_t pick = 0;
+    if (pending_.front()->deferrals < kMaxHeadDeferrals) {
+      // One scheduler lock for the whole window, not one per queued job.
+      const std::vector<std::string> warm = scheduler_.free_loaded_keys();
+      const std::size_t window = std::min(options_.schedule_scan_window,
+                                          pending_.size());
+      for (std::size_t i = 0; i < window && !warm.empty(); ++i) {
+        if (std::find(warm.begin(), warm.end(), pending_[i]->config_key) !=
+            warm.end()) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    if (pick != 0) ++pending_.front()->deferrals;
+    job = std::move(pending_[pick]);
+    pending_.erase(pending_.begin() + static_cast<long>(pick));
+  }
+
+  try {
+    const JobResult result = execute(*job);
+    record_result(result);
+    job->promise.set_value(result);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++jobs_failed_;
+    }
+    job->promise.set_exception(std::current_exception());
+  }
+}
+
+JobResult OverlayService::execute(PendingJob& job) {
+  JobResult result;
+  const JobRequest& request = job.request;
+
+  std::shared_ptr<const overlay::Compiled> compiled = cache_.get_or_compile_keyed(
+      job.config_key, request.kernel_text, request.arch, request.seed,
+      &result.cache_hit, &result.compile_seconds);
+
+  const Assignment assignment = scheduler_.acquire(job.config_key, compiled);
+  InstanceLease lease(scheduler_, assignment.instance);
+  result.instance = assignment.instance;
+  result.reconfigured = assignment.reconfigured;
+  result.reconfig_seconds = assignment.reconfig_seconds;
+
+  common::WallTimer exec;
+  const overlay::Simulator simulator(compiled, options_.sim);
+  result.run = simulator.run_doubles(request.inputs);
+  result.exec_seconds = exec.seconds();
+  result.latency_seconds = job.since_submit.seconds();
+  return result;
+}
+
+void OverlayService::record_latency_locked(double latency_seconds) {
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(latency_seconds);
+  } else {
+    latencies_[latency_next_] = latency_seconds;
+  }
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+}
+
+void OverlayService::record_result(const JobResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++jobs_completed_;
+  record_latency_locked(result.latency_seconds);
+  exec_seconds_total_ += result.exec_seconds;
+}
+
+void OverlayService::note_task_submitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++tasks_submitted_;
+}
+
+void OverlayService::note_task_completed(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++tasks_completed_;
+  record_latency_locked(latency_seconds);
+}
+
+void OverlayService::note_task_failed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++tasks_failed_;
+}
+
+ServiceStats OverlayService::stats() const {
+  ServiceStats stats;
+  stats.cache = cache_.stats();
+  stats.scheduler = scheduler_.stats();
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.jobs_submitted = jobs_submitted_;
+    stats.jobs_completed = jobs_completed_;
+    stats.jobs_failed = jobs_failed_;
+    stats.tasks_submitted = tasks_submitted_;
+    stats.tasks_completed = tasks_completed_;
+    stats.tasks_failed = tasks_failed_;
+    stats.exec_seconds = exec_seconds_total_;
+    stats.wall_seconds = lifetime_.seconds();
+    latencies = latencies_;
+  }
+  if (!latencies.empty()) {
+    // One sort of the snapshot serves p50, p99 and max.
+    std::sort(latencies.begin(), latencies.end());
+    const auto at_fraction = [&](double fraction) {
+      const std::size_t rank = static_cast<std::size_t>(
+          std::ceil(fraction * static_cast<double>(latencies.size())));
+      return latencies[rank == 0 ? 0 : rank - 1];
+    };
+    stats.p50_latency_seconds = at_fraction(0.50);
+    stats.p99_latency_seconds = at_fraction(0.99);
+    stats.max_latency_seconds = latencies.back();
+  }
+  if (stats.wall_seconds > 0) {
+    // Throughput covers both job and task work: task-only clients (the
+    // vision pipeline) would otherwise always read 0.
+    stats.jobs_per_second =
+        static_cast<double>(stats.jobs_completed + stats.tasks_completed) /
+        stats.wall_seconds;
+  }
+  return stats;
+}
+
+}  // namespace vcgra::runtime

@@ -1,0 +1,63 @@
+#include "vcgra/runtime/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::runtime {
+
+double percentile(std::vector<double> samples, double fraction) {
+  if (samples.empty()) return 0.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(samples.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<long>(index),
+                   samples.end());
+  return samples[index];
+}
+
+std::string CacheStats::to_string() const {
+  return common::strprintf(
+      "cache: %llu hits / %llu misses (%.1f%% hit rate), %zu/%zu entries, "
+      "%llu evictions, %llu in-flight joins, %s compiling",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses), 100.0 * hit_rate(), entries,
+      capacity, static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(inflight_joins),
+      common::human_seconds(compile_seconds).c_str());
+}
+
+std::string SchedulerStats::to_string() const {
+  return common::strprintf(
+      "scheduler: %llu assignments, %llu reconfigurations (%s modeled), "
+      "%llu avoided (%s saved)",
+      static_cast<unsigned long long>(assignments),
+      static_cast<unsigned long long>(reconfigurations),
+      common::human_seconds(modeled_reconfig_seconds).c_str(),
+      static_cast<unsigned long long>(reconfigurations_avoided),
+      common::human_seconds(avoided_reconfig_seconds).c_str());
+}
+
+std::string ServiceStats::to_string() const {
+  std::string text = common::strprintf(
+      "service: %llu jobs (%llu done, %llu failed) + %llu tasks "
+      "(%llu done, %llu failed), "
+      "%.1f jobs/s, "
+      "p50 %s / p99 %s latency, %s simulating over %s wall\n  %s\n  %s",
+      static_cast<unsigned long long>(jobs_submitted),
+      static_cast<unsigned long long>(jobs_completed),
+      static_cast<unsigned long long>(jobs_failed),
+      static_cast<unsigned long long>(tasks_submitted),
+      static_cast<unsigned long long>(tasks_completed),
+      static_cast<unsigned long long>(tasks_failed), jobs_per_second,
+      common::human_seconds(p50_latency_seconds).c_str(),
+      common::human_seconds(p99_latency_seconds).c_str(),
+      common::human_seconds(exec_seconds).c_str(),
+      common::human_seconds(wall_seconds).c_str(), cache.to_string().c_str(),
+      scheduler.to_string().c_str());
+  return text;
+}
+
+}  // namespace vcgra::runtime

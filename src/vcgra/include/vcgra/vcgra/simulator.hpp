@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,18 @@ struct RunResult {
 
 class Simulator {
  public:
+  /// Copies the compiled artifact: the simulator stays valid however the
+  /// caller's `Compiled` is destroyed afterwards.
   explicit Simulator(const Compiled& compiled, const SimOptions& options = {});
+
+  /// Shares ownership with the caller — the form the runtime overlay
+  /// cache uses so hot overlays are never copied per executor and an LRU
+  /// eviction cannot dangle a simulator mid-run. Throws
+  /// std::invalid_argument on a null handle.
+  explicit Simulator(std::shared_ptr<const Compiled> compiled,
+                     const SimOptions& options = {});
+
+  const Compiled& compiled() const { return *compiled_; }
 
   /// Run the configured overlay on input streams (keyed by DFG input
   /// name; all streams must share one length).
@@ -45,7 +57,7 @@ class Simulator {
   RunResult run_doubles(const std::map<std::string, std::vector<double>>& inputs) const;
 
  private:
-  const Compiled& compiled_;
+  std::shared_ptr<const Compiled> compiled_;
   SimOptions options_;
 };
 

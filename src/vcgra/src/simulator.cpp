@@ -10,13 +10,22 @@ namespace vcgra::overlay {
 using softfloat::FpValue;
 
 Simulator::Simulator(const Compiled& compiled, const SimOptions& options)
-    : compiled_(compiled), options_(options) {}
+    : compiled_(std::make_shared<const Compiled>(compiled)), options_(options) {}
+
+Simulator::Simulator(std::shared_ptr<const Compiled> compiled,
+                     const SimOptions& options)
+    : compiled_(std::move(compiled)), options_(options) {
+  if (!compiled_) {
+    throw std::invalid_argument("Simulator: null compiled overlay handle");
+  }
+}
 
 RunResult Simulator::run(
     const std::map<std::string, std::vector<FpValue>>& inputs) const {
   // Compiled carries everything needed: per-PE settings, routed operand
   // edges, and the input/output name directory.
-  const softfloat::FpFormat format = compiled_.arch.format;
+  const Compiled& compiled = *compiled_;
+  const softfloat::FpFormat format = compiled.arch.format;
   RunResult result;
 
   // Stream length.
@@ -37,12 +46,12 @@ RunResult Simulator::run(
   // in settings; inputs/outputs were recorded in routes.
   // Build node->(op settings) map.
   std::map<int, const PeSettings*> pe_settings_of_node;
-  for (const auto& pe : compiled_.settings.pes) {
+  for (const auto& pe : compiled.settings.pes) {
     if (pe.used) pe_settings_of_node[pe.dfg_node] = &pe;
   }
   // Hop latency per (from,to,operand).
   std::map<std::pair<int, int>, int> hops_between;
-  for (const auto& net : compiled_.settings.routes) {
+  for (const auto& net : compiled.settings.routes) {
     const int hops = std::max<int>(0, static_cast<int>(net.hops.size()) - 1);
     hops_between[{net.from_node, net.to_node}] = hops;
   }
@@ -50,7 +59,7 @@ RunResult Simulator::run(
   // Operand lists are not stored in Compiled directly; recover them from
   // routes (from_node -> to_node with operand index).
   std::map<int, std::vector<std::pair<int, int>>> operands_of;  // node -> (idx, src)
-  for (const auto& net : compiled_.settings.routes) {
+  for (const auto& net : compiled.settings.routes) {
     if (net.to_node >= 0 && pe_settings_of_node.count(net.to_node)) {
       operands_of[net.to_node].emplace_back(net.to_operand, net.from_node);
     }
@@ -67,8 +76,8 @@ RunResult Simulator::run(
   // Dfg must be the one compiled; we recover input ids through
   // compiled_.input_names.
   for (const auto& [name, stream] : inputs) {
-    const auto it = compiled_.input_node_by_name.find(name);
-    if (it == compiled_.input_node_by_name.end()) {
+    const auto it = compiled.input_node_by_name.find(name);
+    if (it == compiled.input_node_by_name.end()) {
       throw std::invalid_argument("Simulator: unknown input stream '" + name + "'");
     }
     streams[it->second] = stream;
@@ -163,8 +172,8 @@ RunResult Simulator::run(
   }
 
   // Outputs.
-  for (const auto& [name, node] : compiled_.output_node_by_name) {
-    const int src = compiled_.output_source.at(node);
+  for (const auto& [name, node] : compiled.output_node_by_name) {
+    const int src = compiled.output_source.at(node);
     const auto sit = streams.find(src);
     if (sit == streams.end()) {
       throw std::runtime_error("Simulator: output stream missing");
@@ -183,7 +192,7 @@ RunResult Simulator::run(
 RunResult Simulator::run_doubles(
     const std::map<std::string, std::vector<double>>& inputs) const {
   std::map<std::string, std::vector<FpValue>> converted;
-  const softfloat::FpFormat format = compiled_.arch.format;
+  const softfloat::FpFormat format = compiled_->arch.format;
   for (const auto& [name, stream] : inputs) {
     std::vector<FpValue>& out = converted[name];
     out.reserve(stream.size());

@@ -59,6 +59,10 @@ struct PipelineResult {
 /// Histogram equalization over the field of view (preprocessing step).
 Image equalize_histogram(const Image& input, const Mask& field_of_view);
 
+/// Value at the given quantile of `image` restricted to `region`
+/// (nth-element, no interpolation) — the threshold-selection primitive.
+float quantile_level(const Image& image, const Mask& region, double quantile);
+
 /// Remove optic disc (brightest blob) and the outer region: returns the
 /// masked image and the valid-region mask actually used downstream.
 Image remove_optic_disc_and_border(const Image& input, const Mask& field_of_view,

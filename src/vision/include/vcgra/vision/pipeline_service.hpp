@@ -1,0 +1,29 @@
+// Service-backed Fig. 5 pipeline.
+//
+// The sequential overlay pipeline applies its 12 hardware filters
+// (1 denoise + 7 matched orientations + 4 texture ridges) one after
+// another. Under the runtime service, the independent filters of each
+// bank become concurrent tasks on the executor pool — the multi-client
+// shape the ROADMAP's production target needs, with per-task latency
+// accounted in the service stats.
+//
+// Determinism: each convolution is a pure function of its input image
+// and kernel, and bank fusion (pixelwise max) happens in fixed
+// orientation order, so the result is bit-exact with
+// run_pipeline_overlay at any thread count.
+#pragma once
+
+#include "vcgra/runtime/service.hpp"
+#include "vcgra/vision/pipeline.hpp"
+
+namespace vcgra::vision {
+
+/// Full pipeline with the overlay (FloPoCo MAC) engine, hardware filters
+/// dispatched through `service`.
+PipelineResult run_pipeline_service(const RgbImage& input,
+                                    const Mask& field_of_view,
+                                    const PipelineParams& params,
+                                    const overlay::OverlayArch& arch,
+                                    runtime::OverlayService& service);
+
+}  // namespace vcgra::vision

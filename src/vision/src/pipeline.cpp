@@ -117,8 +117,6 @@ Image remove_optic_disc_and_border(const Image& input, const Mask& field_of_view
   return out;
 }
 
-namespace {
-
 float quantile_level(const Image& image, const Mask& region, double quantile) {
   std::vector<float> values;
   for (int y = 0; y < image.height(); ++y) {
@@ -133,6 +131,8 @@ float quantile_level(const Image& image, const Mask& region, double quantile) {
                    values.end());
   return values[k];
 }
+
+namespace {
 
 /// Both engines share the stage logic; `conv` abstracts the convolution.
 template <typename ConvFn>

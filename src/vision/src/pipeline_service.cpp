@@ -1,0 +1,103 @@
+#include "vcgra/vision/pipeline_service.hpp"
+
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "vcgra/vision/filters.hpp"
+
+namespace vcgra::vision {
+
+namespace {
+
+/// Fan a filter bank out over the service and fuse responses in bank
+/// order (order matters for bit-exactness of pixelwise_max ties only in
+/// NaN cases, but fixed order keeps the guarantee unconditional).
+Image bank_response(runtime::OverlayService& service, const Image& input,
+                    std::vector<Kernel> bank, const overlay::OverlayArch& arch,
+                    PipelineCost& cost) {
+  std::vector<std::future<OverlayConvResult>> futures;
+  futures.reserve(bank.size());
+  for (Kernel& kernel : bank) {
+    futures.push_back(service.submit_task(
+        [&input, kernel = std::move(kernel), &arch]() {
+          return convolve_overlay(input, kernel, arch);
+        }));
+  }
+  std::vector<Image> responses;
+  responses.reserve(futures.size());
+  for (auto& future : futures) {
+    OverlayConvResult conv = future.get();
+    cost.macs += conv.macs;
+    cost.cycles += conv.cycles;
+    cost.reconfigurations += conv.reconfigured_pes;
+    ++cost.filters_applied;
+    responses.push_back(std::move(conv.output));
+  }
+  return pixelwise_max(responses);
+}
+
+}  // namespace
+
+PipelineResult run_pipeline_service(const RgbImage& input,
+                                    const Mask& field_of_view,
+                                    const PipelineParams& params,
+                                    const overlay::OverlayArch& arch,
+                                    runtime::OverlayService& service) {
+  PipelineResult result;
+  StageImages& stages = result.stages;
+
+  // Software preprocessing (identical to the sequential engines).
+  stages.green = input.channel(1);
+  stages.equalized = equalize_histogram(stages.green, field_of_view);
+  Mask valid;
+  stages.masked =
+      remove_optic_disc_and_border(stages.equalized, field_of_view, &valid);
+
+  // Denoise gates everything downstream; run it as a single service task.
+  {
+    Kernel denoise = gaussian_kernel(params.denoise_size, params.denoise_sigma);
+    OverlayConvResult conv =
+        service
+            .submit_task([&stages, denoise = std::move(denoise), &arch]() {
+              return convolve_overlay(stages.masked, denoise, arch);
+            })
+            .get();
+    result.cost.macs += conv.macs;
+    result.cost.cycles += conv.cycles;
+    result.cost.reconfigurations += conv.reconfigured_pes;
+    ++result.cost.filters_applied;
+    stages.denoised = std::move(conv.output);
+  }
+
+  // Matched-filter bank: all orientations in flight at once.
+  stages.matched = bank_response(
+      service, stages.denoised,
+      matched_filter_bank(params.matched_size, params.matched_sigma,
+                          params.matched_length, params.orientations),
+      arch, result.cost);
+
+  // Texture pass: four ridge kernels (negated matched kernels).
+  std::vector<Kernel> ridges;
+  for (const double angle : {0.0, 45.0, 90.0, 135.0}) {
+    Kernel ridge = matched_filter_kernel(params.texture_size, params.texture_sigma,
+                                         params.texture_length, angle);
+    for (double& w : ridge.weights) w = -w;
+    ridges.push_back(std::move(ridge));
+  }
+  stages.textured =
+      bank_response(service, stages.matched, std::move(ridges), arch, result.cost);
+
+  // Threshold on the response quantile inside the valid region.
+  const float level =
+      quantile_level(stages.textured, valid, params.threshold_quantile);
+  stages.segmented = threshold(stages.textured, level);
+  for (int y = 0; y < stages.segmented.height(); ++y) {
+    for (int x = 0; x < stages.segmented.width(); ++x) {
+      if (valid.at(x, y) < 0.5f) stages.segmented.at(x, y) = 0.0f;
+    }
+  }
+  return result;
+}
+
+}  // namespace vcgra::vision

@@ -97,52 +97,83 @@ int main() {
   // --- A: compiled-overlay cache ---------------------------------------------
   {
     std::printf("\n[A] Overlay cache: hit path vs full tool flow\n");
-    runtime::ServiceOptions options;
-    options.threads = 1;  // isolate the cache effect
-    runtime::OverlayService service(options);
 
     constexpr int kDistinct = 16;
     constexpr int kHitRounds = 12;
+    constexpr int kAttempts = 3;
     // Short streams keep the hit path near its floor (dispatch + a brief
     // simulation), so the ratio isolates the avoided tool flow.
     const std::size_t stream = 16;
 
-    std::vector<double> miss_latencies;
-    for (int k = 0; k < kDistinct; ++k) {
-      runtime::JobRequest request;
-      request.kernel_text = dot_kernel(kTaps, 1.0 + 0.01 * k);
-      request.inputs = job_inputs(kTaps, stream, 0.0);
-      const runtime::JobResult result = service.run(std::move(request));
-      if (result.cache_hit) ok = false;
-      miss_latencies.push_back(result.latency_seconds);
-    }
+    // One attempt = fresh service, measure median miss and hit latency.
+    // The gate is the miss/hit *ratio* (machine-speed independent), and
+    // the attempt medians + a median over 3 attempts absorb scheduler
+    // hiccups and CPU-frequency excursions on loaded CI machines.
+    struct Attempt {
+      double miss_median = 0;
+      double hit_median = 0;
+      double speedup() const {
+        return hit_median > 0 ? miss_median / hit_median : 0.0;
+      }
+    };
+    std::vector<Attempt> attempts;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      runtime::ServiceOptions options;
+      options.threads = 1;  // isolate the cache effect
+      runtime::OverlayService service(options);
 
-    std::vector<double> hit_latencies;
-    for (int round = 0; round < kHitRounds; ++round) {
+      std::vector<double> miss_latencies;
       for (int k = 0; k < kDistinct; ++k) {
         runtime::JobRequest request;
         request.kernel_text = dot_kernel(kTaps, 1.0 + 0.01 * k);
         request.inputs = job_inputs(kTaps, stream, 0.0);
         const runtime::JobResult result = service.run(std::move(request));
-        if (!result.cache_hit) ok = false;
-        hit_latencies.push_back(result.latency_seconds);
+        if (result.cache_hit) ok = false;
+        miss_latencies.push_back(result.latency_seconds);
+      }
+
+      std::vector<double> hit_latencies;
+      for (int round = 0; round < kHitRounds; ++round) {
+        for (int k = 0; k < kDistinct; ++k) {
+          runtime::JobRequest request;
+          request.kernel_text = dot_kernel(kTaps, 1.0 + 0.01 * k);
+          request.inputs = job_inputs(kTaps, stream, 0.0);
+          const runtime::JobResult result = service.run(std::move(request));
+          if (!result.cache_hit) ok = false;
+          hit_latencies.push_back(result.latency_seconds);
+        }
+      }
+      Attempt measured;
+      measured.miss_median = runtime::percentile(miss_latencies, 0.5);
+      measured.hit_median = runtime::percentile(hit_latencies, 0.5);
+      attempts.push_back(measured);
+      if (attempt == 0) {
+        std::printf("  %s\n", service.cache().stats().to_string().c_str());
       }
     }
-    // Medians: robust against scheduler hiccups on loaded machines.
-    const double miss_avg = runtime::percentile(miss_latencies, 0.5);
-    const double hit_avg = runtime::percentile(hit_latencies, 0.5);
-    const double speedup = hit_avg > 0 ? miss_avg / hit_avg : 0.0;
-    const runtime::CacheStats cache = service.cache().stats();
-    std::printf("  %d distinct kernels, %zu-sample streams\n", kDistinct, stream);
-    std::printf("  miss (compile+run): %s   hit (run only): %s   speedup: %.1fx\n",
-                common::human_seconds(miss_avg).c_str(),
-                common::human_seconds(hit_avg).c_str(), speedup);
-    std::printf("  %s\n", cache.to_string().c_str());
+
+    std::vector<double> speedups;
+    for (const Attempt& attempt : attempts) {
+      speedups.push_back(attempt.speedup());
+    }
+    const double speedup = runtime::percentile(speedups, 0.5);
+    std::printf("  %d distinct kernels, %zu-sample streams, %d attempts\n",
+                kDistinct, stream, kAttempts);
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      const Attempt& measured = attempts[static_cast<std::size_t>(attempt)];
+      std::printf("  attempt %d: miss %s  hit %s  speedup %.1fx\n", attempt + 1,
+                  common::human_seconds(measured.miss_median).c_str(),
+                  common::human_seconds(measured.hit_median).c_str(),
+                  measured.speedup());
+    }
     if (speedup < 10.0) {
-      std::printf("  FAIL: cache hit speedup %.1fx below the 10x target\n", speedup);
+      std::printf("  FAIL: median cache hit speedup %.1fx below the 10x target\n",
+                  speedup);
       ok = false;
     } else {
-      std::printf("  PASS: hit path >= 10x faster than the tool flow\n");
+      std::printf("  PASS: hit path >= 10x faster than the tool flow "
+                  "(median of %d attempts: %.1fx)\n",
+                  kAttempts, speedup);
     }
   }
 

@@ -1,0 +1,101 @@
+// HPC kernel generators for the VCGRA overlay.
+//
+// The paper's title promises a virtual CGRA "for High Performance
+// Computing Applications"; this module reproduces that claim with the
+// canonical HPCC-style kernel set — STREAM copy/scale/add/triad, AXPY,
+// a dot-product reduction on the MAC PE, a tiled GEMV/GEMM building
+// block, and a 1D 3-point stencil — each emitted as kernel-language text
+// for the PE-granular tool flow (Fig. 2), parameterized by problem size
+// and FP format.
+//
+// Every generated kernel carries two references:
+//   * ref_double    — the plain double-precision host computation, for
+//                     accuracy-within-tolerance checks;
+//   * ref_softfloat — a bit-exact FpValue evaluation that mirrors the
+//                     DFG's operation and association order *without*
+//                     going through the compiler/placer/router/simulator,
+//                     so the suite doubles as an end-to-end correctness
+//                     oracle for the whole tool-flow stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vcgra/softfloat/fpformat.hpp"
+
+namespace vcgra::hpc {
+
+using DoubleStreams = std::map<std::string, std::vector<double>>;
+using FpStreams = std::map<std::string, std::vector<softfloat::FpValue>>;
+
+struct HpcKernel {
+  std::string name;
+  std::string kernel_text;  // PE-granularity kernel language (dfg.hpp)
+  DoubleStreams inputs;     // named input streams, double-valued
+  DoubleStreams ref_double; // host double-precision reference outputs
+  /// Bit-exact FpValue reference in the given format; mirrors the DFG's
+  /// op/association order but never touches the tool flow.
+  std::function<FpStreams(softfloat::FpFormat)> ref_softfloat;
+  /// Useful FLOPs of the mathematical kernel (not simulator op counts).
+  std::uint64_t useful_flops = 0;
+  /// Rounding steps on the longest output path; scales the tolerance
+  /// granted against the double reference.
+  int rounding_depth = 1;
+};
+
+// --- STREAM (McCalpin) -----------------------------------------------------
+/// y[i] = x[i] — pure routing bandwidth through a pass PE.
+HpcKernel make_stream_copy(std::size_t n, std::uint64_t seed = 1);
+/// y[i] = alpha * x[i].
+HpcKernel make_stream_scale(std::size_t n, double alpha = 3.0,
+                            std::uint64_t seed = 1);
+/// y[i] = a[i] + b[i].
+HpcKernel make_stream_add(std::size_t n, std::uint64_t seed = 1);
+/// y[i] = a[i] + alpha * b[i].
+HpcKernel make_stream_triad(std::size_t n, double alpha = 3.0,
+                            std::uint64_t seed = 1);
+
+// --- BLAS level 1 ----------------------------------------------------------
+/// y[i] = alpha * x[i] + y0[i].
+HpcKernel make_axpy(std::size_t n, double alpha = 2.5, std::uint64_t seed = 1);
+/// Dot-product reduction on the MAC PE: p = a.*b streams into
+/// mac(p, 1.0, chunk), which emits one partial sum per `chunk` samples
+/// (the host adds the n/chunk partials). Throws std::invalid_argument
+/// unless chunk > 0 and n is a nonzero multiple of chunk.
+HpcKernel make_dot(std::size_t n, int chunk = 16, std::uint64_t seed = 1);
+
+// --- GEMV / GEMM building block --------------------------------------------
+/// The adder-tree dot-product kernel text y = sum_j coeffs[j] * x_j —
+/// the per-column / per-k-tile unit a GEMV or GEMM decomposes into.
+std::string dot_tree_kernel_text(const std::vector<double>& coeffs);
+/// One GEMV tile: `rows` (each coeffs.size() wide) stream through the
+/// adder-tree kernel one row per cycle; y[i] = dot(rows[i], coeffs).
+/// Needs 2*coeffs.size()-1 PEs.
+HpcKernel make_gemv_tile(const std::vector<std::vector<double>>& rows,
+                         const std::vector<double>& coeffs,
+                         std::string name = "gemv_tile");
+/// Random GEMV instance: n rows by `taps` columns.
+HpcKernel make_gemv(std::size_t n, int taps = 8, std::uint64_t seed = 1);
+
+// --- Stencil ---------------------------------------------------------------
+/// 1D 3-point stencil y[i] = c0*x[i] + c1*x[i+1] + c2*x[i+2] over an
+/// (n+2)-point field, fed as three shifted input streams.
+HpcKernel make_stencil3(std::size_t n, double c0 = 0.25, double c1 = 0.5,
+                        double c2 = 0.25, std::uint64_t seed = 1);
+
+/// The standard suite at problem size n (grid-size agnostic: every
+/// kernel fits 15 PEs, so a 4x4 grid upward works).
+std::vector<HpcKernel> standard_suite(std::size_t n, std::uint64_t seed = 1);
+
+// --- shared helpers (used by the references and by HpcBench's GEMM) --------
+/// Quantize a double stream into the format (what run_doubles does).
+std::vector<softfloat::FpValue> quantize(const std::vector<double>& xs,
+                                         softfloat::FpFormat format);
+/// Balanced pairwise fp_add reduction in exactly the order the generated
+/// adder-tree kernel text evaluates.
+softfloat::FpValue tree_reduce_add(std::vector<softfloat::FpValue> terms);
+
+}  // namespace vcgra::hpc

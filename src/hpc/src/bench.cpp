@@ -1,0 +1,279 @@
+#include "vcgra/hpc/bench.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/table.hpp"
+
+namespace vcgra::hpc {
+
+using softfloat::FpFormat;
+using softfloat::FpValue;
+
+namespace {
+
+/// Relative error with a unit floor in the denominator, so outputs near
+/// zero (cancellation) are judged on absolute error instead of blowing up.
+double rel_err(double got, double ref) {
+  return std::fabs(got - ref) / std::max(std::fabs(ref), 1.0);
+}
+
+}  // namespace
+
+HpcBench::HpcBench(HpcBenchOptions options)
+    : options_(std::move(options)),
+      service_(std::make_unique<runtime::OverlayService>(options_.service)) {}
+
+double HpcBench::tolerance_for(int rounding_depth) const {
+  return static_cast<double>(rounding_depth) *
+         std::ldexp(4.0, -options_.arch.format.wf);
+}
+
+KernelReport HpcBench::run(const HpcKernel& kernel, std::uint64_t seed) {
+  runtime::JobRequest request;
+  request.kernel_text = kernel.kernel_text;
+  request.arch = options_.arch;
+  request.inputs = kernel.inputs;
+  request.seed = seed;
+  const runtime::JobResult result = service_->run(std::move(request));
+
+  KernelReport report;
+  report.name = kernel.name;
+  report.samples =
+      kernel.inputs.empty() ? 0 : kernel.inputs.begin()->second.size();
+  report.cycles = result.run.cycles;
+  report.sim_fp_ops = result.run.fp_ops;
+  report.pipeline_depth = result.run.pipeline_depth;
+  report.compile_seconds = result.compile_seconds;
+  report.reconfig_seconds = result.reconfig_seconds;
+  report.exec_seconds = result.exec_seconds;
+  report.cache_hit = result.cache_hit;
+  if (report.cycles > 0) {
+    report.flop_per_cycle = static_cast<double>(kernel.useful_flops) /
+                            static_cast<double>(report.cycles);
+    report.fill_fraction = static_cast<double>(report.pipeline_depth) /
+                           static_cast<double>(report.cycles);
+  }
+  // PEs actually occupied (cache hits still know their compile report).
+  if (const auto compiled = service_->cache().peek(
+          kernel.kernel_text, options_.arch, seed)) {
+    report.pes_used = compiled->report.pes_used;
+  }
+
+  // Oracle 1: bit-exact against the softfloat reference.
+  report.bit_exact = true;
+  const FpStreams expected = kernel.ref_softfloat(options_.arch.format);
+  for (const auto& [name, stream] : expected) {
+    const auto it = result.run.outputs.find(name);
+    if (it == result.run.outputs.end() || it->second.size() != stream.size()) {
+      report.bit_exact = false;
+      continue;
+    }
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (it->second[i].bits() != stream[i].bits()) {
+        report.bit_exact = false;
+        break;
+      }
+    }
+  }
+
+  // Oracle 2: within format tolerance of the double reference.
+  report.tolerance = tolerance_for(kernel.rounding_depth);
+  report.within_tolerance = true;
+  for (const auto& [name, stream] : kernel.ref_double) {
+    const auto it = result.run.outputs.find(name);
+    if (it == result.run.outputs.end() || it->second.size() != stream.size()) {
+      report.within_tolerance = false;
+      continue;
+    }
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const double got = it->second[i].to_double();
+      if (std::isnan(got)) {
+        report.within_tolerance = false;
+        continue;
+      }
+      report.max_rel_err = std::max(report.max_rel_err, rel_err(got, stream[i]));
+    }
+  }
+  if (report.max_rel_err > report.tolerance) report.within_tolerance = false;
+  return report;
+}
+
+std::vector<KernelReport> HpcBench::run_suite(std::size_t n, std::uint64_t seed) {
+  std::vector<KernelReport> reports;
+  for (const HpcKernel& kernel : standard_suite(n, seed)) {
+    reports.push_back(run(kernel, seed));
+  }
+  return reports;
+}
+
+GemmReport HpcBench::run_gemm(int m, int n, int k, int tile_k,
+                              std::uint64_t seed) {
+  if (m <= 0 || n <= 0 || k <= 0 || tile_k <= 0) {
+    throw std::invalid_argument("run_gemm: dimensions must be positive");
+  }
+  const int max_taps = (options_.arch.num_pes() + 1) / 2;
+  if (tile_k > max_taps) {
+    throw std::invalid_argument(common::strprintf(
+        "run_gemm: tile_k=%d needs %d PEs but the %dx%d grid has %d", tile_k,
+        2 * tile_k - 1, options_.arch.rows, options_.arch.cols,
+        options_.arch.num_pes()));
+  }
+  common::Rng rng(seed ^ 0x9e88ULL);
+  const auto random_value = [&]() { return 4.0 * rng.next_double() - 2.0; };
+  std::vector<std::vector<double>> a(static_cast<std::size_t>(m),
+                                     std::vector<double>(static_cast<std::size_t>(k)));
+  std::vector<std::vector<double>> b(static_cast<std::size_t>(k),
+                                     std::vector<double>(static_cast<std::size_t>(n)));
+  for (auto& row : a) {
+    for (double& value : row) value = random_value();
+  }
+  for (auto& row : b) {
+    for (double& value : row) value = random_value();
+  }
+
+  GemmReport report;
+  report.m = m;
+  report.n = n;
+  report.k = k;
+  report.tile_k = tile_k;
+
+  // One job per (output column, k-tile): the adder-tree kernel carries
+  // the B-tile as coefficients and streams the matching A columns.
+  struct TileJob {
+    int column = 0;
+    int tile = 0;
+    std::future<runtime::JobResult> future;
+    HpcKernel kernel;
+  };
+  std::vector<TileJob> jobs;
+  for (int j = 0; j < n; ++j) {
+    for (int k0 = 0, tile = 0; k0 < k; k0 += tile_k, ++tile) {
+      const int k1 = std::min(k, k0 + tile_k);
+      std::vector<double> coeffs;
+      coeffs.reserve(static_cast<std::size_t>(k1 - k0));
+      for (int kk = k0; kk < k1; ++kk) {
+        coeffs.push_back(b[static_cast<std::size_t>(kk)][static_cast<std::size_t>(j)]);
+      }
+      std::vector<std::vector<double>> rows;
+      rows.reserve(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        rows.emplace_back(a[static_cast<std::size_t>(i)].begin() + k0,
+                          a[static_cast<std::size_t>(i)].begin() + k1);
+      }
+      TileJob job;
+      job.column = j;
+      job.tile = tile;
+      job.kernel = make_gemv_tile(rows, coeffs,
+                                  common::strprintf("gemm_c%d_t%d", j, tile));
+      runtime::JobRequest request;
+      request.kernel_text = job.kernel.kernel_text;
+      request.arch = options_.arch;
+      request.inputs = job.kernel.inputs;
+      request.seed = seed;
+      job.future = service_->submit(std::move(request));
+      jobs.push_back(std::move(job));
+    }
+  }
+  report.jobs = static_cast<int>(jobs.size());
+
+  // Collect tile results and fold partial columns in tile order with
+  // fp_add — the reference accumulates identically.
+  const FpFormat format = options_.arch.format;
+  std::vector<std::vector<FpValue>> c_fp(
+      static_cast<std::size_t>(m),
+      std::vector<FpValue>(static_cast<std::size_t>(n), FpValue::zero(format)));
+  std::vector<std::vector<FpValue>> c_ref = c_fp;
+  // Jobs were pushed in (column, tile) order, so iterating in order folds
+  // tiles in ascending tile index per column.
+  bool shape_ok = true;
+  for (TileJob& job : jobs) {
+    const runtime::JobResult result = job.future.get();
+    report.cycles += result.run.cycles;
+    report.compile_seconds += result.compile_seconds;
+    report.reconfig_seconds += result.reconfig_seconds;
+    if (result.cache_hit) ++report.cache_hits;
+
+    const auto it = result.run.outputs.find("y");
+    if (it == result.run.outputs.end() ||
+        it->second.size() != static_cast<std::size_t>(m)) {
+      shape_ok = false;
+      continue;
+    }
+    const FpStreams ref = job.kernel.ref_softfloat(format);
+    const std::vector<FpValue>& ref_y = ref.at("y");
+    for (int i = 0; i < m; ++i) {
+      auto& got = c_fp[static_cast<std::size_t>(i)][static_cast<std::size_t>(job.column)];
+      auto& want = c_ref[static_cast<std::size_t>(i)][static_cast<std::size_t>(job.column)];
+      const FpValue got_tile = it->second[static_cast<std::size_t>(i)];
+      const FpValue want_tile = ref_y[static_cast<std::size_t>(i)];
+      if (job.tile == 0) {
+        got = got_tile;
+        want = want_tile;
+      } else {
+        got = softfloat::fp_add(got, got_tile);
+        want = softfloat::fp_add(want, want_tile);
+      }
+    }
+  }
+
+  report.bit_exact = shape_ok;
+  for (int i = 0; i < m && report.bit_exact; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (c_fp[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].bits() !=
+          c_ref[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].bits()) {
+        report.bit_exact = false;
+        break;
+      }
+    }
+  }
+
+  report.tolerance = tolerance_for(k + k / tile_k + 2);
+  report.within_tolerance = shape_ok;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double ref_value = 0;
+      for (int kk = 0; kk < k; ++kk) {
+        ref_value += a[static_cast<std::size_t>(i)][static_cast<std::size_t>(kk)] *
+                     b[static_cast<std::size_t>(kk)][static_cast<std::size_t>(j)];
+      }
+      const double got =
+          c_fp[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].to_double();
+      if (std::isnan(got)) {
+        report.within_tolerance = false;
+        continue;
+      }
+      report.max_rel_err = std::max(report.max_rel_err, rel_err(got, ref_value));
+    }
+  }
+  if (report.max_rel_err > report.tolerance) report.within_tolerance = false;
+  if (report.cycles > 0) {
+    report.flop_per_cycle = 2.0 * m * n * k / static_cast<double>(report.cycles);
+  }
+  return report;
+}
+
+std::string HpcBench::report_table(const std::vector<KernelReport>& reports) {
+  common::AsciiTable table({"Kernel", "n", "PEs", "Cycles", "FLOP/cycle", "Fill",
+                            "Compile", "Reconfig", "Bit-exact", "RelErr(max)"});
+  for (const KernelReport& report : reports) {
+    table.add_row({report.name, common::strprintf("%zu", report.samples),
+                   common::strprintf("%d", report.pes_used),
+                   common::strprintf("%llu",
+                                     static_cast<unsigned long long>(report.cycles)),
+                   common::strprintf("%.3f", report.flop_per_cycle),
+                   common::strprintf("%.1f%%", 100.0 * report.fill_fraction),
+                   common::human_seconds(report.compile_seconds),
+                   common::human_seconds(report.reconfig_seconds),
+                   report.bit_exact ? "yes" : "NO",
+                   common::strprintf("%.3g", report.max_rel_err)});
+  }
+  return table.render();
+}
+
+}  // namespace vcgra::hpc

@@ -1,0 +1,399 @@
+#include "vcgra/hpc/kernels.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::hpc {
+
+using softfloat::FpFormat;
+using softfloat::FpValue;
+
+namespace {
+
+/// Random operand data in a range where products and short sums stay
+/// comfortably inside every supported format's normal range.
+std::vector<double> random_stream(std::size_t n, common::Rng& rng,
+                                  double lo = -2.0, double hi = 2.0) {
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(lo + (hi - lo) * rng.next_double());
+  }
+  return values;
+}
+
+/// The one balanced pairwise-reduction schedule, shared by the kernel
+/// text generator and the FpValue reference reducer so their association
+/// orders cannot diverge (bit-exact validation depends on lock-step).
+/// `combine` gets (a, b, level, pair index, #terms at this level) and
+/// returns the combined term; an odd leftover is carried to the next
+/// level unchanged.
+template <typename T, typename Combine>
+T pairwise_reduce(std::vector<T> terms, Combine&& combine) {
+  int level = 0;
+  while (terms.size() > 1) {
+    std::vector<T> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(combine(terms[i], terms[i + 1], level, i / 2, terms.size()));
+    }
+    if (terms.size() % 2) next.push_back(terms.back());
+    terms = std::move(next);
+    ++level;
+  }
+  return terms[0];
+}
+
+}  // namespace
+
+std::vector<FpValue> quantize(const std::vector<double>& xs, FpFormat format) {
+  std::vector<FpValue> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back(FpValue::from_double(format, x));
+  return out;
+}
+
+FpValue tree_reduce_add(std::vector<FpValue> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("tree_reduce_add: no terms");
+  }
+  return pairwise_reduce(std::move(terms),
+                         [](const FpValue& a, const FpValue& b, int,
+                            std::size_t, std::size_t) {
+                           return softfloat::fp_add(a, b);
+                         });
+}
+
+HpcKernel make_stream_copy(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed ^ 0xc0bfULL);
+  HpcKernel kernel;
+  kernel.name = "stream_copy";
+  kernel.kernel_text = "input x;\ny = pass(x);\noutput y;\n";
+  kernel.inputs["x"] = random_stream(n, rng);
+  kernel.ref_double["y"] = kernel.inputs["x"];
+  kernel.useful_flops = 0;
+  kernel.rounding_depth = 1;
+  const std::vector<double> x = kernel.inputs["x"];
+  kernel.ref_softfloat = [x](FpFormat f) {
+    FpStreams out;
+    out["y"] = quantize(x, f);
+    return out;
+  };
+  return kernel;
+}
+
+HpcKernel make_stream_scale(std::size_t n, double alpha, std::uint64_t seed) {
+  common::Rng rng(seed ^ 0x5ca1eULL);
+  HpcKernel kernel;
+  kernel.name = "stream_scale";
+  kernel.kernel_text = common::strprintf(
+      "input x;\nparam alpha = %.17g;\ny = mul(x, alpha);\noutput y;\n", alpha);
+  kernel.inputs["x"] = random_stream(n, rng);
+  std::vector<double>& ref = kernel.ref_double["y"];
+  ref.reserve(n);
+  for (const double x : kernel.inputs["x"]) ref.push_back(alpha * x);
+  kernel.useful_flops = n;
+  kernel.rounding_depth = 2;
+  const std::vector<double> x = kernel.inputs["x"];
+  kernel.ref_softfloat = [x, alpha](FpFormat f) {
+    const FpValue a = FpValue::from_double(f, alpha);
+    FpStreams out;
+    std::vector<FpValue>& y = out["y"];
+    y.reserve(x.size());
+    for (const FpValue& v : quantize(x, f)) y.push_back(softfloat::fp_mul(v, a));
+    return out;
+  };
+  return kernel;
+}
+
+HpcKernel make_stream_add(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed ^ 0xaddULL);
+  HpcKernel kernel;
+  kernel.name = "stream_add";
+  kernel.kernel_text = "input a;\ninput b;\ny = add(a, b);\noutput y;\n";
+  kernel.inputs["a"] = random_stream(n, rng);
+  kernel.inputs["b"] = random_stream(n, rng);
+  std::vector<double>& ref = kernel.ref_double["y"];
+  ref.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref.push_back(kernel.inputs["a"][i] + kernel.inputs["b"][i]);
+  }
+  kernel.useful_flops = n;
+  kernel.rounding_depth = 2;
+  const std::vector<double> a = kernel.inputs["a"];
+  const std::vector<double> b = kernel.inputs["b"];
+  kernel.ref_softfloat = [a, b](FpFormat f) {
+    const std::vector<FpValue> qa = quantize(a, f);
+    const std::vector<FpValue> qb = quantize(b, f);
+    FpStreams out;
+    std::vector<FpValue>& y = out["y"];
+    y.reserve(qa.size());
+    for (std::size_t i = 0; i < qa.size(); ++i) {
+      y.push_back(softfloat::fp_add(qa[i], qb[i]));
+    }
+    return out;
+  };
+  return kernel;
+}
+
+namespace {
+
+/// triad and axpy share one DFG shape: out = base + alpha * scaled.
+HpcKernel make_fma_stream(std::string name, const char* base_name,
+                          const char* scaled_name, std::size_t n, double alpha,
+                          std::uint64_t seed) {
+  common::Rng rng(seed ^ 0xf3aULL);
+  HpcKernel kernel;
+  kernel.name = std::move(name);
+  kernel.kernel_text = common::strprintf(
+      "input %s;\ninput %s;\nparam alpha = %.17g;\n"
+      "t = mul(%s, alpha);\ny = add(%s, t);\noutput y;\n",
+      base_name, scaled_name, alpha, scaled_name, base_name);
+  kernel.inputs[base_name] = random_stream(n, rng);
+  kernel.inputs[scaled_name] = random_stream(n, rng);
+  std::vector<double>& ref = kernel.ref_double["y"];
+  ref.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref.push_back(kernel.inputs[base_name][i] +
+                  alpha * kernel.inputs[scaled_name][i]);
+  }
+  kernel.useful_flops = 2 * static_cast<std::uint64_t>(n);
+  kernel.rounding_depth = 3;
+  const std::vector<double> base = kernel.inputs[base_name];
+  const std::vector<double> scaled = kernel.inputs[scaled_name];
+  kernel.ref_softfloat = [base, scaled, alpha](FpFormat f) {
+    const FpValue a = FpValue::from_double(f, alpha);
+    const std::vector<FpValue> qb = quantize(base, f);
+    const std::vector<FpValue> qs = quantize(scaled, f);
+    FpStreams out;
+    std::vector<FpValue>& y = out["y"];
+    y.reserve(qb.size());
+    for (std::size_t i = 0; i < qb.size(); ++i) {
+      y.push_back(softfloat::fp_add(qb[i], softfloat::fp_mul(qs[i], a)));
+    }
+    return out;
+  };
+  return kernel;
+}
+
+}  // namespace
+
+HpcKernel make_stream_triad(std::size_t n, double alpha, std::uint64_t seed) {
+  return make_fma_stream("stream_triad", "a", "b", n, alpha, seed);
+}
+
+HpcKernel make_axpy(std::size_t n, double alpha, std::uint64_t seed) {
+  return make_fma_stream("axpy", "y0", "x", n, alpha, seed ^ 0xa9ULL);
+}
+
+HpcKernel make_dot(std::size_t n, int chunk, std::uint64_t seed) {
+  if (chunk <= 0 || n == 0 || n % static_cast<std::size_t>(chunk) != 0) {
+    throw std::invalid_argument(common::strprintf(
+        "make_dot: n=%zu must be a nonzero multiple of chunk=%d", n, chunk));
+  }
+  common::Rng rng(seed ^ 0xd07ULL);
+  HpcKernel kernel;
+  kernel.name = "dot";
+  kernel.kernel_text = common::strprintf(
+      "input a;\ninput b;\nparam one = 1;\n"
+      "p = mul(a, b);\ns = mac(p, one, %d);\noutput s;\n",
+      chunk);
+  kernel.inputs["a"] = random_stream(n, rng);
+  kernel.inputs["b"] = random_stream(n, rng);
+  std::vector<double>& ref = kernel.ref_double["s"];
+  ref.reserve(n / static_cast<std::size_t>(chunk));
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += kernel.inputs["a"][i] * kernel.inputs["b"][i];
+    if ((i + 1) % static_cast<std::size_t>(chunk) == 0) {
+      ref.push_back(acc);
+      acc = 0;
+    }
+  }
+  kernel.useful_flops = 2 * static_cast<std::uint64_t>(n);
+  kernel.rounding_depth = chunk + 1;
+  const std::vector<double> a = kernel.inputs["a"];
+  const std::vector<double> b = kernel.inputs["b"];
+  kernel.ref_softfloat = [a, b, chunk](FpFormat f) {
+    const FpValue one = FpValue::from_double(f, 1.0);
+    const std::vector<FpValue> qa = quantize(a, f);
+    const std::vector<FpValue> qb = quantize(b, f);
+    FpStreams out;
+    std::vector<FpValue>& s = out["s"];
+    FpValue acc_fp = FpValue::zero(f);
+    int filled = 0;
+    for (std::size_t i = 0; i < qa.size(); ++i) {
+      const FpValue p = softfloat::fp_mul(qa[i], qb[i]);
+      acc_fp = softfloat::fp_mac(acc_fp, p, one);
+      if (++filled == chunk) {
+        s.push_back(acc_fp);
+        acc_fp = FpValue::zero(f);
+        filled = 0;
+      }
+    }
+    return out;
+  };
+  return kernel;
+}
+
+std::string dot_tree_kernel_text(const std::vector<double>& coeffs) {
+  if (coeffs.empty()) {
+    throw std::invalid_argument("dot_tree_kernel_text: no coefficients");
+  }
+  std::string text;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    text += common::strprintf("input x%zu; param c%zu = %.17g;\n", i, i, coeffs[i]);
+    text += common::strprintf("p%zu = mul(x%zu, c%zu);\n", i, i, i);
+  }
+  if (coeffs.size() == 1) {
+    text += "y = pass(p0);\noutput y;\n";
+    return text;
+  }
+  std::vector<std::string> terms;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    terms.push_back(common::strprintf("p%zu", i));
+  }
+  pairwise_reduce(std::move(terms),
+                  [&text](const std::string& a, const std::string& b, int level,
+                          std::size_t pair, std::size_t remaining) {
+                    std::string name =
+                        remaining == 2 ? std::string("y")
+                                       : common::strprintf("s%d_%zu", level, pair);
+                    text += common::strprintf("%s = add(%s, %s);\n", name.c_str(),
+                                              a.c_str(), b.c_str());
+                    return name;
+                  });
+  text += "output y;\n";
+  return text;
+}
+
+HpcKernel make_gemv_tile(const std::vector<std::vector<double>>& rows,
+                         const std::vector<double>& coeffs, std::string name) {
+  if (rows.empty() || coeffs.empty()) {
+    throw std::invalid_argument("make_gemv_tile: empty rows or coefficients");
+  }
+  for (const auto& row : rows) {
+    if (row.size() != coeffs.size()) {
+      throw std::invalid_argument("make_gemv_tile: row width != #coefficients");
+    }
+  }
+  HpcKernel kernel;
+  kernel.name = std::move(name);
+  kernel.kernel_text = dot_tree_kernel_text(coeffs);
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    std::vector<double>& stream = kernel.inputs[common::strprintf("x%zu", j)];
+    stream.reserve(rows.size());
+    for (const auto& row : rows) stream.push_back(row[j]);
+  }
+  std::vector<double>& ref = kernel.ref_double["y"];
+  ref.reserve(rows.size());
+  for (const auto& row : rows) {
+    double acc = 0;
+    for (std::size_t j = 0; j < coeffs.size(); ++j) acc += row[j] * coeffs[j];
+    ref.push_back(acc);
+  }
+  kernel.useful_flops =
+      rows.size() * (2 * static_cast<std::uint64_t>(coeffs.size()) - 1);
+  // mul + ceil(log2(taps)) tree levels of adds.
+  int depth = 2;
+  for (std::size_t width = coeffs.size(); width > 1; width = (width + 1) / 2) {
+    ++depth;
+  }
+  kernel.rounding_depth = depth;
+  const std::vector<std::vector<double>> rows_copy = rows;
+  const std::vector<double> coeffs_copy = coeffs;
+  kernel.ref_softfloat = [rows_copy, coeffs_copy](FpFormat f) {
+    const std::vector<FpValue> qc = quantize(coeffs_copy, f);
+    FpStreams out;
+    std::vector<FpValue>& y = out["y"];
+    y.reserve(rows_copy.size());
+    for (const auto& row : rows_copy) {
+      std::vector<FpValue> products;
+      products.reserve(row.size());
+      const std::vector<FpValue> qr = quantize(row, f);
+      for (std::size_t j = 0; j < qr.size(); ++j) {
+        products.push_back(softfloat::fp_mul(qr[j], qc[j]));
+      }
+      y.push_back(tree_reduce_add(std::move(products)));
+    }
+    return out;
+  };
+  return kernel;
+}
+
+HpcKernel make_gemv(std::size_t n, int taps, std::uint64_t seed) {
+  if (taps <= 0) throw std::invalid_argument("make_gemv: taps must be positive");
+  common::Rng rng(seed ^ 0x9e3fULL);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back(random_stream(static_cast<std::size_t>(taps), rng));
+  }
+  const std::vector<double> coeffs =
+      random_stream(static_cast<std::size_t>(taps), rng, -1.0, 1.0);
+  return make_gemv_tile(rows, coeffs, "gemv");
+}
+
+HpcKernel make_stencil3(std::size_t n, double c0, double c1, double c2,
+                        std::uint64_t seed) {
+  common::Rng rng(seed ^ 0x57eULL);
+  const std::vector<double> field = random_stream(n + 2, rng);
+  HpcKernel kernel;
+  kernel.name = "stencil3";
+  kernel.kernel_text = common::strprintf(
+      "input xl;\ninput xc;\ninput xr;\n"
+      "param c0 = %.17g; param c1 = %.17g; param c2 = %.17g;\n"
+      "m0 = mul(xl, c0);\nm1 = mul(xc, c1);\nm2 = mul(xr, c2);\n"
+      "s = add(m0, m1);\ny = add(s, m2);\noutput y;\n",
+      c0, c1, c2);
+  std::vector<double>&xl = kernel.inputs["xl"], &xc = kernel.inputs["xc"],
+                     &xr = kernel.inputs["xr"];
+  xl.assign(field.begin(), field.begin() + static_cast<long>(n));
+  xc.assign(field.begin() + 1, field.begin() + 1 + static_cast<long>(n));
+  xr.assign(field.begin() + 2, field.begin() + 2 + static_cast<long>(n));
+  std::vector<double>& ref = kernel.ref_double["y"];
+  ref.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ref.push_back(c0 * field[i] + c1 * field[i + 1] + c2 * field[i + 2]);
+  }
+  kernel.useful_flops = 5 * static_cast<std::uint64_t>(n);
+  kernel.rounding_depth = 4;
+  kernel.ref_softfloat = [field, c0, c1, c2, n](FpFormat f) {
+    const FpValue q0 = FpValue::from_double(f, c0);
+    const FpValue q1 = FpValue::from_double(f, c1);
+    const FpValue q2 = FpValue::from_double(f, c2);
+    const std::vector<FpValue> qf = quantize(field, f);
+    FpStreams out;
+    std::vector<FpValue>& y = out["y"];
+    y.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const FpValue m0 = softfloat::fp_mul(qf[i], q0);
+      const FpValue m1 = softfloat::fp_mul(qf[i + 1], q1);
+      const FpValue m2 = softfloat::fp_mul(qf[i + 2], q2);
+      y.push_back(softfloat::fp_add(softfloat::fp_add(m0, m1), m2));
+    }
+    return out;
+  };
+  return kernel;
+}
+
+std::vector<HpcKernel> standard_suite(std::size_t n, std::uint64_t seed) {
+  // dot() demands n % chunk == 0; round down so any n >= 16 works.
+  constexpr std::size_t kDotChunk = 16;
+  const std::size_t dot_n = n >= kDotChunk ? n - n % kDotChunk : kDotChunk;
+  std::vector<HpcKernel> suite;
+  suite.push_back(make_stream_copy(n, seed));
+  suite.push_back(make_stream_scale(n, 3.0, seed));
+  suite.push_back(make_stream_add(n, seed));
+  suite.push_back(make_stream_triad(n, 3.0, seed));
+  suite.push_back(make_axpy(n, 2.5, seed));
+  suite.push_back(make_dot(dot_n, kDotChunk, seed));
+  suite.push_back(make_gemv(n, 8, seed));
+  suite.push_back(make_stencil3(n, 0.25, 0.5, 0.25, seed));
+  return suite;
+}
+
+}  // namespace vcgra::hpc

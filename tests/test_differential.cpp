@@ -1,0 +1,293 @@
+// Randomized differential testing: seeded random DFGs through two
+// independent execution paths.
+//
+//   path 1: overlay::compile (synth/map/place/route) -> cycle-level
+//           overlay::Simulator (FpValue software arithmetic);
+//   path 2: a gate-level netlist built directly from the same DFG with
+//           the FloPoCo operator generators (fpcircuits) -> levelized
+//           netlist::Simulator.
+//
+// The two paths share nothing past the Dfg object, so bitwise-equal
+// outputs certify the whole tool flow preserves semantics over DFG
+// shapes (diamonds, fan-out, shared operands, multi-output) far beyond
+// what the directed suites cover. Every assertion carries the case seed
+// so any failure is reproducible with `RandomDfg(<seed>)`.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+#include "vcgra/netlist/builder.hpp"
+#include "vcgra/netlist/simulate.hpp"
+#include "vcgra/softfloat/fpcircuits.hpp"
+#include "vcgra/softfloat/fpformat.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/dfg.hpp"
+#include "vcgra/vcgra/simulator.hpp"
+
+namespace ov = vcgra::overlay;
+namespace nl = vcgra::netlist;
+namespace sf = vcgra::softfloat;
+using sf::FpFormat;
+using sf::FpValue;
+
+namespace {
+
+/// Random combinational DFG over mul/add/sub/pass: 1-3 inputs, 0-2
+/// params, 3-12 compute nodes wired to arbitrary earlier value nodes
+/// (same-node operand pairs and multi-sink fan-out arise naturally).
+/// Every sink becomes an output, so nothing in the graph is dead.
+ov::Dfg random_dfg(std::uint64_t seed) {
+  vcgra::common::Rng rng(seed);
+  ov::Dfg dfg;
+  std::vector<int> streams;  // nodes carrying a per-sample value
+  std::vector<int> params;
+
+  const int num_inputs = static_cast<int>(1 + rng.next_below(3));
+  for (int i = 0; i < num_inputs; ++i) {
+    streams.push_back(dfg.add_input(vcgra::common::strprintf("x%d", i)));
+  }
+  const int num_params = static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < num_params; ++i) {
+    params.push_back(dfg.add_param(vcgra::common::strprintf("c%d", i),
+                                   8.0 * rng.next_double() - 4.0));
+  }
+
+  const auto pick_stream = [&]() {
+    return streams[rng.next_below(streams.size())];
+  };
+  const int num_ops = static_cast<int>(3 + rng.next_below(10));
+  for (int i = 0; i < num_ops; ++i) {
+    const std::string name = vcgra::common::strprintf("n%d", i);
+    const double roll = rng.next_double();
+    int node;
+    if (roll < 0.35) {
+      // mul by a stream or (40% of the time, when available) a coefficient.
+      const int a = pick_stream();
+      if (!params.empty() && rng.next_bool(0.4)) {
+        node = dfg.add_op(ov::OpKind::kMul, name,
+                          {a, params[rng.next_below(params.size())]});
+      } else {
+        node = dfg.add_op(ov::OpKind::kMul, name, {a, pick_stream()});
+      }
+    } else if (roll < 0.65) {
+      node = dfg.add_op(ov::OpKind::kAdd, name, {pick_stream(), pick_stream()});
+    } else if (roll < 0.85) {
+      node = dfg.add_op(ov::OpKind::kSub, name, {pick_stream(), pick_stream()});
+    } else {
+      node = dfg.add_op(ov::OpKind::kPass, name, {pick_stream()});
+    }
+    streams.push_back(node);
+  }
+
+  // Outputs: every compute node no one consumes (at minimum the last one).
+  std::vector<bool> consumed(dfg.nodes().size(), false);
+  for (const auto& node : dfg.nodes()) {
+    for (const int arg : node.args) {
+      consumed[static_cast<std::size_t>(arg)] = true;
+    }
+  }
+  int out = 0;
+  for (std::size_t i = 0; i < dfg.nodes().size(); ++i) {
+    const ov::OpKind kind = dfg.nodes()[i].kind;
+    const bool compute = kind != ov::OpKind::kInput &&
+                         kind != ov::OpKind::kParam && kind != ov::OpKind::kOutput;
+    if (compute && !consumed[i]) {
+      dfg.add_output(vcgra::common::strprintf("o%d", out++),
+                     static_cast<int>(i));
+    }
+  }
+  dfg.validate();
+  return dfg;
+}
+
+/// Mirror the DFG as a combinational gate-level netlist: inputs become
+/// buses, params become FloPoCo constants, mul/add become the fpcircuits
+/// operator datapaths, sub negates via the sign bit exactly like the
+/// cycle-level simulator does.
+struct DfgNetlist {
+  nl::Netlist netlist{"diff"};
+  std::map<std::string, nl::Bus> input_bus;
+  std::map<std::string, nl::Bus> output_bus;
+};
+
+DfgNetlist build_dfg_netlist(const ov::Dfg& dfg, FpFormat format) {
+  DfgNetlist result;
+  nl::NetlistBuilder builder(result.netlist);
+  std::map<int, nl::Bus> bus_of;
+
+  for (const int id : dfg.topo_order()) {
+    const ov::DfgNode& node = dfg.nodes()[static_cast<std::size_t>(id)];
+    switch (node.kind) {
+      case ov::OpKind::kInput: {
+        nl::Bus bus = builder.input_bus(node.name, format.total_bits());
+        result.input_bus[node.name] = bus;
+        bus_of[id] = std::move(bus);
+        break;
+      }
+      case ov::OpKind::kParam:
+        bus_of[id] =
+            sf::fp_const(builder, FpValue::from_double(format, node.value));
+        break;
+      case ov::OpKind::kMul:
+        bus_of[id] = sf::build_fp_multiplier(builder, format,
+                                             bus_of.at(node.args[0]),
+                                             bus_of.at(node.args[1]));
+        break;
+      case ov::OpKind::kAdd:
+      case ov::OpKind::kSub: {
+        nl::Bus rhs = bus_of.at(node.args[1]);
+        if (node.kind == ov::OpKind::kSub) {
+          const std::size_t sign = static_cast<std::size_t>(format.we + format.wf);
+          rhs[sign] = builder.not_(rhs[sign]);
+        }
+        bus_of[id] =
+            sf::build_fp_adder(builder, format, bus_of.at(node.args[0]), rhs);
+        break;
+      }
+      case ov::OpKind::kPass:
+        bus_of[id] = bus_of.at(node.args[0]);
+        break;
+      case ov::OpKind::kOutput: {
+        const nl::Bus& bus = bus_of.at(node.args[0]);
+        builder.mark_output_bus(bus);
+        result.output_bus[node.name] = bus;
+        break;
+      }
+      case ov::OpKind::kMac:
+        ADD_FAILURE() << "random combinational DFGs never contain mac";
+        break;
+    }
+  }
+  return result;
+}
+
+/// Random operand covering the full encoding space: normals across the
+/// whole exponent range plus zeros, infinities and NaNs.
+FpValue random_operand(FpFormat f, vcgra::common::Rng& rng) {
+  const double roll = rng.next_double();
+  if (roll < 0.06) return FpValue::zero(f, rng.next_bool());
+  if (roll < 0.10) return FpValue::infinity(f, rng.next_bool());
+  if (roll < 0.13) return FpValue::nan(f);
+  return FpValue::from_fields(f, rng.next_bool(), rng() & f.exp_mask(),
+                              rng() & f.frac_mask());
+}
+
+/// One differential case: compile + cycle-simulate vs gate-level
+/// netlist simulation of the same random DFG on random streams.
+void run_case(std::uint64_t seed, FpFormat format, std::size_t samples) {
+  SCOPED_TRACE(vcgra::common::strprintf(
+      "reproduce with: random_dfg(%llu), fp(%d,%d)",
+      static_cast<unsigned long long>(seed), format.we, format.wf));
+  const ov::Dfg dfg = random_dfg(seed);
+
+  ov::OverlayArch arch;
+  arch.format = format;
+  const ov::Compiled compiled = ov::compile(dfg, arch, seed);
+  const ov::Simulator overlay_sim(compiled);
+
+  // Random input streams (specials included).
+  vcgra::common::Rng rng(seed ^ 0xd1ffULL);
+  std::map<std::string, std::vector<FpValue>> inputs;
+  for (const int id : dfg.inputs()) {
+    std::vector<FpValue>& stream =
+        inputs[dfg.nodes()[static_cast<std::size_t>(id)].name];
+    stream.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      stream.push_back(random_operand(format, rng));
+    }
+  }
+  const ov::RunResult overlay_result = overlay_sim.run(inputs);
+
+  DfgNetlist gates = build_dfg_netlist(dfg, format);
+  nl::Simulator gate_sim(gates.netlist);
+  for (std::size_t i = 0; i < samples; ++i) {
+    for (const auto& [name, stream] : inputs) {
+      gate_sim.set_bus(gates.input_bus.at(name), stream[i].bits());
+    }
+    gate_sim.eval();
+    for (const auto& [name, bus] : gates.output_bus) {
+      const auto it = overlay_result.outputs.find(name);
+      ASSERT_NE(it, overlay_result.outputs.end()) << "missing output " << name;
+      ASSERT_EQ(it->second.size(), samples);
+      EXPECT_EQ(gate_sim.read_bus(bus), it->second[i].bits())
+          << "output " << name << " sample " << i;
+    }
+  }
+}
+
+}  // namespace
+
+// >= 100 random cases on a compact format (small multipliers keep the
+// gate-level path fast); specials-laden operands stress every exception
+// and rounding path through both simulators.
+TEST(DifferentialRandomDfg, CompactFormat100Cases) {
+  const FpFormat compact{4, 7};
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    run_case(seed, compact, 5);
+  }
+}
+
+TEST(DifferentialRandomDfg, HalfLikeFormat) {
+  for (std::uint64_t seed = 200; seed < 220; ++seed) {
+    run_case(seed, FpFormat::half_like(), 4);
+  }
+}
+
+TEST(DifferentialRandomDfg, PaperFormatSpotChecks) {
+  for (std::uint64_t seed = 300; seed < 306; ++seed) {
+    run_case(seed, FpFormat::paper(), 3);
+  }
+}
+
+// Directed sequential differential: the streaming MAC kernel against the
+// gate-level MAC PE of Section IV, stepped cycle by cycle. The circuit
+// carries the accumulation; only the final emit (the combinational
+// sum the PE registers on the done cycle) is formed in software from the
+// circuit's registered accumulator.
+TEST(DifferentialMac, StreamingMacMatchesGateLevelPe) {
+  const FpFormat format = FpFormat::half_like();
+  constexpr int kTaps = 6;
+  constexpr std::size_t kSamples = 24;  // 4 emits
+  const double coefficient = 0.8125;
+
+  const ov::Dfg dfg = ov::make_streaming_mac_kernel(coefficient, kTaps);
+  ov::OverlayArch arch;
+  arch.format = format;
+  const ov::Simulator overlay_sim(ov::compile(dfg, arch, 17));
+
+  vcgra::common::Rng rng(17);
+  std::vector<FpValue> xs;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    xs.push_back(FpValue::from_double(format, 4.0 * rng.next_double() - 2.0));
+  }
+  const ov::RunResult result = overlay_sim.run({{"x", xs}});
+  ASSERT_EQ(result.outputs.at("y").size(), kSamples / kTaps);
+
+  sf::MacPe pe = sf::build_mac_pe(format, sf::PeStyle::kConventional, 8);
+  nl::Simulator gate_sim(pe.netlist);
+  const FpValue coeff = FpValue::from_double(format, coefficient);
+  gate_sim.set_bus(pe.coeff, coeff.bits());
+  gate_sim.set_bus(pe.count, kTaps);
+  gate_sim.set_net(pe.enable, true);
+
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    gate_sim.set_bus(pe.x, xs[i].bits());
+    gate_sim.eval();
+    if (gate_sim.value(pe.done)) {
+      // Emitted value = registered accumulator + coeff * current sample.
+      const FpValue acc(format, gate_sim.read_bus(pe.acc));
+      const FpValue emit = sf::fp_mac(acc, xs[i], coeff);
+      ASSERT_LT(emitted, result.outputs.at("y").size());
+      EXPECT_EQ(emit.bits(), result.outputs.at("y")[emitted].bits())
+          << "emit " << emitted;
+      ++emitted;
+    }
+    gate_sim.step();
+  }
+  EXPECT_EQ(emitted, kSamples / kTaps);
+}

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "vcgra/hpc/bench.hpp"
+#include "vcgra/hpc/kernels.hpp"
+#include "vcgra/softfloat/fpformat.hpp"
+
+namespace hpc = vcgra::hpc;
+namespace sf = vcgra::softfloat;
+
+namespace {
+
+hpc::HpcBenchOptions small_options(sf::FpFormat format = sf::FpFormat::paper()) {
+  hpc::HpcBenchOptions options;
+  options.arch.format = format;
+  options.service.threads = 2;
+  return options;
+}
+
+}  // namespace
+
+// Every suite kernel must round-trip the whole stack — parse, compile,
+// place, route, simulate — bit-exact against its softfloat reference and
+// within format tolerance of the double host reference.
+TEST(HpcSuite, AllKernelsBitExactAndWithinTolerance) {
+  hpc::HpcBench bench(small_options());
+  const auto reports = bench.run_suite(64, /*seed=*/3);
+  ASSERT_EQ(reports.size(), 8u);
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.bit_exact) << report.name;
+    EXPECT_TRUE(report.within_tolerance)
+        << report.name << " rel_err=" << report.max_rel_err
+        << " tol=" << report.tolerance;
+    EXPECT_GT(report.cycles, 0u) << report.name;
+    EXPECT_GT(report.pes_used, 0) << report.name;
+  }
+}
+
+// The suite is format-parameterized: the same kernels must hold bit-exact
+// on a half-precision-like and an IEEE-single-like format.
+TEST(HpcSuite, OtherFormatsStayBitExact) {
+  for (const sf::FpFormat format :
+       {sf::FpFormat::half_like(), sf::FpFormat::single_like()}) {
+    hpc::HpcBench bench(small_options(format));
+    for (const auto& report : bench.run_suite(32, /*seed=*/11)) {
+      EXPECT_TRUE(report.passed())
+          << report.name << " we=" << format.we << " wf=" << format.wf
+          << " rel_err=" << report.max_rel_err << " tol=" << report.tolerance;
+    }
+  }
+}
+
+TEST(HpcSuite, FlopAccounting) {
+  hpc::HpcBench bench(small_options());
+  const auto copy = bench.run(hpc::make_stream_copy(64));
+  EXPECT_EQ(copy.flop_per_cycle, 0.0);  // pure routing
+  const auto triad = bench.run(hpc::make_stream_triad(64));
+  // 2 FLOP per sample at initiation interval 1, minus pipeline fill.
+  EXPECT_GT(triad.flop_per_cycle, 1.5);
+  EXPECT_LE(triad.flop_per_cycle, 2.0);
+  EXPECT_GT(triad.fill_fraction, 0.0);
+  EXPECT_LT(triad.fill_fraction, 0.5);
+}
+
+TEST(HpcSuite, DotReductionDecimates) {
+  hpc::HpcBench bench(small_options());
+  const hpc::HpcKernel dot = hpc::make_dot(64, 16);
+  EXPECT_EQ(dot.ref_double.at("s").size(), 4u);  // 64 samples -> 4 partials
+  EXPECT_TRUE(bench.run(dot).passed());
+  EXPECT_THROW(hpc::make_dot(60, 16), std::invalid_argument);
+  EXPECT_THROW(hpc::make_dot(0, 16), std::invalid_argument);
+  EXPECT_THROW(hpc::make_dot(64, 0), std::invalid_argument);
+}
+
+TEST(HpcSuite, RepeatRunHitsOverlayCache) {
+  hpc::HpcBench bench(small_options());
+  const hpc::HpcKernel triad = hpc::make_stream_triad(32);
+  const auto cold = bench.run(triad);
+  const auto warm = bench.run(triad);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.compile_seconds, 0.0);
+  EXPECT_TRUE(warm.passed());
+}
+
+TEST(HpcGemm, TiledGemmMatchesReferences) {
+  hpc::HpcBench bench(small_options());
+  const hpc::GemmReport report = bench.run_gemm(8, 4, 12, 4, /*seed=*/5);
+  EXPECT_EQ(report.jobs, 4 * 3);  // 4 columns x 3 k-tiles
+  EXPECT_TRUE(report.bit_exact);
+  EXPECT_TRUE(report.within_tolerance)
+      << "rel_err=" << report.max_rel_err << " tol=" << report.tolerance;
+  EXPECT_GT(report.cycles, 0u);
+  EXPECT_GT(report.flop_per_cycle, 0.0);
+}
+
+TEST(HpcGemm, RaggedTailTileAndValidation) {
+  hpc::HpcBench bench(small_options());
+  // k=10, tile_k=4 -> tiles of 4, 4, 2 per column.
+  const hpc::GemmReport report = bench.run_gemm(6, 3, 10, 4, /*seed=*/9);
+  EXPECT_EQ(report.jobs, 3 * 3);
+  EXPECT_TRUE(report.passed()) << report.max_rel_err;
+  // Oversized tiles must be rejected before touching the service.
+  EXPECT_THROW(bench.run_gemm(4, 2, 32, 16), std::invalid_argument);
+  EXPECT_THROW(bench.run_gemm(0, 2, 8, 4), std::invalid_argument);
+}
+
+TEST(HpcKernels, GemvTileValidatesShapes) {
+  EXPECT_THROW(hpc::make_gemv_tile({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(hpc::make_gemv_tile({{1.0, 2.0}}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(hpc::dot_tree_kernel_text({}), std::invalid_argument);
+  // Single-tap tile degenerates to mul + pass and still validates.
+  hpc::HpcBench bench(small_options());
+  const auto kernel = hpc::make_gemv_tile({{2.0}, {3.0}}, {0.5}, "tap1");
+  EXPECT_TRUE(bench.run(kernel).passed());
+}

@@ -426,6 +426,135 @@ TEST(OverlayService, FailedTasksAreCountedAndPropagate) {
   EXPECT_EQ(stats.tasks_failed, 1u);
 }
 
+// --- edge cases: degenerate capacities, shutdown, submit coalescing --------
+
+TEST(OverlayCache, CapacityZeroIsClampedToOneAndWorks) {
+  const ov::OverlayArch arch;
+  rt::OverlayCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+
+  bool hit = true;
+  const auto first = cache.get_or_compile(dot2_kernel(1.0, 2.0), arch, 1, &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(first, nullptr);
+  cache.get_or_compile(dot2_kernel(1.0, 2.0), arch, 1, &hit);
+  EXPECT_TRUE(hit);  // the single slot still caches
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(OverlayCache, CapacityOneThrashesButStaysCorrect) {
+  const ov::OverlayArch arch;
+  rt::OverlayCache cache(1);
+  const std::string a = dot2_kernel(1.0, 2.0);
+  const std::string b = dot2_kernel(3.0, 4.0);
+
+  // Alternating keys: every access after the first evicts the other.
+  for (int round = 0; round < 3; ++round) {
+    bool hit = true;
+    const auto compiled = cache.get_or_compile(round % 2 ? b : a, arch, 1, &hit);
+    EXPECT_FALSE(hit) << "round " << round;
+    ASSERT_NE(compiled, nullptr);
+    // Evicted-or-not, the handle always simulates correctly.
+    const ov::Simulator simulator(compiled);
+    EXPECT_EQ(simulator.run_doubles(ramp_inputs(4)).outputs.count("y"), 1u);
+  }
+  const rt::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  bool hit = false;
+  cache.get_or_compile(a, arch, 1, &hit);  // a is the resident entry
+  EXPECT_TRUE(hit);
+}
+
+TEST(OverlayService, CacheCapacityZeroServiceStillServes) {
+  rt::ServiceOptions options;
+  options.threads = 2;
+  options.cache_capacity = 0;  // normalized to 1
+  rt::OverlayService service(options);
+  EXPECT_EQ(service.cache().capacity(), 1u);
+
+  std::vector<std::future<rt::JobResult>> futures;
+  for (int j = 0; j < 12; ++j) {
+    rt::JobRequest request;
+    request.kernel_text = dot2_kernel(1.0 + j % 3, -2.0);
+    request.inputs = ramp_inputs(16);
+    futures.push_back(service.submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    const rt::JobResult result = future.get();
+    EXPECT_EQ(result.run.outputs.count("y"), 1u);
+  }
+  EXPECT_EQ(service.stats().jobs_completed, 12u);
+}
+
+TEST(OverlayService, ShutdownWithQueuedJobsCompletesEveryFuture) {
+  std::vector<std::future<rt::JobResult>> futures;
+  std::vector<std::uint64_t> expected;
+  {
+    rt::ServiceOptions options;
+    options.threads = 1;  // deep queue behind a single worker
+    rt::OverlayService service(options);
+
+    // Expected bits from a pre-shutdown run of each kernel.
+    for (int j = 0; j < 3; ++j) {
+      rt::JobRequest request;
+      request.kernel_text = dot2_kernel(0.5 + j, 1.5);
+      request.inputs = ramp_inputs(32);
+      const auto bits = output_bits(service.run(std::move(request)).run);
+      expected.insert(expected.end(), bits.begin(), bits.end());
+    }
+    for (int j = 0; j < 24; ++j) {
+      rt::JobRequest request;
+      request.kernel_text = dot2_kernel(0.5 + j % 3, 1.5);
+      request.inputs = ramp_inputs(32);
+      futures.push_back(service.submit(std::move(request)));
+    }
+    // Service destructor runs here with most of the queue still pending.
+  }
+  std::vector<std::uint64_t> seen;
+  for (std::size_t j = 0; j < futures.size(); ++j) {
+    ASSERT_TRUE(futures[j].valid());
+    const auto bits = output_bits(futures[j].get().run);  // must not hang/throw
+    const auto& want = expected;
+    const std::size_t base = (j % 3) * bits.size();
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      EXPECT_EQ(bits[i], want[base + i]) << "job " << j << " sample " << i;
+    }
+  }
+}
+
+TEST(OverlayService, ConcurrentDuplicateSubmissionsCoalesceToOneCompile) {
+  rt::ServiceOptions options;
+  options.threads = 8;
+  rt::OverlayService service(options);
+
+  constexpr int kDuplicates = 16;
+  std::vector<std::future<rt::JobResult>> futures;
+  for (int j = 0; j < kDuplicates; ++j) {
+    rt::JobRequest request;
+    request.kernel_text = dot2_kernel(0.125, -0.875);  // identical every time
+    request.inputs = ramp_inputs(64);
+    futures.push_back(service.submit(std::move(request)));
+  }
+  std::vector<std::uint64_t> reference;
+  for (auto& future : futures) {
+    const rt::JobResult result = future.get();
+    const auto bits = output_bits(result.run);
+    if (reference.empty()) {
+      reference = bits;
+    } else {
+      EXPECT_EQ(bits, reference);
+    }
+  }
+  const rt::CacheStats cache = service.stats().cache;
+  EXPECT_EQ(cache.hits + cache.misses, static_cast<std::uint64_t>(kDuplicates));
+  // Exactly one compile ran: every miss beyond the first joined in-flight.
+  EXPECT_EQ(cache.misses - cache.inflight_joins, 1u);
+  EXPECT_EQ(cache.entries, 1u);
+}
+
 TEST(ServiceStats, PercentileNearestRank) {
   std::vector<double> samples;
   for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "vcgra/common/rng.hpp"
 #include "vcgra/netlist/passes.hpp"
@@ -179,6 +181,146 @@ INSTANTIATE_TEST_SUITE_P(Formats, FpFormatTest,
                            return "we" + std::to_string(info.param.we) + "_wf" +
                                   std::to_string(info.param.wf);
                          });
+
+// ---------------------------------------------------------------------------
+// Corner cases: the denormal range (FloPoCo flushes to zero), infinity /
+// NaN propagation, and RNE rounding boundaries — at every supported
+// format, checked against double-precision references where exact.
+// ---------------------------------------------------------------------------
+
+TEST_P(FpFormatTest, DenormalRangeFlushesToZero) {
+  const FpFormat f = GetParam();
+  // Smallest normal: biased exponent 0 -> 2^-bias. FloPoCo has no
+  // subnormals, so everything strictly below it encodes as zero.
+  const double min_normal = std::ldexp(1.0, static_cast<int>(-f.bias()));
+  EXPECT_FALSE(FpValue::from_double(f, min_normal).is_zero());
+  EXPECT_EQ(FpValue::from_double(f, min_normal).exponent(), 0u);
+  EXPECT_TRUE(FpValue::from_double(f, min_normal / 2).is_zero());
+  EXPECT_TRUE(FpValue::from_double(f, -min_normal / 2).is_zero());
+  EXPECT_TRUE(FpValue::from_double(f, -min_normal / 2).sign());
+  // An IEEE-double subnormal is far below any supported format's range.
+  EXPECT_TRUE(FpValue::from_double(f, 5e-324).is_zero());
+
+  // Arithmetic underflow flushes too (sign = XOR of operand signs).
+  const FpValue tiny = FpValue::from_fields(f, false, 0, 0);  // 2^-bias
+  const FpValue half = FpValue::from_double(f, 0.5);
+  const FpValue under = sf::fp_mul(tiny, half);
+  EXPECT_TRUE(under.is_zero());
+  const FpValue under_neg = sf::fp_mul(tiny, FpValue::from_double(f, -0.5));
+  EXPECT_TRUE(under_neg.is_zero());
+  EXPECT_TRUE(under_neg.sign());
+  // Exact cancellation produces +0.
+  const FpValue x = FpValue::from_double(f, 1.375);
+  const FpValue minus_x =
+      FpValue(f, x.bits() ^ (std::uint64_t{1} << (f.we + f.wf)));
+  const FpValue cancel = sf::fp_add(x, minus_x);
+  EXPECT_TRUE(cancel.is_zero());
+  EXPECT_FALSE(cancel.sign());
+}
+
+TEST_P(FpFormatTest, InfinityAndNanPropagation) {
+  const FpFormat f = GetParam();
+  const FpValue inf = FpValue::infinity(f);
+  const FpValue ninf = FpValue::infinity(f, true);
+  const FpValue nan = FpValue::nan(f);
+  const FpValue x = FpValue::from_double(f, 1.5);
+
+  // Addition.
+  EXPECT_TRUE(sf::fp_add(inf, x).is_inf());
+  EXPECT_FALSE(sf::fp_add(inf, x).sign());
+  EXPECT_TRUE(sf::fp_add(ninf, x).sign());
+  EXPECT_TRUE(sf::fp_add(inf, inf).is_inf());
+  EXPECT_TRUE(sf::fp_add(inf, ninf).is_nan());  // inf - inf
+  EXPECT_TRUE(sf::fp_add(nan, x).is_nan());
+  EXPECT_TRUE(sf::fp_add(x, nan).is_nan());
+  EXPECT_TRUE(sf::fp_add(nan, inf).is_nan());
+
+  // Multiplication.
+  EXPECT_TRUE(sf::fp_mul(inf, ninf).is_inf());
+  EXPECT_TRUE(sf::fp_mul(inf, ninf).sign());
+  EXPECT_TRUE(sf::fp_mul(inf, FpValue::zero(f)).is_nan());
+  EXPECT_TRUE(sf::fp_mul(nan, nan).is_nan());
+
+  // Overflow saturates to infinity with the product sign.
+  const FpValue huge = FpValue::from_fields(f, false, f.exp_mask(), 0);
+  const FpValue over = sf::fp_mul(huge, huge);
+  EXPECT_TRUE(over.is_inf());
+  const FpValue over_neg =
+      sf::fp_mul(huge, FpValue::from_fields(f, true, f.exp_mask(), 0));
+  EXPECT_TRUE(over_neg.is_inf());
+  EXPECT_TRUE(over_neg.sign());
+
+  // NaN survives a whole MAC chain.
+  FpValue acc = FpValue::zero(f);
+  acc = sf::fp_mac(acc, nan, x);
+  acc = sf::fp_mac(acc, x, x);
+  EXPECT_TRUE(acc.is_nan());
+}
+
+TEST_P(FpFormatTest, RoundToNearestEvenBoundaries) {
+  const FpFormat f = GetParam();
+  const std::uint64_t bias = static_cast<std::uint64_t>(f.bias());
+  // Anchor exponent: high enough that a half-ulp (exponent be - wf - 1)
+  // is itself a normal number. Matters for formats with wf >= bias,
+  // e.g. FpFormat{4,7}, where the half-ulp of 1.0 is in the flush range.
+  const std::uint64_t be =
+      std::max<std::uint64_t>(bias, static_cast<std::uint64_t>(f.wf) + 1);
+  ASSERT_LE(be, f.exp_mask());
+  const FpValue base = FpValue::from_fields(f, false, be, 0);      // 2^e
+  const FpValue base_ulp = FpValue::from_fields(f, false, be, 1);  // 2^e(1+u)
+  const FpValue two_ulp = FpValue::from_fields(f, false, be, 2);
+  const FpValue half_ulp = FpValue::from_fields(
+      f, false, be - static_cast<std::uint64_t>(f.wf) - 1, 0);
+
+  // Tie on an even significand rounds down: base + u/2 -> base.
+  EXPECT_EQ(sf::fp_add(base, half_ulp).bits(), base.bits());
+  // Tie on an odd significand rounds up to even: (base+u) + u/2 -> base+2u.
+  EXPECT_EQ(sf::fp_add(base_ulp, half_ulp).bits(), two_ulp.bits());
+  // Just above the tie rounds up: base + (u/2)(1+u) -> base+u.
+  const FpValue above_tie = FpValue::from_fields(
+      f, false, be - static_cast<std::uint64_t>(f.wf) - 1, 1);
+  EXPECT_EQ(sf::fp_add(base, above_tie).bits(), base_ulp.bits());
+
+  // Multiplication: (1+u)^2 = 1 + 2u + u^2; u^2 is below half an ulp, so
+  // RNE keeps 1+2u.
+  const FpValue one_ulp = FpValue::from_fields(f, false, bias, 1);
+  EXPECT_EQ(sf::fp_mul(one_ulp, one_ulp).bits(),
+            FpValue::from_fields(f, false, bias, 2).bits());
+  // All-ones significand squared ((2-u)^2 straddles a binade boundary):
+  // the double reference is exact for wf <= 26 and RNE-rounds the same.
+  const FpValue max_frac = FpValue::from_fields(f, false, bias, f.frac_mask());
+  const FpValue squared = sf::fp_mul(max_frac, max_frac);
+  EXPECT_EQ(squared.bits(),
+            FpValue::from_double(f, max_frac.to_double() * max_frac.to_double())
+                .bits());
+
+  // from_double must RNE at the format's precision as well.
+  const double ulp_scale = std::ldexp(1.0, -(f.wf + 1));
+  const double tie_down = base.to_double() * (1.0 + ulp_scale);
+  EXPECT_EQ(FpValue::from_double(f, tie_down).bits(), base.bits());
+  const double tie_up = base.to_double() * (1.0 + 3.0 * ulp_scale);
+  EXPECT_EQ(FpValue::from_double(f, tie_up).bits(), two_ulp.bits());
+}
+
+TEST_P(FpFormatTest, MacRoundsEveryStepAgainstDoubleReference) {
+  const FpFormat f = GetParam();
+  // Non-fused MAC: multiply rounds, then accumulate rounds. A double
+  // reference that rounds both steps through the format must agree.
+  vcgra::common::Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const FpValue acc = random_normal(f, rng, 3);
+    const FpValue x = random_normal(f, rng, 3);
+    const FpValue c = random_normal(f, rng, 3);
+    const FpValue got = sf::fp_mac(acc, x, c);
+    const FpValue product = FpValue::from_double(
+        f, static_cast<double>(static_cast<long double>(x.to_double()) *
+                               static_cast<long double>(c.to_double())));
+    const FpValue expected =
+        FpValue::from_double(f, acc.to_double() + product.to_double());
+    EXPECT_EQ(got.bits(), expected.bits())
+        << acc.to_string() << " + " << x.to_string() << "*" << c.to_string();
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Circuit <-> software bit-exactness.

@@ -37,9 +37,11 @@ struct KernelReport {
   double flop_per_cycle = 0;      // useful_flops / cycles
   double fill_fraction = 0;       // pipeline_depth / cycles
   double compile_seconds = 0;
+  double specialize_seconds = 0;  // coefficient binding (the DCS fast path)
   double reconfig_seconds = 0;    // modeled fabric respecialization
   double exec_seconds = 0;
   bool cache_hit = false;
+  bool structure_hit = false;     // place & route skipped for this kernel
   bool bit_exact = false;         // outputs == softfloat reference, bitwise
   double max_rel_err = 0;         // vs the double reference
   double tolerance = 0;
@@ -55,7 +57,11 @@ struct GemmReport {
   double flop_per_cycle = 0;      // 2mnk / cycles
   double compile_seconds = 0;
   double reconfig_seconds = 0;
-  std::uint64_t cache_hits = 0;   // tiles served from the overlay cache
+  std::uint64_t cache_hits = 0;      // tiles served fully from the overlay cache
+  /// Tiles that skipped place & route (full hits plus respecializations).
+  /// Tiles share one dot-tree shape per tap width, so after the first
+  /// tile of each width this should be every remaining tile.
+  std::uint64_t structure_hits = 0;
   bool bit_exact = false;
   double max_rel_err = 0;
   double tolerance = 0;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "vcgra/softfloat/fpformat.hpp"
+#include "vcgra/vcgra/params.hpp"
 
 namespace vcgra::hpc {
 
@@ -34,6 +35,11 @@ using FpStreams = std::map<std::string, std::vector<softfloat::FpValue>>;
 struct HpcKernel {
   std::string name;
   std::string kernel_text;  // PE-granularity kernel language (dfg.hpp)
+  /// Coefficient overrides submitted as JobRequest::params. Generators
+  /// whose coefficients vary per instance (the GEMV/GEMM tiles) emit one
+  /// shape-canonical kernel_text and bind values here, so every instance
+  /// of a shape shares a single place & route.
+  overlay::ParamBinding params;
   DoubleStreams inputs;     // named input streams, double-valued
   DoubleStreams ref_double; // host double-precision reference outputs
   /// Bit-exact FpValue reference in the given format; mirrors the DFG's
@@ -71,6 +77,11 @@ HpcKernel make_dot(std::size_t n, int chunk = 16, std::uint64_t seed = 1);
 /// The adder-tree dot-product kernel text y = sum_j coeffs[j] * x_j —
 /// the per-column / per-k-tile unit a GEMV or GEMM decomposes into.
 std::string dot_tree_kernel_text(const std::vector<double>& coeffs);
+/// The same kernel with placeholder (0) coefficients: the *shape* every
+/// `taps`-wide tile shares. Bind real values via HpcKernel::params /
+/// JobRequest::params; place & route then runs once per shape, not once
+/// per coefficient set.
+std::string dot_tree_kernel_shape(std::size_t taps);
 /// One GEMV tile: `rows` (each coeffs.size() wide) stream through the
 /// adder-tree kernel one row per cycle; y[i] = dot(rows[i], coeffs).
 /// Needs 2*coeffs.size()-1 PEs.

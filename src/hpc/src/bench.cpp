@@ -39,6 +39,7 @@ KernelReport HpcBench::run(const HpcKernel& kernel, std::uint64_t seed) {
   request.kernel_text = kernel.kernel_text;
   request.arch = options_.arch;
   request.inputs = kernel.inputs;
+  request.params = kernel.params;
   request.seed = seed;
   const runtime::JobResult result = service_->run(std::move(request));
 
@@ -50,9 +51,11 @@ KernelReport HpcBench::run(const HpcKernel& kernel, std::uint64_t seed) {
   report.sim_fp_ops = result.run.fp_ops;
   report.pipeline_depth = result.run.pipeline_depth;
   report.compile_seconds = result.compile_seconds;
+  report.specialize_seconds = result.specialize_seconds;
   report.reconfig_seconds = result.reconfig_seconds;
   report.exec_seconds = result.exec_seconds;
   report.cache_hit = result.cache_hit;
+  report.structure_hit = result.structure_hit;
   if (report.cycles > 0) {
     report.flop_per_cycle = static_cast<double>(kernel.useful_flops) /
                             static_cast<double>(report.cycles);
@@ -61,7 +64,7 @@ KernelReport HpcBench::run(const HpcKernel& kernel, std::uint64_t seed) {
   }
   // PEs actually occupied (cache hits still know their compile report).
   if (const auto compiled = service_->cache().peek(
-          kernel.kernel_text, options_.arch, seed)) {
+          kernel.kernel_text, options_.arch, seed, kernel.params)) {
     report.pes_used = compiled->report.pes_used;
   }
 
@@ -175,6 +178,7 @@ GemmReport HpcBench::run_gemm(int m, int n, int k, int tile_k,
       request.kernel_text = job.kernel.kernel_text;
       request.arch = options_.arch;
       request.inputs = job.kernel.inputs;
+      request.params = job.kernel.params;
       request.seed = seed;
       job.future = service_->submit(std::move(request));
       jobs.push_back(std::move(job));
@@ -198,6 +202,7 @@ GemmReport HpcBench::run_gemm(int m, int n, int k, int tile_k,
     report.compile_seconds += result.compile_seconds;
     report.reconfig_seconds += result.reconfig_seconds;
     if (result.cache_hit) ++report.cache_hits;
+    if (result.structure_hit) ++report.structure_hits;
 
     const auto it = result.run.outputs.find("y");
     if (it == result.run.outputs.end() ||

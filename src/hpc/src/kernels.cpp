@@ -5,6 +5,7 @@
 
 #include "vcgra/common/rng.hpp"
 #include "vcgra/common/strings.hpp"
+#include "vcgra/vcgra/dfg.hpp"
 
 namespace vcgra::hpc {
 
@@ -240,34 +241,17 @@ HpcKernel make_dot(std::size_t n, int chunk, std::uint64_t seed) {
 }
 
 std::string dot_tree_kernel_text(const std::vector<double>& coeffs) {
-  if (coeffs.empty()) {
-    throw std::invalid_argument("dot_tree_kernel_text: no coefficients");
+  // overlay::dot_tree_text reduces pairwise in exactly the order
+  // pairwise_reduce does — tree_reduce_add (the reference reducer) and
+  // the emitted kernel stay in lock-step through that one emitter.
+  return overlay::dot_tree_text(coeffs);
+}
+
+std::string dot_tree_kernel_shape(std::size_t taps) {
+  if (taps == 0) {
+    throw std::invalid_argument("dot_tree_kernel_shape: no taps");
   }
-  std::string text;
-  for (std::size_t i = 0; i < coeffs.size(); ++i) {
-    text += common::strprintf("input x%zu; param c%zu = %.17g;\n", i, i, coeffs[i]);
-    text += common::strprintf("p%zu = mul(x%zu, c%zu);\n", i, i, i);
-  }
-  if (coeffs.size() == 1) {
-    text += "y = pass(p0);\noutput y;\n";
-    return text;
-  }
-  std::vector<std::string> terms;
-  for (std::size_t i = 0; i < coeffs.size(); ++i) {
-    terms.push_back(common::strprintf("p%zu", i));
-  }
-  pairwise_reduce(std::move(terms),
-                  [&text](const std::string& a, const std::string& b, int level,
-                          std::size_t pair, std::size_t remaining) {
-                    std::string name =
-                        remaining == 2 ? std::string("y")
-                                       : common::strprintf("s%d_%zu", level, pair);
-                    text += common::strprintf("%s = add(%s, %s);\n", name.c_str(),
-                                              a.c_str(), b.c_str());
-                    return name;
-                  });
-  text += "output y;\n";
-  return text;
+  return overlay::dot_tree_text(std::vector<double>(taps, 0.0));
 }
 
 HpcKernel make_gemv_tile(const std::vector<std::vector<double>>& rows,
@@ -282,7 +266,13 @@ HpcKernel make_gemv_tile(const std::vector<std::vector<double>>& rows,
   }
   HpcKernel kernel;
   kernel.name = std::move(name);
-  kernel.kernel_text = dot_tree_kernel_text(coeffs);
+  // One canonical text per tap width; the actual coefficients ride along
+  // as a symbolic binding, so a sweep of tiles respecializes one cached
+  // structure instead of compiling per tile.
+  kernel.kernel_text = dot_tree_kernel_shape(coeffs.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    kernel.params[common::strprintf("c%zu", i)] = coeffs[i];
+  }
   for (std::size_t j = 0; j < coeffs.size(); ++j) {
     std::vector<double>& stream = kernel.inputs[common::strprintf("x%zu", j)];
     stream.reserve(rows.size());

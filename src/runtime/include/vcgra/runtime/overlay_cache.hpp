@@ -1,16 +1,21 @@
-// Compiled-overlay cache.
+// Two-level compiled-overlay cache: structure, then specialization.
 //
-// The paper's tool flow compiles a kernel in milliseconds — fast enough
-// to do online, far too slow to repeat per request once the same kernels
-// arrive millions of times. The cache keys a Compiled artifact by kernel
-// text + overlay architecture + placer seed and hands out shared_ptr
-// handles, so a hit skips the synth/map/place/route flow entirely and an
-// LRU eviction can never dangle an executor that is still simulating on
-// the evicted overlay.
+// The paper's Dynamic Circuit Specialization splits a configuration into
+// a rarely-changing *structure* (DFG topology, placement, routing) and
+// frequently-changing *parameters* (coefficients). The cache mirrors that
+// split:
 //
-// Concurrent misses for the same key are coalesced: the first caller
-// compiles, later callers block on its shared_future instead of burning
-// a second compile (and instead of holding the cache lock).
+//   level 1  structural key  ->  CompiledStructure  (place & route ran)
+//   level 2  param signature ->  Compiled           (coefficients bound)
+//
+// A job that differs from a cached one only in `param` values (or in
+// whitespace/comments — keys are built from the canonicalized structural
+// text) hits level 1 and pays only a microsecond specialize(), never the
+// milliseconds-long tool flow. Structure entries are LRU-evicted with
+// their specializations; concurrent misses for one structure coalesce
+// onto a single compile via a shared_future, and specializations are
+// handed out as shared_ptr so eviction can never dangle a running
+// simulator.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +28,7 @@
 
 #include "vcgra/runtime/stats.hpp"
 #include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/dfg.hpp"
 
 namespace vcgra::runtime {
 
@@ -30,56 +36,109 @@ namespace vcgra::runtime {
 /// results; two archs with equal signatures are interchangeable keys.
 std::string arch_signature(const overlay::OverlayArch& arch);
 
-/// Canonical cache/scheduler key of (kernel text, arch, seed): equal keys
-/// mean an identical Compiled artifact (compilation is deterministic).
+/// Level-1 key: arch + placer seed + canonicalized structural text.
+/// Whitespace, comments and coefficient values do not participate.
+std::string structure_key(const std::string& structural_text,
+                          const overlay::OverlayArch& arch, std::uint64_t seed);
+
+/// The two cache coordinates of one job, derived once at submit time.
+struct CacheKeys {
+  std::string structure;  // level-1 key
+  std::string params;     // param_signature of the fully merged binding
+  /// Full configuration key: equal keys mean a bit-identical Compiled
+  /// artifact. This is also the scheduler's exact-affinity currency.
+  std::string full() const { return structure + "|" + params; }
+};
+
+/// Build both keys for a parsed kernel and its final (defaults merged
+/// with overrides) binding.
+CacheKeys cache_keys(const overlay::ParsedKernel& parsed,
+                     const overlay::OverlayArch& arch, std::uint64_t seed,
+                     const overlay::ParamBinding& binding);
+
+/// Canonical full key of (kernel text, arch, seed) with the kernel's own
+/// default parameter values. Parses the text: equal keys now survive
+/// reformatting, and kernels differing only in coefficients share the
+/// structural prefix. Throws ParseError on invalid kernel text.
 std::string overlay_key(const std::string& kernel_text,
                         const overlay::OverlayArch& arch, std::uint64_t seed);
+
+/// What one lookup did, for stats/latency attribution.
+struct CacheOutcome {
+  bool hit = false;            // full artifact served, nothing ran
+  bool structure_hit = false;  // structure was resident: no place & route
+  double compile_seconds = 0;     // structural tool-flow time this call paid
+  double specialize_seconds = 0;  // coefficient-binding time this call paid
+};
 
 class OverlayCache {
  public:
   explicit OverlayCache(std::size_t capacity);
 
-  /// Return the compiled overlay for (kernel, arch, seed), compiling on a
-  /// miss. `hit` and `compile_seconds` (time this call spent compiling;
-  /// zero on a hit or an in-flight join) are optional out-params.
+  /// Specializations kept per structure entry (coefficient working set);
+  /// beyond this the least recently used specialization is dropped —
+  /// recomputing one costs microseconds, so the bound is about memory.
+  static constexpr std::size_t kSpecializationsPerStructure = 64;
+
+  /// Return the compiled overlay for (parsed kernel, arch, seed, binding),
+  /// compiling the structure and/or specializing on demand. `keys` must
+  /// equal cache_keys(parsed, arch, seed, binding) — the service builds
+  /// them at submit time so the hot path never re-derives them.
   /// Compile failures propagate as exceptions and are not cached.
+  std::shared_ptr<const overlay::Compiled> get_or_specialize(
+      const CacheKeys& keys, const overlay::ParsedKernel& parsed,
+      const overlay::OverlayArch& arch, std::uint64_t seed,
+      const overlay::ParamBinding& binding, CacheOutcome* outcome = nullptr);
+
+  /// Text-based convenience (parses, merges nothing beyond the kernel's
+  /// own defaults). `hit` and `compile_seconds` mirror CacheOutcome.
   std::shared_ptr<const overlay::Compiled> get_or_compile(
       const std::string& kernel_text, const overlay::OverlayArch& arch,
       std::uint64_t seed = 1, bool* hit = nullptr,
       double* compile_seconds = nullptr);
 
-  /// Same, with the overlay_key() already computed by the caller — the
-  /// service builds it at submit time, so the hot hit path skips
-  /// re-deriving it. `key` must equal overlay_key(kernel_text, arch, seed).
-  std::shared_ptr<const overlay::Compiled> get_or_compile_keyed(
-      const std::string& key, const std::string& kernel_text,
-      const overlay::OverlayArch& arch, std::uint64_t seed, bool* hit = nullptr,
-      double* compile_seconds = nullptr);
+  /// Lookup without compiling; nullptr on any miss, unparsable text or
+  /// bad override (does not count in stats).
+  std::shared_ptr<const overlay::Compiled> peek(
+      const std::string& kernel_text, const overlay::OverlayArch& arch,
+      std::uint64_t seed = 1,
+      const overlay::ParamBinding& overrides = {}) const;
 
-  /// Lookup without compiling; nullptr on a miss (does not count in stats).
-  std::shared_ptr<const overlay::Compiled> peek(const std::string& kernel_text,
-                                                const overlay::OverlayArch& arch,
-                                                std::uint64_t seed = 1) const;
+  /// Level-1 lookup without compiling; nullptr on a miss.
+  std::shared_ptr<const overlay::CompiledStructure> peek_structure(
+      const std::string& kernel_text, const overlay::OverlayArch& arch,
+      std::uint64_t seed = 1) const;
 
   void clear();
   CacheStats stats() const;
   std::size_t capacity() const { return capacity_; }
 
  private:
+  using SpecialList =
+      std::list<std::pair<std::string, std::shared_ptr<const overlay::Compiled>>>;
   struct Entry {
-    std::string key;
-    std::shared_ptr<const overlay::Compiled> compiled;
+    std::string key;  // structure key
+    std::shared_ptr<const overlay::CompiledStructure> structure;
+    SpecialList specials;  // front = most recently used
+    std::unordered_map<std::string, SpecialList::iterator> special_index;
   };
   using LruList = std::list<Entry>;
 
-  std::shared_ptr<const overlay::Compiled> lookup_locked(const std::string& key);
+  /// Specialize `structure` for `binding` and publish it under `keys`,
+  /// reusing a cached specialization when one already landed (joiners
+  /// racing after one structural compile). Never touches hit/miss stats.
+  std::shared_ptr<const overlay::Compiled> specialize_and_cache(
+      const CacheKeys& keys,
+      const std::shared_ptr<const overlay::CompiledStructure>& structure,
+      const overlay::ParamBinding& binding, CacheOutcome* outcome);
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
-  LruList lru_;  // front = most recently used
+  LruList lru_;  // front = most recently used structure
   std::unordered_map<std::string, LruList::iterator> index_;
-  std::unordered_map<std::string,
-                     std::shared_future<std::shared_ptr<const overlay::Compiled>>>
+  std::unordered_map<
+      std::string,
+      std::shared_future<std::shared_ptr<const overlay::CompiledStructure>>>
       inflight_;
   CacheStats stats_;
 };

@@ -75,6 +75,10 @@ class ScgCostModel final : public ReconfigCostModel {
 struct Assignment {
   int instance = -1;
   bool reconfigured = false;       // the instance had to load a new overlay
+  /// The reconfiguration only swapped coefficients: the instance already
+  /// held the same structure, so the modeled cost is the parameter-word
+  /// delta (near-zero), not a full configuration.
+  bool param_only = false;
   double reconfig_seconds = 0;     // modeled cost of that load (0 when avoided)
 };
 
@@ -84,34 +88,54 @@ class ReconfigScheduler {
   /// scheduler and be safe to call from several threads.
   ReconfigScheduler(int instances, std::shared_ptr<ReconfigCostModel> cost_model);
 
-  /// Block until an instance is free, then pick: an instance already
-  /// holding `compiled` (free swap), else a blank instance (populate the
-  /// grid before evicting warm configurations), else the free instance
-  /// whose loaded configuration is cheapest to respecialize into
-  /// `compiled` (index as tie-break). `config_key` is the canonical
-  /// overlay key; equal keys mean equal configurations. Pair with
-  /// release().
+  /// Block until an instance is free, then pick, in order:
+  ///   1. an instance already holding `config_key` — the swap is free;
+  ///   2. an instance holding the same `structure_key` — a param-only
+  ///      respecialization, priced as the register/frame delta over just
+  ///      the coefficient words (the DCS fast path);
+  ///   3. a blank instance (populate the grid before evicting warm
+  ///      configurations);
+  ///   4. the free instance whose loaded configuration is cheapest to
+  ///      respecialize into `compiled` (index as tie-break).
+  /// `config_key` is the canonical full overlay key, `structure_key` its
+  /// place-&-route half; equal full keys mean equal configurations.
+  /// Pair with release().
   Assignment acquire(const std::string& config_key,
+                     const std::string& structure_key,
                      const std::shared_ptr<const overlay::Compiled>& compiled);
+
+  /// Convenience for callers without a structural key (treats the full
+  /// key as the structure, so only exact matches get affinity).
+  Assignment acquire(const std::string& config_key,
+                     const std::shared_ptr<const overlay::Compiled>& compiled) {
+    return acquire(config_key, config_key, compiled);
+  }
 
   void release(int instance);
 
   /// True when some currently-free instance already holds `config_key`.
   /// Point query for external callers/tests; the service's batch scheduler
-  /// instead snapshots free_loaded_keys() once per scan window.
+  /// instead snapshots free_loaded() once per scan window.
   bool free_instance_holds(const std::string& config_key) const;
+
+  /// What a currently-free instance has loaded.
+  struct LoadedKey {
+    std::string config_key;
+    std::string structure_key;
+  };
 
   /// Snapshot of the configurations loaded on currently-free instances
   /// (one lock, one scan) — lets the batch scheduler match a whole queue
-  /// window without re-locking per queued job.
-  std::vector<std::string> free_loaded_keys() const;
+  /// window, exactly or structure-only, without re-locking per queued job.
+  std::vector<LoadedKey> free_loaded() const;
 
   int instances() const { return static_cast<int>(grid_.size()); }
   SchedulerStats stats() const;
 
  private:
   struct Instance {
-    std::string loaded_key;  // empty = blank fabric
+    std::string loaded_key;            // empty = blank fabric
+    std::string loaded_structure_key;  // place-&-route half of loaded_key
     std::shared_ptr<const overlay::Compiled> loaded;
     bool busy = false;
     std::uint64_t jobs = 0;

@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "vcgra/common/timer.hpp"
@@ -38,6 +39,11 @@ struct JobRequest {
   overlay::OverlayArch arch;
   /// Input streams keyed by DFG input name; all streams share one length.
   std::map<std::string, std::vector<double>> inputs;
+  /// Coefficient overrides applied on top of the kernel text's `param`
+  /// defaults. Same text + different params shares one place & route:
+  /// only a microsecond respecialization runs per distinct value set.
+  /// An override naming a parameter the kernel lacks fails the job.
+  overlay::ParamBinding params;
   /// Placer seed. Part of the cache key, so equal seeds mean one compile
   /// and bit-identical placement whatever the execution interleaving.
   std::uint64_t seed = 1;
@@ -45,10 +51,15 @@ struct JobRequest {
 
 struct JobResult {
   overlay::RunResult run;
-  bool cache_hit = false;
+  bool cache_hit = false;       // full artifact served from cache
+  /// Place & route was skipped: either a full hit or a cached structure
+  /// respecialized with this job's coefficients.
+  bool structure_hit = false;
   int instance = -1;            // virtual grid instance that executed the job
   bool reconfigured = false;    // that instance had to load a new overlay
-  double compile_seconds = 0;   // tool-flow time this job paid (0 on a hit)
+  bool param_respecialized = false;  // ... by swapping only coefficient words
+  double compile_seconds = 0;   // place-&-route time this job paid (0 on a hit)
+  double specialize_seconds = 0;  // coefficient-binding time this job paid
   double reconfig_seconds = 0;  // modeled fabric respecialization cost
   double exec_seconds = 0;      // simulator time
   double latency_seconds = 0;   // submit -> result ready
@@ -121,7 +132,16 @@ class OverlayService {
  private:
   struct PendingJob {
     JobRequest request;
-    std::string config_key;
+    /// Parsed once per distinct kernel text (parse_cached memo): the
+    /// cache compiles from parsed->dfg and the keys below, so the hot
+    /// path never re-parses or re-canonicalizes repeated kernels.
+    std::shared_ptr<const overlay::ParsedKernel> parsed;
+    overlay::ParamBinding binding;  // kernel defaults merged with overrides
+    CacheKeys keys;
+    std::string config_key;  // keys.full(); scheduler + batch affinity
+    /// Parse/merge failure captured at submit so submit() itself never
+    /// throws; execute() rethrows it into the job's future.
+    std::exception_ptr front_end_error;
     std::promise<JobResult> promise;
     common::WallTimer since_submit;
     int deferrals = 0;  // times batch reordering bypassed this job at the head
@@ -135,7 +155,15 @@ class OverlayService {
   /// bounds stats memory on long-lived services.
   static constexpr std::size_t kLatencyWindow = 16384;
 
+  /// Parsed kernels memoized by exact text. Repeated submissions of the
+  /// same kernel — the cache's design workload — skip the front end
+  /// entirely; the memo is dropped wholesale at the size bound (entries
+  /// are pure recomputable values, like the scheduler's cost memo).
+  static constexpr std::size_t kParseMemoLimit = 1024;
+
   static ServiceOptions normalize(ServiceOptions options);
+  std::shared_ptr<const overlay::ParsedKernel> parse_cached(
+      const std::string& kernel_text);
   void drain_one();
   JobResult execute(PendingJob& job);
   void record_result(const JobResult& result);
@@ -147,6 +175,10 @@ class OverlayService {
   const ServiceOptions options_;
   OverlayCache cache_;
   ReconfigScheduler scheduler_;
+
+  std::mutex parse_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const overlay::ParsedKernel>>
+      parse_memo_;
 
   mutable std::mutex mutex_;
   std::deque<std::unique_ptr<PendingJob>> pending_;

@@ -14,17 +14,32 @@
 namespace vcgra::runtime {
 
 struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
+  std::uint64_t hits = 0;    // full artifact served: no tool flow, no specialize
+  std::uint64_t misses = 0;  // anything less than a full hit
+  std::uint64_t evictions = 0;       // structures (with their specializations)
   std::uint64_t inflight_joins = 0;  // misses coalesced onto a running compile
-  std::size_t entries = 0;
+  // The two-level split of the misses: a structure hit pays only a
+  // microsecond respecialization; a structure miss pays place & route.
+  std::uint64_t structure_hits = 0;
+  std::uint64_t structure_misses = 0;  // structural compiles actually run
+  std::uint64_t specializations = 0;   // specialize() calls executed
+  std::size_t entries = 0;             // resident structural artifacts
+  std::size_t specialized_entries = 0;  // resident specializations (all structures)
   std::size_t capacity = 0;
   double compile_seconds = 0;  // total time spent in the synth/map/place/route flow
+  double specialize_seconds = 0;  // total time binding coefficients
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+  /// Fraction of lookups that skipped place & route entirely (full hits
+  /// plus param-only respecializations).
+  double structure_hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits + structure_hits) /
+                       static_cast<double>(total)
+                 : 0.0;
   }
   std::string to_string() const;
 };
@@ -33,7 +48,12 @@ struct SchedulerStats {
   std::uint64_t assignments = 0;
   std::uint64_t reconfigurations = 0;          // instance had a different overlay loaded
   std::uint64_t reconfigurations_avoided = 0;  // instance already held the overlay
+  /// Of the reconfigurations, how many were param-only swaps: the
+  /// instance already held the same *structure*, so the modeled cost is
+  /// just the register/frame delta over the parameter words.
+  std::uint64_t param_respecializations = 0;
   double modeled_reconfig_seconds = 0;         // SCG + frame-write time the fabric would spend
+  double param_reconfig_seconds = 0;           // ... portion paid by param-only swaps
   double avoided_reconfig_seconds = 0;         // ... that affinity placement saved
 
   std::string to_string() const;

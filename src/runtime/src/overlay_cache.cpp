@@ -16,11 +16,26 @@ std::string arch_signature(const overlay::OverlayArch& arch) {
       arch.pe.sub ? 1 : 0, arch.pe.mac ? 1 : 0, arch.pe.pass ? 1 : 0);
 }
 
-std::string overlay_key(const std::string& kernel_text,
-                        const overlay::OverlayArch& arch, std::uint64_t seed) {
+std::string structure_key(const std::string& structural_text,
+                          const overlay::OverlayArch& arch, std::uint64_t seed) {
   return arch_signature(arch) +
          common::strprintf("|seed=%llu|", static_cast<unsigned long long>(seed)) +
-         kernel_text;
+         structural_text;
+}
+
+CacheKeys cache_keys(const overlay::ParsedKernel& parsed,
+                     const overlay::OverlayArch& arch, std::uint64_t seed,
+                     const overlay::ParamBinding& binding) {
+  CacheKeys keys;
+  keys.structure = structure_key(parsed.structural_text, arch, seed);
+  keys.params = overlay::param_signature(binding);
+  return keys;
+}
+
+std::string overlay_key(const std::string& kernel_text,
+                        const overlay::OverlayArch& arch, std::uint64_t seed) {
+  const overlay::ParsedKernel parsed = overlay::parse_kernel_symbolic(kernel_text);
+  return cache_keys(parsed, arch, seed, parsed.params).full();
 }
 
 OverlayCache::OverlayCache(std::size_t capacity)
@@ -28,86 +43,102 @@ OverlayCache::OverlayCache(std::size_t capacity)
   stats_.capacity = capacity_;
 }
 
-std::shared_ptr<const overlay::Compiled> OverlayCache::lookup_locked(
-    const std::string& key) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
-  // Refresh LRU position.
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->compiled;
-}
+std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
+    const CacheKeys& keys, const overlay::ParsedKernel& parsed,
+    const overlay::OverlayArch& arch, std::uint64_t seed,
+    const overlay::ParamBinding& binding, CacheOutcome* outcome) {
+  if (outcome) *outcome = CacheOutcome{};
 
-std::shared_ptr<const overlay::Compiled> OverlayCache::peek(
-    const std::string& kernel_text, const overlay::OverlayArch& arch,
-    std::uint64_t seed) const {
-  const std::string key = overlay_key(kernel_text, arch, seed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  return it == index_.end() ? nullptr : it->second->compiled;
-}
-
-std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_compile(
-    const std::string& kernel_text, const overlay::OverlayArch& arch,
-    std::uint64_t seed, bool* hit, double* compile_seconds) {
-  return get_or_compile_keyed(overlay_key(kernel_text, arch, seed), kernel_text,
-                              arch, seed, hit, compile_seconds);
-}
-
-std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_compile_keyed(
-    const std::string& key, const std::string& kernel_text,
-    const overlay::OverlayArch& arch, std::uint64_t seed, bool* hit,
-    double* compile_seconds) {
-  if (hit) *hit = false;
-  if (compile_seconds) *compile_seconds = 0;
-
-  std::shared_future<std::shared_ptr<const overlay::Compiled>> join;
-  std::promise<std::shared_ptr<const overlay::Compiled>> mine;
+  std::shared_ptr<const overlay::CompiledStructure> structure;
+  std::shared_future<std::shared_ptr<const overlay::CompiledStructure>> join;
+  std::promise<std::shared_ptr<const overlay::CompiledStructure>> mine;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (auto cached = lookup_locked(key)) {
-      ++stats_.hits;
-      if (hit) *hit = true;
-      return cached;
-    }
-    const auto inflight = inflight_.find(key);
-    if (inflight != inflight_.end()) {
+    const auto it = index_.find(keys.structure);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      Entry& entry = *it->second;
+      const auto special = entry.special_index.find(keys.params);
+      if (special != entry.special_index.end()) {
+        entry.specials.splice(entry.specials.begin(), entry.specials,
+                              special->second);
+        ++stats_.hits;
+        if (outcome) {
+          outcome->hit = true;
+          outcome->structure_hit = true;
+        }
+        return special->second->second;
+      }
+      // Structure resident, coefficients not bound yet: the fast path of
+      // the whole refactor — no place & route, just specialize below.
       ++stats_.misses;
-      ++stats_.inflight_joins;
-      join = inflight->second;
+      ++stats_.structure_hits;
+      if (outcome) outcome->structure_hit = true;
+      structure = entry.structure;
     } else {
-      ++stats_.misses;
-      inflight_.emplace(key, mine.get_future().share());
+      const auto inflight = inflight_.find(keys.structure);
+      if (inflight != inflight_.end()) {
+        ++stats_.misses;
+        ++stats_.inflight_joins;
+        join = inflight->second;
+      } else {
+        ++stats_.misses;
+        ++stats_.structure_misses;
+        inflight_.emplace(keys.structure, mine.get_future().share());
+      }
     }
   }
 
+  if (structure) {
+    return specialize_and_cache(keys, structure, binding, outcome);
+  }
   if (join.valid()) {
-    // Another thread is compiling this key; wait without holding the lock.
-    return join.get();
+    // Another thread is compiling this structure; wait without holding
+    // the lock, then bind our own coefficients onto the shared result.
+    return specialize_and_cache(keys, join.get(), binding, outcome);
   }
 
-  // We own the compile for this key.
+  // We own the structural compile for this key. Everything up to the
+  // publish must stay inside the guard: leaving inflight_ populated with
+  // an unsatisfied promise would poison the key forever (every later
+  // request would join a broken future instead of retrying the compile).
   common::WallTimer timer;
+  double compile_elapsed = 0;
   std::shared_ptr<const overlay::Compiled> compiled;
   try {
+    structure = std::make_shared<const overlay::CompiledStructure>(
+        overlay::compile_structure(parsed.dfg, arch, seed));
+    compile_elapsed = timer.seconds();
+    timer.restart();
     compiled = std::make_shared<const overlay::Compiled>(
-        overlay::compile_kernel(kernel_text, arch, seed));
+        overlay::specialize(*structure, binding));
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
-    inflight_.erase(key);
+    inflight_.erase(keys.structure);
     mine.set_exception(std::current_exception());
     throw;
   }
-  const double elapsed = timer.seconds();
-  if (compile_seconds) *compile_seconds = elapsed;
+  const double specialize_elapsed = timer.seconds();
+  if (outcome) {
+    outcome->compile_seconds = compile_elapsed;
+    outcome->specialize_seconds = specialize_elapsed;
+  }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stats_.compile_seconds += elapsed;
-    inflight_.erase(key);
-    if (index_.find(key) == index_.end()) {
-      lru_.push_front(Entry{key, compiled});
-      index_[key] = lru_.begin();
+    stats_.compile_seconds += compile_elapsed;
+    stats_.specialize_seconds += specialize_elapsed;
+    ++stats_.specializations;
+    inflight_.erase(keys.structure);
+    if (index_.find(keys.structure) == index_.end()) {
+      lru_.push_front(Entry{keys.structure, structure, {}, {}});
+      Entry& entry = lru_.front();
+      entry.specials.emplace_front(keys.params, compiled);
+      entry.special_index[keys.params] = entry.specials.begin();
+      ++stats_.specialized_entries;
+      index_[keys.structure] = lru_.begin();
       while (lru_.size() > capacity_) {
+        stats_.specialized_entries -= lru_.back().specials.size();
         index_.erase(lru_.back().key);
         lru_.pop_back();
         ++stats_.evictions;
@@ -115,8 +146,105 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_compile_keyed(
     }
     stats_.entries = lru_.size();
   }
-  mine.set_value(compiled);
+  mine.set_value(structure);
   return compiled;
+}
+
+std::shared_ptr<const overlay::Compiled> OverlayCache::specialize_and_cache(
+    const CacheKeys& keys,
+    const std::shared_ptr<const overlay::CompiledStructure>& structure,
+    const overlay::ParamBinding& binding, CacheOutcome* outcome) {
+  {
+    // A racing caller (typical after an in-flight join of duplicates) may
+    // already have published this exact specialization.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(keys.structure);
+    if (it != index_.end()) {
+      Entry& entry = *it->second;
+      const auto special = entry.special_index.find(keys.params);
+      if (special != entry.special_index.end()) {
+        entry.specials.splice(entry.specials.begin(), entry.specials,
+                              special->second);
+        return special->second->second;
+      }
+    }
+  }
+
+  common::WallTimer timer;
+  auto compiled = std::make_shared<const overlay::Compiled>(
+      overlay::specialize(*structure, binding));
+  const double elapsed = timer.seconds();
+  if (outcome) outcome->specialize_seconds = elapsed;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.specialize_seconds += elapsed;
+  ++stats_.specializations;
+  const auto it = index_.find(keys.structure);
+  if (it != index_.end()) {
+    Entry& entry = *it->second;
+    if (entry.special_index.find(keys.params) == entry.special_index.end()) {
+      entry.specials.emplace_front(keys.params, compiled);
+      entry.special_index[keys.params] = entry.specials.begin();
+      ++stats_.specialized_entries;
+      while (entry.specials.size() > kSpecializationsPerStructure) {
+        entry.special_index.erase(entry.specials.back().first);
+        entry.specials.pop_back();
+        --stats_.specialized_entries;
+      }
+    }
+  }
+  // Structure evicted meanwhile: hand the artifact out uncached.
+  return compiled;
+}
+
+std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_compile(
+    const std::string& kernel_text, const overlay::OverlayArch& arch,
+    std::uint64_t seed, bool* hit, double* compile_seconds) {
+  if (hit) *hit = false;
+  if (compile_seconds) *compile_seconds = 0;
+  const overlay::ParsedKernel parsed = overlay::parse_kernel_symbolic(kernel_text);
+  const CacheKeys keys = cache_keys(parsed, arch, seed, parsed.params);
+  CacheOutcome outcome;
+  auto compiled =
+      get_or_specialize(keys, parsed, arch, seed, parsed.params, &outcome);
+  if (hit) *hit = outcome.hit;
+  if (compile_seconds) *compile_seconds = outcome.compile_seconds;
+  return compiled;
+}
+
+std::shared_ptr<const overlay::Compiled> OverlayCache::peek(
+    const std::string& kernel_text, const overlay::OverlayArch& arch,
+    std::uint64_t seed, const overlay::ParamBinding& overrides) const {
+  try {
+    const overlay::ParsedKernel parsed =
+        overlay::parse_kernel_symbolic(kernel_text);
+    const overlay::ParamBinding binding =
+        overlay::merge_params(parsed.params, overrides);
+    const CacheKeys keys = cache_keys(parsed, arch, seed, binding);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(keys.structure);
+    if (it == index_.end()) return nullptr;
+    const auto special = it->second->special_index.find(keys.params);
+    return special == it->second->special_index.end() ? nullptr
+                                                      : special->second->second;
+  } catch (const std::invalid_argument&) {
+    return nullptr;
+  }
+}
+
+std::shared_ptr<const overlay::CompiledStructure> OverlayCache::peek_structure(
+    const std::string& kernel_text, const overlay::OverlayArch& arch,
+    std::uint64_t seed) const {
+  try {
+    const overlay::ParsedKernel parsed =
+        overlay::parse_kernel_symbolic(kernel_text);
+    const std::string key = structure_key(parsed.structural_text, arch, seed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : it->second->structure;
+  } catch (const std::invalid_argument&) {
+    return nullptr;
+  }
 }
 
 void OverlayCache::clear() {
@@ -124,6 +252,7 @@ void OverlayCache::clear() {
   lru_.clear();
   index_.clear();
   stats_.entries = 0;
+  stats_.specialized_entries = 0;
 }
 
 CacheStats OverlayCache::stats() const {

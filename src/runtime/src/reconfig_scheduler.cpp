@@ -68,7 +68,7 @@ double ReconfigScheduler::switch_cost_locked(const Instance& instance,
 }
 
 Assignment ReconfigScheduler::acquire(
-    const std::string& config_key,
+    const std::string& config_key, const std::string& structure_key,
     const std::shared_ptr<const overlay::Compiled>& compiled) {
   std::unique_lock<std::mutex> lock(mutex_);
   free_cv_.wait(lock, [this]() {
@@ -77,60 +77,83 @@ Assignment ReconfigScheduler::acquire(
   });
 
   // Selection policy, in order:
-  //   1. an instance already holding this overlay — the swap is free;
-  //   2. a blank instance — populating the grid costs a full configuration
+  //   1. an instance already holding this exact overlay — the swap is free;
+  //   2. an instance holding the same structure — the swap rewrites only
+  //      the coefficient words (DCS fast path), so it is always cheaper
+  //      than a blank load and never thrashes placement/routing;
+  //   3. a blank instance — populating the grid costs a full configuration
   //      now but preserves warm configurations other jobs will return to
   //      (a myopic min-cost rule would diff onto a warm instance, since a
   //      diff is always cheaper than a blank load, and thrash it forever);
-  //   3. the loaded instance with the cheapest modeled respecialization.
-  int best = -1;
-  double best_cost = 0;
-  int blank = -1;
+  //   4. the loaded instance with the cheapest modeled respecialization.
+  int exact = -1, param = -1, blank = -1, other = -1;
+  double param_cost = 0, other_cost = 0;
   for (std::size_t i = 0; i < grid_.size(); ++i) {
     Instance& instance = grid_[i];
     if (instance.busy) continue;
     if (instance.loaded_key == config_key) {
-      best = static_cast<int>(i);
-      best_cost = 0;
-      blank = -1;
+      exact = static_cast<int>(i);
       break;
     }
     if (instance.loaded_key.empty()) {
       if (blank < 0) blank = static_cast<int>(i);
       continue;
     }
-    if (blank >= 0) continue;  // a blank instance already outranks diffs
+    if (instance.loaded_structure_key == structure_key) {
+      const double cost = switch_cost_locked(instance, config_key, *compiled);
+      if (param < 0 || cost < param_cost) {
+        param = static_cast<int>(i);
+        param_cost = cost;
+      }
+      continue;
+    }
+    if (blank >= 0 || param >= 0) continue;  // outranked anyway
     const double cost = switch_cost_locked(instance, config_key, *compiled);
-    if (best < 0 || cost < best_cost) {
-      best = static_cast<int>(i);
-      best_cost = cost;
+    if (other < 0 || cost < other_cost) {
+      other = static_cast<int>(i);
+      other_cost = cost;
     }
   }
-  if (blank >= 0) {
-    best = blank;
-    Instance blank_state;
-    best_cost = switch_cost_locked(blank_state, config_key, *compiled);
-  }
 
-  Instance& chosen = grid_[static_cast<std::size_t>(best)];
   Assignment assignment;
-  assignment.instance = best;
-  assignment.reconfigured = chosen.loaded_key != config_key;
-  assignment.reconfig_seconds = assignment.reconfigured ? best_cost : 0;
+  if (exact >= 0) {
+    assignment.instance = exact;
+  } else if (param >= 0) {
+    assignment.instance = param;
+    assignment.reconfigured = true;
+    assignment.param_only = true;
+    assignment.reconfig_seconds = param_cost;
+  } else if (blank >= 0) {
+    Instance blank_state;
+    assignment.instance = blank;
+    assignment.reconfigured = true;
+    assignment.reconfig_seconds =
+        switch_cost_locked(blank_state, config_key, *compiled);
+  } else {
+    assignment.instance = other;
+    assignment.reconfigured = true;
+    assignment.reconfig_seconds = other_cost;
+  }
 
   ++stats_.assignments;
   if (assignment.reconfigured) {
     ++stats_.reconfigurations;
     stats_.modeled_reconfig_seconds += assignment.reconfig_seconds;
+    if (assignment.param_only) {
+      ++stats_.param_respecializations;
+      stats_.param_reconfig_seconds += assignment.reconfig_seconds;
+    }
   } else {
     ++stats_.reconfigurations_avoided;
     // Counterfactual: the respecialization a blank grid would have paid.
-    Instance blank;
+    Instance blank_state;
     stats_.avoided_reconfig_seconds +=
-        switch_cost_locked(blank, config_key, *compiled);
+        switch_cost_locked(blank_state, config_key, *compiled);
   }
 
+  Instance& chosen = grid_[static_cast<std::size_t>(assignment.instance)];
   chosen.loaded_key = config_key;
+  chosen.loaded_structure_key = structure_key;
   chosen.loaded = compiled;
   chosen.busy = true;
   ++chosen.jobs;
@@ -153,11 +176,13 @@ bool ReconfigScheduler::free_instance_holds(const std::string& config_key) const
   });
 }
 
-std::vector<std::string> ReconfigScheduler::free_loaded_keys() const {
-  std::vector<std::string> keys;
+std::vector<ReconfigScheduler::LoadedKey> ReconfigScheduler::free_loaded() const {
+  std::vector<LoadedKey> keys;
   std::lock_guard<std::mutex> lock(mutex_);
   for (const Instance& g : grid_) {
-    if (!g.busy && !g.loaded_key.empty()) keys.push_back(g.loaded_key);
+    if (!g.busy && !g.loaded_key.empty()) {
+      keys.push_back(LoadedKey{g.loaded_key, g.loaded_structure_key});
+    }
   }
   return keys;
 }

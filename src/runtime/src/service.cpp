@@ -53,9 +53,35 @@ OverlayService::OverlayService(const ServiceOptions& options)
 
 OverlayService::~OverlayService() { wait_idle(); }
 
+std::shared_ptr<const overlay::ParsedKernel> OverlayService::parse_cached(
+    const std::string& kernel_text) {
+  {
+    std::lock_guard<std::mutex> lock(parse_mutex_);
+    const auto it = parse_memo_.find(kernel_text);
+    if (it != parse_memo_.end()) return it->second;
+  }
+  // Parse outside the lock; failures propagate uncached.
+  auto parsed = std::make_shared<const overlay::ParsedKernel>(
+      overlay::parse_kernel_symbolic(kernel_text));
+  std::lock_guard<std::mutex> lock(parse_mutex_);
+  if (parse_memo_.size() >= kParseMemoLimit) parse_memo_.clear();
+  return parse_memo_.emplace(kernel_text, std::move(parsed)).first->second;
+}
+
 std::future<JobResult> OverlayService::submit(JobRequest request) {
   auto job = std::make_unique<PendingJob>();
-  job->config_key = overlay_key(request.kernel_text, request.arch, request.seed);
+  try {
+    job->parsed = parse_cached(request.kernel_text);
+    job->binding = overlay::merge_params(job->parsed->params, request.params);
+    job->keys =
+        cache_keys(*job->parsed, request.arch, request.seed, job->binding);
+    job->config_key = job->keys.full();
+  } catch (...) {
+    // Bad kernel text or bad override: fail through the future (so submit
+    // never throws), under a key no healthy job can collide with.
+    job->front_end_error = std::current_exception();
+    job->config_key = "!invalid|" + request.kernel_text;
+  }
   job->request = std::move(request);
   std::future<JobResult> future = job->promise.get_future();
   {
@@ -86,16 +112,34 @@ void OverlayService::drain_one() {
     std::size_t pick = 0;
     if (pending_.front()->deferrals < kMaxHeadDeferrals) {
       // One scheduler lock for the whole window, not one per queued job.
-      const std::vector<std::string> warm = scheduler_.free_loaded_keys();
+      // Exact-configuration matches (free swap) beat structure matches
+      // (cheap param respecialization); both beat FIFO on a cold overlay.
+      const std::vector<ReconfigScheduler::LoadedKey> warm =
+          scheduler_.free_loaded();
       const std::size_t window = std::min(options_.schedule_scan_window,
                                           pending_.size());
+      std::size_t structure_pick = 0;
+      bool have_structure_pick = false;
       for (std::size_t i = 0; i < window && !warm.empty(); ++i) {
-        if (std::find(warm.begin(), warm.end(), pending_[i]->config_key) !=
-            warm.end()) {
+        bool exact = false;
+        for (const auto& loaded : warm) {
+          if (loaded.config_key == pending_[i]->config_key) {
+            exact = true;
+            break;
+          }
+          if (!have_structure_pick &&
+              loaded.structure_key == pending_[i]->keys.structure) {
+            structure_pick = i;
+            have_structure_pick = true;
+          }
+        }
+        if (exact) {
           pick = i;
+          have_structure_pick = false;
           break;
         }
       }
+      if (have_structure_pick) pick = structure_pick;
     }
     if (pick != 0) ++pending_.front()->deferrals;
     job = std::move(pending_[pick]);
@@ -116,17 +160,24 @@ void OverlayService::drain_one() {
 }
 
 JobResult OverlayService::execute(PendingJob& job) {
+  if (job.front_end_error) std::rethrow_exception(job.front_end_error);
   JobResult result;
   const JobRequest& request = job.request;
 
-  std::shared_ptr<const overlay::Compiled> compiled = cache_.get_or_compile_keyed(
-      job.config_key, request.kernel_text, request.arch, request.seed,
-      &result.cache_hit, &result.compile_seconds);
+  CacheOutcome outcome;
+  std::shared_ptr<const overlay::Compiled> compiled = cache_.get_or_specialize(
+      job.keys, *job.parsed, request.arch, request.seed, job.binding, &outcome);
+  result.cache_hit = outcome.hit;
+  result.structure_hit = outcome.structure_hit;
+  result.compile_seconds = outcome.compile_seconds;
+  result.specialize_seconds = outcome.specialize_seconds;
 
-  const Assignment assignment = scheduler_.acquire(job.config_key, compiled);
+  const Assignment assignment =
+      scheduler_.acquire(job.config_key, job.keys.structure, compiled);
   InstanceLease lease(scheduler_, assignment.instance);
   result.instance = assignment.instance;
   result.reconfigured = assignment.reconfigured;
+  result.param_respecialized = assignment.param_only;
   result.reconfig_seconds = assignment.reconfig_seconds;
 
   common::WallTimer exec;

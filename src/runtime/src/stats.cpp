@@ -20,22 +20,29 @@ double percentile(std::vector<double> samples, double fraction) {
 
 std::string CacheStats::to_string() const {
   return common::strprintf(
-      "cache: %llu hits / %llu misses (%.1f%% hit rate), %zu/%zu entries, "
-      "%llu evictions, %llu in-flight joins, %s compiling",
+      "cache: %llu hits / %llu misses (%.1f%% full, %.1f%% structure), "
+      "%zu structures (+%zu specializations) / %zu capacity, "
+      "%llu evictions, %llu in-flight joins, "
+      "%s compiling + %s specializing",
       static_cast<unsigned long long>(hits),
-      static_cast<unsigned long long>(misses), 100.0 * hit_rate(), entries,
-      capacity, static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(misses), 100.0 * hit_rate(),
+      100.0 * structure_hit_rate(), entries, specialized_entries, capacity,
+      static_cast<unsigned long long>(evictions),
       static_cast<unsigned long long>(inflight_joins),
-      common::human_seconds(compile_seconds).c_str());
+      common::human_seconds(compile_seconds).c_str(),
+      common::human_seconds(specialize_seconds).c_str());
 }
 
 std::string SchedulerStats::to_string() const {
   return common::strprintf(
-      "scheduler: %llu assignments, %llu reconfigurations (%s modeled), "
+      "scheduler: %llu assignments, %llu reconfigurations "
+      "(%llu param-only, %s modeled of which %s param), "
       "%llu avoided (%s saved)",
       static_cast<unsigned long long>(assignments),
       static_cast<unsigned long long>(reconfigurations),
+      static_cast<unsigned long long>(param_respecializations),
       common::human_seconds(modeled_reconfig_seconds).c_str(),
+      common::human_seconds(param_reconfig_seconds).c_str(),
       static_cast<unsigned long long>(reconfigurations_avoided),
       common::human_seconds(avoided_reconfig_seconds).c_str());
 }

@@ -71,9 +71,54 @@ struct Compiled {
   std::map<int, int> output_source;  // output node -> producing node
 };
 
-/// Compile a DFG onto the overlay. Throws std::invalid_argument when the
-/// design does not fit (more compute nodes than PEs) or uses an op the PE
-/// repertoire lacks.
+/// Where one symbolic coefficient lands in the fabric: the settings
+/// register of `pe` (feeding compute node `dfg_node`) holds the encoded
+/// value of parameter `name`.
+struct ParamSlot {
+  std::string name;
+  int pe = -1;
+  int dfg_node = -1;
+};
+
+/// The structural half of a compiled overlay: everything synthesis,
+/// mapping, placement and routing decide — and nothing a coefficient
+/// *value* touches. `settings` is a skeleton whose coeff_bits are zero;
+/// `param_slots` says which PE registers specialize() must fill, and
+/// `defaults` carries the values hoisted from the kernel text.
+///
+/// The whole point of the split (the paper's Dynamic Circuit
+/// Specialization): a coefficient change re-runs specialize() in
+/// microseconds instead of the milliseconds-long place & route flow.
+struct CompiledStructure {
+  OverlayArch arch;
+  VcgraSettings settings;  // coeff_bits all zero until specialization
+  std::vector<int> pe_of_node;
+  CompileReport report;
+  std::vector<ParamSlot> param_slots;
+  ParamBinding defaults;
+
+  std::map<std::string, int> input_node_by_name;
+  std::map<std::string, int> output_node_by_name;
+  std::map<int, int> output_source;
+};
+
+/// Run synthesis / mapping / placement / routing only; coefficients stay
+/// symbolic. Throws std::invalid_argument when the design does not fit
+/// (more compute nodes than PEs) or uses an op the PE repertoire lacks.
+CompiledStructure compile_structure(const Dfg& dfg, const OverlayArch& arch,
+                                    std::uint64_t seed = 1);
+
+/// Bind coefficient values into a structure: encodes
+/// merge_params(structure.defaults, overrides) into the parameter slots'
+/// settings registers. Performs zero place & route work. The result is
+/// bit-identical to a from-scratch compile() of a kernel carrying the
+/// same values (asserted by test_vcgra / test_runtime).
+Compiled specialize(const CompiledStructure& structure,
+                    const ParamBinding& overrides = {});
+
+/// Compile a DFG onto the overlay (structure + specialization in one
+/// step). Throws std::invalid_argument when the design does not fit or
+/// uses an op the PE repertoire lacks.
 Compiled compile(const Dfg& dfg, const OverlayArch& arch, std::uint64_t seed = 1);
 
 /// Convenience: parse + compile.

@@ -16,8 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "vcgra/vcgra/params.hpp"
 
 namespace vcgra::overlay {
 
@@ -71,13 +74,53 @@ class Dfg {
   std::vector<int> outputs_;
 };
 
-/// Parse the kernel language; throws std::invalid_argument with a line
-/// diagnostic on syntax errors.
+/// Kernel-language syntax error with source position. Derives from
+/// std::invalid_argument so existing catch sites keep working; line and
+/// column are 1-based (column points at the offending statement).
+class ParseError : public std::invalid_argument {
+ public:
+  ParseError(int line, int column, const std::string& message);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// A parsed kernel with its parameters hoisted out symbolically.
+///
+/// `structural_text` is the canonical re-serialization of the kernel:
+/// comments and whitespace normalized away and every `param` literal
+/// erased. Two kernels that differ only in formatting or in coefficient
+/// values produce the *same* structural text — the property the runtime's
+/// structure cache keys on. `params` carries the hoisted values.
+struct ParsedKernel {
+  Dfg dfg;
+  ParamBinding params;
+  std::string structural_text;
+};
+
+/// Parse the kernel language keeping parameters symbolic; throws
+/// ParseError with line/column diagnostics on syntax errors.
+ParsedKernel parse_kernel_symbolic(const std::string& text);
+
+/// Legacy convenience: parse with parameters folded into the Dfg's param
+/// nodes (parse_kernel_symbolic does this too; the Dfg always records the
+/// textual default values). Throws ParseError on syntax errors.
 Dfg parse_kernel(const std::string& text);
 
 /// Convenience builder: an N-tap FIR / dot-product kernel
 /// y = sum_i coeff[i] * x_i, the canonical filter kernel of §IV.
 Dfg make_dot_product_kernel(const std::vector<double>& coefficients);
+
+/// Kernel-language text for the same balanced adder-tree dot product
+/// (inputs x0..xN-1, params c0..cN-1, products reduced pairwise with an
+/// odd leftover carried a level up). The one emitter shared by the HPC
+/// GEMV/GEMM tiles and the vision DCS convolution: the bit-exactness
+/// contracts of both are stated against this association order, so there
+/// is exactly one place it can change.
+std::string dot_tree_text(const std::vector<double>& coefficients);
 
 /// Convenience builder: a streaming MAC filter where one PE accumulates
 /// `taps` products per output sample (how the vessel-segmentation filters

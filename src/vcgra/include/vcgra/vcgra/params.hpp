@@ -1,0 +1,33 @@
+// Symbolic kernel parameters — the front-end half of Dynamic Circuit
+// Specialization.
+//
+// The paper's split: a kernel's *structure* (DFG topology, placement,
+// routing) changes rarely; its *parameters* (filter coefficients) change
+// constantly and are served by evaluating the PPC and rewriting a few
+// settings words, never by re-running the tool flow. ParamBinding is the
+// symbolic side of that split: the parser hoists `param` literals here,
+// the structural artifact stays value-free, and specialize() folds a
+// binding back in at request time.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace vcgra::overlay {
+
+/// `param` name -> coefficient value. std::map so iteration (and thus
+/// every derived signature) is deterministically ordered.
+using ParamBinding = std::map<std::string, double>;
+
+/// Canonical serialization: "name=<hex of the double's bits>;...". Equal
+/// signatures guarantee bit-identical specialized coefficients for a
+/// fixed architecture, which is exactly the cache-key contract.
+std::string param_signature(const ParamBinding& binding);
+
+/// `base` with `overrides` applied on top. Throws std::invalid_argument
+/// when an override names a parameter absent from `base` — a typo in a
+/// JobRequest::params map should fail loudly, not silently no-op.
+ParamBinding merge_params(const ParamBinding& base,
+                          const ParamBinding& overrides);
+
+}  // namespace vcgra::overlay

@@ -24,8 +24,7 @@ struct MappedOp {
   int dfg_node = -1;
   OpKind op = OpKind::kPass;
   std::vector<int> operand_nodes;  // DFG nodes providing the inputs
-  double coeff = 0.0;
-  bool has_coeff = false;
+  int param_node = -1;             // kParam operand kept symbolic
   int count = 1;
 };
 
@@ -80,8 +79,9 @@ std::vector<std::uint32_t> VcgraSettings::register_words(
   return words;
 }
 
-Compiled compile(const Dfg& dfg, const OverlayArch& arch, std::uint64_t seed) {
-  Compiled result;
+CompiledStructure compile_structure(const Dfg& dfg, const OverlayArch& arch,
+                                    std::uint64_t seed) {
+  CompiledStructure result;
   result.arch = arch;
   common::WallTimer stage;
 
@@ -110,8 +110,7 @@ Compiled compile(const Dfg& dfg, const OverlayArch& arch, std::uint64_t seed) {
     for (const int arg : node.args) {
       const DfgNode& src = dfg.nodes()[static_cast<std::size_t>(arg)];
       if (src.kind == OpKind::kParam) {
-        op.coeff = src.value;
-        op.has_coeff = true;
+        op.param_node = arg;  // stays symbolic; specialize() binds it
       } else {
         op.operand_nodes.push_back(arg);
       }
@@ -295,18 +294,23 @@ Compiled compile(const Dfg& dfg, const OverlayArch& arch, std::uint64_t seed) {
   }
   result.report.route_seconds = stage.seconds();
 
-  // --- settings generation ----------------------------------------------------
+  // --- settings generation (structural skeleton) ------------------------------
+  // Coefficients stay symbolic: coeff_bits is zero here and param_slots
+  // records which registers specialize() must fill.
   result.settings.pes.assign(static_cast<std::size_t>(arch.num_pes()), PeSettings{});
   result.pe_of_node.assign(dfg.nodes().size(), -1);
-  const softfloat::FpFormat format = arch.format;
   for (std::size_t i = 0; i < ops.size(); ++i) {
     PeSettings& pe = result.settings.pes[static_cast<std::size_t>(pe_of_op[i])];
     pe.used = true;
     pe.op = ops[i].op;
     pe.count = static_cast<std::uint32_t>(ops[i].count);
     pe.dfg_node = ops[i].dfg_node;
-    if (ops[i].has_coeff) {
-      pe.coeff_bits = softfloat::FpValue::from_double(format, ops[i].coeff).bits();
+    if (ops[i].param_node >= 0) {
+      ParamSlot slot;
+      slot.name = dfg.nodes()[static_cast<std::size_t>(ops[i].param_node)].name;
+      slot.pe = pe_of_op[i];
+      slot.dfg_node = ops[i].dfg_node;
+      result.param_slots.push_back(std::move(slot));
     }
     result.pe_of_node[static_cast<std::size_t>(ops[i].dfg_node)] = pe_of_op[i];
   }
@@ -314,6 +318,12 @@ Compiled compile(const Dfg& dfg, const OverlayArch& arch, std::uint64_t seed) {
   result.report.pes_used = static_cast<int>(ops.size());
   for (const auto& net : result.settings.routes) {
     result.report.total_hops += static_cast<int>(net.hops.size());
+  }
+
+  // Every param node contributes a default, referenced or not, so an
+  // override of an unused (but declared) parameter stays legal.
+  for (const auto& node : dfg.nodes()) {
+    if (node.kind == OpKind::kParam) result.defaults[node.name] = node.value;
   }
 
   for (const int in : dfg.inputs()) {
@@ -325,6 +335,29 @@ Compiled compile(const Dfg& dfg, const OverlayArch& arch, std::uint64_t seed) {
     result.output_source[out] = node.args[0];
   }
   return result;
+}
+
+Compiled specialize(const CompiledStructure& structure,
+                    const ParamBinding& overrides) {
+  const ParamBinding binding = merge_params(structure.defaults, overrides);
+  Compiled result;
+  result.arch = structure.arch;
+  result.settings = structure.settings;
+  result.pe_of_node = structure.pe_of_node;
+  result.report = structure.report;
+  result.input_node_by_name = structure.input_node_by_name;
+  result.output_node_by_name = structure.output_node_by_name;
+  result.output_source = structure.output_source;
+  const softfloat::FpFormat format = structure.arch.format;
+  for (const ParamSlot& slot : structure.param_slots) {
+    result.settings.pes[static_cast<std::size_t>(slot.pe)].coeff_bits =
+        softfloat::FpValue::from_double(format, binding.at(slot.name)).bits();
+  }
+  return result;
+}
+
+Compiled compile(const Dfg& dfg, const OverlayArch& arch, std::uint64_t seed) {
+  return specialize(compile_structure(dfg, arch, seed));
 }
 
 Compiled compile_kernel(const std::string& kernel_text, const OverlayArch& arch,

@@ -1,8 +1,10 @@
 #include "vcgra/vcgra/dfg.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 #include "vcgra/common/strings.hpp"
 
@@ -128,57 +130,105 @@ void Dfg::validate() const {
   (void)topo_order();
 }
 
+ParseError::ParseError(int line, int column, const std::string& message)
+    : std::invalid_argument(common::strprintf(
+          "kernel parse error (line %d, col %d): %s", line, column,
+          message.c_str())),
+      line_(line),
+      column_(column) {}
+
 namespace {
 
-[[noreturn]] void parse_fail(int line, const std::string& message) {
-  throw std::invalid_argument(
-      common::strprintf("kernel parse error (line %d): %s", line, message.c_str()));
+[[noreturn]] void parse_fail(int line, int column, const std::string& message) {
+  throw ParseError(line, column, message);
 }
 
 }  // namespace
 
-Dfg parse_kernel(const std::string& text) {
-  Dfg dfg;
+ParsedKernel parse_kernel_symbolic(const std::string& text) {
+  ParsedKernel parsed;
+  Dfg& dfg = parsed.dfg;
+
+  const auto define = [&](const std::string& name, int line, int column) {
+    if (name.empty()) parse_fail(line, column, "empty signal name");
+    if (dfg.find(name) >= 0) {
+      parse_fail(line, column, "redefinition of signal '" + name + "'");
+    }
+  };
+
   int line_number = 0;
   for (const std::string& raw_line : common::split(text, '\n')) {
     ++line_number;
-    for (const std::string& raw_stmt : common::split(raw_line, ';')) {
-      std::string stmt(common::trim(raw_stmt));
+    // Split statements on ';' by hand so each statement knows its 1-based
+    // column in the source line (common::split drops that information).
+    std::size_t cursor = 0;
+    while (cursor <= raw_line.size()) {
+      std::size_t semi = raw_line.find(';', cursor);
+      if (semi == std::string::npos) semi = raw_line.size();
+      const std::string_view raw_stmt =
+          std::string_view(raw_line).substr(cursor, semi - cursor);
+      std::size_t lead = 0;
+      while (lead < raw_stmt.size() &&
+             std::isspace(static_cast<unsigned char>(raw_stmt[lead]))) {
+        ++lead;
+      }
+      const int column = static_cast<int>(cursor + lead) + 1;
+      const std::string stmt(common::trim(raw_stmt));
+      cursor = semi + 1;
       if (stmt.empty() || common::starts_with(stmt, "#")) continue;
 
       if (common::starts_with(stmt, "input ")) {
-        dfg.add_input(std::string(common::trim(stmt.substr(6))));
+        const std::string name(common::trim(stmt.substr(6)));
+        define(name, line_number, column);
+        dfg.add_input(name);
+        parsed.structural_text += "input " + name + ";\n";
         continue;
       }
       if (common::starts_with(stmt, "output ")) {
         const std::string name(common::trim(stmt.substr(7)));
         const int src = dfg.find(name);
-        if (src < 0) parse_fail(line_number, "output of unknown signal '" + name + "'");
+        if (src < 0) {
+          parse_fail(line_number, column,
+                     "output of unknown signal '" + name + "'");
+        }
         dfg.add_output(name, src);
+        parsed.structural_text += "output " + name + ";\n";
         continue;
       }
       if (common::starts_with(stmt, "param ")) {
-        // param NAME = VALUE
+        // param NAME = VALUE; the value is hoisted into the symbolic
+        // binding — the structural text deliberately omits it.
         const auto eq = stmt.find('=');
-        if (eq == std::string::npos) parse_fail(line_number, "param needs '= value'");
+        if (eq == std::string::npos) {
+          parse_fail(line_number, column, "param needs '= value'");
+        }
         const std::string name(common::trim(stmt.substr(6, eq - 6)));
+        define(name, line_number, column);
         const std::string value_text(common::trim(stmt.substr(eq + 1)));
         char* end = nullptr;
         const double value = std::strtod(value_text.c_str(), &end);
-        if (end == value_text.c_str()) parse_fail(line_number, "bad param value");
+        if (end == value_text.c_str() ||
+            !common::trim(std::string_view(end)).empty()) {
+          parse_fail(line_number, column, "bad param value '" + value_text + "'");
+        }
         dfg.add_param(name, value);
+        parsed.params[name] = value;
+        parsed.structural_text += "param " + name + ";\n";
         continue;
       }
 
       // NAME = op(arg, arg[, count])
       const auto eq = stmt.find('=');
-      if (eq == std::string::npos) parse_fail(line_number, "expected assignment");
+      if (eq == std::string::npos) {
+        parse_fail(line_number, column, "expected assignment");
+      }
       const std::string name(common::trim(stmt.substr(0, eq)));
+      define(name, line_number, column);
       std::string rhs(common::trim(stmt.substr(eq + 1)));
       const auto open = rhs.find('(');
       const auto close = rhs.rfind(')');
       if (open == std::string::npos || close == std::string::npos || close < open) {
-        parse_fail(line_number, "expected op(args)");
+        parse_fail(line_number, column, "expected op(args)");
       }
       const std::string op(common::trim(rhs.substr(0, open)));
       const std::string arg_text = rhs.substr(open + 1, close - open - 1);
@@ -205,10 +255,10 @@ Dfg parse_kernel(const std::string& text) {
         kind = OpKind::kPass;
         arity = 1;
       } else {
-        parse_fail(line_number, "unknown op '" + op + "'");
+        parse_fail(line_number, column, "unknown op '" + op + "'");
       }
       if (arg_names.size() != arity) {
-        parse_fail(line_number, "op '" + op + "' arity mismatch");
+        parse_fail(line_number, column, "op '" + op + "' arity mismatch");
       }
 
       std::vector<int> args;
@@ -216,21 +266,37 @@ Dfg parse_kernel(const std::string& text) {
       const std::size_t value_args = kind == OpKind::kMac ? 2 : arity;
       for (std::size_t i = 0; i < value_args; ++i) {
         const int src = dfg.find(arg_names[i]);
-        if (src < 0) parse_fail(line_number, "unknown signal '" + arg_names[i] + "'");
+        if (src < 0) {
+          parse_fail(line_number, column,
+                     "unknown signal '" + arg_names[i] + "'");
+        }
         args.push_back(src);
+      }
+      std::string canonical = name + "=" + op + "(";
+      for (std::size_t i = 0; i < value_args; ++i) {
+        if (i) canonical += ",";
+        canonical += arg_names[i];
       }
       if (kind == OpKind::kMac) {
         char* end = nullptr;
         count = static_cast<int>(std::strtol(arg_names[2].c_str(), &end, 10));
         if (end == arg_names[2].c_str() || count <= 0) {
-          parse_fail(line_number, "mac count must be a positive integer");
+          parse_fail(line_number, column, "mac count must be a positive integer");
         }
+        // The accumulation length is structural (it configures the PE's
+        // iteration counter, not a coefficient), so it stays in the text.
+        canonical += common::strprintf(",%d", count);
       }
+      parsed.structural_text += canonical + ");\n";
       dfg.add_op(kind, name, std::move(args), count);
     }
   }
   dfg.validate();
-  return dfg;
+  return parsed;
+}
+
+Dfg parse_kernel(const std::string& text) {
+  return parse_kernel_symbolic(text).dfg;
 }
 
 Dfg make_dot_product_kernel(const std::vector<double>& coefficients) {
@@ -258,6 +324,43 @@ Dfg make_dot_product_kernel(const std::vector<double>& coefficients) {
   if (!products.empty()) dfg.add_output("y", products[0]);
   dfg.validate();
   return dfg;
+}
+
+std::string dot_tree_text(const std::vector<double>& coefficients) {
+  if (coefficients.empty()) {
+    throw std::invalid_argument("dot_tree_text: no coefficients");
+  }
+  std::string text;
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    text += common::strprintf("input x%zu; param c%zu = %.17g;\n", i, i,
+                              coefficients[i]);
+    text += common::strprintf("p%zu = mul(x%zu, c%zu);\n", i, i, i);
+  }
+  if (coefficients.size() == 1) {
+    text += "y = pass(p0);\noutput y;\n";
+    return text;
+  }
+  std::vector<std::string> terms;
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    terms.push_back(common::strprintf("p%zu", i));
+  }
+  int level = 0;
+  while (terms.size() > 1) {
+    std::vector<std::string> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      std::string name = terms.size() == 2
+                             ? std::string("y")
+                             : common::strprintf("s%d_%zu", level, i / 2);
+      text += common::strprintf("%s = add(%s, %s);\n", name.c_str(),
+                                terms[i].c_str(), terms[i + 1].c_str());
+      next.push_back(std::move(name));
+    }
+    if (terms.size() % 2) next.push_back(terms.back());
+    terms = std::move(next);
+    ++level;
+  }
+  text += "output y;\n";
+  return text;
 }
 
 Dfg make_streaming_mac_kernel(double coefficient, int taps) {

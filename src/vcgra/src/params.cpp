@@ -1,0 +1,42 @@
+#include "vcgra/vcgra/params.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::overlay {
+
+std::string param_signature(const ParamBinding& binding) {
+  std::string signature;
+  signature.reserve(binding.size() * 24);
+  for (const auto& [name, value] : binding) {
+    // Hash the double's bit pattern, not its decimal rendering: -0.0 vs
+    // 0.0 and every subnormal stay distinguishable, and the signature is
+    // locale/printf independent.
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    signature += name;
+    signature += common::strprintf("=%016llx;",
+                                   static_cast<unsigned long long>(bits));
+  }
+  return signature;
+}
+
+ParamBinding merge_params(const ParamBinding& base,
+                          const ParamBinding& overrides) {
+  ParamBinding merged = base;
+  for (const auto& [name, value] : overrides) {
+    const auto it = merged.find(name);
+    if (it == merged.end()) {
+      throw std::invalid_argument(
+          "merge_params: override for unknown parameter '" + name + "'");
+    }
+    it->second = value;
+  }
+  return merged;
+}
+
+}  // namespace vcgra::overlay

@@ -26,4 +26,34 @@ PipelineResult run_pipeline_service(const RgbImage& input,
                                     const overlay::OverlayArch& arch,
                                     runtime::OverlayService& service);
 
+/// The W-tap adder-tree kernel text convolve_overlay_dcs tiles a filter
+/// onto (`param c0..cW-1`, defaults 0). Exposed so tests can compile the
+/// specialized kernels from scratch and assert bit-exactness.
+std::string dcs_tap_group_kernel(int taps);
+
+/// Cost/result of one Dynamic-Circuit-Specialization convolution.
+struct DcsConvResult {
+  Image output;
+  int jobs = 0;            // tap-group jobs submitted through the service
+  int structure_hits = 0;  // ... that performed zero place & route work
+  double compile_seconds = 0;     // structural tool-flow time paid
+  double specialize_seconds = 0;  // coefficient-binding time paid
+};
+
+/// Convolution through the real tool flow, the DCS way: the filter's taps
+/// are tiled into dot-tree kernels sized to the grid, every tile shape is
+/// compiled (placed & routed) at most once per service lifetime, and each
+/// tile binds its coefficients via JobRequest::params — so convolving a
+/// whole bank of same-sized filters respecializes one cached structure
+/// per tap-group width instead of re-running the tool flow per filter.
+///
+/// Association order is the adder tree + group-order host accumulation,
+/// so outputs are NOT comparable to convolve_overlay's sequential-MAC
+/// ordering; they are bit-exact against a from-scratch compile of each
+/// specialized tap-group kernel (asserted by test_vision).
+DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
+                                   const overlay::OverlayArch& arch,
+                                   runtime::OverlayService& service,
+                                   std::uint64_t seed = 1);
+
 }  // namespace vcgra::vision

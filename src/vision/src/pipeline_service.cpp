@@ -1,9 +1,13 @@
 #include "vcgra/vision/pipeline_service.hpp"
 
+#include <algorithm>
 #include <future>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "vcgra/common/strings.hpp"
+#include "vcgra/vcgra/dfg.hpp"
 #include "vcgra/vision/filters.hpp"
 
 namespace vcgra::vision {
@@ -38,6 +42,86 @@ Image bank_response(runtime::OverlayService& service, const Image& input,
 }
 
 }  // namespace
+
+std::string dcs_tap_group_kernel(int taps) {
+  if (taps <= 0) {
+    throw std::invalid_argument("dcs_tap_group_kernel: taps must be positive");
+  }
+  // The shared emitter keeps the association order (the bit-exactness
+  // contract) in one place across the hpc tiles and this engine.
+  return overlay::dot_tree_text(std::vector<double>(static_cast<std::size_t>(taps), 0.0));
+}
+
+DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
+                                   const overlay::OverlayArch& arch,
+                                   runtime::OverlayService& service,
+                                   std::uint64_t seed) {
+  if (kernel.size <= 0 || kernel.size % 2 == 0) {
+    throw std::invalid_argument("convolve_overlay_dcs: kernel size must be odd");
+  }
+  DcsConvResult result;
+  result.output = Image(input.width(), input.height());
+  const int taps = kernel.taps();
+  const int half = kernel.size / 2;
+  // A W-tap dot tree occupies 2W-1 PEs.
+  const int group_width = std::min(taps, (arch.num_pes() + 1) / 2);
+  const std::size_t pixels = static_cast<std::size_t>(input.width()) *
+                             static_cast<std::size_t>(input.height());
+
+  // One service job per tap group: W shifted image streams in, the
+  // group's partial responses out. The shape kernel is shared by every
+  // group of the same width (and every same-sized filter the service has
+  // seen), so after the first filter of a bank each job is a pure
+  // coefficient respecialization.
+  std::vector<std::future<runtime::JobResult>> futures;
+  for (int base = 0; base < taps; base += group_width) {
+    const int width = std::min(group_width, taps - base);
+    runtime::JobRequest request;
+    request.kernel_text = dcs_tap_group_kernel(width);
+    request.arch = arch;
+    request.seed = seed;
+    for (int j = 0; j < width; ++j) {
+      const int tap = base + j;
+      const int kx = tap % kernel.size, ky = tap / kernel.size;
+      request.params[common::strprintf("c%d", j)] = kernel.at(kx, ky);
+      std::vector<double>& stream =
+          request.inputs[common::strprintf("x%d", j)];
+      stream.reserve(pixels);
+      for (int y = 0; y < input.height(); ++y) {
+        for (int x = 0; x < input.width(); ++x) {
+          stream.push_back(static_cast<double>(
+              input.sample(x + kx - half, y + ky - half)));
+        }
+      }
+    }
+    futures.push_back(service.submit(std::move(request)));
+  }
+
+  // Fold the groups' partial responses in group order.
+  using softfloat::FpValue;
+  std::vector<FpValue> acc(pixels, FpValue::zero(arch.format));
+  bool first_group = true;
+  for (auto& future : futures) {
+    const runtime::JobResult job = future.get();
+    ++result.jobs;
+    if (job.structure_hit) ++result.structure_hits;
+    result.compile_seconds += job.compile_seconds;
+    result.specialize_seconds += job.specialize_seconds;
+    const auto it = job.run.outputs.find("y");
+    if (it == job.run.outputs.end() || it->second.size() != pixels) {
+      throw std::runtime_error("convolve_overlay_dcs: malformed job output");
+    }
+    for (std::size_t p = 0; p < pixels; ++p) {
+      acc[p] = first_group ? it->second[p]
+                           : softfloat::fp_add(acc[p], it->second[p]);
+    }
+    first_group = false;
+  }
+  for (std::size_t p = 0; p < pixels; ++p) {
+    result.output.data()[p] = static_cast<float>(acc[p].to_double());
+  }
+  return result;
+}
 
 PipelineResult run_pipeline_service(const RgbImage& input,
                                     const Mask& field_of_view,

@@ -38,6 +38,71 @@ TEST(HpcSuite, AllKernelsBitExactAndWithinTolerance) {
   }
 }
 
+// Satellite: param respecialization must be bit-exact vs a full recompile
+// across every FP format and several grid sizes. The second kernel of
+// each pair differs from the first only in coefficient values, so the
+// service must serve it from the cached structure (no place & route) and
+// its outputs must still match the kernel's own softfloat reference —
+// which is computed from scratch, never through the cache.
+TEST(HpcSuite, ParamRespecializationBitExactAcrossFormatsAndGrids) {
+  const sf::FpFormat formats[] = {sf::FpFormat::paper(),
+                                  sf::FpFormat::single_like(),
+                                  sf::FpFormat::half_like()};
+  const int grids[] = {3, 4, 8};  // stencil3 needs 5 PEs, so 3x3 up
+  for (const sf::FpFormat format : formats) {
+    for (const int grid : grids) {
+      hpc::HpcBenchOptions options = small_options(format);
+      options.arch.rows = grid;
+      options.arch.cols = grid;
+      hpc::HpcBench bench(options);
+
+      // stencil3 carries three coefficients; same seed => same field, so
+      // only the params differ between the two instances.
+      const auto cold =
+          bench.run(hpc::make_stencil3(48, 0.25, 0.5, 0.25, /*seed=*/5), 5);
+      EXPECT_TRUE(cold.passed()) << "grid " << grid << " we=" << format.we;
+      EXPECT_FALSE(cold.structure_hit);
+      EXPECT_GT(cold.compile_seconds, 0.0);
+
+      const auto respec =
+          bench.run(hpc::make_stencil3(48, -0.125, 0.75, 0.375, /*seed=*/5), 5);
+      EXPECT_TRUE(respec.passed())
+          << "grid " << grid << " we=" << format.we
+          << " rel_err=" << respec.max_rel_err;
+      EXPECT_TRUE(respec.structure_hit);
+      EXPECT_EQ(respec.compile_seconds, 0.0);  // zero place & route work
+
+      // scale's alpha exercises the same path through a mul PE.
+      const auto scale_cold = bench.run(hpc::make_stream_scale(48, 3.0, 5), 5);
+      const auto scale_respec =
+          bench.run(hpc::make_stream_scale(48, -1.75, 5), 5);
+      EXPECT_TRUE(scale_cold.passed());
+      EXPECT_TRUE(scale_respec.passed());
+      EXPECT_TRUE(scale_respec.structure_hit);
+      EXPECT_EQ(scale_respec.compile_seconds, 0.0);
+    }
+  }
+}
+
+// GEMV tiles share one dot-tree shape per tap width: once the shape is
+// resident, every tile skips place & route no matter its coefficients.
+TEST(HpcGemm, TilesShareOneStructurePerShape) {
+  hpc::HpcBench bench(small_options());
+  // Warm the 6-tap shape with a one-tile GEMM (deterministic: concurrent
+  // cold tiles would otherwise coalesce onto the in-flight compile).
+  const auto warmup = bench.run_gemm(4, 1, 6, 6, /*seed=*/9);
+  EXPECT_TRUE(warmup.passed());
+
+  const auto report = bench.run_gemm(16, 4, 12, 6, /*seed=*/9);
+  EXPECT_TRUE(report.passed()) << "rel_err=" << report.max_rel_err;
+  ASSERT_GT(report.jobs, 1);
+  // Every tile respecialized the cached structure; place & route ran only
+  // once — for the warmup tile — across both GEMMs.
+  EXPECT_EQ(report.structure_hits, static_cast<std::uint64_t>(report.jobs));
+  EXPECT_EQ(report.compile_seconds, 0.0);
+  EXPECT_EQ(bench.service().stats().cache.structure_misses, 1u);
+}
+
 // The suite is format-parameterized: the same kernels must hold bit-exact
 // on a half-precision-like and an IEEE-single-like format.
 TEST(HpcSuite, OtherFormatsStayBitExact) {

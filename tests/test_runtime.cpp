@@ -62,6 +62,26 @@ std::vector<std::uint64_t> output_bits(const ov::RunResult& run,
   return bits;
 }
 
+/// Structurally distinct kernels: the mac accumulation length programs
+/// the PE's iteration counter, so it is part of the canonical structural
+/// text (unlike the coefficient, which is a parameter).
+std::string mac_kernel(int count, double coeff = 0.5) {
+  return vc::strprintf(
+      "input x;\nparam c = %.17g;\ny = mac(x, c, %d);\noutput y;\n", coeff,
+      count);
+}
+
+std::map<std::string, std::vector<double>> single_input(std::size_t length,
+                                                        double scale = 1.0) {
+  std::map<std::string, std::vector<double>> inputs;
+  std::vector<double>& stream = inputs["x"];
+  stream.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    stream.push_back(scale * (static_cast<double>(i) - 7.5) / 3.0);
+  }
+  return inputs;
+}
+
 }  // namespace
 
 TEST(OverlayKey, DistinguishesKernelArchAndSeed) {
@@ -76,12 +96,50 @@ TEST(OverlayKey, DistinguishesKernelArchAndSeed) {
   EXPECT_NE(rt::overlay_key(kernel, arch, 1), rt::overlay_key(kernel, arch, 2));
 }
 
+TEST(OverlayKey, CanonicalizationIgnoresFormattingAndComments) {
+  const ov::OverlayArch arch;
+  const std::string kernel = dot2_kernel(0.5, -1.25);
+  // Same program, hostile formatting: extra whitespace, comments, blank
+  // lines, statements split across lines.
+  const std::string reformatted =
+      "# a dot product\n"
+      "  input   x0 ;\n\n"
+      "input x1;\n"
+      "param c0 = 0.5;  # coefficient\n"
+      "param c1 = -1.25;\n"
+      "t0 =  mul( x0 , c0 ) ;  t1 = mul(x1, c1);\n"
+      "y = add(t0,t1);\n"
+      "   output y;\n";
+  EXPECT_EQ(rt::overlay_key(kernel, arch, 1),
+            rt::overlay_key(reformatted, arch, 1));
+}
+
+TEST(OverlayKey, ParamValuesShareTheStructuralKey) {
+  const ov::OverlayArch arch;
+  const ov::ParsedKernel a = ov::parse_kernel_symbolic(dot2_kernel(0.5, -1.25));
+  const ov::ParsedKernel b = ov::parse_kernel_symbolic(dot2_kernel(0.6, 7.0));
+  const rt::CacheKeys keys_a = rt::cache_keys(a, arch, 1, a.params);
+  const rt::CacheKeys keys_b = rt::cache_keys(b, arch, 1, b.params);
+  // Same place & route, different coefficients: level-1 key equal,
+  // level-2 signature (and thus the full configuration key) distinct.
+  EXPECT_EQ(keys_a.structure, keys_b.structure);
+  EXPECT_NE(keys_a.params, keys_b.params);
+  EXPECT_NE(keys_a.full(), keys_b.full());
+  // The mac iteration count is structural, not a parameter.
+  EXPECT_NE(rt::cache_keys(ov::parse_kernel_symbolic(mac_kernel(2)), arch, 1, {})
+                .structure,
+            rt::cache_keys(ov::parse_kernel_symbolic(mac_kernel(3)), arch, 1, {})
+                .structure);
+}
+
 TEST(OverlayCache, HitMissEvictionLru) {
   const ov::OverlayArch arch;
   rt::OverlayCache cache(2);
-  const std::string a = dot2_kernel(1.0, 2.0);
-  const std::string b = dot2_kernel(3.0, 4.0);
-  const std::string c = dot2_kernel(5.0, 6.0);
+  // Distinct *structures* (capacity counts structural artifacts; kernels
+  // differing only in coefficients share one entry, tested separately).
+  const std::string a = mac_kernel(2);
+  const std::string b = mac_kernel(3);
+  const std::string c = mac_kernel(4);
 
   bool hit = true;
   double compile_seconds = 0;
@@ -96,9 +154,8 @@ TEST(OverlayCache, HitMissEvictionLru) {
 
   cache.get_or_compile(b, arch, 1, &hit, nullptr);
   EXPECT_FALSE(hit);
-  // Capacity 2: compiling C evicts the least recently used entry (B was
-  // touched after A... A was refreshed by the hit, so B is newer; LRU is A? No:
-  // order of use: A (miss), A (hit), B (miss) -> MRU=B, LRU=A; C evicts A).
+  // Capacity 2: compiling C evicts the least recently used entry (order
+  // of use: A (miss), A (hit), B (miss) -> MRU=B, LRU=A; C evicts A).
   cache.get_or_compile(c, arch, 1, &hit, nullptr);
   EXPECT_FALSE(hit);
 
@@ -109,13 +166,15 @@ TEST(OverlayCache, HitMissEvictionLru) {
   const rt::CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.structure_misses, 3u);
+  EXPECT_EQ(stats.structure_hits, 0u);
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.entries, 2u);
   EXPECT_GT(stats.compile_seconds, 0.0);
 
   // The evicted handle stays valid for holders.
   const ov::Simulator simulator(first);
-  const auto result = simulator.run_doubles(ramp_inputs(8));
+  const auto result = simulator.run_doubles(single_input(8));
   EXPECT_EQ(result.outputs.count("y"), 1u);
 }
 
@@ -386,18 +445,16 @@ TEST(OverlayService, EvictionUnderPressureKeepsResultsCorrect) {
   std::vector<std::future<rt::JobResult>> futures;
   for (int j = 0; j < 24; ++j) {
     rt::JobRequest request;
-    request.kernel_text =
-        dot2_kernel(0.125 * ((j % 6) + 1), -0.25 * ((j % 6) + 1));
-    request.inputs = ramp_inputs(16);
+    request.kernel_text = mac_kernel(2 + j % 6, 0.125 * ((j % 6) + 1));
+    request.inputs = single_input(16);
     futures.push_back(service.submit(std::move(request)));
   }
   for (int j = 0; j < 24; ++j) {
     const rt::JobResult result = futures[static_cast<std::size_t>(j)].get();
     const ov::Simulator direct(ov::compile_kernel(
-        dot2_kernel(0.125 * ((j % 6) + 1), -0.25 * ((j % 6) + 1)),
-        ov::OverlayArch{}, 1));
+        mac_kernel(2 + j % 6, 0.125 * ((j % 6) + 1)), ov::OverlayArch{}, 1));
     EXPECT_EQ(output_bits(result.run),
-              output_bits(direct.run_doubles(ramp_inputs(16))));
+              output_bits(direct.run_doubles(single_input(16))));
   }
   const rt::ServiceStats stats = service.stats();
   EXPECT_EQ(stats.jobs_completed, 24u);
@@ -445,10 +502,10 @@ TEST(OverlayCache, CapacityZeroIsClampedToOneAndWorks) {
 TEST(OverlayCache, CapacityOneThrashesButStaysCorrect) {
   const ov::OverlayArch arch;
   rt::OverlayCache cache(1);
-  const std::string a = dot2_kernel(1.0, 2.0);
-  const std::string b = dot2_kernel(3.0, 4.0);
+  const std::string a = mac_kernel(2);
+  const std::string b = mac_kernel(3);
 
-  // Alternating keys: every access after the first evicts the other.
+  // Alternating structures: every access after the first evicts the other.
   for (int round = 0; round < 3; ++round) {
     bool hit = true;
     const auto compiled = cache.get_or_compile(round % 2 ? b : a, arch, 1, &hit);
@@ -456,7 +513,7 @@ TEST(OverlayCache, CapacityOneThrashesButStaysCorrect) {
     ASSERT_NE(compiled, nullptr);
     // Evicted-or-not, the handle always simulates correctly.
     const ov::Simulator simulator(compiled);
-    EXPECT_EQ(simulator.run_doubles(ramp_inputs(4)).outputs.count("y"), 1u);
+    EXPECT_EQ(simulator.run_doubles(single_input(4)).outputs.count("y"), 1u);
   }
   const rt::CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 1u);
@@ -553,6 +610,223 @@ TEST(OverlayService, ConcurrentDuplicateSubmissionsCoalesceToOneCompile) {
   // Exactly one compile ran: every miss beyond the first joined in-flight.
   EXPECT_EQ(cache.misses - cache.inflight_joins, 1u);
   EXPECT_EQ(cache.entries, 1u);
+}
+
+// --- the parameter-symbolic fast path ---------------------------------------
+
+TEST(OverlayService, ParamOnlyJobPerformsZeroPlaceRouteWork) {
+  rt::ServiceOptions options;
+  options.threads = 2;
+  rt::OverlayService service(options);
+
+  rt::JobRequest cold;
+  cold.kernel_text = dot2_kernel(0.5, -1.25);
+  cold.inputs = ramp_inputs(64);
+  const rt::JobResult first = service.run(cold);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(first.structure_hit);
+  EXPECT_GT(first.compile_seconds, 0.0);
+
+  // Same kernel text, new coefficients via the override map: the
+  // acceptance criterion — zero place & route work, bit-identical to a
+  // from-scratch compile of the specialized kernel.
+  rt::JobRequest respec;
+  respec.kernel_text = dot2_kernel(0.5, -1.25);
+  respec.inputs = ramp_inputs(64);
+  respec.params = {{"c0", 0.9}, {"c1", 0.1}};
+  const rt::JobResult second = service.run(respec);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_TRUE(second.structure_hit);
+  EXPECT_EQ(second.compile_seconds, 0.0);
+
+  const ov::Simulator direct(
+      ov::compile_kernel(dot2_kernel(0.9, 0.1), ov::OverlayArch{}, 1));
+  EXPECT_EQ(output_bits(second.run),
+            output_bits(direct.run_doubles(ramp_inputs(64))));
+
+  // New coefficients as *literals* in the text: still the same structure,
+  // and — because the binding matches the override job above — a full hit.
+  rt::JobRequest literal;
+  literal.kernel_text = dot2_kernel(0.9, 0.1);
+  literal.inputs = ramp_inputs(64);
+  const rt::JobResult third = service.run(literal);
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_TRUE(third.structure_hit);
+  EXPECT_EQ(third.compile_seconds, 0.0);
+  EXPECT_EQ(output_bits(third.run), output_bits(second.run));
+
+  const rt::CacheStats stats = service.stats().cache;
+  EXPECT_EQ(stats.structure_misses, 1u);  // one place & route for all three
+  EXPECT_EQ(stats.structure_hits, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_NE(service.cache().peek_structure(cold.kernel_text, cold.arch, 1),
+            nullptr);
+}
+
+TEST(OverlayService, ReformattedKernelIsAFullCacheHit) {
+  rt::ServiceOptions options;
+  options.threads = 1;
+  rt::OverlayService service(options);
+
+  rt::JobRequest request;
+  request.kernel_text = dot2_kernel(0.25, 0.75);
+  request.inputs = ramp_inputs(16);
+  const rt::JobResult first = service.run(request);
+  EXPECT_FALSE(first.cache_hit);
+
+  rt::JobRequest reformatted;
+  reformatted.kernel_text =
+      "input x0;input x1;  # same kernel, different formatting\n"
+      "param c0 = 0.25;\nparam c1 = 0.75;\n"
+      "t0 = mul(x0,c0);\n t1 = mul(x1,  c1);\n"
+      "y = add(t0, t1);\noutput y;";
+  reformatted.inputs = ramp_inputs(16);
+  const rt::JobResult second = service.run(reformatted);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(output_bits(second.run), output_bits(first.run));
+}
+
+TEST(OverlayService, UnknownParamOverrideFailsThroughFuture) {
+  rt::OverlayService service(rt::ServiceOptions{});
+  rt::JobRequest request;
+  request.kernel_text = dot2_kernel(0.5, -1.25);
+  request.inputs = ramp_inputs(8);
+  request.params = {{"not_a_param", 1.0}};
+  auto future = service.submit(std::move(request));
+  EXPECT_THROW(future.get(), std::invalid_argument);
+  EXPECT_EQ(service.stats().jobs_failed, 1u);
+}
+
+TEST(OverlayCache, SpecializationWorkingSetIsBoundedPerStructure) {
+  const ov::OverlayArch arch;
+  rt::OverlayCache cache(4);
+  const std::size_t n = rt::OverlayCache::kSpecializationsPerStructure + 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool hit = true;
+    const auto compiled = cache.get_or_compile(
+        dot2_kernel(0.001 * static_cast<double>(i + 1), -1.0), arch, 1, &hit);
+    EXPECT_FALSE(hit);
+    ASSERT_NE(compiled, nullptr);
+  }
+  const rt::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);  // one structure for every coefficient set
+  EXPECT_EQ(stats.structure_misses, 1u);
+  EXPECT_EQ(stats.structure_hits, static_cast<std::uint64_t>(n - 1));
+  EXPECT_EQ(stats.specialized_entries,
+            rt::OverlayCache::kSpecializationsPerStructure);
+  EXPECT_EQ(stats.evictions, 0u);  // structural evictions only
+}
+
+TEST(ReconfigScheduler, SameStructureSwapIsParamOnlyAndCheap) {
+  const ov::OverlayArch arch;
+  const ov::ParsedKernel parsed =
+      ov::parse_kernel_symbolic(dot2_kernel(1.0, 2.0));
+  const ov::CompiledStructure structure =
+      ov::compile_structure(parsed.dfg, arch, 1);
+  const auto a =
+      std::make_shared<const ov::Compiled>(ov::specialize(structure));
+  const auto b = std::make_shared<const ov::Compiled>(
+      ov::specialize(structure, {{"c0", 3.0}, {"c1", -4.0}}));
+
+  rt::RegisterDiffCostModel model;
+  const double blank_cost = model.switch_seconds(nullptr, *a);
+
+  rt::ReconfigScheduler scheduler(
+      1, std::make_shared<rt::RegisterDiffCostModel>());
+  const auto load = scheduler.acquire("S|p1", "S", a);
+  EXPECT_TRUE(load.reconfigured);
+  EXPECT_FALSE(load.param_only);
+  scheduler.release(load.instance);
+
+  const auto swap = scheduler.acquire("S|p2", "S", b);
+  EXPECT_TRUE(swap.reconfigured);
+  EXPECT_TRUE(swap.param_only);
+  EXPECT_GT(swap.reconfig_seconds, 0.0);
+  // Only the coefficient words differ: far cheaper than a blank load.
+  EXPECT_LT(swap.reconfig_seconds, blank_cost);
+  scheduler.release(swap.instance);
+
+  const auto repeat = scheduler.acquire("S|p2", "S", b);
+  EXPECT_FALSE(repeat.reconfigured);
+  scheduler.release(repeat.instance);
+
+  const rt::SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.param_respecializations, 1u);
+  EXPECT_GT(stats.param_reconfig_seconds, 0.0);
+  EXPECT_EQ(stats.reconfigurations, 2u);
+  EXPECT_EQ(stats.reconfigurations_avoided, 1u);
+}
+
+TEST(ReconfigScheduler, PrefersSameStructureOverBlankInstance) {
+  const ov::OverlayArch arch;
+  const ov::ParsedKernel parsed =
+      ov::parse_kernel_symbolic(dot2_kernel(1.0, 2.0));
+  const ov::CompiledStructure structure =
+      ov::compile_structure(parsed.dfg, arch, 1);
+  const auto a =
+      std::make_shared<const ov::Compiled>(ov::specialize(structure));
+  const auto b = std::make_shared<const ov::Compiled>(
+      ov::specialize(structure, {{"c0", 9.0}}));
+
+  rt::ReconfigScheduler scheduler(
+      2, std::make_shared<rt::RegisterDiffCostModel>());
+  const auto load = scheduler.acquire("S|p1", "S", a);
+  scheduler.release(load.instance);
+  // Instance 0 holds the structure; instance 1 is blank. A param variant
+  // should respecialize in place, not burn a blank instance.
+  const auto swap = scheduler.acquire("S|p2", "S", b);
+  EXPECT_EQ(swap.instance, load.instance);
+  EXPECT_TRUE(swap.param_only);
+  scheduler.release(swap.instance);
+}
+
+// Satellite: concurrent mixed traffic — several structures, several
+// coefficient sets each, duplicates — stays bit-exact and compiles each
+// structure exactly once (satellite requirement on OverlayService).
+TEST(OverlayService, ConcurrentMixedStructureAndParamTraffic) {
+  constexpr int kStructures = 4;   // mac counts 2..5
+  constexpr int kParamSets = 6;
+  constexpr int kRepeats = 2;
+  rt::ServiceOptions options;
+  options.threads = 8;
+  rt::OverlayService service(options);
+
+  struct Job {
+    std::string kernel;
+    double coeff;
+    std::future<rt::JobResult> future;
+  };
+  std::vector<Job> jobs;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    for (int s = 0; s < kStructures; ++s) {
+      for (int p = 0; p < kParamSets; ++p) {
+        Job job;
+        job.coeff = 0.125 * (p + 1) * (s % 2 ? -1.0 : 1.0);
+        job.kernel = mac_kernel(2 + s, job.coeff);
+        rt::JobRequest request;
+        request.kernel_text = job.kernel;
+        request.inputs = single_input(32);
+        job.future = service.submit(std::move(request));
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  for (Job& job : jobs) {
+    const rt::JobResult result = job.future.get();
+    const ov::Simulator direct(
+        ov::compile_kernel(job.kernel, ov::OverlayArch{}, 1));
+    EXPECT_EQ(output_bits(result.run),
+              output_bits(direct.run_doubles(single_input(32))));
+  }
+  const rt::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_completed,
+            static_cast<std::uint64_t>(kStructures * kParamSets * kRepeats));
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  // In-flight coalescing + the structure cache: place & route ran exactly
+  // once per distinct structure, however the 48 jobs interleaved.
+  EXPECT_EQ(stats.cache.structure_misses,
+            static_cast<std::uint64_t>(kStructures));
+  EXPECT_EQ(stats.cache.entries, static_cast<std::size_t>(kStructures));
 }
 
 TEST(ServiceStats, PercentileNearestRank) {

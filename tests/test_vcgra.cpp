@@ -58,6 +58,124 @@ TEST(Dfg, ParseErrorsAreDiagnosed) {
   EXPECT_THROW(ov::parse_kernel("output nothing;"), std::invalid_argument);
 }
 
+TEST(Dfg, ParseErrorsCarryLineAndColumn) {
+  const auto expect_at = [](const std::string& text, int line, int column) {
+    try {
+      ov::parse_kernel(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const ov::ParseError& error) {
+      EXPECT_EQ(error.line(), line) << text;
+      EXPECT_EQ(error.column(), column) << text;
+      // The rendered message carries the position too.
+      EXPECT_NE(std::string(error.what()).find("line"), std::string::npos);
+    }
+  };
+  // Unknown signal on line 2.
+  expect_at("input x;\ny = mul(x, ghost);\noutput y;\n", 2, 1);
+  // Second statement of line 1: column points past the first statement.
+  expect_at("input x; y = frob(x);", 1, 10);
+  // Bad param value, statement indented.
+  expect_at("input x;\n  param c = banana;\n", 2, 3);
+  // mac count must be positive (line 3).
+  expect_at("input x;\nparam c = 1;\ny = mac(x, c, -2);\n", 3, 1);
+  // Missing assignment.
+  expect_at("input x;\nnonsense\n", 2, 1);
+}
+
+TEST(Dfg, ParseRejectsMalformedKernels) {
+  // Redefinitions (silent shadowing would corrupt the param binding).
+  EXPECT_THROW(ov::parse_kernel("input x; input x;"), ov::ParseError);
+  EXPECT_THROW(ov::parse_kernel("input x; param x = 1;"), ov::ParseError);
+  EXPECT_THROW(ov::parse_kernel("param c = 1; param c = 2;"), ov::ParseError);
+  EXPECT_THROW(
+      ov::parse_kernel("input x; param c = 1; y = mul(x, c); y = pass(x);"),
+      ov::ParseError);
+  // Trailing garbage after a param value.
+  EXPECT_THROW(ov::parse_kernel("param c = 1.5 oops;"), ov::ParseError);
+  // Arity violations and malformed operator syntax.
+  EXPECT_THROW(ov::parse_kernel("input x; y = add(x);"), ov::ParseError);
+  EXPECT_THROW(ov::parse_kernel("input x; y = pass x;"), ov::ParseError);
+  EXPECT_THROW(ov::parse_kernel("input x; y = pass(x; output y;"),
+               ov::ParseError);
+  EXPECT_THROW(ov::parse_kernel("input x; = pass(x);"), ov::ParseError);
+}
+
+TEST(Dfg, SymbolicParseHoistsParamsAndCanonicalizes) {
+  const ov::ParsedKernel parsed = ov::parse_kernel_symbolic(
+      "# comment\n"
+      "input x0;  input x1;\n"
+      "param c0 = 0.5;\nparam c1 = -1.25;\n"
+      "t0 = mul( x0 , c0 );\nt1 = mul(x1, c1);\n"
+      "y = add(t0, t1);\noutput y;\n");
+  EXPECT_EQ(parsed.params.size(), 2u);
+  EXPECT_EQ(parsed.params.at("c0"), 0.5);
+  EXPECT_EQ(parsed.params.at("c1"), -1.25);
+  // Canonical text drops values, comments and whitespace.
+  EXPECT_EQ(parsed.structural_text,
+            "input x0;\ninput x1;\nparam c0;\nparam c1;\n"
+            "t0=mul(x0,c0);\nt1=mul(x1,c1);\ny=add(t0,t1);\noutput y;\n");
+  // Value and formatting changes leave the structural text untouched.
+  const ov::ParsedKernel other = ov::parse_kernel_symbolic(
+      "input x0;input x1;param c0=7;param c1=9;"
+      "t0=mul(x0,c0);t1=mul(x1,c1);y=add(t0,t1);output y;");
+  EXPECT_EQ(parsed.structural_text, other.structural_text);
+  EXPECT_NE(ov::param_signature(parsed.params),
+            ov::param_signature(other.params));
+}
+
+TEST(Params, SignatureAndMergeSemantics) {
+  // Bit-level discrimination: -0.0 and 0.0 differ.
+  EXPECT_NE(ov::param_signature({{"c", 0.0}}),
+            ov::param_signature({{"c", -0.0}}));
+  EXPECT_EQ(ov::param_signature({{"a", 1.0}, {"b", 2.0}}),
+            ov::param_signature({{"b", 2.0}, {"a", 1.0}}));  // order-free (map)
+  const ov::ParamBinding merged =
+      ov::merge_params({{"a", 1.0}, {"b", 2.0}}, {{"b", 5.0}});
+  EXPECT_EQ(merged.at("a"), 1.0);
+  EXPECT_EQ(merged.at("b"), 5.0);
+  EXPECT_THROW(ov::merge_params({{"a", 1.0}}, {{"typo", 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(Compiler, SpecializeMatchesFromScratchCompileBitExactly) {
+  const std::string text =
+      "input x0; input x1;\n"
+      "param c0 = 0.5; param c1 = -1.25;\n"
+      "t0 = mul(x0, c0); t1 = mul(x1, c1);\n"
+      "y = add(t0, t1);\noutput y;\n";
+  ov::OverlayArch arch;
+  const ov::ParsedKernel parsed = ov::parse_kernel_symbolic(text);
+  const ov::CompiledStructure structure =
+      ov::compile_structure(parsed.dfg, arch, 1);
+  EXPECT_EQ(structure.param_slots.size(), 2u);
+  // The skeleton holds no coefficient bits: the structure really is
+  // value-free.
+  for (const auto& pe : structure.settings.pes) {
+    EXPECT_EQ(pe.coeff_bits, 0u);
+  }
+
+  // Defaults: identical to the one-shot compile.
+  const ov::Compiled whole = ov::compile_kernel(text, arch, 1);
+  const ov::Compiled defaulted = ov::specialize(structure);
+  EXPECT_EQ(defaulted.settings.register_words(arch),
+            whole.settings.register_words(arch));
+
+  // New coefficients: identical to a from-scratch compile of the
+  // rewritten kernel (same structure -> same placement under one seed).
+  const ov::Compiled respec =
+      ov::specialize(structure, {{"c0", 0.9}, {"c1", 123.0}});
+  const ov::Compiled scratch = ov::compile_kernel(
+      "input x0; input x1;\n"
+      "param c0 = 0.9; param c1 = 123.0;\n"
+      "t0 = mul(x0, c0); t1 = mul(x1, c1);\n"
+      "y = add(t0, t1);\noutput y;\n",
+      arch, 1);
+  EXPECT_EQ(respec.settings.register_words(arch),
+            scratch.settings.register_words(arch));
+
+  EXPECT_THROW(ov::specialize(structure, {{"cX", 1.0}}), std::invalid_argument);
+}
+
 TEST(Dfg, MacParsing) {
   const ov::Dfg dfg = ov::parse_kernel(
       "input x; param c = 0.25; acc = mac(x, c, 25); output acc;");

@@ -4,14 +4,20 @@
 #include <numeric>
 
 #include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+#include "vcgra/runtime/service.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/simulator.hpp"
 #include "vcgra/vision/filters.hpp"
 #include "vcgra/vision/image.hpp"
 #include "vcgra/vision/metrics.hpp"
 #include "vcgra/vision/pipeline.hpp"
+#include "vcgra/vision/pipeline_service.hpp"
 #include "vcgra/vision/synthetic.hpp"
 
 namespace vi = vcgra::vision;
 namespace ov = vcgra::overlay;
+namespace rt = vcgra::runtime;
 
 TEST(Image, BasicAccessAndNormalize) {
   vi::Image image(4, 3, 0.5f);
@@ -119,6 +125,114 @@ TEST(Filters, OverlayPassCountScalesWithKernel) {
   EXPECT_EQ(small.passes, 1);   // 9 taps on 16 PEs
   EXPECT_EQ(large.passes, 6);   // 81 taps -> 6 loads
   EXPECT_GT(large.cycles, small.cycles);
+}
+
+// --- Dynamic-Circuit-Specialization convolution -----------------------------
+
+namespace {
+
+/// Shifted tap stream exactly as convolve_overlay_dcs builds it.
+std::vector<double> tap_stream(const vi::Image& image, int kernel_size,
+                               int tap) {
+  const int half = kernel_size / 2;
+  const int kx = tap % kernel_size, ky = tap / kernel_size;
+  std::vector<double> stream;
+  stream.reserve(static_cast<std::size_t>(image.width()) *
+                 static_cast<std::size_t>(image.height()));
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      stream.push_back(
+          static_cast<double>(image.sample(x + kx - half, y + ky - half)));
+    }
+  }
+  return stream;
+}
+
+vi::Image deterministic_image(int width, int height, std::uint64_t seed) {
+  vcgra::common::Rng rng(seed);
+  vi::Image image(width, height);
+  for (auto& v : image.data()) v = static_cast<float>(rng.next_double());
+  return image;
+}
+
+}  // namespace
+
+// The DCS engine must match, bit for bit, a from-scratch compile of each
+// specialized tap-group kernel — the acceptance criterion of the
+// parameter-symbolic pipeline, stated at the vision layer.
+TEST(DcsConvolution, BitExactVsFromScratchCompile) {
+  const vi::Image image = deterministic_image(12, 10, 7);
+  const vi::Kernel kernel = vi::gaussian_kernel(3, 0.8);  // 9 taps: groups 8+1
+  const ov::OverlayArch arch;
+  rt::ServiceOptions options;
+  options.threads = 2;
+  rt::OverlayService service(options);
+
+  const vi::DcsConvResult conv =
+      vi::convolve_overlay_dcs(image, kernel, arch, service);
+  EXPECT_EQ(conv.jobs, 2);
+
+  // From scratch: literal-coefficient kernels through compile_kernel (no
+  // cache, no specialization), folded in the same group order.
+  const int taps = kernel.taps();
+  const int group_width = std::min(taps, (arch.num_pes() + 1) / 2);
+  const std::size_t pixels = image.data().size();
+  std::vector<vcgra::softfloat::FpValue> acc(
+      pixels, vcgra::softfloat::FpValue::zero(arch.format));
+  bool first = true;
+  for (int base = 0; base < taps; base += group_width) {
+    const int width = std::min(group_width, taps - base);
+    std::vector<double> group_coeffs;
+    std::map<std::string, std::vector<double>> inputs;
+    for (int j = 0; j < width; ++j) {
+      const int tap = base + j;
+      group_coeffs.push_back(kernel.at(tap % kernel.size, tap / kernel.size));
+      inputs[vcgra::common::strprintf("x%d", j)] =
+          tap_stream(image, kernel.size, tap);
+    }
+    // Literal-coefficient text of the same tree shape; compile_kernel
+    // runs the whole flow with no cache and no specialization.
+    const std::string text = ov::dot_tree_text(group_coeffs);
+    const ov::Simulator direct(ov::compile_kernel(text, arch, 1));
+    const ov::RunResult run = direct.run_doubles(inputs);
+    const auto& y = run.outputs.at("y");
+    ASSERT_EQ(y.size(), pixels);
+    for (std::size_t p = 0; p < pixels; ++p) {
+      acc[p] = first ? y[p] : vcgra::softfloat::fp_add(acc[p], y[p]);
+    }
+    first = false;
+  }
+  for (std::size_t p = 0; p < pixels; ++p) {
+    EXPECT_EQ(conv.output.data()[p], static_cast<float>(acc[p].to_double()))
+        << "pixel " << p;
+  }
+}
+
+// A bank of same-sized filters: after the first filter, every tap-group
+// job is a pure coefficient respecialization of a resident structure —
+// the "filter-coefficient updates respecialize in place" fast path.
+TEST(DcsConvolution, FilterBankRespecializesInPlace) {
+  const vi::Image image = deterministic_image(10, 8, 11);
+  const std::vector<vi::Kernel> bank =
+      vi::matched_filter_bank(5, 1.0, 3.0, 4);  // 4 x 25 taps: groups 8,8,8,1
+  const ov::OverlayArch arch;
+  rt::ServiceOptions options;
+  options.threads = 2;
+  rt::OverlayService service(options);
+
+  for (std::size_t f = 0; f < bank.size(); ++f) {
+    const vi::DcsConvResult conv =
+        vi::convolve_overlay_dcs(image, bank[f], arch, service);
+    EXPECT_EQ(conv.jobs, 4);
+    if (f > 0) {
+      // Structures resident: zero place & route for the whole filter.
+      EXPECT_EQ(conv.structure_hits, conv.jobs) << "filter " << f;
+      EXPECT_EQ(conv.compile_seconds, 0.0) << "filter " << f;
+    }
+  }
+  // Two distinct tap-group shapes (8-wide tree, 1-wide pass) across the
+  // whole bank: place & route ran exactly twice for 16 jobs.
+  EXPECT_EQ(service.stats().cache.structure_misses, 2u);
 }
 
 TEST(Filters, ThresholdAndOtsu) {

@@ -14,7 +14,11 @@
 //
 // Exits non-zero if the cache speedup target or bit-exactness fails, so
 // CI can run it as a smoke check.
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <string>
@@ -33,11 +37,14 @@ namespace {
 /// N-tap dot product y = sum c_i * x_i in the kernel language
 /// (N mul PEs + N-1 add PEs; N=8 fills 15 of the 16 PEs of a 4x4 grid).
 ///
-/// `variant` suffixes every signal name: kernels with different variants
-/// are distinct *structures* (the canonicalized structural text differs)
-/// while kernels differing only in `scale` share one structure and differ
-/// only in their parameter binding — the distinction sections A and D
-/// measure from opposite sides.
+/// `variant` rotates (and, past N, reverses) the order the products
+/// enter the reduction tree: kernels with different variants are
+/// distinct *structures* — the association order is structural, so the
+/// canonicalized text differs even though alpha-renaming erases the
+/// signal-name suffixes. Kernels differing only in `scale` share one
+/// structure and differ only in their parameter binding — the
+/// distinction sections A, D and E measure from different sides.
+/// (Variants must stay within 2N per section for distinctness.)
 std::string dot_kernel(int taps, double scale, int variant = 0) {
   std::string text;
   for (int i = 0; i < taps; ++i) {
@@ -47,8 +54,13 @@ std::string dot_kernel(int taps, double scale, int variant = 0) {
     text += common::strprintf("p%d = mul(x%dv%d, c%dv%d);\n", i, i, variant, i,
                               variant);
   }
+  const int start = variant % taps;
+  const bool reversed = (variant / taps) % 2 != 0;
   std::vector<std::string> terms;
-  for (int i = 0; i < taps; ++i) terms.push_back(common::strprintf("p%d", i));
+  for (int i = 0; i < taps; ++i) {
+    const int step = reversed ? taps - 1 - i : i;
+    terms.push_back(common::strprintf("p%d", (start + step) % taps));
+  }
   int level = 0;
   while (terms.size() > 1) {
     std::vector<std::string> next;
@@ -405,6 +417,156 @@ int main() {
       std::printf("  PASS: coefficient changes respecialize >= 10x faster "
                   "than a cold compile (median of %d attempts: %.1fx)\n",
                   kAttempts, speedup);
+    }
+  }
+
+  // --- E: persistent overlay store — restart warm gate -------------------------
+  {
+    std::printf("\n[E] Persistent store: service restart vs cold start "
+                "(disk-load + specialize vs tool flow)\n");
+    constexpr int kStructures = 6;
+    constexpr int kAttempts = 3;
+    constexpr int kStoreTaps = 16;  // 31 PEs: the 6x6 grid below
+    const std::size_t stream = 4;   // keep simulation out of the ratio
+    overlay::OverlayArch store_arch;
+    store_arch.rows = 6;
+    store_arch.cols = 6;
+
+    // VCGRA_STORE_DIR lets CI cache the store directory across workflow
+    // runs (the restart phase then also exercises cross-run reuse); by
+    // default a scratch directory keeps local runs hermetic.
+    const char* env_dir = std::getenv("VCGRA_STORE_DIR");
+    const std::filesystem::path store_dir =
+        env_dir ? std::filesystem::path(env_dir)
+                : std::filesystem::temp_directory_path() /
+                      common::strprintf("vcgra-bench-store-%d",
+                                        static_cast<int>(getpid()));
+
+    const auto kernel_for = [](int k) {
+      return dot_kernel(kStoreTaps, 9.0, 300 + k);
+    };
+
+    struct Attempt {
+      double cold_median = 0;
+      double disk_median = 0;
+      double speedup() const {
+        return disk_median > 0 ? cold_median / disk_median : 0.0;
+      }
+    };
+    std::vector<Attempt> attempts;
+    bool restart_clean = true;
+    double steady_p50 = 0;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      // Cold baseline: no store attached, every kernel pays the tool flow.
+      std::vector<double> cold_latencies;
+      {
+        runtime::ServiceOptions options;
+        options.threads = 1;
+        runtime::OverlayService service(options);
+        for (int k = 0; k < kStructures; ++k) {
+          runtime::JobRequest request;
+          request.arch = store_arch;
+          request.kernel_text = kernel_for(k);
+          request.inputs = job_inputs(kStoreTaps, stream, 0.0, 300 + k);
+          const runtime::JobResult result = service.run(std::move(request));
+          if (result.structure_hit) restart_clean = false;
+          cold_latencies.push_back(result.latency_seconds);
+        }
+      }
+
+      // Populate: a store-backed service compiles (or disk-loads, when CI
+      // handed us a cached directory) and persists on shutdown.
+      {
+        runtime::ServiceOptions options;
+        options.threads = 1;
+        options.store_dir = store_dir.string();
+        runtime::OverlayService service(options);
+        for (int k = 0; k < kStructures; ++k) {
+          runtime::JobRequest request;
+          request.arch = store_arch;
+          request.kernel_text = kernel_for(k);
+          request.inputs = job_inputs(kStoreTaps, stream, 0.0, 300 + k);
+          service.run(std::move(request));
+        }
+      }  // destructor drains the write-behind queue
+
+      // Restart against the populated store: the gate. Zero place &
+      // route; every structure deserializes off disk.
+      std::vector<double> disk_latencies;
+      {
+        runtime::ServiceOptions options;
+        options.threads = 1;
+        options.store_dir = store_dir.string();
+        runtime::OverlayService service(options);
+        for (int k = 0; k < kStructures; ++k) {
+          runtime::JobRequest request;
+          request.arch = store_arch;
+          request.kernel_text = kernel_for(k);
+          request.inputs = job_inputs(kStoreTaps, stream, 0.0, 300 + k);
+          const runtime::JobResult result = service.run(std::move(request));
+          if (!result.disk_hit || !result.structure_hit ||
+              result.compile_seconds != 0) {
+            restart_clean = false;
+          }
+          disk_latencies.push_back(result.latency_seconds);
+        }
+        // Steady state on the restarted service: memory hits only.
+        for (int k = 0; k < kStructures; ++k) {
+          runtime::JobRequest request;
+          request.arch = store_arch;
+          request.kernel_text = kernel_for(k);
+          request.inputs = job_inputs(kStoreTaps, stream, 0.0, 300 + k);
+          service.run(std::move(request));
+        }
+        const runtime::ServiceStats stats = service.stats();
+        if (stats.cache.structure_misses != 0 ||
+            stats.cache.compile_seconds != 0) {
+          restart_clean = false;  // some place & route ran after restart
+        }
+        if (attempt == 0) {
+          steady_p50 = stats.p50_latency_seconds;
+          std::printf("  %s\n", stats.cache.to_string().c_str());
+        }
+      }
+
+      Attempt measured;
+      measured.cold_median = runtime::percentile(cold_latencies, 0.5);
+      measured.disk_median = runtime::percentile(disk_latencies, 0.5);
+      attempts.push_back(measured);
+    }
+
+    std::vector<double> speedups;
+    for (const Attempt& attempt : attempts) speedups.push_back(attempt.speedup());
+    const double speedup = runtime::percentile(speedups, 0.5);
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      const Attempt& measured = attempts[static_cast<std::size_t>(attempt)];
+      std::printf("  attempt %d: cold %s  disk-load %s  speedup %.1fx\n",
+                  attempt + 1,
+                  common::human_seconds(measured.cold_median).c_str(),
+                  common::human_seconds(measured.disk_median).c_str(),
+                  measured.speedup());
+    }
+    std::printf("  restarted-service steady-state p50: %s\n",
+                common::human_seconds(steady_p50).c_str());
+    if (!restart_clean) {
+      std::printf("  FAIL: a restarted-service job re-ran place & route (or "
+                  "missed the disk tier)\n");
+      ok = false;
+    }
+    if (speedup < 10.0) {
+      std::printf("  FAIL: median disk-load speedup %.1fx below the 10x "
+                  "target\n", speedup);
+      ok = false;
+    } else if (restart_clean) {
+      std::printf("  PASS: restart reaches steady state with zero place & "
+                  "route; disk-load + specialize >= 10x faster than a cold "
+                  "compile (median of %d attempts: %.1fx)\n",
+                  kAttempts, speedup);
+    }
+
+    if (!env_dir) {
+      std::error_code ec;
+      std::filesystem::remove_all(store_dir, ec);
     }
   }
 

@@ -1,0 +1,157 @@
+// Persistent overlay library + warm start: build the library offline,
+// serve online with zero place & route.
+//
+// Self-contained mode (no arguments): creates a scratch store, AOT-
+// compiles a small kernel library into it (what `vcgra_overlayc` does
+// from kernel files), then boots a warm-started OverlayService against
+// the store and shows that every job — including a freshly "restarted"
+// service — runs without a single tool-flow invocation.
+//
+// Deployment mode: pass a store directory (typically populated by
+// `vcgra_overlayc --store DIR kernel.vk ...`) and, optionally, the same
+// kernel files; the example then serves those kernels from the library:
+//
+//   ./build/tools/vcgra_overlayc --store /var/vcgra/store k1.vk k2.vk
+//   ./build/examples/aot_warm_start /var/vcgra/store k1.vk k2.vk
+//
+// Exits non-zero if any served job re-ran place & route.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/timer.hpp"
+#include "vcgra/runtime/overlay_cache.hpp"
+#include "vcgra/runtime/service.hpp"
+#include "vcgra/store/overlay_store.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/dfg.hpp"
+
+using namespace vcgra;
+
+namespace {
+
+/// The built-in demo library: dot trees of three widths plus a
+/// streaming-MAC filter (all respecializable shapes).
+std::vector<std::string> builtin_kernels() {
+  std::vector<std::string> kernels;
+  for (const int taps : {4, 6, 8}) {
+    kernels.push_back(overlay::dot_tree_text(
+        std::vector<double>(static_cast<std::size_t>(taps), 0.5)));
+  }
+  kernels.push_back("input x;\nparam c = 0.9;\ny = mac(x, c, 4);\noutput y;\n");
+  return kernels;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read kernel file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const overlay::OverlayArch arch;
+  constexpr std::uint64_t kSeed = 1;
+
+  std::filesystem::path store_dir;
+  bool scratch = false;
+  std::vector<std::string> kernels;
+  if (argc > 1) {
+    store_dir = argv[1];
+    for (int i = 2; i < argc; ++i) kernels.push_back(read_file(argv[i]));
+    if (kernels.empty()) kernels = builtin_kernels();
+  } else {
+    scratch = true;
+    store_dir = std::filesystem::temp_directory_path() /
+                common::strprintf("vcgra-aot-demo-%d", static_cast<int>(getpid()));
+    kernels = builtin_kernels();
+  }
+
+  std::printf("== Persistent overlay library & warm start ==\n");
+  std::printf("store: %s\n\n", store_dir.string().c_str());
+
+  // --- Phase 1: build the library ahead of time ------------------------------
+  // (This is exactly what `vcgra_overlayc --store DIR kernels...` does.)
+  {
+    store::OverlayStore library(store_dir);
+    common::WallTimer timer;
+    int compiled = 0;
+    for (const std::string& text : kernels) {
+      const overlay::ParsedKernel parsed = overlay::parse_kernel_symbolic(text);
+      const std::string key =
+          runtime::structure_key(parsed.structural_text, arch, kSeed);
+      if (library.save(key,
+                       overlay::compile_structure_canonical(parsed, arch, kSeed))) {
+        ++compiled;
+      }
+    }
+    std::printf("[AOT] %d/%zu kernels compiled into the library (%s); "
+                "%zu records on disk\n",
+                compiled, kernels.size(),
+                common::human_seconds(timer.seconds()).c_str(),
+                library.size());
+  }
+
+  // --- Phase 2: serve against the library, warm-started ----------------------
+  bool ok = true;
+  {
+    runtime::ServiceOptions options;
+    options.threads = 2;
+    options.store_dir = store_dir.string();
+    options.warm_start_structures = 64;  // preload the whole (small) library
+    common::WallTimer boot;
+    runtime::OverlayService service(options);
+    std::printf("\n[serve] warm-started service in %s: %llu structures "
+                "preloaded\n",
+                common::human_seconds(boot.seconds()).c_str(),
+                static_cast<unsigned long long>(
+                    service.stats().cache.disk_preloads));
+
+    for (const std::string& text : kernels) {
+      const overlay::ParsedKernel parsed = overlay::parse_kernel_symbolic(text);
+      runtime::JobRequest request;
+      request.kernel_text = text;
+      request.seed = kSeed;
+      for (const int input : parsed.dfg.inputs()) {
+        std::vector<double> stream;
+        for (int i = 0; i < 64; ++i) stream.push_back(0.0625 * (i - 32));
+        request.inputs[parsed.dfg.nodes()[static_cast<std::size_t>(input)].name] =
+            std::move(stream);
+      }
+      const runtime::JobResult result = service.run(std::move(request));
+      const bool no_toolflow =
+          result.structure_hit && result.compile_seconds == 0;
+      std::printf("  job: %-11s place&route %s  (%s specialize, %s total)\n",
+                  no_toolflow ? "warm" : "COLD",
+                  no_toolflow ? "skipped" : "RAN",
+                  common::human_seconds(result.specialize_seconds).c_str(),
+                  common::human_seconds(result.latency_seconds).c_str());
+      ok = ok && no_toolflow;
+    }
+    const runtime::CacheStats stats = service.stats().cache;
+    std::printf("[serve] place & route runs this lifetime: %llu "
+                "(disk hits %llu, preloads %llu)\n",
+                static_cast<unsigned long long>(stats.structure_misses),
+                static_cast<unsigned long long>(stats.disk_hits),
+                static_cast<unsigned long long>(stats.disk_preloads));
+    ok = ok && stats.structure_misses == 0;
+  }
+
+  if (scratch) {
+    std::error_code ec;
+    std::filesystem::remove_all(store_dir, ec);
+  }
+  std::printf("\naot_warm_start: %s\n", ok ? "PASS — the restarted service "
+                                             "never ran the tool flow"
+                                           : "FAIL — a job paid place & route");
+  return ok ? 0 : 1;
+}

@@ -1,13 +1,19 @@
 // Fig. 5 end-to-end: retinal vessel segmentation on the VCGRA overlay,
-// served through the runtime OverlayService.
+// served through the runtime OverlayService — the Dynamic Circuit
+// Specialization way.
 //
 // Generates a synthetic fundus image (clinical data substitute — see
-// DESIGN.md), runs the full pipeline with bit-exact FloPoCo MAC
-// arithmetic — the 12 hardware filters dispatched concurrently on the
-// service's executor pool — writes every stage as a PGM image, and
-// prints quality metrics against the generator's ground truth plus the
-// service's runtime stats. A single-threaded service run double-checks
-// that concurrency leaves the segmentation bit-identical.
+// DESIGN.md), then runs the full pipeline with every hardware filter
+// convolved through convolve_overlay_dcs: the 12 filters tile onto
+// shared dot-tree structures per tap-group width, so the whole pipeline
+// places & routes only once per width and every later filter is a
+// microsecond coefficient respecialization. Writes every stage as a PGM
+// image and prints quality metrics plus the service's runtime stats.
+//
+// Cross-checks: a 1-thread DCS rerun must be bit-identical (determinism
+// is a contract, not luck), and the previous sequential-MAC service path
+// is run for comparison — associativity differs, so the masks are
+// reported as an agreement fraction rather than demanded bit-equal.
 //
 // Build & run:  ./build/examples/vessel_segmentation [output_dir]
 #include <cstdio>
@@ -37,11 +43,12 @@ int main(int argc, char** argv) {
   vision::PipelineParams params;
 
   runtime::OverlayService service;  // threads = hardware concurrency
-  std::printf("Running the Fig. 5 pipeline on a %s via OverlayService (%d threads)...\n",
+  std::printf("Running the Fig. 5 pipeline on a %s via OverlayService/DCS (%d threads)...\n",
               arch.to_string().c_str(), service.executor().thread_count());
   common::WallTimer timer;
-  const vision::PipelineResult result = vision::run_pipeline_service(
-      fundus.rgb, fundus.field_of_view, params, arch, service);
+  vision::PipelineDcsStats dcs;
+  const vision::PipelineResult result = vision::run_pipeline_service_dcs(
+      fundus.rgb, fundus.field_of_view, params, arch, service, &dcs);
   const double concurrent_seconds = timer.seconds();
 
   result.stages.green.write_pgm(out_dir + "/stage1_green.pgm");
@@ -56,30 +63,55 @@ int main(int argc, char** argv) {
   const auto metrics = vision::evaluate_segmentation(
       result.stages.segmented, fundus.ground_truth, fundus.field_of_view);
   std::printf("\nQuality vs ground truth: %s\n", metrics.to_string().c_str());
-  std::printf("Workload: %s MACs, %s overlay cycles, %d PE reconfigurations\n",
+  std::printf("Workload: %s FP ops, %s overlay cycles\n",
               common::human_count(static_cast<double>(result.cost.macs)).c_str(),
-              common::human_count(static_cast<double>(result.cost.cycles)).c_str(),
-              result.cost.reconfigurations);
+              common::human_count(static_cast<double>(result.cost.cycles)).c_str());
   std::printf("Filters applied: %d (1 denoise + %d matched + 4 texture)\n",
               result.cost.filters_applied, params.orientations);
+  std::printf(
+      "DCS tool flow: %d tap-group jobs, %d structure hits -> %d place & "
+      "route runs total (%s compiling, %s respecializing)\n",
+      dcs.jobs, dcs.structure_hits, dcs.jobs - dcs.structure_hits,
+      common::human_seconds(dcs.compile_seconds).c_str(),
+      common::human_seconds(dcs.specialize_seconds).c_str());
   std::printf("\n%s\n", service.stats().to_string().c_str());
 
-  // Cross-check: a 1-thread service must produce the identical mask.
+  // Cross-check 1: a 1-thread DCS service must produce the identical mask.
   runtime::ServiceOptions serial_options;
   serial_options.threads = 1;
   runtime::OverlayService serial(serial_options);
   timer.restart();
-  const vision::PipelineResult reference = vision::run_pipeline_service(
+  const vision::PipelineResult reference = vision::run_pipeline_service_dcs(
       fundus.rgb, fundus.field_of_view, params, arch, serial);
   const double serial_seconds = timer.seconds();
 
   const bool identical =
       reference.stages.segmented.data() == result.stages.segmented.data();
-  std::printf("1-thread rerun: %s in %s (concurrent: %s, speedup %.2fx) — %s\n",
+  std::printf("1-thread DCS rerun: %s in %s (concurrent: %s, speedup %.2fx) — %s\n",
               identical ? "bit-identical" : "MISMATCH",
               common::human_seconds(serial_seconds).c_str(),
               common::human_seconds(concurrent_seconds).c_str(),
               serial_seconds / concurrent_seconds,
               identical ? "determinism holds" : "determinism BROKEN");
-  return identical ? 0 : 1;
+
+  // Cross-check 2: the sequential-MAC service path. Different association
+  // order (streaming MAC vs adder tree), so compare masks by agreement.
+  runtime::OverlayService classic(serial_options);
+  const vision::PipelineResult mac_path = vision::run_pipeline_service(
+      fundus.rgb, fundus.field_of_view, params, arch, classic);
+  const auto& a = mac_path.stages.segmented.data();
+  const auto& b = result.stages.segmented.data();
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    agree += a[i] == b[i] ? 1u : 0u;
+  }
+  const double agreement =
+      a.empty() ? 0.0
+                : static_cast<double>(agree) / static_cast<double>(a.size());
+  const bool close = agreement >= 0.95;
+  std::printf("Sequential-MAC path agreement: %.2f%% of mask pixels — %s\n",
+              100.0 * agreement,
+              close ? "paths agree (association order aside)"
+                    : "DIVERGED beyond rounding");
+  return identical && close ? 0 : 1;
 }

@@ -9,24 +9,46 @@
 //   level 2  param signature ->  Compiled           (coefficients bound)
 //
 // A job that differs from a cached one only in `param` values (or in
-// whitespace/comments — keys are built from the canonicalized structural
-// text) hits level 1 and pays only a microsecond specialize(), never the
-// milliseconds-long tool flow. Structure entries are LRU-evicted with
-// their specializations; concurrent misses for one structure coalesce
-// onto a single compile via a shared_future, and specializations are
-// handed out as shared_ptr so eviction can never dangle a running
-// simulator.
+// whitespace/comments/signal names — keys are built from the
+// alpha-renamed canonical structural text) hits level 1 and pays only a
+// microsecond specialize(), never the milliseconds-long tool flow.
+// Cached structures are compiled from the *canonical* DFG, so every
+// kernel isomorphic to the first one seen shares the artifact; the
+// service translates stream/param names at the boundary.
+//
+// With a persistent store attached the cache grows a third tier:
+//
+//   memory structure LRU -> on-disk overlay store -> cold compile
+//
+// A structure miss first tries to deserialize the store's record
+// (microseconds-to-tens-of-microseconds, vs a milliseconds tool flow);
+// newly compiled structures are persisted *behind* the request on a
+// write-behind thread, so publication never adds to job latency.
+// warm_start() preloads the store's hottest records at boot.
+//
+// Structure entries are evicted with their specializations when over
+// capacity, by weight rather than raw LRU order: an entry's eviction
+// cost scales with its live specialization count and its recompile time
+// (decade-bucketed so wall-clock noise cannot reorder victims), so a
+// structure with a hot specialization set outlives a cold one of equal
+// age. Concurrent misses for one structure coalesce onto a single
+// compile via a shared_future, and specializations are handed out as
+// shared_ptr so eviction can never dangle a running simulator.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "vcgra/runtime/stats.hpp"
+#include "vcgra/store/overlay_store.hpp"
 #include "vcgra/vcgra/compiler.hpp"
 #include "vcgra/vcgra/dfg.hpp"
 
@@ -66,14 +88,22 @@ std::string overlay_key(const std::string& kernel_text,
 /// What one lookup did, for stats/latency attribution.
 struct CacheOutcome {
   bool hit = false;            // full artifact served, nothing ran
-  bool structure_hit = false;  // structure was resident: no place & route
+  /// Place & route was skipped: the structure was resident in memory or
+  /// deserialized from the persistent store.
+  bool structure_hit = false;
+  bool disk_hit = false;          // ... served by the store tier
   double compile_seconds = 0;     // structural tool-flow time this call paid
   double specialize_seconds = 0;  // coefficient-binding time this call paid
+  double disk_load_seconds = 0;   // store read + deserialize time this call paid
 };
 
 class OverlayCache {
  public:
   explicit OverlayCache(std::size_t capacity);
+
+  /// Joins the write-behind thread after draining pending persists, and
+  /// flushes resident-entry heat to the attached store.
+  ~OverlayCache();
 
   /// Specializations kept per structure entry (coefficient working set);
   /// beyond this the least recently used specialization is dropped —
@@ -109,6 +139,24 @@ class OverlayCache {
       const std::string& kernel_text, const overlay::OverlayArch& arch,
       std::uint64_t seed = 1) const;
 
+  /// Attach a persistent store as the tier between the memory LRU and a
+  /// cold compile. With `write_behind` (the default) newly compiled
+  /// structures are persisted on a background thread; otherwise they are
+  /// saved synchronously on the compiling caller. Call before traffic.
+  void attach_store(std::shared_ptr<store::OverlayStore> store,
+                    bool write_behind = true);
+
+  /// Preload up to `limit` of the store's hottest structures into the
+  /// memory tier (bounded by capacity). Returns how many were loaded;
+  /// unreadable records are skipped and counted as disk_errors.
+  std::size_t warm_start(std::size_t limit);
+
+  /// Block until every write-behind persist has been published (bench /
+  /// test determinism; shutdown does this implicitly).
+  void flush_store();
+
+  const std::shared_ptr<store::OverlayStore>& store() const { return store_; }
+
   void clear();
   CacheStats stats() const;
   std::size_t capacity() const { return capacity_; }
@@ -121,8 +169,16 @@ class OverlayCache {
     std::shared_ptr<const overlay::CompiledStructure> structure;
     SpecialList specials;  // front = most recently used
     std::unordered_map<std::string, SpecialList::iterator> special_index;
+    std::uint64_t uses = 0;  // lookups since residency (flushed as store heat)
   };
   using LruList = std::list<Entry>;
+
+  /// Recompile-cost class of a structure: decade buckets over 10 ms,
+  /// from the CompileReport's recorded tool-flow time. Coarse on purpose
+  /// — everything under 10 ms ties in class 0, so recency decides among
+  /// typical compiles and wall-clock noise cannot reorder eviction
+  /// victims.
+  static int recompile_cost_class(const overlay::CompiledStructure& structure);
 
   /// Specialize `structure` for `binding` and publish it under `keys`,
   /// reusing a cached specialization when one already landed (joiners
@@ -131,6 +187,24 @@ class OverlayCache {
       const CacheKeys& keys,
       const std::shared_ptr<const overlay::CompiledStructure>& structure,
       const overlay::ParamBinding& binding, CacheOutcome* outcome);
+
+  /// Insert a structure entry at the MRU front and evict by weight
+  /// while over capacity (the front is never a victim, so the returned
+  /// reference — the new entry, or the already-resident one for the
+  /// key — stays valid). Caller holds mutex_.
+  Entry& insert_structure_locked(
+      const std::string& key,
+      const std::shared_ptr<const overlay::CompiledStructure>& structure);
+  void evict_by_weight_locked();
+  /// Push an entry's accumulated heat to the attached store.
+  void flush_entry_uses_locked(Entry& entry);
+
+  /// Queue (or synchronously perform) the persist of a fresh compile.
+  void persist(const std::string& key,
+               const std::shared_ptr<const overlay::CompiledStructure>& structure);
+  void persist_now(const std::string& key,
+                   const overlay::CompiledStructure& structure);
+  void persist_worker();
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
@@ -141,6 +215,17 @@ class OverlayCache {
       std::shared_future<std::shared_ptr<const overlay::CompiledStructure>>>
       inflight_;
   CacheStats stats_;
+
+  // Persistent store tier (all null/idle when no store is attached).
+  std::shared_ptr<store::OverlayStore> store_;
+  bool write_behind_ = false;
+  std::deque<std::pair<std::string,
+                       std::shared_ptr<const overlay::CompiledStructure>>>
+      persist_queue_;
+  std::condition_variable persist_cv_;
+  bool persist_busy_ = false;
+  bool persist_stop_ = false;
+  std::thread persist_thread_;
 };
 
 }  // namespace vcgra::runtime

@@ -52,14 +52,17 @@ struct JobRequest {
 struct JobResult {
   overlay::RunResult run;
   bool cache_hit = false;       // full artifact served from cache
-  /// Place & route was skipped: either a full hit or a cached structure
-  /// respecialized with this job's coefficients.
+  /// Place & route was skipped: a full hit, a cached structure
+  /// respecialized with this job's coefficients, or a structure
+  /// deserialized from the persistent store.
   bool structure_hit = false;
+  bool disk_hit = false;        // structure came from the persistent store
   int instance = -1;            // virtual grid instance that executed the job
   bool reconfigured = false;    // that instance had to load a new overlay
   bool param_respecialized = false;  // ... by swapping only coefficient words
   double compile_seconds = 0;   // place-&-route time this job paid (0 on a hit)
   double specialize_seconds = 0;  // coefficient-binding time this job paid
+  double disk_load_seconds = 0;   // store read + deserialize time this job paid
   double reconfig_seconds = 0;  // modeled fabric respecialization cost
   double exec_seconds = 0;      // simulator time
   double latency_seconds = 0;   // submit -> result ready
@@ -75,6 +78,19 @@ struct ServiceOptions {
   /// How many queued jobs the batch scheduler scans for one whose overlay
   /// is already loaded on a free instance before falling back to FIFO.
   std::size_t schedule_scan_window = 32;
+  /// Persistent overlay store directory. When non-empty the cache gains
+  /// its disk tier: structure misses deserialize published records
+  /// instead of re-running place & route, and fresh compiles are
+  /// persisted for the next service lifetime (shared safely between
+  /// concurrent services pointing at one directory).
+  std::string store_dir;
+  /// Persist newly compiled structures on a background thread (never on
+  /// the job's latency path). Turn off for strictly synchronous tests.
+  bool store_write_behind = true;
+  /// Preload up to this many of the store's hottest structures into the
+  /// memory tier at construction, so a restarted service starts at its
+  /// steady-state p50 instead of paying even the disk loads per key.
+  std::size_t warm_start_structures = 0;
 };
 
 class OverlayService {
@@ -128,6 +144,8 @@ class OverlayService {
   ReconfigScheduler& scheduler() { return scheduler_; }
   ExecutorPool& executor() { return pool_; }
   const ServiceOptions& options() const { return options_; }
+  /// The persistent overlay store (nullptr unless store_dir was set).
+  const std::shared_ptr<store::OverlayStore>& store() const { return store_; }
 
  private:
   struct PendingJob {
@@ -173,6 +191,9 @@ class OverlayService {
   void record_latency_locked(double latency_seconds);
 
   const ServiceOptions options_;
+  /// Kept alive for the cache's write-behind drain (shared ownership
+  /// makes member order irrelevant).
+  std::shared_ptr<store::OverlayStore> store_;
   OverlayCache cache_;
   ReconfigScheduler scheduler_;
 

@@ -23,6 +23,16 @@ struct CacheStats {
   std::uint64_t structure_hits = 0;
   std::uint64_t structure_misses = 0;  // structural compiles actually run
   std::uint64_t specializations = 0;   // specialize() calls executed
+  // The persistent store tier (zero everywhere unless a store is
+  // attached): structure misses that were served by deserializing an
+  // on-disk record instead of re-running place & route.
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;    // went to disk, record absent -> compiled
+  std::uint64_t disk_errors = 0;    // corrupt/stale records skipped (typed)
+  std::uint64_t disk_writes = 0;    // newly compiled structures persisted
+  std::uint64_t disk_preloads = 0;  // structures warm-started at boot
+  double disk_load_seconds = 0;     // read + deserialize time
+  double disk_write_seconds = 0;    // serialize + publish time (write-behind)
   std::size_t entries = 0;             // resident structural artifacts
   std::size_t specialized_entries = 0;  // resident specializations (all structures)
   std::size_t capacity = 0;
@@ -33,11 +43,12 @@ struct CacheStats {
     const std::uint64_t total = hits + misses;
     return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
   }
-  /// Fraction of lookups that skipped place & route entirely (full hits
-  /// plus param-only respecializations).
+  /// Fraction of lookups that skipped place & route entirely: full hits,
+  /// param-only respecializations, and structures served by the store's
+  /// disk tier.
   double structure_hit_rate() const {
     const std::uint64_t total = hits + misses;
-    return total ? static_cast<double>(hits + structure_hits) /
+    return total ? static_cast<double>(hits + structure_hits + disk_hits) /
                        static_cast<double>(total)
                  : 0.0;
   }

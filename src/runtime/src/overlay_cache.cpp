@@ -1,5 +1,6 @@
 #include "vcgra/runtime/overlay_cache.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -28,7 +29,11 @@ CacheKeys cache_keys(const overlay::ParsedKernel& parsed,
                      const overlay::ParamBinding& binding) {
   CacheKeys keys;
   keys.structure = structure_key(parsed.structural_text, arch, seed);
-  keys.params = overlay::param_signature(binding);
+  // The signature is taken over canonical names, so isomorphic kernels
+  // carrying the same values share the *full* key, not just the
+  // structural half. (No rekeyed copy when the names already are.)
+  keys.params = overlay::param_signature(
+      parsed.names_are_canonical ? binding : parsed.to_canonical(binding));
   return keys;
 }
 
@@ -43,11 +48,109 @@ OverlayCache::OverlayCache(std::size_t capacity)
   stats_.capacity = capacity_;
 }
 
+OverlayCache::~OverlayCache() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    persist_stop_ = true;
+  }
+  persist_cv_.notify_all();
+  if (persist_thread_.joinable()) persist_thread_.join();
+  if (store_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry& entry : lru_) flush_entry_uses_locked(entry);
+  }
+}
+
+void OverlayCache::attach_store(std::shared_ptr<store::OverlayStore> store,
+                                bool write_behind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_ = std::move(store);
+  write_behind_ = write_behind && store_ != nullptr;
+  if (write_behind_ && !persist_thread_.joinable()) {
+    persist_thread_ = std::thread([this]() { persist_worker(); });
+  }
+}
+
+int OverlayCache::recompile_cost_class(
+    const overlay::CompiledStructure& structure) {
+  const double seconds = structure.report.total_seconds();
+  int cls = 0;
+  double edge = 10e-3;  // everything below 10 ms ties in class 0
+  while (seconds > edge && cls < 8) {
+    edge *= 10.0;
+    ++cls;
+  }
+  return cls;
+}
+
+namespace {
+
+/// Eviction weight: what losing this entry costs. Scales with the live
+/// specialization working set and the (bucketed) recompile time.
+double entry_weight(std::size_t live_specializations, int cost_class) {
+  return (1.0 + static_cast<double>(live_specializations)) *
+         (1.0 + static_cast<double>(cost_class));
+}
+
+}  // namespace
+
+void OverlayCache::evict_by_weight_locked() {
+  while (lru_.size() > capacity_) {
+    // Never evict the MRU front (it is what the current caller is
+    // touching). Among the rest, the lightest entry goes; `<=` makes the
+    // most-LRU of equal-weight entries win, so equal-weight behavior is
+    // exactly the old pure LRU.
+    auto victim = lru_.end();
+    double best = 0;
+    for (auto it = std::next(lru_.begin()); it != lru_.end(); ++it) {
+      const double weight =
+          entry_weight(it->specials.size(), recompile_cost_class(*it->structure));
+      if (victim == lru_.end() || weight <= best) {
+        victim = it;
+        best = weight;
+      }
+    }
+    if (victim == lru_.end()) break;  // capacity 0 is clamped; unreachable
+    flush_entry_uses_locked(*victim);
+    stats_.specialized_entries -= victim->specials.size();
+    index_.erase(victim->key);
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void OverlayCache::flush_entry_uses_locked(Entry& entry) {
+  if (store_ && entry.uses > 0) {
+    store_->add_uses(entry.key, entry.uses);
+    entry.uses = 0;
+  }
+}
+
+OverlayCache::Entry& OverlayCache::insert_structure_locked(
+    const std::string& key,
+    const std::shared_ptr<const overlay::CompiledStructure>& structure) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) return *it->second;
+  lru_.push_front(Entry{key, structure, {}, {}, 0});
+  index_[key] = lru_.begin();
+  Entry& entry = lru_.front();
+  evict_by_weight_locked();
+  stats_.entries = lru_.size();
+  return entry;  // valid: eviction never removes the MRU front
+}
+
 std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
     const CacheKeys& keys, const overlay::ParsedKernel& parsed,
     const overlay::OverlayArch& arch, std::uint64_t seed,
     const overlay::ParamBinding& binding, CacheOutcome* outcome) {
   if (outcome) *outcome = CacheOutcome{};
+  // All cache-internal artifacts live under canonical signal names, so
+  // isomorphic kernels share them; callers keep real names. Skip the
+  // rekeying (and its map copy) when the kernel's names are canonical.
+  overlay::ParamBinding rekeyed;
+  if (!parsed.names_are_canonical) rekeyed = parsed.to_canonical(binding);
+  const overlay::ParamBinding& canonical =
+      parsed.names_are_canonical ? binding : rekeyed;
 
   std::shared_ptr<const overlay::CompiledStructure> structure;
   std::shared_future<std::shared_ptr<const overlay::CompiledStructure>> join;
@@ -58,6 +161,7 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       Entry& entry = *it->second;
+      ++entry.uses;
       const auto special = entry.special_index.find(keys.params);
       if (special != entry.special_index.end()) {
         entry.specials.splice(entry.specials.begin(), entry.specials,
@@ -82,36 +186,52 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
         ++stats_.inflight_joins;
         join = inflight->second;
       } else {
+        // We will own the structural resolution (disk tier or compile);
+        // which of the two it was is counted at publish time.
         ++stats_.misses;
-        ++stats_.structure_misses;
         inflight_.emplace(keys.structure, mine.get_future().share());
       }
     }
   }
 
   if (structure) {
-    return specialize_and_cache(keys, structure, binding, outcome);
+    return specialize_and_cache(keys, structure, canonical, outcome);
   }
   if (join.valid()) {
     // Another thread is compiling this structure; wait without holding
     // the lock, then bind our own coefficients onto the shared result.
-    return specialize_and_cache(keys, join.get(), binding, outcome);
+    return specialize_and_cache(keys, join.get(), canonical, outcome);
   }
 
-  // We own the structural compile for this key. Everything up to the
+  // We own the structural resolution for this key. Everything up to the
   // publish must stay inside the guard: leaving inflight_ populated with
   // an unsatisfied promise would poison the key forever (every later
   // request would join a broken future instead of retrying the compile).
+  //
+  // Tier 2: the persistent store. A hit deserializes a finished place &
+  // route in microseconds; any typed store error degrades to a miss and
+  // the cold compile below repairs the record via write-behind.
   common::WallTimer timer;
+  double disk_elapsed = 0;
+  std::string disk_error;
+  if (store_) {
+    structure = store_->try_load(keys.structure, &disk_error);
+    disk_elapsed = timer.seconds();
+  }
+  const bool disk_hit = structure != nullptr;
+
   double compile_elapsed = 0;
   std::shared_ptr<const overlay::Compiled> compiled;
   try {
-    structure = std::make_shared<const overlay::CompiledStructure>(
-        overlay::compile_structure(parsed.dfg, arch, seed));
-    compile_elapsed = timer.seconds();
+    if (!structure) {
+      timer.restart();
+      structure = std::make_shared<const overlay::CompiledStructure>(
+          overlay::compile_structure_canonical(parsed, arch, seed));
+      compile_elapsed = timer.seconds();
+    }
     timer.restart();
     compiled = std::make_shared<const overlay::Compiled>(
-        overlay::specialize(*structure, binding));
+        overlay::specialize(*structure, canonical));
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
     inflight_.erase(keys.structure);
@@ -122,6 +242,10 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
   if (outcome) {
     outcome->compile_seconds = compile_elapsed;
     outcome->specialize_seconds = specialize_elapsed;
+    outcome->disk_hit = disk_hit;
+    outcome->disk_load_seconds = disk_elapsed;
+    // Either way the tool flow did not run for a disk hit.
+    outcome->structure_hit = outcome->structure_hit || disk_hit;
   }
 
   {
@@ -129,31 +253,35 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
     stats_.compile_seconds += compile_elapsed;
     stats_.specialize_seconds += specialize_elapsed;
     ++stats_.specializations;
+    if (store_) {
+      stats_.disk_load_seconds += disk_elapsed;
+      if (disk_hit) {
+        ++stats_.disk_hits;
+      } else {
+        ++stats_.disk_misses;
+        if (!disk_error.empty()) ++stats_.disk_errors;
+      }
+    }
+    if (!disk_hit) ++stats_.structure_misses;  // a tool flow actually ran
     inflight_.erase(keys.structure);
-    if (index_.find(keys.structure) == index_.end()) {
-      lru_.push_front(Entry{keys.structure, structure, {}, {}});
-      Entry& entry = lru_.front();
+    Entry& entry = insert_structure_locked(keys.structure, structure);
+    ++entry.uses;
+    if (entry.special_index.find(keys.params) == entry.special_index.end()) {
       entry.specials.emplace_front(keys.params, compiled);
       entry.special_index[keys.params] = entry.specials.begin();
       ++stats_.specialized_entries;
-      index_[keys.structure] = lru_.begin();
-      while (lru_.size() > capacity_) {
-        stats_.specialized_entries -= lru_.back().specials.size();
-        index_.erase(lru_.back().key);
-        lru_.pop_back();
-        ++stats_.evictions;
-      }
     }
     stats_.entries = lru_.size();
   }
   mine.set_value(structure);
+  if (!disk_hit) persist(keys.structure, structure);
   return compiled;
 }
 
 std::shared_ptr<const overlay::Compiled> OverlayCache::specialize_and_cache(
     const CacheKeys& keys,
     const std::shared_ptr<const overlay::CompiledStructure>& structure,
-    const overlay::ParamBinding& binding, CacheOutcome* outcome) {
+    const overlay::ParamBinding& canonical_binding, CacheOutcome* outcome) {
   {
     // A racing caller (typical after an in-flight join of duplicates) may
     // already have published this exact specialization.
@@ -172,7 +300,7 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::specialize_and_cache(
 
   common::WallTimer timer;
   auto compiled = std::make_shared<const overlay::Compiled>(
-      overlay::specialize(*structure, binding));
+      overlay::specialize(*structure, canonical_binding));
   const double elapsed = timer.seconds();
   if (outcome) outcome->specialize_seconds = elapsed;
 
@@ -195,6 +323,99 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::specialize_and_cache(
   }
   // Structure evicted meanwhile: hand the artifact out uncached.
   return compiled;
+}
+
+void OverlayCache::persist(
+    const std::string& key,
+    const std::shared_ptr<const overlay::CompiledStructure>& structure) {
+  if (!store_) return;
+  if (!write_behind_) {
+    persist_now(key, *structure);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    persist_queue_.emplace_back(key, structure);
+  }
+  persist_cv_.notify_all();
+}
+
+void OverlayCache::persist_now(const std::string& key,
+                               const overlay::CompiledStructure& structure) {
+  common::WallTimer timer;
+  bool wrote = false;
+  bool failed = false;
+  try {
+    wrote = store_->save(key, structure);
+  } catch (const store::StoreError&) {
+    failed = true;
+  }
+  const double elapsed = timer.seconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed) {
+    ++stats_.disk_errors;
+  } else if (wrote) {
+    ++stats_.disk_writes;
+    stats_.disk_write_seconds += elapsed;
+  }
+}
+
+void OverlayCache::persist_worker() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    persist_cv_.wait(
+        lock, [this]() { return persist_stop_ || !persist_queue_.empty(); });
+    if (persist_queue_.empty()) {
+      if (persist_stop_) return;  // drained: safe to exit
+      continue;
+    }
+    auto [key, structure] = std::move(persist_queue_.front());
+    persist_queue_.pop_front();
+    persist_busy_ = true;
+    lock.unlock();
+    persist_now(key, *structure);  // takes the lock itself for stats
+    lock.lock();
+    persist_busy_ = false;
+    persist_cv_.notify_all();  // wake flush_store() waiters
+  }
+}
+
+void OverlayCache::flush_store() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  persist_cv_.wait(lock, [this]() {
+    return persist_queue_.empty() && !persist_busy_;
+  });
+}
+
+std::size_t OverlayCache::warm_start(std::size_t limit) {
+  if (!store_ || limit == 0) return 0;
+  const std::vector<store::OverlayStore::RecordInfo> records = store_->list();
+  std::vector<store::OverlayStore::LoadedRecord> loaded;
+  common::WallTimer timer;
+  for (const auto& info : records) {
+    if (loaded.size() >= std::min(limit, capacity_)) break;
+    try {
+      loaded.push_back(store_->load_record(info.filename));
+    } catch (const store::StoreError&) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.disk_errors;
+    }
+  }
+  const double elapsed = timer.seconds();
+
+  std::size_t inserted = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.disk_load_seconds += elapsed;
+  // Insert coldest-first so the hottest record ends at the LRU front.
+  for (auto it = loaded.rbegin(); it != loaded.rend(); ++it) {
+    if (index_.find(it->structure_key) != index_.end()) continue;
+    if (lru_.size() >= capacity_) continue;
+    insert_structure_locked(it->structure_key, it->structure);
+    ++stats_.disk_preloads;
+    ++inserted;
+  }
+  stats_.entries = lru_.size();
+  return inserted;
 }
 
 std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_compile(
@@ -249,6 +470,9 @@ std::shared_ptr<const overlay::CompiledStructure> OverlayCache::peek_structure(
 
 void OverlayCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (store_) {
+    for (Entry& entry : lru_) flush_entry_uses_locked(entry);
+  }
   lru_.clear();
   index_.clear();
   stats_.entries = 0;

@@ -49,7 +49,15 @@ OverlayService::OverlayService(const ServiceOptions& options)
     : options_(normalize(options)),
       cache_(options_.cache_capacity),
       scheduler_(options_.virtual_instances, make_cost_model(options_.cost_model)),
-      pool_(options_.threads) {}
+      pool_(options_.threads) {
+  if (!options_.store_dir.empty()) {
+    store_ = std::make_shared<store::OverlayStore>(options_.store_dir);
+    cache_.attach_store(store_, options_.store_write_behind);
+    if (options_.warm_start_structures > 0) {
+      cache_.warm_start(options_.warm_start_structures);
+    }
+  }
+}
 
 OverlayService::~OverlayService() { wait_idle(); }
 
@@ -169,8 +177,10 @@ JobResult OverlayService::execute(PendingJob& job) {
       job.keys, *job.parsed, request.arch, request.seed, job.binding, &outcome);
   result.cache_hit = outcome.hit;
   result.structure_hit = outcome.structure_hit;
+  result.disk_hit = outcome.disk_hit;
   result.compile_seconds = outcome.compile_seconds;
   result.specialize_seconds = outcome.specialize_seconds;
+  result.disk_load_seconds = outcome.disk_load_seconds;
 
   const Assignment assignment =
       scheduler_.acquire(job.config_key, job.keys.structure, compiled);
@@ -180,9 +190,44 @@ JobResult OverlayService::execute(PendingJob& job) {
   result.param_respecialized = assignment.param_only;
   result.reconfig_seconds = assignment.reconfig_seconds;
 
+  // Cached artifacts carry canonical (alpha-renamed) signal names so
+  // isomorphic kernels share them; the job's streams use the kernel's
+  // real names. Translate at the boundary — both directions are
+  // identities for kernels already written in canonical names.
   common::WallTimer exec;
   const overlay::Simulator simulator(compiled, options_.sim);
-  result.run = simulator.run_doubles(request.inputs);
+  if (job.parsed->names_are_canonical) {
+    result.run = simulator.run_doubles(request.inputs);
+  } else {
+    // Streams are moved, not copied: the request is dead after execute().
+    std::map<std::string, std::vector<double>> canonical_inputs;
+    for (auto& [name, stream] : job.request.inputs) {
+      // A stray input whose name collides with another stream's
+      // canonical name must fail loudly (pre-rename it would have been
+      // rejected by the simulator), never silently clobber real data.
+      if (!canonical_inputs.emplace(job.parsed->canonical_name(name),
+                                    std::move(stream)).second) {
+        throw std::invalid_argument(
+            "input stream '" + name + "' collides with another stream after "
+            "canonicalization");
+      }
+    }
+    result.run = simulator.run_doubles(canonical_inputs);
+    const auto& real_nodes = job.parsed->dfg.nodes();
+    const auto& canonical_nodes = job.parsed->canonical_dfg.nodes();
+    std::map<std::string, std::vector<softfloat::FpValue>> real_outputs;
+    for (const int out : job.parsed->dfg.outputs()) {
+      const std::string& real = real_nodes[static_cast<std::size_t>(out)].name;
+      if (real_outputs.count(real)) continue;  // duplicate output statement
+      const std::string& canonical =
+          canonical_nodes[static_cast<std::size_t>(out)].name;
+      const auto it = result.run.outputs.find(canonical);
+      if (it != result.run.outputs.end()) {
+        real_outputs[real] = std::move(it->second);
+      }
+    }
+    result.run.outputs = std::move(real_outputs);
+  }
   result.exec_seconds = exec.seconds();
   result.latency_seconds = job.since_submit.seconds();
   return result;

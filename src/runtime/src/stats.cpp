@@ -19,7 +19,7 @@ double percentile(std::vector<double> samples, double fraction) {
 }
 
 std::string CacheStats::to_string() const {
-  return common::strprintf(
+  std::string text = common::strprintf(
       "cache: %llu hits / %llu misses (%.1f%% full, %.1f%% structure), "
       "%zu structures (+%zu specializations) / %zu capacity, "
       "%llu evictions, %llu in-flight joins, "
@@ -31,6 +31,19 @@ std::string CacheStats::to_string() const {
       static_cast<unsigned long long>(inflight_joins),
       common::human_seconds(compile_seconds).c_str(),
       common::human_seconds(specialize_seconds).c_str());
+  if (disk_hits || disk_misses || disk_writes || disk_preloads || disk_errors) {
+    text += common::strprintf(
+        "\n  store: %llu disk hits / %llu disk misses, %llu preloaded, "
+        "%llu written, %llu bad records, %s loading + %s persisting",
+        static_cast<unsigned long long>(disk_hits),
+        static_cast<unsigned long long>(disk_misses),
+        static_cast<unsigned long long>(disk_preloads),
+        static_cast<unsigned long long>(disk_writes),
+        static_cast<unsigned long long>(disk_errors),
+        common::human_seconds(disk_load_seconds).c_str(),
+        common::human_seconds(disk_write_seconds).c_str());
+  }
+  return text;
 }
 
 std::string SchedulerStats::to_string() const {

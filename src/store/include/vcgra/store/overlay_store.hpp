@@ -1,0 +1,126 @@
+// Persistent overlay library: a directory of versioned structure records
+// keyed by the runtime's canonical structure key.
+//
+// Layout under the store directory:
+//
+//   <fnv1a64(key) as hex>[-probe].ovl   one framed record per structure
+//                                       (payload = key string + body)
+//   index.tsv                           advisory heat index: filename,
+//                                       use count, byte size per line
+//
+// Records are immutable once published and are published atomically:
+// writers serialize into a `.tmp-<pid>-<seq>` file in the same directory
+// and rename() it over the final name, so a concurrent reader — another
+// service sharing the store — sees either nothing or a complete record,
+// never a torn write. Two services compiling the same key race benignly:
+// compile_structure is deterministic, both produce bit-identical records,
+// last rename wins. The filename hash is only a shortcut — every record
+// embeds its full key, lookups verify it, and hash collisions fall
+// through to probe suffixes.
+//
+// The index is a *cache of heat*, not a source of truth: list() always
+// scans the directory for records, and a lost index update merely costs
+// warm-start ordering quality. It is rewritten with the same
+// write-then-rename dance (last writer wins).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vcgra/store/serdes.hpp"
+
+namespace vcgra::store {
+
+class OverlayStore {
+ public:
+  /// Opens (creating if needed) a store directory and reads its index.
+  /// Throws StoreError when the directory cannot be created.
+  explicit OverlayStore(std::filesystem::path directory);
+
+  /// Flushes the heat index.
+  ~OverlayStore();
+
+  OverlayStore(const OverlayStore&) = delete;
+  OverlayStore& operator=(const OverlayStore&) = delete;
+
+  const std::filesystem::path& directory() const { return directory_; }
+
+  /// Load the record for `structure_key`. Returns nullptr when the store
+  /// has no record for the key; throws the serdes typed errors
+  /// (VersionMismatch / TruncatedRecord / CorruptRecord) when a record
+  /// exists but cannot be trusted — callers decide whether that is fatal
+  /// (the CLI's --verify) or a fallback to a cold compile (the cache).
+  std::shared_ptr<const overlay::CompiledStructure> load(
+      const std::string& structure_key);
+
+  /// load() with errors converted into a miss; `error`, when given,
+  /// receives the typed error's message (empty on a clean miss).
+  std::shared_ptr<const overlay::CompiledStructure> try_load(
+      const std::string& structure_key, std::string* error = nullptr);
+
+  /// Publish a structure under its key (atomic write-then-rename).
+  /// Returns false when an intact record for the key already exists (it
+  /// is not rewritten); a corrupt or version-stale record at the key's
+  /// slot is repaired in place. Throws StoreError on I/O failure.
+  bool save(const std::string& structure_key,
+            const overlay::CompiledStructure& structure);
+
+  bool contains(const std::string& structure_key);
+
+  /// Bump the heat of a key's record (kept in memory; flushed by
+  /// flush_index()/destructor). Unknown keys are ignored.
+  void add_uses(const std::string& structure_key, std::uint64_t delta);
+
+  struct RecordInfo {
+    std::string filename;     // record file name within the directory
+    std::uint64_t uses = 0;   // advisory heat from the index
+    std::uint64_t bytes = 0;  // record file size
+  };
+
+  /// Every record file currently in the directory (directory scan joined
+  /// with the heat index), hottest first (ties: filename order).
+  std::vector<RecordInfo> list() const;
+
+  struct LoadedRecord {
+    std::string structure_key;
+    std::shared_ptr<const overlay::CompiledStructure> structure;
+  };
+
+  /// Load one record by file name (for warm starts / --verify, which walk
+  /// list()). Throws the serdes typed errors; StoreError when unreadable.
+  LoadedRecord load_record(const std::string& filename) const;
+
+  /// Rewrite index.tsv from the in-memory heat map (atomic rename).
+  void flush_index();
+
+  /// Number of record files currently in the directory.
+  std::size_t size() const { return list().size(); }
+
+ private:
+  /// Record filename for `key` at a probe depth (collision chain).
+  static std::string record_filename(const std::string& key, int probe);
+  std::vector<std::uint8_t> read_file(const std::filesystem::path& path) const;
+  void write_file_atomic(const std::filesystem::path& final_path,
+                         const std::vector<std::uint8_t>& bytes);
+  /// Extract the embedded key of a record buffer (frame-validated).
+  static std::string record_key(const std::vector<std::uint8_t>& bytes);
+
+  std::filesystem::path directory_;
+  /// Guards only the in-memory maps below; record I/O and
+  /// (de)serialization run outside it — write-then-rename publication
+  /// already makes concurrent readers/writers safe, so the disk tier
+  /// never serializes a cold burst behind one lock.
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, std::uint64_t> uses_;      // filename -> heat
+  mutable std::map<std::string, std::string> file_of_key_; // resolved key -> filename
+  std::atomic<std::uint64_t> temp_sequence_{0};
+};
+
+}  // namespace vcgra::store

@@ -1,0 +1,141 @@
+// Versioned, endian-stable binary (de)serialization for compiled overlay
+// artifacts — the wire format of the persistent overlay store.
+//
+// Every record is framed:
+//
+//   magic "VCOS" | u32 format version | u32 record kind | u32 reserved
+//   u64 payload size | u64 FNV-1a-64 payload checksum | payload bytes
+//
+// with all integers little-endian regardless of host, doubles carried as
+// their IEEE-754 bit patterns, and strings length-prefixed. Loads
+// hard-reject anything suspect with a *typed* error instead of undefined
+// behavior: a version bump raises VersionMismatch, a short buffer raises
+// TruncatedRecord, and any flipped payload byte fails the checksum and
+// raises CorruptRecord (asserted exhaustively by test_store's fuzz).
+// Round-trips are bit-identical: serialize(deserialize(bytes)) == bytes,
+// and a deserialized structure specializes to the same register words as
+// the in-memory original.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vcgra/vcgra/compiler.hpp"
+
+namespace vcgra::store {
+
+/// Bumped whenever the record layout changes; old records are rejected,
+/// never misread (the store falls back to a cold compile).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The buffer ended before the record did (short read, torn file).
+class TruncatedRecord final : public StoreError {
+ public:
+  using StoreError::StoreError;
+};
+
+/// Bad magic, failed checksum, wrong record kind, or a decoded value
+/// that violates a structural invariant.
+class CorruptRecord final : public StoreError {
+ public:
+  using StoreError::StoreError;
+};
+
+/// The record was written by a different format version.
+class VersionMismatch final : public StoreError {
+ public:
+  VersionMismatch(std::uint32_t found, std::uint32_t expected);
+  std::uint32_t found() const { return found_; }
+  std::uint32_t expected() const { return expected_; }
+
+ private:
+  std::uint32_t found_;
+  std::uint32_t expected_;
+};
+
+/// FNV-1a 64-bit over a byte range (the per-record checksum, and the
+/// store's record-file naming hash).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size);
+std::uint64_t fnv1a64(const std::string& text);
+
+/// Little-endian primitive encoder. Appends to an internal buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void f64(double v);  // IEEE-754 bit pattern, bit-exact round trip
+  void str(const std::string& s);
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Little-endian primitive decoder over a borrowed buffer. Every read
+/// past the end throws TruncatedRecord.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  double f64();
+  std::string str();
+  /// Element-count prefix for a container whose elements occupy at least
+  /// `min_element_bytes`; rejects counts the remaining bytes cannot hold
+  /// (so a corrupt length cannot drive a giant allocation).
+  std::size_t count(std::size_t min_element_bytes);
+
+  std::size_t remaining() const { return size_ - offset_; }
+  bool done() const { return offset_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+enum class RecordKind : std::uint32_t {
+  kStructure = 1,   // payload = CompiledStructure
+  kCompiled = 2,    // payload = Compiled
+  kStoreEntry = 3,  // payload = structure_key string + CompiledStructure
+};
+
+/// Frame `payload` with the header above (version kFormatVersion).
+std::vector<std::uint8_t> wrap_record(RecordKind kind,
+                                      std::vector<std::uint8_t> payload);
+
+/// Validate the frame (magic, version, kind, size, checksum) and return
+/// the payload. Throws the typed errors documented above.
+std::vector<std::uint8_t> unwrap_record(const std::uint8_t* data,
+                                        std::size_t size, RecordKind expected);
+
+// Field-level encoders (compose into larger payloads, e.g. the store's
+// key-prefixed records).
+void encode(ByteWriter& w, const overlay::CompiledStructure& structure);
+void encode(ByteWriter& w, const overlay::Compiled& compiled);
+overlay::CompiledStructure decode_structure(ByteReader& r);
+overlay::Compiled decode_compiled(ByteReader& r);
+
+// Whole-record conveniences (frame included).
+std::vector<std::uint8_t> serialize(const overlay::CompiledStructure& structure);
+std::vector<std::uint8_t> serialize(const overlay::Compiled& compiled);
+overlay::CompiledStructure deserialize_structure(
+    const std::vector<std::uint8_t>& bytes);
+overlay::Compiled deserialize_compiled(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace vcgra::store

@@ -1,0 +1,265 @@
+#include "vcgra/store/overlay_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <system_error>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kIndexFile = "index.tsv";
+constexpr const char* kRecordSuffix = ".ovl";
+constexpr int kMaxProbes = 64;  // collision-chain bound (fnv64 makes >0 rare)
+
+bool is_record_name(const std::string& name) {
+  return name.size() > 4 && name.rfind(kRecordSuffix) == name.size() - 4 &&
+         name[0] != '.';
+}
+
+}  // namespace
+
+OverlayStore::OverlayStore(fs::path directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec || !fs::is_directory(directory_)) {
+    throw StoreError(common::strprintf("overlay store: cannot create '%s': %s",
+                                       directory_.string().c_str(),
+                                       ec.message().c_str()));
+  }
+  // Advisory heat index; ignore anything malformed (it is rebuilt on
+  // flush and the directory scan is the source of truth for records).
+  std::ifstream index(directory_ / kIndexFile);
+  std::string line;
+  while (std::getline(index, line)) {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0) continue;
+    const std::string filename = line.substr(0, tab);
+    char* end = nullptr;
+    const unsigned long long uses =
+        std::strtoull(line.c_str() + tab + 1, &end, 10);
+    if (end == line.c_str() + tab + 1 || !is_record_name(filename)) continue;
+    uses_[filename] = uses;
+  }
+}
+
+OverlayStore::~OverlayStore() {
+  try {
+    flush_index();
+  } catch (const StoreError&) {
+    // Heat is advisory; never let index I/O failures escape a destructor.
+  }
+}
+
+std::string OverlayStore::record_filename(const std::string& key, int probe) {
+  const std::uint64_t hash = fnv1a64(key);
+  if (probe == 0) {
+    return common::strprintf("%016llx%s",
+                             static_cast<unsigned long long>(hash),
+                             kRecordSuffix);
+  }
+  return common::strprintf("%016llx-%d%s",
+                           static_cast<unsigned long long>(hash), probe,
+                           kRecordSuffix);
+}
+
+std::vector<std::uint8_t> OverlayStore::read_file(const fs::path& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw StoreError("overlay store: cannot read '" + path.string() + "'");
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) {
+    throw StoreError("overlay store: read failed for '" + path.string() + "'");
+  }
+  return bytes;
+}
+
+void OverlayStore::write_file_atomic(const fs::path& final_path,
+                                     const std::vector<std::uint8_t>& bytes) {
+  const fs::path temp =
+      directory_ / common::strprintf(".tmp-%d-%llu",
+                                     static_cast<int>(::getpid()),
+                                     static_cast<unsigned long long>(
+                                         temp_sequence_.fetch_add(1) + 1));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw StoreError("overlay store: cannot write '" + temp.string() + "'");
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(temp, ec);
+      throw StoreError("overlay store: short write to '" + temp.string() + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp, final_path, ec);  // atomic publication (same directory)
+  if (ec) {
+    fs::remove(temp, ec);
+    throw StoreError("overlay store: cannot publish '" + final_path.string() +
+                     "'");
+  }
+}
+
+std::string OverlayStore::record_key(const std::vector<std::uint8_t>& bytes) {
+  const std::vector<std::uint8_t> payload =
+      unwrap_record(bytes.data(), bytes.size(), RecordKind::kStoreEntry);
+  ByteReader reader(payload.data(), payload.size());
+  return reader.str();
+}
+
+std::shared_ptr<const overlay::CompiledStructure> OverlayStore::load(
+    const std::string& structure_key) {
+  for (int probe = 0; probe < kMaxProbes; ++probe) {
+    const std::string filename = record_filename(structure_key, probe);
+    const fs::path path = directory_ / filename;
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return nullptr;  // end of the probe chain
+    const std::vector<std::uint8_t> bytes = read_file(path);
+    const std::vector<std::uint8_t> payload =
+        unwrap_record(bytes.data(), bytes.size(), RecordKind::kStoreEntry);
+    ByteReader reader(payload.data(), payload.size());
+    if (reader.str() != structure_key) continue;  // hash collision, next probe
+    auto structure = std::make_shared<overlay::CompiledStructure>(
+        decode_structure(reader));
+    if (!reader.done()) {
+      throw CorruptRecord("overlay record corrupt: trailing payload bytes");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_of_key_[structure_key] = filename;
+    return structure;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const overlay::CompiledStructure> OverlayStore::try_load(
+    const std::string& structure_key, std::string* error) {
+  if (error) error->clear();
+  try {
+    return load(structure_key);
+  } catch (const StoreError& e) {
+    if (error) *error = e.what();
+    return nullptr;
+  }
+}
+
+bool OverlayStore::save(const std::string& structure_key,
+                        const overlay::CompiledStructure& structure) {
+  for (int probe = 0; probe < kMaxProbes; ++probe) {
+    const std::string filename = record_filename(structure_key, probe);
+    const fs::path path = directory_ / filename;
+    std::error_code ec;
+    if (fs::exists(path, ec)) {
+      try {
+        if (record_key(read_file(path)) == structure_key) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          file_of_key_[structure_key] = filename;
+          return false;  // intact record already published
+        }
+        continue;  // hash collision with a different key: next probe
+      } catch (const StoreError&) {
+        // Corrupt or version-stale record squatting on our slot: repair
+        // it in place (the rename below replaces it atomically).
+      }
+    }
+    ByteWriter payload;
+    payload.str(structure_key);
+    encode(payload, structure);
+    write_file_atomic(path,
+                      wrap_record(RecordKind::kStoreEntry, payload.take()));
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_of_key_[structure_key] = filename;
+    uses_[filename] += 1;
+    return true;
+  }
+  throw StoreError("overlay store: record probe chain exhausted");
+}
+
+bool OverlayStore::contains(const std::string& structure_key) {
+  std::string error;
+  return try_load(structure_key, &error) != nullptr;
+}
+
+void OverlayStore::add_uses(const std::string& structure_key,
+                            std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = file_of_key_.find(structure_key);
+  if (it == file_of_key_.end()) return;  // never resolved through this store
+  uses_[it->second] += delta;
+}
+
+std::vector<OverlayStore::RecordInfo> OverlayStore::list() const {
+  std::map<std::string, std::uint64_t> heat;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    heat = uses_;
+  }
+  std::vector<RecordInfo> records;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!is_record_name(name)) continue;
+    RecordInfo info;
+    info.filename = name;
+    const auto uses = heat.find(name);
+    info.uses = uses == heat.end() ? 0 : uses->second;
+    std::error_code size_ec;
+    info.bytes = static_cast<std::uint64_t>(entry.file_size(size_ec));
+    records.push_back(std::move(info));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const RecordInfo& a, const RecordInfo& b) {
+              if (a.uses != b.uses) return a.uses > b.uses;  // hottest first
+              return a.filename < b.filename;
+            });
+  return records;
+}
+
+OverlayStore::LoadedRecord OverlayStore::load_record(
+    const std::string& filename) const {
+  const std::vector<std::uint8_t> bytes = read_file(directory_ / filename);
+  const std::vector<std::uint8_t> payload =
+      unwrap_record(bytes.data(), bytes.size(), RecordKind::kStoreEntry);
+  ByteReader reader(payload.data(), payload.size());
+  LoadedRecord record;
+  record.structure_key = reader.str();
+  record.structure = std::make_shared<overlay::CompiledStructure>(
+      decode_structure(reader));
+  if (!reader.done()) {
+    throw CorruptRecord("overlay record corrupt: trailing payload bytes");
+  }
+  // Register the resolution so later add_uses() heat for this key (e.g.
+  // from warm-started cache entries) is attributed, not dropped.
+  std::lock_guard<std::mutex> lock(mutex_);
+  file_of_key_[record.structure_key] = filename;
+  return record;
+}
+
+void OverlayStore::flush_index() {
+  std::string text;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [filename, uses] : uses_) {
+      text += common::strprintf("%s\t%llu\n", filename.c_str(),
+                                static_cast<unsigned long long>(uses));
+    }
+  }
+  write_file_atomic(directory_ / kIndexFile,
+                    std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+}  // namespace vcgra::store

@@ -1,0 +1,469 @@
+#include "vcgra/store/serdes.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::store {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'V', 'C', 'O', 'S'};
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 4 + 8 + 8;
+
+// Guard rails for decoded architecture fields: generous for any plausible
+// overlay, tight enough that a corrupt-but-checksummed record can never
+// drive a pathological allocation or an out-of-range index.
+constexpr int kMaxGridDim = 4096;
+constexpr int kMaxFpFieldBits = 60;
+
+[[noreturn]] void corrupt(const char* what) {
+  throw CorruptRecord(common::strprintf("overlay record corrupt: %s", what));
+}
+
+void check(bool ok, const char* what) {
+  if (!ok) corrupt(what);
+}
+
+}  // namespace
+
+VersionMismatch::VersionMismatch(std::uint32_t found, std::uint32_t expected)
+    : StoreError(common::strprintf(
+          "overlay record format version %u, this build reads %u", found,
+          expected)),
+      found_(found),
+      expected_(expected) {}
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64(const std::string& text) {
+  return fnv1a64(reinterpret_cast<const std::uint8_t*>(text.data()),
+                 text.size());
+}
+
+void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+std::uint8_t ByteReader::u8() {
+  if (remaining() < 1) throw TruncatedRecord("overlay record truncated (u8)");
+  return data_[offset_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  if (remaining() < 4) throw TruncatedRecord("overlay record truncated (u32)");
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(data_[offset_++]) << shift;
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (remaining() < 8) throw TruncatedRecord("overlay record truncated (u64)");
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(data_[offset_++]) << shift;
+  }
+  return v;
+}
+
+std::int32_t ByteReader::i32() { return static_cast<std::int32_t>(u32()); }
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t size = u32();
+  if (remaining() < size) {
+    throw TruncatedRecord("overlay record truncated (string)");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + offset_), size);
+  offset_ += size;
+  return s;
+}
+
+std::size_t ByteReader::count(std::size_t min_element_bytes) {
+  const std::uint32_t n = u32();
+  if (min_element_bytes > 0 &&
+      static_cast<std::size_t>(n) > remaining() / min_element_bytes) {
+    throw TruncatedRecord("overlay record truncated (count exceeds payload)");
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> wrap_record(RecordKind kind,
+                                      std::vector<std::uint8_t> payload) {
+  ByteWriter header;
+  header.u8(kMagic[0]);
+  header.u8(kMagic[1]);
+  header.u8(kMagic[2]);
+  header.u8(kMagic[3]);
+  header.u32(kFormatVersion);
+  header.u32(static_cast<std::uint32_t>(kind));
+  header.u32(0);  // reserved
+  header.u64(payload.size());
+  header.u64(fnv1a64(payload.data(), payload.size()));
+  std::vector<std::uint8_t> record = header.take();
+  record.insert(record.end(), payload.begin(), payload.end());
+  return record;
+}
+
+std::vector<std::uint8_t> unwrap_record(const std::uint8_t* data,
+                                        std::size_t size, RecordKind expected) {
+  if (size < kHeaderBytes) {
+    throw TruncatedRecord("overlay record truncated (header)");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    corrupt("bad magic");
+  }
+  ByteReader header(data + 4, kHeaderBytes - 4);
+  const std::uint32_t version = header.u32();
+  if (version != kFormatVersion) {
+    throw VersionMismatch(version, kFormatVersion);
+  }
+  const std::uint32_t kind = header.u32();
+  check(header.u32() == 0, "reserved header field not zero");
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t checksum = header.u64();
+  if (kind != static_cast<std::uint32_t>(expected)) {
+    corrupt("unexpected record kind");
+  }
+  if (payload_size > size - kHeaderBytes) {
+    throw TruncatedRecord("overlay record truncated (payload)");
+  }
+  check(payload_size == size - kHeaderBytes, "trailing bytes after payload");
+  if (fnv1a64(data + kHeaderBytes, payload_size) != checksum) {
+    corrupt("payload checksum mismatch");
+  }
+  return std::vector<std::uint8_t>(data + kHeaderBytes, data + size);
+}
+
+namespace {
+
+void encode_arch(ByteWriter& w, const overlay::OverlayArch& arch) {
+  w.i32(arch.rows);
+  w.i32(arch.cols);
+  w.i32(arch.tracks);
+  w.i32(arch.settings_bits);
+  w.i32(arch.counter_bits);
+  w.i32(arch.format.we);
+  w.i32(arch.format.wf);
+  w.u8(static_cast<std::uint8_t>((arch.pe.mul << 0) | (arch.pe.add << 1) |
+                                 (arch.pe.sub << 2) | (arch.pe.mac << 3) |
+                                 (arch.pe.pass << 4)));
+}
+
+overlay::OverlayArch decode_arch(ByteReader& r) {
+  overlay::OverlayArch arch;
+  arch.rows = r.i32();
+  arch.cols = r.i32();
+  arch.tracks = r.i32();
+  arch.settings_bits = r.i32();
+  arch.counter_bits = r.i32();
+  arch.format.we = r.i32();
+  arch.format.wf = r.i32();
+  const std::uint8_t pe = r.u8();
+  arch.pe.mul = pe & 1;
+  arch.pe.add = pe & 2;
+  arch.pe.sub = pe & 4;
+  arch.pe.mac = pe & 8;
+  arch.pe.pass = pe & 16;
+  check(arch.rows > 0 && arch.rows <= kMaxGridDim, "arch rows out of range");
+  check(arch.cols > 0 && arch.cols <= kMaxGridDim, "arch cols out of range");
+  check(arch.tracks > 0 && arch.tracks <= kMaxGridDim, "arch tracks out of range");
+  check(arch.format.we > 0 && arch.format.we <= kMaxFpFieldBits,
+        "fp exponent width out of range");
+  check(arch.format.wf > 0 && arch.format.wf <= kMaxFpFieldBits,
+        "fp fraction width out of range");
+  return arch;
+}
+
+void encode_settings(ByteWriter& w, const overlay::VcgraSettings& settings) {
+  w.u32(static_cast<std::uint32_t>(settings.pes.size()));
+  for (const overlay::PeSettings& pe : settings.pes) {
+    w.u8(pe.used ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(pe.op));
+    w.u64(pe.coeff_bits);
+    w.u32(pe.count);
+    w.i32(pe.dfg_node);
+  }
+  w.u32(static_cast<std::uint32_t>(settings.routes.size()));
+  for (const overlay::RoutedNet& net : settings.routes) {
+    w.i32(net.from_node);
+    w.i32(net.to_node);
+    w.i32(net.to_operand);
+    w.u32(static_cast<std::uint32_t>(net.hops.size()));
+    for (const auto& [r_, c_] : net.hops) {
+      w.i32(r_);
+      w.i32(c_);
+    }
+  }
+}
+
+overlay::VcgraSettings decode_settings(ByteReader& r,
+                                       const overlay::OverlayArch& arch) {
+  overlay::VcgraSettings settings;
+  const std::size_t num_pes = r.count(18);
+  check(num_pes == static_cast<std::size_t>(arch.num_pes()),
+        "PE settings count does not match arch");
+  settings.pes.reserve(num_pes);
+  for (std::size_t i = 0; i < num_pes; ++i) {
+    overlay::PeSettings pe;
+    pe.used = r.u8() != 0;
+    const std::uint8_t op = r.u8();
+    check(op <= static_cast<std::uint8_t>(overlay::OpKind::kOutput),
+          "PE opcode out of range");
+    pe.op = static_cast<overlay::OpKind>(op);
+    pe.coeff_bits = r.u64();
+    pe.count = r.u32();
+    pe.dfg_node = r.i32();
+    settings.pes.push_back(pe);
+  }
+  const std::size_t num_routes = r.count(16);
+  settings.routes.reserve(num_routes);
+  for (std::size_t i = 0; i < num_routes; ++i) {
+    overlay::RoutedNet net;
+    net.from_node = r.i32();
+    net.to_node = r.i32();
+    net.to_operand = r.i32();
+    const std::size_t num_hops = r.count(8);
+    net.hops.reserve(num_hops);
+    for (std::size_t h = 0; h < num_hops; ++h) {
+      const int row = r.i32();
+      const int col = r.i32();
+      check(row >= 0 && row < arch.rows && col >= 0 && col < arch.cols,
+            "route hop outside the grid");
+      net.hops.emplace_back(row, col);
+    }
+    settings.routes.push_back(std::move(net));
+  }
+  return settings;
+}
+
+void encode_report(ByteWriter& w, const overlay::CompileReport& report) {
+  w.f64(report.synth_seconds);
+  w.f64(report.map_seconds);
+  w.f64(report.place_seconds);
+  w.f64(report.route_seconds);
+  w.i32(report.pes_used);
+  w.i32(report.total_hops);
+}
+
+overlay::CompileReport decode_report(ByteReader& r) {
+  overlay::CompileReport report;
+  report.synth_seconds = r.f64();
+  report.map_seconds = r.f64();
+  report.place_seconds = r.f64();
+  report.route_seconds = r.f64();
+  report.pes_used = r.i32();
+  report.total_hops = r.i32();
+  return report;
+}
+
+void encode_node_vector(ByteWriter& w, const std::vector<int>& nodes) {
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const int node : nodes) w.i32(node);
+}
+
+std::vector<int> decode_node_vector(ByteReader& r) {
+  const std::size_t size = r.count(4);
+  std::vector<int> nodes;
+  nodes.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) nodes.push_back(r.i32());
+  return nodes;
+}
+
+void encode_name_map(ByteWriter& w, const std::map<std::string, int>& map) {
+  w.u32(static_cast<std::uint32_t>(map.size()));
+  for (const auto& [name, node] : map) {
+    w.str(name);
+    w.i32(node);
+  }
+}
+
+std::map<std::string, int> decode_name_map(ByteReader& r) {
+  const std::size_t size = r.count(8);
+  std::map<std::string, int> map;
+  for (std::size_t i = 0; i < size; ++i) {
+    std::string name = r.str();
+    map[std::move(name)] = r.i32();
+  }
+  return map;
+}
+
+void encode_binding(ByteWriter& w, const overlay::ParamBinding& binding) {
+  w.u32(static_cast<std::uint32_t>(binding.size()));
+  for (const auto& [name, value] : binding) {
+    w.str(name);
+    w.f64(value);
+  }
+}
+
+overlay::ParamBinding decode_binding(ByteReader& r) {
+  const std::size_t size = r.count(12);
+  overlay::ParamBinding binding;
+  for (std::size_t i = 0; i < size; ++i) {
+    std::string name = r.str();
+    binding[std::move(name)] = r.f64();
+  }
+  return binding;
+}
+
+void encode_output_source(ByteWriter& w, const std::map<int, int>& map) {
+  w.u32(static_cast<std::uint32_t>(map.size()));
+  for (const auto& [out, src] : map) {
+    w.i32(out);
+    w.i32(src);
+  }
+}
+
+std::map<int, int> decode_output_source(ByteReader& r) {
+  const std::size_t size = r.count(8);
+  std::map<int, int> map;
+  for (std::size_t i = 0; i < size; ++i) {
+    const int out = r.i32();
+    map[out] = r.i32();
+  }
+  return map;
+}
+
+}  // namespace
+
+void encode(ByteWriter& w, const overlay::CompiledStructure& structure) {
+  encode_arch(w, structure.arch);
+  encode_settings(w, structure.settings);
+  encode_node_vector(w, structure.pe_of_node);
+  encode_report(w, structure.report);
+  w.u32(static_cast<std::uint32_t>(structure.param_slots.size()));
+  for (const overlay::ParamSlot& slot : structure.param_slots) {
+    w.str(slot.name);
+    w.i32(slot.pe);
+    w.i32(slot.dfg_node);
+  }
+  encode_binding(w, structure.defaults);
+  encode_name_map(w, structure.input_node_by_name);
+  encode_name_map(w, structure.output_node_by_name);
+  encode_output_source(w, structure.output_source);
+}
+
+overlay::CompiledStructure decode_structure(ByteReader& r) {
+  overlay::CompiledStructure structure;
+  structure.arch = decode_arch(r);
+  structure.settings = decode_settings(r, structure.arch);
+  structure.pe_of_node = decode_node_vector(r);
+  structure.report = decode_report(r);
+  const std::size_t num_slots = r.count(12);
+  structure.param_slots.reserve(num_slots);
+  for (std::size_t i = 0; i < num_slots; ++i) {
+    overlay::ParamSlot slot;
+    slot.name = r.str();
+    slot.pe = r.i32();
+    slot.dfg_node = r.i32();
+    check(slot.pe >= 0 &&
+              slot.pe < static_cast<int>(structure.settings.pes.size()),
+          "param slot PE index out of range");
+    structure.param_slots.push_back(std::move(slot));
+  }
+  structure.defaults = decode_binding(r);
+  // specialize() evaluates binding.at(slot.name): every slot must have a
+  // default or a checksum-valid-but-inconsistent record could throw an
+  // untyped error deep inside the compiler.
+  for (const overlay::ParamSlot& slot : structure.param_slots) {
+    check(structure.defaults.count(slot.name) == 1,
+          "param slot without a default value");
+  }
+  structure.input_node_by_name = decode_name_map(r);
+  structure.output_node_by_name = decode_name_map(r);
+  structure.output_source = decode_output_source(r);
+  for (const auto& [name, node] : structure.output_node_by_name) {
+    check(structure.output_source.count(node) == 1,
+          "output node without a source");
+  }
+  return structure;
+}
+
+void encode(ByteWriter& w, const overlay::Compiled& compiled) {
+  encode_arch(w, compiled.arch);
+  encode_settings(w, compiled.settings);
+  encode_node_vector(w, compiled.pe_of_node);
+  encode_report(w, compiled.report);
+  encode_name_map(w, compiled.input_node_by_name);
+  encode_name_map(w, compiled.output_node_by_name);
+  encode_output_source(w, compiled.output_source);
+}
+
+overlay::Compiled decode_compiled(ByteReader& r) {
+  overlay::Compiled compiled;
+  compiled.arch = decode_arch(r);
+  compiled.settings = decode_settings(r, compiled.arch);
+  compiled.pe_of_node = decode_node_vector(r);
+  compiled.report = decode_report(r);
+  compiled.input_node_by_name = decode_name_map(r);
+  compiled.output_node_by_name = decode_name_map(r);
+  compiled.output_source = decode_output_source(r);
+  for (const auto& [name, node] : compiled.output_node_by_name) {
+    check(compiled.output_source.count(node) == 1,
+          "output node without a source");
+  }
+  return compiled;
+}
+
+std::vector<std::uint8_t> serialize(const overlay::CompiledStructure& structure) {
+  ByteWriter w;
+  encode(w, structure);
+  return wrap_record(RecordKind::kStructure, w.take());
+}
+
+std::vector<std::uint8_t> serialize(const overlay::Compiled& compiled) {
+  ByteWriter w;
+  encode(w, compiled);
+  return wrap_record(RecordKind::kCompiled, w.take());
+}
+
+overlay::CompiledStructure deserialize_structure(
+    const std::vector<std::uint8_t>& bytes) {
+  const std::vector<std::uint8_t> payload =
+      unwrap_record(bytes.data(), bytes.size(), RecordKind::kStructure);
+  ByteReader r(payload.data(), payload.size());
+  overlay::CompiledStructure structure = decode_structure(r);
+  check(r.done(), "payload longer than the structure");
+  return structure;
+}
+
+overlay::Compiled deserialize_compiled(const std::vector<std::uint8_t>& bytes) {
+  const std::vector<std::uint8_t> payload =
+      unwrap_record(bytes.data(), bytes.size(), RecordKind::kCompiled);
+  ByteReader r(payload.data(), payload.size());
+  overlay::Compiled compiled = decode_compiled(r);
+  check(r.done(), "payload longer than the artifact");
+  return compiled;
+}
+
+}  // namespace vcgra::store

@@ -108,6 +108,15 @@ struct CompiledStructure {
 CompiledStructure compile_structure(const Dfg& dfg, const OverlayArch& arch,
                                     std::uint64_t seed = 1);
 
+/// Compile the structure from the kernel's alpha-renamed canonical DFG —
+/// exactly what the runtime structure cache keys and stores, so every
+/// kernel isomorphic to `parsed` can share the artifact. Ahead-of-time
+/// builders (the persistent overlay store, vcgra_overlayc) must use this
+/// path or their records will not match the cache's keys.
+CompiledStructure compile_structure_canonical(const ParsedKernel& parsed,
+                                              const OverlayArch& arch,
+                                              std::uint64_t seed = 1);
+
 /// Bind coefficient values into a structure: encodes
 /// merge_params(structure.defaults, overrides) into the parameter slots'
 /// settings registers. Performs zero place & route work. The result is

@@ -91,14 +91,33 @@ class ParseError : public std::invalid_argument {
 /// A parsed kernel with its parameters hoisted out symbolically.
 ///
 /// `structural_text` is the canonical re-serialization of the kernel:
-/// comments and whitespace normalized away and every `param` literal
-/// erased. Two kernels that differ only in formatting or in coefficient
-/// values produce the *same* structural text — the property the runtime's
-/// structure cache keys on. `params` carries the hoisted values.
+/// comments and whitespace normalized away, every `param` literal erased,
+/// and every signal *alpha-renamed* to a positional name (inputs x0..,
+/// params c0.., compute nodes t0.., in definition order). Two kernels
+/// that differ only in formatting, in coefficient values or in signal
+/// names produce the *same* structural text — the property the runtime's
+/// structure cache keys on, so isomorphic kernels share one place &
+/// route. `params` carries the hoisted values under the kernel's own
+/// (real) names; `canonical_dfg` is the alpha-renamed isomorph of `dfg`
+/// (identical node indices and topology) that cache-shared structures are
+/// compiled from.
 struct ParsedKernel {
-  Dfg dfg;
-  ParamBinding params;
+  Dfg dfg;             // real signal names, as written in the kernel
+  Dfg canonical_dfg;   // alpha-renamed isomorph (same node order/indices)
+  ParamBinding params; // real param name -> default value
   std::string structural_text;
+  /// real signal name -> canonical name, for every defined signal.
+  std::map<std::string, std::string> canonical_names;
+  /// True when every signal already carries its canonical name (the
+  /// common case for generated kernels) — callers skip translation.
+  bool names_are_canonical = true;
+
+  /// Canonical name of a signal; identity for names the kernel does not
+  /// define (the simulator then reports them exactly as before).
+  const std::string& canonical_name(const std::string& real) const;
+  /// Rekey a real-name binding to canonical names. Throws
+  /// std::invalid_argument when a name is not a signal of this kernel.
+  ParamBinding to_canonical(const ParamBinding& real) const;
 };
 
 /// Parse the kernel language keeping parameters symbolic; throws

@@ -337,6 +337,12 @@ CompiledStructure compile_structure(const Dfg& dfg, const OverlayArch& arch,
   return result;
 }
 
+CompiledStructure compile_structure_canonical(const ParsedKernel& parsed,
+                                              const OverlayArch& arch,
+                                              std::uint64_t seed) {
+  return compile_structure(parsed.canonical_dfg, arch, seed);
+}
+
 Compiled specialize(const CompiledStructure& structure,
                     const ParamBinding& overrides) {
   const ParamBinding binding = merge_params(structure.defaults, overrides);

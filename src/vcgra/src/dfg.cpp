@@ -130,6 +130,24 @@ void Dfg::validate() const {
   (void)topo_order();
 }
 
+const std::string& ParsedKernel::canonical_name(const std::string& real) const {
+  const auto it = canonical_names.find(real);
+  return it == canonical_names.end() ? real : it->second;
+}
+
+ParamBinding ParsedKernel::to_canonical(const ParamBinding& real) const {
+  if (names_are_canonical) return real;
+  ParamBinding canonical;
+  for (const auto& [name, value] : real) {
+    const auto it = canonical_names.find(name);
+    if (it == canonical_names.end()) {
+      throw std::invalid_argument("unknown kernel signal '" + name + "'");
+    }
+    canonical[it->second] = value;
+  }
+  return canonical;
+}
+
 ParseError::ParseError(int line, int column, const std::string& message)
     : std::invalid_argument(common::strprintf(
           "kernel parse error (line %d, col %d): %s", line, column,
@@ -148,6 +166,30 @@ namespace {
 ParsedKernel parse_kernel_symbolic(const std::string& text) {
   ParsedKernel parsed;
   Dfg& dfg = parsed.dfg;
+
+  // Alpha-renaming: every signal gets a positional canonical name at its
+  // definition (inputs x<i>, params c<i>, compute nodes t<i>). The
+  // structural text and the canonical Dfg use only these names, so
+  // isomorphic kernels that differ in signal spelling share one
+  // structure key — and one place & route.
+  int n_inputs = 0, n_params = 0, n_ops = 0;
+  const auto canonize = [&](const std::string& name, OpKind kind) {
+    std::string canonical;
+    switch (kind) {
+      case OpKind::kInput:
+        canonical = common::strprintf("x%d", n_inputs++);
+        break;
+      case OpKind::kParam:
+        canonical = common::strprintf("c%d", n_params++);
+        break;
+      default:
+        canonical = common::strprintf("t%d", n_ops++);
+        break;
+    }
+    if (canonical != name) parsed.names_are_canonical = false;
+    parsed.canonical_names.emplace(name, canonical);
+    return canonical;
+  };
 
   const auto define = [&](const std::string& name, int line, int column) {
     if (name.empty()) parse_fail(line, column, "empty signal name");
@@ -181,7 +223,9 @@ ParsedKernel parse_kernel_symbolic(const std::string& text) {
         const std::string name(common::trim(stmt.substr(6)));
         define(name, line_number, column);
         dfg.add_input(name);
-        parsed.structural_text += "input " + name + ";\n";
+        const std::string canonical = canonize(name, OpKind::kInput);
+        parsed.canonical_dfg.add_input(canonical);
+        parsed.structural_text += "input " + canonical + ";\n";
         continue;
       }
       if (common::starts_with(stmt, "output ")) {
@@ -192,7 +236,12 @@ ParsedKernel parse_kernel_symbolic(const std::string& text) {
                      "output of unknown signal '" + name + "'");
         }
         dfg.add_output(name, src);
-        parsed.structural_text += "output " + name + ";\n";
+        // The output node inherits the canonical name of the signal it
+        // exposes; RunResult translation back to the real name is the
+        // runtime's job.
+        const std::string& canonical = parsed.canonical_names.at(name);
+        parsed.canonical_dfg.add_output(canonical, src);
+        parsed.structural_text += "output " + canonical + ";\n";
         continue;
       }
       if (common::starts_with(stmt, "param ")) {
@@ -213,7 +262,9 @@ ParsedKernel parse_kernel_symbolic(const std::string& text) {
         }
         dfg.add_param(name, value);
         parsed.params[name] = value;
-        parsed.structural_text += "param " + name + ";\n";
+        const std::string canonical = canonize(name, OpKind::kParam);
+        parsed.canonical_dfg.add_param(canonical, value);
+        parsed.structural_text += "param " + canonical + ";\n";
         continue;
       }
 
@@ -272,10 +323,11 @@ ParsedKernel parse_kernel_symbolic(const std::string& text) {
         }
         args.push_back(src);
       }
-      std::string canonical = name + "=" + op + "(";
+      const std::string canonical_name = canonize(name, kind);
+      std::string canonical = canonical_name + "=" + op + "(";
       for (std::size_t i = 0; i < value_args; ++i) {
         if (i) canonical += ",";
-        canonical += arg_names[i];
+        canonical += parsed.canonical_names.at(arg_names[i]);
       }
       if (kind == OpKind::kMac) {
         char* end = nullptr;
@@ -288,10 +340,12 @@ ParsedKernel parse_kernel_symbolic(const std::string& text) {
         canonical += common::strprintf(",%d", count);
       }
       parsed.structural_text += canonical + ");\n";
+      parsed.canonical_dfg.add_op(kind, canonical_name, args, count);
       dfg.add_op(kind, name, std::move(args), count);
     }
   }
   dfg.validate();
+  parsed.canonical_dfg.validate();
   return parsed;
 }
 

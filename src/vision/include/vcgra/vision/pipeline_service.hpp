@@ -38,6 +38,8 @@ struct DcsConvResult {
   int structure_hits = 0;  // ... that performed zero place & route work
   double compile_seconds = 0;     // structural tool-flow time paid
   double specialize_seconds = 0;  // coefficient-binding time paid
+  std::uint64_t cycles = 0;   // summed pipelined schedule length of the jobs
+  std::uint64_t fp_ops = 0;   // multiplies + adds the grid executed
 };
 
 /// Convolution through the real tool flow, the DCS way: the filter's taps
@@ -55,5 +57,31 @@ DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
                                    const overlay::OverlayArch& arch,
                                    runtime::OverlayService& service,
                                    std::uint64_t seed = 1);
+
+/// Tool-flow accounting of a DCS pipeline run.
+struct PipelineDcsStats {
+  int jobs = 0;            // tap-group jobs over the whole pipeline
+  int structure_hits = 0;  // ... that skipped place & route
+  double compile_seconds = 0;
+  double specialize_seconds = 0;
+};
+
+/// Full Fig. 5 pipeline with every hardware filter convolved through
+/// convolve_overlay_dcs: the 12 filters tile onto shared dot-tree
+/// structures per tap-group width, so the whole demo pipeline re-runs
+/// *zero* place & route after the first filter of each width — every
+/// later filter (and every later frame on a warm service) is a pure
+/// coefficient respecialization. Deterministic: bit-identical at any
+/// thread count and across cold/warm services (asserted by test_vision).
+///
+/// Association order is the DCS adder tree, so stages are close to — but
+/// not bit-equal with — run_pipeline_service's sequential-MAC ordering;
+/// examples/vessel_segmentation cross-checks the two paths.
+PipelineResult run_pipeline_service_dcs(const RgbImage& input,
+                                        const Mask& field_of_view,
+                                        const PipelineParams& params,
+                                        const overlay::OverlayArch& arch,
+                                        runtime::OverlayService& service,
+                                        PipelineDcsStats* dcs_stats = nullptr);
 
 }  // namespace vcgra::vision

@@ -107,6 +107,8 @@ DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
     if (job.structure_hit) ++result.structure_hits;
     result.compile_seconds += job.compile_seconds;
     result.specialize_seconds += job.specialize_seconds;
+    result.cycles += job.run.cycles;
+    result.fp_ops += job.run.fp_ops;
     const auto it = job.run.outputs.find("y");
     if (it == job.run.outputs.end() || it->second.size() != pixels) {
       throw std::runtime_error("convolve_overlay_dcs: malformed job output");
@@ -120,6 +122,92 @@ DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
   for (std::size_t p = 0; p < pixels; ++p) {
     result.output.data()[p] = static_cast<float>(acc[p].to_double());
   }
+  return result;
+}
+
+namespace {
+
+/// DCS counterpart of bank_response: convolve every filter of a bank
+/// through the tiled-respecialization engine and fuse in bank order.
+/// Filters run sequentially here — each convolution already fans its tap
+/// groups out over the executor pool — and order independence of the
+/// accounting keeps the result bit-exact at any thread count.
+Image bank_response_dcs(runtime::OverlayService& service, const Image& input,
+                        const std::vector<Kernel>& bank,
+                        const overlay::OverlayArch& arch, PipelineCost& cost,
+                        PipelineDcsStats& dcs) {
+  std::vector<Image> responses;
+  responses.reserve(bank.size());
+  for (const Kernel& kernel : bank) {
+    DcsConvResult conv = convolve_overlay_dcs(input, kernel, arch, service);
+    cost.macs += conv.fp_ops;
+    cost.cycles += conv.cycles;
+    // Tool-flow runs are the reconfiguration currency of the DCS path:
+    // every job that was not a structure hit placed & routed a grid.
+    cost.reconfigurations += conv.jobs - conv.structure_hits;
+    ++cost.filters_applied;
+    dcs.jobs += conv.jobs;
+    dcs.structure_hits += conv.structure_hits;
+    dcs.compile_seconds += conv.compile_seconds;
+    dcs.specialize_seconds += conv.specialize_seconds;
+    responses.push_back(std::move(conv.output));
+  }
+  return pixelwise_max(responses);
+}
+
+}  // namespace
+
+PipelineResult run_pipeline_service_dcs(const RgbImage& input,
+                                        const Mask& field_of_view,
+                                        const PipelineParams& params,
+                                        const overlay::OverlayArch& arch,
+                                        runtime::OverlayService& service,
+                                        PipelineDcsStats* dcs_stats) {
+  PipelineResult result;
+  StageImages& stages = result.stages;
+  PipelineDcsStats dcs;
+
+  // Software preprocessing (identical to the sequential engines).
+  stages.green = input.channel(1);
+  stages.equalized = equalize_histogram(stages.green, field_of_view);
+  Mask valid;
+  stages.masked =
+      remove_optic_disc_and_border(stages.equalized, field_of_view, &valid);
+
+  // Denoise gates everything downstream.
+  stages.denoised = bank_response_dcs(
+      service, stages.masked,
+      {gaussian_kernel(params.denoise_size, params.denoise_sigma)}, arch,
+      result.cost, dcs);
+
+  // Matched-filter bank, then the texture ridge pass: after the denoise
+  // filter placed & routed the tap-group shapes, every one of these
+  // filters is pure coefficient respecialization.
+  stages.matched = bank_response_dcs(
+      service, stages.denoised,
+      matched_filter_bank(params.matched_size, params.matched_sigma,
+                          params.matched_length, params.orientations),
+      arch, result.cost, dcs);
+
+  std::vector<Kernel> ridges;
+  for (const double angle : {0.0, 45.0, 90.0, 135.0}) {
+    Kernel ridge = matched_filter_kernel(params.texture_size, params.texture_sigma,
+                                         params.texture_length, angle);
+    for (double& w : ridge.weights) w = -w;
+    ridges.push_back(std::move(ridge));
+  }
+  stages.textured = bank_response_dcs(service, stages.matched, ridges, arch,
+                                      result.cost, dcs);
+
+  const float level =
+      quantile_level(stages.textured, valid, params.threshold_quantile);
+  stages.segmented = threshold(stages.textured, level);
+  for (int y = 0; y < stages.segmented.height(); ++y) {
+    for (int x = 0; x < stages.segmented.width(); ++x) {
+      if (valid.at(x, y) < 0.5f) stages.segmented.at(x, y) = 0.0f;
+    }
+  }
+  if (dcs_stats) *dcs_stats = dcs;
   return result;
 }
 

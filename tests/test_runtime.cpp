@@ -172,10 +172,12 @@ TEST(OverlayCache, HitMissEvictionLru) {
   EXPECT_EQ(stats.entries, 2u);
   EXPECT_GT(stats.compile_seconds, 0.0);
 
-  // The evicted handle stays valid for holders.
+  // The evicted handle stays valid for holders. Cache artifacts carry
+  // canonical names (input x -> x0, the mac node y -> t0); the service
+  // translates for jobs, direct holders address them canonically.
   const ov::Simulator simulator(first);
-  const auto result = simulator.run_doubles(single_input(8));
-  EXPECT_EQ(result.outputs.count("y"), 1u);
+  const auto result = simulator.run_doubles({{"x0", single_input(8).at("x")}});
+  EXPECT_EQ(result.outputs.count("t0"), 1u);
 }
 
 TEST(OverlayCache, ConcurrentSameKeyCompilesOnce) {
@@ -511,9 +513,12 @@ TEST(OverlayCache, CapacityOneThrashesButStaysCorrect) {
     const auto compiled = cache.get_or_compile(round % 2 ? b : a, arch, 1, &hit);
     EXPECT_FALSE(hit) << "round " << round;
     ASSERT_NE(compiled, nullptr);
-    // Evicted-or-not, the handle always simulates correctly.
+    // Evicted-or-not, the handle always simulates correctly (canonical
+    // names: the cache compiles the alpha-renamed DFG).
     const ov::Simulator simulator(compiled);
-    EXPECT_EQ(simulator.run_doubles(single_input(4)).outputs.count("y"), 1u);
+    EXPECT_EQ(simulator.run_doubles({{"x0", single_input(4).at("x")}})
+                  .outputs.count("t0"),
+              1u);
   }
   const rt::CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 1u);
@@ -827,6 +832,103 @@ TEST(OverlayService, ConcurrentMixedStructureAndParamTraffic) {
   EXPECT_EQ(stats.cache.structure_misses,
             static_cast<std::uint64_t>(kStructures));
   EXPECT_EQ(stats.cache.entries, static_cast<std::size_t>(kStructures));
+}
+
+// Satellite: alpha-renaming in canonicalization — isomorphic kernels that
+// differ only in signal names map to one structure_key (and, with equal
+// coefficients, one *full* key), so the dedup reaches the cache.
+TEST(OverlayService, AlphaRenamedKernelsShareOneStructure) {
+  const ov::OverlayArch arch;
+  const std::string original = dot2_kernel(0.5, -1.25);
+  const std::string renamed =
+      "input lhs; input rhs;\n"
+      "param w_a = 0.5; param w_b = -1.25;\n"
+      "prod_a = mul(lhs, w_a); prod_b = mul(rhs, w_b);\n"
+      "acc = add(prod_a, prod_b);\n"
+      "output acc;\n";
+
+  // Equal coefficients: the *full* canonical keys collapse too.
+  EXPECT_EQ(rt::overlay_key(original, arch, 1), rt::overlay_key(renamed, arch, 1));
+  const rt::CacheKeys keys_orig = rt::cache_keys(
+      ov::parse_kernel_symbolic(original), arch, 1,
+      ov::parse_kernel_symbolic(original).params);
+  const rt::CacheKeys keys_renamed = rt::cache_keys(
+      ov::parse_kernel_symbolic(renamed), arch, 1,
+      ov::parse_kernel_symbolic(renamed).params);
+  EXPECT_EQ(keys_orig.structure, keys_renamed.structure);
+  EXPECT_EQ(keys_orig.params, keys_renamed.params);
+
+  rt::ServiceOptions options;
+  options.threads = 2;
+  rt::OverlayService service(options);
+
+  rt::JobRequest first;
+  first.kernel_text = original;
+  first.inputs = ramp_inputs(32);
+  const rt::JobResult cold = service.run(first);
+  EXPECT_FALSE(cold.cache_hit);
+
+  // The renamed kernel is a *full* hit: zero place & route, zero
+  // respecialization, and (after name translation) identical bits under
+  // its own output name.
+  rt::JobRequest second;
+  second.kernel_text = renamed;
+  second.inputs = {{"lhs", first.inputs.at("x0")}, {"rhs", first.inputs.at("x1")}};
+  const rt::JobResult hit = service.run(second);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(hit.structure_hit);
+  EXPECT_EQ(hit.compile_seconds, 0.0);
+  EXPECT_EQ(output_bits(hit.run, "acc"), output_bits(cold.run, "y"));
+  EXPECT_FALSE(output_bits(hit.run, "acc").empty());
+
+  // Param overrides ride the rename too (real names on the outside).
+  rt::JobRequest override_job;
+  override_job.kernel_text = renamed;
+  override_job.inputs = second.inputs;
+  override_job.params = {{"w_a", 0.9}, {"w_b", 0.1}};
+  const rt::JobResult respec = service.run(override_job);
+  EXPECT_TRUE(respec.structure_hit);
+  EXPECT_EQ(respec.compile_seconds, 0.0);
+  const ov::Simulator direct(
+      ov::compile_kernel(dot2_kernel(0.9, 0.1), arch, 1));
+  EXPECT_EQ(output_bits(respec.run, "acc"),
+            output_bits(direct.run_doubles(ramp_inputs(32))));
+
+  const rt::CacheStats stats = service.stats().cache;
+  EXPECT_EQ(stats.entries, 1u);            // one structure for all spellings
+  EXPECT_EQ(stats.structure_misses, 1u);   // one place & route total
+}
+
+// Satellite: structure-aware eviction weights — a structure with a hot
+// specialization set outlives a cold one even when raw LRU order says
+// otherwise.
+TEST(OverlayCache, EvictionPrefersColdStructuresOverHotOnes) {
+  const ov::OverlayArch arch;
+  rt::OverlayCache cache(2);
+
+  // Structure A: one place & route, then a hot set of 5 specializations.
+  for (int i = 0; i < 5; ++i) {
+    cache.get_or_compile(dot2_kernel(0.125 * (i + 1), -1.0), arch, 1);
+  }
+  // Structure B: cold — a single specialization.
+  cache.get_or_compile(mac_kernel(2), arch, 1);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // B was touched last, so raw LRU would evict A (the hot one). The
+  // weighted policy must sacrifice cold B instead: A's live
+  // specialization count dominates any recompile-time bucket split.
+  cache.get_or_compile(mac_kernel(3), arch, 1);
+  const rt::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_NE(cache.peek_structure(dot2_kernel(0.125, -1.0), arch, 1), nullptr)
+      << "hot structure A was evicted";
+  EXPECT_EQ(cache.peek_structure(mac_kernel(2), arch, 1), nullptr)
+      << "cold structure B survived instead";
+  EXPECT_NE(cache.peek_structure(mac_kernel(3), arch, 1), nullptr);
+
+  // Equal-weight entries still evict in pure LRU order (asserted by
+  // OverlayCache.HitMissEvictionLru above).
 }
 
 TEST(ServiceStats, PercentileNearestRank) {

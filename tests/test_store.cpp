@@ -1,0 +1,447 @@
+// Persistent overlay store: serialization round trips, typed rejection
+// of corrupt/truncated/version-bumped records (including a byte-flip
+// fuzz), the on-disk library, and the runtime cache's disk tier —
+// restart-with-populated-store re-runs zero place & route.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+#include "vcgra/runtime/overlay_cache.hpp"
+#include "vcgra/runtime/service.hpp"
+#include "vcgra/store/overlay_store.hpp"
+#include "vcgra/store/serdes.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/simulator.hpp"
+
+namespace st = vcgra::store;
+namespace rt = vcgra::runtime;
+namespace ov = vcgra::overlay;
+namespace sf = vcgra::softfloat;
+namespace vc = vcgra::common;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string dot2_kernel(double a, double b) {
+  return vc::strprintf(
+      "input x0; input x1;\n"
+      "param c0 = %.17g; param c1 = %.17g;\n"
+      "t0 = mul(x0, c0); t1 = mul(x1, c1);\n"
+      "y = add(t0, t1);\n"
+      "output y;\n",
+      a, b);
+}
+
+std::map<std::string, std::vector<double>> ramp_inputs(std::size_t length) {
+  std::map<std::string, std::vector<double>> inputs;
+  double scale = 1.0;
+  for (const char* name : {"x0", "x1"}) {
+    std::vector<double>& stream = inputs[name];
+    for (std::size_t i = 0; i < length; ++i) {
+      stream.push_back(scale * (static_cast<double>(i) - 7.5) / 3.0);
+    }
+    scale = -scale;
+  }
+  return inputs;
+}
+
+std::vector<std::uint64_t> output_bits(const ov::RunResult& run,
+                                       const std::string& name) {
+  std::vector<std::uint64_t> bits;
+  const auto it = run.outputs.find(name);
+  if (it == run.outputs.end()) return bits;
+  for (const auto& value : it->second) bits.push_back(value.bits());
+  return bits;
+}
+
+ov::CompiledStructure example_structure(sf::FpFormat format,
+                                        std::uint64_t seed = 1) {
+  ov::OverlayArch arch;
+  arch.format = format;
+  const ov::ParsedKernel parsed =
+      ov::parse_kernel_symbolic(dot2_kernel(0.5, -1.25));
+  return ov::compile_structure_canonical(parsed, arch, seed);
+}
+
+/// A scratch directory wiped on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           vc::strprintf("vcgra-test-%s-%d", tag.c_str(),
+                         static_cast<int>(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+}  // namespace
+
+TEST(StoreSerdes, RoundTripIsBitIdenticalAcrossFormats) {
+  for (const sf::FpFormat format :
+       {sf::FpFormat::paper(), sf::FpFormat::single_like(),
+        sf::FpFormat::half_like()}) {
+    const ov::CompiledStructure structure = example_structure(format);
+    const std::vector<std::uint8_t> bytes = st::serialize(structure);
+    const ov::CompiledStructure loaded = st::deserialize_structure(bytes);
+
+    // Byte-level: serialize(deserialize(x)) == x.
+    EXPECT_EQ(st::serialize(loaded), bytes);
+
+    // Semantic: the loaded structure specializes to exactly the register
+    // words of the in-memory original — for defaults and for overrides.
+    EXPECT_EQ(ov::specialize(loaded).settings.register_words(loaded.arch),
+              ov::specialize(structure).settings.register_words(structure.arch));
+    const ov::ParamBinding overrides = {{"c0", 42.0}, {"c1", -0.0625}};
+    EXPECT_EQ(
+        ov::specialize(loaded, overrides).settings.register_words(loaded.arch),
+        ov::specialize(structure, overrides)
+            .settings.register_words(structure.arch));
+  }
+}
+
+TEST(StoreSerdes, CompiledRoundTripSimulatesBitExactly) {
+  ov::OverlayArch arch;
+  const ov::Compiled compiled = ov::compile_kernel(dot2_kernel(0.5, -1.25), arch);
+  const std::vector<std::uint8_t> bytes = st::serialize(compiled);
+  const ov::Compiled loaded = st::deserialize_compiled(bytes);
+  EXPECT_EQ(st::serialize(loaded), bytes);
+
+  const auto inputs = ramp_inputs(32);
+  const auto direct = ov::Simulator(compiled).run_doubles(inputs);
+  const auto revived = ov::Simulator(loaded).run_doubles(inputs);
+  EXPECT_EQ(output_bits(direct, "y"), output_bits(revived, "y"));
+  EXPECT_FALSE(output_bits(direct, "y").empty());
+}
+
+TEST(StoreSerdes, RejectsVersionBumpTruncationAndGarbage) {
+  const std::vector<std::uint8_t> bytes =
+      st::serialize(example_structure(sf::FpFormat::paper()));
+
+  // Version bump (byte 4 is the low byte of the u32 version).
+  std::vector<std::uint8_t> bumped = bytes;
+  bumped[4] ^= 0xff;
+  EXPECT_THROW(st::deserialize_structure(bumped), st::VersionMismatch);
+  try {
+    st::deserialize_structure(bumped);
+  } catch (const st::VersionMismatch& e) {
+    EXPECT_EQ(e.expected(), st::kFormatVersion);
+    EXPECT_NE(e.found(), st::kFormatVersion);
+  }
+
+  // Truncation at a spread of depths, header included.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{17}, bytes.size() / 2,
+                                 bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(keep));
+    EXPECT_THROW(st::deserialize_structure(cut), st::StoreError) << keep;
+  }
+
+  // Bad magic.
+  std::vector<std::uint8_t> magic = bytes;
+  magic[0] = 'X';
+  EXPECT_THROW(st::deserialize_structure(magic), st::CorruptRecord);
+
+  // Trailing garbage after the payload.
+  std::vector<std::uint8_t> longer = bytes;
+  longer.push_back(0);
+  EXPECT_THROW(st::deserialize_structure(longer), st::CorruptRecord);
+}
+
+TEST(StoreSerdes, FuzzedByteFlipsAlwaysRaiseTypedErrors) {
+  const std::vector<std::uint8_t> bytes =
+      st::serialize(example_structure(sf::FpFormat::paper()));
+  vcgra::common::Rng rng(0xf00d);
+  // Any payload flip fails the checksum; any header flip fails magic,
+  // version, kind, size or checksum validation. Either way: a typed
+  // StoreError, never UB or an untyped escape.
+  for (int trial = 0; trial < 256; ++trial) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const std::size_t flips = 1 + rng.next_below(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t offset = rng.next_below(mutated.size());
+      const std::uint8_t bit = static_cast<std::uint8_t>(
+          1u << rng.next_below(8));
+      mutated[offset] ^= bit;
+    }
+    if (mutated == bytes) continue;  // flips cancelled out
+    EXPECT_THROW(st::deserialize_structure(mutated), st::StoreError)
+        << "trial " << trial;
+  }
+}
+
+TEST(OverlayStore, SaveLoadContainsAndHeat) {
+  TempDir dir("store-basic");
+  st::OverlayStore store(dir.path);
+
+  const ov::CompiledStructure structure =
+      example_structure(sf::FpFormat::paper());
+  const std::string key = "structure-key-alpha";
+  EXPECT_EQ(store.load(key), nullptr);
+  EXPECT_FALSE(store.contains(key));
+
+  EXPECT_TRUE(store.save(key, structure));
+  EXPECT_FALSE(store.save(key, structure));  // already published, not rewritten
+  EXPECT_TRUE(store.contains(key));
+
+  const auto loaded = store.load(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(st::serialize(*loaded), st::serialize(structure));
+
+  // A second key; heat ordering drives list().
+  EXPECT_TRUE(store.save("structure-key-beta", structure));
+  store.add_uses(key, 10);
+  store.flush_index();
+  const auto records = store.list();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_GT(records[0].uses, records[1].uses);  // alpha (hot) first
+
+  // A reopened store sees the records and the flushed heat.
+  st::OverlayStore reopened(dir.path);
+  EXPECT_TRUE(reopened.contains(key));
+  const auto again = reopened.list();
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[0].uses, records[0].uses);
+
+  const auto record = reopened.load_record(again[0].filename);
+  EXPECT_EQ(record.structure_key, key);
+}
+
+TEST(OverlayStore, CorruptRecordsRejectTypedAndSaveRepairs) {
+  TempDir dir("store-corrupt");
+  const ov::CompiledStructure structure =
+      example_structure(sf::FpFormat::paper());
+  const std::string key = "structure-key-corrupt";
+  std::string filename;
+  {
+    st::OverlayStore store(dir.path);
+    ASSERT_TRUE(store.save(key, structure));
+    filename = store.list().at(0).filename;
+  }
+  // Flip a byte in the middle of the record on disk.
+  const fs::path record_path = dir.path / filename;
+  {
+    std::fstream file(record_path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(static_cast<long>(fs::file_size(record_path)) / 2);
+    file.put('\x5a');
+  }
+  st::OverlayStore store(dir.path);
+  EXPECT_THROW(store.load(key), st::StoreError);
+  std::string error;
+  EXPECT_EQ(store.try_load(key, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+
+  // save() repairs the squatting corrupt record in place.
+  EXPECT_TRUE(store.save(key, structure));
+  ASSERT_NE(store.load(key), nullptr);
+}
+
+TEST(OverlayCacheStore, DiskTierServesRestartsWithZeroPlaceAndRoute) {
+  TempDir dir("cache-disk");
+  rt::ServiceOptions options;
+  options.threads = 1;
+  options.store_dir = dir.path.string();
+
+  // Three structurally distinct kernels (dot2 variants would share one
+  // structure — coefficients are parameters, not structure).
+  const std::vector<std::string> kernels = {
+      dot2_kernel(0.5, -1.25),
+      "input x0; input x1;\nparam c0 = 7.0;\n"
+      "t0 = mul(x0, c0);\ny = sub(t0, x1);\noutput y;\n",
+      "input x;\nparam c = 0.75;\ny = mac(x, c, 3);\noutput y;\n"};
+  std::vector<std::vector<std::uint64_t>> cold_bits;
+
+  {
+    rt::OverlayService service(options);
+    for (const std::string& kernel : kernels) {
+      rt::JobRequest request;
+      request.kernel_text = kernel;
+      request.inputs = kernel.find("x0") != std::string::npos
+                           ? ramp_inputs(24)
+                           : std::map<std::string, std::vector<double>>{
+                                 {"x", ramp_inputs(24).at("x0")}};
+      const rt::JobResult result = service.run(std::move(request));
+      EXPECT_FALSE(result.structure_hit);
+      EXPECT_FALSE(result.disk_hit);
+      cold_bits.push_back(output_bits(result.run, "y"));
+      EXPECT_FALSE(cold_bits.back().empty());
+    }
+    const rt::CacheStats stats = service.stats().cache;
+    EXPECT_EQ(stats.structure_misses, kernels.size());
+    EXPECT_EQ(stats.disk_misses, kernels.size());
+    // Service shutdown drains the write-behind queue.
+  }
+
+  // Restart against the populated store: every structure comes off disk,
+  // zero place & route runs, and outputs are bit-identical.
+  {
+    rt::OverlayService service(options);
+    std::size_t index = 0;
+    for (const std::string& kernel : kernels) {
+      rt::JobRequest request;
+      request.kernel_text = kernel;
+      request.inputs = kernel.find("x0") != std::string::npos
+                           ? ramp_inputs(24)
+                           : std::map<std::string, std::vector<double>>{
+                                 {"x", ramp_inputs(24).at("x0")}};
+      const rt::JobResult result = service.run(std::move(request));
+      EXPECT_TRUE(result.disk_hit) << kernel;
+      EXPECT_TRUE(result.structure_hit);
+      EXPECT_FALSE(result.cache_hit);  // specialization still runs once
+      EXPECT_EQ(result.compile_seconds, 0.0);
+      EXPECT_EQ(output_bits(result.run, "y"), cold_bits[index++]);
+    }
+    const rt::CacheStats stats = service.stats().cache;
+    EXPECT_EQ(stats.structure_misses, 0u);  // the acceptance criterion
+    EXPECT_EQ(stats.disk_hits, kernels.size());
+    EXPECT_EQ(stats.compile_seconds, 0.0);
+    EXPECT_GT(stats.disk_load_seconds, 0.0);
+  }
+}
+
+TEST(OverlayCacheStore, WarmStartPreloadsHottestStructuresIntoMemory) {
+  TempDir dir("cache-warm");
+  rt::ServiceOptions options;
+  options.threads = 1;
+  options.store_dir = dir.path.string();
+
+  {
+    rt::OverlayService service(options);
+    for (int k = 0; k < 4; ++k) {
+      rt::JobRequest request;
+      request.kernel_text = dot2_kernel(1.0 + k, -2.0 - k);
+      request.inputs = ramp_inputs(16);
+      service.run(std::move(request));
+    }
+  }
+
+  options.warm_start_structures = 8;  // more than the store holds: clamped
+  rt::OverlayService warmed(options);
+  {
+    const rt::CacheStats stats = warmed.stats().cache;
+    // dot2 kernels share one *structure* (coefficients differ): exactly
+    // one record exists and one preload happens.
+    EXPECT_EQ(stats.disk_preloads, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+  }
+  rt::JobRequest request;
+  request.kernel_text = dot2_kernel(1.0, -2.0);
+  request.inputs = ramp_inputs(16);
+  const rt::JobResult result = warmed.run(std::move(request));
+  // Memory tier, not disk: the preload already paid the deserialize.
+  EXPECT_TRUE(result.structure_hit);
+  EXPECT_FALSE(result.disk_hit);
+  EXPECT_EQ(result.compile_seconds, 0.0);
+  EXPECT_EQ(warmed.stats().cache.structure_misses, 0u);
+
+  // Heat served from warm-started entries is attributed back to the
+  // store's index at shutdown, so warm-start ordering tracks real
+  // traffic across restarts (not just save counts).
+  const std::uint64_t uses_before =
+      warmed.store()->list().at(0).uses;
+  {
+    rt::OverlayService traffic(options);
+    for (int j = 0; j < 3; ++j) {
+      rt::JobRequest hot;
+      hot.kernel_text = dot2_kernel(1.0, -2.0);
+      hot.inputs = ramp_inputs(16);
+      traffic.run(std::move(hot));
+    }
+  }
+  st::OverlayStore reopened(dir.path);
+  EXPECT_GT(reopened.list().at(0).uses, uses_before);
+}
+
+TEST(OverlayCacheStore, CorruptStoreRecordFallsBackToColdCompile) {
+  TempDir dir("cache-fallback");
+  rt::ServiceOptions options;
+  options.threads = 1;
+  options.store_dir = dir.path.string();
+  options.store_write_behind = false;  // synchronous: deterministic counters
+
+  std::vector<std::uint64_t> cold;
+  {
+    rt::OverlayService service(options);
+    rt::JobRequest request;
+    request.kernel_text = dot2_kernel(0.25, 0.75);
+    request.inputs = ramp_inputs(16);
+    cold = output_bits(service.run(std::move(request)).run, "y");
+    EXPECT_EQ(service.stats().cache.disk_writes, 1u);
+  }
+
+  // Corrupt every record in the store.
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    if (entry.path().extension() != ".ovl") continue;
+    std::fstream file(entry.path(),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(static_cast<long>(entry.file_size()) / 2);
+    file.put('\x7e');
+  }
+
+  rt::OverlayService service(options);
+  rt::JobRequest request;
+  request.kernel_text = dot2_kernel(0.25, 0.75);
+  request.inputs = ramp_inputs(16);
+  const rt::JobResult result = service.run(std::move(request));
+  // The typed error degraded to a miss: the job compiled cold, produced
+  // identical bits, and the repaired record replaced the corrupt one.
+  EXPECT_FALSE(result.disk_hit);
+  EXPECT_GT(result.compile_seconds, 0.0);
+  EXPECT_EQ(output_bits(result.run, "y"), cold);
+  const rt::CacheStats stats = service.stats().cache;
+  EXPECT_EQ(stats.disk_errors, 1u);
+  EXPECT_EQ(stats.disk_writes, 1u);  // repair write
+  EXPECT_EQ(stats.structure_misses, 1u);
+
+  rt::OverlayService healed(options);
+  rt::JobRequest again;
+  again.kernel_text = dot2_kernel(0.25, 0.75);
+  again.inputs = ramp_inputs(16);
+  EXPECT_TRUE(healed.run(std::move(again)).disk_hit);
+}
+
+TEST(OverlayCacheStore, ConcurrentServicesShareOneDirectorySafely) {
+  TempDir dir("cache-shared");
+  rt::ServiceOptions options;
+  options.threads = 4;
+  options.store_dir = dir.path.string();
+
+  // Two live services, interleaved traffic over the same store
+  // directory: atomic write-then-rename publication means both stay
+  // consistent and the second leans on records the first published.
+  rt::OverlayService a(options);
+  rt::OverlayService b(options);
+  std::vector<std::future<rt::JobResult>> futures;
+  for (int j = 0; j < 16; ++j) {
+    rt::JobRequest request;
+    request.kernel_text = dot2_kernel(1.0 + j % 4, 0.5);
+    request.inputs = ramp_inputs(16);
+    futures.push_back((j % 2 ? b : a).submit(std::move(request)));
+  }
+  std::vector<std::uint64_t> reference;
+  for (auto& future : futures) {
+    const rt::JobResult result = future.get();
+    const auto bits = output_bits(result.run, "y");
+    EXPECT_FALSE(bits.empty());
+  }
+  a.cache().flush_store();
+  b.cache().flush_store();
+  EXPECT_GE(a.store()->size(), 1u);
+  // Every record in the shared directory is intact.
+  for (const auto& info : a.store()->list()) {
+    EXPECT_NO_THROW(a.store()->load_record(info.filename));
+  }
+}

@@ -110,10 +110,15 @@ TEST(Dfg, SymbolicParseHoistsParamsAndCanonicalizes) {
   EXPECT_EQ(parsed.params.size(), 2u);
   EXPECT_EQ(parsed.params.at("c0"), 0.5);
   EXPECT_EQ(parsed.params.at("c1"), -1.25);
-  // Canonical text drops values, comments and whitespace.
+  // Canonical text drops values, comments and whitespace, and
+  // alpha-renames every signal positionally (the adder 'y' is compute
+  // node t2, and the output statement exposes it by canonical name).
   EXPECT_EQ(parsed.structural_text,
             "input x0;\ninput x1;\nparam c0;\nparam c1;\n"
-            "t0=mul(x0,c0);\nt1=mul(x1,c1);\ny=add(t0,t1);\noutput y;\n");
+            "t0=mul(x0,c0);\nt1=mul(x1,c1);\nt2=add(t0,t1);\noutput t2;\n");
+  EXPECT_FALSE(parsed.names_are_canonical);  // 'y' is not canonical
+  EXPECT_EQ(parsed.canonical_name("y"), "t2");
+  EXPECT_EQ(parsed.canonical_name("x0"), "x0");
   // Value and formatting changes leave the structural text untouched.
   const ov::ParsedKernel other = ov::parse_kernel_symbolic(
       "input x0;input x1;param c0=7;param c1=9;"
@@ -121,6 +126,21 @@ TEST(Dfg, SymbolicParseHoistsParamsAndCanonicalizes) {
   EXPECT_EQ(parsed.structural_text, other.structural_text);
   EXPECT_NE(ov::param_signature(parsed.params),
             ov::param_signature(other.params));
+  // Alpha renaming: an isomorphic kernel under completely different
+  // signal names canonicalizes to the same structural text, and its
+  // params translate onto the same canonical slots.
+  const ov::ParsedKernel renamed = ov::parse_kernel_symbolic(
+      "input left; input right;\n"
+      "param gain = 0.5; param bias = -1.25;\n"
+      "a = mul(left, gain); b = mul(right, bias);\n"
+      "sum = add(a, b);\noutput sum;\n");
+  EXPECT_EQ(parsed.structural_text, renamed.structural_text);
+  EXPECT_EQ(renamed.to_canonical(renamed.params),
+            parsed.to_canonical(parsed.params));
+  EXPECT_THROW(renamed.to_canonical({{"not_a_signal", 1.0}}),
+               std::invalid_argument);
+  // The canonical DFG is a true isomorph: same node count and topology.
+  EXPECT_EQ(parsed.dfg.nodes().size(), parsed.canonical_dfg.nodes().size());
 }
 
 TEST(Params, SignatureAndMergeSemantics) {

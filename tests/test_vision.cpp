@@ -235,6 +235,71 @@ TEST(DcsConvolution, FilterBankRespecializesInPlace) {
   EXPECT_EQ(service.stats().cache.structure_misses, 2u);
 }
 
+// Satellite: the full vessel-segmentation pipeline re-routed through
+// convolve_overlay_dcs — zero redundant place & route after the first
+// filter of each tap-group width, deterministic across thread counts and
+// cache states, and in close agreement with the sequential-MAC path.
+TEST(DcsPipeline, ZeroRedundantPlaceRouteAndDeterministic) {
+  vi::FundusParams fparams;
+  fparams.width = 64;
+  fparams.height = 64;
+  vcgra::common::Rng rng(21);
+  const vi::FundusImage fundus = vi::generate_fundus(fparams, rng);
+
+  vi::PipelineParams params;  // small supports keep the test fast
+  params.denoise_size = 3;
+  params.matched_size = 5;
+  params.orientations = 3;
+  params.texture_size = 5;
+  const ov::OverlayArch arch;
+
+  rt::ServiceOptions options;
+  options.threads = 4;
+  rt::OverlayService service(options);
+  vi::PipelineDcsStats dcs;
+  const vi::PipelineResult result = vi::run_pipeline_service_dcs(
+      fundus.rgb, fundus.field_of_view, params, arch, service, &dcs);
+
+  // 3x3 taps tile as groups (8,1); 5x5 as (8,8,8,1): two distinct
+  // tap-group widths across all 8 filters, so exactly two place & route
+  // runs for the whole pipeline — everything else respecialized.
+  EXPECT_GT(dcs.jobs, 8);
+  EXPECT_EQ(service.stats().cache.structure_misses, 2u);
+  EXPECT_EQ(dcs.structure_hits, dcs.jobs - 2);
+
+  // A second frame on the warm service is pure respecialization-or-hit:
+  // zero tool-flow seconds, bit-identical output.
+  vi::PipelineDcsStats warm_dcs;
+  const vi::PipelineResult warm = vi::run_pipeline_service_dcs(
+      fundus.rgb, fundus.field_of_view, params, arch, service, &warm_dcs);
+  EXPECT_EQ(warm_dcs.compile_seconds, 0.0);
+  EXPECT_EQ(warm_dcs.structure_hits, warm_dcs.jobs);
+  EXPECT_EQ(warm.stages.segmented.data(), result.stages.segmented.data());
+
+  // Determinism across thread counts and a fresh cache.
+  rt::ServiceOptions serial_options;
+  serial_options.threads = 1;
+  rt::OverlayService serial(serial_options);
+  const vi::PipelineResult reference = vi::run_pipeline_service_dcs(
+      fundus.rgb, fundus.field_of_view, params, arch, serial);
+  EXPECT_EQ(reference.stages.textured.data(), result.stages.textured.data());
+  EXPECT_EQ(reference.stages.segmented.data(), result.stages.segmented.data());
+
+  // Cross-check against the current sequential-MAC service path: the
+  // association order differs (adder tree vs streaming MAC), so demand
+  // close agreement rather than bit equality — pixel masks may disagree
+  // only on a small fraction near the threshold.
+  rt::OverlayService classic(serial_options);
+  const vi::PipelineResult mac_path = vi::run_pipeline_service(
+      fundus.rgb, fundus.field_of_view, params, arch, classic);
+  const auto& a = mac_path.stages.segmented.data();
+  const auto& b = result.stages.segmented.data();
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) agree += a[i] == b[i];
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(a.size()), 0.95);
+}
+
 TEST(Filters, ThresholdAndOtsu) {
   vi::Image image(16, 16, 0.2f);
   for (int y = 0; y < 16; ++y) {

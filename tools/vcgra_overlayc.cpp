@@ -1,0 +1,175 @@
+// vcgra_overlayc — ahead-of-time overlay compiler.
+//
+// Batch-compiles kernel files into a persistent overlay store so a
+// production OverlayService can be deployed against a pre-built library:
+// build the library offline once, serve online with zero place & route
+// (the store's disk tier plus the warm-start knob cover every known
+// kernel). Records are keyed exactly like the runtime cache — canonical
+// alpha-renamed structural text + architecture signature + placer seed —
+// so any kernel isomorphic to a compiled one hits the library too.
+//
+//   vcgra_overlayc --store DIR [arch/seed options] kernel.vk [more.vk ...]
+//   vcgra_overlayc --store DIR --list       # print the library
+//   vcgra_overlayc --store DIR --verify     # re-read + checksum every record
+//
+// Options: --rows N --cols N --tracks N --format paper|single|half
+//          --seed N
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vcgra/common/strings.hpp"
+#include "vcgra/common/timer.hpp"
+#include "vcgra/runtime/overlay_cache.hpp"
+#include "vcgra/store/overlay_store.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/dfg.hpp"
+
+using namespace vcgra;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --store DIR [--rows N] [--cols N] [--tracks N]\n"
+               "          [--format paper|single|half] [--seed N]\n"
+               "          [--list] [--verify] [kernel-file ...]\n",
+               argv0);
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read kernel file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_dir;
+  overlay::OverlayArch arch;
+  std::uint64_t seed = 1;
+  bool list = false, verify = false;
+  std::vector<std::string> kernel_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--store") {
+      store_dir = next();
+    } else if (arg == "--rows") {
+      arch.rows = std::atoi(next());
+    } else if (arg == "--cols") {
+      arch.cols = std::atoi(next());
+    } else if (arg == "--tracks") {
+      arch.tracks = std::atoi(next());
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--format") {
+      const std::string format = next();
+      if (format == "paper") {
+        arch.format = softfloat::FpFormat::paper();
+      } else if (format == "single") {
+        arch.format = softfloat::FpFormat::single_like();
+      } else if (format == "half") {
+        arch.format = softfloat::FpFormat::half_like();
+      } else {
+        std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
+        return 2;
+      }
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      kernel_files.push_back(arg);
+    }
+  }
+  if (store_dir.empty() || (kernel_files.empty() && !list && !verify)) {
+    return usage(argv[0]);
+  }
+
+  try {
+    store::OverlayStore library(store_dir);
+
+    int failures = 0;
+    for (const std::string& file : kernel_files) {
+      try {
+        const std::string text = read_file(file);
+        const overlay::ParsedKernel parsed = overlay::parse_kernel_symbolic(text);
+        const std::string key =
+            runtime::structure_key(parsed.structural_text, arch, seed);
+        common::WallTimer timer;
+        // The canonical-DFG compile is mandatory: it is what the runtime
+        // cache keys on, so the record serves every isomorphic kernel.
+        const overlay::CompiledStructure structure =
+            overlay::compile_structure_canonical(parsed, arch, seed);
+        const double compile_seconds = timer.seconds();
+        const bool wrote = library.save(key, structure);
+        std::printf("%-28s %016llx  %2d PEs  %3d params  %s  %s\n", file.c_str(),
+                    static_cast<unsigned long long>(store::fnv1a64(key)),
+                    structure.report.pes_used,
+                    static_cast<int>(structure.param_slots.size()),
+                    common::human_seconds(compile_seconds).c_str(),
+                    wrote ? "compiled" : "already in store");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(), e.what());
+        ++failures;
+      }
+    }
+
+    if (list) {
+      const auto records = library.list();
+      std::printf("store %s: %zu records\n", store_dir.c_str(), records.size());
+      for (const auto& record : records) {
+        std::printf("  %-24s %6llu uses  %8llu bytes\n", record.filename.c_str(),
+                    static_cast<unsigned long long>(record.uses),
+                    static_cast<unsigned long long>(record.bytes));
+      }
+    }
+
+    if (verify) {
+      int bad = 0;
+      const auto records = library.list();
+      for (const auto& record : records) {
+        try {
+          const auto loaded = library.load_record(record.filename);
+          // Round-trip determinism: re-serializing must be bit-identical.
+          const auto bytes = store::serialize(*loaded.structure);
+          const auto again = store::serialize(store::deserialize_structure(bytes));
+          if (bytes != again) {
+            throw store::CorruptRecord("round trip not bit-identical");
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "  %s: %s\n", record.filename.c_str(), e.what());
+          ++bad;
+        }
+      }
+      std::printf("verify: %zu records, %d bad\n", records.size(), bad);
+      failures += bad;
+    }
+
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vcgra_overlayc: %s\n", e.what());
+    return 1;
+  }
+}

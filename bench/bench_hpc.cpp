@@ -18,6 +18,9 @@
 // Exits non-zero if any kernel fails either validation, so CI can run
 // it as a smoke check.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "vcgra/common/strings.hpp"
 #include "vcgra/common/table.hpp"
@@ -25,10 +28,61 @@
 
 using namespace vcgra;
 
-int main() {
+namespace {
+
+/// Machine-readable dump for CI's perf trajectory: one record per suite
+/// kernel plus the GEMM passes, written as plain JSON (no dependency).
+std::string kernels_json(const std::vector<hpc::KernelReport>& reports) {
+  std::string json;
+  for (const auto& report : reports) {
+    if (!json.empty()) json += ",\n";
+    json += common::strprintf(
+        "    {\"name\": \"%s\", \"samples\": %zu, \"pes\": %d, "
+        "\"cycles\": %llu, \"flop_per_cycle\": %.6f, "
+        "\"exec_seconds\": %.9f, \"elements_per_second\": %.1f, "
+        "\"compile_seconds\": %.9f, \"bit_exact\": %s, "
+        "\"plan_executed\": %s}",
+        report.name.c_str(), report.samples, report.pes_used,
+        static_cast<unsigned long long>(report.cycles), report.flop_per_cycle,
+        report.exec_seconds, report.elements_per_second,
+        report.compile_seconds, report.bit_exact ? "true" : "false",
+        report.plan_executed ? "true" : "false");
+  }
+  return json;
+}
+
+std::string gemm_json(const char* pass, const hpc::GemmReport& report) {
+  return common::strprintf(
+      "    {\"pass\": \"%s\", \"jobs\": %d, \"cycles\": %llu, "
+      "\"flop_per_cycle\": %.6f, \"cache_hits\": %llu, "
+      "\"structure_hits\": %llu, \"compile_seconds\": %.9f, "
+      "\"bit_exact\": %s}",
+      pass, report.jobs, static_cast<unsigned long long>(report.cycles),
+      report.flop_per_cycle, static_cast<unsigned long long>(report.cache_hits),
+      static_cast<unsigned long long>(report.structure_hits),
+      report.compile_seconds, report.bit_exact ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // `--json [path]` dumps machine-readable results (default
+  // BENCH_exec.json) so CI can record a performance trajectory.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
+                                                          : "BENCH_exec.json";
+    } else {
+      std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("== HPC kernel suite on the VCGRA overlay service ==\n");
   bool ok = true;
   constexpr std::size_t kN = 4096;
+  std::vector<hpc::KernelReport> suite_reports;
 
   // --- A: the suite on the paper's configuration -----------------------------
   {
@@ -37,6 +91,7 @@ int main() {
     options.service.threads = 2;
     hpc::HpcBench bench(options);
     const auto reports = bench.run_suite(kN);
+    suite_reports = reports;
     std::printf("%s", hpc::HpcBench::report_table(reports).c_str());
     for (const auto& report : reports) {
       if (!report.passed()) {
@@ -189,6 +244,23 @@ int main() {
     }
     std::printf("  C[%dx%d] = A[%dx%d] * B[%dx%d]: %d tile kernels, k-tile=%d\n",
                 kM, kCols, kM, kK, kK, kCols, cold.jobs, kTile);
+
+    if (!json_path.empty()) {
+      FILE* out = std::fopen(json_path.c_str(), "w");
+      if (!out) {
+        std::fprintf(stderr, "bench_hpc: cannot write %s\n", json_path.c_str());
+        ok = false;
+      } else {
+        std::fprintf(out,
+                     "{\n  \"bench\": \"bench_hpc\",\n  \"n\": %zu,\n"
+                     "  \"kernels\": [\n%s\n  ],\n  \"gemm\": [\n%s,\n%s\n  ]\n}\n",
+                     kN, kernels_json(suite_reports).c_str(),
+                     gemm_json("cold", cold).c_str(),
+                     gemm_json("warm", warm).c_str());
+        std::fclose(out);
+        std::printf("\n  wrote %s\n", json_path.c_str());
+      }
+    }
   }
 
   std::printf("\n%s\n", ok ? "bench_hpc: PASS" : "bench_hpc: FAIL");

@@ -570,6 +570,142 @@ int main() {
     }
   }
 
+  // --- F: precompiled execution plans — steady-state datapath gate -------------
+  {
+    std::printf("\n[F] Execution plans: batched SoA executor vs legacy "
+                "interpreter (warm service, STREAM-triad shape)\n");
+    constexpr int kAttempts = 3;
+    constexpr int kReps = 7;          // measured jobs per attempt (post-warm)
+    const std::size_t stream = 1 << 15;
+
+    // STREAM triad y[i] = a[i] + alpha * b[i] — the shape the paper's
+    // overlay streams at one sample per cycle.
+    const std::string triad_text =
+        "input a; input b;\nparam alpha = 3.0;\n"
+        "t = mul(b, alpha);\ny = add(a, t);\noutput y;\n";
+    const auto triad_inputs = [&]() {
+      std::map<std::string, std::vector<double>> inputs;
+      for (const char* name : {"a", "b"}) {
+        std::vector<double>& s = inputs[name];
+        s.reserve(stream);
+        for (std::size_t i = 0; i < stream; ++i) {
+          s.push_back((static_cast<double>(i % 509) / 128.0 - 2.0) *
+                      (name[0] == 'a' ? 1.0 : -0.75));
+        }
+      }
+      return inputs;
+    };
+
+    // Warm-service steady state on both engines: compile once, then
+    // measure the executor time of repeat jobs only. Ratio-only gate
+    // (median of per-attempt medians), like every other gate here.
+    struct Attempt {
+      double legacy_median = 0;
+      double plan_median = 0;
+      double speedup() const {
+        return plan_median > 0 ? legacy_median / plan_median : 0.0;
+      }
+    };
+    const auto measure = [&](bool use_plan, bool* engine_ok) {
+      runtime::ServiceOptions options;
+      options.threads = 1;
+      options.use_plan_executor = use_plan;
+      runtime::OverlayService service(options);
+      std::vector<double> exec_seconds;
+      std::uint64_t hash = 0xcbf29ce484222325ULL;
+      for (int r = 0; r < kReps + 1; ++r) {  // job 0 warms the cache/plan
+        runtime::JobRequest request;
+        request.kernel_text = triad_text;
+        request.inputs = triad_inputs();
+        const runtime::JobResult result = service.run(std::move(request));
+        if (result.plan_executed != use_plan) *engine_ok = false;
+        if (r > 0) exec_seconds.push_back(result.exec_seconds);
+        hash = fold_bits(hash, result.run);
+      }
+      return std::pair<double, std::uint64_t>(
+          runtime::percentile(exec_seconds, 0.5), hash);
+    };
+
+    std::vector<Attempt> attempts;
+    bool engine_ok = true;
+    bool bits_equal = true;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      Attempt measured;
+      const auto [legacy_median, legacy_hash] = measure(false, &engine_ok);
+      const auto [plan_median, plan_hash] = measure(true, &engine_ok);
+      measured.legacy_median = legacy_median;
+      measured.plan_median = plan_median;
+      if (legacy_hash != plan_hash) bits_equal = false;
+      attempts.push_back(measured);
+    }
+
+    // Allocation-freedom at steady state: two identical jobs on this
+    // thread's warm arena must not grow any pool.
+    {
+      // Compiled directly (not through the cache) so the artifact keeps
+      // the kernel's real stream names.
+      const overlay::Compiled compiled =
+          overlay::compile_kernel(triad_text, overlay::OverlayArch{});
+      auto plan = std::make_shared<const overlay::ExecPlan>(
+          overlay::ExecPlan::lower(compiled));
+      const overlay::PlanExecutor executor(plan);
+      executor.run_doubles(triad_inputs());  // warm-up
+      const auto before = overlay::PlanExecutor::thread_arena_stats();
+      executor.run_doubles(triad_inputs());
+      executor.run_doubles(triad_inputs());
+      const auto after = overlay::PlanExecutor::thread_arena_stats();
+      if (after.grows != before.grows) {
+        std::printf("  FAIL: warm arena grew during steady-state jobs "
+                    "(%llu -> %llu grows)\n",
+                    static_cast<unsigned long long>(before.grows),
+                    static_cast<unsigned long long>(after.grows));
+        ok = false;
+      } else {
+        std::printf("  arena: zero per-job allocations after warm-up "
+                    "(capacity %zu words, %llu grows total)\n",
+                    after.capacity_words,
+                    static_cast<unsigned long long>(after.grows));
+      }
+    }
+
+    std::vector<double> speedups;
+    for (const Attempt& attempt : attempts) speedups.push_back(attempt.speedup());
+    const double speedup = runtime::percentile(speedups, 0.5);
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      const Attempt& measured = attempts[static_cast<std::size_t>(attempt)];
+      std::printf("  attempt %d: interpreter %s  plan %s  (%.1f vs %.1f "
+                  "Melem/s)  speedup %.1fx\n",
+                  attempt + 1,
+                  common::human_seconds(measured.legacy_median).c_str(),
+                  common::human_seconds(measured.plan_median).c_str(),
+                  measured.legacy_median > 0
+                      ? static_cast<double>(stream) / measured.legacy_median / 1e6
+                      : 0.0,
+                  measured.plan_median > 0
+                      ? static_cast<double>(stream) / measured.plan_median / 1e6
+                      : 0.0,
+                  measured.speedup());
+    }
+    if (!bits_equal) {
+      std::printf("  FAIL: plan executor outputs differ from the legacy "
+                  "interpreter\n");
+      ok = false;
+    }
+    if (!engine_ok) {
+      std::printf("  FAIL: a job ran on the wrong execution engine\n");
+      ok = false;
+    }
+    if (speedup < 5.0) {
+      std::printf("  FAIL: median steady-state speedup %.1fx below the 5x "
+                  "target\n", speedup);
+      ok = false;
+    } else if (bits_equal && engine_ok) {
+      std::printf("  PASS: plan executor >= 5x the legacy interpreter at "
+                  "steady state, bit-exact (median of %d attempts: %.1fx)\n",
+                  kAttempts, speedup);
+    }
+  }
+
   std::printf("\n%s\n", ok ? "bench_runtime: PASS" : "bench_runtime: FAIL");
   return ok ? 0 : 1;
 }

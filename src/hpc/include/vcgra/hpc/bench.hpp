@@ -40,8 +40,14 @@ struct KernelReport {
   double specialize_seconds = 0;  // coefficient binding (the DCS fast path)
   double reconfig_seconds = 0;    // modeled fabric respecialization
   double exec_seconds = 0;
+  /// Host-side streaming rate of the executor: input samples per wall
+  /// second of simulator/executor time (the datapath throughput the
+  /// plan-executor work optimizes; 0 when exec time was unmeasurably
+  /// small).
+  double elements_per_second = 0;
   bool cache_hit = false;
   bool structure_hit = false;     // place & route skipped for this kernel
+  bool plan_executed = false;     // ran on the precompiled-plan datapath
   bool bit_exact = false;         // outputs == softfloat reference, bitwise
   double max_rel_err = 0;         // vs the double reference
   double tolerance = 0;

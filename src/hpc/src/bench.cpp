@@ -56,6 +56,11 @@ KernelReport HpcBench::run(const HpcKernel& kernel, std::uint64_t seed) {
   report.exec_seconds = result.exec_seconds;
   report.cache_hit = result.cache_hit;
   report.structure_hit = result.structure_hit;
+  report.plan_executed = result.plan_executed;
+  if (report.exec_seconds > 0) {
+    report.elements_per_second =
+        static_cast<double>(report.samples) / report.exec_seconds;
+  }
   if (report.cycles > 0) {
     report.flop_per_cycle = static_cast<double>(kernel.useful_flops) /
                             static_cast<double>(report.cycles);
@@ -265,7 +270,8 @@ GemmReport HpcBench::run_gemm(int m, int n, int k, int tile_k,
 
 std::string HpcBench::report_table(const std::vector<KernelReport>& reports) {
   common::AsciiTable table({"Kernel", "n", "PEs", "Cycles", "FLOP/cycle", "Fill",
-                            "Compile", "Reconfig", "Bit-exact", "RelErr(max)"});
+                            "Melem/s", "Compile", "Reconfig", "Bit-exact",
+                            "RelErr(max)"});
   for (const KernelReport& report : reports) {
     table.add_row({report.name, common::strprintf("%zu", report.samples),
                    common::strprintf("%d", report.pes_used),
@@ -273,6 +279,7 @@ std::string HpcBench::report_table(const std::vector<KernelReport>& reports) {
                                      static_cast<unsigned long long>(report.cycles)),
                    common::strprintf("%.3f", report.flop_per_cycle),
                    common::strprintf("%.1f%%", 100.0 * report.fill_fraction),
+                   common::strprintf("%.2f", report.elements_per_second / 1e6),
                    common::human_seconds(report.compile_seconds),
                    common::human_seconds(report.reconfig_seconds),
                    report.bit_exact ? "yes" : "NO",

@@ -51,6 +51,7 @@
 #include "vcgra/store/overlay_store.hpp"
 #include "vcgra/vcgra/compiler.hpp"
 #include "vcgra/vcgra/dfg.hpp"
+#include "vcgra/vcgra/exec_plan.hpp"
 
 namespace vcgra::runtime {
 
@@ -127,6 +128,17 @@ class OverlayCache {
       std::uint64_t seed = 1, bool* hit = nullptr,
       double* compile_seconds = nullptr);
 
+  /// The execution plan of a specialization handed out by
+  /// get_or_specialize. Plans are lowered lazily, once per (cached
+  /// specialization, sim options): repeat jobs reuse the tape and its
+  /// precomputed schedule without re-lowering. `compiled` must be the
+  /// handle this cache returned for `keys`; if the entry was evicted
+  /// meanwhile the plan is lowered and handed out uncached.
+  std::shared_ptr<const overlay::ExecPlan> plan_for(
+      const CacheKeys& keys,
+      const std::shared_ptr<const overlay::Compiled>& compiled,
+      const overlay::SimOptions& sim);
+
   /// Lookup without compiling; nullptr on any miss, unparsable text or
   /// bad override (does not count in stats).
   std::shared_ptr<const overlay::Compiled> peek(
@@ -162,8 +174,16 @@ class OverlayCache {
   std::size_t capacity() const { return capacity_; }
 
  private:
-  using SpecialList =
-      std::list<std::pair<std::string, std::shared_ptr<const overlay::Compiled>>>;
+  /// One cached specialization: the bound artifact plus its lazily
+  /// lowered execution plan (nullptr until the first plan_for under a
+  /// given set of sim options).
+  struct Specialization {
+    std::string params;  // level-2 key
+    std::shared_ptr<const overlay::Compiled> compiled;
+    std::shared_ptr<const overlay::ExecPlan> plan;
+    overlay::SimOptions plan_sim;
+  };
+  using SpecialList = std::list<Specialization>;
   struct Entry {
     std::string key;  // structure key
     std::shared_ptr<const overlay::CompiledStructure> structure;

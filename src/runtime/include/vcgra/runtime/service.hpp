@@ -60,6 +60,9 @@ struct JobResult {
   int instance = -1;            // virtual grid instance that executed the job
   bool reconfigured = false;    // that instance had to load a new overlay
   bool param_respecialized = false;  // ... by swapping only coefficient words
+  /// Ran on the precompiled-plan executor (the steady-state datapath)
+  /// rather than the legacy interpreter.
+  bool plan_executed = false;
   double compile_seconds = 0;   // place-&-route time this job paid (0 on a hit)
   double specialize_seconds = 0;  // coefficient-binding time this job paid
   double disk_load_seconds = 0;   // store read + deserialize time this job paid
@@ -75,6 +78,12 @@ struct ServiceOptions {
   enum class CostModel { kRegisterDiff, kScg };
   CostModel cost_model = CostModel::kRegisterDiff;
   overlay::SimOptions sim;
+  /// Execute jobs on the precompiled-plan datapath (lowered once per
+  /// cached specialization, allocation-free batched execution). Off
+  /// routes every job through the legacy cycle-level interpreter — the
+  /// reference oracle the differential suite compares against; results
+  /// are bit-identical either way (outputs, cycles, fp/mac op counts).
+  bool use_plan_executor = true;
   /// How many queued jobs the batch scheduler scans for one whose overlay
   /// is already loaded on a free instance before falling back to FIFO.
   std::size_t schedule_scan_window = 32;

@@ -171,7 +171,7 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
           outcome->hit = true;
           outcome->structure_hit = true;
         }
-        return special->second->second;
+        return special->second->compiled;
       }
       // Structure resident, coefficients not bound yet: the fast path of
       // the whole refactor — no place & route, just specialize below.
@@ -267,7 +267,7 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
     Entry& entry = insert_structure_locked(keys.structure, structure);
     ++entry.uses;
     if (entry.special_index.find(keys.params) == entry.special_index.end()) {
-      entry.specials.emplace_front(keys.params, compiled);
+      entry.specials.push_front(Specialization{keys.params, compiled, nullptr, {}});
       entry.special_index[keys.params] = entry.specials.begin();
       ++stats_.specialized_entries;
     }
@@ -293,7 +293,7 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::specialize_and_cache(
       if (special != entry.special_index.end()) {
         entry.specials.splice(entry.specials.begin(), entry.specials,
                               special->second);
-        return special->second->second;
+        return special->second->compiled;
       }
     }
   }
@@ -311,11 +311,11 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::specialize_and_cache(
   if (it != index_.end()) {
     Entry& entry = *it->second;
     if (entry.special_index.find(keys.params) == entry.special_index.end()) {
-      entry.specials.emplace_front(keys.params, compiled);
+      entry.specials.push_front(Specialization{keys.params, compiled, nullptr, {}});
       entry.special_index[keys.params] = entry.specials.begin();
       ++stats_.specialized_entries;
       while (entry.specials.size() > kSpecializationsPerStructure) {
-        entry.special_index.erase(entry.specials.back().first);
+        entry.special_index.erase(entry.specials.back().params);
         entry.specials.pop_back();
         --stats_.specialized_entries;
       }
@@ -323,6 +323,46 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::specialize_and_cache(
   }
   // Structure evicted meanwhile: hand the artifact out uncached.
   return compiled;
+}
+
+std::shared_ptr<const overlay::ExecPlan> OverlayCache::plan_for(
+    const CacheKeys& keys,
+    const std::shared_ptr<const overlay::Compiled>& compiled,
+    const overlay::SimOptions& sim) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(keys.structure);
+    if (it != index_.end()) {
+      const auto special = it->second->special_index.find(keys.params);
+      if (special != it->second->special_index.end() &&
+          special->second->compiled == compiled && special->second->plan &&
+          special->second->plan_sim == sim) {
+        ++stats_.plan_hits;
+        return special->second->plan;
+      }
+    }
+  }
+
+  // Lower outside the lock (microseconds, but no reason to serialize
+  // concurrent first-touches of different specializations). A racing
+  // lowering of the same specialization publishes last-wins — both plans
+  // are identical by construction.
+  auto plan = std::make_shared<const overlay::ExecPlan>(
+      overlay::ExecPlan::lower(*compiled, sim));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.plans_built;
+  const auto it = index_.find(keys.structure);
+  if (it != index_.end()) {
+    const auto special = it->second->special_index.find(keys.params);
+    if (special != it->second->special_index.end() &&
+        special->second->compiled == compiled) {
+      special->second->plan = plan;
+      special->second->plan_sim = sim;
+    }
+  }
+  // Entry or specialization evicted meanwhile: hand the plan out uncached.
+  return plan;
 }
 
 void OverlayCache::persist(
@@ -447,7 +487,7 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::peek(
     if (it == index_.end()) return nullptr;
     const auto special = it->second->special_index.find(keys.params);
     return special == it->second->special_index.end() ? nullptr
-                                                      : special->second->second;
+                                                      : special->second->compiled;
   } catch (const std::invalid_argument&) {
     return nullptr;
   }

@@ -31,6 +31,12 @@ std::string CacheStats::to_string() const {
       static_cast<unsigned long long>(inflight_joins),
       common::human_seconds(compile_seconds).c_str(),
       common::human_seconds(specialize_seconds).c_str());
+  if (plans_built || plan_hits) {
+    text += common::strprintf(
+        "\n  plans: %llu lowered, %llu reused",
+        static_cast<unsigned long long>(plans_built),
+        static_cast<unsigned long long>(plan_hits));
+  }
   if (disk_hits || disk_misses || disk_writes || disk_preloads || disk_errors) {
     text += common::strprintf(
         "\n  store: %llu disk hits / %llu disk misses, %llu preloaded, "

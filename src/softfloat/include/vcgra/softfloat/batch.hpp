@@ -1,0 +1,90 @@
+// Batch FloPoCo arithmetic over raw bit buffers.
+//
+// The scalar FpValue operations in fpformat.hpp re-derive the format's
+// field masks, re-class the operands and shuffle 16-byte (format, bits)
+// pairs on every call — fine for coefficients, wasteful inside a
+// million-element stream loop. These kernels hoist every format-derived
+// constant out of the element loop and run over contiguous
+// std::uint64_t encodings, the storage the execution-plan datapath
+// (vcgra/exec_plan.hpp) streams through its arena.
+//
+// Contract: every batch kernel is bit-identical, element for element, to
+// its scalar counterpart (fp_mul / fp_add / fp_mac /
+// FpValue::from_double / FpValue::to_double) for every format — asserted
+// by the conversion and batch-kernel fuzz suites in test_exec_plan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "vcgra/softfloat/fpformat.hpp"
+
+namespace vcgra::softfloat {
+
+/// Encode a double into the format's bit layout. Bit-identical to
+/// FpValue::from_double (RNE, overflow -> inf, underflow -> 0) but pure
+/// integer bit manipulation of the IEEE-754 representation — no
+/// frexp/nearbyint per element.
+std::uint64_t fp_encode_double(const FpFormat& format, double value);
+
+/// Decode format bits into a double. Bit-identical to FpValue::to_double.
+double fp_decode_double(const FpFormat& format, std::uint64_t bits);
+
+/// out[i] = a[i] * b[i]. `out` may alias `a` or `b`.
+void fp_mul_n(const FpFormat& format, const std::uint64_t* a,
+              const std::uint64_t* b, std::uint64_t* out, std::size_t n);
+
+/// out[i] = a[i] * coeff — the mul-by-coefficient PE datapath.
+void fp_mul_coeff_n(const FpFormat& format, const std::uint64_t* a,
+                    std::uint64_t coeff, std::uint64_t* out, std::size_t n);
+
+/// out[i] = a[i] + (b[i] ^ b_xor). `b_xor` = 0 is a plain add; the
+/// format's sign-bit mask turns it into the PE's subtract (sign-flip
+/// then add, exactly like the cycle-level simulator and the gate-level
+/// adder). `out` may alias `a` or `b`.
+void fp_add_xor_n(const FpFormat& format, const std::uint64_t* a,
+                  const std::uint64_t* b, std::uint64_t b_xor,
+                  std::uint64_t* out, std::size_t n);
+
+inline void fp_add_n(const FpFormat& format, const std::uint64_t* a,
+                     const std::uint64_t* b, std::uint64_t* out,
+                     std::size_t n) {
+  fp_add_xor_n(format, a, b, 0, out, n);
+}
+
+/// Fused coefficient-multiply feeding an add in one pass:
+/// out[i] = fp_add(a[i], fp_mul(x[i], coeff) ^ mul_xor). The two
+/// rounding steps stay separate (bit-identical to running the mul and
+/// the add back to back); fusion only removes the intermediate stream's
+/// store/load round trip. `mul_xor` = sign mask models a subtract whose
+/// rhs is the product.
+void fp_axpy_n(const FpFormat& format, const std::uint64_t* a,
+               const std::uint64_t* x, std::uint64_t coeff,
+               std::uint64_t mul_xor, std::uint64_t* out, std::size_t n);
+
+/// Mirror fusion with the product on the left:
+/// out[i] = fp_add(fp_mul(x[i], coeff), b[i] ^ b_xor).
+void fp_xpay_n(const FpFormat& format, const std::uint64_t* x,
+               std::uint64_t coeff, const std::uint64_t* b,
+               std::uint64_t b_xor, std::uint64_t* out, std::size_t n);
+
+/// Decimating MAC over a block: runs acc = fp_mac(acc, x[i], coeff) and
+/// emits the accumulator to `out` every `count` consumed samples (then
+/// restarts from +0), exactly like the hardware PE's iteration counter.
+/// `acc_bits`/`filled` carry the in-flight accumulation across blocks so
+/// callers can stream a long input through cache-sized chunks; both must
+/// start at 0 for a fresh stream. Returns the number of emitted outputs.
+std::size_t fp_mac_n(const FpFormat& format, const std::uint64_t* x,
+                     std::uint64_t coeff, std::uint32_t count,
+                     std::uint64_t* out, std::size_t n,
+                     std::uint64_t* acc_bits, std::uint32_t* filled);
+
+/// One batch pass double -> bits (fp_encode_double per element).
+void fp_from_double_n(const FpFormat& format, const double* in,
+                      std::uint64_t* out, std::size_t n);
+
+/// One batch pass bits -> double (fp_decode_double per element).
+void fp_to_double_n(const FpFormat& format, const std::uint64_t* in,
+                    double* out, std::size_t n);
+
+}  // namespace vcgra::softfloat

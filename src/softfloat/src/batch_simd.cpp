@@ -1,0 +1,547 @@
+// AVX-512 lanes for the batch FloPoCo kernels.
+//
+// Every arithmetic step below is the vector transliteration of the
+// branchless scalar core in fp_core.hpp (itself a bit-for-bit
+// translation of fpformat.cpp): 8 encodings per __m512i, format
+// constants broadcast once per call, data-dependent control flow turned
+// into mask blends. Lanes the vector path cannot carry — a non-normal
+// operand class, a denormal double at the encode boundary — are
+// recomputed through the scalar core and merged, so the output is
+// bit-identical to the portable loops for every input (asserted by the
+// batch-kernel fuzz in test_exec_plan).
+//
+// Compiled with per-function target attributes, so the object file links
+// into a baseline x86-64 build; available() gates execution at runtime.
+#include "batch_simd.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VCGRA_SIMD_X86 1
+#include <immintrin.h>
+// GCC's avx512 headers trip -Wmaybe-uninitialized on the _mm512_maskz_*
+// idiom (the masked-off operand is intentionally undefined).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+#else
+#define VCGRA_SIMD_X86 0
+#endif
+
+namespace vcgra::softfloat::simd {
+
+using fpcore::add_one;
+using fpcore::CoeffMul;
+using fpcore::Fmt;
+using fpcore::mul_one;
+using fpcore::mul_one_coeff;
+using u64 = std::uint64_t;
+
+#if VCGRA_SIMD_X86
+
+#define VCGRA_TARGET __attribute__((target("avx512f,avx512cd,avx512dq")))
+
+bool available() {
+  static const bool ok = __builtin_cpu_supports("avx512f") &&
+                         __builtin_cpu_supports("avx512cd") &&
+                         __builtin_cpu_supports("avx512dq");
+  return ok;
+}
+
+namespace {
+
+/// The 64-bit significand-product trick needs 2wf+2 bits; vpmullq needs
+/// the same. Wider fractions fall back to the scalar loop whole-call.
+bool lanes_fit(const Fmt& m) { return 2 * m.wf + 2 <= 64; }
+
+struct VStage {
+  __m512i bits;      // result encodings (valid on `normal_in` lanes)
+  __mmask8 res_norm; // ... of those, lanes whose result class is normal
+};
+
+/// Shared round-and-pack tail of both vector multipliers: `product` is
+/// the lane-wise significand product, `exp_base` the biased operand
+/// exponent sum already carrying -bias, `sign` the 0/1 result signs.
+/// Mirrors fpcore::mul_pack exactly.
+VCGRA_TARGET inline VStage v_mul_pack(const Fmt& m, __m512i sign,
+                                      __m512i exp_base, __m512i product) {
+  const __m512i frac_mask = _mm512_set1_epi64(static_cast<long long>(m.frac_mask));
+  const __m512i hidden = _mm512_set1_epi64(static_cast<long long>(m.hidden));
+  const __m512i one = _mm512_set1_epi64(1);
+
+  // top = product in [2,4); guard bit sits at wf-1+top.
+  const __m512i top =
+      _mm512_and_epi64(_mm512_srli_epi64(product, 2 * m.wf + 1), one);
+  const __m512i sh = _mm512_add_epi64(_mm512_set1_epi64(m.wf - 1), top);
+  const __m512i frac_pre = _mm512_and_epi64(
+      _mm512_srlv_epi64(product, _mm512_add_epi64(sh, one)), frac_mask);
+  const __m512i guard = _mm512_and_epi64(_mm512_srlv_epi64(product, sh), one);
+  const __m512i below = _mm512_sub_epi64(_mm512_sllv_epi64(one, sh), one);
+  const __mmask8 sticky_k = _mm512_test_epi64_mask(product, below);
+  const __m512i sticky = _mm512_maskz_mov_epi64(sticky_k, one);
+  const __m512i round_up = _mm512_and_epi64(
+      guard, _mm512_or_epi64(sticky, _mm512_and_epi64(frac_pre, one)));
+  __m512i mant = _mm512_add_epi64(_mm512_or_epi64(hidden, frac_pre), round_up);
+  const __m512i exp_round = _mm512_srli_epi64(mant, m.wf + 1);
+  mant = _mm512_srlv_epi64(mant, exp_round);
+
+  __m512i exponent =
+      _mm512_add_epi64(exp_base, _mm512_add_epi64(top, exp_round));
+  const __m512i sign_shifted = _mm512_slli_epi64(sign, m.shift);
+  const __mmask8 under =
+      _mm512_cmplt_epi64_mask(exponent, _mm512_setzero_si512());
+  const __mmask8 over = _mm512_cmpgt_epi64_mask(
+      exponent, _mm512_set1_epi64(static_cast<long long>(m.exp_mask)));
+
+  __m512i res = _mm512_or_epi64(
+      _mm512_or_epi64(
+          _mm512_slli_epi64(_mm512_or_epi64(sign, _mm512_set1_epi64(2)),
+                            m.shift),
+          _mm512_slli_epi64(exponent, m.wf)),
+      _mm512_and_epi64(mant, frac_mask));
+  res = _mm512_mask_mov_epi64(res, under, sign_shifted);  // flush to zero
+  res = _mm512_mask_mov_epi64(
+      res, over,
+      _mm512_or_epi64(sign_shifted,
+                      _mm512_set1_epi64(static_cast<long long>(m.inf_base))));
+
+  VStage out;
+  out.bits = res;
+  out.res_norm = _knot_mask8(_kor_mask8(under, over));
+  return out;
+}
+
+/// Vector fp_mul by a broadcast normal coefficient. Valid only on lanes
+/// whose `a` class is normal; the caller patches the rest.
+VCGRA_TARGET inline VStage v_mul_coeff(const Fmt& m, __m512i va,
+                                       const CoeffMul& c) {
+  const __m512i frac_mask = _mm512_set1_epi64(static_cast<long long>(m.frac_mask));
+  const __m512i hidden = _mm512_set1_epi64(static_cast<long long>(m.hidden));
+  const __m512i ma = _mm512_or_epi64(_mm512_and_epi64(va, frac_mask), hidden);
+  const __m512i product =
+      _mm512_mullo_epi64(ma, _mm512_set1_epi64(static_cast<long long>(c.mant)));
+  const __m512i exp_a = _mm512_and_epi64(
+      _mm512_srli_epi64(va, m.wf),
+      _mm512_set1_epi64(static_cast<long long>(m.exp_mask)));
+  const __m512i exp_base = _mm512_add_epi64(
+      exp_a, _mm512_set1_epi64(static_cast<long long>(
+                 static_cast<std::int64_t>(c.exponent) - m.bias)));
+  const __m512i sign = _mm512_xor_epi64(
+      _mm512_and_epi64(_mm512_srli_epi64(va, m.shift),
+                       _mm512_set1_epi64(1)),
+      _mm512_set1_epi64(static_cast<long long>(c.sign)));
+  return v_mul_pack(m, sign, exp_base, product);
+}
+
+/// Vector fp_mul of two streams. Valid only on lanes where both classes
+/// are normal.
+VCGRA_TARGET inline VStage v_mul(const Fmt& m, __m512i va, __m512i vb) {
+  const __m512i frac_mask = _mm512_set1_epi64(static_cast<long long>(m.frac_mask));
+  const __m512i hidden = _mm512_set1_epi64(static_cast<long long>(m.hidden));
+  const __m512i ma = _mm512_or_epi64(_mm512_and_epi64(va, frac_mask), hidden);
+  const __m512i mb = _mm512_or_epi64(_mm512_and_epi64(vb, frac_mask), hidden);
+  const __m512i product = _mm512_mullo_epi64(ma, mb);
+  const __m512i exp_mask_v =
+      _mm512_set1_epi64(static_cast<long long>(m.exp_mask));
+  const __m512i exp_a =
+      _mm512_and_epi64(_mm512_srli_epi64(va, m.wf), exp_mask_v);
+  const __m512i exp_b =
+      _mm512_and_epi64(_mm512_srli_epi64(vb, m.wf), exp_mask_v);
+  const __m512i exp_base = _mm512_add_epi64(
+      _mm512_add_epi64(exp_a, exp_b),
+      _mm512_set1_epi64(static_cast<long long>(-m.bias)));
+  const __m512i sign = _mm512_and_epi64(
+      _mm512_xor_epi64(_mm512_srli_epi64(va, m.shift),
+                       _mm512_srli_epi64(vb, m.shift)),
+      _mm512_set1_epi64(1));
+  return v_mul_pack(m, sign, exp_base, product);
+}
+
+/// Vector fp_add. Valid only on lanes where both classes are normal;
+/// exact cancellation and exponent clamps are handled with blends.
+VCGRA_TARGET inline __m512i v_add(const Fmt& m, __m512i va, __m512i vb) {
+  const __m512i frac_mask = _mm512_set1_epi64(static_cast<long long>(m.frac_mask));
+  const __m512i exp_mask_v = _mm512_set1_epi64(static_cast<long long>(m.exp_mask));
+  const __m512i hidden = _mm512_set1_epi64(static_cast<long long>(m.hidden));
+  const __m512i one = _mm512_set1_epi64(1);
+
+  // Order by magnitude: X = larger (exp,frac); ties keep a.
+  const __m512i frac_a = _mm512_and_epi64(va, frac_mask);
+  const __m512i frac_b = _mm512_and_epi64(vb, frac_mask);
+  const __m512i exp_a = _mm512_and_epi64(_mm512_srli_epi64(va, m.wf), exp_mask_v);
+  const __m512i exp_b = _mm512_and_epi64(_mm512_srli_epi64(vb, m.wf), exp_mask_v);
+  const __m512i mag_a = _mm512_or_epi64(_mm512_slli_epi64(exp_a, m.wf), frac_a);
+  const __m512i mag_b = _mm512_or_epi64(_mm512_slli_epi64(exp_b, m.wf), frac_b);
+  const __mmask8 a_big = _mm512_cmpge_epu64_mask(mag_a, mag_b);
+  // mask_blend(k, u, v) = k ? v : u.
+  const __m512i x = _mm512_mask_blend_epi64(a_big, vb, va);
+  const __m512i y = _mm512_mask_blend_epi64(a_big, va, vb);
+  const __m512i exp_x = _mm512_mask_blend_epi64(a_big, exp_b, exp_a);
+  const __m512i exp_y = _mm512_mask_blend_epi64(a_big, exp_a, exp_b);
+
+  // Alignment shift with the scalar core's width cap.
+  __m512i d = _mm512_sub_epi64(exp_x, exp_y);
+  d = _mm512_min_epu64(d, _mm512_set1_epi64(m.wf + 4));
+  const __m512i mx = _mm512_slli_epi64(
+      _mm512_or_epi64(_mm512_and_epi64(x, frac_mask), hidden), 3);
+  const __m512i my_full = _mm512_slli_epi64(
+      _mm512_or_epi64(_mm512_and_epi64(y, frac_mask), hidden), 3);
+  __m512i my = _mm512_srlv_epi64(my_full, d);
+  const __mmask8 sticky_shift =
+      _mm512_cmpneq_epi64_mask(_mm512_sllv_epi64(my, d), my_full);
+  my = _mm512_mask_or_epi64(my, sticky_shift, my, one);
+
+  // s = eff_sub ? mx - my : mx + my via conditional negation.
+  const __m512i sign_x = _mm512_and_epi64(_mm512_srli_epi64(x, m.shift), one);
+  const __m512i sign_y = _mm512_and_epi64(_mm512_srli_epi64(y, m.shift), one);
+  const __m512i eff = _mm512_xor_epi64(sign_x, sign_y);
+  const __m512i neg = _mm512_sub_epi64(_mm512_setzero_si512(), eff);
+  const __m512i s = _mm512_add_epi64(
+      _mm512_add_epi64(mx, _mm512_xor_epi64(my, neg)), eff);
+  const __mmask8 cancel = _mm512_cmpeq_epi64_mask(s, _mm512_setzero_si512());
+
+  // Normalize: leading 1 to bit wf+3 (lzcnt of 0 is 64 — cancel lanes
+  // are blended out below, their garbage never escapes).
+  const int t = m.wf + 3;
+  const __m512i k =
+      _mm512_sub_epi64(_mm512_set1_epi64(63), _mm512_lzcnt_epi64(s));
+  const __mmask8 carry =
+      _mm512_cmpgt_epi64_mask(k, _mm512_set1_epi64(t));
+  const __m512i s_r = _mm512_or_epi64(_mm512_srli_epi64(s, 1),
+                                      _mm512_and_epi64(s, one));
+  const __m512i shl = _mm512_and_epi64(
+      _mm512_sub_epi64(_mm512_set1_epi64(t), k), _mm512_set1_epi64(63));
+  const __m512i s_l = _mm512_sllv_epi64(s, shl);
+  const __m512i s_norm = _mm512_mask_blend_epi64(carry, s_l, s_r);
+
+  const __m512i frac_pre =
+      _mm512_and_epi64(_mm512_srli_epi64(s_norm, 3), frac_mask);
+  const __m512i guard = _mm512_and_epi64(_mm512_srli_epi64(s_norm, 2), one);
+  const __mmask8 sticky_k =
+      _mm512_test_epi64_mask(s_norm, _mm512_set1_epi64(3));
+  const __m512i sticky = _mm512_maskz_mov_epi64(sticky_k, one);
+  const __m512i round_up = _mm512_and_epi64(
+      guard, _mm512_or_epi64(sticky, _mm512_and_epi64(frac_pre, one)));
+  __m512i mant = _mm512_add_epi64(_mm512_or_epi64(hidden, frac_pre), round_up);
+  const __m512i mant_carry = _mm512_srli_epi64(mant, m.wf + 1);
+  mant = _mm512_srlv_epi64(mant, mant_carry);
+
+  __m512i exponent = _mm512_add_epi64(
+      exp_x, _mm512_sub_epi64(k, _mm512_set1_epi64(t)));
+  exponent = _mm512_add_epi64(exponent, mant_carry);
+
+  const __m512i sign_shifted = _mm512_slli_epi64(sign_x, m.shift);
+  const __mmask8 under =
+      _mm512_cmplt_epi64_mask(exponent, _mm512_setzero_si512());
+  const __mmask8 over = _mm512_cmpgt_epi64_mask(exponent, exp_mask_v);
+
+  __m512i res = _mm512_or_epi64(
+      _mm512_or_epi64(
+          _mm512_slli_epi64(_mm512_or_epi64(sign_x, _mm512_set1_epi64(2)),
+                            m.shift),
+          _mm512_slli_epi64(exponent, m.wf)),
+      _mm512_and_epi64(mant, frac_mask));
+  res = _mm512_mask_mov_epi64(res, under, sign_shifted);
+  res = _mm512_mask_mov_epi64(
+      res, over,
+      _mm512_or_epi64(sign_shifted,
+                      _mm512_set1_epi64(static_cast<long long>(m.inf_base))));
+  res = _mm512_maskz_mov_epi64(_knot_mask8(cancel), res);  // +0 on cancel
+  return res;
+}
+
+/// Class-of-lane == normal mask.
+VCGRA_TARGET inline __mmask8 v_normal(const Fmt& m, __m512i v) {
+  const __m512i cls = _mm512_and_epi64(_mm512_srli_epi64(v, m.shift + 1),
+                                       _mm512_set1_epi64(3));
+  return _mm512_cmpeq_epi64_mask(cls, _mm512_set1_epi64(1));
+}
+
+VCGRA_TARGET inline __m512i v_load(const std::uint64_t* p, __mmask8 lane_mask) {
+  return _mm512_maskz_loadu_epi64(lane_mask, p);
+}
+
+}  // namespace
+
+VCGRA_TARGET void mul_coeff_n(const Fmt& m, const std::uint64_t* a, u64 coeff,
+                              std::uint64_t* out, std::size_t n) {
+  const CoeffMul c(m, coeff);
+  if (!lanes_fit(m) || c.cls != 1) {  // special coefficient: scalar ladder
+    for (std::size_t i = 0; i < n; ++i) out[i] = mul_one_coeff(m, a[i], c);
+    return;
+  }
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __mmask8 lanes =
+        n - i >= 8 ? 0xff : static_cast<__mmask8>((1u << (n - i)) - 1);
+    const __m512i va = v_load(a + i, lanes);
+    const VStage stage = v_mul_coeff(m, va, c);
+    // `out` may alias `a`: snapshot the loaded lanes before storing so
+    // the special-class patch reads originals, not the vector result.
+    __mmask8 patch = _kand_mask8(lanes, _knot_mask8(v_normal(m, va)));
+    alignas(64) u64 ta[8];
+    if (patch) _mm512_store_epi64(ta, va);
+    _mm512_mask_storeu_epi64(out + i, lanes, stage.bits);
+    while (patch) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(patch));
+      out[i + lane] = mul_one_coeff(m, ta[lane], c);
+      patch = static_cast<__mmask8>(patch & (patch - 1));
+    }
+  }
+}
+
+VCGRA_TARGET void mul_n(const Fmt& m, const std::uint64_t* a,
+                        const std::uint64_t* b, std::uint64_t* out,
+                        std::size_t n) {
+  if (!lanes_fit(m)) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = mul_one(m, a[i], b[i]);
+    return;
+  }
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __mmask8 lanes =
+        n - i >= 8 ? 0xff : static_cast<__mmask8>((1u << (n - i)) - 1);
+    const __m512i va = v_load(a + i, lanes);
+    const __m512i vb = v_load(b + i, lanes);
+    const VStage stage = v_mul(m, va, vb);
+    // `out` may alias either input: patch from register snapshots.
+    __mmask8 patch = _kand_mask8(
+        lanes, _knot_mask8(_kand_mask8(v_normal(m, va), v_normal(m, vb))));
+    alignas(64) u64 ta[8], tb[8];
+    if (patch) {
+      _mm512_store_epi64(ta, va);
+      _mm512_store_epi64(tb, vb);
+    }
+    _mm512_mask_storeu_epi64(out + i, lanes, stage.bits);
+    while (patch) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(patch));
+      out[i + lane] = mul_one(m, ta[lane], tb[lane]);
+      patch = static_cast<__mmask8>(patch & (patch - 1));
+    }
+  }
+}
+
+VCGRA_TARGET void add_xor_n(const Fmt& m, const std::uint64_t* a,
+                            const std::uint64_t* b, u64 b_xor,
+                            std::uint64_t* out, std::size_t n) {
+  const __m512i vxor = _mm512_set1_epi64(static_cast<long long>(b_xor));
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __mmask8 lanes =
+        n - i >= 8 ? 0xff : static_cast<__mmask8>((1u << (n - i)) - 1);
+    const __m512i va = v_load(a + i, lanes);
+    const __m512i vb = _mm512_xor_epi64(v_load(b + i, lanes), vxor);
+    const __m512i sum = v_add(m, va, vb);
+    // `out` may alias either input: patch from register snapshots (vb
+    // already carries b_xor, so the scalar redo applies none).
+    __mmask8 patch = _kand_mask8(
+        lanes, _knot_mask8(_kand_mask8(v_normal(m, va), v_normal(m, vb))));
+    alignas(64) u64 ta[8], tb[8];
+    if (patch) {
+      _mm512_store_epi64(ta, va);
+      _mm512_store_epi64(tb, vb);
+    }
+    _mm512_mask_storeu_epi64(out + i, lanes, sum);
+    while (patch) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(patch));
+      out[i + lane] = add_one(m, ta[lane], tb[lane]);
+      patch = static_cast<__mmask8>(patch & (patch - 1));
+    }
+  }
+}
+
+VCGRA_TARGET void axpy_n(const Fmt& m, const std::uint64_t* a,
+                         const std::uint64_t* x, u64 coeff, u64 mul_xor,
+                         std::uint64_t* out, std::size_t n) {
+  const CoeffMul c(m, coeff);
+  if (!lanes_fit(m) || c.cls != 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = add_one(m, a[i], mul_one_coeff(m, x[i], c) ^ mul_xor);
+    }
+    return;
+  }
+  const __m512i vxor = _mm512_set1_epi64(static_cast<long long>(mul_xor));
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __mmask8 lanes =
+        n - i >= 8 ? 0xff : static_cast<__mmask8>((1u << (n - i)) - 1);
+    const __m512i va = v_load(a + i, lanes);
+    const __m512i vx = v_load(x + i, lanes);
+    const VStage mul = v_mul_coeff(m, vx, c);
+    const __m512i prod = _mm512_xor_epi64(mul.bits, vxor);
+    const __m512i sum = v_add(m, va, prod);
+    // Patch: special a/x operands, or a mul that clamped to zero/inf
+    // (the vector add assumes normal operands). `out` may alias an
+    // input, so snapshot the loaded lanes before storing.
+    const __mmask8 ok = _kand_mask8(
+        _kand_mask8(v_normal(m, va), v_normal(m, vx)), mul.res_norm);
+    __mmask8 patch = _kand_mask8(lanes, _knot_mask8(ok));
+    alignas(64) u64 ta[8], tx[8];
+    if (patch) {
+      _mm512_store_epi64(ta, va);
+      _mm512_store_epi64(tx, vx);
+    }
+    _mm512_mask_storeu_epi64(out + i, lanes, sum);
+    while (patch) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(patch));
+      out[i + lane] =
+          add_one(m, ta[lane], mul_one_coeff(m, tx[lane], c) ^ mul_xor);
+      patch = static_cast<__mmask8>(patch & (patch - 1));
+    }
+  }
+}
+
+VCGRA_TARGET void xpay_n(const Fmt& m, const std::uint64_t* x, u64 coeff,
+                         const std::uint64_t* b, u64 b_xor, std::uint64_t* out,
+                         std::size_t n) {
+  const CoeffMul c(m, coeff);
+  if (!lanes_fit(m) || c.cls != 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = add_one(m, mul_one_coeff(m, x[i], c), b[i] ^ b_xor);
+    }
+    return;
+  }
+  const __m512i vxor = _mm512_set1_epi64(static_cast<long long>(b_xor));
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __mmask8 lanes =
+        n - i >= 8 ? 0xff : static_cast<__mmask8>((1u << (n - i)) - 1);
+    const __m512i vx = v_load(x + i, lanes);
+    const __m512i vb = _mm512_xor_epi64(v_load(b + i, lanes), vxor);
+    const VStage mul = v_mul_coeff(m, vx, c);
+    const __m512i sum = v_add(m, mul.bits, vb);
+    // `out` may alias an input: snapshot before storing (vb already
+    // carries b_xor, so the scalar redo applies none).
+    const __mmask8 ok = _kand_mask8(
+        _kand_mask8(v_normal(m, vx), v_normal(m, vb)), mul.res_norm);
+    __mmask8 patch = _kand_mask8(lanes, _knot_mask8(ok));
+    alignas(64) u64 tx[8], tb[8];
+    if (patch) {
+      _mm512_store_epi64(tx, vx);
+      _mm512_store_epi64(tb, vb);
+    }
+    _mm512_mask_storeu_epi64(out + i, lanes, sum);
+    while (patch) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(patch));
+      out[i + lane] = add_one(m, mul_one_coeff(m, tx[lane], c), tb[lane]);
+      patch = static_cast<__mmask8>(patch & (patch - 1));
+    }
+  }
+}
+
+VCGRA_TARGET void from_double_n(const Fmt& m, const double* in,
+                                std::uint64_t* out, std::size_t n) {
+  if (m.wf >= 52) {  // no fraction bits to drop: scalar path
+    for (std::size_t i = 0; i < n; ++i) out[i] = fpcore::encode_one(m, in[i]);
+    return;
+  }
+  const int drop = 52 - m.wf;
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i mask52 = _mm512_set1_epi64((1ll << 52) - 1);
+  const __m512i frac_mask = _mm512_set1_epi64(static_cast<long long>(m.frac_mask));
+  const __m512i exp_mask_v = _mm512_set1_epi64(static_cast<long long>(m.exp_mask));
+  const __m512i hidden = _mm512_set1_epi64(static_cast<long long>(m.hidden));
+  const __m512i sticky_below = _mm512_set1_epi64((1ll << (drop - 1)) - 1);
+
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __mmask8 lanes =
+        n - i >= 8 ? 0xff : static_cast<__mmask8>((1u << (n - i)) - 1);
+    const __m512i d = _mm512_maskz_loadu_epi64(
+        lanes, reinterpret_cast<const long long*>(in + i));
+    const __m512i sign = _mm512_srli_epi64(d, 63);
+    const __m512i dexp =
+        _mm512_and_epi64(_mm512_srli_epi64(d, 52), _mm512_set1_epi64(0x7ff));
+    const __m512i dfrac = _mm512_and_epi64(d, mask52);
+    const __mmask8 exp_all1 =
+        _mm512_cmpeq_epi64_mask(dexp, _mm512_set1_epi64(0x7ff));
+    const __mmask8 exp_zero =
+        _mm512_cmpeq_epi64_mask(dexp, _mm512_setzero_si512());
+    const __mmask8 frac_zero =
+        _mm512_cmpeq_epi64_mask(dfrac, _mm512_setzero_si512());
+    const __mmask8 denormal = _kand_mask8(exp_zero, _knot_mask8(frac_zero));
+
+    // Normal-double path (RNE from 52 to wf fraction bits).
+    __m512i frac = _mm512_srli_epi64(dfrac, drop);
+    const __m512i guard =
+        _mm512_and_epi64(_mm512_srli_epi64(dfrac, drop - 1), one);
+    const __mmask8 sticky_k = _mm512_test_epi64_mask(dfrac, sticky_below);
+    const __m512i sticky = _mm512_maskz_mov_epi64(sticky_k, one);
+    const __m512i round_up = _mm512_and_epi64(
+        guard, _mm512_or_epi64(sticky, _mm512_and_epi64(frac, one)));
+    frac = _mm512_add_epi64(frac, round_up);
+    const __mmask8 frac_carry = _mm512_cmpeq_epi64_mask(frac, hidden);
+    frac = _mm512_maskz_mov_epi64(_knot_mask8(frac_carry), frac);
+    // exponent = (e2 - 1) + bias = dexp - 1023 + bias (+ rounding carry).
+    __m512i exponent = _mm512_add_epi64(
+        dexp, _mm512_set1_epi64(static_cast<long long>(m.bias - 1023)));
+    exponent = _mm512_add_epi64(
+        exponent, _mm512_maskz_mov_epi64(frac_carry, one));
+
+    const __m512i sign_shifted = _mm512_slli_epi64(sign, m.shift);
+    const __mmask8 under =
+        _mm512_cmplt_epi64_mask(exponent, _mm512_setzero_si512());
+    const __mmask8 over = _mm512_cmpgt_epi64_mask(exponent, exp_mask_v);
+
+    const __m512i inf_bits = _mm512_or_epi64(
+        sign_shifted, _mm512_set1_epi64(static_cast<long long>(m.inf_base)));
+    __m512i res = _mm512_or_epi64(
+        _mm512_or_epi64(
+            _mm512_slli_epi64(_mm512_or_epi64(sign, _mm512_set1_epi64(2)),
+                              m.shift),
+            _mm512_slli_epi64(exponent, m.wf)),
+        _mm512_and_epi64(frac, frac_mask));
+    res = _mm512_mask_mov_epi64(res, under, sign_shifted);
+    res = _mm512_mask_mov_epi64(res, over, inf_bits);
+    // Specials: ±0, ±inf, NaN.
+    res = _mm512_mask_mov_epi64(res, _kand_mask8(exp_zero, frac_zero),
+                                sign_shifted);
+    res = _mm512_mask_mov_epi64(res, _kand_mask8(exp_all1, frac_zero),
+                                inf_bits);
+    res = _mm512_mask_mov_epi64(
+        res, _kand_mask8(exp_all1, _knot_mask8(frac_zero)),
+        _mm512_set1_epi64(static_cast<long long>(m.nan_bits)));
+    _mm512_mask_storeu_epi64(out + i, lanes, res);
+
+    // Denormal doubles renormalize through the scalar encoder (rare).
+    __mmask8 patch = _kand_mask8(lanes, denormal);
+    while (patch) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(patch));
+      out[i + lane] = fpcore::encode_one(m, in[i + lane]);
+      patch = static_cast<__mmask8>(patch & (patch - 1));
+    }
+  }
+}
+
+#else  // !VCGRA_SIMD_X86 — portable stubs; available() keeps them unreachable.
+
+bool available() { return false; }
+
+void mul_n(const Fmt& m, const std::uint64_t* a, const std::uint64_t* b,
+           std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = mul_one(m, a[i], b[i]);
+}
+void mul_coeff_n(const Fmt& m, const std::uint64_t* a, u64 coeff,
+                 std::uint64_t* out, std::size_t n) {
+  const CoeffMul c(m, coeff);
+  for (std::size_t i = 0; i < n; ++i) out[i] = mul_one_coeff(m, a[i], c);
+}
+void add_xor_n(const Fmt& m, const std::uint64_t* a, const std::uint64_t* b,
+               u64 b_xor, std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = add_one(m, a[i], b[i] ^ b_xor);
+}
+void axpy_n(const Fmt& m, const std::uint64_t* a, const std::uint64_t* x,
+            u64 coeff, u64 mul_xor, std::uint64_t* out, std::size_t n) {
+  const CoeffMul c(m, coeff);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = add_one(m, a[i], mul_one_coeff(m, x[i], c) ^ mul_xor);
+  }
+}
+void xpay_n(const Fmt& m, const std::uint64_t* x, u64 coeff,
+            const std::uint64_t* b, u64 b_xor, std::uint64_t* out,
+            std::size_t n) {
+  const CoeffMul c(m, coeff);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = add_one(m, mul_one_coeff(m, x[i], c), b[i] ^ b_xor);
+  }
+}
+void from_double_n(const Fmt& m, const double* in, std::uint64_t* out,
+                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = fpcore::encode_one(m, in[i]);
+}
+
+#endif  // VCGRA_SIMD_X86
+
+}  // namespace vcgra::softfloat::simd

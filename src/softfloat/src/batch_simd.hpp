@@ -1,0 +1,38 @@
+// Internal dispatch surface of the AVX-512 batch kernels (batch_simd.cpp).
+//
+// Each function is semantically identical to the scalar loop it replaces
+// in batch.cpp: 8 elements per 512-bit lane group, with special-class
+// lanes (NaN/inf/zero operands, denormal doubles) patched through the
+// shared scalar core so every result stays bit-exact with fpformat.cpp.
+// available() is a cached CPUID probe; callers fall back to the portable
+// loops when it reports false (or for formats the lanes cannot carry,
+// which the implementations check themselves).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fp_core.hpp"
+
+namespace vcgra::softfloat::simd {
+
+/// True when the host executes AVX-512 F/CD/DQ (cached).
+bool available();
+
+void mul_n(const fpcore::Fmt& m, const std::uint64_t* a, const std::uint64_t* b,
+           std::uint64_t* out, std::size_t n);
+void mul_coeff_n(const fpcore::Fmt& m, const std::uint64_t* a,
+                 std::uint64_t coeff, std::uint64_t* out, std::size_t n);
+void add_xor_n(const fpcore::Fmt& m, const std::uint64_t* a,
+               const std::uint64_t* b, std::uint64_t b_xor, std::uint64_t* out,
+               std::size_t n);
+void axpy_n(const fpcore::Fmt& m, const std::uint64_t* a,
+            const std::uint64_t* x, std::uint64_t coeff, std::uint64_t mul_xor,
+            std::uint64_t* out, std::size_t n);
+void xpay_n(const fpcore::Fmt& m, const std::uint64_t* x, std::uint64_t coeff,
+            const std::uint64_t* b, std::uint64_t b_xor, std::uint64_t* out,
+            std::size_t n);
+void from_double_n(const fpcore::Fmt& m, const double* in, std::uint64_t* out,
+                   std::size_t n);
+
+}  // namespace vcgra::softfloat::simd

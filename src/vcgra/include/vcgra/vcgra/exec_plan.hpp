@@ -1,0 +1,173 @@
+// Precompiled execution plans: the steady-state datapath of a compiled
+// overlay, lowered once and executed allocation-free.
+//
+// The cycle-level Simulator re-derives everything from `Compiled` on
+// every run: per-node settings maps, operand lists recovered from the
+// routed nets, hop latencies, a schedule — then streams values through
+// per-node heap vectors of 16-byte FpValues. All of that is invariant
+// for a given specialization, so `ExecPlan::lower` does it exactly once:
+//
+//   * a flat, topologically ordered op tape over dense buffer indices
+//     (pass PEs dissolve into buffer aliases);
+//   * pre-resolved coefficient bits and MAC counts per op;
+//   * the pre-computed pipeline schedule (fill depth; cycles and
+//     fp_op/mac_op totals become closed-form functions of the stream
+//     length);
+//   * the boundary directory (input/output name -> buffer).
+//
+// `PlanExecutor` then runs the tape over raw std::uint64_t encodings in
+// a reusable per-thread arena — zero per-job heap allocation once the
+// arena is warm — processing streams in cache-friendly blocks through
+// the format-specialized batch kernels of softfloat/batch.hpp.
+//
+// Bit-exactness with the legacy Simulator (outputs, cycles, fp_ops,
+// mac_ops, pipeline_depth) is a hard contract across all FP formats; the
+// interpreter stays as the reference oracle and test_exec_plan's
+// differential fuzz enforces the equivalence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vcgra/softfloat/fpformat.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/simulator.hpp"
+
+namespace vcgra::overlay {
+
+struct ExecPlan {
+  /// One tape entry. `a`/`b` and `dst` are dense buffer indices;
+  /// `node`/`src_a` keep DFG provenance for diagnostics only.
+  enum class OpCode : std::uint8_t {
+    kMulCoeff,   // dst[i] = a[i] * coeff_bits
+    kMulStream,  // dst[i] = a[i] * b[i]
+    kAdd,        // dst[i] = a[i] + b[i]
+    kSub,        // dst[i] = a[i] + (b[i] ^ sign_bit)
+    kMac,        // decimating MAC: one emit per `count` samples of a
+    // Fusion peephole: a coefficient-multiply whose only consumer is one
+    // add/sub collapses into that consumer — same two rounding steps,
+    // one fewer stream store/load round trip.
+    kAxpy,       // dst[i] = a[i] + ((b[i] * coeff_bits) ^ xor_mask)
+    kXpay,       // dst[i] = (a[i] * coeff_bits) + (b[i] ^ xor_mask)
+  };
+  struct Op {
+    OpCode code = OpCode::kMulCoeff;
+    std::int32_t dst = -1;
+    std::int32_t a = -1;
+    std::int32_t b = -1;
+    std::uint64_t coeff_bits = 0;
+    std::uint64_t xor_mask = 0;  // kSub/kAxpy/kXpay sign-flip (0 for adds)
+    std::uint32_t count = 1;     // kMac decimation factor
+    std::int32_t mac_slot = -1;  // kMac: index into the executor's state
+    std::int32_t node = -1;      // DFG provenance (diagnostics)
+    std::int32_t src_a = -1;
+    std::int32_t src_b = -1;
+  };
+
+  softfloat::FpFormat format;
+  SimOptions sim;  // latencies the schedule below was computed under
+  std::vector<Op> tape;
+  std::int32_t num_buffers = 0;
+  std::int32_t num_mac_ops = 0;
+  /// Every declared input, keyed by DFG input name (jobs may omit
+  /// streams nobody consumes, exactly like the interpreter).
+  std::map<std::string, std::int32_t> input_buffer_by_name;
+  struct OutputSlot {
+    std::string name;
+    std::int32_t buffer = -1;
+    std::int32_t source_node = -1;  // diagnostics
+  };
+  std::vector<OutputSlot> outputs;  // name-sorted, like RunResult's map
+  /// Pre-computed fill latency (the interpreter's `deepest`), including
+  /// the output-side hops. cycles(L) = pipeline_depth + max(L, 1) - 1.
+  int pipeline_depth = 0;
+
+  /// Lower a specialized overlay into a plan. Throws std::invalid_argument
+  /// on artifacts the interpreter could not execute either (an op shape
+  /// outside the PE repertoire's streaming forms).
+  static ExecPlan lower(const Compiled& compiled, const SimOptions& options = {});
+};
+
+/// Reusable per-thread execution scratch: one word pool for every stream
+/// buffer of a job plus the small per-run bookkeeping vectors. Capacity
+/// only ever grows (geometrically, counted in `Stats::grows`), so a warm
+/// arena serves any same-or-smaller job with zero heap allocation — the
+/// property bench_runtime gate [F] and the arena-reuse tests assert.
+class ExecArena {
+ public:
+  struct MacState {
+    std::uint64_t acc = 0;       // +0 in any format
+    std::uint32_t filled = 0;
+    std::size_t consumed = 0;    // input samples folded so far
+  };
+  struct Stats {
+    std::uint64_t jobs = 0;   // begin_job calls
+    std::uint64_t grows = 0;  // capacity increases (any internal pool)
+    std::size_t capacity_words = 0;
+    std::size_t high_water_words = 0;  // largest single-job word demand
+  };
+
+  /// The calling thread's arena (thread_local storage).
+  static ExecArena& this_thread();
+
+  /// Start a job: reset cursors and size the bookkeeping for `buffers`
+  /// streams and `mac_ops` MAC states.
+  void begin_job(std::size_t buffers, std::size_t mac_ops);
+  /// Guarantee `words` of stable pool storage for this job (called once,
+  /// after the job's buffer lengths are known).
+  void reserve_words(std::size_t words);
+  /// Bump-allocate from the reserved pool (stable until the next
+  /// reserve_words; never grows mid-job).
+  std::uint64_t* take(std::size_t words);
+
+  std::vector<std::size_t>& lengths() { return lengths_; }
+  std::vector<std::size_t>& offsets() { return offsets_; }
+  std::vector<std::size_t>& produced() { return produced_; }
+  std::vector<MacState>& mac_states() { return mac_states_; }
+  std::uint64_t* words() { return pool_.data(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  template <typename T>
+  void ensure(std::vector<T>& vec, std::size_t n);
+
+  std::vector<std::uint64_t> pool_;
+  std::size_t used_ = 0;
+  std::vector<std::size_t> lengths_, offsets_, produced_;
+  std::vector<MacState> mac_states_;
+  Stats stats_;
+};
+
+/// Executes an ExecPlan. Stateless beyond the shared plan handle — safe
+/// to construct per job; the heavy state lives in the per-thread arena.
+class PlanExecutor {
+ public:
+  explicit PlanExecutor(std::shared_ptr<const ExecPlan> plan);
+
+  /// Run on FpValue streams (keyed by DFG input name; equal lengths).
+  /// Bit-identical to Simulator::run on the same Compiled.
+  RunResult run(
+      const std::map<std::string, std::vector<softfloat::FpValue>>& inputs) const;
+
+  /// Run on double streams: one batch encode pass at the boundary, then
+  /// the pure bit datapath. Bit-identical to Simulator::run_doubles.
+  RunResult run_doubles(
+      const std::map<std::string, std::vector<double>>& inputs) const;
+
+  const ExecPlan& plan() const { return *plan_; }
+
+  /// Arena instrumentation for the calling thread (allocation-freedom
+  /// checks in tests and bench_runtime gate [F]).
+  static const ExecArena::Stats& thread_arena_stats() {
+    return ExecArena::this_thread().stats();
+  }
+
+ private:
+  std::shared_ptr<const ExecPlan> plan_;
+};
+
+}  // namespace vcgra::overlay

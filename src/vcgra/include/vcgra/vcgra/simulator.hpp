@@ -24,6 +24,10 @@ struct SimOptions {
   int mul_latency = 3;   // FloPoCo multiplier pipeline depth
   int add_latency = 4;   // FloPoCo adder pipeline depth
   int hop_latency = 1;   // one VSB hop per cycle
+
+  /// Equal options produce identical schedules — what the runtime's
+  /// per-specialization ExecPlan cache keys its reuse check on.
+  bool operator==(const SimOptions&) const = default;
 };
 
 struct RunResult {

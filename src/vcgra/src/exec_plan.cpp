@@ -1,0 +1,546 @@
+#include "vcgra/vcgra/exec_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+#include "vcgra/common/strings.hpp"
+#include "vcgra/softfloat/batch.hpp"
+
+namespace vcgra::overlay {
+
+using softfloat::FpValue;
+
+namespace {
+
+constexpr std::size_t kAbsent = std::numeric_limits<std::size_t>::max();
+
+/// Elements processed per tape sweep: large enough to amortize the
+/// per-op dispatch, small enough that a handful of live stream blocks
+/// stays cache-resident (1024 x 8 B = 8 KiB per buffer).
+constexpr std::size_t kBlockElems = 1024;
+
+}  // namespace
+
+ExecPlan ExecPlan::lower(const Compiled& compiled, const SimOptions& options) {
+  ExecPlan plan;
+  plan.format = compiled.arch.format;
+  plan.sim = options;
+
+  // Reconstruct per-node execution exactly like the interpreter does —
+  // settings by node, operand lists and hop latencies recovered from the
+  // routed nets. Hops are keyed by (from, to, operand): two routed edges
+  // between one node pair (e.g. x*x dual-operand reuse) carry their own
+  // latencies instead of silently overwriting each other.
+  //
+  // This block deliberately duplicates Simulator::run's recovery rather
+  // than sharing a helper: the recovery rules are part of what the
+  // differential suite cross-checks, so a future recovery bug in one
+  // engine fails the suite loudly instead of corrupting both silently.
+  std::map<int, const PeSettings*> pe_settings_of_node;
+  for (const auto& pe : compiled.settings.pes) {
+    if (pe.used) pe_settings_of_node[pe.dfg_node] = &pe;
+  }
+  std::map<std::tuple<int, int, int>, int> hops_between;
+  for (const auto& net : compiled.settings.routes) {
+    const int hops = std::max<int>(0, static_cast<int>(net.hops.size()) - 1);
+    hops_between[{net.from_node, net.to_node, net.to_operand}] = hops;
+  }
+  std::map<int, std::vector<std::pair<int, int>>> operands_of;  // node -> (idx, src)
+  for (const auto& net : compiled.settings.routes) {
+    if (net.to_node >= 0 && pe_settings_of_node.count(net.to_node)) {
+      operands_of[net.to_node].emplace_back(net.to_operand, net.from_node);
+    }
+  }
+  for (auto& [node, list] : operands_of) {
+    std::sort(list.begin(), list.end());
+  }
+
+  const auto hop_of = [&](int from, int to, int operand) {
+    const auto it = hops_between.find({from, to, operand});
+    return it == hops_between.end() ? 0 : it->second;
+  };
+
+  // Dense buffers: declared inputs first, then each value-producing PE.
+  std::map<int, std::int32_t> buffer_of;
+  for (const auto& [name, node] : compiled.input_node_by_name) {
+    buffer_of[node] = plan.num_buffers;
+    plan.input_buffer_by_name[name] = plan.num_buffers++;
+  }
+
+  std::map<int, int> ready_at;  // inputs implicitly ready at cycle 0
+  int deepest = 0;
+  std::vector<int> order;
+  for (const auto& [node, settings] : pe_settings_of_node) order.push_back(node);
+  std::sort(order.begin(), order.end());  // DFG ids are topological
+
+  for (const int node : order) {
+    const PeSettings& pe = *pe_settings_of_node.at(node);
+    const auto& operands = operands_of[node];
+    int start = 0;
+    std::vector<std::int32_t> arg_bufs;
+    std::vector<std::int32_t> arg_srcs;
+    for (const auto& [idx, src] : operands) {
+      const auto it = buffer_of.find(src);
+      if (it == buffer_of.end()) {
+        throw std::invalid_argument(common::strprintf(
+            "ExecPlan: operand stream for node %d missing (src %d)", node, src));
+      }
+      arg_bufs.push_back(it->second);
+      arg_srcs.push_back(src);
+      start = std::max(start,
+                       ready_at[src] + hop_of(src, node, idx) * options.hop_latency);
+    }
+
+    Op op;
+    op.node = node;
+    int latency = 0;
+    switch (pe.op) {
+      case OpKind::kMul:
+        latency = options.mul_latency;
+        if (arg_bufs.size() == 1) {
+          op.code = OpCode::kMulCoeff;
+          op.a = arg_bufs[0];
+          op.src_a = arg_srcs[0];
+          op.coeff_bits = pe.coeff_bits;
+        } else if (arg_bufs.size() == 2) {
+          op.code = OpCode::kMulStream;
+          op.a = arg_bufs[0];
+          op.b = arg_bufs[1];
+          op.src_a = arg_srcs[0];
+          op.src_b = arg_srcs[1];
+        } else {
+          throw std::invalid_argument(
+              "ExecPlan: mul needs one or two stream operands");
+        }
+        break;
+      case OpKind::kAdd:
+      case OpKind::kSub:
+        latency = options.add_latency;
+        if (arg_bufs.size() != 2) {
+          throw std::invalid_argument("ExecPlan: add/sub needs two streams");
+        }
+        op.code = pe.op == OpKind::kAdd ? OpCode::kAdd : OpCode::kSub;
+        op.a = arg_bufs[0];
+        op.b = arg_bufs[1];
+        op.src_a = arg_srcs[0];
+        op.src_b = arg_srcs[1];
+        if (pe.op == OpKind::kSub) {
+          op.xor_mask = std::uint64_t{1}
+                        << (compiled.arch.format.we + compiled.arch.format.wf);
+        }
+        break;
+      case OpKind::kMac:
+        latency = options.mul_latency + options.add_latency;
+        if (arg_bufs.size() != 1) {
+          throw std::invalid_argument("ExecPlan: mac needs one stream operand");
+        }
+        op.code = OpCode::kMac;
+        op.a = arg_bufs[0];
+        op.src_a = arg_srcs[0];
+        op.coeff_bits = pe.coeff_bits;
+        // count == 0 is kept as-is: the interpreter's counter never
+        // matches, so such a PE consumes forever and emits nothing.
+        op.count = pe.count;
+        op.mac_slot = plan.num_mac_ops++;
+        break;
+      case OpKind::kPass:
+        // Pure routing: the node's stream IS its operand's stream. The
+        // PE still occupies a pipeline stage, so it keeps a schedule
+        // entry but dissolves out of the tape entirely.
+        if (arg_bufs.empty()) {
+          throw std::invalid_argument("ExecPlan: pass needs a stream operand");
+        }
+        buffer_of[node] = arg_bufs[0];
+        ready_at[node] = start + 1;
+        deepest = std::max(deepest, ready_at[node]);
+        continue;
+      default:
+        throw std::invalid_argument("ExecPlan: unexpected PE op");
+    }
+    op.dst = plan.num_buffers++;
+    buffer_of[node] = op.dst;
+    plan.tape.push_back(op);
+    ready_at[node] = start + latency;
+    deepest = std::max(deepest, ready_at[node]);
+  }
+
+  for (const auto& [name, node] : compiled.output_node_by_name) {
+    const auto src_it = compiled.output_source.find(node);
+    if (src_it == compiled.output_source.end()) {
+      throw std::invalid_argument("ExecPlan: output without source");
+    }
+    const int src = src_it->second;
+    const auto buf_it = buffer_of.find(src);
+    if (buf_it == buffer_of.end()) {
+      throw std::invalid_argument("ExecPlan: output stream missing");
+    }
+    deepest = std::max(deepest,
+                       ready_at[src] + hop_of(src, node, 0) * options.hop_latency);
+    plan.outputs.push_back({name, buf_it->second, src});
+  }
+  plan.pipeline_depth = deepest;
+
+  // Fusion peephole: a coefficient-multiply whose stream is consumed by
+  // exactly one add/sub (and nothing else — no other op, no output)
+  // folds into that consumer as kAxpy/kXpay. The arithmetic is the
+  // identical two-rounding sequence; only the intermediate buffer's
+  // store/load round trip disappears. The schedule above was computed
+  // before fusion, so cycles/depth accounting is untouched.
+  {
+    std::vector<std::int32_t> producer(
+        static_cast<std::size_t>(plan.num_buffers), -1);
+    for (std::size_t i = 0; i < plan.tape.size(); ++i) {
+      if (plan.tape[i].code == OpCode::kMulCoeff) {
+        producer[static_cast<std::size_t>(plan.tape[i].dst)] =
+            static_cast<std::int32_t>(i);
+      }
+    }
+    std::vector<int> uses(static_cast<std::size_t>(plan.num_buffers), 0);
+    for (const Op& op : plan.tape) {
+      ++uses[static_cast<std::size_t>(op.a)];
+      if (op.b >= 0) ++uses[static_cast<std::size_t>(op.b)];
+    }
+    for (const OutputSlot& slot : plan.outputs) {
+      ++uses[static_cast<std::size_t>(slot.buffer)];
+    }
+    std::vector<bool> erased(plan.tape.size(), false);
+    const auto fusable = [&](std::int32_t buf) {
+      return buf >= 0 && producer[static_cast<std::size_t>(buf)] >= 0 &&
+             !erased[static_cast<std::size_t>(
+                 producer[static_cast<std::size_t>(buf)])] &&
+             uses[static_cast<std::size_t>(buf)] == 1;
+    };
+    for (Op& op : plan.tape) {
+      if (op.code != OpCode::kAdd && op.code != OpCode::kSub) continue;
+      if (fusable(op.b)) {
+        const std::size_t mul_index =
+            static_cast<std::size_t>(producer[static_cast<std::size_t>(op.b)]);
+        const Op& mul = plan.tape[mul_index];
+        erased[mul_index] = true;
+        op.code = OpCode::kAxpy;  // xor_mask (sub's flip) hits the product
+        op.b = mul.a;
+        op.src_b = mul.src_a;
+        op.coeff_bits = mul.coeff_bits;
+      } else if (fusable(op.a)) {
+        const std::size_t mul_index =
+            static_cast<std::size_t>(producer[static_cast<std::size_t>(op.a)]);
+        const Op& mul = plan.tape[mul_index];
+        erased[mul_index] = true;
+        op.code = OpCode::kXpay;  // xor_mask (sub's flip) hits operand b
+        op.a = mul.a;
+        op.src_a = mul.src_a;
+        op.coeff_bits = mul.coeff_bits;
+      }
+    }
+    std::vector<Op> fused_tape;
+    fused_tape.reserve(plan.tape.size());
+    for (std::size_t i = 0; i < plan.tape.size(); ++i) {
+      if (!erased[i]) fused_tape.push_back(plan.tape[i]);
+    }
+    plan.tape = std::move(fused_tape);
+  }
+  return plan;
+}
+
+// --- ExecArena ---------------------------------------------------------------
+
+ExecArena& ExecArena::this_thread() {
+  thread_local ExecArena arena;
+  return arena;
+}
+
+template <typename T>
+void ExecArena::ensure(std::vector<T>& vec, std::size_t n) {
+  if (vec.capacity() < n) {
+    ++stats_.grows;
+    vec.reserve(std::max(n, vec.capacity() * 2));
+  }
+  vec.resize(n);
+}
+
+void ExecArena::begin_job(std::size_t buffers, std::size_t mac_ops) {
+  ++stats_.jobs;
+  used_ = 0;
+  ensure(lengths_, buffers);
+  ensure(offsets_, buffers);
+  ensure(produced_, buffers);
+  ensure(mac_states_, mac_ops);
+  std::fill(lengths_.begin(), lengths_.end(), kAbsent);
+  std::fill(offsets_.begin(), offsets_.end(), std::size_t{0});
+  std::fill(produced_.begin(), produced_.end(), std::size_t{0});
+  std::fill(mac_states_.begin(), mac_states_.end(), MacState{});
+}
+
+void ExecArena::reserve_words(std::size_t words) {
+  stats_.high_water_words = std::max(stats_.high_water_words, words);
+  if (pool_.size() < words) {
+    ++stats_.grows;
+    pool_.resize(std::max(words, pool_.size() * 2));
+  }
+  stats_.capacity_words = pool_.size();
+  used_ = 0;
+}
+
+std::uint64_t* ExecArena::take(std::size_t words) {
+  if (used_ + words > pool_.size()) {
+    throw std::logic_error("ExecArena: job reservation exceeded");
+  }
+  std::uint64_t* out = pool_.data() + used_;
+  used_ += words;
+  return out;
+}
+
+// --- PlanExecutor ------------------------------------------------------------
+
+PlanExecutor::PlanExecutor(std::shared_ptr<const ExecPlan> plan)
+    : plan_(std::move(plan)) {
+  if (!plan_) {
+    throw std::invalid_argument("PlanExecutor: null plan handle");
+  }
+}
+
+namespace {
+
+/// Shared body of run()/run_doubles(): validate names and lengths like
+/// the interpreter, size every stream buffer, reserve the arena once,
+/// seed the inputs with one batch pass, then sweep the tape in blocks.
+/// `seed_one(stream, dst)` encodes/copies one provided stream into its
+/// arena buffer.
+template <typename StreamMap, typename SeedOne>
+RunResult execute_plan(const ExecPlan& plan, const StreamMap& inputs,
+                       SeedOne&& seed_one) {
+  RunResult result;
+
+  // Stream length (first nonzero wins, mismatches throw) — the
+  // interpreter's exact acceptance rules, including unknown names.
+  std::size_t length = 0;
+  for (const auto& [name, stream] : inputs) {
+    if (length == 0) length = stream.size();
+    if (stream.size() != length) {
+      throw std::invalid_argument("PlanExecutor: input stream lengths differ");
+    }
+  }
+  for (const auto& [name, stream] : inputs) {
+    if (!plan.input_buffer_by_name.count(name)) {
+      throw std::invalid_argument("PlanExecutor: unknown input stream '" +
+                                  name + "'");
+    }
+  }
+
+  ExecArena& arena = ExecArena::this_thread();
+  const std::size_t buffers = static_cast<std::size_t>(plan.num_buffers);
+  // Two passes over the shape: first compute every buffer's length (and
+  // the closed-form op totals), then reserve the word pool in one go so
+  // the bump slices stay stable.
+  arena.begin_job(buffers, static_cast<std::size_t>(plan.num_mac_ops));
+  std::vector<std::size_t>& lens = arena.lengths();
+  for (const auto& [name, stream] : inputs) {
+    lens[static_cast<std::size_t>(plan.input_buffer_by_name.at(name))] =
+        stream.size();
+  }
+
+  for (const ExecPlan::Op& op : plan.tape) {
+    const std::size_t la = lens[static_cast<std::size_t>(op.a)];
+    if (la == kAbsent) {
+      throw std::runtime_error(common::strprintf(
+          "PlanExecutor: operand stream for node %d missing (src %d)", op.node,
+          op.src_a));
+    }
+    std::size_t lb = 0;
+    if (op.b >= 0) {
+      lb = lens[static_cast<std::size_t>(op.b)];
+      if (lb == kAbsent) {
+        throw std::runtime_error(common::strprintf(
+            "PlanExecutor: operand stream for node %d missing (src %d)",
+            op.node, op.src_b));
+      }
+    }
+    switch (op.code) {
+      case ExecPlan::OpCode::kMulCoeff:
+        lens[static_cast<std::size_t>(op.dst)] = la;
+        result.fp_ops += la;
+        break;
+      case ExecPlan::OpCode::kMulStream:
+        // The interpreter streams args[0]'s length and indexes into
+        // args[1]; a shorter second operand would read out of bounds
+        // there, so reject it loudly here.
+        if (lb < la) {
+          throw std::runtime_error(
+              "PlanExecutor: mul stream operands shorter than the first");
+        }
+        lens[static_cast<std::size_t>(op.dst)] = la;
+        result.fp_ops += la;
+        break;
+      case ExecPlan::OpCode::kAdd:
+      case ExecPlan::OpCode::kSub:
+        if (la != lb) {
+          throw std::runtime_error(
+              "PlanExecutor: add/sub needs two equal streams");
+        }
+        lens[static_cast<std::size_t>(op.dst)] = la;
+        result.fp_ops += la;
+        break;
+      case ExecPlan::OpCode::kAxpy:
+      case ExecPlan::OpCode::kXpay:
+        // A fused multiply + add: the product stream the interpreter
+        // materializes has operand b's (kAxpy) / operand a's (kXpay)
+        // length, and the add still demands equal streams.
+        if (la != lb) {
+          throw std::runtime_error(
+              "PlanExecutor: add/sub needs two equal streams");
+        }
+        lens[static_cast<std::size_t>(op.dst)] = la;
+        result.fp_ops += 2 * la;
+        break;
+      case ExecPlan::OpCode::kMac:
+        lens[static_cast<std::size_t>(op.dst)] = op.count ? la / op.count : 0;
+        result.fp_ops += 2 * la;
+        result.mac_ops += la;
+        break;
+    }
+  }
+
+  std::size_t total_words = 0;
+  for (std::size_t b = 0; b < buffers; ++b) {
+    if (lens[b] != kAbsent) total_words += lens[b];
+  }
+  arena.reserve_words(total_words);
+
+  std::vector<std::size_t>& offsets = arena.offsets();
+  for (std::size_t b = 0; b < buffers; ++b) {
+    if (lens[b] == kAbsent) continue;
+    offsets[b] = static_cast<std::size_t>(arena.take(lens[b]) - arena.words());
+  }
+
+  // Boundary pass: encode/copy every provided stream into its buffer.
+  for (const auto& [name, stream] : inputs) {
+    const std::size_t buf =
+        static_cast<std::size_t>(plan.input_buffer_by_name.at(name));
+    seed_one(stream, arena.words() + offsets[buf]);
+  }
+
+  // Sweep the tape in cache-friendly blocks. Every buffer tracks how
+  // many elements it holds so far; MAC decimation makes rates differ,
+  // and the carried MacState lets an accumulation straddle blocks.
+  std::vector<std::size_t>& produced = arena.produced();
+  std::vector<ExecArena::MacState>& mac = arena.mac_states();
+  std::uint64_t* const words = arena.words();
+  const softfloat::FpFormat format = plan.format;
+  std::size_t pos = 0;
+  while (pos < length) {
+    pos = std::min(length, pos + kBlockElems);
+    for (const auto& [name, buf] : plan.input_buffer_by_name) {
+      const std::size_t b = static_cast<std::size_t>(buf);
+      if (lens[b] != kAbsent) produced[b] = std::min(lens[b], pos);
+    }
+    for (const ExecPlan::Op& op : plan.tape) {
+      const std::size_t a = static_cast<std::size_t>(op.a);
+      const std::size_t dst = static_cast<std::size_t>(op.dst);
+      if (op.code == ExecPlan::OpCode::kMac) {
+        ExecArena::MacState& state = mac[static_cast<std::size_t>(op.mac_slot)];
+        const std::size_t n = produced[a] - state.consumed;
+        if (n == 0) continue;
+        if (op.count == 0) {  // never emits; the accumulator is unobservable
+          state.consumed = produced[a];
+          continue;
+        }
+        const std::size_t emitted = softfloat::fp_mac_n(
+            format, words + offsets[a] + state.consumed, op.coeff_bits,
+            op.count, words + offsets[dst] + produced[dst], n, &state.acc,
+            &state.filled);
+        state.consumed += n;
+        produced[dst] += emitted;
+        continue;
+      }
+      const std::size_t done = produced[dst];
+      std::size_t avail = produced[a];
+      if (op.b >= 0) {
+        avail = std::min(avail, produced[static_cast<std::size_t>(op.b)]);
+      }
+      const std::size_t n = avail - done;
+      if (n == 0) continue;
+      const std::uint64_t* pa = words + offsets[a] + done;
+      std::uint64_t* pd = words + offsets[dst] + done;
+      switch (op.code) {
+        case ExecPlan::OpCode::kMulCoeff:
+          softfloat::fp_mul_coeff_n(format, pa, op.coeff_bits, pd, n);
+          break;
+        case ExecPlan::OpCode::kMulStream:
+          softfloat::fp_mul_n(
+              format, pa, words + offsets[static_cast<std::size_t>(op.b)] + done,
+              pd, n);
+          break;
+        case ExecPlan::OpCode::kAdd:
+          softfloat::fp_add_n(
+              format, pa, words + offsets[static_cast<std::size_t>(op.b)] + done,
+              pd, n);
+          break;
+        case ExecPlan::OpCode::kSub:
+          softfloat::fp_add_xor_n(
+              format, pa, words + offsets[static_cast<std::size_t>(op.b)] + done,
+              op.xor_mask, pd, n);
+          break;
+        case ExecPlan::OpCode::kAxpy:
+          softfloat::fp_axpy_n(
+              format, pa, words + offsets[static_cast<std::size_t>(op.b)] + done,
+              op.coeff_bits, op.xor_mask, pd, n);
+          break;
+        case ExecPlan::OpCode::kXpay:
+          softfloat::fp_xpay_n(
+              format, pa, op.coeff_bits,
+              words + offsets[static_cast<std::size_t>(op.b)] + done,
+              op.xor_mask, pd, n);
+          break;
+        case ExecPlan::OpCode::kMac:
+          break;  // handled above
+      }
+      produced[dst] = avail;
+    }
+  }
+
+  // Materialize the result streams (the only per-job allocations: the
+  // returned RunResult itself).
+  for (const ExecPlan::OutputSlot& slot : plan.outputs) {
+    const std::size_t buf = static_cast<std::size_t>(slot.buffer);
+    if (lens[buf] == kAbsent) {
+      throw std::runtime_error("PlanExecutor: output stream missing");
+    }
+    std::vector<FpValue> out(lens[buf]);
+    const std::uint64_t* p = words + offsets[buf];
+    FpValue* q = out.data();
+    for (std::size_t i = 0; i < lens[buf]; ++i) q[i] = FpValue(format, p[i]);
+    result.outputs.emplace(slot.name, std::move(out));
+  }
+
+  result.pipeline_depth = plan.pipeline_depth;
+  result.cycles = static_cast<std::uint64_t>(plan.pipeline_depth) +
+                  (length > 0 ? length - 1 : 0);
+  return result;
+}
+
+}  // namespace
+
+RunResult PlanExecutor::run(
+    const std::map<std::string, std::vector<FpValue>>& inputs) const {
+  return execute_plan(*plan_, inputs,
+                      [](const std::vector<FpValue>& stream, std::uint64_t* dst) {
+                        for (std::size_t i = 0; i < stream.size(); ++i) {
+                          dst[i] = stream[i].bits();
+                        }
+                      });
+}
+
+RunResult PlanExecutor::run_doubles(
+    const std::map<std::string, std::vector<double>>& inputs) const {
+  const softfloat::FpFormat format = plan_->format;
+  return execute_plan(*plan_, inputs,
+                      [format](const std::vector<double>& stream,
+                               std::uint64_t* dst) {
+                        softfloat::fp_from_double_n(format, stream.data(), dst,
+                                                    stream.size());
+                      });
+}
+
+}  // namespace vcgra::overlay

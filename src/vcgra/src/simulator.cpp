@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <tuple>
 
 #include "vcgra/common/strings.hpp"
+#include "vcgra/softfloat/batch.hpp"
 
 namespace vcgra::overlay {
 
@@ -37,9 +39,11 @@ RunResult Simulator::run(
     }
   }
 
-  // Values per DFG node id.
-  std::map<int, std::vector<FpValue>> streams;
-  std::map<int, FpValue> constants;
+  // Values per DFG node id: input streams are referenced in place (no
+  // copy per job); PE outputs land in `computed` and are viewed through
+  // the same directory.
+  std::map<int, const std::vector<FpValue>*> streams;
+  std::map<int, std::vector<FpValue>> computed;
   std::map<int, int> ready_at;  // schedule: cycle the node's output is valid
 
   // Reconstruct per-node execution from Compiled: nodes occupying PEs are
@@ -49,12 +53,19 @@ RunResult Simulator::run(
   for (const auto& pe : compiled.settings.pes) {
     if (pe.used) pe_settings_of_node[pe.dfg_node] = &pe;
   }
-  // Hop latency per (from,to,operand).
-  std::map<std::pair<int, int>, int> hops_between;
+  // Hop latency per (from, to, operand). The operand belongs in the key:
+  // two routed edges between one node pair (x*x-style dual-operand
+  // reuse) carry independent paths, and collapsing them to the pair
+  // would let one silently overwrite the other's latency.
+  std::map<std::tuple<int, int, int>, int> hops_between;
   for (const auto& net : compiled.settings.routes) {
     const int hops = std::max<int>(0, static_cast<int>(net.hops.size()) - 1);
-    hops_between[{net.from_node, net.to_node}] = hops;
+    hops_between[{net.from_node, net.to_node, net.to_operand}] = hops;
   }
+  const auto hop_of = [&](int from, int to, int operand) {
+    const auto it = hops_between.find({from, to, operand});
+    return it == hops_between.end() ? 0 : it->second;
+  };
 
   // Operand lists are not stored in Compiled directly; recover them from
   // routes (from_node -> to_node with operand index).
@@ -80,7 +91,7 @@ RunResult Simulator::run(
     if (it == compiled.input_node_by_name.end()) {
       throw std::invalid_argument("Simulator: unknown input stream '" + name + "'");
     }
-    streams[it->second] = stream;
+    streams[it->second] = &stream;
     ready_at[it->second] = 0;
   }
 
@@ -101,9 +112,9 @@ RunResult Simulator::run(
         throw std::runtime_error(common::strprintf(
             "Simulator: operand stream for node %d missing (src %d)", node, src));
       }
-      args.push_back(&sit->second);
-      const int hop = hops_between.count({src, node}) ? hops_between[{src, node}] : 0;
-      start = std::max(start, ready_at[src] + hop * options_.hop_latency);
+      args.push_back(sit->second);
+      start = std::max(start,
+                       ready_at[src] + hop_of(src, node, idx) * options_.hop_latency);
     }
 
     std::vector<FpValue> out;
@@ -118,6 +129,14 @@ RunResult Simulator::run(
             ++result.fp_ops;
           }
         } else {
+          // A second operand shorter than the first (a decimated stream
+          // routed into a mul) was an out-of-bounds read; reject it the
+          // way the plan executor does.
+          if (args.size() < 2 || args[1]->size() < args[0]->size()) {
+            throw std::runtime_error(
+                "Simulator: mul stream operands shorter than the first");
+          }
+          out.reserve(args[0]->size());
           for (std::size_t i = 0; i < args[0]->size(); ++i) {
             out.push_back(softfloat::fp_mul((*args[0])[i], (*args[1])[i]));
             ++result.fp_ops;
@@ -131,6 +150,7 @@ RunResult Simulator::run(
         if (args.size() != 2 || args[0]->size() != args[1]->size()) {
           throw std::runtime_error("Simulator: add/sub needs two equal streams");
         }
+        out.reserve(args[0]->size());
         for (std::size_t i = 0; i < args[0]->size(); ++i) {
           FpValue rhs = (*args[1])[i];
           if (pe.op == OpKind::kSub) {
@@ -146,6 +166,7 @@ RunResult Simulator::run(
         latency = options_.mul_latency + options_.add_latency;
         FpValue acc = FpValue::zero(format);
         int filled = 0;
+        out.reserve(args[0]->size() / std::max<std::uint32_t>(1, pe.count));
         for (const FpValue& x : *args[0]) {
           acc = softfloat::fp_mac(acc, x, coeff);
           result.fp_ops += 2;
@@ -166,7 +187,9 @@ RunResult Simulator::run(
       default:
         throw std::runtime_error("Simulator: unexpected PE op");
     }
-    streams[node] = std::move(out);
+    std::vector<FpValue>& slot = computed[node];
+    slot = std::move(out);
+    streams[node] = &slot;
     ready_at[node] = start + latency;
     deepest = std::max(deepest, ready_at[node]);
   }
@@ -178,9 +201,9 @@ RunResult Simulator::run(
     if (sit == streams.end()) {
       throw std::runtime_error("Simulator: output stream missing");
     }
-    result.outputs[name] = sit->second;
-    const int hop = hops_between.count({src, node}) ? hops_between[{src, node}] : 0;
-    deepest = std::max(deepest, ready_at[src] + hop * options_.hop_latency);
+    result.outputs[name] = *sit->second;
+    deepest = std::max(deepest,
+                       ready_at[src] + hop_of(src, node, 0) * options_.hop_latency);
   }
 
   result.pipeline_depth = deepest;
@@ -196,7 +219,15 @@ RunResult Simulator::run_doubles(
   for (const auto& [name, stream] : inputs) {
     std::vector<FpValue>& out = converted[name];
     out.reserve(stream.size());
-    for (const double v : stream) out.push_back(FpValue::from_double(format, v));
+    // One reserved pass over the contiguous double buffer. Deliberately
+    // the scalar FpValue::from_double, NOT softfloat/batch's bit-level
+    // encoder: this interpreter is the reference oracle the plan
+    // executor is differentially tested against, so its boundary must
+    // stay independent of the optimized conversion code under test
+    // (test_exec_plan fuzzes encoder == from_double separately).
+    for (const double v : stream) {
+      out.push_back(FpValue::from_double(format, v));
+    }
   }
   return run(converted);
 }

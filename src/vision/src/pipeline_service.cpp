@@ -1,12 +1,14 @@
 #include "vcgra/vision/pipeline_service.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <future>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "vcgra/common/strings.hpp"
+#include "vcgra/softfloat/batch.hpp"
 #include "vcgra/vcgra/dfg.hpp"
 #include "vcgra/vision/filters.hpp"
 
@@ -97,9 +99,11 @@ DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
     futures.push_back(service.submit(std::move(request)));
   }
 
-  // Fold the groups' partial responses in group order.
-  using softfloat::FpValue;
-  std::vector<FpValue> acc(pixels, FpValue::zero(arch.format));
+  // Fold the groups' partial responses in group order — on raw bit
+  // buffers through the batch adder (bit-identical to the scalar fp_add
+  // fold), with one batch decode pass at the image boundary.
+  std::vector<std::uint64_t> acc(pixels, 0);
+  std::vector<std::uint64_t> partial(pixels, 0);
   bool first_group = true;
   for (auto& future : futures) {
     const runtime::JobResult job = future.get();
@@ -113,14 +117,18 @@ DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
     if (it == job.run.outputs.end() || it->second.size() != pixels) {
       throw std::runtime_error("convolve_overlay_dcs: malformed job output");
     }
-    for (std::size_t p = 0; p < pixels; ++p) {
-      acc[p] = first_group ? it->second[p]
-                           : softfloat::fp_add(acc[p], it->second[p]);
+    std::uint64_t* dst = first_group ? acc.data() : partial.data();
+    for (std::size_t p = 0; p < pixels; ++p) dst[p] = it->second[p].bits();
+    if (!first_group) {
+      softfloat::fp_add_n(arch.format, acc.data(), partial.data(), acc.data(),
+                          pixels);
     }
     first_group = false;
   }
+  std::vector<double> decoded(pixels);
+  softfloat::fp_to_double_n(arch.format, acc.data(), decoded.data(), pixels);
   for (std::size_t p = 0; p < pixels; ++p) {
-    result.output.data()[p] = static_cast<float>(acc[p].to_double());
+    result.output.data()[p] = static_cast<float>(decoded[p]);
   }
   return result;
 }

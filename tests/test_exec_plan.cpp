@@ -1,0 +1,673 @@
+// Execution-plan layer: differential fuzz against the legacy
+// interpreter, conversion/batch-kernel fuzz against the scalar
+// softfloat oracle, arena reuse, plan caching, and the dual-edge hop
+// regression.
+//
+// The contract under test (exec_plan.hpp): PlanExecutor is bit-identical
+// to overlay::Simulator — outputs, cycles, fp_ops, mac_ops,
+// pipeline_depth — for every DFG shape, FP format and grid size. The
+// interpreter deliberately computes through the scalar FpValue
+// arithmetic and FpValue::from_double, so these differential runs also
+// cross-check the batch (and AVX-512) kernels against the original
+// implementations rather than against themselves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vcgra/common/rng.hpp"
+#include "vcgra/common/strings.hpp"
+#include "vcgra/runtime/service.hpp"
+#include "vcgra/softfloat/batch.hpp"
+#include "vcgra/softfloat/fpformat.hpp"
+#include "vcgra/vcgra/compiler.hpp"
+#include "vcgra/vcgra/dfg.hpp"
+#include "vcgra/vcgra/exec_plan.hpp"
+#include "vcgra/vcgra/simulator.hpp"
+
+namespace ov = vcgra::overlay;
+namespace sf = vcgra::softfloat;
+using sf::FpFormat;
+using sf::FpValue;
+
+namespace {
+
+/// Random DFG over mul/add/sub/pass plus terminal MAC reductions:
+/// 1-3 inputs, 0-2 params, 3-12 streaming compute nodes wired to
+/// arbitrary earlier value nodes (same-node operand pairs — the dual
+/// routed edge case — and fan-out arise naturally). MAC nodes decimate,
+/// so they are emitted as sinks only; every unconsumed node becomes an
+/// output.
+ov::Dfg random_dfg(std::uint64_t seed) {
+  vcgra::common::Rng rng(seed);
+  ov::Dfg dfg;
+  std::vector<int> streams;
+  std::vector<int> params;
+  std::vector<int> macs;
+
+  const int num_inputs = static_cast<int>(1 + rng.next_below(3));
+  for (int i = 0; i < num_inputs; ++i) {
+    streams.push_back(dfg.add_input(vcgra::common::strprintf("x%d", i)));
+  }
+  const int num_params = static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < num_params; ++i) {
+    params.push_back(dfg.add_param(vcgra::common::strprintf("c%d", i),
+                                   8.0 * rng.next_double() - 4.0));
+  }
+
+  const auto pick_stream = [&]() {
+    return streams[rng.next_below(streams.size())];
+  };
+  const int num_ops = static_cast<int>(3 + rng.next_below(10));
+  for (int i = 0; i < num_ops; ++i) {
+    const std::string name = vcgra::common::strprintf("n%d", i);
+    const double roll = rng.next_double();
+    int node;
+    if (roll < 0.3) {
+      const int a = pick_stream();
+      if (!params.empty() && rng.next_bool(0.4)) {
+        node = dfg.add_op(ov::OpKind::kMul, name,
+                          {a, params[rng.next_below(params.size())]});
+      } else {
+        node = dfg.add_op(ov::OpKind::kMul, name, {a, pick_stream()});
+      }
+    } else if (roll < 0.55) {
+      node = dfg.add_op(ov::OpKind::kAdd, name, {pick_stream(), pick_stream()});
+    } else if (roll < 0.75) {
+      node = dfg.add_op(ov::OpKind::kSub, name, {pick_stream(), pick_stream()});
+    } else if (roll < 0.88 || params.empty()) {
+      node = dfg.add_op(ov::OpKind::kPass, name, {pick_stream()});
+    } else {
+      // Decimating MAC: a sink (its output stream is shorter than its
+      // input, so it must not feed an elementwise op).
+      node = dfg.add_op(ov::OpKind::kMac, name,
+                        {pick_stream(), params[rng.next_below(params.size())]},
+                        static_cast<int>(2 + rng.next_below(5)));
+      macs.push_back(node);
+      continue;
+    }
+    streams.push_back(node);
+  }
+
+  std::vector<bool> consumed(dfg.nodes().size(), false);
+  for (const auto& node : dfg.nodes()) {
+    for (const int arg : node.args) consumed[static_cast<std::size_t>(arg)] = true;
+  }
+  int out = 0;
+  for (std::size_t i = 0; i < dfg.nodes().size(); ++i) {
+    const ov::OpKind kind = dfg.nodes()[i].kind;
+    const bool compute = kind != ov::OpKind::kInput &&
+                         kind != ov::OpKind::kParam && kind != ov::OpKind::kOutput;
+    if (compute && !consumed[i]) {
+      dfg.add_output(vcgra::common::strprintf("o%d", out++),
+                     static_cast<int>(i));
+    }
+  }
+  dfg.validate();
+  return dfg;
+}
+
+/// Random operand over the full encoding space: normals across the whole
+/// exponent range plus zeros, infinities and NaNs — the special-class
+/// mix that forces the SIMD kernels through their scalar patch lanes.
+FpValue random_operand(FpFormat f, vcgra::common::Rng& rng) {
+  const double roll = rng.next_double();
+  if (roll < 0.06) return FpValue::zero(f, rng.next_bool());
+  if (roll < 0.10) return FpValue::infinity(f, rng.next_bool());
+  if (roll < 0.13) return FpValue::nan(f);
+  return FpValue::from_fields(f, rng.next_bool(), rng() & f.exp_mask(),
+                              rng() & f.frac_mask());
+}
+
+void expect_identical(const ov::RunResult& legacy, const ov::RunResult& plan) {
+  EXPECT_EQ(legacy.cycles, plan.cycles);
+  EXPECT_EQ(legacy.fp_ops, plan.fp_ops);
+  EXPECT_EQ(legacy.mac_ops, plan.mac_ops);
+  EXPECT_EQ(legacy.pipeline_depth, plan.pipeline_depth);
+  ASSERT_EQ(legacy.outputs.size(), plan.outputs.size());
+  for (const auto& [name, stream] : legacy.outputs) {
+    const auto it = plan.outputs.find(name);
+    ASSERT_NE(it, plan.outputs.end()) << "missing output " << name;
+    ASSERT_EQ(it->second.size(), stream.size()) << "output " << name;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      ASSERT_EQ(it->second[i].bits(), stream[i].bits())
+          << "output " << name << " sample " << i;
+    }
+  }
+}
+
+/// One differential case: compile once, run the interpreter and the plan
+/// executor on identical specials-laden streams, demand bit identity.
+void run_case(std::uint64_t seed, FpFormat format, int grid,
+              std::size_t samples) {
+  SCOPED_TRACE(vcgra::common::strprintf(
+      "reproduce with: random_dfg(%llu), fp(%d,%d), %dx%d grid",
+      static_cast<unsigned long long>(seed), format.we, format.wf, grid, grid));
+  const ov::Dfg dfg = random_dfg(seed);
+
+  ov::OverlayArch arch;
+  arch.rows = grid;
+  arch.cols = grid;
+  arch.format = format;
+  const ov::Compiled compiled = ov::compile(dfg, arch, seed);
+
+  vcgra::common::Rng rng(seed ^ 0xd1a7ULL);
+  std::map<std::string, std::vector<FpValue>> inputs;
+  for (const int id : dfg.inputs()) {
+    std::vector<FpValue>& stream =
+        inputs[dfg.nodes()[static_cast<std::size_t>(id)].name];
+    stream.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      stream.push_back(random_operand(format, rng));
+    }
+  }
+
+  const ov::Simulator interpreter(compiled);
+  const ov::RunResult legacy = interpreter.run(inputs);
+
+  const ov::PlanExecutor executor(
+      std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(compiled)));
+  const ov::RunResult plan = executor.run(inputs);
+  expect_identical(legacy, plan);
+}
+
+std::map<std::string, std::vector<double>> double_streams(
+    const std::vector<std::string>& names, std::size_t length, double phase) {
+  std::map<std::string, std::vector<double>> inputs;
+  int k = 0;
+  for (const std::string& name : names) {
+    std::vector<double>& s = inputs[name];
+    s.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      s.push_back((static_cast<double>(i % 257) / 64.0 - 2.0) *
+                  (k % 2 ? -0.75 : 1.0) + phase);
+    }
+    ++k;
+  }
+  return inputs;
+}
+
+}  // namespace
+
+// --- differential fuzz -------------------------------------------------------
+
+// >= 200 seeded random DFGs x 3 FP formats x 2 grid sizes, specials
+// included, streams long enough (48) to drive the SIMD lanes and their
+// scalar patch paths. Failures print the seed via SCOPED_TRACE.
+TEST(ExecPlanDifferential, FuzzBitExactAcrossFormatsAndGrids) {
+  const FpFormat formats[] = {FpFormat{4, 7}, FpFormat::half_like(),
+                              FpFormat::paper()};
+  const int grids[] = {4, 6};
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    for (const FpFormat& format : formats) {
+      for (const int grid : grids) {
+        run_case(seed, format, grid, 48);
+      }
+    }
+  }
+}
+
+// Decimating MAC: partial tail accumulation is dropped by both engines,
+// block-boundary straddling included (length chosen off the executor's
+// block size on purpose elsewhere; here taps straddle emit boundaries).
+TEST(ExecPlanDifferential, MacDecimationAndTail) {
+  const FpFormat format = FpFormat::half_like();
+  for (const int taps : {3, 6, 7}) {
+    const ov::Dfg dfg = ov::make_streaming_mac_kernel(0.8125, taps);
+    ov::OverlayArch arch;
+    arch.format = format;
+    const ov::Compiled compiled = ov::compile(dfg, arch, 17);
+    const ov::Simulator interpreter(compiled);
+    const ov::PlanExecutor executor(
+        std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(compiled)));
+    for (const std::size_t samples : {std::size_t{0}, std::size_t{5},
+                                      std::size_t{24}, std::size_t{100}}) {
+      SCOPED_TRACE(vcgra::common::strprintf("taps=%d n=%zu", taps, samples));
+      const auto inputs = double_streams({"x"}, samples, 0.25);
+      expect_identical(interpreter.run_doubles(inputs),
+                       executor.run_doubles(inputs));
+    }
+  }
+}
+
+// Regression (PR 5 bugfix): two routed edges between one node pair —
+// x*x-style dual-operand reuse — carry independent hop counts. The old
+// (from,to)-keyed map let the second route overwrite the first's
+// latency; keying by (from,to,operand) must schedule against the slower
+// edge in both engines.
+TEST(ExecPlanDifferential, DualEdgeHopLatencyRegression) {
+  ov::OverlayArch arch;
+  arch.rows = 2;
+  arch.cols = 2;
+  ov::Compiled compiled;
+  compiled.arch = arch;
+  compiled.settings.pes.resize(4);
+  ov::PeSettings& pe = compiled.settings.pes[0];
+  pe.used = true;
+  pe.op = ov::OpKind::kMul;
+  pe.dfg_node = 1;
+  // Operand 0 rides a 4-hop detour, operand 1 connects directly. Before
+  // the fix the direct route silently overwrote the detour's latency.
+  ov::RoutedNet slow;
+  slow.from_node = 0;
+  slow.to_node = 1;
+  slow.to_operand = 0;
+  slow.hops = {{0, 0}, {0, 1}, {1, 1}, {1, 0}, {0, 0}};
+  ov::RoutedNet fast;
+  fast.from_node = 0;
+  fast.to_node = 1;
+  fast.to_operand = 1;
+  fast.hops = {{0, 0}};
+  compiled.settings.routes = {slow, fast};
+  compiled.pe_of_node = {-1, 0, -1};
+  compiled.input_node_by_name["x"] = 0;
+  compiled.output_node_by_name["y"] = 2;
+  compiled.output_source[2] = 1;
+
+  const auto inputs = double_streams({"x"}, 48, 0.0);
+  const ov::SimOptions options;  // mul_latency 3, hop_latency 1
+  const ov::Simulator interpreter(compiled, options);
+  const ov::RunResult legacy = interpreter.run_doubles(inputs);
+  // start = max(4 hops, 0 hops) * 1 + mul_latency = 7.
+  EXPECT_EQ(legacy.pipeline_depth, 7);
+  EXPECT_EQ(legacy.cycles, 7u + 47u);
+
+  const ov::PlanExecutor executor(std::make_shared<const ov::ExecPlan>(
+      ov::ExecPlan::lower(compiled, options)));
+  expect_identical(legacy, executor.run_doubles(inputs));
+
+  // And the squares themselves are right (x*x via the dual edge).
+  const FpFormat format = arch.format;
+  const auto& y = legacy.outputs.at("y");
+  for (std::size_t i = 0; i < 8; ++i) {
+    const FpValue x = FpValue::from_double(format, inputs.at("x")[i]);
+    EXPECT_EQ(y[i].bits(), sf::fp_mul(x, x).bits()) << "sample " << i;
+  }
+}
+
+// --- arena reuse -------------------------------------------------------------
+
+TEST(ExecPlanArena, ConsecutiveJobsReuseWarmArena) {
+  const ov::Compiled compiled = ov::compile_kernel(
+      "input a; input b;\nparam c = 1.5;\nt = mul(b, c);\ny = add(a, t);\n"
+      "output y;\n",
+      ov::OverlayArch{});
+  const ov::PlanExecutor executor(
+      std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(compiled)));
+
+  // Warm-up at the largest length this test uses.
+  executor.run_doubles(double_streams({"a", "b"}, 4096, 0.0));
+  const auto warm = ov::PlanExecutor::thread_arena_stats();
+
+  // Same-size and smaller jobs must not allocate at all.
+  executor.run_doubles(double_streams({"a", "b"}, 4096, 1.0));
+  executor.run_doubles(double_streams({"a", "b"}, 1024, 2.0));
+  executor.run_doubles(double_streams({"a", "b"}, 4096, 3.0));
+  const auto after = ov::PlanExecutor::thread_arena_stats();
+  EXPECT_EQ(after.grows, warm.grows);
+  EXPECT_EQ(after.capacity_words, warm.capacity_words);
+  EXPECT_EQ(after.jobs, warm.jobs + 3);
+
+  // A larger job may grow the pool — once — and the new capacity then
+  // serves repeats without further allocation.
+  executor.run_doubles(double_streams({"a", "b"}, 16384, 0.0));
+  const auto grown = ov::PlanExecutor::thread_arena_stats();
+  EXPECT_GT(grown.capacity_words, after.capacity_words);
+  executor.run_doubles(double_streams({"a", "b"}, 16384, 1.0));
+  EXPECT_EQ(ov::PlanExecutor::thread_arena_stats().grows, grown.grows);
+}
+
+TEST(ExecPlanArena, ConcurrentJobsAcrossThePool) {
+  // Per-thread arenas: concurrent jobs of mixed lengths across the
+  // executor pool stay bit-identical to a single-thread reference.
+  const std::string kernel =
+      "input a; input b;\nparam c = 2.5;\nt = mul(b, c);\ny = add(a, t);\n"
+      "output y;\n";
+  const auto run_jobs = [&](int threads) {
+    vcgra::runtime::ServiceOptions options;
+    options.threads = threads;
+    vcgra::runtime::OverlayService service(options);
+    std::vector<std::future<vcgra::runtime::JobResult>> futures;
+    for (int j = 0; j < 24; ++j) {
+      vcgra::runtime::JobRequest request;
+      request.kernel_text = kernel;
+      request.inputs =
+          double_streams({"a", "b"}, 256 << (j % 4), 0.125 * j);
+      futures.push_back(service.submit(std::move(request)));
+    }
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (auto& future : futures) {
+      const vcgra::runtime::JobResult result = future.get();
+      EXPECT_TRUE(result.plan_executed);
+      for (const auto& [name, stream] : result.run.outputs) {
+        for (const FpValue& value : stream) {
+          hash ^= value.bits();
+          hash *= 0x100000001b3ULL;
+        }
+      }
+    }
+    return hash;
+  };
+  EXPECT_EQ(run_jobs(1), run_jobs(4));
+}
+
+// --- plan caching / service integration --------------------------------------
+
+TEST(ExecPlanService, PlansAreLoweredOncePerSpecialization) {
+  vcgra::runtime::ServiceOptions options;
+  options.threads = 1;
+  vcgra::runtime::OverlayService service(options);
+  const std::string kernel =
+      "input a;\nparam c = 1.25;\ny = mul(a, c);\noutput y;\n";
+  for (int r = 0; r < 3; ++r) {
+    vcgra::runtime::JobRequest request;
+    request.kernel_text = kernel;
+    request.inputs = double_streams({"a"}, 64, 0.5 * r);
+    service.run(std::move(request));
+  }
+  auto stats = service.stats().cache;
+  EXPECT_EQ(stats.plans_built, 1u);
+  EXPECT_EQ(stats.plan_hits, 2u);
+
+  // New coefficients = new specialization = one more lowering.
+  vcgra::runtime::JobRequest request;
+  request.kernel_text = kernel;
+  request.params["c"] = 3.5;
+  request.inputs = double_streams({"a"}, 64, 0.0);
+  service.run(std::move(request));
+  stats = service.stats().cache;
+  EXPECT_EQ(stats.plans_built, 2u);
+}
+
+TEST(ExecPlanService, EnginesBitIdenticalThroughTheService) {
+  // The same job mix through a plan-executor service and a legacy
+  // interpreter service: identical outputs, cycles and op counts.
+  const auto run_mix = [](bool use_plan) {
+    vcgra::runtime::ServiceOptions options;
+    options.threads = 2;
+    options.use_plan_executor = use_plan;
+    vcgra::runtime::OverlayService service(options);
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (int j = 0; j < 12; ++j) {
+      vcgra::runtime::JobRequest request;
+      // Mixed shapes, non-canonical names included (boundary renames).
+      if (j % 3 == 0) {
+        request.kernel_text =
+            "input left; input right;\nparam gain = 1.125;\n"
+            "scaled = mul(right, gain);\nsum = sub(left, scaled);\n"
+            "output sum;\n";
+        request.inputs = double_streams({"left", "right"}, 100, 0.25 * j);
+      } else if (j % 3 == 1) {
+        request.kernel_text =
+            "input x;\nparam c = 0.9;\ny = mac(x, c, 4);\noutput y;\n";
+        request.inputs = double_streams({"x"}, 96, 0.25 * j);
+      } else {
+        request.kernel_text =
+            "input a; input b;\nt0 = mul(a, b);\nt1 = add(t0, a);\n"
+            "y = add(t1, b);\noutput y;\n";
+        request.inputs = double_streams({"a", "b"}, 80, 0.25 * j);
+      }
+      const vcgra::runtime::JobResult result = service.run(std::move(request));
+      EXPECT_EQ(result.plan_executed, use_plan);
+      hash ^= result.run.cycles;
+      hash *= 0x100000001b3ULL;
+      hash ^= result.run.fp_ops;
+      hash *= 0x100000001b3ULL;
+      hash ^= result.run.mac_ops;
+      hash *= 0x100000001b3ULL;
+      for (const auto& [name, stream] : result.run.outputs) {
+        for (const FpValue& value : stream) {
+          hash ^= value.bits();
+          hash *= 0x100000001b3ULL;
+        }
+      }
+    }
+    return hash;
+  };
+  EXPECT_EQ(run_mix(true), run_mix(false));
+}
+
+// --- error behavior ----------------------------------------------------------
+
+TEST(ExecPlanErrors, MirrorsInterpreterAcceptanceRules) {
+  const ov::Compiled compiled = ov::compile_kernel(
+      "input a; input b;\ny = add(a, b);\noutput y;\n", ov::OverlayArch{});
+  const ov::Simulator interpreter(compiled);
+  const ov::PlanExecutor executor(
+      std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(compiled)));
+
+  std::map<std::string, std::vector<double>> unknown{
+      {"a", {1.0}}, {"b", {1.0}}, {"zz", {1.0}}};
+  EXPECT_THROW(interpreter.run_doubles(unknown), std::invalid_argument);
+  EXPECT_THROW(executor.run_doubles(unknown), std::invalid_argument);
+
+  std::map<std::string, std::vector<double>> ragged{{"a", {1.0, 2.0}},
+                                                    {"b", {1.0}}};
+  EXPECT_THROW(interpreter.run_doubles(ragged), std::invalid_argument);
+  EXPECT_THROW(executor.run_doubles(ragged), std::invalid_argument);
+
+  std::map<std::string, std::vector<double>> missing{{"a", {1.0, 2.0}}};
+  EXPECT_THROW(interpreter.run_doubles(missing), std::runtime_error);
+  EXPECT_THROW(executor.run_doubles(missing), std::runtime_error);
+
+  // A decimated (MAC) stream feeding a two-stream mul: the product
+  // stream is shorter than the other operand, which used to be an
+  // out-of-bounds read in the interpreter — both engines now reject it.
+  const ov::Compiled short_mul = ov::compile_kernel(
+      "input x;\nparam c = 0.5;\nt = mac(x, c, 2);\ny = mul(x, t);\n"
+      "output y;\n",
+      ov::OverlayArch{});
+  const ov::Simulator short_interpreter(short_mul);
+  const ov::PlanExecutor short_executor(
+      std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(short_mul)));
+  const auto streams = double_streams({"x"}, 8, 0.0);
+  EXPECT_THROW(short_interpreter.run_doubles(streams), std::runtime_error);
+  EXPECT_THROW(short_executor.run_doubles(streams), std::runtime_error);
+}
+
+// --- conversion fuzz ---------------------------------------------------------
+
+// The bit-level encoder/decoder must be indistinguishable from the
+// scalar FpValue boundary across the entire double space — including
+// denormals, specials and rounding-carry boundaries — for every format.
+TEST(BatchConversion, EncodeDecodeMatchScalarOracle) {
+  const FpFormat formats[] = {FpFormat{4, 7}, FpFormat::half_like(),
+                              FpFormat::paper(), FpFormat::single_like()};
+  vcgra::common::Rng rng(0xc0de);
+  for (const FpFormat& format : formats) {
+    SCOPED_TRACE(vcgra::common::strprintf("fp(%d,%d)", format.we, format.wf));
+    std::vector<double> cases = {
+        0.0,        -0.0,
+        1.0,        -1.0,
+        0.5,        1.5,
+        3.0,        1e-300,
+        -1e-300,    1e300,
+        5e-324,     -5e-324,  // smallest denormals
+        2.2250738585072014e-308,  // smallest normal double
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+    };
+    // Random bit patterns cover NaN payloads, denormals and every
+    // exponent regime without sampling bias.
+    for (int i = 0; i < 200000; ++i) {
+      double value;
+      const std::uint64_t bits = rng();
+      static_assert(sizeof(value) == sizeof(bits));
+      __builtin_memcpy(&value, &bits, sizeof(value));
+      cases.push_back(value);
+    }
+    for (const double value : cases) {
+      const std::uint64_t got = sf::fp_encode_double(format, value);
+      const std::uint64_t want = FpValue::from_double(format, value).bits();
+      ASSERT_EQ(got, want) << vcgra::common::strprintf(
+          "encode(%a) = %llx want %llx", value,
+          static_cast<unsigned long long>(got),
+          static_cast<unsigned long long>(want));
+    }
+    // Batch encode (SIMD path for n >= threshold) against the scalar.
+    std::vector<std::uint64_t> batch(cases.size());
+    sf::fp_from_double_n(format, cases.data(), batch.data(), cases.size());
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      ASSERT_EQ(batch[i], FpValue::from_double(format, cases[i]).bits())
+          << vcgra::common::strprintf("batch encode(%a)", cases[i]);
+    }
+    // Decode: every class and the full field space.
+    for (int i = 0; i < 100000; ++i) {
+      const FpValue value(format, rng() & ((std::uint64_t{1}
+                                            << format.total_bits()) -
+                                           1));
+      const double got = sf::fp_decode_double(format, value.bits());
+      const double want = value.to_double();
+      ASSERT_EQ(std::isnan(got), std::isnan(want));
+      if (!std::isnan(want)) {
+        ASSERT_EQ(got, want) << vcgra::common::strprintf(
+            "decode(%llx)", static_cast<unsigned long long>(value.bits()));
+        ASSERT_EQ(std::signbit(got), std::signbit(want));
+      }
+    }
+  }
+}
+
+// --- batch kernel fuzz -------------------------------------------------------
+
+// Every batch kernel (scalar loop and AVX-512 lanes alike) against the
+// original scalar fp_mul/fp_add/fp_mac on specials-laden operands.
+TEST(BatchKernels, MatchScalarOpsOnSpecialsLadenStreams) {
+  const FpFormat formats[] = {FpFormat{4, 7}, FpFormat::half_like(),
+                              FpFormat::paper(), FpFormat::single_like()};
+  constexpr std::size_t kN = 1000;  // well past the SIMD threshold
+  vcgra::common::Rng rng(0xba7c4);
+  for (const FpFormat& format : formats) {
+    SCOPED_TRACE(vcgra::common::strprintf("fp(%d,%d)", format.we, format.wf));
+    std::vector<std::uint64_t> a(kN), b(kN), out(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      a[i] = random_operand(format, rng).bits();
+      b[i] = random_operand(format, rng).bits();
+    }
+    const std::uint64_t sign_mask = std::uint64_t{1}
+                                    << (format.we + format.wf);
+
+    sf::fp_mul_n(format, a.data(), b.data(), out.data(), kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[i], sf::fp_mul(FpValue(format, a[i]),
+                                   FpValue(format, b[i])).bits())
+          << "mul sample " << i;
+    }
+    for (const std::uint64_t b_xor : {std::uint64_t{0}, sign_mask}) {
+      sf::fp_add_xor_n(format, a.data(), b.data(), b_xor, out.data(), kN);
+      for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(out[i], sf::fp_add(FpValue(format, a[i]),
+                                     FpValue(format, b[i] ^ b_xor)).bits())
+            << "add/xor sample " << i;
+      }
+    }
+    // The documented aliasing contract: out == a (the vision fold's
+    // in-place accumulate) and out == b must match the out-of-place
+    // result even when special-class lanes force the SIMD patch path.
+    {
+      std::vector<std::uint64_t> ref(kN), in_place(kN);
+      sf::fp_add_n(format, a.data(), b.data(), ref.data(), kN);
+      in_place = a;
+      sf::fp_add_n(format, in_place.data(), b.data(), in_place.data(), kN);
+      ASSERT_EQ(in_place, ref) << "fp_add_n out==a aliasing";
+      in_place = b;
+      sf::fp_add_n(format, a.data(), in_place.data(), in_place.data(), kN);
+      ASSERT_EQ(in_place, ref) << "fp_add_n out==b aliasing";
+      sf::fp_mul_n(format, a.data(), b.data(), ref.data(), kN);
+      in_place = a;
+      sf::fp_mul_n(format, in_place.data(), b.data(), in_place.data(), kN);
+      ASSERT_EQ(in_place, ref) << "fp_mul_n out==a aliasing";
+      const std::uint64_t alias_coeff =
+          FpValue::from_double(format, 0.75).bits();
+      sf::fp_mul_coeff_n(format, a.data(), alias_coeff, ref.data(), kN);
+      in_place = a;
+      sf::fp_mul_coeff_n(format, in_place.data(), alias_coeff,
+                         in_place.data(), kN);
+      ASSERT_EQ(in_place, ref) << "fp_mul_coeff_n out==a aliasing";
+      sf::fp_axpy_n(format, a.data(), b.data(), alias_coeff, 0, ref.data(),
+                    kN);
+      in_place = a;
+      sf::fp_axpy_n(format, in_place.data(), b.data(), alias_coeff, 0,
+                    in_place.data(), kN);
+      ASSERT_EQ(in_place, ref) << "fp_axpy_n out==a aliasing";
+      in_place = b;
+      sf::fp_axpy_n(format, a.data(), in_place.data(), alias_coeff, 0,
+                    in_place.data(), kN);
+      ASSERT_EQ(in_place, ref) << "fp_axpy_n out==x aliasing";
+      sf::fp_xpay_n(format, b.data(), alias_coeff, a.data(), 0, ref.data(),
+                    kN);
+      in_place = b;
+      sf::fp_xpay_n(format, in_place.data(), alias_coeff, a.data(), 0,
+                    in_place.data(), kN);
+      ASSERT_EQ(in_place, ref) << "fp_xpay_n out==x aliasing";
+    }
+    // Coefficients of every class.
+    const std::uint64_t coeffs[] = {
+        FpValue::from_double(format, 1.375).bits(),
+        FpValue::from_double(format, -0.625).bits(),
+        FpValue::zero(format).bits(), FpValue::infinity(format).bits(),
+        FpValue::nan(format).bits()};
+    for (const std::uint64_t coeff : coeffs) {
+      const FpValue c(format, coeff);
+      sf::fp_mul_coeff_n(format, a.data(), coeff, out.data(), kN);
+      for (std::size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(out[i], sf::fp_mul(FpValue(format, a[i]), c).bits())
+            << "mul_coeff sample " << i;
+      }
+      for (const std::uint64_t x : {std::uint64_t{0}, sign_mask}) {
+        sf::fp_axpy_n(format, a.data(), b.data(), coeff, x, out.data(), kN);
+        for (std::size_t i = 0; i < kN; ++i) {
+          const std::uint64_t prod =
+              sf::fp_mul(FpValue(format, b[i]), c).bits() ^ x;
+          ASSERT_EQ(out[i], sf::fp_add(FpValue(format, a[i]),
+                                       FpValue(format, prod)).bits())
+              << "axpy sample " << i;
+        }
+        sf::fp_xpay_n(format, b.data(), coeff, a.data(), x, out.data(), kN);
+        for (std::size_t i = 0; i < kN; ++i) {
+          const FpValue prod = sf::fp_mul(FpValue(format, b[i]), c);
+          ASSERT_EQ(out[i], sf::fp_add(prod,
+                                       FpValue(format, a[i] ^ x)).bits())
+              << "xpay sample " << i;
+        }
+      }
+    }
+    // Decimating MAC, split across batch calls at an awkward boundary to
+    // exercise the carried accumulator state.
+    const std::uint64_t coeff = FpValue::from_double(format, 0.8125).bits();
+    const std::uint32_t count = 7;
+    std::vector<std::uint64_t> emitted(kN / count);
+    std::uint64_t acc = 0;
+    std::uint32_t filled = 0;
+    std::size_t total = 0;
+    for (const auto& [begin, end] :
+         {std::pair<std::size_t, std::size_t>{0, 13},
+          {13, 500},
+          {500, kN}}) {
+      total += sf::fp_mac_n(format, a.data() + begin, coeff, count,
+                            emitted.data() + total, end - begin, &acc, &filled);
+    }
+    ASSERT_EQ(total, kN / count);
+    FpValue ref_acc = FpValue::zero(format);
+    std::uint32_t ref_fill = 0;
+    std::size_t ref_emitted = 0;
+    const FpValue c(format, coeff);
+    for (std::size_t i = 0; i < kN; ++i) {
+      ref_acc = sf::fp_mac(ref_acc, FpValue(format, a[i]), c);
+      if (++ref_fill == count) {
+        ASSERT_EQ(emitted[ref_emitted], ref_acc.bits())
+            << "mac emit " << ref_emitted;
+        ++ref_emitted;
+        ref_acc = FpValue::zero(format);
+        ref_fill = 0;
+      }
+    }
+  }
+}

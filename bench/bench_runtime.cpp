@@ -29,6 +29,8 @@
 #include "vcgra/common/table.hpp"
 #include "vcgra/common/timer.hpp"
 #include "vcgra/runtime/service.hpp"
+#include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
 
 using namespace vcgra;
 
@@ -703,6 +705,122 @@ int main() {
       std::printf("  PASS: plan executor >= 5x the legacy interpreter at "
                   "steady state, bit-exact (median of %d attempts: %.1fx)\n",
                   kAttempts, speedup);
+    }
+  }
+
+  // --- G: telemetry overhead gate ----------------------------------------------
+  {
+    std::printf("\n[G] Telemetry: disabled-span cost + tracing overhead "
+                "(warm service, STREAM-triad shape)\n");
+
+    // G1: a disabled span must cost one well-predicted branch — the
+    // whole point of leaving VCGRA_TRACE_SPAN compiled into hot paths.
+    // 15ns is deliberately generous (the real cost is ~1ns): the gate
+    // catches an accidental clock read or allocation on the off path,
+    // not scheduler jitter.
+    {
+      telemetry::Tracer::set_enabled(false);
+      constexpr int kIters = 1 << 24;  // 16M spans
+      common::WallTimer timer;
+      for (int i = 0; i < kIters; ++i) {
+        VCGRA_TRACE_SPAN("bench.noop");
+        asm volatile("" ::: "memory");  // keep the guard from folding away
+      }
+      const double ns_per_span = timer.seconds() * 1e9 / kIters;
+      std::printf("  disabled span: %.2f ns each over %d iterations\n",
+                  ns_per_span, kIters);
+      if (ns_per_span > 15.0) {
+        std::printf("  FAIL: disabled span costs %.2f ns (> 15 ns budget — "
+                    "something heavier than a branch is on the off path)\n",
+                    ns_per_span);
+        ok = false;
+      }
+    }
+
+    // G2: full tracing (ring recording) enabled must keep >= 0.97x the
+    // disabled-tracer throughput on the warm service path. Ratio-only,
+    // median of per-attempt medians, like every other gate here.
+    constexpr int kAttempts = 3;
+    constexpr int kReps = 9;
+    const std::size_t stream = 1 << 14;
+    const std::string triad_text =
+        "input a; input b;\nparam alpha = 3.0;\n"
+        "t = mul(b, alpha);\ny = add(a, t);\noutput y;\n";
+    const auto triad_inputs = [&]() {
+      std::map<std::string, std::vector<double>> inputs;
+      for (const char* name : {"a", "b"}) {
+        std::vector<double>& s = inputs[name];
+        s.reserve(stream);
+        for (std::size_t i = 0; i < stream; ++i) {
+          s.push_back((static_cast<double>(i % 509) / 128.0 - 2.0) *
+                      (name[0] == 'a' ? 1.0 : -0.75));
+        }
+      }
+      return inputs;
+    };
+    std::vector<double> all_latencies;  // feeds the G3 histogram check
+    const auto measure = [&](bool traced) {
+      telemetry::Tracer::set_enabled(traced);
+      runtime::ServiceOptions options;
+      options.threads = 1;
+      runtime::OverlayService service(options);
+      std::vector<double> latencies;
+      for (int r = 0; r < kReps + 1; ++r) {  // job 0 warms the cache/plan
+        runtime::JobRequest request;
+        request.kernel_text = triad_text;
+        request.inputs = triad_inputs();
+        const runtime::JobResult result = service.run(std::move(request));
+        if (r > 0) latencies.push_back(result.latency_seconds);
+      }
+      all_latencies.insert(all_latencies.end(), latencies.begin(),
+                           latencies.end());
+      return runtime::percentile(latencies, 0.5);
+    };
+    std::vector<double> ratios;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      const double off_median = measure(false);
+      const double on_median = measure(true);
+      const double ratio = on_median > 0 ? off_median / on_median : 0.0;
+      ratios.push_back(ratio);
+      std::printf("  attempt %d: tracer off %s  on %s  throughput ratio "
+                  "%.3fx\n",
+                  attempt + 1, common::human_seconds(off_median).c_str(),
+                  common::human_seconds(on_median).c_str(), ratio);
+    }
+    telemetry::Tracer::set_enabled(false);
+    telemetry::Tracer::reset();
+    const double ratio = runtime::percentile(ratios, 0.5);
+    if (ratio < 0.97) {
+      std::printf("  FAIL: tracing-enabled throughput %.3fx of disabled "
+                  "(< 0.97x budget)\n", ratio);
+      ok = false;
+    } else {
+      std::printf("  PASS: tracing + histograms keep %.3fx of disabled "
+                  "throughput (>= 0.97x, median of %d attempts)\n",
+                  ratio, kAttempts);
+    }
+
+    // G3: the histogram percentiles the service now reports must agree
+    // with the exact sorted-sample percentile to within one bucket
+    // (buckets are <= 6.25% wide).
+    {
+      telemetry::LatencyHistogram hist;
+      for (const double latency : all_latencies) hist.record_seconds(latency);
+      const double exact = runtime::percentile(all_latencies, 0.5);
+      const double from_hist = hist.snapshot().percentile(0.5);
+      const int exact_bucket = telemetry::LatencyHistogram::bucket_index(
+          static_cast<std::uint64_t>(exact * 1e9));
+      const int hist_bucket = telemetry::LatencyHistogram::bucket_index(
+          static_cast<std::uint64_t>(from_hist * 1e9));
+      std::printf("  histogram p50 %s vs exact p50 %s (bucket %d vs %d)\n",
+                  common::human_seconds(from_hist).c_str(),
+                  common::human_seconds(exact).c_str(), hist_bucket,
+                  exact_bucket);
+      if (std::abs(hist_bucket - exact_bucket) > 1) {
+        std::printf("  FAIL: histogram p50 more than one bucket away from "
+                    "the exact percentile\n");
+        ok = false;
+      }
     }
   }
 

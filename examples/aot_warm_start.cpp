@@ -14,6 +14,10 @@
 //   ./build/tools/vcgra_overlayc --store /var/vcgra/store k1.vk k2.vk
 //   ./build/examples/aot_warm_start /var/vcgra/store k1.vk k2.vk
 //
+// Observability flags (either mode):
+//   --trace FILE   export a Chrome trace of the served jobs to FILE
+//   --stats FILE   write the service + process metrics snapshot as JSON
+//
 // Exits non-zero if any served job re-ran place & route.
 #include <cstdio>
 #include <filesystem>
@@ -29,6 +33,7 @@
 #include "vcgra/runtime/overlay_cache.hpp"
 #include "vcgra/runtime/service.hpp"
 #include "vcgra/store/overlay_store.hpp"
+#include "vcgra/telemetry/metrics.hpp"
 #include "vcgra/vcgra/compiler.hpp"
 #include "vcgra/vcgra/dfg.hpp"
 
@@ -62,12 +67,31 @@ int main(int argc, char** argv) {
   const overlay::OverlayArch arch;
   constexpr std::uint64_t kSeed = 1;
 
+  std::string trace_path;
+  std::string stats_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--trace" || arg == "--stats") && i + 1 < argc) {
+      (arg == "--trace" ? trace_path : stats_path) = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: aot_warm_start [--trace FILE] [--stats FILE] "
+                   "[store_dir [kernel.vk ...]]\n");
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
   std::filesystem::path store_dir;
   bool scratch = false;
   std::vector<std::string> kernels;
-  if (argc > 1) {
-    store_dir = argv[1];
-    for (int i = 2; i < argc; ++i) kernels.push_back(read_file(argv[i]));
+  if (!positional.empty()) {
+    store_dir = positional[0];
+    for (std::size_t i = 1; i < positional.size(); ++i) {
+      kernels.push_back(read_file(positional[i]));
+    }
     if (kernels.empty()) kernels = builtin_kernels();
   } else {
     scratch = true;
@@ -108,6 +132,7 @@ int main(int argc, char** argv) {
     options.threads = 2;
     options.store_dir = store_dir.string();
     options.warm_start_structures = 64;  // preload the whole (small) library
+    options.trace_path = trace_path;  // empty = tracer stays off
     common::WallTimer boot;
     runtime::OverlayService service(options);
     std::printf("\n[serve] warm-started service in %s: %llu structures "
@@ -135,6 +160,14 @@ int main(int argc, char** argv) {
                   no_toolflow ? "skipped" : "RAN",
                   common::human_seconds(result.specialize_seconds).c_str(),
                   common::human_seconds(result.latency_seconds).c_str());
+      if (!result.stages.empty()) {
+        std::printf("       stages:");
+        for (const telemetry::StageTiming& stage : result.stages) {
+          std::printf(" %s=%s", stage.name.c_str(),
+                      common::human_seconds(stage.seconds).c_str());
+        }
+        std::printf("\n");
+      }
       ok = ok && no_toolflow;
     }
     const runtime::CacheStats stats = service.stats().cache;
@@ -144,6 +177,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.disk_hits),
                 static_cast<unsigned long long>(stats.disk_preloads));
     ok = ok && stats.structure_misses == 0;
+
+    if (!stats_path.empty()) {
+      // Service-exact percentiles plus the process-wide metric registry,
+      // one machine-readable file (vcgra_stats pretty-prints/diffs it).
+      const std::string json =
+          "{\"service\": " + service.stats().to_json() +
+          ",\n\"process\": " + telemetry::metrics().snapshot().to_json() + "}\n";
+      std::ofstream out(stats_path);
+      out << json;
+      std::printf("[serve] stats snapshot written to %s\n", stats_path.c_str());
+    }
+  }
+  // The service destructor exports the Chrome trace on shutdown.
+  if (!trace_path.empty()) {
+    std::printf("[serve] trace written to %s (load in chrome://tracing)\n",
+                trace_path.c_str());
   }
 
   if (scratch) {

@@ -3,6 +3,12 @@
 // CAD flows produce a lot of diagnostic output (annealing schedules, router
 // iterations); benches and tests want it quiet.  A single process-wide level
 // keeps the dependency surface tiny.
+//
+// The VCGRA_LOG_* macros short-circuit on the level *before* evaluating the
+// streamed expressions: a below-level statement in the router/annealer hot
+// loops costs one relaxed load and a comparison, never an ostringstream
+// round trip.  (The glog-style `cond ? void : Voidify() & builder` shape
+// keeps the macro a single expression, so it stays dangling-else safe.)
 #pragma once
 
 #include <sstream>
@@ -18,6 +24,11 @@ void set_log_level(LogLevel level) noexcept;
 
 /// Emit one log line (appends '\n'). Thread-safe at the line level.
 void log_line(LogLevel level, const std::string& message);
+
+/// Redirects log output for tests; nullptr restores stderr. The sink is
+/// invoked under the logger's line mutex.
+using LogSink = void (*)(LogLevel level, const std::string& message);
+void set_log_sink(LogSink sink) noexcept;
 
 namespace detail {
 class LineBuilder {
@@ -37,11 +48,27 @@ class LineBuilder {
   LogLevel level_;
   std::ostringstream stream_;
 };
+
+/// Swallows the LineBuilder chain in the enabled arm of the level
+/// ternary; `&` binds looser than `<<`, so the whole streamed chain
+/// completes before the conversion to void.
+struct Voidify {
+  void operator&(LineBuilder&) {}
+};
 }  // namespace detail
 
 }  // namespace vcgra::common
 
-#define VCGRA_LOG_DEBUG() ::vcgra::common::detail::LineBuilder(::vcgra::common::LogLevel::kDebug)
-#define VCGRA_LOG_INFO() ::vcgra::common::detail::LineBuilder(::vcgra::common::LogLevel::kInfo)
-#define VCGRA_LOG_WARN() ::vcgra::common::detail::LineBuilder(::vcgra::common::LogLevel::kWarn)
-#define VCGRA_LOG_ERROR() ::vcgra::common::detail::LineBuilder(::vcgra::common::LogLevel::kError)
+/// One relaxed load + compare when `level` is below the threshold; the
+/// streamed operands are not evaluated at all.
+#define VCGRA_LOG_AT(level)                                             \
+  (static_cast<int>(level) <                                            \
+   static_cast<int>(::vcgra::common::log_level()))                      \
+      ? (void)0                                                         \
+      : ::vcgra::common::detail::Voidify() &                            \
+            ::vcgra::common::detail::LineBuilder(level)
+
+#define VCGRA_LOG_DEBUG() VCGRA_LOG_AT(::vcgra::common::LogLevel::kDebug)
+#define VCGRA_LOG_INFO() VCGRA_LOG_AT(::vcgra::common::LogLevel::kInfo)
+#define VCGRA_LOG_WARN() VCGRA_LOG_AT(::vcgra::common::LogLevel::kWarn)
+#define VCGRA_LOG_ERROR() VCGRA_LOG_AT(::vcgra::common::LogLevel::kError)

@@ -8,6 +8,7 @@ namespace vcgra::common {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogSink> g_sink{nullptr};
 std::mutex g_mutex;
 
 const char* level_tag(LogLevel level) {
@@ -29,9 +30,17 @@ void set_log_level(LogLevel level) noexcept {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+void set_log_sink(LogSink sink) noexcept {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   const std::lock_guard<std::mutex> lock(g_mutex);
+  if (const LogSink sink = g_sink.load(std::memory_order_relaxed)) {
+    sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
 }
 

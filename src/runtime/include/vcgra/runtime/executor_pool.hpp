@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -49,10 +50,15 @@ class ExecutorPool {
   std::size_t pending() const;
 
  private:
+  struct QueuedWork {
+    std::function<void()> work;
+    std::uint64_t enqueue_ns = 0;  // trace clock; feeds pool.queue_wait
+  };
+
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedWork> queue_;
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

@@ -30,6 +30,8 @@
 #include "vcgra/runtime/overlay_cache.hpp"
 #include "vcgra/runtime/reconfig_scheduler.hpp"
 #include "vcgra/runtime/stats.hpp"
+#include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
 #include "vcgra/vcgra/simulator.hpp"
 
 namespace vcgra::runtime {
@@ -68,7 +70,14 @@ struct JobResult {
   double disk_load_seconds = 0;   // store read + deserialize time this job paid
   double reconfig_seconds = 0;  // modeled fabric respecialization cost
   double exec_seconds = 0;      // simulator time
+  double queue_seconds = 0;     // submit -> a worker picked the job up
   double latency_seconds = 0;   // submit -> result ready
+  /// Per-stage latency decomposition (queue.wait, cache.lookup,
+  /// sched.acquire, plan.fetch, exec.run) from the job's trace spans, in
+  /// pipeline order; the stage durations sum to ~latency_seconds.
+  std::vector<telemetry::StageTiming> stages;
+  /// Trace id shared by this job's spans in the exported Chrome trace.
+  std::uint64_t trace_id = 0;
 };
 
 struct ServiceOptions {
@@ -100,6 +109,14 @@ struct ServiceOptions {
   /// memory tier at construction, so a restarted service starts at its
   /// steady-state p50 instead of paying even the disk loads per key.
   std::size_t warm_start_structures = 0;
+  /// When non-empty: the global span tracer is switched on at
+  /// construction and every recorded span is exported here as Chrome
+  /// trace_event JSON (chrome://tracing / Perfetto loadable) when the
+  /// service is destroyed.
+  std::string trace_path;
+  /// Jobs whose submit->result latency meets this threshold (seconds)
+  /// log their span tree at WARN level. 0 disables.
+  double slow_job_threshold = 0;
 };
 
 class OverlayService {
@@ -171,16 +188,16 @@ class OverlayService {
     std::exception_ptr front_end_error;
     std::promise<JobResult> promise;
     common::WallTimer since_submit;
+    /// Submit instant on the trace clock, so the queue-wait span (which
+    /// starts on the submitting thread and ends on the worker) lands in
+    /// the same timeline as the worker's spans.
+    std::uint64_t submit_ns = 0;
     int deferrals = 0;  // times batch reordering bypassed this job at the head
   };
 
   /// After this many bypasses the queue head runs next regardless of
   /// overlay affinity (starvation bound for the batch scheduler).
   static constexpr int kMaxHeadDeferrals = 64;
-
-  /// Latency samples kept for percentile estimation (most recent wins);
-  /// bounds stats memory on long-lived services.
-  static constexpr std::size_t kLatencyWindow = 16384;
 
   /// Parsed kernels memoized by exact text. Repeated submissions of the
   /// same kernel — the cache's design workload — skip the front end
@@ -197,7 +214,6 @@ class OverlayService {
   void note_task_submitted();
   void note_task_completed(double latency_seconds);
   void note_task_failed();
-  void record_latency_locked(double latency_seconds);
 
   const ServiceOptions options_;
   /// Kept alive for the cache's write-behind drain (shared ownership
@@ -210,10 +226,16 @@ class OverlayService {
   std::unordered_map<std::string, std::shared_ptr<const overlay::ParsedKernel>>
       parse_memo_;
 
+  // Latency populations live in lock-free fixed-log-bucket histograms
+  // (every completed job, not a sampling window): stats() percentiles
+  // are exact to one bucket width at any job count, and recording never
+  // takes the service mutex.
+  telemetry::LatencyHistogram latency_hist_;  // submit -> result ready
+  telemetry::LatencyHistogram queue_hist_;    // submit -> worker pickup
+  telemetry::LatencyHistogram exec_hist_;     // datapath time per job
+
   mutable std::mutex mutex_;
   std::deque<std::unique_ptr<PendingJob>> pending_;
-  std::vector<double> latencies_;  // ring of the last kLatencyWindow samples
-  std::size_t latency_next_ = 0;
   std::uint64_t jobs_submitted_ = 0;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;

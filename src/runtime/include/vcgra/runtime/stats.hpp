@@ -57,6 +57,8 @@ struct CacheStats {
                  : 0.0;
   }
   std::string to_string() const;
+  /// `{"hits": ..., "misses": ..., ...}` — one flat JSON object.
+  std::string to_json() const;
 };
 
 struct SchedulerStats {
@@ -72,6 +74,7 @@ struct SchedulerStats {
   double avoided_reconfig_seconds = 0;         // ... that affinity placement saved
 
   std::string to_string() const;
+  std::string to_json() const;
 };
 
 struct ServiceStats {
@@ -83,17 +86,35 @@ struct ServiceStats {
   std::uint64_t tasks_failed = 0;
   CacheStats cache;
   SchedulerStats scheduler;
-  double p50_latency_seconds = 0;  // submit -> result ready
+  // Latency percentiles (submit -> result ready) come from the service's
+  // fixed-log-bucket histogram: exact over every completed job (no
+  // sampling window), to within one bucket width (<= 6.25%).
+  double p50_latency_seconds = 0;
+  double p95_latency_seconds = 0;
   double p99_latency_seconds = 0;
+  double p999_latency_seconds = 0;
   double max_latency_seconds = 0;
+  double mean_latency_seconds = 0;
+  double p50_queue_seconds = 0;  // submit -> worker pickup (queue wait)
+  double p99_queue_seconds = 0;
   double exec_seconds = 0;   // total simulator time across workers
   double wall_seconds = 0;   // service lifetime so far
   double jobs_per_second = 0;  // completed jobs + tasks per wall second
 
   std::string to_string() const;
+  /// Machine-readable snapshot: nested `cache`/`scheduler` objects plus
+  /// the latency percentiles, for vcgra_stats and CI artifacts.
+  std::string to_json() const;
 };
 
 /// Percentile over an unsorted sample set (nearest-rank); 0 when empty.
 double percentile(std::vector<double> samples, double fraction);
+
+/// Several percentiles of one sample set in a single pass: `fractions`
+/// must be sorted ascending; the samples are partitioned once with
+/// progressively narrowing nth_element calls instead of one full
+/// copy+sort (or repeated percentile() calls) per fraction.
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& fractions);
 
 }  // namespace vcgra::runtime

@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
+
 namespace vcgra::runtime {
+
+namespace {
+
+/// The queue-wait vs. run-time split of every pool thunk, process-wide.
+/// A rising pool.queue_wait with flat pool.run is the classic saturation
+/// signature (not-enough-workers), the reverse is slow work.
+struct PoolMetrics {
+  telemetry::Counter& submitted =
+      telemetry::metrics().counter("pool.submitted");
+  telemetry::Gauge& queue_depth =
+      telemetry::metrics().gauge("pool.queue_depth");
+  telemetry::LatencyHistogram& queue_wait =
+      telemetry::metrics().histogram("pool.queue_wait");
+  telemetry::LatencyHistogram& run =
+      telemetry::metrics().histogram("pool.run");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* m = new PoolMetrics();  // registry refs never dangle
+  return *m;
+}
+
+}  // namespace
 
 ExecutorPool::ExecutorPool(int threads) {
   const int count = std::max(1, threads);
@@ -22,9 +48,11 @@ ExecutorPool::~ExecutorPool() {
 }
 
 void ExecutorPool::submit_detached(std::function<void()> work) {
+  pool_metrics().submitted.add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(work));
+    queue_.push_back(QueuedWork{std::move(work), telemetry::trace_now_ns()});
+    pool_metrics().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -41,7 +69,7 @@ std::size_t ExecutorPool::pending() const {
 
 void ExecutorPool::worker_loop() {
   for (;;) {
-    std::function<void()> work;
+    QueuedWork work;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
@@ -50,9 +78,13 @@ void ExecutorPool::worker_loop() {
       if (queue_.empty()) return;
       work = std::move(queue_.front());
       queue_.pop_front();
+      pool_metrics().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
       ++active_;
     }
-    work();
+    const std::uint64_t picked_ns = telemetry::trace_now_ns();
+    pool_metrics().queue_wait.record_ns(picked_ns - work.enqueue_ns);
+    work.work();
+    pool_metrics().run.record_ns(telemetry::trace_now_ns() - picked_ns);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

@@ -6,8 +6,42 @@
 
 #include "vcgra/common/strings.hpp"
 #include "vcgra/common/timer.hpp"
+#include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
 
 namespace vcgra::runtime {
+
+namespace {
+
+/// Process-wide mirrors of the cache's per-instance stats, resolved once
+/// (registration takes a mutex; updates are lock-free atomics).
+struct CacheMetrics {
+  telemetry::Counter& hits = telemetry::metrics().counter("cache.hits");
+  telemetry::Counter& misses = telemetry::metrics().counter("cache.misses");
+  telemetry::Counter& structure_hits =
+      telemetry::metrics().counter("cache.structure_hits");
+  telemetry::Counter& inflight_joins =
+      telemetry::metrics().counter("cache.inflight_joins");
+  telemetry::Counter& evictions =
+      telemetry::metrics().counter("cache.evictions");
+  telemetry::Counter& plan_hits =
+      telemetry::metrics().counter("cache.plan_hits");
+  telemetry::Counter& plans_built =
+      telemetry::metrics().counter("cache.plans_built");
+  telemetry::Gauge& persist_queue =
+      telemetry::metrics().gauge("cache.persist_queue_depth");
+  telemetry::LatencyHistogram& compile =
+      telemetry::metrics().histogram("compile.structure");
+  telemetry::LatencyHistogram& specialize =
+      telemetry::metrics().histogram("cache.specialize");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics* m = new CacheMetrics();  // registry refs never dangle
+  return *m;
+}
+
+}  // namespace
 
 std::string arch_signature(const overlay::OverlayArch& arch) {
   return common::strprintf(
@@ -116,6 +150,7 @@ void OverlayCache::evict_by_weight_locked() {
     index_.erase(victim->key);
     lru_.erase(victim);
     ++stats_.evictions;
+    cache_metrics().evictions.add();
   }
 }
 
@@ -167,6 +202,7 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
         entry.specials.splice(entry.specials.begin(), entry.specials,
                               special->second);
         ++stats_.hits;
+        cache_metrics().hits.add();
         if (outcome) {
           outcome->hit = true;
           outcome->structure_hit = true;
@@ -177,6 +213,8 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
       // the whole refactor — no place & route, just specialize below.
       ++stats_.misses;
       ++stats_.structure_hits;
+      cache_metrics().misses.add();
+      cache_metrics().structure_hits.add();
       if (outcome) outcome->structure_hit = true;
       structure = entry.structure;
     } else {
@@ -184,11 +222,14 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
       if (inflight != inflight_.end()) {
         ++stats_.misses;
         ++stats_.inflight_joins;
+        cache_metrics().misses.add();
+        cache_metrics().inflight_joins.add();
         join = inflight->second;
       } else {
         // We will own the structural resolution (disk tier or compile);
         // which of the two it was is counted at publish time.
         ++stats_.misses;
+        cache_metrics().misses.add();
         inflight_.emplace(keys.structure, mine.get_future().share());
       }
     }
@@ -224,11 +265,14 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
   std::shared_ptr<const overlay::Compiled> compiled;
   try {
     if (!structure) {
+      VCGRA_TRACE_SPAN("compile.structure");
       timer.restart();
       structure = std::make_shared<const overlay::CompiledStructure>(
           overlay::compile_structure_canonical(parsed, arch, seed));
       compile_elapsed = timer.seconds();
+      cache_metrics().compile.record_seconds(compile_elapsed);
     }
+    VCGRA_TRACE_SPAN("cache.specialize");
     timer.restart();
     compiled = std::make_shared<const overlay::Compiled>(
         overlay::specialize(*structure, canonical));
@@ -239,6 +283,7 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::get_or_specialize(
     throw;
   }
   const double specialize_elapsed = timer.seconds();
+  cache_metrics().specialize.record_seconds(specialize_elapsed);
   if (outcome) {
     outcome->compile_seconds = compile_elapsed;
     outcome->specialize_seconds = specialize_elapsed;
@@ -299,9 +344,14 @@ std::shared_ptr<const overlay::Compiled> OverlayCache::specialize_and_cache(
   }
 
   common::WallTimer timer;
-  auto compiled = std::make_shared<const overlay::Compiled>(
-      overlay::specialize(*structure, canonical_binding));
+  std::shared_ptr<const overlay::Compiled> compiled;
+  {
+    VCGRA_TRACE_SPAN("cache.specialize");
+    compiled = std::make_shared<const overlay::Compiled>(
+        overlay::specialize(*structure, canonical_binding));
+  }
   const double elapsed = timer.seconds();
+  cache_metrics().specialize.record_seconds(elapsed);
   if (outcome) outcome->specialize_seconds = elapsed;
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -338,6 +388,7 @@ std::shared_ptr<const overlay::ExecPlan> OverlayCache::plan_for(
           special->second->compiled == compiled && special->second->plan &&
           special->second->plan_sim == sim) {
         ++stats_.plan_hits;
+        cache_metrics().plan_hits.add();
         return special->second->plan;
       }
     }
@@ -347,11 +398,16 @@ std::shared_ptr<const overlay::ExecPlan> OverlayCache::plan_for(
   // concurrent first-touches of different specializations). A racing
   // lowering of the same specialization publishes last-wins — both plans
   // are identical by construction.
-  auto plan = std::make_shared<const overlay::ExecPlan>(
-      overlay::ExecPlan::lower(*compiled, sim));
+  std::shared_ptr<const overlay::ExecPlan> plan;
+  {
+    VCGRA_TRACE_SPAN("plan.lower");
+    plan = std::make_shared<const overlay::ExecPlan>(
+        overlay::ExecPlan::lower(*compiled, sim));
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.plans_built;
+  cache_metrics().plans_built.add();
   const auto it = index_.find(keys.structure);
   if (it != index_.end()) {
     const auto special = it->second->special_index.find(keys.params);
@@ -376,6 +432,8 @@ void OverlayCache::persist(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     persist_queue_.emplace_back(key, structure);
+    cache_metrics().persist_queue.set(
+        static_cast<std::int64_t>(persist_queue_.size()));
   }
   persist_cv_.notify_all();
 }
@@ -411,6 +469,8 @@ void OverlayCache::persist_worker() {
     }
     auto [key, structure] = std::move(persist_queue_.front());
     persist_queue_.pop_front();
+    cache_metrics().persist_queue.set(
+        static_cast<std::int64_t>(persist_queue_.size()));
     persist_busy_ = true;
     lock.unlock();
     persist_now(key, *structure);  // takes the lock itself for stats

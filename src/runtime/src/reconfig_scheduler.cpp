@@ -3,6 +3,28 @@
 #include <algorithm>
 
 #include "vcgra/runtime/overlay_cache.hpp"
+#include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
+
+namespace {
+
+struct SchedMetrics {
+  vcgra::telemetry::Counter& assignments =
+      vcgra::telemetry::metrics().counter("sched.assignments");
+  vcgra::telemetry::Counter& reconfigurations =
+      vcgra::telemetry::metrics().counter("sched.reconfigurations");
+  vcgra::telemetry::Counter& param_respecializations =
+      vcgra::telemetry::metrics().counter("sched.param_respecializations");
+  vcgra::telemetry::Counter& reconfigurations_avoided =
+      vcgra::telemetry::metrics().counter("sched.reconfigurations_avoided");
+};
+
+SchedMetrics& sched_metrics() {
+  static SchedMetrics* m = new SchedMetrics();  // registry refs never dangle
+  return *m;
+}
+
+}  // namespace
 
 namespace vcgra::runtime {
 
@@ -71,10 +93,16 @@ Assignment ReconfigScheduler::acquire(
     const std::string& config_key, const std::string& structure_key,
     const std::shared_ptr<const overlay::Compiled>& compiled) {
   std::unique_lock<std::mutex> lock(mutex_);
-  free_cv_.wait(lock, [this]() {
-    return std::any_of(grid_.begin(), grid_.end(),
-                       [](const Instance& g) { return !g.busy; });
-  });
+  {
+    // Only the instance wait is bracketed (not the selection scan): a
+    // fat sched.wait_free span means every virtual grid was busy, i.e.
+    // the fleet needs more instances, not a faster policy.
+    VCGRA_TRACE_SPAN("sched.wait_free");
+    free_cv_.wait(lock, [this]() {
+      return std::any_of(grid_.begin(), grid_.end(),
+                         [](const Instance& g) { return !g.busy; });
+    });
+  }
 
   // Selection policy, in order:
   //   1. an instance already holding this exact overlay — the swap is free;
@@ -136,15 +164,19 @@ Assignment ReconfigScheduler::acquire(
   }
 
   ++stats_.assignments;
+  sched_metrics().assignments.add();
   if (assignment.reconfigured) {
     ++stats_.reconfigurations;
     stats_.modeled_reconfig_seconds += assignment.reconfig_seconds;
+    sched_metrics().reconfigurations.add();
     if (assignment.param_only) {
       ++stats_.param_respecializations;
       stats_.param_reconfig_seconds += assignment.reconfig_seconds;
+      sched_metrics().param_respecializations.add();
     }
   } else {
     ++stats_.reconfigurations_avoided;
+    sched_metrics().reconfigurations_avoided.add();
     // Counterfactual: the respecialization a blank grid would have paid.
     Instance blank_state;
     stats_.avoided_reconfig_seconds +=

@@ -5,6 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "vcgra/common/log.hpp"
+#include "vcgra/common/strings.hpp"
+
 namespace vcgra::runtime {
 
 namespace {
@@ -57,9 +60,15 @@ OverlayService::OverlayService(const ServiceOptions& options)
       cache_.warm_start(options_.warm_start_structures);
     }
   }
+  if (!options_.trace_path.empty()) telemetry::Tracer::set_enabled(true);
 }
 
-OverlayService::~OverlayService() { wait_idle(); }
+OverlayService::~OverlayService() {
+  wait_idle();
+  if (!options_.trace_path.empty()) {
+    telemetry::Tracer::export_chrome_trace(options_.trace_path);
+  }
+}
 
 std::shared_ptr<const overlay::ParsedKernel> OverlayService::parse_cached(
     const std::string& kernel_text) {
@@ -91,6 +100,7 @@ std::future<JobResult> OverlayService::submit(JobRequest request) {
     job->config_key = "!invalid|" + request.kernel_text;
   }
   job->request = std::move(request);
+  job->submit_ns = telemetry::trace_now_ns();
   std::future<JobResult> future = job->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -172,96 +182,128 @@ JobResult OverlayService::execute(PendingJob& job) {
   JobResult result;
   const JobRequest& request = job.request;
 
-  CacheOutcome outcome;
-  std::shared_ptr<const overlay::Compiled> compiled = cache_.get_or_specialize(
-      job.keys, *job.parsed, request.arch, request.seed, job.binding, &outcome);
-  result.cache_hit = outcome.hit;
-  result.structure_hit = outcome.structure_hit;
-  result.disk_hit = outcome.disk_hit;
-  result.compile_seconds = outcome.compile_seconds;
-  result.specialize_seconds = outcome.specialize_seconds;
-  result.disk_load_seconds = outcome.disk_load_seconds;
+  // Queue wait is the one stage that spans two threads: it started at
+  // submit() and ends here, when a worker picks the job up.
+  const std::uint64_t picked_ns = telemetry::trace_now_ns();
+  const std::uint64_t queue_ns = picked_ns - job.submit_ns;
+  result.queue_seconds = static_cast<double>(queue_ns) * 1e-9;
 
-  const Assignment assignment =
-      scheduler_.acquire(job.config_key, job.keys.structure, compiled);
-  InstanceLease lease(scheduler_, assignment.instance);
-  result.instance = assignment.instance;
-  result.reconfigured = assignment.reconfigured;
-  result.param_respecialized = assignment.param_only;
-  result.reconfig_seconds = assignment.reconfig_seconds;
+  telemetry::JobTrace trace;
+  {
+    telemetry::JobTraceScope tracing(&trace);
 
-  // Steady-state datapath: the cached specialization's precompiled
-  // execution plan (lowered lazily, reused across jobs) runs the job on
-  // the batched bit-level executor; the legacy interpreter remains as
-  // the reference path when the plan executor is disabled. Plan lookup
-  // (and a first-touch lowering) happens before the exec timer starts,
-  // so exec_seconds stays a pure datapath measurement.
-  std::shared_ptr<const overlay::ExecPlan> plan;
-  if (options_.use_plan_executor) {
-    plan = cache_.plan_for(job.keys, compiled, options_.sim);
-    result.plan_executed = true;
-  }
-  common::WallTimer exec;
-  const auto run_streams =
-      [&](const std::map<std::string, std::vector<double>>& streams) {
-        if (plan) return overlay::PlanExecutor(plan).run_doubles(streams);
-        return overlay::Simulator(compiled, options_.sim).run_doubles(streams);
-      };
-
-  // Cached artifacts carry canonical (alpha-renamed) signal names so
-  // isomorphic kernels share them; the job's streams use the kernel's
-  // real names. Translate at the boundary — both directions are
-  // identities for kernels already written in canonical names.
-  if (job.parsed->names_are_canonical) {
-    result.run = run_streams(request.inputs);
-  } else {
-    // Streams are moved, not copied: the request is dead after execute().
-    std::map<std::string, std::vector<double>> canonical_inputs;
-    for (auto& [name, stream] : job.request.inputs) {
-      // A stray input whose name collides with another stream's
-      // canonical name must fail loudly (pre-rename it would have been
-      // rejected by the simulator), never silently clobber real data.
-      if (!canonical_inputs.emplace(job.parsed->canonical_name(name),
-                                    std::move(stream)).second) {
-        throw std::invalid_argument(
-            "input stream '" + name + "' collides with another stream after "
-            "canonicalization");
-      }
+    CacheOutcome outcome;
+    std::shared_ptr<const overlay::Compiled> compiled;
+    {
+      VCGRA_TRACE_SPAN("cache.lookup");
+      compiled = cache_.get_or_specialize(job.keys, *job.parsed, request.arch,
+                                          request.seed, job.binding, &outcome);
     }
-    result.run = run_streams(canonical_inputs);
-    const auto& real_nodes = job.parsed->dfg.nodes();
-    const auto& canonical_nodes = job.parsed->canonical_dfg.nodes();
-    std::map<std::string, std::vector<softfloat::FpValue>> real_outputs;
-    for (const int out : job.parsed->dfg.outputs()) {
-      const std::string& real = real_nodes[static_cast<std::size_t>(out)].name;
-      if (real_outputs.count(real)) continue;  // duplicate output statement
-      const std::string& canonical =
-          canonical_nodes[static_cast<std::size_t>(out)].name;
-      const auto it = result.run.outputs.find(canonical);
-      if (it != result.run.outputs.end()) {
-        real_outputs[real] = std::move(it->second);
-      }
+    result.cache_hit = outcome.hit;
+    result.structure_hit = outcome.structure_hit;
+    result.disk_hit = outcome.disk_hit;
+    result.compile_seconds = outcome.compile_seconds;
+    result.specialize_seconds = outcome.specialize_seconds;
+    result.disk_load_seconds = outcome.disk_load_seconds;
+
+    std::unique_ptr<InstanceLease> lease;
+    {
+      VCGRA_TRACE_SPAN("sched.acquire");
+      const Assignment assignment =
+          scheduler_.acquire(job.config_key, job.keys.structure, compiled);
+      lease = std::make_unique<InstanceLease>(scheduler_, assignment.instance);
+      result.instance = assignment.instance;
+      result.reconfigured = assignment.reconfigured;
+      result.param_respecialized = assignment.param_only;
+      result.reconfig_seconds = assignment.reconfig_seconds;
     }
-    result.run.outputs = std::move(real_outputs);
+
+    // Steady-state datapath: the cached specialization's precompiled
+    // execution plan (lowered lazily, reused across jobs) runs the job on
+    // the batched bit-level executor; the legacy interpreter remains as
+    // the reference path when the plan executor is disabled. Plan lookup
+    // (and a first-touch lowering) happens before the exec timer starts,
+    // so exec_seconds stays a pure datapath measurement.
+    std::shared_ptr<const overlay::ExecPlan> plan;
+    if (options_.use_plan_executor) {
+      VCGRA_TRACE_SPAN("plan.fetch");
+      plan = cache_.plan_for(job.keys, compiled, options_.sim);
+      result.plan_executed = true;
+    }
+    VCGRA_TRACE_SPAN("exec.run");
+    common::WallTimer exec;
+    const auto run_streams =
+        [&](const std::map<std::string, std::vector<double>>& streams) {
+          if (plan) return overlay::PlanExecutor(plan).run_doubles(streams);
+          return overlay::Simulator(compiled, options_.sim).run_doubles(streams);
+        };
+
+    // Cached artifacts carry canonical (alpha-renamed) signal names so
+    // isomorphic kernels share them; the job's streams use the kernel's
+    // real names. Translate at the boundary — both directions are
+    // identities for kernels already written in canonical names.
+    if (job.parsed->names_are_canonical) {
+      result.run = run_streams(request.inputs);
+    } else {
+      // Streams are moved, not copied: the request is dead after execute().
+      std::map<std::string, std::vector<double>> canonical_inputs;
+      for (auto& [name, stream] : job.request.inputs) {
+        // A stray input whose name collides with another stream's
+        // canonical name must fail loudly (pre-rename it would have been
+        // rejected by the simulator), never silently clobber real data.
+        if (!canonical_inputs.emplace(job.parsed->canonical_name(name),
+                                      std::move(stream)).second) {
+          throw std::invalid_argument(
+              "input stream '" + name + "' collides with another stream after "
+              "canonicalization");
+        }
+      }
+      result.run = run_streams(canonical_inputs);
+      const auto& real_nodes = job.parsed->dfg.nodes();
+      const auto& canonical_nodes = job.parsed->canonical_dfg.nodes();
+      std::map<std::string, std::vector<softfloat::FpValue>> real_outputs;
+      for (const int out : job.parsed->dfg.outputs()) {
+        const std::string& real = real_nodes[static_cast<std::size_t>(out)].name;
+        if (real_outputs.count(real)) continue;  // duplicate output statement
+        const std::string& canonical =
+            canonical_nodes[static_cast<std::size_t>(out)].name;
+        const auto it = result.run.outputs.find(canonical);
+        if (it != result.run.outputs.end()) {
+          real_outputs[real] = std::move(it->second);
+        }
+      }
+      result.run.outputs = std::move(real_outputs);
+    }
+    result.exec_seconds = exec.seconds();
   }
-  result.exec_seconds = exec.seconds();
+
+  // The queue-wait span joins the collector (depth 0, so it counts as a
+  // stage) and the global rings after the scope closes — its start
+  // predates the scope, so the guard path cannot record it.
+  trace.add("queue.wait", 0, job.submit_ns, queue_ns);
+  telemetry::Tracer::record_span("queue.wait", job.submit_ns, queue_ns,
+                                 trace.trace_id);
+  result.stages = trace.stage_breakdown();
+  result.trace_id = trace.trace_id;
   result.latency_seconds = job.since_submit.seconds();
+
+  if (options_.slow_job_threshold > 0 &&
+      result.latency_seconds >= options_.slow_job_threshold) {
+    VCGRA_LOG_WARN() << "slow job trace " << trace.trace_id << " ("
+                     << common::human_seconds(result.latency_seconds)
+                     << " >= " << common::human_seconds(
+                            options_.slow_job_threshold)
+                     << " threshold) span tree:\n" << trace.tree_string();
+  }
   return result;
 }
 
-void OverlayService::record_latency_locked(double latency_seconds) {
-  if (latencies_.size() < kLatencyWindow) {
-    latencies_.push_back(latency_seconds);
-  } else {
-    latencies_[latency_next_] = latency_seconds;
-  }
-  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-}
-
 void OverlayService::record_result(const JobResult& result) {
+  latency_hist_.record_seconds(result.latency_seconds);
+  queue_hist_.record_seconds(result.queue_seconds);
+  exec_hist_.record_seconds(result.exec_seconds);
   std::lock_guard<std::mutex> lock(mutex_);
   ++jobs_completed_;
-  record_latency_locked(result.latency_seconds);
   exec_seconds_total_ += result.exec_seconds;
 }
 
@@ -271,9 +313,9 @@ void OverlayService::note_task_submitted() {
 }
 
 void OverlayService::note_task_completed(double latency_seconds) {
+  latency_hist_.record_seconds(latency_seconds);
   std::lock_guard<std::mutex> lock(mutex_);
   ++tasks_completed_;
-  record_latency_locked(latency_seconds);
 }
 
 void OverlayService::note_task_failed() {
@@ -285,7 +327,6 @@ ServiceStats OverlayService::stats() const {
   ServiceStats stats;
   stats.cache = cache_.stats();
   stats.scheduler = scheduler_.stats();
-  std::vector<double> latencies;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats.jobs_submitted = jobs_submitted_;
@@ -296,19 +337,25 @@ ServiceStats OverlayService::stats() const {
     stats.tasks_failed = tasks_failed_;
     stats.exec_seconds = exec_seconds_total_;
     stats.wall_seconds = lifetime_.seconds();
-    latencies = latencies_;
   }
-  if (!latencies.empty()) {
-    // One sort of the snapshot serves p50, p99 and max.
-    std::sort(latencies.begin(), latencies.end());
-    const auto at_fraction = [&](double fraction) {
-      const std::size_t rank = static_cast<std::size_t>(
-          std::ceil(fraction * static_cast<double>(latencies.size())));
-      return latencies[rank == 0 ? 0 : rank - 1];
-    };
-    stats.p50_latency_seconds = at_fraction(0.50);
-    stats.p99_latency_seconds = at_fraction(0.99);
-    stats.max_latency_seconds = latencies.back();
+  // Percentiles come from the full-population histograms: exact (to one
+  // bucket width, <= 6.25%) over every completed job, not a sample ring.
+  const telemetry::HistogramSnapshot latency = latency_hist_.snapshot();
+  if (latency.count > 0) {
+    const std::vector<double> p =
+        latency.percentiles({0.50, 0.95, 0.99, 0.999});
+    stats.p50_latency_seconds = p[0];
+    stats.p95_latency_seconds = p[1];
+    stats.p99_latency_seconds = p[2];
+    stats.p999_latency_seconds = p[3];
+    stats.max_latency_seconds = latency.max_seconds;
+    stats.mean_latency_seconds = latency.mean_seconds();
+  }
+  const telemetry::HistogramSnapshot queue = queue_hist_.snapshot();
+  if (queue.count > 0) {
+    const std::vector<double> q = queue.percentiles({0.50, 0.99});
+    stats.p50_queue_seconds = q[0];
+    stats.p99_queue_seconds = q[1];
   }
   if (stats.wall_seconds > 0) {
     // Throughput covers both job and task work: task-only clients (the

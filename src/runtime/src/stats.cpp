@@ -18,6 +18,29 @@ double percentile(std::vector<double> samples, double fraction) {
   return samples[index];
 }
 
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& fractions) {
+  std::vector<double> out(fractions.size(), 0.0);
+  if (samples.empty()) return out;
+  // Ascending fractions mean ascending ranks, so each nth_element only
+  // has to partition the tail the previous one left unsorted.
+  std::size_t begin = 0;
+  for (std::size_t f = 0; f < fractions.size(); ++f) {
+    const double fraction = std::clamp(fractions[f], 0.0, 1.0);
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(samples.size())));
+    const std::size_t index = rank == 0 ? 0 : rank - 1;
+    if (index >= begin) {
+      std::nth_element(samples.begin() + static_cast<long>(begin),
+                       samples.begin() + static_cast<long>(index),
+                       samples.end());
+      begin = index;
+    }
+    out[f] = samples[index];
+  }
+  return out;
+}
+
 std::string CacheStats::to_string() const {
   std::string text = common::strprintf(
       "cache: %llu hits / %llu misses (%.1f%% full, %.1f%% structure), "
@@ -64,6 +87,78 @@ std::string SchedulerStats::to_string() const {
       common::human_seconds(param_reconfig_seconds).c_str(),
       static_cast<unsigned long long>(reconfigurations_avoided),
       common::human_seconds(avoided_reconfig_seconds).c_str());
+}
+
+std::string CacheStats::to_json() const {
+  return common::strprintf(
+      "{\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
+      "\"inflight_joins\": %llu, \"structure_hits\": %llu, "
+      "\"structure_misses\": %llu, \"specializations\": %llu, "
+      "\"plans_built\": %llu, \"plan_hits\": %llu, \"disk_hits\": %llu, "
+      "\"disk_misses\": %llu, \"disk_errors\": %llu, \"disk_writes\": %llu, "
+      "\"disk_preloads\": %llu, \"disk_load_seconds\": %.9g, "
+      "\"disk_write_seconds\": %.9g, \"entries\": %zu, "
+      "\"specialized_entries\": %zu, \"capacity\": %zu, "
+      "\"compile_seconds\": %.9g, \"specialize_seconds\": %.9g, "
+      "\"hit_rate\": %.9g, \"structure_hit_rate\": %.9g}",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(inflight_joins),
+      static_cast<unsigned long long>(structure_hits),
+      static_cast<unsigned long long>(structure_misses),
+      static_cast<unsigned long long>(specializations),
+      static_cast<unsigned long long>(plans_built),
+      static_cast<unsigned long long>(plan_hits),
+      static_cast<unsigned long long>(disk_hits),
+      static_cast<unsigned long long>(disk_misses),
+      static_cast<unsigned long long>(disk_errors),
+      static_cast<unsigned long long>(disk_writes),
+      static_cast<unsigned long long>(disk_preloads), disk_load_seconds,
+      disk_write_seconds, entries, specialized_entries, capacity,
+      compile_seconds, specialize_seconds, hit_rate(), structure_hit_rate());
+}
+
+std::string SchedulerStats::to_json() const {
+  return common::strprintf(
+      "{\"assignments\": %llu, \"reconfigurations\": %llu, "
+      "\"reconfigurations_avoided\": %llu, \"param_respecializations\": %llu, "
+      "\"modeled_reconfig_seconds\": %.9g, \"param_reconfig_seconds\": %.9g, "
+      "\"avoided_reconfig_seconds\": %.9g}",
+      static_cast<unsigned long long>(assignments),
+      static_cast<unsigned long long>(reconfigurations),
+      static_cast<unsigned long long>(reconfigurations_avoided),
+      static_cast<unsigned long long>(param_respecializations),
+      modeled_reconfig_seconds, param_reconfig_seconds,
+      avoided_reconfig_seconds);
+}
+
+std::string ServiceStats::to_json() const {
+  return common::strprintf(
+      "{\n"
+      "  \"jobs_submitted\": %llu, \"jobs_completed\": %llu, "
+      "\"jobs_failed\": %llu,\n"
+      "  \"tasks_submitted\": %llu, \"tasks_completed\": %llu, "
+      "\"tasks_failed\": %llu,\n"
+      "  \"p50_latency_seconds\": %.9g, \"p95_latency_seconds\": %.9g,\n"
+      "  \"p99_latency_seconds\": %.9g, \"p999_latency_seconds\": %.9g,\n"
+      "  \"max_latency_seconds\": %.9g, \"mean_latency_seconds\": %.9g,\n"
+      "  \"p50_queue_seconds\": %.9g, \"p99_queue_seconds\": %.9g,\n"
+      "  \"exec_seconds\": %.9g, \"wall_seconds\": %.9g, "
+      "\"jobs_per_second\": %.9g,\n"
+      "  \"cache\": %s,\n"
+      "  \"scheduler\": %s\n"
+      "}\n",
+      static_cast<unsigned long long>(jobs_submitted),
+      static_cast<unsigned long long>(jobs_completed),
+      static_cast<unsigned long long>(jobs_failed),
+      static_cast<unsigned long long>(tasks_submitted),
+      static_cast<unsigned long long>(tasks_completed),
+      static_cast<unsigned long long>(tasks_failed), p50_latency_seconds,
+      p95_latency_seconds, p99_latency_seconds, p999_latency_seconds,
+      max_latency_seconds, mean_latency_seconds, p50_queue_seconds,
+      p99_queue_seconds, exec_seconds, wall_seconds, jobs_per_second,
+      cache.to_json().c_str(), scheduler.to_json().c_str());
 }
 
 std::string ServiceStats::to_string() const {

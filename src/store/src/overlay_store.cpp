@@ -9,6 +9,8 @@
 #include <system_error>
 
 #include "vcgra/common/strings.hpp"
+#include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
 
 namespace vcgra::store {
 
@@ -23,6 +25,25 @@ constexpr int kMaxProbes = 64;  // collision-chain bound (fnv64 makes >0 rare)
 bool is_record_name(const std::string& name) {
   return name.size() > 4 && name.rfind(kRecordSuffix) == name.size() - 4 &&
          name[0] != '.';
+}
+
+/// Disk-tier traffic, process-wide (a store can be shared by several
+/// services). Load covers read + deserialize; save covers serialize +
+/// atomic publish, usually paid on the cache's write-behind thread.
+struct StoreMetrics {
+  telemetry::Counter& loads = telemetry::metrics().counter("store.loads");
+  telemetry::Counter& load_misses =
+      telemetry::metrics().counter("store.load_misses");
+  telemetry::Counter& saves = telemetry::metrics().counter("store.saves");
+  telemetry::LatencyHistogram& load =
+      telemetry::metrics().histogram("store.load");
+  telemetry::LatencyHistogram& save =
+      telemetry::metrics().histogram("store.save");
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics* m = new StoreMetrics();  // registry refs never dangle
+  return *m;
 }
 
 }  // namespace
@@ -147,17 +168,28 @@ std::shared_ptr<const overlay::CompiledStructure> OverlayStore::load(
 
 std::shared_ptr<const overlay::CompiledStructure> OverlayStore::try_load(
     const std::string& structure_key, std::string* error) {
+  VCGRA_TRACE_SPAN("store.load");
+  const std::uint64_t start_ns = telemetry::trace_now_ns();
   if (error) error->clear();
+  std::shared_ptr<const overlay::CompiledStructure> structure;
   try {
-    return load(structure_key);
+    structure = load(structure_key);
   } catch (const StoreError& e) {
     if (error) *error = e.what();
-    return nullptr;
   }
+  if (structure) {
+    store_metrics().loads.add();
+    store_metrics().load.record_ns(telemetry::trace_now_ns() - start_ns);
+  } else {
+    store_metrics().load_misses.add();
+  }
+  return structure;
 }
 
 bool OverlayStore::save(const std::string& structure_key,
                         const overlay::CompiledStructure& structure) {
+  VCGRA_TRACE_SPAN("store.save");
+  const std::uint64_t start_ns = telemetry::trace_now_ns();
   for (int probe = 0; probe < kMaxProbes; ++probe) {
     const std::string filename = record_filename(structure_key, probe);
     const fs::path path = directory_ / filename;
@@ -180,6 +212,8 @@ bool OverlayStore::save(const std::string& structure_key,
     encode(payload, structure);
     write_file_atomic(path,
                       wrap_record(RecordKind::kStoreEntry, payload.take()));
+    store_metrics().saves.add();
+    store_metrics().save.record_ns(telemetry::trace_now_ns() - start_ns);
     std::lock_guard<std::mutex> lock(mutex_);
     file_of_key_[structure_key] = filename;
     uses_[filename] += 1;

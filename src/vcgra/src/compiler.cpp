@@ -10,6 +10,7 @@
 #include "vcgra/common/rng.hpp"
 #include "vcgra/common/strings.hpp"
 #include "vcgra/common/timer.hpp"
+#include "vcgra/telemetry/trace.hpp"
 #include "vcgra/softfloat/fpformat.hpp"
 
 namespace vcgra::overlay {
@@ -84,11 +85,14 @@ CompiledStructure compile_structure(const Dfg& dfg, const OverlayArch& arch,
   CompiledStructure result;
   result.arch = arch;
   common::WallTimer stage;
+  std::uint64_t span_start = telemetry::child_span_start();
 
   // --- "synthesis": validate + topo order -----------------------------------
   dfg.validate();
   const std::vector<int> topo = dfg.topo_order();
   result.report.synth_seconds = stage.seconds();
+  telemetry::record_child_span("compile.synth", span_start);
+  span_start = telemetry::child_span_start();
   stage.restart();
 
   // --- PE-level technology mapping ------------------------------------------
@@ -122,6 +126,8 @@ CompiledStructure compile_structure(const Dfg& dfg, const OverlayArch& arch,
         "compile: %zu compute nodes exceed %d PEs", ops.size(), arch.num_pes()));
   }
   result.report.map_seconds = stage.seconds();
+  telemetry::record_child_span("compile.map", span_start);
+  span_start = telemetry::child_span_start();
   stage.restart();
 
   // --- placement: greedy seed + SA refinement over the PE grid ---------------
@@ -192,6 +198,8 @@ CompiledStructure compile_structure(const Dfg& dfg, const OverlayArch& arch,
     }
   }
   result.report.place_seconds = stage.seconds();
+  telemetry::record_child_span("compile.place", span_start);
+  span_start = telemetry::child_span_start();
   stage.restart();
 
   // --- routing over the virtual network --------------------------------------
@@ -293,6 +301,7 @@ CompiledStructure compile_structure(const Dfg& dfg, const OverlayArch& arch,
     routes.push_back(std::move(net));
   }
   result.report.route_seconds = stage.seconds();
+  telemetry::record_child_span("compile.route", span_start);
 
   // --- settings generation (structural skeleton) ------------------------------
   // Coefficients stay symbolic: coeff_bits is zero here and param_slots

@@ -7,6 +7,8 @@
 
 #include "vcgra/common/strings.hpp"
 #include "vcgra/softfloat/batch.hpp"
+#include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
 
 namespace vcgra::overlay {
 
@@ -251,10 +253,31 @@ ExecArena& ExecArena::this_thread() {
   return arena;
 }
 
+namespace {
+
+/// Global mirrors of the per-thread arena stats. Steady state records
+/// zero grows: a nonzero exec.arena_grows delta over a warm interval
+/// means some job shape outgrew every arena it landed on.
+struct ArenaMetrics {
+  telemetry::Counter& grows = telemetry::metrics().counter("exec.arena_grows");
+  telemetry::Gauge& capacity_words =
+      telemetry::metrics().gauge("exec.arena_capacity_words");
+  telemetry::Gauge& high_water_words =
+      telemetry::metrics().gauge("exec.arena_high_water_words");
+};
+
+ArenaMetrics& arena_metrics() {
+  static ArenaMetrics* m = new ArenaMetrics();  // registry refs never dangle
+  return *m;
+}
+
+}  // namespace
+
 template <typename T>
 void ExecArena::ensure(std::vector<T>& vec, std::size_t n) {
   if (vec.capacity() < n) {
     ++stats_.grows;
+    arena_metrics().grows.add();
     vec.reserve(std::max(n, vec.capacity() * 2));
   }
   vec.resize(n);
@@ -277,7 +300,16 @@ void ExecArena::reserve_words(std::size_t words) {
   stats_.high_water_words = std::max(stats_.high_water_words, words);
   if (pool_.size() < words) {
     ++stats_.grows;
+    arena_metrics().grows.add();
     pool_.resize(std::max(words, pool_.size() * 2));
+    // Largest arena wins: the gauges answer "how big did arenas get",
+    // not "what does thread k hold" (that is thread_arena_stats()).
+    arena_metrics().capacity_words.set(static_cast<std::int64_t>(pool_.size()));
+  }
+  if (static_cast<std::int64_t>(stats_.high_water_words) >
+      arena_metrics().high_water_words.value()) {
+    arena_metrics().high_water_words.set(
+        static_cast<std::int64_t>(stats_.high_water_words));
   }
   stats_.capacity_words = pool_.size();
   used_ = 0;
@@ -415,11 +447,14 @@ RunResult execute_plan(const ExecPlan& plan, const StreamMap& inputs,
   }
 
   // Boundary pass: encode/copy every provided stream into its buffer.
+  std::uint64_t span_start = telemetry::child_span_start();
   for (const auto& [name, stream] : inputs) {
     const std::size_t buf =
         static_cast<std::size_t>(plan.input_buffer_by_name.at(name));
     seed_one(stream, arena.words() + offsets[buf]);
   }
+  telemetry::record_child_span("exec.encode", span_start);
+  span_start = telemetry::child_span_start();
 
   // Sweep the tape in cache-friendly blocks. Every buffer tracks how
   // many elements it holds so far; MAC decimation makes rates differ,
@@ -500,6 +535,9 @@ RunResult execute_plan(const ExecPlan& plan, const StreamMap& inputs,
     }
   }
 
+  telemetry::record_child_span("exec.tape", span_start);
+  span_start = telemetry::child_span_start();
+
   // Materialize the result streams (the only per-job allocations: the
   // returned RunResult itself).
   for (const ExecPlan::OutputSlot& slot : plan.outputs) {
@@ -513,6 +551,8 @@ RunResult execute_plan(const ExecPlan& plan, const StreamMap& inputs,
     for (std::size_t i = 0; i < lens[buf]; ++i) q[i] = FpValue(format, p[i]);
     result.outputs.emplace(slot.name, std::move(out));
   }
+
+  telemetry::record_child_span("exec.decode", span_start);
 
   result.pipeline_depth = plan.pipeline_depth;
   result.cycles = static_cast<std::uint64_t>(plan.pipeline_depth) +

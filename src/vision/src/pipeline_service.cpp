@@ -9,6 +9,8 @@
 
 #include "vcgra/common/strings.hpp"
 #include "vcgra/softfloat/batch.hpp"
+#include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
 #include "vcgra/vcgra/dfg.hpp"
 #include "vcgra/vision/filters.hpp"
 
@@ -24,9 +26,11 @@ Image bank_response(runtime::OverlayService& service, const Image& input,
                     PipelineCost& cost) {
   std::vector<std::future<OverlayConvResult>> futures;
   futures.reserve(bank.size());
+  telemetry::metrics().counter("vision.filters_submitted").add(bank.size());
   for (Kernel& kernel : bank) {
     futures.push_back(service.submit_task(
         [&input, kernel = std::move(kernel), &arch]() {
+          VCGRA_TRACE_SPAN("vision.filter");
           return convolve_overlay(input, kernel, arch);
         }));
   }
@@ -146,7 +150,9 @@ Image bank_response_dcs(runtime::OverlayService& service, const Image& input,
                         PipelineDcsStats& dcs) {
   std::vector<Image> responses;
   responses.reserve(bank.size());
+  telemetry::metrics().counter("vision.filters_submitted").add(bank.size());
   for (const Kernel& kernel : bank) {
+    VCGRA_TRACE_SPAN("vision.filter");
     DcsConvResult conv = convolve_overlay_dcs(input, kernel, arch, service);
     cost.macs += conv.fp_ops;
     cost.cycles += conv.cycles;
@@ -240,6 +246,7 @@ PipelineResult run_pipeline_service(const RgbImage& input,
     OverlayConvResult conv =
         service
             .submit_task([&stages, denoise = std::move(denoise), &arch]() {
+              VCGRA_TRACE_SPAN("vision.filter");
               return convolve_overlay(stages.masked, denoise, arch);
             })
             .get();

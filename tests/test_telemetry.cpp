@@ -1,0 +1,483 @@
+// Telemetry layer: histogram exactness, snapshot diffs, concurrent
+// recording, the span tracer's Chrome export, per-job stage breakdowns,
+// slow-job logging, and the log macros' short-circuit contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vcgra/common/log.hpp"
+#include "vcgra/runtime/service.hpp"
+#include "vcgra/runtime/stats.hpp"
+#include "vcgra/telemetry/json.hpp"
+#include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
+
+using namespace vcgra;
+using telemetry::JsonValue;
+using telemetry::LatencyHistogram;
+
+namespace {
+
+/// Log-uniform nanosecond samples: every decade of the histogram's range
+/// gets exercised, not just the dense low end.
+std::vector<std::uint64_t> fuzzed_ns(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> exponent(0.0, 40.0);
+  std::vector<std::uint64_t> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back(static_cast<std::uint64_t>(std::pow(2.0, exponent(rng))));
+  }
+  return samples;
+}
+
+/// Exact nearest-rank percentile over raw nanosecond samples — the
+/// reference the bucketed histogram is checked against.
+std::uint64_t exact_percentile_ns(std::vector<std::uint64_t> samples,
+                                  double fraction) {
+  std::sort(samples.begin(), samples.end());
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(samples.size())));
+  rank = std::max<std::size_t>(rank, 1);
+  rank = std::min(rank, samples.size());
+  return samples[rank - 1];
+}
+
+}  // namespace
+
+TEST(LatencyHistogram, BucketIndexInvariants) {
+  for (const std::uint64_t ns : fuzzed_ns(4096, 7)) {
+    const int index = LatencyHistogram::bucket_index(ns);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, LatencyHistogram::kBucketCount);
+    EXPECT_LE(LatencyHistogram::bucket_min_ns(index), ns);
+    EXPECT_GE(LatencyHistogram::bucket_max_ns(index), ns);
+    // Log buckets are at most 1/16 of the value wide (exact below 16 ns).
+    const std::uint64_t width = LatencyHistogram::bucket_max_ns(index) -
+                                LatencyHistogram::bucket_min_ns(index) + 1;
+    if (ns >= LatencyHistogram::kSubBuckets) {
+      EXPECT_LE(width * LatencyHistogram::kSubBuckets,
+                2 * LatencyHistogram::bucket_min_ns(index));
+    } else {
+      EXPECT_EQ(width, 1u);
+    }
+  }
+  // Bucket edges tile the range: max(i) + 1 == min(i + 1).
+  for (int i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_max_ns(i) + 1,
+              LatencyHistogram::bucket_min_ns(i + 1));
+  }
+}
+
+TEST(LatencyHistogram, PercentilesMatchSortedReferenceOnFuzzedSamples) {
+  const std::vector<std::uint64_t> samples = fuzzed_ns(20000, 42);
+  LatencyHistogram hist;
+  for (const std::uint64_t ns : samples) hist.record_ns(ns);
+  const telemetry::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, samples.size());
+
+  for (const double fraction : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const std::uint64_t exact = exact_percentile_ns(samples, fraction);
+    const std::uint64_t reported =
+        static_cast<std::uint64_t>(std::llround(snap.percentile(fraction) * 1e9));
+    // Bucketed percentile = the upper edge of the exact sample's bucket.
+    EXPECT_EQ(LatencyHistogram::bucket_index(reported),
+              LatencyHistogram::bucket_index(exact))
+        << "fraction " << fraction << ": exact " << exact << " ns, histogram "
+        << reported << " ns";
+    EXPECT_GE(reported, exact);
+  }
+  const std::uint64_t max_ns = *std::max_element(samples.begin(), samples.end());
+  EXPECT_NEAR(snap.max_seconds, static_cast<double>(max_ns) * 1e-9,
+              static_cast<double>(max_ns) * 1e-9 * 1e-6);
+}
+
+TEST(LatencyHistogram, MultiPercentileWalkMatchesSingleCalls) {
+  LatencyHistogram hist;
+  for (const std::uint64_t ns : fuzzed_ns(5000, 3)) hist.record_ns(ns);
+  const telemetry::HistogramSnapshot snap = hist.snapshot();
+  const std::vector<double> fractions{0.5, 0.9, 0.99, 0.999};
+  const std::vector<double> walked = snap.percentiles(fractions);
+  ASSERT_EQ(walked.size(), fractions.size());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(walked[i], snap.percentile(fractions[i]));
+  }
+}
+
+TEST(LatencyHistogram, SnapshotDiffIsolatesNewSamples) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 100; ++i) hist.record_ns(1000);
+  const telemetry::HistogramSnapshot base = hist.snapshot();
+  for (int i = 0; i < 50; ++i) hist.record_ns(8ull << 20);  // ~8.4 ms
+  const telemetry::HistogramSnapshot diff = hist.snapshot().diff_since(base);
+  EXPECT_EQ(diff.count, 50u);
+  // Every new sample landed in one (high) bucket; the old bucket zeroed out.
+  const std::uint64_t exact =
+      static_cast<std::uint64_t>(std::llround(diff.percentile(0.5) * 1e9));
+  EXPECT_EQ(LatencyHistogram::bucket_index(exact),
+            LatencyHistogram::bucket_index(8ull << 20));
+}
+
+TEST(MetricsRegistry, SnapshotDiffCountersDeltaGaugesLevel) {
+  telemetry::MetricsRegistry registry;
+  registry.counter("jobs").add(10);
+  registry.gauge("depth").set(7);
+  registry.histogram("lat").record_ns(500);
+  const telemetry::MetricsSnapshot base = registry.snapshot();
+
+  registry.counter("jobs").add(5);
+  registry.gauge("depth").set(3);
+  registry.histogram("lat").record_ns(900);
+  registry.counter("fresh").add(2);  // absent from base: diffs against zero
+
+  const telemetry::MetricsSnapshot diff = registry.snapshot().diff_since(base);
+  EXPECT_EQ(diff.counters.at("jobs"), 5u);
+  EXPECT_EQ(diff.counters.at("fresh"), 2u);
+  EXPECT_EQ(diff.gauges.at("depth"), 3);  // a level, not a flow
+  EXPECT_EQ(diff.histograms.at("lat").count, 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingConservesCounts) {
+  telemetry::MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t]() {
+      telemetry::Counter& counter = registry.counter("ops");
+      telemetry::LatencyHistogram& hist = registry.histogram("lat");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        hist.record_ns(static_cast<std::uint64_t>(100 + t * 1000 + i % 97));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(registry.counter("ops").value(), kTotal);
+  const telemetry::HistogramSnapshot snap =
+      registry.histogram("lat").snapshot();
+  EXPECT_EQ(snap.count, kTotal);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, kTotal);  // no sample lost or double-bucketed
+}
+
+TEST(MetricsRegistry, ExportsContainRegisteredNames) {
+  telemetry::MetricsRegistry registry;
+  registry.counter("cache.hits").add(3);
+  registry.histogram("exec.run").record_ns(1 << 20);
+  const telemetry::MetricsSnapshot snap = registry.snapshot();
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(telemetry::parse_json(snap.to_json(), &parsed, &error)) << error;
+  const JsonValue* counters = parsed.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* hits = counters->find("cache.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->number, 3.0);
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("vcgra_cache_hits 3"), std::string::npos);
+  EXPECT_NE(prom.find("vcgra_exec_run_count"), std::string::npos);
+}
+
+TEST(JobTrace, CollectorCapturesRelativeDepths) {
+  telemetry::JobTrace trace;
+  {
+    telemetry::JobTraceScope scope(&trace);
+    {
+      VCGRA_TRACE_SPAN("stage.one");
+      VCGRA_TRACE_SPAN("stage.one.sub");
+    }
+    VCGRA_TRACE_SPAN("stage.two");
+  }
+  EXPECT_GT(trace.trace_id, 0u);
+  ASSERT_EQ(trace.spans.size(), 3u);
+  std::map<std::string, int> depths;
+  for (const telemetry::JobTrace::Span& span : trace.spans) {
+    depths[span.name] = span.depth;
+  }
+  EXPECT_EQ(depths.at("stage.one"), 0);
+  EXPECT_EQ(depths.at("stage.one.sub"), 1);
+  EXPECT_EQ(depths.at("stage.two"), 0);
+
+  const std::vector<telemetry::StageTiming> stages = trace.stage_breakdown();
+  ASSERT_EQ(stages.size(), 2u);  // the depth-1 sub-span is not a stage
+  EXPECT_EQ(stages[0].name, "stage.one");
+  EXPECT_EQ(stages[1].name, "stage.two");
+}
+
+TEST(JobTrace, StageBreakdownAggregatesRepeatedStages) {
+  telemetry::JobTrace trace;
+  trace.add("exec", 0, 100, 50);
+  trace.add("lookup", 0, 10, 40);
+  trace.add("inner", 1, 15, 5);
+  trace.add("exec", 0, 200, 10);
+  const std::vector<telemetry::StageTiming> stages = trace.stage_breakdown();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].name, "lookup");  // chronological by first start
+  EXPECT_NEAR(stages[0].seconds, 40e-9, 1e-15);
+  EXPECT_EQ(stages[1].name, "exec");
+  EXPECT_NEAR(stages[1].seconds, 60e-9, 1e-15);  // repeated stage aggregates
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  telemetry::Tracer::set_enabled(false);
+  telemetry::Tracer::reset();
+  {
+    VCGRA_TRACE_SPAN("should.not.appear");
+  }
+  EXPECT_EQ(telemetry::Tracer::recorded_spans(), 0u);
+}
+
+TEST(Tracer, ChromeTraceIsWellFormedNestedAndNonOverlapping) {
+  telemetry::Tracer::reset();
+  telemetry::Tracer::set_enabled(true);
+  {
+    VCGRA_TRACE_SPAN("test.outer");
+    {
+      VCGRA_TRACE_SPAN("test.inner");
+    }
+    {
+      VCGRA_TRACE_SPAN("test.inner2");
+    }
+  }
+  std::thread worker([]() {
+    VCGRA_TRACE_SPAN("test.worker");
+  });
+  worker.join();
+  telemetry::Tracer::set_enabled(false);
+  const std::string json = telemetry::Tracer::chrome_trace_json();
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(telemetry::parse_json(json, &parsed, &error)) << error;
+  const JsonValue* events = parsed.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  struct Span {
+    double start = 0, end = 0;
+    long long tid = 0, depth = 0;
+  };
+  std::map<std::string, Span> by_name;
+  std::map<std::pair<long long, long long>, std::vector<Span>> lanes;
+  for (const JsonValue& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") continue;
+    ASSERT_EQ(ph->string, "X");
+    const JsonValue* name = event.find("name");
+    const JsonValue* ts = event.find("ts");
+    const JsonValue* dur = event.find("dur");
+    const JsonValue* tid = event.find("tid");
+    ASSERT_TRUE(name != nullptr && name->is_string());
+    ASSERT_TRUE(ts != nullptr && ts->is_number());
+    ASSERT_TRUE(dur != nullptr && dur->is_number());
+    ASSERT_TRUE(tid != nullptr && tid->is_number());
+    EXPECT_GE(ts->number, 0.0);
+    EXPECT_GE(dur->number, 0.0);
+    Span span;
+    span.start = ts->number;
+    span.end = ts->number + dur->number;
+    span.tid = static_cast<long long>(tid->number);
+    const JsonValue* args = event.find("args");
+    if (args != nullptr) {
+      if (const JsonValue* depth = args->find("depth")) {
+        span.depth = static_cast<long long>(depth->number);
+      }
+    }
+    by_name[name->string] = span;
+    if (span.depth >= 0) lanes[{span.tid, span.depth}].push_back(span);
+  }
+
+  ASSERT_TRUE(by_name.count("test.outer"));
+  ASSERT_TRUE(by_name.count("test.inner"));
+  ASSERT_TRUE(by_name.count("test.inner2"));
+  ASSERT_TRUE(by_name.count("test.worker"));
+
+  // Nesting: the inner spans sit inside the outer, on the same thread.
+  const Span& outer = by_name["test.outer"];
+  for (const char* inner_name : {"test.inner", "test.inner2"}) {
+    const Span& inner = by_name[inner_name];
+    EXPECT_EQ(inner.tid, outer.tid);
+    EXPECT_EQ(inner.depth, outer.depth + 1);
+    EXPECT_GE(inner.start, outer.start);
+    EXPECT_LE(inner.end, outer.end);
+  }
+  EXPECT_NE(by_name["test.worker"].tid, outer.tid);
+
+  // Same-depth spans on one thread never overlap and close in order.
+  for (auto& [lane, spans] : lanes) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].start, spans[i - 1].end)
+          << "overlap on tid " << lane.first << " depth " << lane.second;
+    }
+  }
+}
+
+namespace {
+
+std::mutex g_captured_mutex;
+std::vector<std::string> g_captured_logs;
+
+void capture_sink(common::LogLevel /*level*/, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_captured_mutex);
+  g_captured_logs.push_back(message);
+}
+
+runtime::JobRequest triad_request() {
+  runtime::JobRequest request;
+  request.kernel_text =
+      "input a; input b;\nparam alpha = 3.0;\n"
+      "t = mul(b, alpha);\ny = add(a, t);\noutput y;\n";
+  for (const char* name : {"a", "b"}) {
+    std::vector<double> stream;
+    for (int i = 0; i < 256; ++i) stream.push_back(0.03125 * (i - 128));
+    request.inputs[name] = std::move(stream);
+  }
+  return request;
+}
+
+}  // namespace
+
+TEST(Service, StageBreakdownCoversJobLatency) {
+  runtime::ServiceOptions options;
+  options.threads = 1;
+  runtime::OverlayService service(options);
+  service.run(triad_request());  // cold job warms the cache
+  const runtime::JobResult result = service.run(triad_request());
+
+  EXPECT_GT(result.trace_id, 0u);
+  ASSERT_FALSE(result.stages.empty());
+  std::map<std::string, double> stages;
+  double stage_sum = 0;
+  for (const telemetry::StageTiming& stage : result.stages) {
+    stages[stage.name] = stage.seconds;
+    stage_sum += stage.seconds;
+  }
+  EXPECT_TRUE(stages.count("cache.lookup"));
+  EXPECT_TRUE(stages.count("exec.run"));
+  EXPECT_TRUE(stages.count("queue.wait"));
+  // Stages are the non-overlapping depth-0 decomposition of the job:
+  // their sum can only trail the latency by untraced gaps, never exceed
+  // it materially.
+  EXPECT_GT(result.latency_seconds, 0.0);
+  EXPECT_LE(stage_sum, result.latency_seconds * 1.10);
+  EXPECT_GE(stage_sum, result.latency_seconds * 0.5);
+
+  // The histogram-backed service percentiles see every completed job.
+  const runtime::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  EXPECT_GT(stats.p50_latency_seconds, 0.0);
+  EXPECT_LE(stats.p50_latency_seconds, stats.p999_latency_seconds);
+  EXPECT_LE(stats.p999_latency_seconds, stats.max_latency_seconds * 1.0651);
+}
+
+TEST(Service, SlowJobThresholdLogsSpanTree) {
+  const common::LogLevel saved_level = common::log_level();
+  common::set_log_level(common::LogLevel::kWarn);
+  {
+    std::lock_guard<std::mutex> lock(g_captured_mutex);
+    g_captured_logs.clear();
+  }
+  common::set_log_sink(&capture_sink);
+
+  {
+    runtime::ServiceOptions options;
+    options.threads = 1;
+    options.slow_job_threshold = 1e-12;  // every job is "slow"
+    runtime::OverlayService service(options);
+    service.run(triad_request());
+  }
+
+  common::set_log_sink(nullptr);
+  common::set_log_level(saved_level);
+
+  std::lock_guard<std::mutex> lock(g_captured_mutex);
+  bool found = false;
+  for (const std::string& message : g_captured_logs) {
+    if (message.find("slow job trace") != std::string::npos &&
+        message.find("exec.run") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "no slow-job span tree was logged";
+}
+
+TEST(Log, MacrosShortCircuitBelowLevel) {
+  const common::LogLevel saved_level = common::log_level();
+  {
+    std::lock_guard<std::mutex> lock(g_captured_mutex);
+    g_captured_logs.clear();
+  }
+  common::set_log_sink(&capture_sink);
+
+  int evaluations = 0;
+  common::set_log_level(common::LogLevel::kError);
+  VCGRA_LOG_INFO() << "side effect " << ++evaluations;
+  EXPECT_EQ(evaluations, 0) << "streamed operands ran below the log level";
+
+  common::set_log_level(common::LogLevel::kDebug);
+  VCGRA_LOG_INFO() << "side effect " << ++evaluations;
+  EXPECT_EQ(evaluations, 1);
+
+  common::set_log_sink(nullptr);
+  common::set_log_level(saved_level);
+  std::lock_guard<std::mutex> lock(g_captured_mutex);
+  ASSERT_EQ(g_captured_logs.size(), 1u);
+  EXPECT_NE(g_captured_logs[0].find("side effect 1"), std::string::npos);
+}
+
+TEST(RuntimeStats, MultiPercentileMatchesSingleCalls) {
+  std::vector<double> samples;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> value(0.0, 1.0);
+  for (int i = 0; i < 1337; ++i) samples.push_back(value(rng));
+  const std::vector<double> fractions{0.1, 0.5, 0.9, 0.99};
+  const std::vector<double> multi = runtime::percentiles(samples, fractions);
+  ASSERT_EQ(multi.size(), fractions.size());
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(multi[i], runtime::percentile(samples, fractions[i]));
+  }
+}
+
+TEST(Json, ParserHandlesEscapesNestingAndErrors) {
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(telemetry::parse_json(
+      R"({"a": [1, -2.5e3, true, null], "s": "q\"\\\nA", "o": {"k": 1, "k": 2}})",
+      &value, &error))
+      << error;
+  const JsonValue* array = value.find("a");
+  ASSERT_NE(array, nullptr);
+  ASSERT_EQ(array->array.size(), 4u);
+  EXPECT_EQ(array->array[1].number, -2500.0);
+  const JsonValue* text = value.find("s");
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->string, "q\"\\\nA");
+  const JsonValue* object = value.find("o");
+  ASSERT_NE(object, nullptr);
+  const JsonValue* key = object->find("k");
+  ASSERT_NE(key, nullptr);
+  EXPECT_EQ(key->number, 2.0);  // duplicate keys: last wins
+
+  EXPECT_FALSE(telemetry::parse_json("{\"a\": 1} trailing", &value, &error));
+  EXPECT_FALSE(telemetry::parse_json("{\"a\": }", &value, &error));
+  EXPECT_FALSE(telemetry::parse_json("", &value, &error));
+}

@@ -1,0 +1,220 @@
+// vcgra_stats — pretty-print, diff and validate the runtime's telemetry
+// exports.
+//
+//   vcgra_stats stats.json                    pretty-print one snapshot
+//   vcgra_stats --diff before.json after.json activity between snapshots
+//   vcgra_stats --check-trace trace.json      validate a Chrome trace file
+//
+// Snapshots are the JSON written by MetricsSnapshot::to_json() or
+// ServiceStats::to_json() (any JSON object of numeric leaves works: the
+// tool walks the tree generically). --diff subtracts `before` from
+// `after` leaf-wise and prints only what changed, which is how the CI
+// perf-trajectory artifacts are compared across runs.
+//
+// --check-trace enforces what chrome://tracing/Perfetto need: a
+// traceEvents array whose "X" events carry name/ts/dur/pid/tid, with
+// non-negative durations and, per (tid, depth), non-overlapping spans.
+// Exit status is the check result, so CI can gate on it.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vcgra/telemetry/json.hpp"
+
+using vcgra::telemetry::JsonValue;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "vcgra_stats: cannot read '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+JsonValue parse_file(const std::string& path) {
+  JsonValue value;
+  std::string error;
+  if (!vcgra::telemetry::parse_json(read_file(path), &value, &error)) {
+    std::fprintf(stderr, "vcgra_stats: %s: %s\n", path.c_str(), error.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+/// Flattens nested objects to "a.b.c" -> number leaves; non-numeric
+/// leaves are skipped (names, booleans).
+void flatten(const JsonValue& value, const std::string& prefix,
+             std::map<std::string, double>* out) {
+  if (value.is_number()) {
+    (*out)[prefix] = value.number;
+    return;
+  }
+  if (value.is_object()) {
+    for (const auto& [key, child] : value.object) {
+      flatten(child, prefix.empty() ? key : prefix + "." + key, out);
+    }
+  }
+}
+
+void print_leaves(const std::map<std::string, double>& leaves) {
+  std::size_t width = 0;
+  for (const auto& [name, value] : leaves) {
+    (void)value;
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : leaves) {
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::printf("%-*s %lld\n", static_cast<int>(width), name.c_str(),
+                  static_cast<long long>(value));
+    } else {
+      std::printf("%-*s %.6g\n", static_cast<int>(width), name.c_str(), value);
+    }
+  }
+}
+
+int cmd_print(const std::string& path) {
+  std::map<std::string, double> leaves;
+  flatten(parse_file(path), "", &leaves);
+  if (leaves.empty()) {
+    std::fprintf(stderr, "vcgra_stats: no numeric fields in '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  print_leaves(leaves);
+  return 0;
+}
+
+int cmd_diff(const std::string& before_path, const std::string& after_path) {
+  std::map<std::string, double> before, after;
+  flatten(parse_file(before_path), "", &before);
+  flatten(parse_file(after_path), "", &after);
+  std::map<std::string, double> delta;
+  for (const auto& [name, value] : after) {
+    const auto it = before.find(name);
+    const double base = it == before.end() ? 0.0 : it->second;
+    if (value != base) delta[name] = value - base;
+  }
+  for (const auto& [name, value] : before) {
+    (void)value;
+    if (!after.count(name)) delta[name + " (removed)"] = -value;
+  }
+  if (delta.empty()) {
+    std::printf("no change\n");
+    return 0;
+  }
+  print_leaves(delta);
+  return 0;
+}
+
+int trace_fail(const std::string& message) {
+  std::fprintf(stderr, "vcgra_stats: trace invalid: %s\n", message.c_str());
+  return 1;
+}
+
+int cmd_check_trace(const std::string& path) {
+  const JsonValue root = parse_file(path);
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return trace_fail("missing traceEvents array");
+  }
+  struct Span {
+    double start = 0;
+    double end = 0;
+  };
+  // Per (tid, depth): complete spans, for the overlap check.
+  std::map<std::pair<long long, long long>, std::vector<Span>> lanes;
+  std::size_t complete = 0;
+  for (const JsonValue& event : events->array) {
+    if (!event.is_object()) return trace_fail("event is not an object");
+    const JsonValue* ph = event.find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      return trace_fail("event lacks a ph phase");
+    }
+    if (ph->string == "M") continue;  // metadata (thread names)
+    if (ph->string != "X") {
+      return trace_fail("unexpected phase '" + ph->string + "'");
+    }
+    const JsonValue* name = event.find("name");
+    const JsonValue* ts = event.find("ts");
+    const JsonValue* dur = event.find("dur");
+    const JsonValue* pid = event.find("pid");
+    const JsonValue* tid = event.find("tid");
+    if (name == nullptr || !name->is_string() || name->string.empty()) {
+      return trace_fail("X event lacks a name");
+    }
+    if (ts == nullptr || !ts->is_number() || dur == nullptr ||
+        !dur->is_number() || pid == nullptr || !pid->is_number() ||
+        tid == nullptr || !tid->is_number()) {
+      return trace_fail("X event '" + name->string +
+                        "' lacks numeric ts/dur/pid/tid");
+    }
+    if (ts->number < 0 || dur->number < 0) {
+      return trace_fail("X event '" + name->string + "' has negative ts/dur");
+    }
+    long long depth = 0;
+    if (const JsonValue* args = event.find("args")) {
+      if (const JsonValue* d = args->find("depth")) {
+        depth = static_cast<long long>(d->number);
+      }
+    }
+    // Negative depth marks cross-thread spans (queue wait): they live on
+    // the finishing thread's lane but overlap it legitimately.
+    if (depth >= 0) {
+      lanes[{static_cast<long long>(tid->number), depth}].push_back(
+          Span{ts->number, ts->number + dur->number});
+    }
+    ++complete;
+  }
+  if (complete == 0) return trace_fail("no complete (ph=X) spans");
+  // Same-depth spans of one thread are strictly sequential by
+  // construction (a thread closes a span before opening the next at that
+  // depth), so any overlap means broken timestamps or ring corruption.
+  for (auto& [lane, spans] : lanes) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].start < spans[i - 1].end) {
+        return trace_fail(
+            "overlapping same-depth spans on tid " +
+            std::to_string(lane.first) + " depth " +
+            std::to_string(lane.second));
+      }
+    }
+  }
+  std::printf("trace ok: %zu spans across %zu (tid, depth) lanes\n", complete,
+              lanes.size());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vcgra_stats <stats.json>\n"
+               "       vcgra_stats --diff <before.json> <after.json>\n"
+               "       vcgra_stats --check-trace <trace.json>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strncmp(argv[1], "--", 2) != 0) {
+    return cmd_print(argv[1]);
+  }
+  if (argc == 4 && std::strcmp(argv[1], "--diff") == 0) {
+    return cmd_diff(argv[2], argv[3]);
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--check-trace") == 0) {
+    return cmd_check_trace(argv[2]);
+  }
+  return usage();
+}

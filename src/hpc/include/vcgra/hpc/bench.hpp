@@ -68,6 +68,11 @@ struct GemmReport {
   /// Tiles share one dot-tree shape per tap width, so after the first
   /// tile of each width this should be every remaining tile.
   std::uint64_t structure_hits = 0;
+  /// Raw-bits batched-boundary accounting: tile jobs that rode a fused
+  /// plan sweep and the largest batch any tile landed in. All tiles use
+  /// the u64 job boundary (raw_output), so the host fold never decodes.
+  std::uint64_t batched_jobs = 0;
+  int max_batch_size = 1;
   bool bit_exact = false;
   double max_rel_err = 0;
   double tolerance = 0;

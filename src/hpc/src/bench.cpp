@@ -9,6 +9,7 @@
 #include "vcgra/common/rng.hpp"
 #include "vcgra/common/strings.hpp"
 #include "vcgra/common/table.hpp"
+#include "vcgra/softfloat/batch.hpp"
 
 namespace vcgra::hpc {
 
@@ -185,19 +186,26 @@ GemmReport HpcBench::run_gemm(int m, int n, int k, int tile_k,
       request.inputs = job.kernel.inputs;
       request.params = job.kernel.params;
       request.seed = seed;
+      // Raw-bits job boundary: the tile fold below consumes u64
+      // encodings directly, never round-tripping through doubles.
+      request.raw_output = true;
       job.future = service_->submit(std::move(request));
       jobs.push_back(std::move(job));
     }
   }
   report.jobs = static_cast<int>(jobs.size());
 
-  // Collect tile results and fold partial columns in tile order with
-  // fp_add — the reference accumulates identically.
+  // Collect tile results and fold partial columns in tile order. The
+  // fabric side folds raw bit columns through the batch adder (one
+  // fp_add_n per tile); the reference side keeps the scalar FpValue
+  // fold as the independent oracle — both accumulate in the same order.
   const FpFormat format = options_.arch.format;
-  std::vector<std::vector<FpValue>> c_fp(
+  std::vector<std::vector<std::uint64_t>> c_bits(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(m), 0));
+  std::vector<std::vector<FpValue>> c_ref(
       static_cast<std::size_t>(m),
       std::vector<FpValue>(static_cast<std::size_t>(n), FpValue::zero(format)));
-  std::vector<std::vector<FpValue>> c_ref = c_fp;
   // Jobs were pushed in (column, tile) order, so iterating in order folds
   // tiles in ascending tile index per column.
   bool shape_ok = true;
@@ -208,34 +216,36 @@ GemmReport HpcBench::run_gemm(int m, int n, int k, int tile_k,
     report.reconfig_seconds += result.reconfig_seconds;
     if (result.cache_hit) ++report.cache_hits;
     if (result.structure_hit) ++report.structure_hits;
+    if (result.batch_size > 1) ++report.batched_jobs;
+    report.max_batch_size = std::max(report.max_batch_size, result.batch_size);
 
-    const auto it = result.run.outputs.find("y");
-    if (it == result.run.outputs.end() ||
+    const auto it = result.run.bit_outputs.find("y");
+    if (it == result.run.bit_outputs.end() ||
         it->second.size() != static_cast<std::size_t>(m)) {
       shape_ok = false;
       continue;
     }
+    std::vector<std::uint64_t>& column =
+        c_bits[static_cast<std::size_t>(job.column)];
+    if (job.tile == 0) {
+      std::copy(it->second.begin(), it->second.end(), column.begin());
+    } else {
+      softfloat::fp_add_n(format, column.data(), it->second.data(),
+                          column.data(), static_cast<std::size_t>(m));
+    }
     const FpStreams ref = job.kernel.ref_softfloat(format);
     const std::vector<FpValue>& ref_y = ref.at("y");
     for (int i = 0; i < m; ++i) {
-      auto& got = c_fp[static_cast<std::size_t>(i)][static_cast<std::size_t>(job.column)];
       auto& want = c_ref[static_cast<std::size_t>(i)][static_cast<std::size_t>(job.column)];
-      const FpValue got_tile = it->second[static_cast<std::size_t>(i)];
       const FpValue want_tile = ref_y[static_cast<std::size_t>(i)];
-      if (job.tile == 0) {
-        got = got_tile;
-        want = want_tile;
-      } else {
-        got = softfloat::fp_add(got, got_tile);
-        want = softfloat::fp_add(want, want_tile);
-      }
+      want = job.tile == 0 ? want_tile : softfloat::fp_add(want, want_tile);
     }
   }
 
   report.bit_exact = shape_ok;
   for (int i = 0; i < m && report.bit_exact; ++i) {
     for (int j = 0; j < n; ++j) {
-      if (c_fp[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].bits() !=
+      if (c_bits[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] !=
           c_ref[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].bits()) {
         report.bit_exact = false;
         break;
@@ -253,7 +263,9 @@ GemmReport HpcBench::run_gemm(int m, int n, int k, int tile_k,
                      b[static_cast<std::size_t>(kk)][static_cast<std::size_t>(j)];
       }
       const double got =
-          c_fp[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].to_double();
+          FpValue(format,
+                  c_bits[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)])
+              .to_double();
       if (std::isnan(got)) {
         report.within_tolerance = false;
         continue;

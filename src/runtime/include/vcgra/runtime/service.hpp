@@ -41,6 +41,15 @@ struct JobRequest {
   overlay::OverlayArch arch;
   /// Input streams keyed by DFG input name; all streams share one length.
   std::map<std::string, std::vector<double>> inputs;
+  /// Raw-bits input streams (u64 encodings in `arch.format`), merged
+  /// with `inputs` by stream name — the zero-copy boundary for clients
+  /// chaining kernels. A name provided in both forms fails the job.
+  std::map<std::string, std::vector<std::uint64_t>> input_bits;
+  /// Return output streams as u64 encodings (RunResult::bit_outputs)
+  /// instead of FpValue vectors, skipping the value materialization.
+  /// Both engines honor it; the interpreter converts at the boundary so
+  /// it stays the bit-exact oracle for the raw mode too.
+  bool raw_output = false;
   /// Coefficient overrides applied on top of the kernel text's `param`
   /// defaults. Same text + different params shares one place & route:
   /// only a microsecond respecialization runs per distinct value set.
@@ -78,6 +87,12 @@ struct JobResult {
   std::vector<telemetry::StageTiming> stages;
   /// Trace id shared by this job's spans in the exported Chrome trace.
   std::uint64_t trace_id = 0;
+  /// How many jobs the fused sweep that executed this one carried
+  /// (1 = ran alone). Batched jobs share one cache lookup, instance
+  /// acquire, plan fetch and trace; exec_seconds is the per-job share of
+  /// the sweep, and the one-time costs (compile/specialize/disk/reconfig
+  /// seconds) stay on the lead job so sums over jobs remain honest.
+  int batch_size = 1;
 };
 
 struct ServiceOptions {
@@ -96,6 +111,15 @@ struct ServiceOptions {
   /// How many queued jobs the batch scheduler scans for one whose overlay
   /// is already loaded on a free instance before falling back to FIFO.
   std::size_t schedule_scan_window = 32;
+  /// Fused multi-job execution: when a worker picks a job and other
+  /// queued jobs share its exact configuration key (same structure,
+  /// coefficients, seed), up to this many execute as ONE plan-batched
+  /// sweep — the per-job overheads (cache lookup, instance acquire, plan
+  /// fetch, trace scope) are paid once per batch. The cap doubles as the
+  /// fairness bound: a differently-keyed job behind a batch is delayed
+  /// by at most max_batch_jobs - 1 queue-jumping jobs per drain. 1
+  /// disables fusion; the interpreter path never fuses.
+  std::size_t max_batch_jobs = 16;
   /// Persistent overlay store directory. When non-empty the cache gains
   /// its disk tier: structure misses deserialize published records
   /// instead of re-running place & route, and fresh compiles are
@@ -210,6 +234,10 @@ class OverlayService {
       const std::string& kernel_text);
   void drain_one();
   JobResult execute(PendingJob& job);
+  /// Execute `batch` (>= 2 jobs sharing one config_key) as a single
+  /// fused plan sweep; fulfills every job's promise and does all the
+  /// success/failure accounting itself.
+  void execute_fused(std::vector<std::unique_ptr<PendingJob>>& batch);
   void record_result(const JobResult& result);
   void note_task_submitted();
   void note_task_completed(double latency_seconds);
@@ -230,6 +258,13 @@ class OverlayService {
   // (every completed job, not a sampling window): stats() percentiles
   // are exact to one bucket width at any job count, and recording never
   // takes the service mutex.
+  //
+  // The populations are success-only BY DESIGN: a failed job records in
+  // jobs_failed_ but contributes no latency/queue/exec sample — its
+  // timings measure the failure path (a parse error fails in
+  // microseconds), and mixing them in would make the percentiles lie
+  // about healthy-job latency. The error-path accounting regression in
+  // test_runtime pins this contract.
   telemetry::LatencyHistogram latency_hist_;  // submit -> result ready
   telemetry::LatencyHistogram queue_hist_;    // submit -> worker pickup
   telemetry::LatencyHistogram exec_hist_;     // datapath time per job
@@ -239,6 +274,8 @@ class OverlayService {
   std::uint64_t jobs_submitted_ = 0;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;
+  std::uint64_t fused_batches_ = 0;  // fused sweeps executed (>= 2 jobs)
+  std::uint64_t batched_jobs_ = 0;   // jobs that rode a fused sweep
   std::uint64_t tasks_submitted_ = 0;
   std::uint64_t tasks_completed_ = 0;
   std::uint64_t tasks_failed_ = 0;

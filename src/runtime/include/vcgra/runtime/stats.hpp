@@ -84,6 +84,8 @@ struct ServiceStats {
   std::uint64_t tasks_submitted = 0;  // submit_task() work (e.g. vision filters)
   std::uint64_t tasks_completed = 0;
   std::uint64_t tasks_failed = 0;
+  std::uint64_t fused_batches = 0;  // fused multi-job sweeps executed
+  std::uint64_t batched_jobs = 0;   // jobs that rode a fused sweep (>= 2)
   CacheStats cache;
   SchedulerStats scheduler;
   // Latency percentiles (submit -> result ready) come from the service's

@@ -34,6 +34,34 @@ class InstanceLease {
   int instance_;
 };
 
+/// Canonical -> real output-name translation, for both the FpValue and
+/// the raw-bits output maps (identity for kernels already written in
+/// canonical names).
+void translate_outputs(const overlay::ParsedKernel& parsed,
+                       overlay::RunResult& run) {
+  if (parsed.names_are_canonical) return;
+  const auto& real_nodes = parsed.dfg.nodes();
+  const auto& canonical_nodes = parsed.canonical_dfg.nodes();
+  std::map<std::string, std::vector<softfloat::FpValue>> real_outputs;
+  std::map<std::string, std::vector<std::uint64_t>> real_bits;
+  for (const int out : parsed.dfg.outputs()) {
+    const std::string& real = real_nodes[static_cast<std::size_t>(out)].name;
+    if (real_outputs.count(real) || real_bits.count(real)) {
+      continue;  // duplicate output statement
+    }
+    const std::string& canonical =
+        canonical_nodes[static_cast<std::size_t>(out)].name;
+    const auto it = run.outputs.find(canonical);
+    if (it != run.outputs.end()) real_outputs[real] = std::move(it->second);
+    const auto bit_it = run.bit_outputs.find(canonical);
+    if (bit_it != run.bit_outputs.end()) {
+      real_bits[real] = std::move(bit_it->second);
+    }
+  }
+  run.outputs = std::move(real_outputs);
+  run.bit_outputs = std::move(real_bits);
+}
+
 }  // namespace
 
 ServiceOptions OverlayService::normalize(ServiceOptions options) {
@@ -119,6 +147,7 @@ void OverlayService::wait_idle() { pool_.wait_idle(); }
 
 void OverlayService::drain_one() {
   std::unique_ptr<PendingJob> job;
+  std::vector<std::unique_ptr<PendingJob>> batch;
   {
     // Reconfiguration-aware batching: prefer a queued job whose overlay is
     // already loaded on a free instance; fall back to FIFO order. The scan
@@ -162,6 +191,29 @@ void OverlayService::drain_one() {
     if (pick != 0) ++pending_.front()->deferrals;
     job = std::move(pending_[pick]);
     pending_.erase(pending_.begin() + static_cast<long>(pick));
+    // Fused-batch gather: every queued job sharing the picked job's exact
+    // configuration rides this drain as one plan sweep (up to the
+    // fairness cap, so a flood of one kernel cannot monopolize a worker).
+    // The wakeups those jobs enqueued become harmless empty-queue pops.
+    if (options_.use_plan_executor && options_.max_batch_jobs > 1 &&
+        !job->front_end_error) {
+      for (std::size_t i = 0;
+           i < pending_.size() && batch.size() + 1 < options_.max_batch_jobs;) {
+        if (!pending_[i]->front_end_error &&
+            pending_[i]->config_key == job->config_key) {
+          batch.push_back(std::move(pending_[i]));
+          pending_.erase(pending_.begin() + static_cast<long>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+
+  if (!batch.empty()) {
+    batch.insert(batch.begin(), std::move(job));
+    execute_fused(batch);
+    return;
   }
 
   try {
@@ -232,48 +284,107 @@ JobResult OverlayService::execute(PendingJob& job) {
     }
     VCGRA_TRACE_SPAN("exec.run");
     common::WallTimer exec;
-    const auto run_streams =
-        [&](const std::map<std::string, std::vector<double>>& streams) {
-          if (plan) return overlay::PlanExecutor(plan).run_doubles(streams);
-          return overlay::Simulator(compiled, options_.sim).run_doubles(streams);
-        };
 
     // Cached artifacts carry canonical (alpha-renamed) signal names so
     // isomorphic kernels share them; the job's streams use the kernel's
     // real names. Translate at the boundary — both directions are
     // identities for kernels already written in canonical names.
-    if (job.parsed->names_are_canonical) {
-      result.run = run_streams(request.inputs);
-    } else {
-      // Streams are moved, not copied: the request is dead after execute().
-      std::map<std::string, std::vector<double>> canonical_inputs;
+    // Streams are moved, not copied: the request is dead after execute().
+    const bool canonical = job.parsed->names_are_canonical;
+    std::map<std::string, std::vector<double>> renamed_inputs;
+    std::map<std::string, std::vector<std::uint64_t>> renamed_bits;
+    if (!canonical) {
       for (auto& [name, stream] : job.request.inputs) {
         // A stray input whose name collides with another stream's
         // canonical name must fail loudly (pre-rename it would have been
         // rejected by the simulator), never silently clobber real data.
-        if (!canonical_inputs.emplace(job.parsed->canonical_name(name),
-                                      std::move(stream)).second) {
+        if (!renamed_inputs.emplace(job.parsed->canonical_name(name),
+                                    std::move(stream)).second) {
           throw std::invalid_argument(
               "input stream '" + name + "' collides with another stream after "
               "canonicalization");
         }
       }
-      result.run = run_streams(canonical_inputs);
-      const auto& real_nodes = job.parsed->dfg.nodes();
-      const auto& canonical_nodes = job.parsed->canonical_dfg.nodes();
-      std::map<std::string, std::vector<softfloat::FpValue>> real_outputs;
-      for (const int out : job.parsed->dfg.outputs()) {
-        const std::string& real = real_nodes[static_cast<std::size_t>(out)].name;
-        if (real_outputs.count(real)) continue;  // duplicate output statement
-        const std::string& canonical =
-            canonical_nodes[static_cast<std::size_t>(out)].name;
-        const auto it = result.run.outputs.find(canonical);
-        if (it != result.run.outputs.end()) {
-          real_outputs[real] = std::move(it->second);
+      for (auto& [name, stream] : job.request.input_bits) {
+        if (!renamed_bits.emplace(job.parsed->canonical_name(name),
+                                  std::move(stream)).second) {
+          throw std::invalid_argument(
+              "input stream '" + name + "' collides with another stream after "
+              "canonicalization");
         }
       }
-      result.run.outputs = std::move(real_outputs);
     }
+    const auto& dstreams = canonical ? request.inputs : renamed_inputs;
+    const auto& bstreams = canonical ? request.input_bits : renamed_bits;
+
+    if (plan && bstreams.empty() && !request.raw_output) {
+      // The common all-doubles plan path.
+      result.run = overlay::PlanExecutor(plan).run_doubles(dstreams);
+    } else if (plan) {
+      // Raw-bits boundary on the plan path: a fused batch of one, so the
+      // single-job and batched entry points share one codepath.
+      overlay::BatchInputs in;
+      for (const auto& [name, stream] : dstreams) {
+        in.emplace(name, overlay::BatchStream{nullptr, stream.data(),
+                                              stream.size()});
+      }
+      for (const auto& [name, stream] : bstreams) {
+        if (!in.emplace(name, overlay::BatchStream{stream.data(), nullptr,
+                                                   stream.size()}).second) {
+          throw std::invalid_argument(
+              "input stream '" + name +
+              "' provided as both doubles and raw bits");
+        }
+      }
+      std::vector<overlay::BatchInputs> batch_in;
+      batch_in.push_back(std::move(in));
+      auto outcomes = overlay::PlanExecutor(plan).run_batch(
+          batch_in, {request.raw_output});
+      if (outcomes[0].error) std::rethrow_exception(outcomes[0].error);
+      result.run = std::move(outcomes[0].run);
+    } else {
+      // Interpreter path. Raw bits are converted with the scalar FpValue
+      // boundary (never the batch encoder/decoder) so the interpreter
+      // stays an independent oracle for the plan executor.
+      if (bstreams.empty() && !request.raw_output) {
+        result.run =
+            overlay::Simulator(compiled, options_.sim).run_doubles(dstreams);
+      } else {
+        const softfloat::FpFormat format = request.arch.format;
+        std::map<std::string, std::vector<softfloat::FpValue>> fp_inputs;
+        for (const auto& [name, stream] : dstreams) {
+          std::vector<softfloat::FpValue>& values = fp_inputs[name];
+          values.reserve(stream.size());
+          for (const double v : stream) {
+            values.push_back(softfloat::FpValue::from_double(format, v));
+          }
+        }
+        for (const auto& [name, stream] : bstreams) {
+          if (fp_inputs.count(name)) {
+            throw std::invalid_argument(
+                "input stream '" + name +
+                "' provided as both doubles and raw bits");
+          }
+          std::vector<softfloat::FpValue>& values = fp_inputs[name];
+          values.reserve(stream.size());
+          for (const std::uint64_t bits : stream) {
+            values.push_back(softfloat::FpValue(format, bits));
+          }
+        }
+        result.run = overlay::Simulator(compiled, options_.sim).run(fp_inputs);
+        if (request.raw_output) {
+          for (auto& [name, stream] : result.run.outputs) {
+            std::vector<std::uint64_t> bits(stream.size());
+            for (std::size_t i = 0; i < stream.size(); ++i) {
+              bits[i] = stream[i].bits();
+            }
+            result.run.bit_outputs.emplace(name, std::move(bits));
+          }
+          result.run.outputs.clear();
+        }
+      }
+    }
+    translate_outputs(*job.parsed, result.run);
     result.exec_seconds = exec.seconds();
   }
 
@@ -296,6 +407,226 @@ JobResult OverlayService::execute(PendingJob& job) {
                      << " threshold) span tree:\n" << trace.tree_string();
   }
   return result;
+}
+
+void OverlayService::execute_fused(
+    std::vector<std::unique_ptr<PendingJob>>& batch) {
+  const std::size_t njobs = batch.size();
+  PendingJob& lead = *batch.front();
+  const std::uint64_t picked_ns = telemetry::trace_now_ns();
+
+  // Shared outcome of the one-time work (lookup, acquire, plan fetch):
+  // every job in the batch copies from this template.
+  JobResult shared;
+  shared.batch_size = static_cast<int>(njobs);
+  std::vector<overlay::PlanExecutor::BatchOutcome> outcomes;
+  std::vector<std::exception_ptr> job_error(njobs);  // boundary failures
+  std::vector<std::size_t> slot_of;  // outcomes index -> batch index
+  std::exception_ptr batch_error;    // shared-stage failure fails everyone
+  telemetry::JobTrace trace;
+  double exec_share = 0;
+
+  try {
+    telemetry::JobTraceScope tracing(&trace);
+
+    CacheOutcome outcome;
+    std::shared_ptr<const overlay::Compiled> compiled;
+    {
+      VCGRA_TRACE_SPAN("cache.lookup");
+      compiled = cache_.get_or_specialize(lead.keys, *lead.parsed,
+                                          lead.request.arch, lead.request.seed,
+                                          lead.binding, &outcome);
+    }
+    shared.cache_hit = outcome.hit;
+    shared.structure_hit = outcome.structure_hit;
+    shared.disk_hit = outcome.disk_hit;
+    shared.compile_seconds = outcome.compile_seconds;
+    shared.specialize_seconds = outcome.specialize_seconds;
+    shared.disk_load_seconds = outcome.disk_load_seconds;
+
+    std::unique_ptr<InstanceLease> lease;
+    {
+      VCGRA_TRACE_SPAN("sched.acquire");
+      const Assignment assignment =
+          scheduler_.acquire(lead.config_key, lead.keys.structure, compiled);
+      lease = std::make_unique<InstanceLease>(scheduler_, assignment.instance);
+      shared.instance = assignment.instance;
+      shared.reconfigured = assignment.reconfigured;
+      shared.param_respecialized = assignment.param_only;
+      shared.reconfig_seconds = assignment.reconfig_seconds;
+    }
+
+    std::shared_ptr<const overlay::ExecPlan> plan;
+    {
+      VCGRA_TRACE_SPAN("plan.fetch");
+      plan = cache_.plan_for(lead.keys, compiled, options_.sim);
+    }
+    shared.plan_executed = true;
+
+    // Per-job input views resolved to plan buffer indices. The views
+    // borrow from the requests, which outlive the sweep. A job whose
+    // streams fail translation is excluded from the sweep and fails
+    // alone; the rest of the batch runs.
+    //
+    // The batch shares one configuration, so the lead's stream names
+    // are resolved (canonical translation + plan buffer lookup) once;
+    // every follower whose stream name lists match the lead's byte for
+    // byte — the overwhelmingly common case — reuses that table and
+    // pays zero string work. A follower with different real names (an
+    // isomorphic kernel text) falls back to its own translation.
+    overlay::PlanExecutor executor(plan);
+    struct NameSlot {
+      const std::string* name;  // lead's real stream name
+      std::int32_t buffer;      // resolved plan buffer
+      bool bits;                // from input_bits, not inputs
+    };
+    std::vector<NameSlot> table;
+    std::vector<overlay::ResolvedJob> inputs;
+    std::vector<bool> raw;
+    inputs.reserve(njobs);
+    slot_of.reserve(njobs);
+    bool table_ok = false;
+    for (std::size_t j = 0; j < njobs; ++j) {
+      const PendingJob& job = *batch[j];
+      const JobRequest& request = job.request;
+      try {
+        overlay::ResolvedJob in;
+        in.reserve(request.inputs.size() + request.input_bits.size());
+        bool fast = false;
+        if (j > 0 && table_ok &&
+            request.inputs.size() + request.input_bits.size() == table.size()) {
+          fast = true;
+          std::size_t slot = 0;
+          for (const auto& [name, stream] : request.inputs) {
+            const NameSlot& entry = table[slot++];
+            if (entry.bits || name != *entry.name) {
+              fast = false;
+              break;
+            }
+            in.push_back({entry.buffer, overlay::BatchStream{
+                                            nullptr, stream.data(),
+                                            stream.size()}});
+          }
+          for (const auto& [name, stream] : request.input_bits) {
+            if (!fast) break;
+            const NameSlot& entry = table[slot++];
+            if (!entry.bits || name != *entry.name) {
+              fast = false;
+              break;
+            }
+            in.push_back({entry.buffer, overlay::BatchStream{
+                                            stream.data(), nullptr,
+                                            stream.size()}});
+          }
+        }
+        if (!fast) {
+          in.clear();
+          const bool canonical = job.parsed->names_are_canonical;
+          std::vector<NameSlot> slots;
+          slots.reserve(request.inputs.size() + request.input_bits.size());
+          const auto add = [&](const std::string& name,
+                               const overlay::BatchStream& stream, bool bits) {
+            const std::int32_t buffer = executor.resolve_input(
+                canonical ? name : job.parsed->canonical_name(name));
+            for (const NameSlot& prior : slots) {
+              if (prior.buffer != buffer) continue;
+              throw std::invalid_argument(
+                  bits ? "input stream '" + name +
+                             "' provided as both doubles and raw bits"
+                       : "input stream '" + name +
+                             "' collides with another stream after "
+                             "canonicalization");
+            }
+            slots.push_back({&name, buffer, bits});
+            in.push_back({buffer, stream});
+          };
+          for (const auto& [name, stream] : request.inputs) {
+            add(name, overlay::BatchStream{nullptr, stream.data(),
+                                           stream.size()}, false);
+          }
+          for (const auto& [name, stream] : request.input_bits) {
+            add(name, overlay::BatchStream{stream.data(), nullptr,
+                                           stream.size()}, true);
+          }
+          if (j == 0) {
+            table = std::move(slots);
+            table_ok = true;
+          }
+        }
+        inputs.push_back(std::move(in));
+        raw.push_back(request.raw_output);
+        slot_of.push_back(j);
+      } catch (...) {
+        job_error[j] = std::current_exception();
+      }
+    }
+
+    VCGRA_TRACE_SPAN("exec.run");
+    common::WallTimer exec;
+    outcomes = executor.run_batch_resolved(inputs, raw);
+    // Each job reports an equal share of the sweep so sums over jobs
+    // still total the real datapath time.
+    exec_share = exec.seconds() / static_cast<double>(njobs);
+  } catch (...) {
+    batch_error = std::current_exception();
+  }
+
+  // The lead job's queue wait stands in for the batch in the trace; each
+  // JobResult still carries its own queue_seconds below.
+  trace.add("queue.wait", 0, lead.submit_ns, picked_ns - lead.submit_ns);
+  telemetry::Tracer::record_span("queue.wait", lead.submit_ns,
+                                 picked_ns - lead.submit_ns, trace.trace_id);
+  const std::vector<telemetry::StageTiming> stages = trace.stage_breakdown();
+
+  std::vector<overlay::PlanExecutor::BatchOutcome*> outcome_of(njobs, nullptr);
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    outcome_of[slot_of[k]] = &outcomes[k];
+  }
+
+  std::uint64_t failed = 0;
+  for (std::size_t j = 0; j < njobs; ++j) {
+    PendingJob& job = *batch[j];
+    std::exception_ptr error = batch_error;
+    if (!error) error = job_error[j];
+    if (!error && outcome_of[j] != nullptr) error = outcome_of[j]->error;
+    if (error) {
+      ++failed;
+      job.promise.set_exception(error);
+      continue;
+    }
+    JobResult result = shared;
+    if (j > 0) {
+      // Followers are cache hits by construction: the one-time costs
+      // (compile, specialize, disk load, reconfig) stay on the lead so
+      // sums over per-job results stay honest.
+      result.cache_hit = true;
+      result.structure_hit = true;
+      result.disk_hit = false;
+      result.compile_seconds = 0;
+      result.specialize_seconds = 0;
+      result.disk_load_seconds = 0;
+      result.reconfigured = false;
+      result.param_respecialized = false;
+      result.reconfig_seconds = 0;
+    }
+    result.run = std::move(outcome_of[j]->run);
+    translate_outputs(*job.parsed, result.run);
+    result.exec_seconds = exec_share;
+    result.queue_seconds =
+        static_cast<double>(picked_ns - job.submit_ns) * 1e-9;
+    result.stages = stages;
+    result.trace_id = trace.trace_id;
+    result.latency_seconds = job.since_submit.seconds();
+    record_result(result);
+    job.promise.set_value(std::move(result));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_failed_ += failed;
+    ++fused_batches_;
+    batched_jobs_ += njobs;
+  }
 }
 
 void OverlayService::record_result(const JobResult& result) {
@@ -335,6 +666,8 @@ ServiceStats OverlayService::stats() const {
     stats.tasks_submitted = tasks_submitted_;
     stats.tasks_completed = tasks_completed_;
     stats.tasks_failed = tasks_failed_;
+    stats.fused_batches = fused_batches_;
+    stats.batched_jobs = batched_jobs_;
     stats.exec_seconds = exec_seconds_total_;
     stats.wall_seconds = lifetime_.seconds();
   }

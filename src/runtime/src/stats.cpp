@@ -140,6 +140,7 @@ std::string ServiceStats::to_json() const {
       "\"jobs_failed\": %llu,\n"
       "  \"tasks_submitted\": %llu, \"tasks_completed\": %llu, "
       "\"tasks_failed\": %llu,\n"
+      "  \"fused_batches\": %llu, \"batched_jobs\": %llu,\n"
       "  \"p50_latency_seconds\": %.9g, \"p95_latency_seconds\": %.9g,\n"
       "  \"p99_latency_seconds\": %.9g, \"p999_latency_seconds\": %.9g,\n"
       "  \"max_latency_seconds\": %.9g, \"mean_latency_seconds\": %.9g,\n"
@@ -154,7 +155,9 @@ std::string ServiceStats::to_json() const {
       static_cast<unsigned long long>(jobs_failed),
       static_cast<unsigned long long>(tasks_submitted),
       static_cast<unsigned long long>(tasks_completed),
-      static_cast<unsigned long long>(tasks_failed), p50_latency_seconds,
+      static_cast<unsigned long long>(tasks_failed),
+      static_cast<unsigned long long>(fused_batches),
+      static_cast<unsigned long long>(batched_jobs), p50_latency_seconds,
       p95_latency_seconds, p99_latency_seconds, p999_latency_seconds,
       max_latency_seconds, mean_latency_seconds, p50_queue_seconds,
       p99_queue_seconds, exec_seconds, wall_seconds, jobs_per_second,
@@ -178,6 +181,12 @@ std::string ServiceStats::to_string() const {
       common::human_seconds(exec_seconds).c_str(),
       common::human_seconds(wall_seconds).c_str(), cache.to_string().c_str(),
       scheduler.to_string().c_str());
+  if (fused_batches) {
+    text += common::strprintf(
+        "\n  fused: %llu batches carrying %llu jobs",
+        static_cast<unsigned long long>(fused_batches),
+        static_cast<unsigned long long>(batched_jobs));
+  }
   return text;
 }
 

@@ -130,6 +130,10 @@ void fp_from_double_n(const FpFormat& format, const double* in,
 void fp_to_double_n(const FpFormat& format, const std::uint64_t* in,
                     double* out, std::size_t n) {
   const Fmt m(format);
+  if (use_simd(n)) {
+    simd::to_double_n(m, in, out, n);
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) out[i] = decode_one(m, in[i]);
 }
 

@@ -505,6 +505,61 @@ VCGRA_TARGET void from_double_n(const Fmt& m, const double* in,
   }
 }
 
+VCGRA_TARGET void to_double_n(const Fmt& m, const std::uint64_t* in,
+                              double* out, std::size_t n) {
+  if (m.wf > 52) {  // fraction wider than a double's: scalar whole-call
+    for (std::size_t i = 0; i < n; ++i) out[i] = fpcore::decode_one(m, in[i]);
+    return;
+  }
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i three = _mm512_set1_epi64(3);
+  const __m512i exp_mask_v = _mm512_set1_epi64(static_cast<long long>(m.exp_mask));
+  const __m512i frac_mask = _mm512_set1_epi64(static_cast<long long>(m.frac_mask));
+  // dexp = (exponent - bias) + 1023, folded into one constant add.
+  const __m512i rebias =
+      _mm512_set1_epi64(static_cast<long long>(1023 - m.bias));
+
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __mmask8 lanes =
+        n - i >= 8 ? 0xff : static_cast<__mmask8>((1u << (n - i)) - 1);
+    const __m512i bits = v_load(in + i, lanes);
+    const __m512i cls =
+        _mm512_and_epi64(_mm512_srli_epi64(bits, m.shift + 1), three);
+    const __m512i sign =
+        _mm512_and_epi64(_mm512_srli_epi64(bits, m.shift), one);
+    const __m512i exponent =
+        _mm512_and_epi64(_mm512_srli_epi64(bits, m.wf), exp_mask_v);
+    const __m512i fraction = _mm512_and_epi64(bits, frac_mask);
+    const __m512i dexp = _mm512_add_epi64(exponent, rebias);
+
+    // decode_one's exact normal-range assembly: the fraction widens
+    // losslessly into a double's 52 bits.
+    const __m512i res = _mm512_or_epi64(
+        _mm512_or_epi64(_mm512_slli_epi64(sign, 63),
+                        _mm512_slli_epi64(dexp, 52)),
+        _mm512_slli_epi64(fraction, 52 - m.wf));
+
+    const __mmask8 normal = _mm512_cmpeq_epi64_mask(cls, one);
+    const __mmask8 in_range =
+        _kand_mask8(_mm512_cmpgt_epi64_mask(dexp, _mm512_setzero_si512()),
+                    _mm512_cmplt_epi64_mask(dexp, _mm512_set1_epi64(2047)));
+    // Specials and out-of-double-range exponents redo through the scalar
+    // decoder; snapshot before the store in case `out` overlays `in`
+    // (the raw-bits boundary decodes in place).
+    __mmask8 patch =
+        _kand_mask8(lanes, _knot_mask8(_kand_mask8(normal, in_range)));
+    alignas(64) u64 tbits[8];
+    if (patch) _mm512_store_epi64(tbits, bits);
+    _mm512_mask_storeu_epi64(reinterpret_cast<long long*>(out) + i, lanes,
+                             res);
+    while (patch) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(patch));
+      out[i + lane] = fpcore::decode_one(m, tbits[lane]);
+      patch = static_cast<__mmask8>(patch & (patch - 1));
+    }
+  }
+}
+
 #else  // !VCGRA_SIMD_X86 — portable stubs; available() keeps them unreachable.
 
 bool available() { return false; }
@@ -540,6 +595,10 @@ void xpay_n(const Fmt& m, const std::uint64_t* x, u64 coeff,
 void from_double_n(const Fmt& m, const double* in, std::uint64_t* out,
                    std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) out[i] = fpcore::encode_one(m, in[i]);
+}
+void to_double_n(const Fmt& m, const std::uint64_t* in, double* out,
+                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = fpcore::decode_one(m, in[i]);
 }
 
 #endif  // VCGRA_SIMD_X86

@@ -34,5 +34,7 @@ void xpay_n(const fpcore::Fmt& m, const std::uint64_t* x, std::uint64_t coeff,
             std::size_t n);
 void from_double_n(const fpcore::Fmt& m, const double* in, std::uint64_t* out,
                    std::size_t n);
+void to_double_n(const fpcore::Fmt& m, const std::uint64_t* in, double* out,
+                 std::size_t n);
 
 }  // namespace vcgra::softfloat::simd

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <memory>
 #include <string>
@@ -142,6 +143,32 @@ class ExecArena {
   Stats stats_;
 };
 
+/// One input stream of a fused-batch job, in either encoding: exactly
+/// one of `bits` (u64 encodings in the plan's format) or `doubles` is
+/// non-null. The view borrows the caller's storage for the duration of
+/// the run_batch call.
+struct BatchStream {
+  const std::uint64_t* bits = nullptr;
+  const double* doubles = nullptr;
+  std::size_t size = 0;
+};
+
+/// A fused-batch job's input streams, keyed by DFG input name.
+using BatchInputs = std::map<std::string, BatchStream>;
+
+/// A pre-resolved input stream: `buffer` is the plan's dense buffer
+/// index for the stream's DFG input name (resolve_input()). Lets a
+/// caller dispatching many jobs against one plan pay the name lookup
+/// once per batch instead of once per job.
+struct ResolvedStream {
+  std::int32_t buffer = -1;
+  BatchStream stream;
+};
+
+/// One job's input streams in resolved form (any order, one entry per
+/// provided input).
+using ResolvedJob = std::vector<ResolvedStream>;
+
 /// Executes an ExecPlan. Stateless beyond the shared plan handle — safe
 /// to construct per job; the heavy state lives in the per-thread arena.
 class PlanExecutor {
@@ -157,6 +184,67 @@ class PlanExecutor {
   /// the pure bit datapath. Bit-identical to Simulator::run_doubles.
   RunResult run_doubles(
       const std::map<std::string, std::vector<double>>& inputs) const;
+
+  /// One job of a fused batch. `error` is set (and `run` left empty)
+  /// when that job's streams failed the acceptance rules — the rest of
+  /// the batch still executes.
+  struct BatchOutcome {
+    RunResult run;
+    std::exception_ptr error;
+  };
+
+  /// Execute N jobs that share this specialization as ONE tape sweep:
+  /// every stream buffer becomes a stripe of per-job segments laid out
+  /// back to back, each elementwise op runs as a single batch-kernel
+  /// call over its whole stripe (coefficient decode amortized once per
+  /// batch), and MAC ops keep one MacState per (op, job). Per-job
+  /// results — outputs, cycles, fp_ops, mac_ops — are bit-identical to
+  /// running each job alone through run()/run_doubles() (element
+  /// independence of the kernels plus fp_mac_n's chunking invariance
+  /// make that structural, and the differential fuzz enforces it).
+  /// `raw_outputs` (empty = all false, else one flag per job) fills that
+  /// job's RunResult::bit_outputs instead of `outputs`, skipping the
+  /// FpValue materialization entirely.
+  std::vector<BatchOutcome> run_batch(
+      const std::vector<BatchInputs>& jobs,
+      const std::vector<bool>& raw_outputs = {}) const;
+
+  /// The plan's buffer index for a DFG input name. Throws
+  /// std::invalid_argument on an unknown name (same message as the
+  /// name-keyed entry points).
+  std::int32_t resolve_input(const std::string& name) const;
+
+  /// run_batch on pre-resolved jobs: identical semantics and results,
+  /// but the per-job name translation is gone — the caller resolved
+  /// each stream's buffer index once (per batch, per plan) via
+  /// resolve_input(). This is the hot entry point of the fused-batch
+  /// service drain, where every queued job shares one specialization.
+  std::vector<BatchOutcome> run_batch_resolved(
+      const std::vector<ResolvedJob>& jobs,
+      const std::vector<bool>& raw_outputs = {}) const;
+
+  /// Borrowed output stream of run_views(): `data` points into the
+  /// calling thread's arena.
+  struct BitStreamView {
+    const std::uint64_t* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  /// Zero-copy result of run_views(): output views stay valid only until
+  /// the calling thread's next plan execution (any run/run_batch on any
+  /// executor). Consumers fold or decode before running again.
+  struct RunView {
+    std::vector<std::pair<std::string, BitStreamView>> outputs;  // name-sorted
+    std::uint64_t cycles = 0;
+    std::uint64_t fp_ops = 0;
+    std::uint64_t mac_ops = 0;
+    int pipeline_depth = 0;
+  };
+
+  /// Arena-backed variant of run_batch for callers that can consume
+  /// borrowed buffers: no output copy at all. Throws on acceptance-rule
+  /// violations (same rules/messages as run_doubles).
+  RunView run_views(const BatchInputs& inputs) const;
 
   const ExecPlan& plan() const { return *plan_; }
 

@@ -32,6 +32,12 @@ struct SimOptions {
 
 struct RunResult {
   std::map<std::string, std::vector<softfloat::FpValue>> outputs;
+  /// Raw-bits output mode: the same streams as u64 encodings in the
+  /// overlay's FP format (filled instead of `outputs` when the caller
+  /// asked for raw output — see JobRequest::raw_output). Consumers
+  /// chaining kernels fold these directly through the batch kernels
+  /// without a double round trip.
+  std::map<std::string, std::vector<std::uint64_t>> bit_outputs;
   std::uint64_t cycles = 0;      // pipelined schedule length
   std::uint64_t fp_ops = 0;      // multiplies + adds executed
   std::uint64_t mac_ops = 0;     // multiply-accumulate steps

@@ -583,4 +583,422 @@ RunResult PlanExecutor::run_doubles(
                       });
 }
 
+// --- Fused batch execution ---------------------------------------------------
+
+namespace {
+
+/// Everything the output-materialization passes need after the fused
+/// sweep: per-job acceptance verdicts and closed-form op totals. The
+/// stripe geometry itself stays in the thread arena, indexed
+/// [buffer * njobs + job] for both lengths and absolute word offsets.
+struct BatchLayout {
+  std::size_t njobs = 0;
+  std::vector<std::size_t> job_length;    // input stream length per job
+  std::vector<std::exception_ptr> error;  // set = job excluded from sweep
+  std::vector<std::uint64_t> fp_ops;
+  std::vector<std::uint64_t> mac_ops;
+};
+
+/// Convert name-keyed batch jobs to resolved (buffer-indexed) form,
+/// capturing per-job failures instead of failing the batch — the
+/// single-job acceptance rules, in the single-job order (length
+/// mismatch before unknown name).
+void resolve_jobs(const ExecPlan& plan, const std::vector<BatchInputs>& jobs,
+                  std::vector<ResolvedJob>* resolved,
+                  std::vector<std::exception_ptr>* pre_error) {
+  resolved->resize(jobs.size());
+  pre_error->resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    try {
+      std::size_t length = 0;
+      for (const auto& [name, stream] : jobs[j]) {
+        if (length == 0) length = stream.size;
+        if (stream.size != length) {
+          throw std::invalid_argument(
+              "PlanExecutor: input stream lengths differ");
+        }
+      }
+      ResolvedJob& job = (*resolved)[j];
+      job.reserve(jobs[j].size());
+      for (const auto& [name, stream] : jobs[j]) {
+        const auto it = plan.input_buffer_by_name.find(name);
+        if (it == plan.input_buffer_by_name.end()) {
+          throw std::invalid_argument("PlanExecutor: unknown input stream '" +
+                                      name + "'");
+        }
+        job.push_back(ResolvedStream{it->second, stream});
+      }
+    } catch (...) {
+      (*pre_error)[j] = std::current_exception();
+      (*resolved)[j].clear();
+    }
+  }
+}
+
+/// Shared body of run_batch()/run_views(): validate every job with the
+/// single-job acceptance rules (capturing failures per job instead of
+/// failing the batch), stripe each buffer as the valid jobs' segments
+/// back to back, seed all inputs in one boundary pass, then sweep the
+/// tape once — each elementwise op as a single kernel call over its
+/// whole stripe. No block tiling here: fused batches exist for the
+/// many-small-jobs regime, where whole-stripe calls are exactly the
+/// amortization wanted (and bit-exactness is chunking-independent).
+/// `pre_error` (empty = none) marks jobs that already failed name
+/// resolution; they are excluded exactly like a validation failure.
+BatchLayout execute_batch_core(const ExecPlan& plan,
+                               const std::vector<ResolvedJob>& jobs,
+                               const std::vector<std::exception_ptr>& pre_error) {
+  const std::size_t njobs = jobs.size();
+  const std::size_t buffers = static_cast<std::size_t>(plan.num_buffers);
+  BatchLayout lay;
+  lay.njobs = njobs;
+  lay.job_length.assign(njobs, 0);
+  lay.error.resize(njobs);
+  lay.fp_ops.assign(njobs, 0);
+  lay.mac_ops.assign(njobs, 0);
+
+  ExecArena& arena = ExecArena::this_thread();
+  arena.begin_job(buffers * njobs,
+                  static_cast<std::size_t>(plan.num_mac_ops) * njobs);
+  std::vector<std::size_t>& lens = arena.lengths();
+
+  for (std::size_t j = 0; j < njobs; ++j) {
+    try {
+      if (!pre_error.empty() && pre_error[j]) {
+        std::rethrow_exception(pre_error[j]);
+      }
+      std::size_t length = 0;
+      for (const ResolvedStream& entry : jobs[j]) {
+        if (length == 0) length = entry.stream.size;
+        if (entry.stream.size != length) {
+          throw std::invalid_argument(
+              "PlanExecutor: input stream lengths differ");
+        }
+      }
+      lay.job_length[j] = length;
+      for (const ResolvedStream& entry : jobs[j]) {
+        if (entry.buffer < 0 || entry.buffer >= plan.num_buffers) {
+          throw std::invalid_argument(
+              "PlanExecutor: resolved stream buffer index out of range");
+        }
+        std::size_t& slot =
+            lens[static_cast<std::size_t>(entry.buffer) * njobs + j];
+        if (slot != kAbsent) {
+          throw std::invalid_argument(
+              "PlanExecutor: duplicate resolved input stream");
+        }
+        slot = entry.stream.size;
+      }
+      for (const ExecPlan::Op& op : plan.tape) {
+        const std::size_t la = lens[static_cast<std::size_t>(op.a) * njobs + j];
+        if (la == kAbsent) {
+          throw std::runtime_error(common::strprintf(
+              "PlanExecutor: operand stream for node %d missing (src %d)",
+              op.node, op.src_a));
+        }
+        std::size_t lb = 0;
+        if (op.b >= 0) {
+          lb = lens[static_cast<std::size_t>(op.b) * njobs + j];
+          if (lb == kAbsent) {
+            throw std::runtime_error(common::strprintf(
+                "PlanExecutor: operand stream for node %d missing (src %d)",
+                op.node, op.src_b));
+          }
+        }
+        const std::size_t dst = static_cast<std::size_t>(op.dst) * njobs + j;
+        switch (op.code) {
+          case ExecPlan::OpCode::kMulCoeff:
+            lens[dst] = la;
+            lay.fp_ops[j] += la;
+            break;
+          case ExecPlan::OpCode::kMulStream:
+            if (lb < la) {
+              throw std::runtime_error(
+                  "PlanExecutor: mul stream operands shorter than the first");
+            }
+            lens[dst] = la;
+            lay.fp_ops[j] += la;
+            break;
+          case ExecPlan::OpCode::kAdd:
+          case ExecPlan::OpCode::kSub:
+            if (la != lb) {
+              throw std::runtime_error(
+                  "PlanExecutor: add/sub needs two equal streams");
+            }
+            lens[dst] = la;
+            lay.fp_ops[j] += la;
+            break;
+          case ExecPlan::OpCode::kAxpy:
+          case ExecPlan::OpCode::kXpay:
+            if (la != lb) {
+              throw std::runtime_error(
+                  "PlanExecutor: add/sub needs two equal streams");
+            }
+            lens[dst] = la;
+            lay.fp_ops[j] += 2 * la;
+            break;
+          case ExecPlan::OpCode::kMac:
+            lens[dst] = op.count ? la / op.count : 0;
+            lay.fp_ops[j] += 2 * la;
+            lay.mac_ops[j] += la;
+            break;
+        }
+      }
+    } catch (...) {
+      // A rejected job contributes nothing to the stripes; the rest of
+      // the batch is unaffected.
+      lay.error[j] = std::current_exception();
+      for (std::size_t b = 0; b < buffers; ++b) lens[b * njobs + j] = kAbsent;
+    }
+  }
+
+  std::size_t total_words = 0;
+  for (std::size_t i = 0; i < buffers * njobs; ++i) {
+    if (lens[i] != kAbsent) total_words += lens[i];
+  }
+  arena.reserve_words(total_words);
+
+  // Segment offsets: per buffer, the valid jobs' segments back to back in
+  // job order — so a consumed buffer's stripe is contiguous and aligns
+  // element-for-element with its consumers' stripes.
+  std::vector<std::size_t>& offsets = arena.offsets();
+  for (std::size_t b = 0; b < buffers; ++b) {
+    for (std::size_t j = 0; j < njobs; ++j) {
+      const std::size_t i = b * njobs + j;
+      if (lens[i] == kAbsent) continue;
+      offsets[i] = static_cast<std::size_t>(arena.take(lens[i]) - arena.words());
+    }
+  }
+
+  // Boundary pass: every provided stream of every valid job, bits copied
+  // or doubles batch-encoded straight into its segment.
+  const softfloat::FpFormat format = plan.format;
+  std::uint64_t span_start = telemetry::child_span_start();
+  for (std::size_t j = 0; j < njobs; ++j) {
+    if (lay.error[j]) continue;
+    for (const ResolvedStream& entry : jobs[j]) {
+      const std::size_t i = static_cast<std::size_t>(entry.buffer) * njobs + j;
+      std::uint64_t* dst = arena.words() + offsets[i];
+      if (entry.stream.bits) {
+        std::copy(entry.stream.bits, entry.stream.bits + entry.stream.size,
+                  dst);
+      } else {
+        softfloat::fp_from_double_n(format, entry.stream.doubles, dst,
+                                    entry.stream.size);
+      }
+    }
+  }
+  telemetry::record_child_span("exec.encode", span_start);
+  span_start = telemetry::child_span_start();
+
+  // The fused sweep. Topological order means every operand stripe is
+  // complete before its consumer runs, so each op is one whole-stripe
+  // kernel call — except kMac (a serial per-job accumulator) and a
+  // kMulStream whose second operand is longer than the first in some job
+  // (its stripe then misaligns; that op falls back to per-job calls).
+  std::uint64_t* const words = arena.words();
+  std::vector<ExecArena::MacState>& mac = arena.mac_states();
+  std::size_t first_valid = njobs;
+  for (std::size_t j = 0; j < njobs; ++j) {
+    if (!lay.error[j]) {
+      first_valid = j;
+      break;
+    }
+  }
+  if (first_valid < njobs) {
+    for (const ExecPlan::Op& op : plan.tape) {
+      const std::size_t a0 = static_cast<std::size_t>(op.a) * njobs;
+      const std::size_t d0 = static_cast<std::size_t>(op.dst) * njobs;
+      if (op.code == ExecPlan::OpCode::kMac) {
+        for (std::size_t j = 0; j < njobs; ++j) {
+          if (lay.error[j]) continue;
+          const std::size_t n = lens[a0 + j];
+          if (n == 0 || op.count == 0) continue;
+          ExecArena::MacState& state =
+              mac[static_cast<std::size_t>(op.mac_slot) * njobs + j];
+          softfloat::fp_mac_n(format, words + offsets[a0 + j], op.coeff_bits,
+                              op.count, words + offsets[d0 + j], n, &state.acc,
+                              &state.filled);
+          state.consumed = n;
+        }
+        continue;
+      }
+      const std::size_t b0 =
+          op.b >= 0 ? static_cast<std::size_t>(op.b) * njobs : 0;
+      bool whole = true;
+      if (op.code == ExecPlan::OpCode::kMulStream) {
+        for (std::size_t j = 0; j < njobs && whole; ++j) {
+          if (!lay.error[j] && lens[a0 + j] != lens[b0 + j]) whole = false;
+        }
+      }
+      if (!whole) {
+        for (std::size_t j = 0; j < njobs; ++j) {
+          if (lay.error[j] || lens[a0 + j] == 0) continue;
+          softfloat::fp_mul_n(format, words + offsets[a0 + j],
+                              words + offsets[b0 + j], words + offsets[d0 + j],
+                              lens[a0 + j]);
+        }
+        continue;
+      }
+      std::size_t n_total = 0;
+      for (std::size_t j = 0; j < njobs; ++j) {
+        if (!lay.error[j]) n_total += lens[d0 + j];
+      }
+      if (n_total == 0) continue;
+      const std::uint64_t* pa = words + offsets[a0 + first_valid];
+      std::uint64_t* pd = words + offsets[d0 + first_valid];
+      const std::uint64_t* pb =
+          op.b >= 0 ? words + offsets[b0 + first_valid] : nullptr;
+      switch (op.code) {
+        case ExecPlan::OpCode::kMulCoeff:
+          softfloat::fp_mul_coeff_n(format, pa, op.coeff_bits, pd, n_total);
+          break;
+        case ExecPlan::OpCode::kMulStream:
+          softfloat::fp_mul_n(format, pa, pb, pd, n_total);
+          break;
+        case ExecPlan::OpCode::kAdd:
+          softfloat::fp_add_n(format, pa, pb, pd, n_total);
+          break;
+        case ExecPlan::OpCode::kSub:
+          softfloat::fp_add_xor_n(format, pa, pb, op.xor_mask, pd, n_total);
+          break;
+        case ExecPlan::OpCode::kAxpy:
+          softfloat::fp_axpy_n(format, pa, pb, op.coeff_bits, op.xor_mask, pd,
+                               n_total);
+          break;
+        case ExecPlan::OpCode::kXpay:
+          softfloat::fp_xpay_n(format, pa, op.coeff_bits, pb, op.xor_mask, pd,
+                               n_total);
+          break;
+        case ExecPlan::OpCode::kMac:
+          break;  // handled above
+      }
+    }
+  }
+  telemetry::record_child_span("exec.tape", span_start);
+  return lay;
+}
+
+/// Materialize per-job RunResults (or bit_outputs in raw mode) from the
+/// stripes the core left in the calling thread's arena.
+std::vector<PlanExecutor::BatchOutcome> decode_batch(
+    const ExecPlan& plan, const BatchLayout& lay,
+    const std::vector<bool>& raw_outputs) {
+  const std::size_t njobs = lay.njobs;
+  ExecArena& arena = ExecArena::this_thread();
+  const std::vector<std::size_t>& lens = arena.lengths();
+  const std::vector<std::size_t>& offsets = arena.offsets();
+  const std::uint64_t* const words = arena.words();
+  const softfloat::FpFormat format = plan.format;
+
+  const std::uint64_t span_start = telemetry::child_span_start();
+  std::vector<PlanExecutor::BatchOutcome> out(njobs);
+  for (std::size_t j = 0; j < njobs; ++j) {
+    PlanExecutor::BatchOutcome& o = out[j];
+    if (lay.error[j]) {
+      o.error = lay.error[j];
+      continue;
+    }
+    const bool raw = !raw_outputs.empty() && raw_outputs[j];
+    try {
+      for (const ExecPlan::OutputSlot& slot : plan.outputs) {
+        const std::size_t i = static_cast<std::size_t>(slot.buffer) * njobs + j;
+        if (lens[i] == kAbsent) {
+          throw std::runtime_error("PlanExecutor: output stream missing");
+        }
+        const std::uint64_t* p = words + offsets[i];
+        if (raw) {
+          o.run.bit_outputs.emplace(slot.name,
+                                    std::vector<std::uint64_t>(p, p + lens[i]));
+        } else {
+          std::vector<FpValue> stream(lens[i]);
+          for (std::size_t k = 0; k < lens[i]; ++k) {
+            stream[k] = FpValue(format, p[k]);
+          }
+          o.run.outputs.emplace(slot.name, std::move(stream));
+        }
+      }
+    } catch (...) {
+      o.error = std::current_exception();
+      o.run = RunResult{};
+      continue;
+    }
+    o.run.pipeline_depth = plan.pipeline_depth;
+    o.run.cycles = static_cast<std::uint64_t>(plan.pipeline_depth) +
+                   (lay.job_length[j] > 0 ? lay.job_length[j] - 1 : 0);
+    o.run.fp_ops = lay.fp_ops[j];
+    o.run.mac_ops = lay.mac_ops[j];
+  }
+  telemetry::record_child_span("exec.decode", span_start);
+  return out;
+}
+
+}  // namespace
+
+std::vector<PlanExecutor::BatchOutcome> PlanExecutor::run_batch(
+    const std::vector<BatchInputs>& jobs,
+    const std::vector<bool>& raw_outputs) const {
+  const ExecPlan& plan = *plan_;
+  if (!raw_outputs.empty() && raw_outputs.size() != jobs.size()) {
+    throw std::invalid_argument(
+        "PlanExecutor: raw_outputs must be empty or one flag per job");
+  }
+  std::vector<ResolvedJob> resolved;
+  std::vector<std::exception_ptr> pre_error;
+  resolve_jobs(plan, jobs, &resolved, &pre_error);
+  const BatchLayout lay = execute_batch_core(plan, resolved, pre_error);
+  return decode_batch(plan, lay, raw_outputs);
+}
+
+std::int32_t PlanExecutor::resolve_input(const std::string& name) const {
+  const auto it = plan_->input_buffer_by_name.find(name);
+  if (it == plan_->input_buffer_by_name.end()) {
+    throw std::invalid_argument("PlanExecutor: unknown input stream '" + name +
+                                "'");
+  }
+  return it->second;
+}
+
+std::vector<PlanExecutor::BatchOutcome> PlanExecutor::run_batch_resolved(
+    const std::vector<ResolvedJob>& jobs,
+    const std::vector<bool>& raw_outputs) const {
+  const ExecPlan& plan = *plan_;
+  if (!raw_outputs.empty() && raw_outputs.size() != jobs.size()) {
+    throw std::invalid_argument(
+        "PlanExecutor: raw_outputs must be empty or one flag per job");
+  }
+  const BatchLayout lay = execute_batch_core(plan, jobs, {});
+  return decode_batch(plan, lay, raw_outputs);
+}
+
+PlanExecutor::RunView PlanExecutor::run_views(const BatchInputs& inputs) const {
+  const ExecPlan& plan = *plan_;
+  std::vector<ResolvedJob> resolved;
+  std::vector<std::exception_ptr> pre_error;
+  resolve_jobs(plan, {inputs}, &resolved, &pre_error);
+  BatchLayout lay = execute_batch_core(plan, resolved, pre_error);
+  if (lay.error[0]) std::rethrow_exception(lay.error[0]);
+
+  ExecArena& arena = ExecArena::this_thread();
+  const std::vector<std::size_t>& lens = arena.lengths();
+  const std::vector<std::size_t>& offsets = arena.offsets();
+
+  RunView view;
+  view.outputs.reserve(plan.outputs.size());
+  for (const ExecPlan::OutputSlot& slot : plan.outputs) {
+    const std::size_t i = static_cast<std::size_t>(slot.buffer);
+    if (lens[i] == kAbsent) {
+      throw std::runtime_error("PlanExecutor: output stream missing");
+    }
+    view.outputs.emplace_back(
+        slot.name, BitStreamView{arena.words() + offsets[i], lens[i]});
+  }
+  view.pipeline_depth = plan.pipeline_depth;
+  view.cycles = static_cast<std::uint64_t>(plan.pipeline_depth) +
+                (lay.job_length[0] > 0 ? lay.job_length[0] - 1 : 0);
+  view.fp_ops = lay.fp_ops[0];
+  view.mac_ops = lay.mac_ops[0];
+  return view;
+}
+
 }  // namespace vcgra::overlay

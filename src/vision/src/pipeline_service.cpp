@@ -100,6 +100,9 @@ DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
         }
       }
     }
+    // Raw-bits job boundary: the fold below consumes u64 encodings
+    // directly, so the service never materializes FpValue outputs.
+    request.raw_output = true;
     futures.push_back(service.submit(std::move(request)));
   }
 
@@ -107,7 +110,6 @@ DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
   // buffers through the batch adder (bit-identical to the scalar fp_add
   // fold), with one batch decode pass at the image boundary.
   std::vector<std::uint64_t> acc(pixels, 0);
-  std::vector<std::uint64_t> partial(pixels, 0);
   bool first_group = true;
   for (auto& future : futures) {
     const runtime::JobResult job = future.get();
@@ -117,15 +119,15 @@ DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
     result.specialize_seconds += job.specialize_seconds;
     result.cycles += job.run.cycles;
     result.fp_ops += job.run.fp_ops;
-    const auto it = job.run.outputs.find("y");
-    if (it == job.run.outputs.end() || it->second.size() != pixels) {
+    const auto it = job.run.bit_outputs.find("y");
+    if (it == job.run.bit_outputs.end() || it->second.size() != pixels) {
       throw std::runtime_error("convolve_overlay_dcs: malformed job output");
     }
-    std::uint64_t* dst = first_group ? acc.data() : partial.data();
-    for (std::size_t p = 0; p < pixels; ++p) dst[p] = it->second[p].bits();
-    if (!first_group) {
-      softfloat::fp_add_n(arch.format, acc.data(), partial.data(), acc.data(),
-                          pixels);
+    if (first_group) {
+      std::copy(it->second.begin(), it->second.end(), acc.begin());
+    } else {
+      softfloat::fp_add_n(arch.format, acc.data(), it->second.data(),
+                          acc.data(), pixels);
     }
     first_group = false;
   }

@@ -671,3 +671,303 @@ TEST(BatchKernels, MatchScalarOpsOnSpecialsLadenStreams) {
     }
   }
 }
+
+// The striped multi-job layout the fused executor builds: per-job
+// segments of mixed lengths back to back in one buffer, elementwise
+// kernels called once over the whole stripe — in place (the fused
+// sweep's aliasing pattern), partial-SIMD-width tails included — must
+// match per-segment out-of-place calls; and per-job MAC state driven
+// through stripe offsets must match fresh per-job buffers.
+TEST(BatchKernels, StripedBuffersAliasAndResumeLikePerJobCalls) {
+  const FpFormat formats[] = {FpFormat::half_like(), FpFormat::paper()};
+  const std::size_t segments[] = {0, 1, 5, 37, 8, 64, 3};
+  vcgra::common::Rng rng(0x57a1b);
+  for (const FpFormat& format : formats) {
+    SCOPED_TRACE(vcgra::common::strprintf("fp(%d,%d)", format.we, format.wf));
+    std::size_t total = 0;
+    for (const std::size_t len : segments) total += len;
+    std::vector<std::uint64_t> a(total), b(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      a[i] = random_operand(format, rng).bits();
+      b[i] = random_operand(format, rng).bits();
+    }
+
+    // Whole-stripe in-place add vs per-segment out-of-place calls.
+    std::vector<std::uint64_t> stripe = a;
+    sf::fp_add_n(format, stripe.data(), b.data(), stripe.data(), total);
+    std::size_t offset = 0;
+    for (const std::size_t len : segments) {
+      std::vector<std::uint64_t> ref(len);
+      sf::fp_add_n(format, a.data() + offset, b.data() + offset, ref.data(),
+                   len);
+      for (std::size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(stripe[offset + i], ref[i])
+            << "segment@" << offset << " sample " << i;
+      }
+      offset += len;
+    }
+
+    // Per-job MAC state at stripe offsets vs fresh per-job buffers:
+    // every segment's accumulator starts cold and its partial tail is
+    // dropped, exactly as if the job had run alone.
+    const std::uint64_t coeff = FpValue::from_double(format, -0.4375).bits();
+    const std::uint32_t count = 3;
+    offset = 0;
+    for (const std::size_t len : segments) {
+      std::vector<std::uint64_t> striped_out(len / count + 1);
+      std::uint64_t acc = 0;
+      std::uint32_t filled = 0;
+      const std::size_t emitted =
+          sf::fp_mac_n(format, a.data() + offset, coeff, count,
+                       striped_out.data(), len, &acc, &filled);
+      const std::vector<std::uint64_t> alone(a.begin() + static_cast<long>(offset),
+                                             a.begin() + static_cast<long>(offset + len));
+      std::vector<std::uint64_t> alone_out(len / count + 1);
+      std::uint64_t alone_acc = 0;
+      std::uint32_t alone_filled = 0;
+      const std::size_t alone_emitted =
+          sf::fp_mac_n(format, alone.data(), coeff, count, alone_out.data(),
+                       len, &alone_acc, &alone_filled);
+      ASSERT_EQ(emitted, alone_emitted) << "segment@" << offset;
+      ASSERT_EQ(acc, alone_acc);
+      ASSERT_EQ(filled, alone_filled);
+      for (std::size_t i = 0; i < emitted; ++i) {
+        ASSERT_EQ(striped_out[i], alone_out[i]) << "emit " << i;
+      }
+      offset += len;
+    }
+  }
+}
+
+// --- fused multi-job batches -------------------------------------------------
+
+// K jobs swept as one striped batch vs the same K one by one on the
+// interpreter: outputs, cycles, fp_ops, mac_ops and pipeline_depth all
+// bit-identical, across formats, with mixed per-job stream lengths
+// (zero-length jobs, single-element partial-stripe tails, and lengths
+// that leave every decimating MAC a dropped partial accumulation).
+TEST(ExecPlanBatch, FuzzBatchedJobsMatchInterpreterOneByOne) {
+  const FpFormat formats[] = {FpFormat{4, 7}, FpFormat::half_like(),
+                              FpFormat::paper()};
+  const std::size_t lengths[] = {0, 1, 7, 33, 48, 129};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    for (const FpFormat& format : formats) {
+      SCOPED_TRACE(vcgra::common::strprintf(
+          "reproduce with: random_dfg(%llu), fp(%d,%d)",
+          static_cast<unsigned long long>(seed), format.we, format.wf));
+      const ov::Dfg dfg = random_dfg(seed);
+      ov::OverlayArch arch;
+      arch.rows = 5;
+      arch.cols = 5;
+      arch.format = format;
+      const ov::Compiled compiled = ov::compile(dfg, arch, seed);
+      const ov::Simulator interpreter(compiled);
+      const ov::PlanExecutor executor(
+          std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(compiled)));
+
+      vcgra::common::Rng rng(seed * 7919 + static_cast<std::uint64_t>(format.wf));
+      const std::size_t njobs = 2 + rng.next_below(5);
+      std::vector<std::map<std::string, std::vector<std::uint64_t>>> storage(
+          njobs);
+      std::vector<ov::BatchInputs> inputs(njobs);
+      std::vector<ov::RunResult> want;
+      for (std::size_t j = 0; j < njobs; ++j) {
+        const std::size_t samples = lengths[rng.next_below(6)];
+        std::map<std::string, std::vector<FpValue>> fp_inputs;
+        for (const int id : dfg.inputs()) {
+          const std::string& name =
+              dfg.nodes()[static_cast<std::size_t>(id)].name;
+          std::vector<std::uint64_t>& bits = storage[j][name];
+          std::vector<FpValue>& fp = fp_inputs[name];
+          for (std::size_t i = 0; i < samples; ++i) {
+            const FpValue value = random_operand(format, rng);
+            bits.push_back(value.bits());
+            fp.push_back(value);
+          }
+          inputs[j][name] = ov::BatchStream{bits.data(), nullptr, bits.size()};
+        }
+        want.push_back(interpreter.run(fp_inputs));
+      }
+
+      const auto outcomes = executor.run_batch(inputs);
+      ASSERT_EQ(outcomes.size(), njobs);
+      for (std::size_t j = 0; j < njobs; ++j) {
+        SCOPED_TRACE(vcgra::common::strprintf("job %zu of %zu", j, njobs));
+        ASSERT_FALSE(outcomes[j].error);
+        expect_identical(want[j], outcomes[j].run);
+      }
+    }
+  }
+}
+
+// Raw-bits-in must be indistinguishable from doubles-in for encodable
+// values, and jobs with mixed raw_output flags share one sweep: the raw
+// job's u64 outputs are bit-for-bit the FpValue outputs of its twin.
+TEST(ExecPlanBatch, RawBitsBoundaryMatchesDoublesBoundary) {
+  const ov::Compiled compiled = ov::compile_kernel(
+      "input x;\nparam c = 0.75;\nt = mul(x, c);\ny = mac(t, c, 3);\n"
+      "output t; output y;\n",
+      ov::OverlayArch{});
+  const ov::PlanExecutor executor(
+      std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(compiled)));
+  const FpFormat format = compiled.arch.format;
+
+  const auto doubles = double_streams({"x"}, 100, 0.5);
+  std::vector<std::uint64_t> bits(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    bits[i] = FpValue::from_double(format, doubles.at("x")[i]).bits();
+  }
+  std::vector<ov::BatchInputs> jobs(3);
+  jobs[0]["x"] = ov::BatchStream{nullptr, doubles.at("x").data(), 100};
+  jobs[1]["x"] = ov::BatchStream{bits.data(), nullptr, 100};
+  jobs[2]["x"] = ov::BatchStream{bits.data(), nullptr, 100};
+  const auto outcomes = executor.run_batch(jobs, {false, false, true});
+  for (const auto& outcome : outcomes) ASSERT_FALSE(outcome.error);
+
+  expect_identical(outcomes[0].run, outcomes[1].run);
+  EXPECT_TRUE(outcomes[2].run.outputs.empty());
+  for (const auto& [name, stream] : outcomes[0].run.outputs) {
+    const auto it = outcomes[2].run.bit_outputs.find(name);
+    ASSERT_NE(it, outcomes[2].run.bit_outputs.end()) << name;
+    ASSERT_EQ(it->second.size(), stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      ASSERT_EQ(it->second[i], stream[i].bits()) << name << " sample " << i;
+    }
+  }
+  EXPECT_EQ(outcomes[2].run.cycles, outcomes[0].run.cycles);
+  EXPECT_EQ(outcomes[2].run.fp_ops, outcomes[0].run.fp_ops);
+  EXPECT_EQ(outcomes[2].run.mac_ops, outcomes[0].run.mac_ops);
+}
+
+// A malformed job inside a batch fails alone: its outcome carries the
+// same exception the single-job path throws, and its neighbors stay
+// bit-exact against solo runs.
+TEST(ExecPlanBatch, FailingJobDoesNotPoisonTheBatch) {
+  const ov::Compiled compiled = ov::compile_kernel(
+      "input a; input b;\ny = add(a, b);\noutput y;\n", ov::OverlayArch{});
+  const ov::PlanExecutor executor(
+      std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(compiled)));
+
+  const auto good0 = double_streams({"a", "b"}, 40, 0.0);
+  const auto good2 = double_streams({"a", "b"}, 17, 1.5);
+  const auto ragged_a = double_streams({"a"}, 9, 0.0);
+  const auto ragged_b = double_streams({"b"}, 8, 0.0);
+
+  std::vector<ov::BatchInputs> jobs(3);
+  jobs[0]["a"] = ov::BatchStream{nullptr, good0.at("a").data(), 40};
+  jobs[0]["b"] = ov::BatchStream{nullptr, good0.at("b").data(), 40};
+  jobs[1]["a"] = ov::BatchStream{nullptr, ragged_a.at("a").data(), 9};
+  jobs[1]["b"] = ov::BatchStream{nullptr, ragged_b.at("b").data(), 8};
+  jobs[2]["a"] = ov::BatchStream{nullptr, good2.at("a").data(), 17};
+  jobs[2]["b"] = ov::BatchStream{nullptr, good2.at("b").data(), 17};
+
+  const auto outcomes = executor.run_batch(jobs);
+  ASSERT_EQ(outcomes.size(), 3u);
+  ASSERT_TRUE(outcomes[1].error);
+  EXPECT_THROW(std::rethrow_exception(outcomes[1].error),
+               std::invalid_argument);
+  ASSERT_FALSE(outcomes[0].error);
+  ASSERT_FALSE(outcomes[2].error);
+  expect_identical(executor.run_doubles(good0), outcomes[0].run);
+  expect_identical(executor.run_doubles(good2), outcomes[2].run);
+}
+
+// The pre-resolved batch entry (names resolved to buffer indices once
+// per batch, the fused service drain's hot path) is semantically
+// identical to the name-keyed one: same results, same per-job error
+// isolation, and unknown names / duplicate buffers are still rejected.
+TEST(ExecPlanBatch, ResolvedJobsMatchNameKeyedJobs) {
+  const ov::Compiled compiled = ov::compile_kernel(
+      "input a; input b;\nparam c = -2.25;\nt = mul(a, c);\ny = add(t, b);\n"
+      "output y;\n",
+      ov::OverlayArch{});
+  const ov::PlanExecutor executor(
+      std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(compiled)));
+
+  const auto good0 = double_streams({"a", "b"}, 33, 0.0);
+  const auto good1 = double_streams({"a", "b"}, 7, 2.0);
+  const std::int32_t buf_a = executor.resolve_input("a");
+  const std::int32_t buf_b = executor.resolve_input("b");
+  EXPECT_THROW(executor.resolve_input("nope"), std::invalid_argument);
+
+  std::vector<ov::ResolvedJob> resolved(3);
+  std::vector<ov::BatchInputs> keyed(3);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const auto& streams = j == 0 ? good0 : good1;
+    for (const auto& [name, stream] : streams) {
+      const ov::BatchStream view{nullptr, stream.data(), stream.size()};
+      resolved[j].push_back({name == "a" ? buf_a : buf_b, view});
+      keyed[j][name] = view;
+    }
+  }
+  // Job 2: ragged lengths — must fail alone in both forms.
+  resolved[2].push_back(
+      {buf_a, ov::BatchStream{nullptr, good0.at("a").data(), 33}});
+  resolved[2].push_back(
+      {buf_b, ov::BatchStream{nullptr, good1.at("b").data(), 7}});
+  keyed[2]["a"] = ov::BatchStream{nullptr, good0.at("a").data(), 33};
+  keyed[2]["b"] = ov::BatchStream{nullptr, good1.at("b").data(), 7};
+
+  const auto got = executor.run_batch_resolved(resolved);
+  const auto want = executor.run_batch(keyed);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    SCOPED_TRACE(vcgra::common::strprintf("job %zu", j));
+    ASSERT_FALSE(got[j].error);
+    ASSERT_FALSE(want[j].error);
+    expect_identical(want[j].run, got[j].run);
+  }
+  ASSERT_TRUE(got[2].error);
+  EXPECT_THROW(std::rethrow_exception(got[2].error), std::invalid_argument);
+
+  // A duplicate buffer index fails that job alone (the name-keyed map
+  // cannot express the mistake; the resolved form must reject it).
+  std::vector<ov::ResolvedJob> duplicated(2);
+  duplicated[0] = resolved[0];
+  duplicated[1].push_back(
+      {buf_a, ov::BatchStream{nullptr, good1.at("a").data(), 7}});
+  duplicated[1].push_back(
+      {buf_a, ov::BatchStream{nullptr, good1.at("b").data(), 7}});
+  const auto mixed = executor.run_batch_resolved(duplicated);
+  ASSERT_FALSE(mixed[0].error);
+  expect_identical(want[0].run, mixed[0].run);
+  ASSERT_TRUE(mixed[1].error);
+  EXPECT_THROW(std::rethrow_exception(mixed[1].error), std::invalid_argument);
+}
+
+// run_views: the zero-copy single-job entry returns arena-backed u64
+// views identical to the materialized outputs, with the same counters.
+TEST(ExecPlanBatch, RunViewsMatchMaterializedOutputs) {
+  const ov::Compiled compiled = ov::compile_kernel(
+      "input a; input b;\nparam c = 1.5;\nt = mul(b, c);\ny = add(a, t);\n"
+      "output y;\n",
+      ov::OverlayArch{});
+  const ov::PlanExecutor executor(
+      std::make_shared<const ov::ExecPlan>(ov::ExecPlan::lower(compiled)));
+  const auto doubles = double_streams({"a", "b"}, 300, 0.25);
+
+  ov::BatchInputs inputs;
+  inputs["a"] = ov::BatchStream{nullptr, doubles.at("a").data(), 300};
+  inputs["b"] = ov::BatchStream{nullptr, doubles.at("b").data(), 300};
+  const ov::PlanExecutor::RunView view = executor.run_views(inputs);
+  // Views die at the thread's next plan execution: snapshot first.
+  std::map<std::string, std::vector<std::uint64_t>> snapshot;
+  for (const auto& [name, stream] : view.outputs) {
+    snapshot[name].assign(stream.data, stream.data + stream.size);
+  }
+
+  const ov::RunResult run = executor.run_doubles(doubles);
+  EXPECT_EQ(view.cycles, run.cycles);
+  EXPECT_EQ(view.fp_ops, run.fp_ops);
+  EXPECT_EQ(view.mac_ops, run.mac_ops);
+  EXPECT_EQ(view.pipeline_depth, run.pipeline_depth);
+  ASSERT_EQ(snapshot.size(), run.outputs.size());
+  for (const auto& [name, stream] : run.outputs) {
+    const auto it = snapshot.find(name);
+    ASSERT_NE(it, snapshot.end()) << name;
+    ASSERT_EQ(it->second.size(), stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      ASSERT_EQ(it->second[i], stream[i].bits()) << name << " sample " << i;
+    }
+  }
+}

@@ -17,6 +17,8 @@
 #include "vcgra/runtime/reconfig_scheduler.hpp"
 #include "vcgra/runtime/service.hpp"
 #include "vcgra/runtime/stats.hpp"
+#include "vcgra/softfloat/fpformat.hpp"
+#include "vcgra/telemetry/metrics.hpp"
 #include "vcgra/vcgra/compiler.hpp"
 #include "vcgra/vcgra/simulator.hpp"
 
@@ -590,6 +592,9 @@ TEST(OverlayService, ShutdownWithQueuedJobsCompletesEveryFuture) {
 TEST(OverlayService, ConcurrentDuplicateSubmissionsCoalesceToOneCompile) {
   rt::ServiceOptions options;
   options.threads = 8;
+  // Fusion would coalesce these drains before the cache ever sees them;
+  // disable it so the in-flight-join path itself stays under test.
+  options.max_batch_jobs = 1;
   rt::OverlayService service(options);
 
   constexpr int kDuplicates = 16;
@@ -939,4 +944,203 @@ TEST(ServiceStats, PercentileNearestRank) {
   EXPECT_DOUBLE_EQ(rt::percentile(samples, 1.00), 100.0);
   EXPECT_DOUBLE_EQ(rt::percentile({}, 0.5), 0.0);
   EXPECT_DOUBLE_EQ(rt::percentile({3.0}, 0.99), 3.0);
+}
+
+// --- fused multi-job batches -------------------------------------------------
+
+// Queued jobs sharing one specialization ride a single fused plan sweep.
+// The wave is bit-identical to per-job execution at any thread count and
+// any fusion setting, batches are observed (batch_size > 1, the fused_*
+// stats move), and the mixed-length decimating-MAC jobs prove per-job
+// MAC state survives striping.
+TEST(OverlayService, FusedBatchSweepIsBitExactAndAccounted) {
+  const std::string kernel = mac_kernel(3, 0.8125);
+  const auto run_wave = [&](int threads, std::size_t max_batch) {
+    rt::ServiceOptions options;
+    options.threads = threads;
+    options.max_batch_jobs = max_batch;
+    rt::OverlayService service(options);
+    // Plug every worker so the whole wave queues before the first drain:
+    // fusion then has material to gather, deterministically.
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    for (int t = 0; t < threads; ++t) {
+      service.executor().submit_detached([gate]() { gate.wait(); });
+    }
+    std::vector<std::future<rt::JobResult>> futures;
+    for (int j = 0; j < 24; ++j) {
+      rt::JobRequest request;
+      request.kernel_text = kernel;
+      request.inputs = single_input(32 + (j % 5), 0.25 * (j + 1));
+      futures.push_back(service.submit(std::move(request)));
+    }
+    release.set_value();
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    int max_batch_seen = 1;
+    for (auto& future : futures) {
+      const rt::JobResult result = future.get();
+      max_batch_seen = std::max(max_batch_seen, result.batch_size);
+      hash ^= result.run.cycles;
+      hash *= 0x100000001b3ULL;
+      hash ^= result.run.fp_ops;
+      hash *= 0x100000001b3ULL;
+      hash ^= result.run.mac_ops;
+      hash *= 0x100000001b3ULL;
+      for (const std::uint64_t bits : output_bits(result.run)) {
+        hash ^= bits;
+        hash *= 0x100000001b3ULL;
+      }
+    }
+    const rt::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.jobs_completed, 24u);
+    EXPECT_EQ(stats.jobs_failed, 0u);
+    if (max_batch > 1) {
+      EXPECT_GT(max_batch_seen, 1);
+      EXPECT_GT(stats.fused_batches, 0u);
+      EXPECT_GE(stats.batched_jobs,
+                static_cast<std::uint64_t>(max_batch_seen));
+    } else {
+      EXPECT_EQ(max_batch_seen, 1);
+      EXPECT_EQ(stats.fused_batches, 0u);
+      EXPECT_EQ(stats.batched_jobs, 0u);
+    }
+    return hash;
+  };
+  const std::uint64_t fused = run_wave(1, 16);
+  EXPECT_EQ(fused, run_wave(1, 1));   // fused == per-job execution
+  EXPECT_EQ(fused, run_wave(4, 16));  // and across thread counts
+}
+
+// Raw-bits job I/O through the service: u64 encodings in, u64 encodings
+// out, bit-identical to the double boundary on both engines (the
+// interpreter converts with the scalar FpValue boundary, so it stays an
+// independent oracle for the plan path).
+TEST(OverlayService, RawBitsJobBoundaryMatchesDoubleBoundary) {
+  for (const bool use_plan : {true, false}) {
+    SCOPED_TRACE(use_plan ? "plan" : "interpreter");
+    rt::ServiceOptions options;
+    options.threads = 1;
+    options.use_plan_executor = use_plan;
+    rt::OverlayService service(options);
+
+    rt::JobRequest via_doubles;
+    via_doubles.kernel_text = dot2_kernel(0.125, -0.875);
+    via_doubles.inputs = ramp_inputs(64);
+    const rt::JobResult plain = service.run(std::move(via_doubles));
+    const std::vector<std::uint64_t> want = output_bits(plain.run);
+    ASSERT_EQ(want.size(), 64u);
+
+    rt::JobRequest via_bits;
+    via_bits.kernel_text = dot2_kernel(0.125, -0.875);
+    via_bits.raw_output = true;
+    const ov::OverlayArch arch;  // the service default
+    for (const auto& [name, stream] : ramp_inputs(64)) {
+      std::vector<std::uint64_t>& bits = via_bits.input_bits[name];
+      bits.reserve(stream.size());
+      for (const double v : stream) {
+        bits.push_back(
+            vcgra::softfloat::FpValue::from_double(arch.format, v).bits());
+      }
+    }
+    const rt::JobResult raw = service.run(std::move(via_bits));
+    EXPECT_TRUE(raw.run.outputs.empty());
+    const auto it = raw.run.bit_outputs.find("y");
+    ASSERT_NE(it, raw.run.bit_outputs.end());
+    EXPECT_EQ(it->second, want);
+    EXPECT_EQ(raw.run.cycles, plain.run.cycles);
+    EXPECT_EQ(raw.run.fp_ops, plain.run.fp_ops);
+
+    // A stream supplied in both encodings at once must fail loudly.
+    rt::JobRequest both;
+    both.kernel_text = dot2_kernel(0.125, -0.875);
+    both.inputs = ramp_inputs(64);
+    both.input_bits["x0"] = std::vector<std::uint64_t>(64, 0);
+    EXPECT_THROW(service.run(std::move(both)), std::invalid_argument);
+  }
+}
+
+// --- error-path accounting ---------------------------------------------------
+
+// Waves of mixed failing/succeeding jobs — front-end parse failures,
+// ragged streams failing per-job inside fused batches, and healthy
+// neighbors — must leave the books conserved: every submission either
+// completed or failed, the pool's queue-depth gauge returns to zero,
+// healthy outputs stay bit-exact, and back-to-back stats() snapshots
+// agree on every count.
+TEST(OverlayService, MixedFailureWavesKeepAccountingConserved) {
+  rt::ServiceOptions options;
+  options.threads = 4;
+  rt::OverlayService service(options);
+
+  const rt::JobResult reference = [&] {
+    rt::JobRequest request;
+    request.kernel_text = dot2_kernel(0.25, 0.75);
+    request.inputs = ramp_inputs(48);
+    return service.run(std::move(request));
+  }();
+  const std::vector<std::uint64_t> want = output_bits(reference.run);
+
+  std::uint64_t expect_ok = 1;  // the reference above
+  std::uint64_t expect_failed = 0;
+  for (int wave = 0; wave < 3; ++wave) {
+    std::promise<void> release;
+    std::shared_future<void> gate(release.get_future());
+    for (int t = 0; t < options.threads; ++t) {
+      service.executor().submit_detached([gate]() { gate.wait(); });
+    }
+    std::vector<std::future<rt::JobResult>> futures;
+    std::vector<bool> should_fail;
+    for (int j = 0; j < 32; ++j) {
+      rt::JobRequest request;
+      if (j % 4 == 0) {
+        // Ragged streams: parses fine (same config key as the healthy
+        // jobs, so it rides their fused batch) but fails validation.
+        request.kernel_text = dot2_kernel(0.25, 0.75);
+        request.inputs = ramp_inputs(48);
+        request.inputs["x1"].pop_back();
+        should_fail.push_back(true);
+      } else if (j % 4 == 1) {
+        // Front-end failure: never reaches a worker's engine.
+        request.kernel_text = "input ;;; nonsense\n";
+        should_fail.push_back(true);
+      } else {
+        request.kernel_text = dot2_kernel(0.25, 0.75);
+        request.inputs = ramp_inputs(48);
+        should_fail.push_back(false);
+      }
+      futures.push_back(service.submit(std::move(request)));
+    }
+    release.set_value();
+    for (std::size_t j = 0; j < futures.size(); ++j) {
+      if (should_fail[j]) {
+        ++expect_failed;
+        EXPECT_ANY_THROW(futures[j].get()) << "wave " << wave << " job " << j;
+      } else {
+        ++expect_ok;
+        const rt::JobResult result = futures[j].get();
+        EXPECT_EQ(output_bits(result.run), want)
+            << "wave " << wave << " job " << j;
+      }
+    }
+  }
+
+  service.wait_idle();
+  const rt::ServiceStats first = service.stats();
+  EXPECT_EQ(first.jobs_submitted, expect_ok + expect_failed);
+  EXPECT_EQ(first.jobs_completed, expect_ok);
+  EXPECT_EQ(first.jobs_failed, expect_failed);
+  EXPECT_EQ(first.jobs_submitted, first.jobs_completed + first.jobs_failed);
+  EXPECT_EQ(
+      vcgra::telemetry::metrics().gauge("pool.queue_depth").value(), 0);
+
+  // The books must hold still once the service is idle.
+  const rt::ServiceStats second = service.stats();
+  EXPECT_EQ(second.jobs_submitted, first.jobs_submitted);
+  EXPECT_EQ(second.jobs_completed, first.jobs_completed);
+  EXPECT_EQ(second.jobs_failed, first.jobs_failed);
+  EXPECT_EQ(second.fused_batches, first.fused_batches);
+  EXPECT_EQ(second.batched_jobs, first.batched_jobs);
+  EXPECT_EQ(second.p50_latency_seconds, first.p50_latency_seconds);
+  EXPECT_EQ(second.p999_latency_seconds, first.p999_latency_seconds);
+  EXPECT_EQ(second.exec_seconds, first.exec_seconds);
 }

@@ -332,6 +332,150 @@ int main(int argc, char** argv) {
         wave_seconds, raw_ok ? "true" : "false");
   }
 
+  // --- E: kernel-graph GEMM + streaming session (report-only) -----------------
+  // The zero-decode composition paths: the same tiled GEMM as ONE DAG
+  // per run (fabric fold stages over raw-bits edges replace the host
+  // glue) and a MAC kernel streamed through a Session in chunks.
+  // Numbers feed the JSON trajectory; bench_runtime gate [I] owns the
+  // graph-vs-per-job pass/fail.
+  std::string graph_record;
+  std::string session_record;
+  {
+    std::printf("\n[E] GEMM as one kernel graph per run; streaming session "
+                "chunks\n");
+    constexpr int kM = 64, kCols = 8, kK = 24, kTile = 6;
+    hpc::HpcBenchOptions options;
+    options.service.threads = 2;
+    hpc::HpcBench bench(options);
+    // Warm both paths (places & routes the shared tile/fold structures),
+    // then compare wall-clock medians of 3 runs each.
+    (void)bench.run_gemm(kM, kCols, kK, kTile);
+    (void)bench.run_gemm_graph(kM, kCols, kK, kTile);
+    std::vector<double> per_job_seconds, graph_seconds;
+    hpc::GemmReport per_job;
+    hpc::GemmGraphReport graph;
+    for (int i = 0; i < 3; ++i) {
+      common::WallTimer per_job_timer;
+      per_job = bench.run_gemm(kM, kCols, kK, kTile);
+      per_job_seconds.push_back(per_job_timer.seconds());
+      common::WallTimer graph_timer;
+      graph = bench.run_gemm_graph(kM, kCols, kK, kTile);
+      graph_seconds.push_back(graph_timer.seconds());
+    }
+    std::sort(per_job_seconds.begin(), per_job_seconds.end());
+    std::sort(graph_seconds.begin(), graph_seconds.end());
+    const double per_job_median = per_job_seconds[1];
+    const double graph_median = graph_seconds[1];
+    const double speedup =
+        graph_median > 0 ? per_job_median / graph_median : 0.0;
+    if (!per_job.passed() || !graph.passed()) {
+      std::printf("  FAIL: GEMM validation (per-job bit_exact=%d graph "
+                  "bit_exact=%d)\n",
+                  per_job.passed() ? 1 : 0, graph.passed() ? 1 : 0);
+      ok = false;
+    }
+    std::printf("  %d tile jobs + host fold -> %d DAG stages (%d fused "
+                "sweeps, %d raw edges, %d converted)\n",
+                per_job.jobs, graph.stages, graph.fused_groups,
+                graph.edges_raw, graph.edges_converted);
+    std::printf("  per-job run %s  graph run %s  speedup %.1fx (medians of "
+                "3, both bit-exact)\n",
+                common::human_seconds(per_job_median).c_str(),
+                common::human_seconds(graph_median).c_str(), speedup);
+    graph_record = common::strprintf(
+        "{\"stages\": %d, \"per_job_jobs\": %d, \"fused_groups\": %d, "
+        "\"edges_raw\": %d, \"edges_converted\": %d, \"cycles\": %llu, "
+        "\"flop_per_cycle\": %.6f, \"per_job_seconds\": %.9f, "
+        "\"graph_seconds\": %.9f, \"speedup\": %.3f, \"bit_exact\": %s}",
+        graph.stages, per_job.jobs, graph.fused_groups, graph.edges_raw,
+        graph.edges_converted, static_cast<unsigned long long>(graph.cycles),
+        graph.flop_per_cycle, per_job_median, graph_median, speedup,
+        (per_job.passed() && graph.passed()) ? "true" : "false");
+
+    // Streaming session: an 8-deep MAC over a long stream, fed in
+    // chunks. The chunking must be free (session vs one-shot) and the
+    // session must beat re-submitting every chunk as its own job.
+    const std::string mac_text =
+        "input x;\nparam c = 0.8125;\ny = mac(x, c, 8);\noutput y;\n";
+    constexpr std::size_t kChunk = 256;
+    constexpr std::size_t kChunks = 64;
+    const softfloat::FpFormat format = bench.options().arch.format;
+    std::vector<std::uint64_t> stream_bits;
+    stream_bits.reserve(kChunk * kChunks);
+    for (std::size_t i = 0; i < kChunk * kChunks; ++i) {
+      const double v = (static_cast<double>(i % 2048) - 1024.0) / 512.0;
+      stream_bits.push_back(softfloat::FpValue::from_double(format, v).bits());
+    }
+
+    runtime::JobRequest one_shot;
+    one_shot.kernel_text = mac_text;
+    one_shot.arch = bench.options().arch;
+    one_shot.input_bits["x"] = stream_bits;
+    one_shot.raw_output = true;
+    (void)bench.service().run(one_shot);  // warm
+    common::WallTimer one_shot_timer;
+    const runtime::JobResult one_shot_result = bench.service().run(one_shot);
+    const double one_shot_seconds = one_shot_timer.seconds();
+
+    runtime::SessionRequest session_request;
+    session_request.kernel_text = mac_text;
+    session_request.arch = bench.options().arch;
+    session_request.raw_output = true;
+    auto session = bench.service().open_session(session_request);
+    std::vector<std::uint64_t> concatenated;
+    concatenated.reserve(stream_bits.size() / 8);
+    common::WallTimer session_timer;
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      std::map<std::string, std::vector<std::uint64_t>> chunk;
+      chunk["x"].assign(stream_bits.begin() + c * kChunk,
+                        stream_bits.begin() + (c + 1) * kChunk);
+      const overlay::RunResult fed = session->feed_bits(chunk);
+      const auto it = fed.bit_outputs.find("y");
+      if (it != fed.bit_outputs.end()) {
+        concatenated.insert(concatenated.end(), it->second.begin(),
+                            it->second.end());
+      }
+    }
+    const double session_seconds = session_timer.seconds();
+    const bool chunking_free =
+        concatenated == one_shot_result.run.bit_outputs.at("y");
+    if (!chunking_free) {
+      std::printf("  FAIL: chunked session output differs from one-shot\n");
+      ok = false;
+    }
+
+    // What a client without sessions pays: every chunk re-enters the
+    // queue as its own job (overhead probe; MAC state resets per job so
+    // outputs are not comparable — the session differential above and
+    // test_graph own bit-exactness).
+    common::WallTimer jobs_timer;
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      runtime::JobRequest request;
+      request.kernel_text = mac_text;
+      request.arch = bench.options().arch;
+      request.input_bits["x"].assign(stream_bits.begin() + c * kChunk,
+                                     stream_bits.begin() + (c + 1) * kChunk);
+      request.raw_output = true;
+      (void)bench.service().run(request);
+    }
+    const double per_chunk_job_seconds = jobs_timer.seconds();
+    const double session_speedup =
+        session_seconds > 0 ? per_chunk_job_seconds / session_seconds : 0.0;
+    std::printf("  session: %zu chunks x %zu samples  one-shot %s  chunked "
+                "%s  per-chunk jobs %s (%.1fx vs session)\n",
+                kChunks, kChunk, common::human_seconds(one_shot_seconds).c_str(),
+                common::human_seconds(session_seconds).c_str(),
+                common::human_seconds(per_chunk_job_seconds).c_str(),
+                session_speedup);
+    session_record = common::strprintf(
+        "{\"chunks\": %zu, \"chunk_samples\": %zu, \"one_shot_seconds\": %.9f, "
+        "\"session_seconds\": %.9f, \"per_chunk_job_seconds\": %.9f, "
+        "\"session_speedup\": %.3f, \"chunking_bit_identical\": %s}",
+        kChunks, kChunk, one_shot_seconds, session_seconds,
+        per_chunk_job_seconds, session_speedup,
+        chunking_free ? "true" : "false");
+  }
+
   if (!json_path.empty()) {
     FILE* out = std::fopen(json_path.c_str(), "w");
     if (!out) {
@@ -341,9 +485,11 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "{\n  \"bench\": \"bench_hpc\",\n  \"n\": %zu,\n"
                    "  \"kernels\": [\n%s\n  ],\n  \"gemm\": [\n%s\n  ],\n"
-                   "  \"batched\": %s\n}\n",
+                   "  \"batched\": %s,\n  \"graph\": %s,\n"
+                   "  \"session\": %s\n}\n",
                    kN, kernels_json(suite_reports).c_str(),
-                   gemm_records.c_str(), batched_record.c_str());
+                   gemm_records.c_str(), batched_record.c_str(),
+                   graph_record.c_str(), session_record.c_str());
       std::fclose(out);
       std::printf("\n  wrote %s\n", json_path.c_str());
     }

@@ -19,19 +19,25 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "vcgra/common/rng.hpp"
 #include "vcgra/common/strings.hpp"
 #include "vcgra/common/table.hpp"
 #include "vcgra/common/timer.hpp"
 #include "vcgra/runtime/service.hpp"
 #include "vcgra/telemetry/metrics.hpp"
 #include "vcgra/telemetry/trace.hpp"
+#include "vcgra/vision/pipeline.hpp"
+#include "vcgra/vision/pipeline_service.hpp"
+#include "vcgra/vision/synthetic.hpp"
 
 using namespace vcgra;
 
@@ -1030,6 +1036,146 @@ int main() {
       std::printf("  PASS: fused sweeps run same-config job waves >= 2x "
                   "faster than per-job plans, bit-exact, no arena growth "
                   "(median of %d attempts: %.1fx)\n",
+                  kAttempts, speedup);
+    }
+  }
+
+  // --- I: kernel-graph pipelines — whole-DAG submit vs per-job DCS -------------
+  {
+    std::printf("\n[I] Kernel graphs: pinned pipeline graphs + sessions vs "
+                "per-job DCS submit\n");
+    constexpr int kAttempts = 3;
+    constexpr int kRunsPerAttempt = 3;
+    // A small frame on purpose: the gate measures the per-stage fixed
+    // costs a pinned graph removes (queue round trips, per-job lookups,
+    // per-frame admission, host glue between stages), not the pixel
+    // datapath — which both engines share bit for bit.
+    vision::FundusParams fparams;
+    fparams.width = 8;
+    fparams.height = 8;
+    common::Rng rng(29);
+    const vision::FundusImage fundus = vision::generate_fundus(fparams, rng);
+    vision::PipelineParams params;
+    params.denoise_size = 3;
+    params.matched_size = 5;
+    params.orientations = 3;
+    params.texture_size = 5;
+    const overlay::OverlayArch arch;
+
+    // FNV over every stage image of the run: the two engines must agree
+    // bit for bit (the graphs preserve the DCS association order).
+    const auto fold_images = [](const vision::PipelineResult& result) {
+      std::uint64_t hash = 0xcbf29ce484222325ULL;
+      for (const auto* stage :
+           {&result.stages.matched, &result.stages.textured}) {
+        for (const float v : stage->data()) {
+          std::uint32_t bits;
+          std::memcpy(&bits, &v, sizeof bits);
+          hash ^= bits;
+          hash *= 0x100000001b3ULL;
+        }
+      }
+      for (const float v : result.stages.segmented.data()) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        hash ^= bits;
+        hash *= 0x100000001b3ULL;
+      }
+      return hash;
+    };
+
+    // One warm run primes the cache; the measured runs are pure
+    // steady-state service traffic. The graph path pins the pipeline up
+    // front — PipelineGraphRunner admits the three bank graphs once
+    // (the analog of the DCS warm run priming the service cache), so
+    // every measured frame is session feeds only. Ratio-only, like
+    // every gate here.
+    const auto measure = [&](bool graph_path, std::uint64_t* hash_out,
+                             std::uint64_t* arena_grows) {
+      runtime::ServiceOptions options;
+      options.threads = 1;
+      runtime::OverlayService service(options);
+      std::unique_ptr<vision::PipelineGraphRunner> runner;
+      if (graph_path) {
+        runner = std::make_unique<vision::PipelineGraphRunner>(params, arch,
+                                                               service);
+      }
+      std::vector<double> run_seconds;
+      std::uint64_t hash = 0;
+      std::uint64_t grows_after_warm = 0;
+      for (int r = 0; r < kRunsPerAttempt + 1; ++r) {  // run 0 warms
+        common::WallTimer timer;
+        const vision::PipelineResult result =
+            graph_path ? runner->run(fundus.rgb, fundus.field_of_view)
+                       : vision::run_pipeline_service_dcs(
+                             fundus.rgb, fundus.field_of_view, params, arch,
+                             service);
+        const double seconds = timer.seconds();
+        hash = fold_images(result);
+        if (r == 0) {
+          grows_after_warm =
+              telemetry::metrics().counter("exec.arena_grows").value();
+        } else {
+          run_seconds.push_back(seconds);
+        }
+      }
+      if (arena_grows != nullptr) {
+        *arena_grows =
+            telemetry::metrics().counter("exec.arena_grows").value() -
+            grows_after_warm;
+      }
+      *hash_out = hash;
+      return runtime::percentile(run_seconds, 0.5);
+    };
+
+    struct Attempt {
+      double dcs_median = 0;
+      double graph_median = 0;
+      double speedup() const {
+        return graph_median > 0 ? dcs_median / graph_median : 0.0;
+      }
+    };
+    std::vector<Attempt> attempts;
+    bool bits_equal = true;
+    bool arena_steady = true;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      Attempt measured;
+      std::uint64_t dcs_hash = 0;
+      std::uint64_t graph_hash = 0;
+      std::uint64_t graph_grows = 0;
+      measured.dcs_median = measure(false, &dcs_hash, nullptr);
+      measured.graph_median = measure(true, &graph_hash, &graph_grows);
+      if (dcs_hash != graph_hash) bits_equal = false;
+      if (graph_grows != 0) arena_steady = false;
+      attempts.push_back(measured);
+      std::printf("  attempt %d: per-job DCS %s  graph %s  speedup %.1fx\n",
+                  attempt + 1,
+                  common::human_seconds(measured.dcs_median).c_str(),
+                  common::human_seconds(measured.graph_median).c_str(),
+                  measured.speedup());
+    }
+
+    std::vector<double> speedups;
+    for (const Attempt& attempt : attempts) speedups.push_back(attempt.speedup());
+    const double speedup = runtime::percentile(speedups, 0.5);
+    if (!bits_equal) {
+      std::printf("  FAIL: graph pipeline images differ from the per-job DCS "
+                  "engine\n");
+      ok = false;
+    }
+    if (!arena_steady) {
+      std::printf("  FAIL: the executor arena grew during post-warm graph "
+                  "runs\n");
+      ok = false;
+    }
+    if (speedup < 2.0) {
+      std::printf("  FAIL: median graph-pipeline speedup %.1fx below the 2x "
+                  "target\n", speedup);
+      ok = false;
+    } else if (bits_equal && arena_steady) {
+      std::printf("  PASS: pinned graphs + streaming sessions run the vessel "
+                  "pipeline >= 2x faster than per-job DCS, bit-exact, no "
+                  "arena growth (median of %d attempts: %.1fx)\n",
                   kAttempts, speedup);
     }
   }

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -170,6 +171,69 @@ int main(int argc, char** argv) {
       }
       ok = ok && no_toolflow;
     }
+
+    // Graph + streaming-session smoke: chain the first library kernel
+    // into the last as one DAG (raw-bits edge), run it, then stream two
+    // chunks through a pinned session. Both ride the same warm cache —
+    // so they must stay tool-flow-free too — and they put graph.admit /
+    // graph.run / session.feed spans in the exported trace and graph /
+    // session counters in the stats snapshot.
+    {
+      const overlay::ParsedKernel front_parsed =
+          overlay::parse_kernel_symbolic(kernels.front());
+      const overlay::ParsedKernel back_parsed =
+          overlay::parse_kernel_symbolic(kernels.back());
+      const auto node_name = [](const overlay::ParsedKernel& parsed, int node) {
+        return parsed.dfg.nodes()[static_cast<std::size_t>(node)].name;
+      };
+      runtime::GraphRequest graph_request;
+      graph_request.arch = arch;
+      runtime::GraphStage producer;
+      producer.name = "producer";
+      producer.kernel_text = kernels.front();
+      producer.seed = kSeed;
+      for (const int input : front_parsed.dfg.inputs()) {
+        std::vector<double> stream;
+        for (int i = 0; i < 64; ++i) stream.push_back(0.03125 * (i - 16));
+        producer.inputs[node_name(front_parsed, input)] = std::move(stream);
+      }
+      runtime::GraphStage consumer;
+      consumer.name = "consumer";
+      consumer.kernel_text = kernels.back();
+      consumer.seed = kSeed;
+      consumer.keep_output = true;
+      graph_request.stages = {std::move(producer), std::move(consumer)};
+      graph_request.edges.push_back(
+          {"producer", node_name(front_parsed, front_parsed.dfg.outputs().front()),
+           "consumer", node_name(back_parsed, back_parsed.dfg.inputs().front())});
+      const auto graph = service.admit_graph(graph_request);
+      bool graph_warm = true;
+      for (const auto& stage : graph->stages()) {
+        graph_warm = graph_warm && stage.structure_hit;
+      }
+      const runtime::GraphResult run = service.run_graph(*graph);
+
+      runtime::SessionRequest session_request;
+      session_request.kernel_text = kernels.back();
+      session_request.arch = arch;
+      session_request.seed = kSeed;
+      const auto session = service.open_session(session_request);
+      for (int chunk = 0; chunk < 2; ++chunk) {
+        std::map<std::string, std::vector<double>> feed;
+        std::vector<double> stream;
+        for (int i = 0; i < 32; ++i) stream.push_back(0.0625 * (i - 16));
+        feed[node_name(back_parsed, back_parsed.dfg.inputs().front())] =
+            std::move(stream);
+        session->feed(feed);
+      }
+      std::printf("[serve] graph: %d stages, %d raw edge(s), place&route %s; "
+                  "session: %llu chunks streamed\n",
+                  run.stages, run.edges_raw,
+                  graph_warm ? "skipped" : "RAN",
+                  static_cast<unsigned long long>(session->chunks_fed()));
+      ok = ok && graph_warm;
+    }
+
     const runtime::CacheStats stats = service.stats().cache;
     std::printf("[serve] place & route runs this lifetime: %llu "
                 "(disk hits %llu, preloads %llu)\n",

@@ -81,6 +81,33 @@ struct GemmReport {
   bool passed() const { return bit_exact && within_tolerance; }
 };
 
+/// run_gemm_graph's outcome: the same tiled GEMM executed as ONE
+/// KernelGraph per invocation — tile stages feed per-column chain-add
+/// fold stages over raw-bits edges, replacing run_gemm's per-job
+/// submits and host fp_add_n fold. The fold stages preserve run_gemm's
+/// left-associative tile order, so bit_exact here (vs the same FpValue
+/// reference run_gemm checks) implies the graph output is bit-identical
+/// to the per-job path.
+struct GemmGraphReport {
+  int m = 0, n = 0, k = 0, tile_k = 0;
+  int stages = 0;           // tile stages + fold stages in the DAG
+  int fused_groups = 0;     // plan sweeps that carried >= 2 stages
+  int edges_raw = 0;        // tile -> fold edges, raw u64 end to end
+  int edges_converted = 0;  // format-convert hops (0: one format)
+  int structure_hits = 0;   // admission compiles skipped
+  std::uint64_t cycles = 0;
+  double flop_per_cycle = 0;  // 2mnk / cycles
+  double compile_seconds = 0;
+  double admit_seconds = 0;   // one-time graph admission cost
+  double exec_seconds = 0;    // pure-datapath invocation cost
+  bool bit_exact = false;     // vs the FpValue tile-fold reference
+  double max_rel_err = 0;
+  double tolerance = 0;
+  bool within_tolerance = false;
+
+  bool passed() const { return bit_exact && within_tolerance; }
+};
+
 struct HpcBenchOptions {
   overlay::OverlayArch arch;        // grid + FP format under test
   runtime::ServiceOptions service;  // threads, cache, cost model, sim
@@ -102,6 +129,15 @@ class HpcBench {
   /// (tile_k taps each, needing 2*tile_k - 1 PEs), submitted
   /// concurrently, with host-side FpValue accumulation across tiles.
   GemmReport run_gemm(int m, int n, int k, int tile_k, std::uint64_t seed = 1);
+
+  /// The same tiled GEMM as a single KernelGraph: every (column, k-tile)
+  /// dot kernel is a graph stage, each column's tiles feed a
+  /// left-associative chain-add fold stage over raw-bits edges, and one
+  /// run_graph() invocation replaces run_gemm's per-tile submits plus
+  /// host fold. Bit-exact against the same FpValue reference as
+  /// run_gemm (same association order), hence against run_gemm itself.
+  GemmGraphReport run_gemm_graph(int m, int n, int k, int tile_k,
+                                 std::uint64_t seed = 1);
 
   runtime::OverlayService& service() { return *service_; }
   const HpcBenchOptions& options() const { return options_; }

@@ -10,6 +10,7 @@
 #include "vcgra/common/strings.hpp"
 #include "vcgra/common/table.hpp"
 #include "vcgra/softfloat/batch.hpp"
+#include "vcgra/vcgra/dfg.hpp"
 
 namespace vcgra::hpc {
 
@@ -239,6 +240,196 @@ GemmReport HpcBench::run_gemm(int m, int n, int k, int tile_k,
       auto& want = c_ref[static_cast<std::size_t>(i)][static_cast<std::size_t>(job.column)];
       const FpValue want_tile = ref_y[static_cast<std::size_t>(i)];
       want = job.tile == 0 ? want_tile : softfloat::fp_add(want, want_tile);
+    }
+  }
+
+  report.bit_exact = shape_ok;
+  for (int i = 0; i < m && report.bit_exact; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (c_bits[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] !=
+          c_ref[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)].bits()) {
+        report.bit_exact = false;
+        break;
+      }
+    }
+  }
+
+  report.tolerance = tolerance_for(k + k / tile_k + 2);
+  report.within_tolerance = shape_ok;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double ref_value = 0;
+      for (int kk = 0; kk < k; ++kk) {
+        ref_value += a[static_cast<std::size_t>(i)][static_cast<std::size_t>(kk)] *
+                     b[static_cast<std::size_t>(kk)][static_cast<std::size_t>(j)];
+      }
+      const double got =
+          FpValue(format,
+                  c_bits[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)])
+              .to_double();
+      if (std::isnan(got)) {
+        report.within_tolerance = false;
+        continue;
+      }
+      report.max_rel_err = std::max(report.max_rel_err, rel_err(got, ref_value));
+    }
+  }
+  if (report.max_rel_err > report.tolerance) report.within_tolerance = false;
+  if (report.cycles > 0) {
+    report.flop_per_cycle = 2.0 * m * n * k / static_cast<double>(report.cycles);
+  }
+  return report;
+}
+
+GemmGraphReport HpcBench::run_gemm_graph(int m, int n, int k, int tile_k,
+                                         std::uint64_t seed) {
+  if (m <= 0 || n <= 0 || k <= 0 || tile_k <= 0) {
+    throw std::invalid_argument("run_gemm_graph: dimensions must be positive");
+  }
+  const int max_taps = (options_.arch.num_pes() + 1) / 2;
+  if (tile_k > max_taps) {
+    throw std::invalid_argument(common::strprintf(
+        "run_gemm_graph: tile_k=%d needs %d PEs but the %dx%d grid has %d",
+        tile_k, 2 * tile_k - 1, options_.arch.rows, options_.arch.cols,
+        options_.arch.num_pes()));
+  }
+  // Same instance as run_gemm at the same seed, so the two paths are
+  // directly comparable.
+  common::Rng rng(seed ^ 0x9e88ULL);
+  const auto random_value = [&]() { return 4.0 * rng.next_double() - 2.0; };
+  std::vector<std::vector<double>> a(static_cast<std::size_t>(m),
+                                     std::vector<double>(static_cast<std::size_t>(k)));
+  std::vector<std::vector<double>> b(static_cast<std::size_t>(k),
+                                     std::vector<double>(static_cast<std::size_t>(n)));
+  for (auto& row : a) {
+    for (double& value : row) value = random_value();
+  }
+  for (auto& row : b) {
+    for (double& value : row) value = random_value();
+  }
+
+  GemmGraphReport report;
+  report.m = m;
+  report.n = n;
+  report.k = k;
+  report.tile_k = tile_k;
+
+  // One stage per (column, k-tile) plus per-column chain-add fold
+  // stages: the graph edges replace run_gemm's host fp_add_n fold while
+  // preserving its left-associative tile order.
+  runtime::GraphRequest request;
+  request.arch = options_.arch;
+  struct TileRef {
+    int column = 0;
+    int tile = 0;
+    HpcKernel kernel;
+  };
+  std::vector<TileRef> tiles;
+  std::vector<std::string> finals(static_cast<std::size_t>(n));
+  const int fan_in = std::max(2, (options_.arch.num_pes() + 1) / 2);
+  for (int j = 0; j < n; ++j) {
+    std::vector<std::string> pending;
+    for (int k0 = 0, tile = 0; k0 < k; k0 += tile_k, ++tile) {
+      const int k1 = std::min(k, k0 + tile_k);
+      std::vector<double> coeffs;
+      coeffs.reserve(static_cast<std::size_t>(k1 - k0));
+      for (int kk = k0; kk < k1; ++kk) {
+        coeffs.push_back(b[static_cast<std::size_t>(kk)][static_cast<std::size_t>(j)]);
+      }
+      std::vector<std::vector<double>> rows;
+      rows.reserve(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        rows.emplace_back(a[static_cast<std::size_t>(i)].begin() + k0,
+                          a[static_cast<std::size_t>(i)].begin() + k1);
+      }
+      TileRef ref;
+      ref.column = j;
+      ref.tile = tile;
+      ref.kernel = make_gemv_tile(rows, coeffs,
+                                  common::strprintf("gemm_c%d_t%d", j, tile));
+      runtime::GraphStage stage;
+      stage.name = common::strprintf("c%d_t%d", j, tile);
+      stage.kernel_text = ref.kernel.kernel_text;
+      stage.params = ref.kernel.params;
+      stage.inputs = ref.kernel.inputs;
+      stage.seed = seed;
+      pending.push_back(stage.name);
+      request.stages.push_back(std::move(stage));
+      tiles.push_back(std::move(ref));
+    }
+    int fold_idx = 0;
+    while (pending.size() > 1) {
+      const std::size_t take =
+          std::min<std::size_t>(static_cast<std::size_t>(fan_in), pending.size());
+      runtime::GraphStage fold;
+      fold.name = common::strprintf("c%d_fold%d", j, fold_idx++);
+      fold.kernel_text = overlay::chain_add_text(static_cast<int>(take));
+      fold.seed = seed;
+      for (std::size_t idx = 0; idx < take; ++idx) {
+        request.edges.push_back({pending[idx], "y", fold.name,
+                                 common::strprintf("x%zu", idx)});
+      }
+      pending.erase(pending.begin(),
+                    pending.begin() + static_cast<std::ptrdiff_t>(take));
+      // The fold result leads the next round, keeping left association.
+      pending.insert(pending.begin(), fold.name);
+      request.stages.push_back(std::move(fold));
+    }
+    finals[static_cast<std::size_t>(j)] = pending.front();
+  }
+  for (runtime::GraphStage& stage : request.stages) {
+    for (const std::string& name : finals) {
+      if (stage.name == name) {
+        stage.keep_output = true;
+        break;
+      }
+    }
+  }
+
+  const std::shared_ptr<const runtime::KernelGraph> graph =
+      service_->admit_graph(request);
+  report.admit_seconds = graph->admit_seconds;
+  report.stages = static_cast<int>(graph->stages().size());
+  for (const auto& stage : graph->stages()) {
+    if (stage.structure_hit) ++report.structure_hits;
+    report.compile_seconds += stage.compile_seconds;
+  }
+  const runtime::GraphResult result = service_->run_graph(*graph);
+  report.cycles = result.cycles;
+  report.fused_groups = result.fused_groups;
+  report.edges_raw = result.edges_raw;
+  report.edges_converted = result.edges_converted;
+  report.exec_seconds = result.exec_seconds;
+
+  const FpFormat format = options_.arch.format;
+  bool shape_ok = true;
+  std::vector<std::vector<std::uint64_t>> c_bits(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(m), 0));
+  for (int j = 0; j < n; ++j) {
+    const auto it =
+        result.bit_outputs.find(finals[static_cast<std::size_t>(j)] + ":y");
+    if (it == result.bit_outputs.end() ||
+        it->second.size() != static_cast<std::size_t>(m)) {
+      shape_ok = false;
+      continue;
+    }
+    std::copy(it->second.begin(), it->second.end(),
+              c_bits[static_cast<std::size_t>(j)].begin());
+  }
+
+  // The independent oracle: the same per-tile FpValue reference fold
+  // run_gemm checks against, accumulated in the same tile order.
+  std::vector<std::vector<FpValue>> c_ref(
+      static_cast<std::size_t>(m),
+      std::vector<FpValue>(static_cast<std::size_t>(n), FpValue::zero(format)));
+  for (const TileRef& tile : tiles) {
+    const FpStreams ref = tile.kernel.ref_softfloat(format);
+    const std::vector<FpValue>& ref_y = ref.at("y");
+    for (int i = 0; i < m; ++i) {
+      auto& want = c_ref[static_cast<std::size_t>(i)][static_cast<std::size_t>(tile.column)];
+      const FpValue want_tile = ref_y[static_cast<std::size_t>(i)];
+      want = tile.tile == 0 ? want_tile : softfloat::fp_add(want, want_tile);
     }
   }
 

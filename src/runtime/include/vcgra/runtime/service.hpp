@@ -27,6 +27,7 @@
 
 #include "vcgra/common/timer.hpp"
 #include "vcgra/runtime/executor_pool.hpp"
+#include "vcgra/runtime/graph.hpp"
 #include "vcgra/runtime/overlay_cache.hpp"
 #include "vcgra/runtime/reconfig_scheduler.hpp"
 #include "vcgra/runtime/stats.hpp"
@@ -185,6 +186,39 @@ class OverlayService {
         });
   }
 
+  // ---- Kernel graphs & streaming sessions (graph.hpp) ----------------
+
+  /// Admit a DAG of stages: parse, compile (through the cache), fetch
+  /// every stage's execution plan and resolve every input stream to its
+  /// plan buffer index — once. Throws std::invalid_argument on malformed
+  /// graphs (duplicate/unknown stage names, unknown edge endpoints, an
+  /// input provided both externally and by an edge, cycles) and
+  /// propagates compile errors. The handle is immutable; invoke it any
+  /// number of times via run_graph / submit_graph.
+  std::shared_ptr<const KernelGraph> admit_graph(const GraphRequest& request);
+
+  /// One invocation of an admitted graph, executed shard-locally on the
+  /// calling thread: stages run in dependency order, independent ready
+  /// stages sharing a configuration key fuse into one plan sweep, and
+  /// interior edges move raw u64 buffers producer -> consumer with zero
+  /// decode (a format-convert hop only when stage formats differ).
+  GraphResult run_graph(const KernelGraph& graph);
+
+  /// Convenience: admit + one invocation.
+  GraphResult run_graph(const GraphRequest& request);
+
+  /// run_graph on the executor pool, with task latency accounting.
+  std::future<GraphResult> submit_graph(std::shared_ptr<const KernelGraph> graph);
+
+  /// Pin one specialization for streaming: compile + plan fetch happen
+  /// here, then every feed() is pure datapath with the MAC/decimation
+  /// carry held across chunks. The session must not outlive the service.
+  std::unique_ptr<Session> open_session(const SessionRequest& request);
+
+  /// Streaming execution of an admitted graph (one carry per stage).
+  std::unique_ptr<GraphSession> open_graph_session(
+      std::shared_ptr<const KernelGraph> graph);
+
   /// Block until every queued job has completed.
   void wait_idle();
 
@@ -198,6 +232,9 @@ class OverlayService {
   const std::shared_ptr<store::OverlayStore>& store() const { return store_; }
 
  private:
+  friend class Session;
+  friend class GraphSession;
+
   struct PendingJob {
     JobRequest request;
     /// Parsed once per distinct kernel text (parse_cached memo): the
@@ -242,6 +279,9 @@ class OverlayService {
   void note_task_submitted();
   void note_task_completed(double latency_seconds);
   void note_task_failed();
+  void note_graph_executed(const GraphResult& result);
+  void note_session_closed();  // Session/GraphSession destructors
+  void note_chunk_fed();
 
   const ServiceOptions options_;
   /// Kept alive for the cache's write-behind drain (shared ownership
@@ -279,6 +319,13 @@ class OverlayService {
   std::uint64_t tasks_submitted_ = 0;
   std::uint64_t tasks_completed_ = 0;
   std::uint64_t tasks_failed_ = 0;
+  std::uint64_t graphs_executed_ = 0;
+  std::uint64_t graph_stages_ = 0;        // stages run across all invocations
+  std::uint64_t graph_edges_raw_ = 0;     // interior edges moved as raw bits
+  std::uint64_t graph_edges_converted_ = 0;  // ... that paid a convert hop
+  std::uint64_t sessions_opened_ = 0;     // Session + GraphSession
+  std::uint64_t sessions_open_ = 0;       // currently live
+  std::uint64_t chunks_fed_ = 0;          // feed() calls across all sessions
   double exec_seconds_total_ = 0;
   common::WallTimer lifetime_;
 

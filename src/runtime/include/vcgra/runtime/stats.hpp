@@ -86,6 +86,13 @@ struct ServiceStats {
   std::uint64_t tasks_failed = 0;
   std::uint64_t fused_batches = 0;  // fused multi-job sweeps executed
   std::uint64_t batched_jobs = 0;   // jobs that rode a fused sweep (>= 2)
+  std::uint64_t graphs_executed = 0;  // kernel-graph invocations
+  std::uint64_t graph_stages = 0;     // stages run across those invocations
+  std::uint64_t graph_edges_raw = 0;  // interior edges moved as raw bits
+  std::uint64_t graph_edges_converted = 0;  // ... that paid a convert hop
+  std::uint64_t sessions_opened = 0;  // streaming sessions ever opened
+  std::uint64_t sessions_open = 0;    // currently live
+  std::uint64_t chunks_fed = 0;       // session feed() calls
   CacheStats cache;
   SchedulerStats scheduler;
   // Latency percentiles (submit -> result ready) come from the service's

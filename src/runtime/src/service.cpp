@@ -34,9 +34,13 @@ class InstanceLease {
   int instance_;
 };
 
+}  // namespace
+
+namespace detail {
+
 /// Canonical -> real output-name translation, for both the FpValue and
 /// the raw-bits output maps (identity for kernels already written in
-/// canonical names).
+/// canonical names). Shared with the graph/session layer (graph.cpp).
 void translate_outputs(const overlay::ParsedKernel& parsed,
                        overlay::RunResult& run) {
   if (parsed.names_are_canonical) return;
@@ -62,7 +66,9 @@ void translate_outputs(const overlay::ParsedKernel& parsed,
   run.bit_outputs = std::move(real_bits);
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::translate_outputs;
 
 ServiceOptions OverlayService::normalize(ServiceOptions options) {
   if (options.threads <= 0) {
@@ -654,6 +660,39 @@ void OverlayService::note_task_failed() {
   ++tasks_failed_;
 }
 
+void OverlayService::note_graph_executed(const GraphResult& result) {
+  struct GraphMetrics {
+    telemetry::Counter& executed = telemetry::metrics().counter("graph.executed");
+    telemetry::Counter& stages = telemetry::metrics().counter("graph.stages");
+    telemetry::Counter& edges_raw =
+        telemetry::metrics().counter("graph.edges_raw");
+    telemetry::Counter& edges_converted =
+        telemetry::metrics().counter("graph.edges_converted");
+  };
+  static GraphMetrics* m = new GraphMetrics();
+  m->executed.add(1);
+  m->stages.add(static_cast<std::uint64_t>(result.stages));
+  m->edges_raw.add(static_cast<std::uint64_t>(result.edges_raw));
+  m->edges_converted.add(static_cast<std::uint64_t>(result.edges_converted));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++graphs_executed_;
+  graph_stages_ += static_cast<std::uint64_t>(result.stages);
+  graph_edges_raw_ += static_cast<std::uint64_t>(result.edges_raw);
+  graph_edges_converted_ += static_cast<std::uint64_t>(result.edges_converted);
+}
+
+void OverlayService::note_session_closed() {
+  telemetry::metrics().gauge("session.open").add(-1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  --sessions_open_;
+}
+
+void OverlayService::note_chunk_fed() {
+  telemetry::metrics().counter("session.chunks").add(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++chunks_fed_;
+}
+
 ServiceStats OverlayService::stats() const {
   ServiceStats stats;
   stats.cache = cache_.stats();
@@ -668,6 +707,13 @@ ServiceStats OverlayService::stats() const {
     stats.tasks_failed = tasks_failed_;
     stats.fused_batches = fused_batches_;
     stats.batched_jobs = batched_jobs_;
+    stats.graphs_executed = graphs_executed_;
+    stats.graph_stages = graph_stages_;
+    stats.graph_edges_raw = graph_edges_raw_;
+    stats.graph_edges_converted = graph_edges_converted_;
+    stats.sessions_opened = sessions_opened_;
+    stats.sessions_open = sessions_open_;
+    stats.chunks_fed = chunks_fed_;
     stats.exec_seconds = exec_seconds_total_;
     stats.wall_seconds = lifetime_.seconds();
   }

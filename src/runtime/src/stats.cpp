@@ -141,6 +141,10 @@ std::string ServiceStats::to_json() const {
       "  \"tasks_submitted\": %llu, \"tasks_completed\": %llu, "
       "\"tasks_failed\": %llu,\n"
       "  \"fused_batches\": %llu, \"batched_jobs\": %llu,\n"
+      "  \"graphs_executed\": %llu, \"graph_stages\": %llu,\n"
+      "  \"graph_edges_raw\": %llu, \"graph_edges_converted\": %llu,\n"
+      "  \"sessions_opened\": %llu, \"sessions_open\": %llu, "
+      "\"chunks_fed\": %llu,\n"
       "  \"p50_latency_seconds\": %.9g, \"p95_latency_seconds\": %.9g,\n"
       "  \"p99_latency_seconds\": %.9g, \"p999_latency_seconds\": %.9g,\n"
       "  \"max_latency_seconds\": %.9g, \"mean_latency_seconds\": %.9g,\n"
@@ -157,7 +161,14 @@ std::string ServiceStats::to_json() const {
       static_cast<unsigned long long>(tasks_completed),
       static_cast<unsigned long long>(tasks_failed),
       static_cast<unsigned long long>(fused_batches),
-      static_cast<unsigned long long>(batched_jobs), p50_latency_seconds,
+      static_cast<unsigned long long>(batched_jobs),
+      static_cast<unsigned long long>(graphs_executed),
+      static_cast<unsigned long long>(graph_stages),
+      static_cast<unsigned long long>(graph_edges_raw),
+      static_cast<unsigned long long>(graph_edges_converted),
+      static_cast<unsigned long long>(sessions_opened),
+      static_cast<unsigned long long>(sessions_open),
+      static_cast<unsigned long long>(chunks_fed), p50_latency_seconds,
       p95_latency_seconds, p99_latency_seconds, p999_latency_seconds,
       max_latency_seconds, mean_latency_seconds, p50_queue_seconds,
       p99_queue_seconds, exec_seconds, wall_seconds, jobs_per_second,
@@ -186,6 +197,22 @@ std::string ServiceStats::to_string() const {
         "\n  fused: %llu batches carrying %llu jobs",
         static_cast<unsigned long long>(fused_batches),
         static_cast<unsigned long long>(batched_jobs));
+  }
+  if (graphs_executed) {
+    text += common::strprintf(
+        "\n  graphs: %llu invocations over %llu stages, %llu raw edges "
+        "(%llu converted)",
+        static_cast<unsigned long long>(graphs_executed),
+        static_cast<unsigned long long>(graph_stages),
+        static_cast<unsigned long long>(graph_edges_raw),
+        static_cast<unsigned long long>(graph_edges_converted));
+  }
+  if (sessions_opened) {
+    text += common::strprintf(
+        "\n  sessions: %llu opened (%llu live), %llu chunks fed",
+        static_cast<unsigned long long>(sessions_opened),
+        static_cast<unsigned long long>(sessions_open),
+        static_cast<unsigned long long>(chunks_fed));
   }
   return text;
 }

@@ -1,12 +1,14 @@
-// Internal dispatch surface of the AVX-512 batch kernels (batch_simd.cpp).
+// Internal dispatch surface of the SIMD batch kernels (batch_simd.cpp):
+// AVX-512 on x86-64, NEON on AArch64, portable stubs elsewhere.
 //
 // Each function is semantically identical to the scalar loop it replaces
-// in batch.cpp: 8 elements per 512-bit lane group, with special-class
-// lanes (NaN/inf/zero operands, denormal doubles) patched through the
-// shared scalar core so every result stays bit-exact with fpformat.cpp.
-// available() is a cached CPUID probe; callers fall back to the portable
-// loops when it reports false (or for formats the lanes cannot carry,
-// which the implementations check themselves).
+// in batch.cpp: 8 elements per 512-bit lane group (2 per NEON vector),
+// with special-class lanes (NaN/inf/zero operands, denormal doubles)
+// patched through the shared scalar core so every result stays bit-exact
+// with fpformat.cpp. available() is a cached CPUID probe on x86 and
+// constant-true on AArch64 (AdvSIMD is mandatory there); callers fall
+// back to the portable loops when it reports false (or for formats the
+// lanes cannot carry, which the implementations check themselves).
 #pragma once
 
 #include <cstddef>

@@ -5,8 +5,10 @@
 //
 //   <fnv1a64(key) as hex>[-probe].ovl   one framed record per structure
 //                                       (payload = key string + body)
-//   index.tsv                           advisory heat index: filename,
-//                                       use count, byte size per line
+//   index.tsv                           advisory heat index: a `#gen N`
+//                                       header (store-open generation),
+//                                       then filename, use count and
+//                                       last-used generation per line
 //
 // Records are immutable once published and are published atomically:
 // writers serialize into a `.tmp-<pid>-<seq>` file in the same directory
@@ -82,6 +84,9 @@ class OverlayStore {
     std::string filename;     // record file name within the directory
     std::uint64_t uses = 0;   // advisory heat from the index
     std::uint64_t bytes = 0;  // record file size
+    /// Generation (store open count) the record was last loaded, saved
+    /// or heat-bumped in; 0 when the index never saw it touched.
+    std::uint64_t last_used = 0;
   };
 
   /// Every record file currently in the directory (directory scan joined
@@ -103,6 +108,37 @@ class OverlayStore {
   /// Number of record files currently in the directory.
   std::size_t size() const { return list().size(); }
 
+  /// This store handle's generation: the persisted open count, bumped
+  /// once per OverlayStore construction. Records stamp it when touched,
+  /// which is what GcOptions::unused_runs ages against.
+  std::uint64_t generation() const { return generation_; }
+
+  struct GcOptions {
+    /// Drop records whose last touch is more than this many store opens
+    /// ago (records the index never saw touched count as infinitely
+    /// old). 0 disables the age rule.
+    std::uint64_t unused_runs = 0;
+    /// After the age rule, evict coldest-first until the records left
+    /// fit this many bytes. 0 disables the budget rule.
+    std::uint64_t max_bytes = 0;
+  };
+
+  struct GcReport {
+    std::size_t scanned = 0;          // record files considered
+    std::size_t removed = 0;          // record files unlinked
+    std::uint64_t bytes_removed = 0;
+    std::uint64_t bytes_kept = 0;     // surviving record bytes
+  };
+
+  /// Collect cold records per `options` and flush the pruned index.
+  /// Removal is unlink-based and safe against concurrent services: a
+  /// reader mid-load keeps its open file; a service that misses a
+  /// collected record falls back to a cold compile and re-saves it (the
+  /// repair path test_store exercises). Probe chains stay sound — when a
+  /// record is dropped, every deeper probe of its hash slot (which would
+  /// become unreachable) is dropped with it.
+  GcReport gc(const GcOptions& options);
+
  private:
   /// Record filename for `key` at a probe depth (collision chain).
   static std::string record_filename(const std::string& key, int probe);
@@ -112,6 +148,10 @@ class OverlayStore {
   /// Extract the embedded key of a record buffer (frame-validated).
   static std::string record_key(const std::vector<std::uint8_t>& bytes);
 
+  /// Stamp a record's heat entry as touched this generation (callers
+  /// hold mutex_).
+  void touch_locked(const std::string& filename) const;
+
   std::filesystem::path directory_;
   /// Guards only the in-memory maps below; record I/O and
   /// (de)serialization run outside it — write-then-rename publication
@@ -119,7 +159,9 @@ class OverlayStore {
   /// never serializes a cold burst behind one lock.
   mutable std::mutex mutex_;
   mutable std::map<std::string, std::uint64_t> uses_;      // filename -> heat
+  mutable std::map<std::string, std::uint64_t> last_used_; // filename -> gen
   mutable std::map<std::string, std::string> file_of_key_; // resolved key -> filename
+  std::uint64_t generation_ = 1;
   std::atomic<std::uint64_t> temp_sequence_{0};
 };
 

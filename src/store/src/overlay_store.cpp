@@ -58,8 +58,12 @@ OverlayStore::OverlayStore(fs::path directory) : directory_(std::move(directory)
   }
   // Advisory heat index; ignore anything malformed (it is rebuilt on
   // flush and the directory scan is the source of truth for records).
+  // Lines are `filename\tuses[\tlast_used_gen]` — the third column and
+  // the `#gen\t<N>` generation header are newer additions, so an index
+  // written by an older build parses as generation 0 / never-touched.
   std::ifstream index(directory_ / kIndexFile);
   std::string line;
+  std::uint64_t persisted_gen = 0;
   while (std::getline(index, line)) {
     const auto tab = line.find('\t');
     if (tab == std::string::npos || tab == 0) continue;
@@ -67,9 +71,20 @@ OverlayStore::OverlayStore(fs::path directory) : directory_(std::move(directory)
     char* end = nullptr;
     const unsigned long long uses =
         std::strtoull(line.c_str() + tab + 1, &end, 10);
-    if (end == line.c_str() + tab + 1 || !is_record_name(filename)) continue;
+    if (end == line.c_str() + tab + 1) continue;
+    if (filename == "#gen") {
+      persisted_gen = uses;
+      continue;
+    }
+    if (!is_record_name(filename)) continue;
     uses_[filename] = uses;
+    if (end && *end == '\t') {
+      char* gen_end = nullptr;
+      const unsigned long long gen = std::strtoull(end + 1, &gen_end, 10);
+      if (gen_end != end + 1) last_used_[filename] = gen;
+    }
   }
+  generation_ = persisted_gen + 1;  // this open is a new run
 }
 
 OverlayStore::~OverlayStore() {
@@ -161,9 +176,14 @@ std::shared_ptr<const overlay::CompiledStructure> OverlayStore::load(
     }
     std::lock_guard<std::mutex> lock(mutex_);
     file_of_key_[structure_key] = filename;
+    touch_locked(filename);
     return structure;
   }
   return nullptr;
+}
+
+void OverlayStore::touch_locked(const std::string& filename) const {
+  last_used_[filename] = generation_;
 }
 
 std::shared_ptr<const overlay::CompiledStructure> OverlayStore::try_load(
@@ -199,6 +219,7 @@ bool OverlayStore::save(const std::string& structure_key,
         if (record_key(read_file(path)) == structure_key) {
           std::lock_guard<std::mutex> lock(mutex_);
           file_of_key_[structure_key] = filename;
+          touch_locked(filename);
           return false;  // intact record already published
         }
         continue;  // hash collision with a different key: next probe
@@ -217,6 +238,7 @@ bool OverlayStore::save(const std::string& structure_key,
     std::lock_guard<std::mutex> lock(mutex_);
     file_of_key_[structure_key] = filename;
     uses_[filename] += 1;
+    touch_locked(filename);
     return true;
   }
   throw StoreError("overlay store: record probe chain exhausted");
@@ -233,13 +255,16 @@ void OverlayStore::add_uses(const std::string& structure_key,
   const auto it = file_of_key_.find(structure_key);
   if (it == file_of_key_.end()) return;  // never resolved through this store
   uses_[it->second] += delta;
+  touch_locked(it->second);
 }
 
 std::vector<OverlayStore::RecordInfo> OverlayStore::list() const {
   std::map<std::string, std::uint64_t> heat;
+  std::map<std::string, std::uint64_t> last;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     heat = uses_;
+    last = last_used_;
   }
   std::vector<RecordInfo> records;
   std::error_code ec;
@@ -251,6 +276,8 @@ std::vector<OverlayStore::RecordInfo> OverlayStore::list() const {
     info.filename = name;
     const auto uses = heat.find(name);
     info.uses = uses == heat.end() ? 0 : uses->second;
+    const auto used = last.find(name);
+    info.last_used = used == last.end() ? 0 : used->second;
     std::error_code size_ec;
     info.bytes = static_cast<std::uint64_t>(entry.file_size(size_ec));
     records.push_back(std::move(info));
@@ -280,6 +307,7 @@ OverlayStore::LoadedRecord OverlayStore::load_record(
   // from warm-started cache entries) is attributed, not dropped.
   std::lock_guard<std::mutex> lock(mutex_);
   file_of_key_[record.structure_key] = filename;
+  touch_locked(filename);
   return record;
 }
 
@@ -287,13 +315,122 @@ void OverlayStore::flush_index() {
   std::string text;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    text += common::strprintf("#gen\t%llu\n",
+                              static_cast<unsigned long long>(generation_));
     for (const auto& [filename, uses] : uses_) {
-      text += common::strprintf("%s\t%llu\n", filename.c_str(),
-                                static_cast<unsigned long long>(uses));
+      const auto used = last_used_.find(filename);
+      text += common::strprintf(
+          "%s\t%llu\t%llu\n", filename.c_str(),
+          static_cast<unsigned long long>(uses),
+          static_cast<unsigned long long>(
+              used == last_used_.end() ? 0 : used->second));
     }
   }
   write_file_atomic(directory_ / kIndexFile,
                     std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+OverlayStore::GcReport OverlayStore::gc(const GcOptions& options) {
+  VCGRA_TRACE_SPAN("store.gc");
+  std::vector<RecordInfo> records = list();
+  GcReport report;
+  report.scanned = records.size();
+
+  // Age rule: drop records untouched for more than unused_runs store
+  // opens. last_used == 0 (never seen by the index) ages as infinitely
+  // old — those are exactly the orphans a budget-less GC should clear.
+  std::vector<bool> drop(records.size(), false);
+  if (options.unused_runs > 0) {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const std::uint64_t age = records[i].last_used >= generation_
+                                    ? 0
+                                    : generation_ - records[i].last_used;
+      drop[i] = age > options.unused_runs;
+    }
+  }
+
+  // Budget rule: evict coldest-first (fewest uses, then oldest touch)
+  // until the survivors fit max_bytes.
+  if (options.max_bytes > 0) {
+    std::uint64_t kept_bytes = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (!drop[i]) kept_bytes += records[i].bytes;
+    }
+    std::vector<std::size_t> order(records.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&records](std::size_t a, std::size_t b) {
+                if (records[a].uses != records[b].uses) {
+                  return records[a].uses < records[b].uses;  // coldest first
+                }
+                if (records[a].last_used != records[b].last_used) {
+                  return records[a].last_used < records[b].last_used;
+                }
+                return records[a].filename < records[b].filename;
+              });
+    for (const std::size_t i : order) {
+      if (kept_bytes <= options.max_bytes) break;
+      if (drop[i]) continue;
+      drop[i] = true;
+      kept_bytes -= records[i].bytes;
+    }
+  }
+
+  // Probe-chain closure: load() walks probes 0,1,2,... of a hash slot
+  // and stops at the first missing file, so dropping probe j strands
+  // every deeper probe — collect them too.
+  std::map<std::string, int> min_dropped_probe;  // hash prefix -> probe
+  const auto split = [](const std::string& name, std::string* prefix) {
+    // <16 hex>[-probe].ovl
+    const std::string stem = name.substr(0, name.size() - 4);
+    const auto dash = stem.find('-');
+    *prefix = stem.substr(0, dash);
+    if (dash == std::string::npos) return 0;
+    return std::atoi(stem.c_str() + dash + 1);
+  };
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!drop[i]) continue;
+    std::string prefix;
+    const int probe = split(records[i].filename, &prefix);
+    const auto it = min_dropped_probe.find(prefix);
+    if (it == min_dropped_probe.end() || probe < it->second) {
+      min_dropped_probe[prefix] = probe;
+    }
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (drop[i]) continue;
+    std::string prefix;
+    const int probe = split(records[i].filename, &prefix);
+    const auto it = min_dropped_probe.find(prefix);
+    if (it != min_dropped_probe.end() && probe > it->second) drop[i] = true;
+  }
+
+  // Unlink and prune the in-memory maps. rename()-published records make
+  // this safe against concurrent services: their open reads keep the
+  // inode, and a subsequent miss is just a cold compile + re-save.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!drop[i]) {
+      report.bytes_kept += records[i].bytes;
+      continue;
+    }
+    std::error_code ec;
+    fs::remove(directory_ / records[i].filename, ec);
+    if (ec) {  // could not unlink: keep it indexed
+      report.bytes_kept += records[i].bytes;
+      continue;
+    }
+    ++report.removed;
+    report.bytes_removed += records[i].bytes;
+    std::lock_guard<std::mutex> lock(mutex_);
+    uses_.erase(records[i].filename);
+    last_used_.erase(records[i].filename);
+    for (auto it = file_of_key_.begin(); it != file_of_key_.end();) {
+      it = it->second == records[i].filename ? file_of_key_.erase(it)
+                                             : std::next(it);
+    }
+  }
+  flush_index();
+  return report;
 }
 
 }  // namespace vcgra::store

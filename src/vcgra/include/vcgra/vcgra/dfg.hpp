@@ -141,6 +141,15 @@ Dfg make_dot_product_kernel(const std::vector<double>& coefficients);
 /// is exactly one place it can change.
 std::string dot_tree_text(const std::vector<double>& coefficients);
 
+/// Kernel-language text for a LEFT-ASSOCIATIVE streaming sum of
+/// `streams` inputs: y = (((x0 + x1) + x2) + ...). This is the
+/// association order of the host-side fp_add_n fold the per-job engines
+/// use to combine partial results (group order in the vision DCS
+/// convolution, tile order in the HPC GEMM column fold) — so a graph
+/// reduction stage built from this text is bit-identical to the host
+/// accumulation it replaces. `streams` == 1 degenerates to a pass.
+std::string chain_add_text(int streams);
+
 /// Convenience builder: a streaming MAC filter where one PE accumulates
 /// `taps` products per output sample (how the vessel-segmentation filters
 /// map when kernels exceed the grid).

@@ -169,6 +169,26 @@ struct ResolvedStream {
 /// provided input).
 using ResolvedJob = std::vector<ResolvedStream>;
 
+/// Cross-chunk streaming state of one specialization: the plan's
+/// MAC/decimation accumulators plus the cumulative op totals, promoted
+/// from the executor's internal block-sweep carry to an API object so a
+/// long-lived session can feed an unbounded stream in chunks.
+///
+/// The contract (enforced by the chunked-feed differential in
+/// test_graph): feeding a stream through run_chunk in any chunking —
+/// including chunks that straddle MAC decimation boundaries and the
+/// executor's internal block size — produces bit-identical concatenated
+/// outputs and identical cumulative cycles/fp_ops/mac_ops to one
+/// run()/run_doubles() call over the whole stream.
+struct StreamCarry {
+  /// One accumulator per plan MAC op (sized on first use). `consumed`
+  /// accumulates total samples folded, for diagnostics only.
+  std::vector<ExecArena::MacState> mac;
+  std::uint64_t total_samples = 0;  // input samples fed so far
+  std::uint64_t fp_ops = 0;         // cumulative, mirrors RunResult::fp_ops
+  std::uint64_t mac_ops = 0;
+};
+
 /// Executes an ExecPlan. Stateless beyond the shared plan handle — safe
 /// to construct per job; the heavy state lives in the per-thread arena.
 class PlanExecutor {
@@ -245,6 +265,18 @@ class PlanExecutor {
   /// borrowed buffers: no output copy at all. Throws on acceptance-rule
   /// violations (same rules/messages as run_doubles).
   RunView run_views(const BatchInputs& inputs) const;
+
+  /// One chunk of an unbounded stream: seeds the MAC accumulators from
+  /// `carry`, sweeps the tape over just this chunk, and writes the
+  /// accumulators (plus cumulative totals) back. The returned result
+  /// holds this chunk's output samples but CUMULATIVE counters — after
+  /// the last chunk, cycles/fp_ops/mac_ops equal a one-shot run over the
+  /// concatenated stream, and the concatenated outputs are bit-identical
+  /// to it. `raw_output` fills bit_outputs instead of FpValue streams.
+  /// An empty carry binds to this plan on first use; reusing it against
+  /// a plan with a different MAC count throws.
+  RunResult run_chunk(const BatchInputs& chunk, StreamCarry* carry,
+                      bool raw_output = false) const;
 
   const ExecPlan& plan() const { return *plan_; }
 

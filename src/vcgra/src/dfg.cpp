@@ -417,6 +417,30 @@ std::string dot_tree_text(const std::vector<double>& coefficients) {
   return text;
 }
 
+std::string chain_add_text(int streams) {
+  if (streams <= 0) {
+    throw std::invalid_argument("chain_add_text: streams must be positive");
+  }
+  std::string text;
+  for (int i = 0; i < streams; ++i) {
+    text += common::strprintf("input x%d;\n", i);
+  }
+  if (streams == 1) {
+    text += "y = pass(x0);\noutput y;\n";
+    return text;
+  }
+  std::string prev = "x0";
+  for (int i = 1; i < streams; ++i) {
+    std::string name =
+        i == streams - 1 ? std::string("y") : common::strprintf("s%d", i);
+    text += common::strprintf("%s = add(%s, x%d);\n", name.c_str(),
+                              prev.c_str(), i);
+    prev = std::move(name);
+  }
+  text += "output y;\n";
+  return text;
+}
+
 Dfg make_streaming_mac_kernel(double coefficient, int taps) {
   Dfg dfg;
   const int x = dfg.add_input("x");

@@ -971,6 +971,256 @@ std::vector<PlanExecutor::BatchOutcome> PlanExecutor::run_batch_resolved(
   return decode_batch(plan, lay, raw_outputs);
 }
 
+RunResult PlanExecutor::run_chunk(const BatchInputs& chunk, StreamCarry* carry,
+                                  bool raw_output) const {
+  const ExecPlan& plan = *plan_;
+  if (carry == nullptr) {
+    throw std::invalid_argument("PlanExecutor: run_chunk needs a carry");
+  }
+  const std::size_t mac_ops = static_cast<std::size_t>(plan.num_mac_ops);
+  if (carry->mac.empty()) {
+    carry->mac.resize(mac_ops);
+  } else if (carry->mac.size() != mac_ops) {
+    throw std::invalid_argument(
+        "PlanExecutor: carry was opened against a different plan shape");
+  }
+
+  // The single-job acceptance rules, in the single-job order.
+  std::size_t length = 0;
+  for (const auto& [name, stream] : chunk) {
+    if (length == 0) length = stream.size;
+    if (stream.size != length) {
+      throw std::invalid_argument("PlanExecutor: input stream lengths differ");
+    }
+  }
+  for (const auto& [name, stream] : chunk) {
+    if (!plan.input_buffer_by_name.count(name)) {
+      throw std::invalid_argument("PlanExecutor: unknown input stream '" +
+                                  name + "'");
+    }
+  }
+
+  ExecArena& arena = ExecArena::this_thread();
+  const std::size_t buffers = static_cast<std::size_t>(plan.num_buffers);
+  arena.begin_job(buffers, mac_ops);
+  // Restore the carried accumulators. `consumed` restarts at zero: it
+  // indexes into this chunk's operand buffer, not the whole stream.
+  std::vector<ExecArena::MacState>& mac = arena.mac_states();
+  for (std::size_t s = 0; s < mac_ops; ++s) {
+    mac[s].acc = carry->mac[s].acc;
+    mac[s].filled = carry->mac[s].filled;
+  }
+
+  RunResult result;
+  std::vector<std::size_t>& lens = arena.lengths();
+  for (const auto& [name, stream] : chunk) {
+    lens[static_cast<std::size_t>(plan.input_buffer_by_name.at(name))] =
+        stream.size;
+  }
+  std::uint64_t chunk_fp_ops = 0, chunk_mac_ops = 0;
+  for (const ExecPlan::Op& op : plan.tape) {
+    const std::size_t la = lens[static_cast<std::size_t>(op.a)];
+    if (la == kAbsent) {
+      throw std::runtime_error(common::strprintf(
+          "PlanExecutor: operand stream for node %d missing (src %d)", op.node,
+          op.src_a));
+    }
+    std::size_t lb = 0;
+    if (op.b >= 0) {
+      lb = lens[static_cast<std::size_t>(op.b)];
+      if (lb == kAbsent) {
+        throw std::runtime_error(common::strprintf(
+            "PlanExecutor: operand stream for node %d missing (src %d)",
+            op.node, op.src_b));
+      }
+    }
+    switch (op.code) {
+      case ExecPlan::OpCode::kMulCoeff:
+        lens[static_cast<std::size_t>(op.dst)] = la;
+        chunk_fp_ops += la;
+        break;
+      case ExecPlan::OpCode::kMulStream:
+        if (lb < la) {
+          throw std::runtime_error(
+              "PlanExecutor: mul stream operands shorter than the first");
+        }
+        lens[static_cast<std::size_t>(op.dst)] = la;
+        chunk_fp_ops += la;
+        break;
+      case ExecPlan::OpCode::kAdd:
+      case ExecPlan::OpCode::kSub:
+        if (la != lb) {
+          throw std::runtime_error(
+              "PlanExecutor: add/sub needs two equal streams");
+        }
+        lens[static_cast<std::size_t>(op.dst)] = la;
+        chunk_fp_ops += la;
+        break;
+      case ExecPlan::OpCode::kAxpy:
+      case ExecPlan::OpCode::kXpay:
+        if (la != lb) {
+          throw std::runtime_error(
+              "PlanExecutor: add/sub needs two equal streams");
+        }
+        lens[static_cast<std::size_t>(op.dst)] = la;
+        chunk_fp_ops += 2 * la;
+        break;
+      case ExecPlan::OpCode::kMac:
+        // This chunk emits every fold the carried fill level plus this
+        // chunk's samples complete — a chunk boundary mid-accumulation
+        // emits nothing here and the next chunk emits early.
+        lens[static_cast<std::size_t>(op.dst)] =
+            op.count
+                ? (carry->mac[static_cast<std::size_t>(op.mac_slot)].filled +
+                   la) / op.count
+                : 0;
+        chunk_fp_ops += 2 * la;
+        chunk_mac_ops += la;
+        break;
+    }
+  }
+
+  std::size_t total_words = 0;
+  for (std::size_t b = 0; b < buffers; ++b) {
+    if (lens[b] != kAbsent) total_words += lens[b];
+  }
+  arena.reserve_words(total_words);
+
+  std::vector<std::size_t>& offsets = arena.offsets();
+  for (std::size_t b = 0; b < buffers; ++b) {
+    if (lens[b] == kAbsent) continue;
+    offsets[b] = static_cast<std::size_t>(arena.take(lens[b]) - arena.words());
+  }
+
+  const softfloat::FpFormat format = plan.format;
+  std::uint64_t span_start = telemetry::child_span_start();
+  for (const auto& [name, stream] : chunk) {
+    const std::size_t buf =
+        static_cast<std::size_t>(plan.input_buffer_by_name.at(name));
+    std::uint64_t* dst = arena.words() + offsets[buf];
+    if (stream.bits) {
+      std::copy(stream.bits, stream.bits + stream.size, dst);
+    } else {
+      softfloat::fp_from_double_n(format, stream.doubles, dst, stream.size);
+    }
+  }
+  telemetry::record_child_span("exec.encode", span_start);
+  span_start = telemetry::child_span_start();
+
+  // The execute_plan block sweep, verbatim — the MacStates it carries
+  // across blocks are the same ones seeded from the API carry above.
+  std::vector<std::size_t>& produced = arena.produced();
+  std::uint64_t* const words = arena.words();
+  std::size_t pos = 0;
+  while (pos < length) {
+    pos = std::min(length, pos + kBlockElems);
+    for (const auto& [name, buf] : plan.input_buffer_by_name) {
+      const std::size_t b = static_cast<std::size_t>(buf);
+      if (lens[b] != kAbsent) produced[b] = std::min(lens[b], pos);
+    }
+    for (const ExecPlan::Op& op : plan.tape) {
+      const std::size_t a = static_cast<std::size_t>(op.a);
+      const std::size_t dst = static_cast<std::size_t>(op.dst);
+      if (op.code == ExecPlan::OpCode::kMac) {
+        ExecArena::MacState& state = mac[static_cast<std::size_t>(op.mac_slot)];
+        const std::size_t n = produced[a] - state.consumed;
+        if (n == 0) continue;
+        if (op.count == 0) {
+          state.consumed = produced[a];
+          continue;
+        }
+        const std::size_t emitted = softfloat::fp_mac_n(
+            format, words + offsets[a] + state.consumed, op.coeff_bits,
+            op.count, words + offsets[dst] + produced[dst], n, &state.acc,
+            &state.filled);
+        state.consumed += n;
+        produced[dst] += emitted;
+        continue;
+      }
+      const std::size_t done = produced[dst];
+      std::size_t avail = produced[a];
+      if (op.b >= 0) {
+        avail = std::min(avail, produced[static_cast<std::size_t>(op.b)]);
+      }
+      const std::size_t n = avail - done;
+      if (n == 0) continue;
+      const std::uint64_t* pa = words + offsets[a] + done;
+      std::uint64_t* pd = words + offsets[dst] + done;
+      switch (op.code) {
+        case ExecPlan::OpCode::kMulCoeff:
+          softfloat::fp_mul_coeff_n(format, pa, op.coeff_bits, pd, n);
+          break;
+        case ExecPlan::OpCode::kMulStream:
+          softfloat::fp_mul_n(
+              format, pa, words + offsets[static_cast<std::size_t>(op.b)] + done,
+              pd, n);
+          break;
+        case ExecPlan::OpCode::kAdd:
+          softfloat::fp_add_n(
+              format, pa, words + offsets[static_cast<std::size_t>(op.b)] + done,
+              pd, n);
+          break;
+        case ExecPlan::OpCode::kSub:
+          softfloat::fp_add_xor_n(
+              format, pa, words + offsets[static_cast<std::size_t>(op.b)] + done,
+              op.xor_mask, pd, n);
+          break;
+        case ExecPlan::OpCode::kAxpy:
+          softfloat::fp_axpy_n(
+              format, pa, words + offsets[static_cast<std::size_t>(op.b)] + done,
+              op.coeff_bits, op.xor_mask, pd, n);
+          break;
+        case ExecPlan::OpCode::kXpay:
+          softfloat::fp_xpay_n(
+              format, pa, op.coeff_bits,
+              words + offsets[static_cast<std::size_t>(op.b)] + done,
+              op.xor_mask, pd, n);
+          break;
+        case ExecPlan::OpCode::kMac:
+          break;  // handled above
+      }
+      produced[dst] = avail;
+    }
+  }
+  telemetry::record_child_span("exec.tape", span_start);
+  span_start = telemetry::child_span_start();
+
+  for (const ExecPlan::OutputSlot& slot : plan.outputs) {
+    const std::size_t buf = static_cast<std::size_t>(slot.buffer);
+    if (lens[buf] == kAbsent) {
+      throw std::runtime_error("PlanExecutor: output stream missing");
+    }
+    const std::uint64_t* p = words + offsets[buf];
+    if (raw_output) {
+      result.bit_outputs.emplace(slot.name,
+                                 std::vector<std::uint64_t>(p, p + lens[buf]));
+    } else {
+      std::vector<FpValue> out(lens[buf]);
+      for (std::size_t i = 0; i < lens[buf]; ++i) out[i] = FpValue(format, p[i]);
+      result.outputs.emplace(slot.name, std::move(out));
+    }
+  }
+  telemetry::record_child_span("exec.decode", span_start);
+
+  // Write the accumulators back and fold this chunk into the cumulative
+  // totals. cycles stays closed-form over the whole stream: a session at
+  // initiation interval 1 fills its pipeline once, not once per chunk.
+  for (std::size_t s = 0; s < mac_ops; ++s) {
+    carry->mac[s].acc = mac[s].acc;
+    carry->mac[s].filled = mac[s].filled;
+    carry->mac[s].consumed += mac[s].consumed;
+  }
+  carry->total_samples += length;
+  carry->fp_ops += chunk_fp_ops;
+  carry->mac_ops += chunk_mac_ops;
+  result.pipeline_depth = plan.pipeline_depth;
+  result.cycles = static_cast<std::uint64_t>(plan.pipeline_depth) +
+                  (carry->total_samples > 0 ? carry->total_samples - 1 : 0);
+  result.fp_ops = carry->fp_ops;
+  result.mac_ops = carry->mac_ops;
+  return result;
+}
+
 PlanExecutor::RunView PlanExecutor::run_views(const BatchInputs& inputs) const {
   const ExecPlan& plan = *plan_;
   std::vector<ResolvedJob> resolved;

@@ -84,4 +84,113 @@ PipelineResult run_pipeline_service_dcs(const RgbImage& input,
                                         runtime::OverlayService& service,
                                         PipelineDcsStats* dcs_stats = nullptr);
 
+/// Cost/result of one kernel-graph convolution.
+struct GraphConvResult {
+  Image output;
+  int stages = 0;           // graph stages (tap groups + fold stages)
+  int structure_hits = 0;   // admission-time compiles skipped
+  int edges_raw = 0;        // interior edges carried as raw bits
+  int edges_converted = 0;  // ... that paid a format-convert hop (0 here)
+  double compile_seconds = 0;
+  double specialize_seconds = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t fp_ops = 0;
+};
+
+/// Kernel-graph counterpart of convolve_overlay_dcs: the filter's tap
+/// groups AND the host-side group fold become ONE KernelGraph — the tap
+/// groups feed left-associative chain-add reduction stages
+/// (overlay::chain_add_text) over raw-bits edges, so one DAG submission
+/// replaces per-group job round trips and the host fp_add_n fold, with
+/// zero double round trips anywhere between the input encode and the
+/// final image decode. The association order is identical to the DCS
+/// engine's group-order host fold, so the output is bit-exact with
+/// convolve_overlay_dcs (asserted by test_vision).
+GraphConvResult convolve_overlay_graph(const Image& input, const Kernel& kernel,
+                                       const overlay::OverlayArch& arch,
+                                       runtime::OverlayService& service,
+                                       std::uint64_t seed = 1);
+
+/// Graph accounting of a whole pipeline run.
+struct PipelineGraphStats {
+  int graphs = 0;           // kernel-graph invocations (one per filter bank)
+  int stages = 0;           // graph stages across all invocations
+  int structure_hits = 0;   // admission compiles skipped
+  int edges_raw = 0;        // raw-bits interior edges delivered
+  int edges_converted = 0;  // format-convert hops (0: one format throughout)
+  double compile_seconds = 0;
+  double specialize_seconds = 0;
+};
+
+/// Full Fig. 5 pipeline with every hardware filter bank expressed as ONE
+/// KernelGraph (all the bank's filters' tap groups plus their reduction
+/// stages in a single DAG): three graph submissions replace the DCS
+/// path's hundreds of per-group job round trips. Stage outputs are
+/// bit-exact with run_pipeline_service_dcs — the graphs preserve the DCS
+/// association order — which test_vision asserts; bench_runtime gate [I]
+/// holds the speedup.
+PipelineResult run_pipeline_service_graph(const RgbImage& input,
+                                          const Mask& field_of_view,
+                                          const PipelineParams& params,
+                                          const overlay::OverlayArch& arch,
+                                          runtime::OverlayService& service,
+                                          PipelineGraphStats* graph_stats = nullptr);
+
+/// The steady-state frame loop the streaming sessions exist for.
+/// Construction admits the three filter banks' kernel graphs ONCE with
+/// no baked input streams (the graphs are image-size independent — only
+/// the params are bound at admission); run() then streams each frame
+/// through per-bank GraphSessions, feeding the frame's shifted tap
+/// streams as one chunk. Per-frame cost is host preprocessing plus pure
+/// graph datapath: no parsing, no cache lookups, no admission, no job
+/// queue. Outputs are bit-exact with run_pipeline_service_graph — and
+/// therefore with run_pipeline_service_dcs — on every frame (asserted
+/// by test_graph); bench_runtime gate [I] holds the speedup over the
+/// per-job DCS engine.
+class PipelineGraphRunner {
+ public:
+  /// One external stream of a pinned bank graph: the tap-group stage
+  /// and input it feeds, and the image shift of the tap it carries.
+  struct TapFeed {
+    std::string stage;
+    std::string input;
+    int dx = 0;
+    int dy = 0;
+  };
+
+  PipelineGraphRunner(const PipelineParams& params,
+                      const overlay::OverlayArch& arch,
+                      runtime::OverlayService& service,
+                      std::uint64_t seed = 1);
+
+  /// Segment one frame. `graph_stats` reports this frame's invocation
+  /// counters; admission accounting lives in admission_stats().
+  PipelineResult run(const RgbImage& input, const Mask& field_of_view,
+                     PipelineGraphStats* graph_stats = nullptr);
+
+  /// Tool-flow cost paid once in the constructor (compiles, structure
+  /// hits, admitted graphs/stages). Frames never add to it.
+  const PipelineGraphStats& admission_stats() const { return admitted_; }
+
+ private:
+  struct PinnedBank {
+    std::shared_ptr<const runtime::KernelGraph> graph;
+    std::vector<TapFeed> taps;
+    std::vector<std::string> finals;  // per-filter response stages, bank order
+    std::size_t filters = 0;
+  };
+
+  PinnedBank admit_bank(const std::vector<Kernel>& bank, std::uint64_t seed);
+  Image bank_response(const PinnedBank& bank, const Image& input,
+                      PipelineCost& cost, PipelineGraphStats& stats);
+
+  runtime::OverlayService& service_;
+  overlay::OverlayArch arch_;
+  PipelineParams params_;
+  PipelineGraphStats admitted_;
+  PinnedBank denoise_;
+  PinnedBank matched_;
+  PinnedBank ridges_;
+};
+
 }  // namespace vcgra::vision

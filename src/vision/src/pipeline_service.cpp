@@ -47,6 +47,21 @@ Image bank_response(runtime::OverlayService& service, const Image& input,
   return pixelwise_max(responses);
 }
 
+/// The texture pass's four ridge kernels (negated matched kernels) —
+/// one construction shared by every pipeline engine so their banks are
+/// coefficient-identical by definition.
+std::vector<Kernel> ridge_bank(const PipelineParams& params) {
+  std::vector<Kernel> ridges;
+  for (const double angle : {0.0, 45.0, 90.0, 135.0}) {
+    Kernel ridge = matched_filter_kernel(params.texture_size,
+                                         params.texture_sigma,
+                                         params.texture_length, angle);
+    for (double& w : ridge.weights) w = -w;
+    ridges.push_back(std::move(ridge));
+  }
+  return ridges;
+}
+
 }  // namespace
 
 std::string dcs_tap_group_kernel(int taps) {
@@ -141,6 +156,201 @@ DcsConvResult convolve_overlay_dcs(const Image& input, const Kernel& kernel,
 
 namespace {
 
+/// Append one filter's kernel-graph stages to `request`: the tap-group
+/// stages of convolve_overlay_dcs plus a left-associative chain-add
+/// reduction replacing the host fold, wired with raw-bits edges. Returns
+/// the name of the stage producing the filter's response (output "y");
+/// the caller decides whether to keep it at the boundary.
+///
+/// With `bake` set, each tap's shifted image stream is baked into the
+/// stage spec (the one-shot run_graph path). With `bake` null the
+/// stages carry no streams — the PipelineGraphRunner admission mode,
+/// where frames arrive later through GraphSession::feed — and `taps`
+/// records which stage/input each tap feeds plus its image shift, so
+/// the runner can rebuild the exact same streams per frame.
+std::string add_filter_graph_stages(
+    runtime::GraphRequest& request, const Image* bake, const Kernel& kernel,
+    const overlay::OverlayArch& arch, const std::string& prefix,
+    std::uint64_t seed,
+    std::vector<PipelineGraphRunner::TapFeed>* taps_out = nullptr) {
+  if (kernel.size <= 0 || kernel.size % 2 == 0) {
+    throw std::invalid_argument(
+        "convolve_overlay_graph: kernel size must be odd");
+  }
+  const int taps = kernel.taps();
+  const int half = kernel.size / 2;
+  const int group_width = std::min(taps, (arch.num_pes() + 1) / 2);
+
+  // Tap-group stages: byte-identical kernel texts, params and shifted
+  // streams to the per-job engine, so every structure (and on a warm
+  // service every specialization) is shared with it.
+  std::vector<std::string> pending;  // stages whose "y" still needs folding
+  for (int base = 0; base < taps; base += group_width) {
+    const int width = std::min(group_width, taps - base);
+    runtime::GraphStage stage;
+    stage.name = prefix + common::strprintf("g%d", base / group_width);
+    stage.kernel_text = dcs_tap_group_kernel(width);
+    stage.seed = seed;
+    for (int j = 0; j < width; ++j) {
+      const int tap = base + j;
+      const int kx = tap % kernel.size, ky = tap / kernel.size;
+      stage.params[common::strprintf("c%d", j)] = kernel.at(kx, ky);
+      if (taps_out) {
+        taps_out->push_back({stage.name, common::strprintf("x%d", j),
+                             kx - half, ky - half});
+      }
+      if (!bake) continue;
+      const std::size_t pixels = static_cast<std::size_t>(bake->width()) *
+                                 static_cast<std::size_t>(bake->height());
+      std::vector<double>& stream = stage.inputs[common::strprintf("x%d", j)];
+      stream.reserve(pixels);
+      for (int y = 0; y < bake->height(); ++y) {
+        for (int x = 0; x < bake->width(); ++x) {
+          stream.push_back(static_cast<double>(
+              bake->sample(x + kx - half, y + ky - half)));
+        }
+      }
+    }
+    pending.push_back(stage.name);
+    request.stages.push_back(std::move(stage));
+  }
+
+  // Reduction stages: fold the group responses left-associatively (group
+  // order — the DCS host fold's association), chaining when the group
+  // count exceeds the grid's add fan-in. A chained fold keeps the
+  // running sum as the FIRST input of the next stage, preserving strict
+  // left-association end to end.
+  const int fan_in =
+      std::max(2, (arch.num_pes() + 1) / 2);  // K-1 add PEs, routed like a tree
+  int fold_index = 0;
+  while (pending.size() > 1) {
+    const int k = static_cast<int>(
+        std::min<std::size_t>(pending.size(), static_cast<std::size_t>(fan_in)));
+    runtime::GraphStage fold;
+    fold.name = prefix + common::strprintf("fold%d", fold_index++);
+    fold.kernel_text = overlay::chain_add_text(k);
+    fold.seed = seed;
+    for (int j = 0; j < k; ++j) {
+      request.edges.push_back({pending[static_cast<std::size_t>(j)], "y",
+                               fold.name, common::strprintf("x%d", j)});
+    }
+    pending.erase(pending.begin(), pending.begin() + k);
+    pending.insert(pending.begin(), fold.name);
+    request.stages.push_back(std::move(fold));
+  }
+  return pending.front();
+}
+
+/// Decode one kept graph output ("stage:y", length-checked) into `out`.
+void decode_graph_response(const runtime::GraphResult& run,
+                           const std::string& stage,
+                           const overlay::OverlayArch& arch, Image& out) {
+  const std::size_t pixels = static_cast<std::size_t>(out.width()) *
+                             static_cast<std::size_t>(out.height());
+  const auto it = run.bit_outputs.find(stage + ":y");
+  if (it == run.bit_outputs.end() || it->second.size() != pixels) {
+    throw std::runtime_error(
+        "convolve_overlay_graph: malformed graph output for stage '" + stage +
+        "'");
+  }
+  std::vector<double> decoded(pixels);
+  softfloat::fp_to_double_n(arch.format, it->second.data(), decoded.data(),
+                            pixels);
+  for (std::size_t p = 0; p < pixels; ++p) {
+    out.data()[p] = static_cast<float>(decoded[p]);
+  }
+}
+
+}  // namespace
+
+GraphConvResult convolve_overlay_graph(const Image& input, const Kernel& kernel,
+                                       const overlay::OverlayArch& arch,
+                                       runtime::OverlayService& service,
+                                       std::uint64_t seed) {
+  runtime::GraphRequest request;
+  request.arch = arch;
+  const std::string final_stage =
+      add_filter_graph_stages(request, &input, kernel, arch, "", seed);
+  for (runtime::GraphStage& stage : request.stages) {
+    if (stage.name == final_stage) stage.keep_output = true;
+  }
+
+  GraphConvResult result;
+  const auto graph = service.admit_graph(request);
+  for (const auto& stage : graph->stages()) {
+    if (stage.structure_hit) ++result.structure_hits;
+    result.compile_seconds += stage.compile_seconds;
+    result.specialize_seconds += stage.specialize_seconds;
+  }
+  const runtime::GraphResult run = service.run_graph(*graph);
+  result.stages = run.stages;
+  result.edges_raw = run.edges_raw;
+  result.edges_converted = run.edges_converted;
+  result.cycles = run.cycles;
+  result.fp_ops = run.fp_ops;
+  result.output = Image(input.width(), input.height());
+  decode_graph_response(run, final_stage, arch, result.output);
+  return result;
+}
+
+namespace {
+
+/// Graph counterpart of bank_response_dcs: the WHOLE bank — every
+/// filter's tap groups plus its reduction stages — is one KernelGraph,
+/// submitted once; only the pixelwise max across filter responses stays
+/// host-side (max is not in the PE repertoire). Filters keep the DCS
+/// association order, so each response is bit-exact with
+/// convolve_overlay_dcs on the same input.
+Image bank_response_graph(runtime::OverlayService& service, const Image& input,
+                          const std::vector<Kernel>& bank,
+                          const overlay::OverlayArch& arch, PipelineCost& cost,
+                          PipelineGraphStats& stats) {
+  telemetry::metrics().counter("vision.filters_submitted").add(bank.size());
+  runtime::GraphRequest request;
+  request.arch = arch;
+  std::vector<std::string> finals;
+  finals.reserve(bank.size());
+  for (std::size_t f = 0; f < bank.size(); ++f) {
+    finals.push_back(add_filter_graph_stages(
+        request, &input, bank[f], arch, common::strprintf("f%zu_", f), 1));
+  }
+  for (runtime::GraphStage& stage : request.stages) {
+    if (std::find(finals.begin(), finals.end(), stage.name) != finals.end()) {
+      stage.keep_output = true;
+    }
+  }
+
+  const auto graph = service.admit_graph(request);
+  int compiles = 0;
+  for (const auto& stage : graph->stages()) {
+    if (stage.structure_hit) {
+      ++stats.structure_hits;
+    } else {
+      ++compiles;
+    }
+    stats.compile_seconds += stage.compile_seconds;
+    stats.specialize_seconds += stage.specialize_seconds;
+  }
+  const runtime::GraphResult run = service.run_graph(*graph);
+  ++stats.graphs;
+  stats.stages += run.stages;
+  stats.edges_raw += run.edges_raw;
+  stats.edges_converted += run.edges_converted;
+  cost.macs += run.fp_ops;
+  cost.cycles += run.cycles;
+  cost.reconfigurations += compiles;  // tool-flow runs, like the DCS path
+  cost.filters_applied += static_cast<int>(bank.size());
+
+  std::vector<Image> responses;
+  responses.reserve(bank.size());
+  for (const std::string& final_stage : finals) {
+    Image response(input.width(), input.height());
+    decode_graph_response(run, final_stage, arch, response);
+    responses.push_back(std::move(response));
+  }
+  return pixelwise_max(responses);
+}
+
 /// DCS counterpart of bank_response: convolve every filter of a bank
 /// through the tiled-respecialization engine and fuse in bank order.
 /// Filters run sequentially here — each convolution already fans its tap
@@ -205,15 +415,9 @@ PipelineResult run_pipeline_service_dcs(const RgbImage& input,
                           params.matched_length, params.orientations),
       arch, result.cost, dcs);
 
-  std::vector<Kernel> ridges;
-  for (const double angle : {0.0, 45.0, 90.0, 135.0}) {
-    Kernel ridge = matched_filter_kernel(params.texture_size, params.texture_sigma,
-                                         params.texture_length, angle);
-    for (double& w : ridge.weights) w = -w;
-    ridges.push_back(std::move(ridge));
-  }
-  stages.textured = bank_response_dcs(service, stages.matched, ridges, arch,
-                                      result.cost, dcs);
+  stages.textured = bank_response_dcs(service, stages.matched,
+                                      ridge_bank(params), arch, result.cost,
+                                      dcs);
 
   const float level =
       quantile_level(stages.textured, valid, params.threshold_quantile);
@@ -224,6 +428,172 @@ PipelineResult run_pipeline_service_dcs(const RgbImage& input,
     }
   }
   if (dcs_stats) *dcs_stats = dcs;
+  return result;
+}
+
+PipelineResult run_pipeline_service_graph(const RgbImage& input,
+                                          const Mask& field_of_view,
+                                          const PipelineParams& params,
+                                          const overlay::OverlayArch& arch,
+                                          runtime::OverlayService& service,
+                                          PipelineGraphStats* graph_stats) {
+  PipelineResult result;
+  StageImages& stages = result.stages;
+  PipelineGraphStats stats;
+
+  // Software preprocessing (identical to the sequential engines).
+  stages.green = input.channel(1);
+  stages.equalized = equalize_histogram(stages.green, field_of_view);
+  Mask valid;
+  stages.masked =
+      remove_optic_disc_and_border(stages.equalized, field_of_view, &valid);
+
+  // One kernel graph per filter bank: denoise, matched, ridges. Each
+  // graph carries every tap group and reduction of its bank; only the
+  // pixelwise max across filter responses (and the threshold) stay host.
+  stages.denoised = bank_response_graph(
+      service, stages.masked,
+      {gaussian_kernel(params.denoise_size, params.denoise_sigma)}, arch,
+      result.cost, stats);
+
+  stages.matched = bank_response_graph(
+      service, stages.denoised,
+      matched_filter_bank(params.matched_size, params.matched_sigma,
+                          params.matched_length, params.orientations),
+      arch, result.cost, stats);
+
+  stages.textured = bank_response_graph(service, stages.matched,
+                                        ridge_bank(params), arch, result.cost,
+                                        stats);
+
+  const float level =
+      quantile_level(stages.textured, valid, params.threshold_quantile);
+  stages.segmented = threshold(stages.textured, level);
+  for (int y = 0; y < stages.segmented.height(); ++y) {
+    for (int x = 0; x < stages.segmented.width(); ++x) {
+      if (valid.at(x, y) < 0.5f) stages.segmented.at(x, y) = 0.0f;
+    }
+  }
+  if (graph_stats) *graph_stats = stats;
+  return result;
+}
+
+PipelineGraphRunner::PipelineGraphRunner(const PipelineParams& params,
+                                         const overlay::OverlayArch& arch,
+                                         runtime::OverlayService& service,
+                                         std::uint64_t seed)
+    : service_(service), arch_(arch), params_(params) {
+  denoise_ = admit_bank(
+      {gaussian_kernel(params.denoise_size, params.denoise_sigma)}, seed);
+  matched_ = admit_bank(
+      matched_filter_bank(params.matched_size, params.matched_sigma,
+                          params.matched_length, params.orientations),
+      seed);
+  ridges_ = admit_bank(ridge_bank(params), seed);
+}
+
+PipelineGraphRunner::PinnedBank PipelineGraphRunner::admit_bank(
+    const std::vector<Kernel>& bank, std::uint64_t seed) {
+  runtime::GraphRequest request;
+  request.arch = arch_;
+  PinnedBank pinned;
+  pinned.filters = bank.size();
+  for (std::size_t f = 0; f < bank.size(); ++f) {
+    pinned.finals.push_back(add_filter_graph_stages(
+        request, /*bake=*/nullptr, bank[f], arch_,
+        common::strprintf("f%zu_", f), seed, &pinned.taps));
+  }
+  for (runtime::GraphStage& stage : request.stages) {
+    if (std::find(pinned.finals.begin(), pinned.finals.end(), stage.name) !=
+        pinned.finals.end()) {
+      stage.keep_output = true;
+    }
+  }
+  pinned.graph = service_.admit_graph(request);
+  ++admitted_.graphs;
+  admitted_.stages += static_cast<int>(pinned.graph->stages().size());
+  for (const auto& stage : pinned.graph->stages()) {
+    if (stage.structure_hit) ++admitted_.structure_hits;
+    admitted_.compile_seconds += stage.compile_seconds;
+    admitted_.specialize_seconds += stage.specialize_seconds;
+  }
+  return pinned;
+}
+
+Image PipelineGraphRunner::bank_response(const PinnedBank& bank,
+                                         const Image& input,
+                                         PipelineCost& cost,
+                                         PipelineGraphStats& stats) {
+  telemetry::metrics().counter("vision.filters_submitted").add(bank.filters);
+  // The frame is one chunk: rebuild each tap's shifted stream exactly
+  // as the baked-graph path does, keyed stage -> input the way
+  // GraphSession::feed binds external streams.
+  std::map<std::string, std::map<std::string, std::vector<double>>> chunk;
+  const std::size_t pixels = static_cast<std::size_t>(input.width()) *
+                             static_cast<std::size_t>(input.height());
+  for (const TapFeed& tap : bank.taps) {
+    std::vector<double>& stream = chunk[tap.stage][tap.input];
+    stream.reserve(pixels);
+    for (int y = 0; y < input.height(); ++y) {
+      for (int x = 0; x < input.width(); ++x) {
+        stream.push_back(
+            static_cast<double>(input.sample(x + tap.dx, y + tap.dy)));
+      }
+    }
+  }
+
+  // A fresh session per frame keeps the chunk counters frame-exact; the
+  // stages are stateless (no MAC taps), so carry history is moot anyway.
+  const auto session = service_.open_graph_session(bank.graph);
+  const runtime::GraphResult run = session->feed(chunk);
+  ++stats.graphs;
+  stats.stages += run.stages;
+  stats.edges_raw += run.edges_raw;
+  stats.edges_converted += run.edges_converted;
+  cost.macs += run.fp_ops;
+  cost.cycles += run.cycles;
+  cost.filters_applied += static_cast<int>(bank.filters);
+
+  std::vector<Image> responses;
+  responses.reserve(bank.filters);
+  for (const std::string& final_stage : bank.finals) {
+    Image response(input.width(), input.height());
+    decode_graph_response(run, final_stage, arch_, response);
+    responses.push_back(std::move(response));
+  }
+  return pixelwise_max(responses);
+}
+
+PipelineResult PipelineGraphRunner::run(const RgbImage& input,
+                                        const Mask& field_of_view,
+                                        PipelineGraphStats* graph_stats) {
+  PipelineResult result;
+  StageImages& stages = result.stages;
+  PipelineGraphStats stats;
+
+  // Software preprocessing (identical to the sequential engines).
+  stages.green = input.channel(1);
+  stages.equalized = equalize_histogram(stages.green, field_of_view);
+  Mask valid;
+  stages.masked =
+      remove_optic_disc_and_border(stages.equalized, field_of_view, &valid);
+
+  stages.denoised =
+      bank_response(denoise_, stages.masked, result.cost, stats);
+  stages.matched =
+      bank_response(matched_, stages.denoised, result.cost, stats);
+  stages.textured =
+      bank_response(ridges_, stages.matched, result.cost, stats);
+
+  const float level =
+      quantile_level(stages.textured, valid, params_.threshold_quantile);
+  stages.segmented = threshold(stages.textured, level);
+  for (int y = 0; y < stages.segmented.height(); ++y) {
+    for (int x = 0; x < stages.segmented.width(); ++x) {
+      if (valid.at(x, y) < 0.5f) stages.segmented.at(x, y) = 0.0f;
+    }
+  }
+  if (graph_stats) *graph_stats = stats;
   return result;
 }
 
@@ -267,15 +637,8 @@ PipelineResult run_pipeline_service(const RgbImage& input,
       arch, result.cost);
 
   // Texture pass: four ridge kernels (negated matched kernels).
-  std::vector<Kernel> ridges;
-  for (const double angle : {0.0, 45.0, 90.0, 135.0}) {
-    Kernel ridge = matched_filter_kernel(params.texture_size, params.texture_sigma,
-                                         params.texture_length, angle);
-    for (double& w : ridge.weights) w = -w;
-    ridges.push_back(std::move(ridge));
-  }
-  stages.textured =
-      bank_response(service, stages.matched, std::move(ridges), arch, result.cost);
+  stages.textured = bank_response(service, stages.matched, ridge_bank(params),
+                                  arch, result.cost);
 
   // Threshold on the response quantile inside the valid region.
   const float level =

@@ -445,3 +445,125 @@ TEST(OverlayCacheStore, ConcurrentServicesShareOneDirectorySafely) {
     EXPECT_NO_THROW(a.store()->load_record(info.filename));
   }
 }
+
+// ---------------------------------------------------------------------------
+// Store GC: the heat index ages records across store opens, gc() drops
+// the cold ones, and a collected record is never fatal — services just
+// fall back to a cold compile and re-publish.
+
+// The age rule: every OverlayStore construction is one generation;
+// records untouched for more than unused_runs generations are dropped,
+// records seen recently survive, and the last-used stamps round-trip
+// through index.tsv across reopens.
+TEST(OverlayStoreGc, AgeRuleDropsUntouchedRecords) {
+  TempDir dir("store-gc-age");
+  const ov::CompiledStructure structure =
+      example_structure(sf::FpFormat::paper());
+  {
+    st::OverlayStore store(dir.path);  // generation 1
+    EXPECT_EQ(store.generation(), 1u);
+    ASSERT_TRUE(store.save("key-hot", structure));
+    ASSERT_TRUE(store.save("key-cold", structure));
+  }
+  // Three more opens that touch only the hot record (the destructor
+  // flushes the index each time).
+  for (int i = 0; i < 3; ++i) {
+    st::OverlayStore store(dir.path);
+    ASSERT_NE(store.load("key-hot"), nullptr);
+  }
+  st::OverlayStore store(dir.path);  // generation 5
+  EXPECT_EQ(store.generation(), 5u);
+  for (const auto& info : store.list()) {
+    EXPECT_GT(info.last_used, 0u) << info.filename;  // stamps round-trip
+  }
+  st::OverlayStore::GcOptions options;
+  options.unused_runs = 2;  // cold is 4 opens stale, hot only 1
+  const auto report = store.gc(options);
+  EXPECT_EQ(report.scanned, 2u);
+  EXPECT_EQ(report.removed, 1u);
+  EXPECT_GT(report.bytes_removed, 0u);
+  EXPECT_TRUE(store.contains("key-hot"));
+  EXPECT_FALSE(store.contains("key-cold"));
+  // The pruned index survives a reopen: the dropped record stays gone.
+  st::OverlayStore reopened(dir.path);
+  EXPECT_EQ(reopened.size(), 1u);
+}
+
+// The byte-budget rule evicts coldest-first (lowest heat) until the
+// surviving records fit; disabled knobs (both zero) collect nothing.
+TEST(OverlayStoreGc, ByteBudgetEvictsColdestFirst) {
+  TempDir dir("store-gc-budget");
+  st::OverlayStore store(dir.path);
+  const ov::CompiledStructure structure =
+      example_structure(sf::FpFormat::paper());
+  ASSERT_TRUE(store.save("key-a", structure));
+  ASSERT_TRUE(store.save("key-b", structure));
+  ASSERT_TRUE(store.save("key-c", structure));
+  store.add_uses("key-a", 10);
+  store.add_uses("key-b", 5);
+
+  st::OverlayStore::GcOptions disabled;
+  const auto noop = store.gc(disabled);
+  EXPECT_EQ(noop.removed, 0u);
+  EXPECT_EQ(noop.scanned, 3u);
+
+  // All three records serialize the same structure, so the budget for
+  // exactly two of them evicts exactly the coldest (zero-heat key-c).
+  std::uint64_t record_bytes = 0;
+  for (const auto& info : store.list()) record_bytes = info.bytes;
+  st::OverlayStore::GcOptions options;
+  options.max_bytes = 2 * record_bytes;
+  const auto report = store.gc(options);
+  EXPECT_EQ(report.removed, 1u);
+  EXPECT_EQ(report.bytes_kept, 2 * record_bytes);
+  EXPECT_TRUE(store.contains("key-a"));
+  EXPECT_TRUE(store.contains("key-b"));
+  EXPECT_FALSE(store.contains("key-c"));
+}
+
+// Collection is never fatal: a service that misses a collected record
+// repairs the store with a cold compile + re-publish, and a LIVE service
+// sharing the directory keeps serving (its memory tier holds the
+// structure; unlink cannot hurt an open record) while gc runs beside it.
+TEST(OverlayStoreGc, CollectedRecordsRepairAndConcurrentServicesSurvive) {
+  TempDir dir("store-gc-repair");
+  rt::ServiceOptions options;
+  options.threads = 2;
+  options.store_dir = dir.path.string();
+  options.store_write_behind = false;  // publish synchronously
+
+  const std::string kernel = dot2_kernel(0.5, -1.25);
+  rt::JobRequest request;
+  request.kernel_text = kernel;
+  request.inputs = ramp_inputs(16);
+
+  rt::OverlayService live(options);
+  const auto before = output_bits(live.run(request).run, "y");
+  ASSERT_FALSE(before.empty());
+  live.cache().flush_store();
+  ASSERT_GE(live.store()->size(), 1u);
+
+  // Collect everything out from under the live service.
+  st::OverlayStore collector(dir.path);
+  st::OverlayStore::GcOptions everything;
+  everything.max_bytes = 1;
+  const auto report = collector.gc(everything);
+  EXPECT_EQ(report.removed, report.scanned);
+  EXPECT_EQ(collector.size(), 0u);
+
+  // The live service still serves the kernel (memory tier) bit-exactly.
+  EXPECT_EQ(output_bits(live.run(request).run, "y"), before);
+
+  // A fresh service misses the collected record, cold-compiles, and
+  // re-publishes: the store repairs itself to a loadable state.
+  rt::OverlayService fresh(options);
+  const rt::JobResult repaired = fresh.run(request);
+  EXPECT_EQ(output_bits(repaired.run, "y"), before);
+  EXPECT_FALSE(repaired.disk_hit);
+  fresh.cache().flush_store();
+  st::OverlayStore check(dir.path);
+  ASSERT_GE(check.size(), 1u);
+  for (const auto& info : check.list()) {
+    EXPECT_NO_THROW(check.load_record(info.filename));
+  }
+}

@@ -11,9 +11,12 @@
 //   vcgra_overlayc --store DIR [arch/seed options] kernel.vk [more.vk ...]
 //   vcgra_overlayc --store DIR --list       # print the library
 //   vcgra_overlayc --store DIR --verify     # re-read + checksum every record
+//   vcgra_overlayc --store DIR --gc         # collect cold records
 //
 // Options: --rows N --cols N --tracks N --format paper|single|half
 //          --seed N
+//          --gc-unused-runs N   (--gc) drop records untouched > N opens
+//          --gc-max-bytes B     (--gc) evict coldest-first to fit B bytes
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +40,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --store DIR [--rows N] [--cols N] [--tracks N]\n"
                "          [--format paper|single|half] [--seed N]\n"
-               "          [--list] [--verify] [kernel-file ...]\n",
+               "          [--list] [--verify] [kernel-file ...]\n"
+               "          [--gc [--gc-unused-runs N] [--gc-max-bytes B]]\n",
                argv0);
   return 2;
 }
@@ -56,7 +60,9 @@ int main(int argc, char** argv) {
   std::string store_dir;
   overlay::OverlayArch arch;
   std::uint64_t seed = 1;
-  bool list = false, verify = false;
+  bool list = false, verify = false, gc = false;
+  store::OverlayStore::GcOptions gc_options;
+  gc_options.unused_runs = 8;  // default: keep anything seen recently
   std::vector<std::string> kernel_files;
 
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +100,12 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--gc") {
+      gc = true;
+    } else if (arg == "--gc-unused-runs") {
+      gc_options.unused_runs = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--gc-max-bytes") {
+      gc_options.max_bytes = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -103,7 +115,7 @@ int main(int argc, char** argv) {
       kernel_files.push_back(arg);
     }
   }
-  if (store_dir.empty() || (kernel_files.empty() && !list && !verify)) {
+  if (store_dir.empty() || (kernel_files.empty() && !list && !verify && !gc)) {
     return usage(argv[0]);
   }
 
@@ -136,13 +148,24 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (gc) {
+      const auto report = library.gc(gc_options);
+      std::printf(
+          "gc: %zu records scanned, %zu removed (%llu bytes), %llu bytes kept\n",
+          report.scanned, report.removed,
+          static_cast<unsigned long long>(report.bytes_removed),
+          static_cast<unsigned long long>(report.bytes_kept));
+    }
+
     if (list) {
       const auto records = library.list();
       std::printf("store %s: %zu records\n", store_dir.c_str(), records.size());
       for (const auto& record : records) {
-        std::printf("  %-24s %6llu uses  %8llu bytes\n", record.filename.c_str(),
+        std::printf("  %-24s %6llu uses  %8llu bytes  last gen %llu\n",
+                    record.filename.c_str(),
                     static_cast<unsigned long long>(record.uses),
-                    static_cast<unsigned long long>(record.bytes));
+                    static_cast<unsigned long long>(record.bytes),
+                    static_cast<unsigned long long>(record.last_used));
       }
     }
 

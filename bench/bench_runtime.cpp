@@ -28,11 +28,13 @@
 #include <thread>
 #include <vector>
 
+#include "vcgra/common/log.hpp"
 #include "vcgra/common/rng.hpp"
 #include "vcgra/common/strings.hpp"
 #include "vcgra/common/table.hpp"
 #include "vcgra/common/timer.hpp"
 #include "vcgra/runtime/service.hpp"
+#include "vcgra/telemetry/health.hpp"
 #include "vcgra/telemetry/metrics.hpp"
 #include "vcgra/telemetry/trace.hpp"
 #include "vcgra/vision/pipeline.hpp"
@@ -1177,6 +1179,122 @@ int main() {
                   "pipeline >= 2x faster than per-job DCS, bit-exact, no "
                   "arena growth (median of %d attempts: %.1fx)\n",
                   kAttempts, speedup);
+    }
+  }
+
+  // --- J: continuous-monitor overhead gate -------------------------------------
+  {
+    std::printf("\n[J] Continuous monitor: sampler + health tick cost and "
+                "warm-service throughput with a 100 ms monitor\n");
+
+    // J1 (gated): the cost of one monitor tick — registry snapshot,
+    // window diff, series push, rule evaluation — over the *real*
+    // process registry, which the gates above populated with dozens of
+    // counters and histograms. At the production 100 ms interval the
+    // <= 1% throughput claim reduces to "one tick costs <= 1 ms of one
+    // core"; the tick is deterministic, so gate it directly instead of
+    // the weather-prone end-to-end ratio (the gate [E]/[G] idiom).
+    {
+      telemetry::MonitorOptions moptions;
+      moptions.interval_seconds = 0.1;
+      telemetry::Monitor monitor(telemetry::metrics(), moptions);
+      constexpr int kTicks = 200;
+      // The gates above left degraded-looking history in the global
+      // registry (deliberate arena growth, ring-wrapping span storms);
+      // the resulting transition logs are expected, not bench output.
+      const common::LogLevel saved_level = common::log_level();
+      common::set_log_level(common::LogLevel::kError);
+      monitor.tick_at(telemetry::trace_now_ns());  // baseline snapshot
+      common::WallTimer timer;
+      for (int i = 0; i < kTicks; ++i) {
+        monitor.tick_at(telemetry::trace_now_ns());
+      }
+      const double us_per_tick = timer.seconds() * 1e6 / kTicks;
+      common::set_log_level(saved_level);
+      const telemetry::MetricsSnapshot snap = telemetry::metrics().snapshot();
+      std::printf("  monitor tick: %.1f us each over %d ticks "
+                  "(%zu metrics, %zu series)\n",
+                  us_per_tick, kTicks,
+                  snap.counters.size() + snap.gauges.size() +
+                      snap.histograms.size(),
+                  monitor.series().series().size());
+      if (us_per_tick > 1000.0) {
+        std::printf("  FAIL: a monitor tick costs %.1f us (> 1 ms budget = "
+                    "1%% of the 100 ms interval on one core)\n",
+                    us_per_tick);
+        ok = false;
+      } else {
+        std::printf("  PASS: tick cost %.1f us <= 1 ms (1%% of the 100 ms "
+                    "sampling interval)\n", us_per_tick);
+      }
+    }
+
+    // J2 (report-only): end-to-end warm-service throughput with the
+    // monitor on vs off, interleaved at job granularity across two warm
+    // single-thread services so adjacent jobs share machine state; the
+    // median per-pair ratio is printed for the record against the <= 1%
+    // target. ~100 us jobs carry noise modes well past 1%, which is why
+    // the gated quantity is J1.
+    {
+      constexpr int kAttempts = 3;
+      constexpr int kReps = 9;
+      const std::string triad_text =
+          "input a; input b;\nparam alpha = 3.0;\n"
+          "t = mul(b, alpha);\ny = add(a, t);\noutput y;\n";
+      const auto triad_inputs = []() {
+        std::map<std::string, std::vector<double>> inputs;
+        for (const char* name : {"a", "b"}) {
+          std::vector<double>& s = inputs[name];
+          s.reserve(1 << 14);
+          for (std::size_t i = 0; i < (1 << 14); ++i) {
+            s.push_back((static_cast<double>(i % 509) / 128.0 - 2.0) *
+                        (name[0] == 'a' ? 1.0 : -0.75));
+          }
+        }
+        return inputs;
+      };
+      const auto run_job = [&](runtime::OverlayService& service) {
+        runtime::JobRequest request;
+        request.kernel_text = triad_text;
+        request.inputs = triad_inputs();
+        return service.run(std::move(request)).latency_seconds;
+      };
+      std::vector<double> pair_ratios;
+      // The monitored services' first windows see the whole bench
+      // lifetime as one delta and log the same expected transitions.
+      const common::LogLevel saved_level = common::log_level();
+      common::set_log_level(common::LogLevel::kError);
+      for (int attempt = 0; attempt < kAttempts; ++attempt) {
+        runtime::ServiceOptions plain_options;
+        plain_options.threads = 1;
+        runtime::OverlayService plain(plain_options);
+        runtime::ServiceOptions monitored_options;
+        monitored_options.threads = 1;
+        monitored_options.monitor_interval_seconds = 0.1;
+        runtime::OverlayService monitored(monitored_options);
+        run_job(plain);      // warm both caches
+        run_job(monitored);
+        std::vector<double> attempt_ratios;
+        for (int r = 0; r < kReps; ++r) {
+          const bool plain_first = r % 2 == 0;
+          const double first = run_job(plain_first ? plain : monitored);
+          const double second = run_job(plain_first ? monitored : plain);
+          const double off = plain_first ? first : second;
+          const double on = plain_first ? second : first;
+          attempt_ratios.push_back(on > 0 ? off / on : 0.0);
+        }
+        pair_ratios.insert(pair_ratios.end(), attempt_ratios.begin(),
+                           attempt_ratios.end());
+        std::printf("  attempt %d: median monitored/unmonitored throughput "
+                    "ratio %.3fx over %d job pairs\n",
+                    attempt + 1, runtime::percentile(attempt_ratios, 0.5),
+                    kReps);
+      }
+      common::set_log_level(saved_level);
+      std::printf("  monitored throughput %.3fx of unmonitored at a 100 ms "
+                  "interval (median of %d interleaved pairs; target >= 0.99x; "
+                  "report-only — the gated quantity is the tick cost above)\n",
+                  runtime::percentile(pair_ratios, 0.5), kAttempts * kReps);
     }
   }
 

@@ -34,7 +34,9 @@
 #include "vcgra/runtime/overlay_cache.hpp"
 #include "vcgra/runtime/service.hpp"
 #include "vcgra/store/overlay_store.hpp"
+#include "vcgra/telemetry/health.hpp"
 #include "vcgra/telemetry/metrics.hpp"
+#include "vcgra/telemetry/trace.hpp"
 #include "vcgra/vcgra/compiler.hpp"
 #include "vcgra/vcgra/dfg.hpp"
 
@@ -134,6 +136,11 @@ int main(int argc, char** argv) {
     options.store_dir = store_dir.string();
     options.warm_start_structures = 64;  // preload the whole (small) library
     options.trace_path = trace_path;  // empty = tracer stays off
+    // Continuous observability: sample the metric registry every 50 ms
+    // into time-series windows and evaluate the default service SLO
+    // rules; the final window lands in the stats snapshot under
+    // "monitor" so `vcgra_top` can render health + sparklines from it.
+    if (!stats_path.empty()) options.monitor_interval_seconds = 0.05;
     common::WallTimer boot;
     runtime::OverlayService service(options);
     std::printf("\n[serve] warm-started service in %s: %llu structures "
@@ -244,13 +251,24 @@ int main(int argc, char** argv) {
 
     if (!stats_path.empty()) {
       // Service-exact percentiles plus the process-wide metric registry,
-      // one machine-readable file (vcgra_stats pretty-prints/diffs it).
+      // one machine-readable file (vcgra_stats pretty-prints/diffs it and
+      // vcgra_top renders it). Close one last monitor window first so the
+      // health verdict and series cover everything served above even when
+      // the run finished inside a single sampling interval.
+      std::string monitor_json = "null";
+      if (telemetry::Monitor* monitor = service.monitor()) {
+        monitor->tick_at(telemetry::trace_now_ns());
+        monitor_json = monitor->to_json();
+      }
       const std::string json =
           "{\"service\": " + service.stats().to_json() +
-          ",\n\"process\": " + telemetry::metrics().snapshot().to_json() + "}\n";
+          ",\n\"process\": " + telemetry::metrics().snapshot().to_json() +
+          ",\n\"monitor\": " + monitor_json + "}\n";
       std::ofstream out(stats_path);
       out << json;
-      std::printf("[serve] stats snapshot written to %s\n", stats_path.c_str());
+      std::printf("[serve] stats snapshot written to %s (health: %s)\n",
+                  stats_path.c_str(),
+                  telemetry::to_string(service.health().overall));
     }
   }
   // The service destructor exports the Chrome trace on shutdown.

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "vcgra/runtime/overlay_cache.hpp"
+#include "vcgra/telemetry/trace.hpp"
 #include "vcgra/vcgra/compiler.hpp"
 #include "vcgra/vcgra/exec_plan.hpp"
 
@@ -99,6 +100,12 @@ struct GraphResult {
   int edges_raw = 0;       // interior edges delivered as raw bits
   int edges_converted = 0; // ... that paid a format-convert hop
   double exec_seconds = 0; // datapath time of the invocation
+  /// Per-sweep timing decomposition of this invocation from its trace
+  /// spans (the direct children of graph.run — "graph.stage" sweeps,
+  /// aggregated in chronological order). Sweeps run sequentially on the
+  /// invoking thread, so the durations sum to ~exec_seconds (minus wave
+  /// bookkeeping) — the graph analogue of JobResult::stages.
+  std::vector<telemetry::StageTiming> stage_timings;
 };
 
 /// An admitted graph: every stage parsed, compiled (through the service

@@ -31,6 +31,7 @@
 #include "vcgra/runtime/overlay_cache.hpp"
 #include "vcgra/runtime/reconfig_scheduler.hpp"
 #include "vcgra/runtime/stats.hpp"
+#include "vcgra/telemetry/health.hpp"
 #include "vcgra/telemetry/metrics.hpp"
 #include "vcgra/telemetry/trace.hpp"
 #include "vcgra/vcgra/simulator.hpp"
@@ -85,6 +86,10 @@ struct JobResult {
   /// Per-stage latency decomposition (queue.wait, cache.lookup,
   /// sched.acquire, plan.fetch, exec.run) from the job's trace spans, in
   /// pipeline order; the stage durations sum to ~latency_seconds.
+  /// Jobs that rode a fused sweep (batch_size > 1) share the batch's
+  /// pipeline stages — the batch executed them together, so they are
+  /// wall time for every member — with each job's own queue.wait
+  /// substituted, keeping stage-sum ~= latency_seconds batch-wide.
   std::vector<telemetry::StageTiming> stages;
   /// Trace id shared by this job's spans in the exported Chrome trace.
   std::uint64_t trace_id = 0;
@@ -142,6 +147,24 @@ struct ServiceOptions {
   /// Jobs whose submit->result latency meets this threshold (seconds)
   /// log their span tree at WARN level. 0 disables.
   double slow_job_threshold = 0;
+  /// Continuous monitoring: when > 0 the service runs a telemetry
+  /// Monitor that samples the process metrics registry every this many
+  /// seconds into ring-buffer time series (counter rates, gauge levels,
+  /// histogram window p50/p99), evaluates the health rule set per
+  /// window, flags EWMA+z-score anomalies and logs every status
+  /// transition through the leveled logger. 0 disables (the default —
+  /// bench gate [J] bounds the enabled cost at a 100 ms interval).
+  double monitor_interval_seconds = 0;
+  /// SLO thresholds for the default health rules (service latency p99,
+  /// error rate, cache hit rate, queue depth; arena grows and span-ring
+  /// drops are zero-tolerance structural rules).
+  telemetry::ServiceSloOptions slo;
+  /// Custom health rules; empty means default_service_rules(slo).
+  std::vector<telemetry::HealthRule> health_rules;
+  /// When non-empty the monitor atomically rewrites this file (temp +
+  /// rename) with its JSON state ({health, series}) every window — the
+  /// live input for `vcgra_top --watch`.
+  std::string monitor_export_path;
 };
 
 class OverlayService {
@@ -224,6 +247,13 @@ class OverlayService {
 
   ServiceStats stats() const;
 
+  /// Latest windowed health report from the continuous monitor. All-ok
+  /// (zero windows evaluated) before the first window or when
+  /// monitoring is disabled.
+  telemetry::HealthReport health() const;
+  /// The continuous monitor; nullptr when monitor_interval_seconds == 0.
+  telemetry::Monitor* monitor() { return monitor_.get(); }
+
   OverlayCache& cache() { return cache_; }
   ReconfigScheduler& scheduler() { return scheduler_; }
   ExecutorPool& executor() { return pool_; }
@@ -289,6 +319,10 @@ class OverlayService {
   std::shared_ptr<store::OverlayStore> store_;
   OverlayCache cache_;
   ReconfigScheduler scheduler_;
+  /// Continuous sampler + health engine over the process registry (only
+  /// reads the global MetricsRegistry, so its thread is independent of
+  /// the pool's lifetime).
+  std::unique_ptr<telemetry::Monitor> monitor_;
 
   std::mutex parse_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const overlay::ParsedKernel>>

@@ -252,6 +252,11 @@ std::shared_ptr<const KernelGraph> OverlayService::admit_graph(
 // Graph invocation
 
 GraphResult OverlayService::run_graph(const KernelGraph& graph) {
+  // Per-invocation span collector (works with the global tracer off):
+  // the sweeps recorded under graph.run become stage_timings, the graph
+  // analogue of a job's per-stage breakdown.
+  telemetry::JobTrace invocation_trace;
+  telemetry::JobTraceScope tracing(&invocation_trace);
   VCGRA_TRACE_SPAN("graph.run");
   common::WallTimer exec_timer;
   GraphResult result;
@@ -392,6 +397,9 @@ GraphResult OverlayService::run_graph(const KernelGraph& graph) {
   }
 
   result.exec_seconds = exec_timer.seconds();
+  // graph.run itself is still open (depth 0); its closed children at
+  // depth 1 are the sweeps.
+  result.stage_timings = invocation_trace.stage_breakdown(1);
   note_graph_executed(result);
   return result;
 }

@@ -82,6 +82,33 @@ ServiceOptions OverlayService::normalize(ServiceOptions options) {
   return options;
 }
 
+namespace {
+
+// Service-level metrics mirrored into the process registry so the
+// continuous monitor and the Prometheus export see job health without
+// reaching into OverlayService's private (stats()-backing) histograms.
+// Same population contract as those members: success-only latencies.
+struct ServiceMetrics {
+  telemetry::Counter& submitted =
+      telemetry::metrics().counter("service.jobs_submitted");
+  telemetry::Counter& ok = telemetry::metrics().counter("service.jobs_ok");
+  telemetry::Counter& failed =
+      telemetry::metrics().counter("service.jobs_failed");
+  telemetry::LatencyHistogram& latency =
+      telemetry::metrics().histogram("service.latency");
+  telemetry::LatencyHistogram& queue =
+      telemetry::metrics().histogram("service.queue");
+  telemetry::LatencyHistogram& exec =
+      telemetry::metrics().histogram("service.exec");
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics* m = new ServiceMetrics();
+  return *m;
+}
+
+}  // namespace
+
 OverlayService::OverlayService(const ServiceOptions& options)
     : options_(normalize(options)),
       cache_(options_.cache_capacity),
@@ -95,10 +122,27 @@ OverlayService::OverlayService(const ServiceOptions& options)
     }
   }
   if (!options_.trace_path.empty()) telemetry::Tracer::set_enabled(true);
+  if (options_.monitor_interval_seconds > 0) {
+    telemetry::MonitorOptions monitor;
+    monitor.interval_seconds = options_.monitor_interval_seconds;
+    monitor.rules = options_.health_rules.empty()
+                        ? telemetry::default_service_rules(options_.slo)
+                        : options_.health_rules;
+    monitor.export_path = options_.monitor_export_path;
+    monitor_ = std::make_unique<telemetry::Monitor>(telemetry::metrics(),
+                                                    std::move(monitor));
+    monitor_->start();
+  }
 }
 
 OverlayService::~OverlayService() {
   wait_idle();
+  // One final window so short-lived services still export a report that
+  // covers their last jobs, then stop the sampling thread.
+  if (monitor_) {
+    monitor_->stop();
+    monitor_->tick_at(telemetry::trace_now_ns());
+  }
   if (!options_.trace_path.empty()) {
     telemetry::Tracer::export_chrome_trace(options_.trace_path);
   }
@@ -136,6 +180,7 @@ std::future<JobResult> OverlayService::submit(JobRequest request) {
   job->request = std::move(request);
   job->submit_ns = telemetry::trace_now_ns();
   std::future<JobResult> future = job->promise.get_future();
+  service_metrics().submitted.add(1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++jobs_submitted_;
@@ -227,6 +272,7 @@ void OverlayService::drain_one() {
     record_result(result);
     job->promise.set_value(result);
   } catch (...) {
+    service_metrics().failed.add(1);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++jobs_failed_;
@@ -620,13 +666,21 @@ void OverlayService::execute_fused(
     result.exec_seconds = exec_share;
     result.queue_seconds =
         static_cast<double>(picked_ns - job.submit_ns) * 1e-9;
+    // Every member shares the batch's pipeline stages (they are wall
+    // time for the whole sweep), but queue.wait is per job: the shared
+    // breakdown carries the lead's, so substitute this job's own wait
+    // to keep stage-sum ~= latency for followers too.
     result.stages = stages;
+    for (telemetry::StageTiming& stage : result.stages) {
+      if (stage.name == "queue.wait") stage.seconds = result.queue_seconds;
+    }
     result.trace_id = trace.trace_id;
     result.latency_seconds = job.since_submit.seconds();
     record_result(result);
     job.promise.set_value(std::move(result));
   }
 
+  if (failed > 0) service_metrics().failed.add(failed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_failed_ += failed;
@@ -639,6 +693,11 @@ void OverlayService::record_result(const JobResult& result) {
   latency_hist_.record_seconds(result.latency_seconds);
   queue_hist_.record_seconds(result.queue_seconds);
   exec_hist_.record_seconds(result.exec_seconds);
+  ServiceMetrics& m = service_metrics();
+  m.ok.add(1);
+  m.latency.record_seconds(result.latency_seconds);
+  m.queue.record_seconds(result.queue_seconds);
+  m.exec.record_seconds(result.exec_seconds);
   std::lock_guard<std::mutex> lock(mutex_);
   ++jobs_completed_;
   exec_seconds_total_ += result.exec_seconds;
@@ -651,6 +710,7 @@ void OverlayService::note_task_submitted() {
 
 void OverlayService::note_task_completed(double latency_seconds) {
   latency_hist_.record_seconds(latency_seconds);
+  service_metrics().latency.record_seconds(latency_seconds);
   std::lock_guard<std::mutex> lock(mutex_);
   ++tasks_completed_;
 }
@@ -691,6 +751,10 @@ void OverlayService::note_chunk_fed() {
   telemetry::metrics().counter("session.chunks").add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   ++chunks_fed_;
+}
+
+telemetry::HealthReport OverlayService::health() const {
+  return monitor_ ? monitor_->health() : telemetry::HealthReport{};
 }
 
 ServiceStats OverlayService::stats() const {

@@ -115,10 +115,22 @@ struct MetricsSnapshot {
 
   std::string to_json() const;
   /// Prometheus text exposition: counters/gauges as-is, histograms as
-  /// summaries (quantile-labeled series plus _sum/_count). Metric names
-  /// are sanitized ('.' and '-' become '_') and prefixed "vcgra_".
+  /// cumulative `_bucket{le="..."}` series (one edge per power-of-two
+  /// block, so bucket counts are non-decreasing and end at `+Inf` ==
+  /// `_count`) plus `_sum`/`_count`. Metric names go through
+  /// prometheus_metric_name(); label values through
+  /// prometheus_label_escape().
   std::string to_prometheus() const;
 };
+
+/// Prometheus-conformant metric name: any character outside
+/// [a-zA-Z0-9_:] becomes '_', a leading digit gets an extra '_', and
+/// the result is prefixed "vcgra_".
+std::string prometheus_metric_name(const std::string& name);
+
+/// Escapes a label value for the text exposition format: backslash,
+/// double quote and newline become \\, \" and \n.
+std::string prometheus_label_escape(const std::string& value);
 
 /// Named-metric directory. Registration takes a mutex once per name;
 /// the returned references are stable for the registry's lifetime, so

@@ -1,0 +1,112 @@
+// Fixed-capacity time-series over registry snapshots.
+//
+// The metrics registry is exact but point-in-time; trends (throughput
+// dropping, p99 creeping up, the queue backing up) only exist as the
+// difference between snapshots. TimeSeriesStore turns a stream of
+// sampling windows into derived scalar series, each kept in a ring of
+// the last `capacity` windows:
+//
+//   * counter C          -> "C.rate"            (delta / interval, 1/s)
+//   * gauge G            -> "G"                 (sampled level)
+//   * histogram H        -> "H.rate"            (window count / interval)
+//                           "H.p50", "H.p99"    (percentiles of the
+//                                                *window delta* — the
+//                                                diffable-snapshot
+//                                                machinery, not the
+//                                                lifetime population)
+//
+// Windows where a histogram saw no samples push a rate of 0 but skip
+// the percentile series (a 0-latency point would poison baselines);
+// percentile series can therefore have gaps.
+//
+// Every pushed point also updates an EWMA mean/variance baseline for
+// its series; once warm, a point more than `z_threshold` sigmas from
+// the baseline is flagged anomalous. Sigma has a relative floor so a
+// near-constant series does not flag on nanoscopic jitter.
+//
+// The store itself is clock-free and thread-safe: callers decide when
+// a window ends (the Monitor's background thread in production, an
+// explicit tick in tests) and hand in the delta + level snapshots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vcgra/telemetry/metrics.hpp"
+
+namespace vcgra::telemetry {
+
+struct SeriesPoint {
+  std::uint64_t end_ns = 0;     // window end on the trace_now_ns clock
+  double interval_seconds = 0;  // window width
+  double value = 0;
+  double zscore = 0;     // vs the EWMA baseline at push time (0 while warming)
+  bool anomaly = false;  // |zscore| >= z_threshold after warmup
+};
+
+/// One derived series, oldest point first (at most `capacity` points).
+struct SeriesData {
+  std::string name;
+  std::vector<SeriesPoint> points;
+};
+
+struct TimeSeriesOptions {
+  std::size_t capacity = 600;      // windows retained per series
+  double ewma_alpha = 0.25;        // baseline responsiveness
+  double z_threshold = 4.0;        // anomaly flag at |z| >= threshold
+  std::size_t warmup_windows = 8;  // points before anomalies can flag
+  double sigma_relative_floor = 0.05;  // sigma >= floor * |mean|
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesOptions options = {});
+
+  /// Ingest one sampling window ending at `end_ns`. `delta` carries the
+  /// activity since the previous snapshot (counters and histograms as
+  /// produced by MetricsSnapshot::diff_since); `level` is the current
+  /// full snapshot (gauges are levels, not flows).
+  void push_window(std::uint64_t end_ns, double interval_seconds,
+                   const MetricsSnapshot& delta, const MetricsSnapshot& level);
+
+  /// Windows ingested since construction (not capped by capacity).
+  std::uint64_t windows() const;
+
+  /// Copy of every series, each trimmed to its last `last_n` points
+  /// (0 = all retained points).
+  std::vector<SeriesData> series(std::size_t last_n = 0) const;
+
+  /// Latest point of one series; false when the series does not exist
+  /// or is empty.
+  bool latest(const std::string& name, SeriesPoint* out) const;
+
+  /// Names of series whose most recent point is flagged anomalous.
+  std::vector<std::string> last_anomalies() const;
+
+  /// {"windows": N, "interval hint": ..., "series": [{name, points}]}
+  /// with each series trimmed to `last_n` points (0 = all).
+  std::string to_json(std::size_t last_n = 0) const;
+
+ private:
+  struct Series {
+    std::vector<SeriesPoint> ring;  // capacity slots once full
+    std::size_t head = 0;           // next write slot when full
+    std::uint64_t seen = 0;         // total points ever pushed
+    double ewma_mean = 0;
+    double ewma_var = 0;
+  };
+
+  // Pushes one point and runs the anomaly baseline. Caller holds mutex_.
+  void push_value(const std::string& name, std::uint64_t end_ns,
+                  double interval_seconds, double value);
+
+  TimeSeriesOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Series> series_;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace vcgra::telemetry

@@ -1,0 +1,38 @@
+// Terminal rendering for vcgra_top, the live service console.
+//
+// The renderer is a pure function from a parsed stats document to one
+// frame of text, so test_telemetry can prove a frame renders headlessly
+// from a snapshot file and the tool stays a thin loop (read file ->
+// parse -> render -> repaint). It accepts both document shapes the
+// runtime produces and degrades gracefully — sections whose keys are
+// absent are simply omitted:
+//
+//   * the example/service stats file:
+//       {"service": <ServiceStats>, "process": <MetricsSnapshot>,
+//        "monitor": {"health": ..., "series": ...}}
+//   * the Monitor's live export (ServiceOptions::monitor_export_path):
+//       {"health": ..., "series": ...}
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vcgra/telemetry/json.hpp"
+
+namespace vcgra::telemetry {
+
+struct TopOptions {
+  bool color = false;        // ANSI colors on health verdicts
+  std::size_t spark_width = 32;  // series sparkline window (0 disables)
+};
+
+/// One frame of the console: throughput, latency percentiles, cache and
+/// scheduler tiers, queue/arena gauges, health verdicts, anomaly flags
+/// and sparklines of the monitored series.
+std::string render_top_frame(const JsonValue& doc, const TopOptions& options = {});
+
+/// ASCII sparkline of `values` (empty input -> empty string), scaled to
+/// the series' own min..max.
+std::string sparkline(const std::vector<double>& values, std::size_t width);
+
+}  // namespace vcgra::telemetry

@@ -60,10 +60,12 @@ class JobTrace {
   void add(const char* name, int depth, std::uint64_t start_ns,
            std::uint64_t dur_ns);
 
-  /// Depth-0 spans aggregated by name, in first-seen chronological
-  /// order: the non-overlapping stage decomposition of the job. Their
-  /// durations sum to ~the job latency (minus untraced gaps).
-  std::vector<StageTiming> stage_breakdown() const;
+  /// Spans at `depth` aggregated by name, in first-seen chronological
+  /// order. At the default depth 0 this is the non-overlapping stage
+  /// decomposition of the job (durations sum to ~the job latency minus
+  /// untraced gaps); depth 1 decomposes a still-open depth-0 wrapper
+  /// span (run_graph's graph.run -> its graph.stage sweeps).
+  std::vector<StageTiming> stage_breakdown(int depth = 0) const;
 
   /// Indented span tree (chronological, nested) for slow-job logging.
   std::string tree_string() const;
@@ -71,6 +73,10 @@ class JobTrace {
 
 class Tracer {
  public:
+  /// Spans retained per thread ring; older spans are overwritten (and
+  /// counted as dropped) past this.
+  static constexpr std::size_t kRingCapacity = 1 << 14;
+
   static bool enabled();
   static void set_enabled(bool on);
 
@@ -90,6 +96,14 @@ class Tracer {
 
   /// Total spans currently held across all thread rings (post-overwrite).
   static std::size_t recorded_spans();
+
+  /// Spans lost to ring overwrite since the last reset(), summed across
+  /// threads. Every drop also bumps the process-wide counter metric
+  /// "trace.dropped_spans" (monotonic — reset() does not rewind it), so
+  /// exports and the health engine see truncation without asking the
+  /// tracer. chrome_trace_json() carries the same total as a top-level
+  /// "droppedSpans" field, which `vcgra_stats --check-trace` warns on.
+  static std::uint64_t dropped_spans();
 };
 
 /// For sequential stage blocks that share one scope (the compiler's

@@ -154,15 +154,40 @@ void append_json_histogram(std::string& out, const HistogramSnapshot& hist) {
       hist.max_seconds, p[0], p[1], p[2], p[3]);
 }
 
-std::string prometheus_name(const std::string& name) {
+}  // namespace
+
+std::string prometheus_metric_name(const std::string& name) {
+  // [a-zA-Z_:][a-zA-Z0-9_:]* — the "vcgra_" prefix supplies the legal
+  // first character, everything else is sanitized to '_'.
   std::string out = "vcgra_";
   for (const char c : name) {
-    out += (c == '.' || c == '-' || c == ' ') ? '_' : c;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
   }
   return out;
 }
 
-}  // namespace
+std::string prometheus_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\n  \"counters\": {";
@@ -196,25 +221,42 @@ std::string MetricsSnapshot::to_json() const {
 std::string MetricsSnapshot::to_prometheus() const {
   std::string out;
   for (const auto& [name, value] : counters) {
-    const std::string prom = prometheus_name(name);
+    const std::string prom = prometheus_metric_name(name);
     out += common::strprintf("# TYPE %s counter\n%s %llu\n", prom.c_str(),
                              prom.c_str(),
                              static_cast<unsigned long long>(value));
   }
   for (const auto& [name, value] : gauges) {
-    const std::string prom = prometheus_name(name);
+    const std::string prom = prometheus_metric_name(name);
     out += common::strprintf("# TYPE %s gauge\n%s %lld\n", prom.c_str(),
                              prom.c_str(), static_cast<long long>(value));
   }
   for (const auto& [name, hist] : histograms) {
-    const std::string prom = prometheus_name(name);
-    const std::vector<double> p = hist.percentiles({0.50, 0.95, 0.99, 0.999});
-    out += common::strprintf("# TYPE %s summary\n", prom.c_str());
-    const double quantiles[] = {0.5, 0.95, 0.99, 0.999};
-    for (std::size_t i = 0; i < 4; ++i) {
-      out += common::strprintf("%s{quantile=\"%g\"} %.9g\n", prom.c_str(),
-                               quantiles[i], p[i]);
+    const std::string prom = prometheus_metric_name(name);
+    out += common::strprintf("# TYPE %s histogram\n", prom.c_str());
+    // Cumulative le-labeled buckets at one edge per power-of-two block
+    // (the 16 sub-buckets collapse into their block's upper edge), so
+    // the exposition stays ~39 lines per histogram while every count is
+    // still attributed below an exact edge. Counts are non-decreasing
+    // and the +Inf bucket equals _count, as the format requires.
+    std::uint64_t cumulative = 0;
+    std::size_t i = 0;
+    for (int edge = LatencyHistogram::kSubBuckets - 1;
+         edge < LatencyHistogram::kBucketCount;
+         edge += LatencyHistogram::kSubBuckets) {
+      for (; i < hist.counts.size() && i <= static_cast<std::size_t>(edge);
+           ++i) {
+        cumulative += hist.counts[i];
+      }
+      const double le =
+          static_cast<double>(LatencyHistogram::bucket_max_ns(edge)) * 1e-9;
+      out += common::strprintf(
+          "%s_bucket{le=\"%s\"} %llu\n", prom.c_str(),
+          prometheus_label_escape(common::strprintf("%.9g", le)).c_str(),
+          static_cast<unsigned long long>(cumulative));
     }
+    out += common::strprintf("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
+                             static_cast<unsigned long long>(hist.count));
     out += common::strprintf("%s_sum %.9g\n%s_count %llu\n", prom.c_str(),
                              hist.sum_seconds, prom.c_str(),
                              static_cast<unsigned long long>(hist.count));

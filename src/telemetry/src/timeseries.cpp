@@ -1,0 +1,173 @@
+#include "vcgra/telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::telemetry {
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions options)
+    : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  options_.ewma_alpha = std::clamp(options_.ewma_alpha, 1e-6, 1.0);
+}
+
+void TimeSeriesStore::push_value(const std::string& name, std::uint64_t end_ns,
+                                 double interval_seconds, double value) {
+  Series& series = series_[name];
+  SeriesPoint point;
+  point.end_ns = end_ns;
+  point.interval_seconds = interval_seconds;
+  point.value = value;
+
+  if (series.seen >= options_.warmup_windows) {
+    // Sigma floor: absolute epsilon plus a fraction of the running mean,
+    // so a flat-lined series (variance ~0) never flags on jitter.
+    const double floor = 1e-9 + options_.sigma_relative_floor *
+                                    std::abs(series.ewma_mean);
+    const double sigma =
+        std::sqrt(std::max(series.ewma_var, 0.0) + floor * floor);
+    point.zscore = (value - series.ewma_mean) / sigma;
+    point.anomaly = std::abs(point.zscore) >= options_.z_threshold;
+  }
+
+  // EWMA mean/variance update (West-style): the baseline absorbs the new
+  // point *after* scoring it, so a genuine step change flags once and
+  // then becomes the new normal.
+  const double d = value - series.ewma_mean;
+  series.ewma_mean += options_.ewma_alpha * d;
+  series.ewma_var =
+      (1.0 - options_.ewma_alpha) * (series.ewma_var +
+                                     options_.ewma_alpha * d * d);
+  ++series.seen;
+
+  if (series.ring.size() < options_.capacity) {
+    series.ring.push_back(point);
+  } else {
+    series.ring[series.head] = point;
+    series.head = (series.head + 1) % options_.capacity;
+  }
+}
+
+void TimeSeriesStore::push_window(std::uint64_t end_ns,
+                                  double interval_seconds,
+                                  const MetricsSnapshot& delta,
+                                  const MetricsSnapshot& level) {
+  const double dt = interval_seconds > 0 ? interval_seconds : 1e-9;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : delta.counters) {
+    push_value(name + ".rate", end_ns, interval_seconds,
+               static_cast<double>(value) / dt);
+  }
+  for (const auto& [name, value] : level.gauges) {
+    push_value(name, end_ns, interval_seconds, static_cast<double>(value));
+  }
+  for (const auto& [name, hist] : delta.histograms) {
+    push_value(name + ".rate", end_ns, interval_seconds,
+               static_cast<double>(hist.count) / dt);
+    if (hist.count > 0) {
+      const std::vector<double> p = hist.percentiles({0.50, 0.99});
+      push_value(name + ".p50", end_ns, interval_seconds, p[0]);
+      push_value(name + ".p99", end_ns, interval_seconds, p[1]);
+    }
+  }
+  ++windows_;
+}
+
+std::uint64_t TimeSeriesStore::windows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return windows_;
+}
+
+namespace {
+
+// Materializes the ring into chronological order, trimmed to last_n.
+std::vector<SeriesPoint> ordered_points(const std::vector<SeriesPoint>& ring,
+                                        std::size_t head, std::size_t capacity,
+                                        std::size_t last_n) {
+  std::vector<SeriesPoint> out;
+  out.reserve(ring.size());
+  if (ring.size() < capacity) {
+    out = ring;  // not yet wrapped: already chronological
+  } else {
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      out.push_back(ring[(head + i) % ring.size()]);
+    }
+  }
+  if (last_n > 0 && out.size() > last_n) {
+    out.erase(out.begin(),
+              out.begin() + static_cast<std::ptrdiff_t>(out.size() - last_n));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SeriesData> TimeSeriesStore::series(std::size_t last_n) const {
+  std::vector<SeriesData> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(series_.size());
+  for (const auto& [name, series] : series_) {
+    SeriesData data;
+    data.name = name;
+    data.points =
+        ordered_points(series.ring, series.head, options_.capacity, last_n);
+    out.push_back(std::move(data));
+  }
+  return out;
+}
+
+bool TimeSeriesStore::latest(const std::string& name, SeriesPoint* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  if (it == series_.end() || it->second.ring.empty()) return false;
+  const Series& series = it->second;
+  const std::size_t last = series.ring.size() < options_.capacity
+                               ? series.ring.size() - 1
+                               : (series.head + options_.capacity - 1) %
+                                     options_.capacity;
+  if (out != nullptr) *out = series.ring[last];
+  return true;
+}
+
+std::vector<std::string> TimeSeriesStore::last_anomalies() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, series] : series_) {
+    if (series.ring.empty()) continue;
+    const std::size_t last = series.ring.size() < options_.capacity
+                                 ? series.ring.size() - 1
+                                 : (series.head + options_.capacity - 1) %
+                                       options_.capacity;
+    if (series.ring[last].anomaly) out.push_back(name);
+  }
+  return out;
+}
+
+std::string TimeSeriesStore::to_json(std::size_t last_n) const {
+  const std::vector<SeriesData> all = series(last_n);
+  std::string out = common::strprintf("{\n  \"windows\": %llu,\n  \"series\": [",
+                                      static_cast<unsigned long long>(windows()));
+  bool first_series = true;
+  for (const SeriesData& data : all) {
+    out += common::strprintf("%s\n    {\"name\": \"%s\", \"points\": [",
+                             first_series ? "" : ",", data.name.c_str());
+    first_series = false;
+    bool first_point = true;
+    for (const SeriesPoint& p : data.points) {
+      out += common::strprintf(
+          "%s\n      {\"t_ns\": %llu, \"dt\": %.9g, \"v\": %.9g, "
+          "\"z\": %.4g, \"anomaly\": %s}",
+          first_point ? "" : ",", static_cast<unsigned long long>(p.end_ns),
+          p.interval_seconds, p.value, p.zscore,
+          p.anomaly ? "true" : "false");
+      first_point = false;
+    }
+    out += first_point ? "]}" : "\n    ]}";
+  }
+  out += first_series ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace vcgra::telemetry

@@ -1,0 +1,203 @@
+#include "vcgra/telemetry/top.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vcgra/common/strings.hpp"
+
+namespace vcgra::telemetry {
+
+namespace {
+
+double num(const JsonValue* value, double fallback = 0) {
+  return value != nullptr && value->is_number() ? value->number : fallback;
+}
+
+std::string str(const JsonValue* value, const std::string& fallback = "") {
+  return value != nullptr && value->is_string() ? value->string : fallback;
+}
+
+const char* kColorReset = "\x1b[0m";
+
+const char* status_color(const std::string& status) {
+  if (status == "ok") return "\x1b[32m";        // green
+  if (status == "degraded") return "\x1b[33m";  // yellow
+  return "\x1b[31m";                            // red
+}
+
+std::string paint(const std::string& status, bool color) {
+  if (!color) return status;
+  return status_color(status) + status + kColorReset;
+}
+
+}  // namespace
+
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  static const char kLevels[] = " .:-=+*#%@";
+  constexpr int kMax = 9;  // strlen(kLevels) - 1
+  if (values.empty() || width == 0) return "";
+  const std::size_t n = std::min(values.size(), width);
+  const auto begin = values.end() - static_cast<std::ptrdiff_t>(n);
+  double lo = *std::min_element(begin, values.end());
+  double hi = *std::max_element(begin, values.end());
+  std::string out;
+  out.reserve(n);
+  for (auto it = begin; it != values.end(); ++it) {
+    int level = kMax;
+    if (hi > lo) {
+      level = static_cast<int>(std::lround((*it - lo) / (hi - lo) * kMax));
+    } else {
+      level = *it != 0 ? kMax / 2 + 1 : 0;
+    }
+    out += kLevels[std::clamp(level, 0, kMax)];
+  }
+  return out;
+}
+
+std::string render_top_frame(const JsonValue& doc, const TopOptions& options) {
+  std::string out;
+  const JsonValue* service = doc.find("service");
+  const JsonValue* process = doc.find("process");
+  // Health/series either live under "monitor" (stats file) or at the
+  // top level (the Monitor's own live export).
+  const JsonValue* monitor = doc.find("monitor");
+  const JsonValue* health =
+      monitor != nullptr ? monitor->find("health") : doc.find("health");
+  const JsonValue* series_doc =
+      monitor != nullptr ? monitor->find("series") : doc.find("series");
+
+  // ---- header: overall verdict ------------------------------------
+  std::string overall = "unmonitored";
+  if (health != nullptr) overall = str(health->find("overall"), "unknown");
+  out += common::strprintf("vcgra_top | overall: %s",
+                           paint(overall, options.color).c_str());
+  if (health != nullptr) {
+    out += common::strprintf(
+        " | windows %llu",
+        static_cast<unsigned long long>(num(health->find("windows_evaluated"))));
+  }
+  out += "\n";
+
+  // ---- service: throughput + latency ------------------------------
+  if (service != nullptr) {
+    out += common::strprintf(
+        "jobs     %llu done, %llu failed | %.1f jobs/s | fused %llu batches "
+        "(%llu jobs) | sessions open %llu\n",
+        static_cast<unsigned long long>(num(service->find("jobs_completed"))),
+        static_cast<unsigned long long>(num(service->find("jobs_failed"))),
+        num(service->find("jobs_per_second")),
+        static_cast<unsigned long long>(num(service->find("fused_batches"))),
+        static_cast<unsigned long long>(num(service->find("batched_jobs"))),
+        static_cast<unsigned long long>(num(service->find("sessions_open"))));
+    out += common::strprintf(
+        "latency  p50 %s | p95 %s | p99 %s | p999 %s | max %s\n",
+        common::human_seconds(num(service->find("p50_latency_seconds"))).c_str(),
+        common::human_seconds(num(service->find("p95_latency_seconds"))).c_str(),
+        common::human_seconds(num(service->find("p99_latency_seconds"))).c_str(),
+        common::human_seconds(num(service->find("p999_latency_seconds"))).c_str(),
+        common::human_seconds(num(service->find("max_latency_seconds"))).c_str());
+    out += common::strprintf(
+        "queue    p50 %s | p99 %s\n",
+        common::human_seconds(num(service->find("p50_queue_seconds"))).c_str(),
+        common::human_seconds(num(service->find("p99_queue_seconds"))).c_str());
+    const JsonValue* cache = service->find("cache");
+    if (cache != nullptr) {
+      out += common::strprintf(
+          "cache    hit-rate %.1f%% (structure %.1f%%) | hits %llu | misses "
+          "%llu | disk hits %llu | plans %llu built / %llu hits\n",
+          num(cache->find("hit_rate")) * 100.0,
+          num(cache->find("structure_hit_rate")) * 100.0,
+          static_cast<unsigned long long>(num(cache->find("hits"))),
+          static_cast<unsigned long long>(num(cache->find("misses"))),
+          static_cast<unsigned long long>(num(cache->find("disk_hits"))),
+          static_cast<unsigned long long>(num(cache->find("plans_built"))),
+          static_cast<unsigned long long>(num(cache->find("plan_hits"))));
+    }
+    const JsonValue* sched = service->find("scheduler");
+    if (sched != nullptr) {
+      out += common::strprintf(
+          "sched    %llu assignments | %llu reconfigs | %llu param-only | "
+          "%llu avoided\n",
+          static_cast<unsigned long long>(num(sched->find("assignments"))),
+          static_cast<unsigned long long>(num(sched->find("reconfigurations"))),
+          static_cast<unsigned long long>(
+              num(sched->find("param_respecializations"))),
+          static_cast<unsigned long long>(
+              num(sched->find("reconfigurations_avoided"))));
+    }
+  }
+
+  // ---- process gauges ---------------------------------------------
+  if (process != nullptr) {
+    const JsonValue* gauges = process->find("gauges");
+    if (gauges != nullptr && gauges->is_object() && !gauges->object.empty()) {
+      out += "gauges  ";
+      for (const auto& [name, value] : gauges->object) {
+        out += common::strprintf(" %s=%lld", name.c_str(),
+                                 static_cast<long long>(num(&value)));
+      }
+      out += "\n";
+    }
+    const JsonValue* counters = process->find("counters");
+    if (counters != nullptr) {
+      const JsonValue* drops = counters->find("trace.dropped_spans");
+      if (drops != nullptr && drops->number > 0) {
+        out += common::strprintf(
+            "trace    %llu spans dropped by ring overwrite\n",
+            static_cast<unsigned long long>(drops->number));
+      }
+    }
+  }
+
+  // ---- health verdicts --------------------------------------------
+  if (health != nullptr) {
+    const JsonValue* rules = health->find("rules");
+    if (rules != nullptr && rules->is_object()) {
+      out += "health  ";
+      for (const auto& [name, verdict] : rules->object) {
+        const std::string status = str(verdict.find("status"), "?");
+        out += common::strprintf(" %s=%s", name.c_str(),
+                                 paint(status, options.color).c_str());
+        if (status != "ok") {
+          out += common::strprintf("(%.4g)", num(verdict.find("value")));
+        }
+      }
+      out += "\n";
+    }
+    const JsonValue* anomalies = health->find("anomalies");
+    if (anomalies != nullptr && anomalies->is_array() &&
+        !anomalies->array.empty()) {
+      out += "anomaly ";
+      for (const JsonValue& name : anomalies->array) {
+        out += " " + name.string;
+      }
+      out += "\n";
+    }
+  }
+
+  // ---- series sparklines ------------------------------------------
+  if (series_doc != nullptr && options.spark_width > 0) {
+    const JsonValue* series = series_doc->find("series");
+    if (series != nullptr && series->is_array()) {
+      for (const JsonValue& entry : series->array) {
+        const std::string name = str(entry.find("name"));
+        const JsonValue* points = entry.find("points");
+        if (name.empty() || points == nullptr || !points->is_array() ||
+            points->array.empty()) {
+          continue;
+        }
+        std::vector<double> values;
+        values.reserve(points->array.size());
+        for (const JsonValue& point : points->array) {
+          values.push_back(num(point.find("v")));
+        }
+        out += common::strprintf(
+            "%-28s [%s] %.6g\n", name.c_str(),
+            sparkline(values, options.spark_width).c_str(), values.back());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vcgra::telemetry

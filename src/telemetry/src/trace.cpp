@@ -8,6 +8,7 @@
 
 #include "vcgra/common/log.hpp"
 #include "vcgra/common/strings.hpp"
+#include "vcgra/telemetry/metrics.hpp"
 
 namespace vcgra::telemetry {
 
@@ -38,13 +39,22 @@ struct SpanRecord {
 /// which at worst drops or duplicates a single span in an export taken
 /// while traffic is still running.
 struct SpanRing {
-  static constexpr std::size_t kCapacity = 1 << 14;  // 16384 spans/thread
+  static constexpr std::size_t kCapacity = Tracer::kRingCapacity;
   std::vector<SpanRecord> records{kCapacity};
   std::atomic<std::uint64_t> next{0};  // monotonic; % kCapacity = slot
+  std::atomic<std::uint64_t> dropped{0};  // overwrites since last reset
   int tid = 0;
 
   void push(const SpanRecord& record) {
     const std::uint64_t slot = next.load(std::memory_order_relaxed);
+    if (slot >= kCapacity) {
+      // Overwrite: the oldest span is gone. Count it here (per ring,
+      // rewound by reset) and in the monotonic registry counter so
+      // metrics exports and the health engine see the truncation.
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      static Counter& drop_counter = metrics().counter("trace.dropped_spans");
+      drop_counter.add(1);
+    }
     records[slot % kCapacity] = record;
     next.store(slot + 1, std::memory_order_release);
   }
@@ -159,13 +169,13 @@ void JobTrace::add(const char* name, int depth, std::uint64_t start_ns,
   spans.push_back(Span{name, depth, start_ns, dur_ns});
 }
 
-std::vector<StageTiming> JobTrace::stage_breakdown() const {
+std::vector<StageTiming> JobTrace::stage_breakdown(int depth) const {
   std::vector<StageTiming> stages;
-  // Depth-0 spans close in chronological order (they cannot nest), so a
-  // start-sorted copy keeps the pipeline reading left to right.
+  // Same-depth spans close in chronological order (they cannot nest),
+  // so a start-sorted copy keeps the pipeline reading left to right.
   std::vector<const Span*> top;
   for (const Span& span : spans) {
-    if (span.depth == 0) top.push_back(&span);
+    if (span.depth == depth) top.push_back(&span);
   }
   std::sort(top.begin(), top.end(), [](const Span* a, const Span* b) {
     return a->start_ns < b->start_ns;
@@ -237,6 +247,7 @@ void Tracer::reset() {
   std::lock_guard<std::mutex> lock(registry.mutex);
   for (const auto& ring : registry.rings) {
     ring->next.store(0, std::memory_order_relaxed);
+    ring->dropped.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -267,12 +278,24 @@ std::size_t Tracer::recorded_spans() {
   return total;
 }
 
+std::uint64_t Tracer::dropped_spans() {
+  RingRegistry& registry = ring_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : registry.rings) {
+    total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 std::string Tracer::chrome_trace_json() {
   struct TidSpans {
     int tid;
+    std::uint64_t dropped = 0;
     std::vector<SpanRecord> records;
   };
   std::vector<TidSpans> threads;
+  std::uint64_t total_dropped = 0;
   {
     RingRegistry& registry = ring_registry();
     std::lock_guard<std::mutex> lock(registry.mutex);
@@ -283,6 +306,8 @@ std::string Tracer::chrome_trace_json() {
       if (held == 0) continue;
       TidSpans out;
       out.tid = ring->tid;
+      out.dropped = ring->dropped.load(std::memory_order_relaxed);
+      total_dropped += out.dropped;
       out.records.reserve(static_cast<std::size_t>(held));
       // Oldest first: slot (written - held) .. (written - 1).
       for (std::uint64_t i = written - held; i < written; ++i) {
@@ -292,7 +317,12 @@ std::string Tracer::chrome_trace_json() {
     }
   }
 
-  std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  // "droppedSpans" is a vcgra extension; chrome://tracing ignores unknown
+  // top-level keys, vcgra_stats --check-trace warns when it is nonzero.
+  std::string json = common::strprintf(
+      "{\"displayTimeUnit\": \"ms\", \"droppedSpans\": %llu, "
+      "\"traceEvents\": [",
+      static_cast<unsigned long long>(total_dropped));
   bool first = true;
   for (const TidSpans& thread : threads) {
     json += common::strprintf(
@@ -300,6 +330,12 @@ std::string Tracer::chrome_trace_json() {
         "\"tid\": %d, \"args\": {\"name\": \"vcgra-%d\"}}",
         first ? "" : ",", thread.tid, thread.tid);
     first = false;
+    if (thread.dropped > 0) {
+      json += common::strprintf(
+          ",\n{\"name\": \"dropped_spans\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": %d, \"args\": {\"count\": %llu}}",
+          thread.tid, static_cast<unsigned long long>(thread.dropped));
+    }
     // chrome://tracing nests same-tid "X" events by containment; sorting
     // by start (ties: longest first) keeps parents before children.
     std::vector<SpanRecord> ordered = thread.records;

@@ -1,20 +1,29 @@
-// vcgra_stats — pretty-print, diff and validate the runtime's telemetry
-// exports.
+// vcgra_stats — pretty-print, diff, regression-check and validate the
+// runtime's telemetry exports.
 //
 //   vcgra_stats stats.json                    pretty-print one snapshot
 //   vcgra_stats --diff before.json after.json activity between snapshots
+//   vcgra_stats --regress old.json new.json   perf pass/warn/fail table
 //   vcgra_stats --check-trace trace.json      validate a Chrome trace file
 //
 // Snapshots are the JSON written by MetricsSnapshot::to_json() or
 // ServiceStats::to_json() (any JSON object of numeric leaves works: the
 // tool walks the tree generically). --diff subtracts `before` from
-// `after` leaf-wise and prints only what changed, which is how the CI
-// perf-trajectory artifacts are compared across runs.
+// `after` leaf-wise and prints only what changed.
+//
+// --regress is the CI perf gate: it compares two BENCH_exec.json (or any
+// metrics snapshot) leaf-wise with per-metric noise thresholds and
+// direction inference (telemetry/regress.hpp), prints the pass/warn/fail
+// table, optionally writes the JSON report (--out report.json), and
+// exits 1 when any metric regressed past 2x its noise threshold — CI
+// currently runs it report-only against the previous cached artifact.
 //
 // --check-trace enforces what chrome://tracing/Perfetto need: a
 // traceEvents array whose "X" events carry name/ts/dur/pid/tid, with
 // non-negative durations and, per (tid, depth), non-overlapping spans.
-// Exit status is the check result, so CI can gate on it.
+// It also warns (without failing) when the trace reports dropped spans —
+// ring overwrite means the oldest spans are missing, not that the file
+// is malformed. Exit status is the check result, so CI can gate on it.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +34,7 @@
 #include <vector>
 
 #include "vcgra/telemetry/json.hpp"
+#include "vcgra/telemetry/regress.hpp"
 
 using vcgra::telemetry::JsonValue;
 
@@ -116,6 +126,27 @@ int cmd_diff(const std::string& before_path, const std::string& after_path) {
   return 0;
 }
 
+int cmd_regress(const std::string& old_path, const std::string& new_path,
+                const std::string& out_path, bool verbose) {
+  const JsonValue old_doc = parse_file(old_path);
+  const JsonValue new_doc = parse_file(new_path);
+  const vcgra::telemetry::RegressReport report =
+      vcgra::telemetry::compare_snapshots(old_doc, new_doc);
+  std::printf("%s\n", report.summary().c_str());
+  const std::string table = report.table(verbose);
+  if (!table.empty()) std::printf("%s", table.c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "vcgra_stats: cannot write '%s'\n",
+                   out_path.c_str());
+      return 2;
+    }
+    out << report.to_json();
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int trace_fail(const std::string& message) {
   std::fprintf(stderr, "vcgra_stats: trace invalid: %s\n", message.c_str());
   return 1;
@@ -191,6 +222,36 @@ int cmd_check_trace(const std::string& path) {
       }
     }
   }
+  // Drops don't invalidate the file — the events present are still
+  // well-formed — but the trace is incomplete, which CI should see.
+  double dropped = 0;
+  if (const JsonValue* top_drops = root.find("droppedSpans")) {
+    dropped = top_drops->number;
+  }
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.find("ph");
+    const JsonValue* name = event.find("name");
+    if (ph != nullptr && ph->string == "M" && name != nullptr &&
+        name->string == "dropped_spans") {
+      if (const JsonValue* args = event.find("args")) {
+        if (const JsonValue* count = args->find("count")) {
+          const JsonValue* tid = event.find("tid");
+          std::fprintf(stderr,
+                       "vcgra_stats: warning: tid %lld dropped %lld spans to "
+                       "ring overwrite\n",
+                       tid != nullptr ? static_cast<long long>(tid->number) : -1,
+                       static_cast<long long>(count->number));
+        }
+      }
+    }
+  }
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "vcgra_stats: warning: trace dropped %lld spans total — the "
+                 "oldest spans were overwritten; treat stage coverage as "
+                 "incomplete\n",
+                 static_cast<long long>(dropped));
+  }
   std::printf("trace ok: %zu spans across %zu (tid, depth) lanes\n", complete,
               lanes.size());
   return 0;
@@ -200,6 +261,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: vcgra_stats <stats.json>\n"
                "       vcgra_stats --diff <before.json> <after.json>\n"
+               "       vcgra_stats --regress <old.json> <new.json> "
+               "[--out report.json] [--verbose]\n"
                "       vcgra_stats --check-trace <trace.json>\n");
   return 2;
 }
@@ -212,6 +275,20 @@ int main(int argc, char** argv) {
   }
   if (argc == 4 && std::strcmp(argv[1], "--diff") == 0) {
     return cmd_diff(argv[2], argv[3]);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "--regress") == 0) {
+    std::string out_path;
+    bool verbose = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--verbose") == 0) {
+        verbose = true;
+      } else {
+        return usage();
+      }
+    }
+    return cmd_regress(argv[2], argv[3], out_path, verbose);
   }
   if (argc == 3 && std::strcmp(argv[1], "--check-trace") == 0) {
     return cmd_check_trace(argv[2]);

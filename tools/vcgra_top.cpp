@@ -1,0 +1,118 @@
+// vcgra_top — top-style live console for a running overlay service.
+//
+//   vcgra_top stats.json                   render one frame and exit
+//   vcgra_top --watch live.json            repaint as the file changes
+//
+// The input is either the stats file an example writes (--stats, the
+// {"service", "process", "monitor"} document) or the continuous
+// Monitor's live export (ServiceOptions::monitor_export_path, rewritten
+// atomically every sampling window) — --watch against the latter is a
+// live view of a running service: throughput, latency percentiles,
+// cache-tier hit rates, queue/arena gauges, health verdicts, anomaly
+// flags and per-series sparklines.
+//
+// All rendering lives in telemetry/top.hpp (render_top_frame), so the
+// frame is unit-tested headlessly; this file is the read-parse-repaint
+// loop and nothing else.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#ifdef _WIN32
+#include <io.h>
+#define VCGRA_ISATTY _isatty
+#define VCGRA_FILENO _fileno
+#else
+#include <unistd.h>
+#define VCGRA_ISATTY isatty
+#define VCGRA_FILENO fileno
+#endif
+
+#include "vcgra/telemetry/json.hpp"
+#include "vcgra/telemetry/top.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vcgra_top <stats.json>\n"
+               "       vcgra_top --watch <stats.json> [--interval seconds] "
+               "[--frames n] [--no-color]\n");
+  return 2;
+}
+
+bool render_once(const std::string& path,
+                 const vcgra::telemetry::TopOptions& options, bool clear,
+                 bool quiet_on_error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (!quiet_on_error) {
+      std::fprintf(stderr, "vcgra_top: cannot read '%s'\n", path.c_str());
+    }
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  vcgra::telemetry::JsonValue doc;
+  std::string error;
+  if (!vcgra::telemetry::parse_json(text.str(), &doc, &error)) {
+    // Under --watch a partially-written file (non-atomic writers) parses
+    // on the next repaint; only a one-shot render reports it.
+    if (!quiet_on_error) {
+      std::fprintf(stderr, "vcgra_top: %s: %s\n", path.c_str(), error.c_str());
+    }
+    return false;
+  }
+  const std::string frame = vcgra::telemetry::render_top_frame(doc, options);
+  if (clear) std::fputs("\x1b[2J\x1b[H", stdout);
+  std::fputs(frame.c_str(), stdout);
+  std::fflush(stdout);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool watch = false;
+  bool color = VCGRA_ISATTY(VCGRA_FILENO(stdout)) != 0;
+  double interval = 1.0;
+  long frames = 0;  // 0 = until interrupted
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+    } else if (std::strcmp(argv[i], "--no-color") == 0) {
+      color = false;
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval = std::atof(argv[++i]);
+      if (interval < 0.05) interval = 0.05;
+    } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      frames = std::atol(argv[++i]);
+    } else if (argv[i][0] != '-' && path.empty()) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  vcgra::telemetry::TopOptions options;
+  options.color = color;
+  if (!watch) {
+    return render_once(path, options, /*clear=*/false, /*quiet_on_error=*/false)
+               ? 0
+               : 1;
+  }
+  long rendered = 0;
+  while (frames == 0 || rendered < frames) {
+    if (render_once(path, options, /*clear=*/true, /*quiet_on_error=*/true)) {
+      ++rendered;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  return 0;
+}
